@@ -1,0 +1,187 @@
+(* vida: query raw heterogeneous files from the command line.
+
+   Example:
+     vida_cli --csv Patients=patients.csv --json Regions=regions.jsonl \
+       'for { p <- Patients, r <- Regions, p.id = r.id } yield count p'
+*)
+
+open Cmdliner
+
+let split_binding kind s =
+  match String.index_opt s '=' with
+  | Some i when i > 0 ->
+    Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | _ -> Error (Printf.sprintf "--%s expects NAME=PATH, got %S" kind s)
+
+let register db kind bindings =
+  List.iter
+    (fun spec ->
+      match split_binding kind spec with
+      | Error msg -> prerr_endline msg; exit 2
+      | Ok (name, path) -> (
+        try
+          match kind with
+          | "csv" -> Vida.csv db ~name ~path ()
+          | "json" -> Vida.json db ~name ~path ()
+          | _ -> Vida.binarray db ~name ~path
+        with Sys_error msg ->
+          Printf.eprintf "cannot register %s: %s\n" name msg;
+          exit 2))
+    bindings
+
+let execute db ~use_sql ~engine ~show_stats ~output_json query =
+  let result = if use_sql then Vida.sql ~engine db query else Vida.query ~engine db query in
+  match result with
+  | Error e -> prerr_endline (Vida.error_to_string e); 1
+  | Ok r ->
+    if output_json then print_endline (Vida_data.Value.to_json r.Vida.value)
+    else Format.printf "%a@." Vida_data.Value.pp r.Vida.value;
+    if show_stats then (
+      Printf.eprintf "compile: %.2f ms, execute: %.2f ms, %s\n" r.Vida.compile_ms
+        r.Vida.exec_ms
+        (if r.Vida.from_result_cache then "result re-used"
+         else if r.Vida.served_from_cache then "served from cache"
+         else "raw access");
+      Format.eprintf "raw io: %a@." Vida_raw.Io_stats.pp r.Vida.raw_io);
+    0
+
+(* Interactive session: queries plus dot-commands, one per line. *)
+let repl db ~engine ~output_json =
+  let help () =
+    print_string
+      "enter a comprehension query, or:\n\
+      \  .sql SELECT ...      run a SQL query\n\
+      \  .explain QUERY       show plans and cost estimates\n\
+      \  .sources             list registered sources\n\
+      \  .csv NAME=PATH       register a CSV file (.json/.xml/.binarray likewise)\n\
+      \  .stats               session statistics\n\
+      \  .checkpoint          persist positional maps next to their files\n\
+      \  .help                this message\n\
+      \  .quit                leave\n"
+  in
+  let show_sources () =
+    List.iter
+      (fun name ->
+        match Vida.describe db name with
+        | Some s -> Format.printf "  %a@." Vida_catalog.Source.pp s
+        | None -> ())
+      (Vida.sources db)
+  in
+  let show_session_stats () =
+    let s = Vida.stats db in
+    Format.printf
+      "  %d queries, %d from caches (%d whole results re-used)@.  cache: %a@.  io: %a@."
+      s.Vida.queries_run s.Vida.queries_from_cache s.Vida.result_reuse_hits
+      Vida_storage.Cache.pp_stats s.Vida.cache Vida_raw.Io_stats.pp s.Vida.io
+  in
+  let register_line kind rest =
+    match String.index_opt rest '=' with
+    | Some i when i > 0 -> (
+      let name = String.sub rest 0 i
+      and path = String.sub rest (i + 1) (String.length rest - i - 1) in
+      try
+        (match kind with
+        | `Csv -> Vida.csv db ~name ~path ()
+        | `Json -> Vida.json db ~name ~path ()
+        | `Xml -> Vida.xml db ~name ~path ()
+        | `Bin -> Vida.binarray db ~name ~path);
+        Format.printf "registered %s@." name
+      with Sys_error msg | Invalid_argument msg -> Printf.printf "error: %s\n" msg)
+    | _ -> print_endline "expected NAME=PATH"
+  in
+  print_endline "ViDa interactive session — .help for commands";
+  let rec loop () =
+    print_string "vida> ";
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+      let line = String.trim line in
+      (if line = "" then ()
+       else if line = ".quit" || line = ".exit" then raise Exit
+       else if line = ".help" then help ()
+       else if line = ".sources" then show_sources ()
+       else if line = ".stats" then show_session_stats ()
+       else if line = ".checkpoint" then
+         Printf.printf "wrote %d sidecar(s)\n" (Vida.checkpoint db)
+       else if String.length line > 5 && String.sub line 0 5 = ".csv " then
+         register_line `Csv (String.trim (String.sub line 5 (String.length line - 5)))
+       else if String.length line > 6 && String.sub line 0 6 = ".json " then
+         register_line `Json (String.trim (String.sub line 6 (String.length line - 6)))
+       else if String.length line > 5 && String.sub line 0 5 = ".xml " then
+         register_line `Xml (String.trim (String.sub line 5 (String.length line - 5)))
+       else if String.length line > 10 && String.sub line 0 10 = ".binarray " then
+         register_line `Bin (String.trim (String.sub line 10 (String.length line - 10)))
+       else if String.length line > 9 && String.sub line 0 9 = ".explain " then (
+         match Vida.explain db (String.sub line 9 (String.length line - 9)) with
+         | Ok text -> print_string text
+         | Error e -> prerr_endline (Vida.error_to_string e))
+       else if String.length line > 5 && String.sub line 0 5 = ".sql " then
+         ignore
+           (execute db ~use_sql:true ~engine ~show_stats:false ~output_json
+              (String.sub line 5 (String.length line - 5)))
+       else
+         ignore (execute db ~use_sql:false ~engine ~show_stats:false ~output_json line));
+      loop ()
+  in
+  (try loop () with Exit -> ());
+  0
+
+let run csvs jsons xmls binarrays use_sql explain engine show_stats output_json
+    interactive query =
+  let db = Vida.create () in
+  register db "csv" csvs;
+  register db "json" jsons;
+  List.iter
+    (fun spec ->
+      match split_binding "xml" spec with
+      | Error msg -> prerr_endline msg; exit 2
+      | Ok (name, path) -> Vida.xml db ~name ~path ())
+    xmls;
+  register db "binarray" binarrays;
+  let engine = if engine = "generic" then Vida.Generic else Vida.Jit in
+  match query, interactive with
+  | None, _ | _, true -> repl db ~engine ~output_json
+  | Some query, false ->
+    if explain then (
+      match Vida.explain db query with
+      | Ok text -> print_string text; 0
+      | Error e -> prerr_endline (Vida.error_to_string e); 1)
+    else execute db ~use_sql ~engine ~show_stats ~output_json query
+
+let csv_arg =
+  Arg.(value & opt_all string [] & info [ "csv" ] ~docv:"NAME=PATH" ~doc:"Register a CSV file as source $(docv).")
+
+let json_arg =
+  Arg.(value & opt_all string [] & info [ "json" ] ~docv:"NAME=PATH" ~doc:"Register a JSON-lines file.")
+
+let binarray_arg =
+  Arg.(value & opt_all string [] & info [ "binarray" ] ~docv:"NAME=PATH" ~doc:"Register a binary array file.")
+
+let sql_arg = Arg.(value & flag & info [ "sql" ] ~doc:"Interpret the query as SQL.")
+let explain_arg = Arg.(value & flag & info [ "explain" ] ~doc:"Show plans and costs instead of executing.")
+
+let engine_arg =
+  Arg.(value & opt string "jit" & info [ "engine" ] ~docv:"jit|generic" ~doc:"Executor to use.")
+
+let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"Print timing and raw-I/O statistics to stderr.")
+let json_out_arg = Arg.(value & flag & info [ "output-json" ] ~doc:"Print the result as JSON.")
+
+let xml_arg =
+  Arg.(value & opt_all string [] & info [ "xml" ] ~docv:"NAME=PATH" ~doc:"Register an XML document.")
+
+let interactive_arg =
+  Arg.(value & flag & info [ "i"; "interactive" ] ~doc:"Start an interactive session (default when no query is given).")
+
+let query_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Comprehension (or SQL with $(b,--sql)) query; omit for an interactive session.")
+
+let cmd =
+  let doc = "just-in-time queries over raw heterogeneous files (ViDa)" in
+  Cmd.v
+    (Cmd.info "vida" ~doc)
+    Term.(
+      const run $ csv_arg $ json_arg $ xml_arg $ binarray_arg $ sql_arg
+      $ explain_arg $ engine_arg $ stats_arg $ json_out_arg $ interactive_arg
+      $ query_arg)
+
+let () = exit (Cmd.eval' cmd)

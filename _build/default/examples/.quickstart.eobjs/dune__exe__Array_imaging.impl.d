@@ -1,0 +1,1 @@
+examples/array_imaging.ml: Filename Format Option Value Vida Vida_data Vida_engine Vida_raw

@@ -1,0 +1,1 @@
+examples/bank_trades.ml: Bank_data Filename Format Vida Vida_data Vida_raw Vida_workload

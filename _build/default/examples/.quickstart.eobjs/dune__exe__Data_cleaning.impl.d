@@ -1,0 +1,1 @@
+examples/data_cleaning.ml: Filename Format Policy Schema Ty Value Vida Vida_cleaning Vida_data

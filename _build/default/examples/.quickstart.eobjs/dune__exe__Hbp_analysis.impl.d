@@ -1,0 +1,1 @@
+examples/hbp_analysis.ml: Filename Format Hbp_data Hbp_queries List Sys Vida Vida_data Vida_raw Vida_workload

@@ -1,0 +1,1 @@
+examples/hbp_analysis.mli:

@@ -1,0 +1,1 @@
+examples/procedural_kmeans.ml: Filename Float Format Fun Hbp_data List Printf String Value Vida Vida_data Vida_workload

@@ -1,0 +1,1 @@
+examples/procedural_kmeans.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Format Vida Vida_data Vida_storage

@@ -1,0 +1,59 @@
+(* The paper's banking scenario (§1.1): Trading, Risk and Settlement keep
+   their own raw files; ViDa gives each functional domain ad-hoc access to
+   the others' data without a shared warehouse.
+
+   Run with:  dune exec examples/bank_trades.exe *)
+
+open Vida_workload
+
+let () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "vida_bank_example" in
+  let paths = Bank_data.generate { Bank_data.trades = 2000; seed = 11 } ~dir in
+
+  let db = Vida.create () in
+  Vida.csv db ~name:"Trades" ~path:paths.Bank_data.trades ();
+  Vida.json db ~name:"Risk" ~path:paths.Bank_data.risk ();
+  Vida.csv db ~name:"Settlements" ~path:paths.Bank_data.settlements ();
+
+  let show label v = Format.printf "%-52s %a@." label Vida_data.Value.pp v in
+
+  (* the risk desk correlates its VaR numbers with raw trade data *)
+  Format.printf "— risk view —@.";
+  show "worst 99%% VaR on the rates desk:"
+    (Vida.query_value db
+       {|for { t <- Trades, r <- Risk, t.trade_id = r.trade_id,
+              t.desk = "rates" } yield max r.var_99|});
+  show "avg scenario loss for big fx trades:"
+    (Vida.query_value db
+       {|for { t <- Trades, r <- Risk, t.trade_id = r.trade_id,
+              t.desk = "fx", t.notional > 4000000.0, s <- r.scenarios }
+         yield avg s.loss|});
+
+  (* settlement correlates failures with the trade life cycle (the paper's
+     "correlate raw data directly with the trade life cycle") *)
+  Format.printf "@.— settlement view —@.";
+  show "failed settlements:"
+    (Vida.query_value db
+       {|for { s <- Settlements, s.status = "failed" } yield count s|});
+  show "notional at risk in failed settlements:"
+    (Vida.query_value db
+       {|for { t <- Trades, s <- Settlements, t.trade_id = s.trade_id,
+              s.status = "failed" } yield sum t.notional|});
+  show "settlement lag > 200 days (count):"
+    (Vida.query_value db
+       {|for { t <- Trades, s <- Settlements, t.trade_id = s.trade_id,
+              s.settle_day - t.trade_day > 200 } yield sum 1|});
+
+  (* a cross-domain report through the SQL frontend *)
+  Format.printf "@.— cross-domain SQL report —@.";
+  (match
+     Vida.sql db
+       "SELECT t.desk AS desk, COUNT( * ) AS trades, MAX(t.notional) AS biggest \
+        FROM Trades t GROUP BY t.desk"
+   with
+  | Ok r -> Format.printf "%a@." Vida_data.Value.pp r.Vida.value
+  | Error e -> prerr_endline (Vida.error_to_string e));
+
+  let s = Vida.stats db in
+  Format.printf "@.%d queries; %d from caches; raw io: %a@." s.Vida.queries_run
+    s.Vida.queries_from_cache Vida_raw.Io_stats.pp s.Vida.io

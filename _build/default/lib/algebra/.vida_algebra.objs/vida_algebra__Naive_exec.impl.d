@@ -1,0 +1,1 @@
+lib/algebra/naive_exec.ml: Eval Hashtbl List Monoid Plan Value Vida_calculus Vida_data

@@ -1,0 +1,1 @@
+lib/algebra/naive_exec.mli: Plan Vida_data

@@ -1,0 +1,1 @@
+lib/algebra/plan.ml: Expr Format List Monoid Set String Vida_calculus

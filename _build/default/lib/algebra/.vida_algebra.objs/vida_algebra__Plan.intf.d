@@ -1,0 +1,1 @@
+lib/algebra/plan.mli: Format Vida_calculus

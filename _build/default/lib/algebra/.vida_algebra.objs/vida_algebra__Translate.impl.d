@@ -1,0 +1,1 @@
+lib/algebra/translate.ml: Expr Monoid Parser Plan Rewrite Set String Vida_calculus

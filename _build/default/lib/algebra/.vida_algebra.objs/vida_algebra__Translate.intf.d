@@ -1,0 +1,1 @@
+lib/algebra/translate.mli: Plan Vida_calculus

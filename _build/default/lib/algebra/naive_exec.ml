@@ -1,0 +1,89 @@
+open Vida_data
+open Vida_calculus
+
+type env = (string * Value.t) list
+
+let eval_scalar base env e =
+  let full = List.fold_left (fun acc (x, v) -> Eval.bind x v acc) base env in
+  Eval.eval full e
+
+let rec stream_p base (p : Plan.t) : env list =
+  match p with
+  | Plan.Unit -> [ [] ]
+  | Plan.Source { var; expr } ->
+    let coll = eval_scalar base [] expr in
+    (match coll with
+    | Value.Null -> []
+    | _ -> List.map (fun v -> [ (var, v) ]) (Value.elements coll))
+  | Plan.Select { pred; child } ->
+    List.filter
+      (fun env -> Eval.truthy (eval_scalar base env pred))
+      (stream_p base child)
+  | Plan.Map { var; expr; child } ->
+    List.map (fun env -> env @ [ (var, eval_scalar base env expr) ]) (stream_p base child)
+  | Plan.Product { left; right } ->
+    let rights = stream_p base right in
+    List.concat_map (fun l -> List.map (fun r -> l @ r) rights) (stream_p base left)
+  | Plan.Join { pred; left; right } ->
+    let rights = stream_p base right in
+    List.concat_map
+      (fun l ->
+        List.filter_map
+          (fun r ->
+            let env = l @ r in
+            if Eval.truthy (eval_scalar base env pred) then Some env else None)
+          rights)
+      (stream_p base left)
+  | Plan.Unnest { var; path; outer; child } ->
+    List.concat_map
+      (fun env ->
+        let coll = eval_scalar base env path in
+        let elements =
+          match coll with Value.Null -> [] | _ -> Value.elements coll
+        in
+        match elements with
+        | [] -> if outer then [ env @ [ (var, Value.Null) ] ] else []
+        | vs -> List.map (fun v -> env @ [ (var, v) ]) vs)
+      (stream_p base child)
+  | Plan.Reduce _ -> invalid_arg "Naive_exec.stream: Reduce produces a value, not a stream"
+  | Plan.Nest { monoid; var; head; keys; child } ->
+    let envs = stream_p base child in
+    (* group in first-seen key order for deterministic output *)
+    let table : (Value.t list, Value.t ref) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun env ->
+        let kvs = List.map (fun (_, k) -> eval_scalar base env k) keys in
+        let acc =
+          match Hashtbl.find_opt table kvs with
+          | Some acc -> acc
+          | None ->
+            let acc = ref (Monoid.zero monoid) in
+            Hashtbl.add table kvs acc;
+            order := kvs :: !order;
+            acc
+        in
+        acc := Monoid.merge monoid !acc (Monoid.unit monoid (eval_scalar base env head)))
+      envs;
+    List.rev_map
+      (fun kvs ->
+        let acc = Hashtbl.find table kvs in
+        List.map2 (fun (name, _) v -> (name, v)) keys kvs
+        @ [ (var, Monoid.finalize monoid !acc) ])
+      !order
+
+and run ~sources p =
+  let base = Eval.env_of_list sources in
+  match p with
+  | Plan.Reduce { monoid; head; child } ->
+    let acc = ref (Monoid.zero monoid) in
+    List.iter
+      (fun env ->
+        acc := Monoid.merge monoid !acc (Monoid.unit monoid (eval_scalar base env head)))
+      (stream_p base child);
+    Monoid.finalize monoid !acc
+  | p ->
+    Value.Bag
+      (List.map (fun env -> Value.Record env) (stream_p base p))
+
+let stream ~sources p = stream_p (Eval.env_of_list sources) p

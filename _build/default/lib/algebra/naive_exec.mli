@@ -1,0 +1,21 @@
+(** Naive reference executor for algebra plans.
+
+    Materializes every operator's output as a list of environments and
+    evaluates scalars with the calculus interpreter — no pipelining, no
+    specialization, no auxiliary structures. It exists as the semantic
+    oracle for the just-in-time engine: {!Vida_engine} must agree with it on
+    every plan, and the optimizer's rewrites must leave its result
+    unchanged. *)
+
+type env = (string * Vida_data.Value.t) list
+
+(** [stream ~sources p] runs a plan producing environments.
+    [sources] resolves the plan's free variables (dataset names).
+    @raise Vida_calculus.Eval.Error on scalar evaluation failure.
+    @raise Invalid_argument if [p] is topped by [Reduce] (use {!run}). *)
+val stream : sources:(string * Vida_data.Value.t) list -> Plan.t -> env list
+
+(** [run ~sources p] runs a full query plan to its result value. A top-level
+    [Reduce] folds; any other top produces the bag of environments as a bag
+    of records. *)
+val run : sources:(string * Vida_data.Value.t) list -> Plan.t -> Vida_data.Value.t

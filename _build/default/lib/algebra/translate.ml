@@ -1,0 +1,35 @@
+open Vida_calculus
+
+module Sset = Set.Make (String)
+
+let plan_of_comp (e : Expr.t) : Plan.t =
+  match e with
+  | Expr.Comp (m, head, quals) ->
+    let rec go plan bound = function
+      | [] -> Plan.Reduce { monoid = m; head; child = plan }
+      | Expr.Gen (v, src) :: rest ->
+        let deps = Sset.inter (Sset.of_list (Expr.free_vars src)) bound in
+        let plan =
+          if Sset.is_empty deps then
+            match plan with
+            | Plan.Unit -> Plan.Source { var = v; expr = src }
+            | plan ->
+              Plan.Product
+                { left = plan; right = Plan.Source { var = v; expr = src } }
+          else Plan.Unnest { var = v; path = src; outer = false; child = plan }
+        in
+        go plan (Sset.add v bound) rest
+      | Expr.Pred p :: rest -> go (Plan.Select { pred = p; child = plan }) bound rest
+      | Expr.Bind (v, e) :: rest ->
+        go (Plan.Map { var = v; expr = e; child = plan }) (Sset.add v bound) rest
+    in
+    go Plan.Unit Sset.empty quals
+  | e ->
+    (* degenerate: evaluate the scalar once; max over a single element is the
+       element itself, whatever its type *)
+    Plan.Reduce { monoid = Monoid.Prim Monoid.Max; head = e; child = Plan.Unit }
+
+let query_to_plan src =
+  match Parser.parse src with
+  | Error _ as e -> e
+  | Ok e -> Ok (plan_of_comp (Rewrite.normalize e))

@@ -1,0 +1,22 @@
+(** Translation of normalized comprehensions into algebra plans (paper §3.2:
+    "ViDa translates the monoid calculus to an intermediate algebraic
+    representation, which is more amenable to traditional optimization").
+
+    Qualifiers map to operators left to right: an independent generator
+    (referencing no prior binder) becomes a [Source] joined in by [Product];
+    a dependent generator (a path into an earlier binding, e.g.
+    [c <- p.children]) becomes [Unnest]; filters become [Select]; bindings
+    become [Map]. The comprehension's accumulator becomes the top [Reduce].
+
+    Nested comprehensions remaining in the head or in predicates after
+    normalization are left in place; the engine runs them as correlated
+    subplans, and the optimizer may rewrite eligible ones into [Nest]. *)
+
+(** [plan_of_comp e] translates expression [e]. A non-comprehension
+    expression translates to [Reduce] over [Unit] via a degenerate bag
+    comprehension, so every query has a plan. The input should be
+    {!Vida_calculus.Rewrite.normalize}d first. *)
+val plan_of_comp : Vida_calculus.Expr.t -> Plan.t
+
+(** [query_to_plan src] parses, normalizes, and translates. *)
+val query_to_plan : string -> (Plan.t, string) result

@@ -1,0 +1,1 @@
+lib/baseline/colstore.ml: Array Bool Eval Expr Float Hashtbl List Monoid Plan Plan_interp Printf Schema String Ty Value Vida_algebra Vida_calculus Vida_data Vida_engine Vida_optimizer

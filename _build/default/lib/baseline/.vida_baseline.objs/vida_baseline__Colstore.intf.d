@@ -1,0 +1,1 @@
+lib/baseline/colstore.mli: Vida_algebra Vida_data

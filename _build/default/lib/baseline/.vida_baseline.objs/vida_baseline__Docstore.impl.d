@@ -1,0 +1,1 @@
+lib/baseline/docstore.ml: Hashtbl List Plan_interp Printf Semi_index String Value Vbson Vida_data Vida_engine Vida_raw Vida_storage

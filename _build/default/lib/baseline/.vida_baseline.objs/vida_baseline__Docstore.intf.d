@@ -1,0 +1,1 @@
+lib/baseline/docstore.mli: Vida_algebra Vida_data Vida_raw

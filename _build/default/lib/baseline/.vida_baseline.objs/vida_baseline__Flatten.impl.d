@@ -1,0 +1,1 @@
+lib/baseline/flatten.ml: Array Csv Fun Hashtbl List Schema Semi_index Ty Value Vida_data Vida_raw

@@ -1,0 +1,1 @@
+lib/baseline/flatten.mli: Vida_data Vida_raw

@@ -1,0 +1,1 @@
+lib/baseline/loader.ml: Array Colstore Csv Flatten List Option Positional_map Raw_buffer Rowstore Schema Ty Value Vida_data Vida_raw

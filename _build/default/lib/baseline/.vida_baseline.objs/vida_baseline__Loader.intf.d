@@ -1,0 +1,1 @@
+lib/baseline/loader.mli: Colstore Rowstore Vida_data Vida_raw

@@ -1,0 +1,1 @@
+lib/baseline/mediator.ml: Colstore Docstore Expr Hashtbl List Plan Plan_interp Printf Rowstore Value Vida_algebra Vida_calculus Vida_data Vida_engine Vida_optimizer Vida_storage

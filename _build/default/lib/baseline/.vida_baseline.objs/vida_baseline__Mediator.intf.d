@@ -1,0 +1,1 @@
+lib/baseline/mediator.mli: Colstore Docstore Rowstore Vida_algebra Vida_data

@@ -1,0 +1,1 @@
+lib/baseline/plan_interp.ml: Analysis Eval Expr Hashtbl List Monoid Plan Value Vida_algebra Vida_calculus Vida_data Vida_engine

@@ -1,0 +1,1 @@
+lib/baseline/plan_interp.mli: Vida_algebra Vida_data Vida_engine

@@ -1,0 +1,1 @@
+lib/baseline/rowstore.ml: Array Buffer Char Hashtbl List Plan_interp Printf Schema String Value Vbson Vida_data Vida_engine Vida_storage

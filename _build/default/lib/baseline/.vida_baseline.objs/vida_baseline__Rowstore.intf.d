@@ -1,0 +1,1 @@
+lib/baseline/rowstore.mli: Vida_algebra Vida_data

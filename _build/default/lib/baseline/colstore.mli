@@ -1,0 +1,37 @@
+(** The column-store baseline (MonetDB's role in the paper's Figure 5).
+
+    Data is loaded into typed column vectors (unboxed int/float arrays with
+    null bitmaps; strings and anything else boxed). Queries execute
+    column-at-a-time with selection vectors: simple predicates
+    ([column op constant]) are evaluated as tight loops over one column,
+    equi-joins hash int key columns directly, and aggregates fold a single
+    column under a selection vector — the late-materialization execution
+    model. Plans outside the vectorizable fragment fall back to
+    tuple-at-a-time interpretation over the columns (documented, and
+    exercised by tests). *)
+
+type t
+
+val create : unit -> t
+
+(** [create_table t ~name schema] prepares an empty table. *)
+val create_table : t -> name:string -> Vida_data.Schema.t -> unit
+
+(** [load t ~name rows] bulk-loads tuples (values in schema order),
+    building the typed columns.
+    @raise Invalid_argument on arity mismatch. *)
+val load : t -> name:string -> Vida_data.Value.t array list -> unit
+
+val row_count : t -> name:string -> int
+val table_schema : t -> name:string -> Vida_data.Schema.t
+val storage_bytes : t -> int
+val tables : t -> string list
+
+(** [run t plan] executes a plan; vectorized when the plan is a
+    [Reduce]/projection over selections and equi-joins of base tables,
+    interpreted otherwise. *)
+val run : t -> Vida_algebra.Plan.t -> Vida_data.Value.t
+
+(** [vectorized t plan] tells which path [run] takes (exposed for tests
+    and the benchmark report). *)
+val vectorized : t -> Vida_algebra.Plan.t -> bool

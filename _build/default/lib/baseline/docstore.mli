@@ -1,0 +1,31 @@
+(** The document-store baseline (MongoDB's role in the paper's Figure 5).
+
+    JSON documents are imported into binary-JSON (VBSON) collections —
+    paying the parse+encode import the paper measures, and exhibiting the
+    storage expansion it reports (the imported BrainRegions reached twice
+    the raw JSON's size). Queries scan a collection document-at-a-time,
+    decoding each document and interpreting predicates over it. *)
+
+type t
+
+val create : unit -> t
+
+(** [import_jsonl t ~name buf] parses a JSON-lines file and stores each
+    object as a VBSON document. Returns the number imported. *)
+val import_jsonl : t -> name:string -> Vida_raw.Raw_buffer.t -> int
+
+(** [insert t ~name doc] appends one document. *)
+val insert : t -> name:string -> Vida_data.Value.t -> unit
+
+val doc_count : t -> name:string -> int
+val collections : t -> string list
+
+(** Bytes of stored documents — the space-consumption experiment. *)
+val storage_bytes : t -> int
+
+(** [scan t ~name f] decodes every document in insertion order. *)
+val scan : t -> name:string -> (Vida_data.Value.t -> unit) -> unit
+
+(** [run t plan] executes a plan over this store's collections,
+    document-at-a-time. *)
+val run : t -> Vida_algebra.Plan.t -> Vida_data.Value.t

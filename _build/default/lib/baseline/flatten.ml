@@ -1,0 +1,125 @@
+open Vida_data
+open Vida_raw
+
+let is_record_list = function
+  | Value.List vs | Value.Bag vs ->
+    vs <> [] && List.for_all (function Value.Record _ -> true | _ -> false) vs
+  | _ -> false
+
+(* Flatten one value into scalar (column, value) pairs; nested records dot
+   their path. The first list-of-records encountered is returned separately
+   for explosion. *)
+let rec scalar_pairs ~sep prefix (v : Value.t) :
+    (string * Value.t) list * (string * Value.t list) option =
+  match v with
+  | Value.Record fields ->
+    List.fold_left
+      (fun (pairs, explode) (name, v) ->
+        let path = if prefix = "" then name else prefix ^ sep ^ name in
+        match v with
+        | Value.Record _ ->
+          let inner, inner_explode = scalar_pairs ~sep path v in
+          (pairs @ inner, if explode = None then inner_explode else explode)
+        | _ when is_record_list v && explode = None ->
+          (pairs, Some (path, Value.elements v))
+        | Value.List _ | Value.Bag _ | Value.Set _ | Value.Array _ ->
+          (* secondary collections become JSON text columns *)
+          (pairs @ [ (path, Value.String (Value.to_json v)) ], explode)
+        | scalar -> (pairs @ [ (path, scalar) ], explode))
+      ([], None) fields
+  | v -> ([ (prefix, v) ], None)
+
+let flatten_value ?(sep = ".") v =
+  let pairs, explode = scalar_pairs ~sep "" v in
+  match explode with
+  | None -> [ pairs ]
+  | Some (path, elements) ->
+    List.map
+      (fun element ->
+        let inner, nested = scalar_pairs ~sep path element in
+        (* nested explosions inside the exploded element are serialized *)
+        let inner =
+          match nested with
+          | None -> inner
+          | Some (p, vs) -> inner @ [ (p, Value.String (Value.to_json (Value.List vs))) ]
+        in
+        pairs @ inner)
+      elements
+
+let sniff_ty = function
+  | Value.Int _ -> Ty.Int
+  | Value.Float _ -> Ty.Float
+  | Value.Bool _ -> Ty.Bool
+  | Value.String _ -> Ty.String
+  | _ -> Ty.Any
+
+let widen a b =
+  match a, b with
+  | Ty.Any, t | t, Ty.Any -> t
+  | Ty.Int, Ty.Int -> Ty.Int
+  | (Ty.Int | Ty.Float), (Ty.Int | Ty.Float) -> Ty.Float
+  | Ty.Bool, Ty.Bool -> Ty.Bool
+  | _ -> Ty.String
+
+let columns_of_rows rows =
+  let order = ref [] in
+  let types : (string, Ty.t) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun (col, v) ->
+          match Hashtbl.find_opt types col with
+          | None ->
+            Hashtbl.replace types col (sniff_ty v);
+            order := col :: !order
+          | Some t -> Hashtbl.replace types col (widen t (sniff_ty v)))
+        row)
+    rows;
+  List.rev_map (fun col -> (col, Hashtbl.find types col)) !order
+
+let schema_of_jsonl ?(sep = ".") ?(sample = 200) buf =
+  let si = Semi_index.build buf in
+  let n = min sample (Semi_index.object_count si) in
+  let rows = ref [] in
+  for obj = 0 to n - 1 do
+    rows := flatten_value ~sep (Semi_index.object_value si obj) @ !rows
+  done;
+  Schema.of_pairs (columns_of_rows !rows)
+
+let flatten_jsonl ?(sep = ".") buf =
+  let si = Semi_index.build buf in
+  let n = Semi_index.object_count si in
+  let all_rows = ref [] in
+  for obj = n - 1 downto 0 do
+    all_rows := flatten_value ~sep (Semi_index.object_value si obj) @ !all_rows
+  done;
+  let schema = Schema.of_pairs (columns_of_rows !all_rows) in
+  let arity = Schema.arity schema in
+  let tuples =
+    List.map
+      (fun row ->
+        let tuple = Array.make arity Value.Null in
+        List.iter
+          (fun (col, v) ->
+            match Schema.index schema col with
+            | Some i -> tuple.(i) <- v
+            | None -> ())
+          row;
+        tuple)
+      !all_rows
+  in
+  (schema, tuples)
+
+let to_csv_file ?(sep = ".") buf ~path =
+  let schema, rows = flatten_jsonl ~sep buf in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Csv.write_header oc ~delim:',' (Schema.names schema);
+      List.iter
+        (fun tuple ->
+          Csv.write_row oc ~delim:','
+            (List.map Csv.render_value (Array.to_list tuple)))
+        rows);
+  schema

@@ -1,0 +1,31 @@
+(** JSON flattening for the single-warehouse pipeline (paper §6: "the
+    preparation phase of the RDBMS-only solution includes data flattening,
+    which is both time consuming and introduces additional redundancy").
+
+    Nested records flatten into dotted column names ([meta.src]); the
+    {e first} list-of-records field explodes into one output row per
+    element (duplicating every scalar — the redundancy the paper notes),
+    with its fields prefixed; any remaining nested value is serialized as a
+    JSON text column. Objects lacking a column yield NULL. *)
+
+(** [flatten_value v] flattens one object into rows of (column, value)
+    pairs. [sep] joins path components (default ["."]; use ["_"] when the
+    columns must be plain identifiers). *)
+val flatten_value :
+  ?sep:string -> Vida_data.Value.t -> (string * Vida_data.Value.t) list list
+
+(** [schema_of_jsonl buf ~sample] computes the union of flattened columns
+    over a sample, with sniffed types. *)
+val schema_of_jsonl :
+  ?sep:string -> ?sample:int -> Vida_raw.Raw_buffer.t -> Vida_data.Schema.t
+
+(** [flatten_jsonl buf] flattens a whole JSON-lines file into (schema,
+    rows); rows are in file × explosion order. *)
+val flatten_jsonl :
+  ?sep:string -> Vida_raw.Raw_buffer.t ->
+  Vida_data.Schema.t * Vida_data.Value.t array list
+
+(** [to_csv_file buf ~path] writes the flattened file as CSV (the
+    warehouse staging artifact); returns the schema. *)
+val to_csv_file :
+  ?sep:string -> Vida_raw.Raw_buffer.t -> path:string -> Vida_data.Schema.t

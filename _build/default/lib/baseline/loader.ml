@@ -1,0 +1,73 @@
+open Vida_data
+open Vida_raw
+
+let infer_schema ?(delim = ',') buf =
+  (* local inference (the baseline loaders do not depend on the catalog):
+     sample rows, sniff column types *)
+  let pm = Positional_map.build ~delim buf in
+  let names = Positional_map.column_names pm in
+  let n = min 100 (Positional_map.row_count pm) in
+  let sniff s =
+    if s = "" || s = "NULL" || s = "null" || s = "NA" then None
+    else if int_of_string_opt s <> None then Some Ty.Int
+    else if float_of_string_opt s <> None then Some Ty.Float
+    else if s = "true" || s = "false" then Some Ty.Bool
+    else Some Ty.String
+  in
+  let widen a b =
+    match a, b with
+    | None, t | t, None -> t
+    | Some Ty.Int, Some Ty.Int -> Some Ty.Int
+    | Some (Ty.Int | Ty.Float), Some (Ty.Int | Ty.Float) -> Some Ty.Float
+    | Some Ty.Bool, Some Ty.Bool -> Some Ty.Bool
+    | Some _, Some _ -> Some Ty.String
+  in
+  let types = Array.make (List.length names) None in
+  for row = 0 to n - 1 do
+    let start, stop = Positional_map.row_bounds pm row in
+    let fields = Csv.split_line ~delim (Raw_buffer.slice buf ~pos:start ~len:(stop - start)) in
+    List.iteri
+      (fun col s -> if col < Array.length types then types.(col) <- widen types.(col) (sniff s))
+      fields
+  done;
+  Schema.of_pairs
+    (List.mapi
+       (fun i name -> (name, Option.value types.(i) ~default:Ty.Any))
+       names)
+
+let csv_rows ?(delim = ',') ?schema buf =
+  let schema = match schema with Some s -> s | None -> infer_schema ~delim buf in
+  let pm = Positional_map.build ~delim buf in
+  let arity = Schema.arity schema in
+  let rows = ref [] in
+  for row = Positional_map.row_count pm - 1 downto 0 do
+    let start, stop = Positional_map.row_bounds pm row in
+    let fields = Csv.split_line ~delim (Raw_buffer.slice buf ~pos:start ~len:(stop - start)) in
+    let tuple = Array.make arity Value.Null in
+    List.iteri
+      (fun col s ->
+        if col < arity then tuple.(col) <- Csv.convert (Schema.attr schema col).Schema.ty s)
+      fields;
+    rows := tuple :: !rows
+  done;
+  (schema, !rows)
+
+let csv_into_rowstore store ~name ?schema buf =
+  let schema, rows = csv_rows ?schema buf in
+  Rowstore.create_table store ~name schema;
+  List.iter (fun row -> Rowstore.insert store ~name row) rows
+
+let csv_into_colstore store ~name ?schema buf =
+  let schema, rows = csv_rows ?schema buf in
+  Colstore.create_table store ~name schema;
+  Colstore.load store ~name rows
+
+let flattened_json_into_rowstore store ~name buf =
+  let schema, rows = Flatten.flatten_jsonl buf in
+  Rowstore.create_table store ~name schema;
+  List.iter (fun row -> Rowstore.insert store ~name row) rows
+
+let flattened_json_into_colstore store ~name buf =
+  let schema, rows = Flatten.flatten_jsonl buf in
+  Colstore.create_table store ~name schema;
+  Colstore.load store ~name rows

@@ -1,0 +1,24 @@
+(** Loading pipelines for the baseline stores — the "preparation phase" the
+    Figure 5 experiment times.
+
+    Loading fully parses the raw file (every field tokenized and converted,
+    unlike ViDa's lazy access) and writes it into the store's native
+    format. *)
+
+(** [csv_rows buf ?schema] fully parses a CSV file into typed tuples
+    (schema inferred when absent). *)
+val csv_rows :
+  ?delim:char -> ?schema:Vida_data.Schema.t -> Vida_raw.Raw_buffer.t ->
+  Vida_data.Schema.t * Vida_data.Value.t array list
+
+val csv_into_rowstore :
+  Rowstore.t -> name:string -> ?schema:Vida_data.Schema.t -> Vida_raw.Raw_buffer.t -> unit
+
+val csv_into_colstore :
+  Colstore.t -> name:string -> ?schema:Vida_data.Schema.t -> Vida_raw.Raw_buffer.t -> unit
+
+(** [flattened_json_into_rowstore] / [..._colstore] run the
+    flatten-then-load pipeline of the single-warehouse configurations. *)
+val flattened_json_into_rowstore : Rowstore.t -> name:string -> Vida_raw.Raw_buffer.t -> unit
+
+val flattened_json_into_colstore : Colstore.t -> name:string -> Vida_raw.Raw_buffer.t -> unit

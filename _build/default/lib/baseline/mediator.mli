@@ -1,0 +1,27 @@
+(** The integration layer over two systems (paper §6's
+    "Col.Store + Mongo" and "RowStore + Mongo" configurations).
+
+    Garlic-style wrapper architecture: every source is placed on exactly
+    one backend (the relational store or the document store); a query's
+    maximal single-source fragments ([Select*] over a [Source]) are pushed
+    down to the owning backend, results are {e shipped} through a wire
+    format (VBSON encode/decode per value — the conversion penalty an
+    integration layer pays on every query), and cross-system joins execute
+    in the mediator tuple-at-a-time. *)
+
+type relational = Row of Rowstore.t | Col of Colstore.t
+
+type t
+
+val create : relational -> Docstore.t -> t
+
+(** [place t ~source backend] routes [source] ([`Rel] or [`Doc]).
+    @raise Invalid_argument when the source is already placed. *)
+val place : t -> source:string -> [ `Rel | `Doc ] -> unit
+
+(** Count of values shipped through the wire format since creation (the
+    integration overhead metric printed by the benchmarks). *)
+val shipped_values : t -> int
+
+(** [run t plan] executes the query across both systems. *)
+val run : t -> Vida_algebra.Plan.t -> Vida_data.Value.t

@@ -1,0 +1,17 @@
+(** Shared tuple-at-a-time plan executor for the baseline systems.
+
+    Volcano-style execution over name→value environments with interpreted
+    scalar evaluation — the classical engine architecture all three
+    baseline stores share (their differences live in storage layout and
+    scan implementation, which the [resolve] callback supplies). Hash joins
+    on equality conjuncts, grouped [Nest], three-valued filters. *)
+
+(** [run ~resolve plan] executes [plan]. [resolve name ~need consumer] must
+    stream the elements of source [name]; [need] is the projection hint
+    (stores that can, read less).
+    @raise Invalid_argument on an unknown source (propagated from
+    [resolve]). *)
+val run :
+  resolve:
+    (string -> need:Vida_engine.Analysis.need -> (Vida_data.Value.t -> unit) -> unit) ->
+  Vida_algebra.Plan.t -> Vida_data.Value.t

@@ -1,0 +1,43 @@
+(** The row-store baseline (PostgreSQL's role in the paper's Figure 5).
+
+    Architecture mirrored: data must be {e loaded} before querying — tuples
+    are serialized into 8 KB slotted heap pages; relations wider than the
+    attribute limit (250, as the paper notes for PostgreSQL) are vertically
+    partitioned into sibling partitions sharing row order; queries run
+    Volcano-style, deserializing whole partition-rows and interpreting
+    predicates tuple at a time. Only partitions containing referenced
+    attributes are read. *)
+
+type t
+
+val create : unit -> t
+
+(** [attribute_limit] — maximum attributes per partition (250). *)
+val attribute_limit : int
+
+(** [create_table t ~name schema] prepares a (possibly partitioned)
+    table.
+    @raise Invalid_argument when [name] exists. *)
+val create_table : t -> name:string -> Vida_data.Schema.t -> unit
+
+(** [insert t ~name tuple] appends one tuple (values in schema order). *)
+val insert : t -> name:string -> Vida_data.Value.t array -> unit
+
+val row_count : t -> name:string -> int
+val table_schema : t -> name:string -> Vida_data.Schema.t
+val partitions : t -> name:string -> int
+val tables : t -> string list
+
+(** Total bytes of page storage, for the space-consumption experiment. *)
+val storage_bytes : t -> int
+
+(** [scan t ~name ~fields f] iterates rows, deserializing the partitions
+    that hold [fields] (all partitions when [fields] is [None]) and calling
+    [f] with a record of the requested fields. *)
+val scan :
+  t -> name:string -> fields:string list option -> (Vida_data.Value.t -> unit) -> unit
+
+(** [run t plan] executes an algebra plan against the store's tables,
+    Volcano-style (hash joins, tuple-at-a-time interpretation). Source
+    expressions must be registered table names. *)
+val run : t -> Vida_algebra.Plan.t -> Vida_data.Value.t

@@ -1,0 +1,1 @@
+lib/calculus/eval.ml: Expr Format List Map Monoid String Value Vida_data

@@ -1,0 +1,1 @@
+lib/calculus/eval.mli: Expr Vida_data

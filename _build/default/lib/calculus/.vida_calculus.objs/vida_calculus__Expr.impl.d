@@ -1,0 +1,1 @@
+lib/calculus/expr.ml: Format List Monoid Printf Set String Vida_data

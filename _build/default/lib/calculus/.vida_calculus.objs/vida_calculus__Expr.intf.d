@@ -1,0 +1,1 @@
+lib/calculus/expr.mli: Format Monoid Vida_data

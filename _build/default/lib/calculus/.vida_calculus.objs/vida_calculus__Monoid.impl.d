@@ -1,0 +1,1 @@
+lib/calculus/monoid.ml: Array Format List Printf Ty Value Vida_data

@@ -1,0 +1,1 @@
+lib/calculus/monoid.mli: Format Vida_data

@@ -1,0 +1,1 @@
+lib/calculus/parser.ml: Buffer Expr Format List Monoid Printf String Ty Vida_data

@@ -1,0 +1,1 @@
+lib/calculus/rewrite.ml: Eval Expr Format List Monoid String Ty Value Vida_data

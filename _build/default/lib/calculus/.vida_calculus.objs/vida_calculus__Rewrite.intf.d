@@ -1,0 +1,1 @@
+lib/calculus/rewrite.mli: Expr

@@ -1,0 +1,1 @@
+lib/calculus/typecheck.ml: Expr Format List Map Monoid Result String Ty Value Vida_data

@@ -1,0 +1,1 @@
+lib/calculus/typecheck.mli: Expr Format Vida_data

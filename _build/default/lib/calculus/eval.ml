@@ -1,0 +1,154 @@
+open Vida_data
+
+module Env = Map.Make (String)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Denotations: the calculus has first-class functions (Table 1) but they may
+   not escape to results; [Fn] is internal to evaluation. *)
+type denot = V of Value.t | Fn of (denot -> denot)
+
+type env = denot Env.t
+
+let empty_env = Env.empty
+let bind x v env = Env.add x (V v) env
+let env_of_list l = List.fold_left (fun env (x, v) -> bind x v env) empty_env l
+
+let value = function
+  | V v -> v
+  | Fn _ -> error "function value where a data value was expected"
+
+let eval_binop (op : Expr.binop) a b =
+  let open Value in
+  let numeric fint ffloat =
+    match a, b with
+    | Null, _ | _, Null -> Null
+    | Int x, Int y -> Int (fint x y)
+    | (Int _ | Float _), (Int _ | Float _) -> Float (ffloat (to_float a) (to_float b))
+    | _ -> error "arithmetic on non-numeric values %s, %s" (to_string a) (to_string b)
+  in
+  let cmp f =
+    match a, b with Null, _ | _, Null -> Null | _ -> Bool (f (compare a b) 0)
+  in
+  match op with
+  | Expr.Eq -> cmp ( = )
+  | Expr.Neq -> cmp ( <> )
+  | Expr.Lt -> cmp ( < )
+  | Expr.Le -> cmp ( <= )
+  | Expr.Gt -> cmp ( > )
+  | Expr.Ge -> cmp ( >= )
+  | Expr.Add -> numeric ( + ) ( +. )
+  | Expr.Sub -> numeric ( - ) ( -. )
+  | Expr.Mul -> numeric ( * ) ( *. )
+  | Expr.Div -> (
+    match a, b with
+    | Null, _ | _, Null -> Null
+    | _, Int 0 -> error "integer division by zero"
+    | Int x, Int y -> Int (x / y)
+    | (Int _ | Float _), (Int _ | Float _) -> Float (to_float a /. to_float b)
+    | _ -> error "division on non-numeric values")
+  | Expr.Mod -> (
+    match a, b with
+    | Null, _ | _, Null -> Null
+    | _, Int 0 -> error "modulo by zero"
+    | Int x, Int y -> Int (x mod y)
+    | _ -> error "modulo on non-integer values")
+  | Expr.And -> (
+    (* three-valued logic: false ∧ x = false, true ∧ null = null *)
+    match a, b with
+    | Bool false, _ | _, Bool false -> Bool false
+    | Null, _ | _, Null -> Null
+    | Bool x, Bool y -> Bool (x && y)
+    | _ -> error "'and' on non-boolean values")
+  | Expr.Or -> (
+    match a, b with
+    | Bool true, _ | _, Bool true -> Bool true
+    | Null, _ | _, Null -> Null
+    | Bool x, Bool y -> Bool (x || y)
+    | _ -> error "'or' on non-boolean values")
+  | Expr.Concat -> (
+    match a, b with
+    | Null, _ | _, Null -> Null
+    | String x, String y -> String (x ^ y)
+    | _ -> error "'^' on non-string values")
+
+let eval_unop (op : Expr.unop) v =
+  let open Value in
+  match op, v with
+  | _, Null -> Null
+  | Expr.Not, Bool b -> Bool (not b)
+  | Expr.Not, _ -> error "'not' on non-boolean value"
+  | Expr.Neg, Int i -> Int (-i)
+  | Expr.Neg, Float f -> Float (-.f)
+  | Expr.Neg, _ -> error "negation of non-numeric value"
+
+let truthy = function
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | v -> error "predicate evaluated to non-boolean %s" (Value.to_string v)
+
+let rec eval_d env (e : Expr.t) : denot =
+  match e with
+  | Expr.Const v -> V v
+  | Expr.Var x -> (
+    match Env.find_opt x env with
+    | Some d -> d
+    | None -> error "unbound variable %s" x)
+  | Expr.Proj (e, a) -> (
+    match value (eval_d env e) with
+    | Value.Null -> V Value.Null
+    | Value.Record _ as r -> (
+      (* semi-structured sources make absent fields ordinary: project NULL *)
+      match Value.field_opt r a with
+      | Some v -> V v
+      | None -> V Value.Null)
+    | v -> error "projection .%s from non-record %s" a (Value.to_string v))
+  | Expr.Record fields ->
+    V (Value.Record (List.map (fun (n, e) -> (n, value (eval_d env e))) fields))
+  | Expr.If (c, t, f) -> (
+    match value (eval_d env c) with
+    | Value.Bool true -> eval_d env t
+    | Value.Bool false | Value.Null -> eval_d env f
+    | v -> error "if condition evaluated to %s" (Value.to_string v))
+  | Expr.BinOp (op, a, b) ->
+    V (eval_binop op (value (eval_d env a)) (value (eval_d env b)))
+  | Expr.UnOp (op, e) -> V (eval_unop op (value (eval_d env e)))
+  | Expr.Lambda (x, body) -> Fn (fun arg -> eval_d (Env.add x arg env) body)
+  | Expr.Apply (f, a) -> (
+    match eval_d env f with
+    | Fn fn -> fn (eval_d env a)
+    | V v -> error "application of non-function %s" (Value.to_string v))
+  | Expr.Zero m -> V (Monoid.zero m)
+  | Expr.Singleton (m, e) -> V (Monoid.unit m (value (eval_d env e)))
+  | Expr.Merge (m, a, b) ->
+    V (Monoid.merge m (value (eval_d env a)) (value (eval_d env b)))
+  | Expr.Index (e, idxs) ->
+    let arr = value (eval_d env e) in
+    let idxs = List.map (fun i -> Value.to_int (value (eval_d env i))) idxs in
+    if arr = Value.Null then V Value.Null else V (Value.array_get arr idxs)
+  | Expr.Comp (m, head, quals) ->
+    (* Accumulate over the cross-product of generator bindings, left to
+       right; merge order follows generator order so list/array results are
+       deterministic. *)
+    let acc = ref (Monoid.zero m) in
+    let rec go env = function
+      | [] -> acc := Monoid.merge m !acc (Monoid.unit m (value (eval_d env head)))
+      | Expr.Pred p :: rest ->
+        if truthy (value (eval_d env p)) then go env rest
+      | Expr.Bind (x, e) :: rest -> go (Env.add x (eval_d env e) env) rest
+      | Expr.Gen (x, e) :: rest ->
+        let coll = value (eval_d env e) in
+        (match coll with
+        | Value.Null -> () (* generating from null yields nothing *)
+        | Value.List _ | Value.Bag _ | Value.Set _ | Value.Array _ ->
+          List.iter
+            (fun v -> go (Env.add x (V v) env) rest)
+            (Value.elements coll)
+        | v -> error "generator over non-collection %s" (Value.to_string v))
+    in
+    go env quals;
+    V (Monoid.finalize m !acc)
+
+and eval env e = value (eval_d env e)

@@ -1,0 +1,37 @@
+(** Reference interpreter for the comprehension calculus.
+
+    Direct, unoptimized denotational evaluation — the executable semantics of
+    the language. The JIT engine ({!Vida_engine}) and the optimizer's
+    rewrites are differentially tested against this interpreter: for every
+    query, [eval] of the original expression must agree with the engine's
+    result on the normalized/translated plan.
+
+    Null semantics: arithmetic, comparison and projection propagate [Null];
+    projecting a field a record does not have is [Null] (semi-structured
+    sources make absent fields ordinary); a filter qualifier whose predicate
+    evaluates to [Null] rejects the binding (SQL-style three-valued truth
+    collapsed at the filter). *)
+
+type env
+
+val empty_env : env
+val bind : string -> Vida_data.Value.t -> env -> env
+val env_of_list : (string * Vida_data.Value.t) list -> env
+
+exception Error of string
+
+(** [eval env e] evaluates [e] under [env].
+    @raise Error on unbound variables, carrier mismatches, or if the result
+    is a function. *)
+val eval : env -> Expr.t -> Vida_data.Value.t
+
+(** [eval_binop op a b] exposes the scalar semantics reused by the engine's
+    compiled expressions (null propagation included). *)
+val eval_binop : Expr.binop -> Vida_data.Value.t -> Vida_data.Value.t -> Vida_data.Value.t
+
+val eval_unop : Expr.unop -> Vida_data.Value.t -> Vida_data.Value.t
+
+(** [truthy v] is the filter interpretation of a predicate result: [Bool
+    true] accepts, [Bool false] and [Null] reject.
+    @raise Error on any other value. *)
+val truthy : Vida_data.Value.t -> bool

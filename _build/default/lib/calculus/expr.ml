@@ -1,0 +1,214 @@
+type binop =
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | Add | Sub | Mul | Div | Mod
+  | And | Or
+  | Concat
+
+type unop = Not | Neg
+
+type t =
+  | Const of Vida_data.Value.t
+  | Var of string
+  | Proj of t * string
+  | Record of (string * t) list
+  | If of t * t * t
+  | BinOp of binop * t * t
+  | UnOp of unop * t
+  | Lambda of string * t
+  | Apply of t * t
+  | Zero of Monoid.t
+  | Singleton of Monoid.t * t
+  | Merge of Monoid.t * t * t
+  | Comp of Monoid.t * t * qualifier list
+  | Index of t * t list
+
+and qualifier = Gen of string * t | Pred of t | Bind of string * t
+
+let null = Const Vida_data.Value.Null
+let bool b = Const (Vida_data.Value.Bool b)
+let int i = Const (Vida_data.Value.Int i)
+let float f = Const (Vida_data.Value.Float f)
+let string s = Const (Vida_data.Value.String s)
+
+module Sset = Set.Make (String)
+
+let rec fv = function
+  | Const _ | Zero _ -> Sset.empty
+  | Var v -> Sset.singleton v
+  | Proj (e, _) | UnOp (_, e) | Singleton (_, e) -> fv e
+  | Record fields ->
+    List.fold_left (fun acc (_, e) -> Sset.union acc (fv e)) Sset.empty fields
+  | If (a, b, c) -> Sset.union (fv a) (Sset.union (fv b) (fv c))
+  | BinOp (_, a, b) | Apply (a, b) | Merge (_, a, b) -> Sset.union (fv a) (fv b)
+  | Lambda (v, e) -> Sset.remove v (fv e)
+  | Comp (_, head, quals) ->
+    (* qualifiers bind left to right; Gen/Bind variables scope over the rest
+       of the qualifier list and the head *)
+    let rec go bound acc = function
+      | [] -> Sset.union acc (Sset.diff (fv head) bound)
+      | Gen (v, e) :: rest | Bind (v, e) :: rest ->
+        go (Sset.add v bound) (Sset.union acc (Sset.diff (fv e) bound)) rest
+      | Pred e :: rest -> go bound (Sset.union acc (Sset.diff (fv e) bound)) rest
+    in
+    go Sset.empty Sset.empty quals
+  | Index (e, idxs) ->
+    List.fold_left (fun acc i -> Sset.union acc (fv i)) (fv e) idxs
+
+let free_vars e = Sset.elements (fv e)
+
+let fresh_counter = ref 0
+
+let fresh_var hint =
+  incr fresh_counter;
+  Printf.sprintf "%s$%d" hint !fresh_counter
+
+let rec subst x r e =
+  let s = subst x r in
+  match e with
+  | Const _ | Zero _ -> e
+  | Var v -> if String.equal v x then r else e
+  | Proj (e, a) -> Proj (s e, a)
+  | Record fields -> Record (List.map (fun (n, e) -> (n, s e)) fields)
+  | If (a, b, c) -> If (s a, s b, s c)
+  | BinOp (op, a, b) -> BinOp (op, s a, s b)
+  | UnOp (op, e) -> UnOp (op, s e)
+  | Apply (a, b) -> Apply (s a, s b)
+  | Singleton (m, e) -> Singleton (m, s e)
+  | Merge (m, a, b) -> Merge (m, s a, s b)
+  | Index (e, idxs) -> Index (s e, List.map s idxs)
+  | Lambda (v, body) ->
+    if String.equal v x then e
+    else if Sset.mem v (fv r) then (
+      let v' = fresh_var v in
+      Lambda (v', s (subst v (Var v') body)))
+    else Lambda (v, s body)
+  | Comp (m, head, quals) ->
+    (* Qualifier variables bind the rest of the qualifier list and the head.
+       [go head quals] substitutes [r] for [x] and returns the rewritten
+       (head, qualifiers); when [x] is shadowed by a qualifier the remainder
+       is left untouched. *)
+    let rec go head = function
+      | [] -> (s head, [])
+      | Pred e :: rest ->
+        let head', rest' = go head rest in
+        (head', Pred (s e) :: rest')
+      | Gen (v, e) :: rest -> binder head v e rest (fun v e rest -> Gen (v, e) :: rest)
+      | Bind (v, e) :: rest -> binder head v e rest (fun v e rest -> Bind (v, e) :: rest)
+    and binder head v e rest rebuild =
+      let e' = s e in
+      if String.equal v x then (head, rebuild v e' rest)
+      else if Sset.mem v (fv r) then (
+        let v' = fresh_var v in
+        let head', rest' = go (subst v (Var v') head) (rename_quals v v' rest) in
+        (head', rebuild v' e' rest'))
+      else
+        let head', rest' = go head rest in
+        (head', rebuild v e' rest')
+    in
+    let head', quals' = go head quals in
+    Comp (m, head', quals')
+
+and rename_quals v v' quals =
+  List.map
+    (function
+      | Gen (w, e) -> Gen ((if String.equal w v then v' else w), subst v (Var v') e)
+      | Bind (w, e) -> Bind ((if String.equal w v then v' else w), subst v (Var v') e)
+      | Pred e -> Pred (subst v (Var v') e))
+    quals
+
+let rec equal a b =
+  match a, b with
+  | Const x, Const y -> Vida_data.Value.equal x y
+  | Var x, Var y -> String.equal x y
+  | Proj (e, a'), Proj (f, b') -> String.equal a' b' && equal e f
+  | Record xs, Record ys ->
+    List.length xs = List.length ys
+    && List.for_all2 (fun (n, e) (m, f) -> String.equal n m && equal e f) xs ys
+  | If (a1, b1, c1), If (a2, b2, c2) -> equal a1 a2 && equal b1 b2 && equal c1 c2
+  | BinOp (o1, a1, b1), BinOp (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | UnOp (o1, e), UnOp (o2, f) -> o1 = o2 && equal e f
+  | Lambda (v, e), Lambda (w, f) -> String.equal v w && equal e f
+  | Apply (a1, b1), Apply (a2, b2) -> equal a1 a2 && equal b1 b2
+  | Zero m, Zero n -> Monoid.equal m n
+  | Singleton (m, e), Singleton (n, f) -> Monoid.equal m n && equal e f
+  | Merge (m, a1, b1), Merge (n, a2, b2) -> Monoid.equal m n && equal a1 a2 && equal b1 b2
+  | Comp (m, h1, q1), Comp (n, h2, q2) ->
+    Monoid.equal m n && equal h1 h2
+    && List.length q1 = List.length q2
+    && List.for_all2 equal_qual q1 q2
+  | Index (e, i1), Index (f, i2) ->
+    equal e f && List.length i1 = List.length i2 && List.for_all2 equal i1 i2
+  | _ -> false
+
+and equal_qual a b =
+  match a, b with
+  | Gen (v, e), Gen (w, f) | Bind (v, e), Bind (w, f) -> String.equal v w && equal e f
+  | Pred e, Pred f -> equal e f
+  | _ -> false
+
+let rec size = function
+  | Const _ | Var _ | Zero _ -> 1
+  | Proj (e, _) | UnOp (_, e) | Singleton (_, e) | Lambda (_, e) -> 1 + size e
+  | Record fields -> List.fold_left (fun acc (_, e) -> acc + size e) 1 fields
+  | If (a, b, c) -> 1 + size a + size b + size c
+  | BinOp (_, a, b) | Apply (a, b) | Merge (_, a, b) -> 1 + size a + size b
+  | Comp (_, head, quals) ->
+    List.fold_left
+      (fun acc q ->
+        acc + match q with Gen (_, e) | Bind (_, e) | Pred e -> size e)
+      (1 + size head) quals
+  | Index (e, idxs) -> List.fold_left (fun acc i -> acc + size i) (1 + size e) idxs
+
+let binop_name = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | And -> "and"
+  | Or -> "or"
+  | Concat -> "^"
+
+let pp_sep ppf () = Format.fprintf ppf ", "
+
+let rec pp ppf = function
+  | Const v -> Vida_data.Value.pp ppf v
+  | Var v -> Format.pp_print_string ppf v
+  | Proj (e, a) -> Format.fprintf ppf "%a.%s" pp_atom e a
+  | Record fields ->
+    let pp_field ppf (n, e) = Format.fprintf ppf "%s := %a" n pp e in
+    Format.fprintf ppf "(%a)" (Format.pp_print_list ~pp_sep pp_field) fields
+  | If (c, t, e) -> Format.fprintf ppf "if %a then %a else %a" pp c pp t pp e
+  | BinOp (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp a (binop_name op) pp b
+  | UnOp (Not, e) -> Format.fprintf ppf "not %a" pp_atom e
+  | UnOp (Neg, e) -> Format.fprintf ppf "-%a" pp_atom e
+  | Lambda (v, e) -> Format.fprintf ppf "\\%s. %a" v pp e
+  | Apply (f, a) -> Format.fprintf ppf "%a(%a)" pp_atom f pp a
+  | Zero m -> Format.fprintf ppf "zero[%a]" Monoid.pp m
+  | Singleton (m, e) -> Format.fprintf ppf "unit[%a](%a)" Monoid.pp m pp e
+  | Merge (m, a, b) -> Format.fprintf ppf "(%a merge[%a] %a)" pp a Monoid.pp m pp b
+  | Comp (m, head, quals) ->
+    Format.fprintf ppf "for {%a} yield %a %a"
+      (Format.pp_print_list ~pp_sep pp_qualifier)
+      quals Monoid.pp m pp head
+  | Index (e, idxs) ->
+    Format.fprintf ppf "%a[%a]" pp_atom e (Format.pp_print_list ~pp_sep pp) idxs
+
+and pp_atom ppf e =
+  match e with
+  | Const _ | Var _ | Record _ | Proj _ | Index _ -> pp ppf e
+  | _ -> Format.fprintf ppf "(%a)" pp e
+
+and pp_qualifier ppf = function
+  | Gen (v, e) -> Format.fprintf ppf "%s <- %a" v pp e
+  | Pred e -> pp ppf e
+  | Bind (v, e) -> Format.fprintf ppf "%s := %a" v pp e
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,63 @@
+(** Abstract syntax of the monoid comprehension calculus (paper Table 1).
+
+    The surface syntax is [for { q1, ..., qn } yield m e] (paper §3.2); this
+    module is the underlying term language: constants, variables, record
+    construction/projection, conditionals, primitive binary functions,
+    function abstraction/application, monoid zero/singleton/merge, and
+    comprehensions. Array indexing is added as an extension for the array
+    sources ViDa targets. *)
+
+type binop =
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | Add | Sub | Mul | Div | Mod
+  | And | Or
+  | Concat  (** string concatenation *)
+
+type unop = Not | Neg
+
+type t =
+  | Const of Vida_data.Value.t  (** includes NULL and all literals *)
+  | Var of string
+  | Proj of t * string  (** e.A *)
+  | Record of (string * t) list  (** ⟨A1 = e1, ..., An = en⟩ *)
+  | If of t * t * t
+  | BinOp of binop * t * t
+  | UnOp of unop * t
+  | Lambda of string * t  (** λv.e *)
+  | Apply of t * t
+  | Zero of Monoid.t  (** Z⊕ *)
+  | Singleton of Monoid.t * t  (** U⊕(e) *)
+  | Merge of Monoid.t * t * t  (** e1 ⊕ e2 *)
+  | Comp of Monoid.t * t * qualifier list  (** ⊕{ e | q1, ..., qn } *)
+  | Index of t * t list  (** e[i1, ..., ik]: array access extension *)
+
+and qualifier =
+  | Gen of string * t  (** v <- e *)
+  | Pred of t  (** filter *)
+  | Bind of string * t  (** v := e, let-style binding *)
+
+val null : t
+val bool : bool -> t
+val int : int -> t
+val float : float -> t
+val string : string -> t
+
+(** [free_vars e] is the set of free variables of [e]. *)
+val free_vars : t -> string list
+
+(** [subst x r e] substitutes [r] for free occurrences of [x] in [e],
+    renaming bound variables to avoid capture. *)
+val subst : string -> t -> t -> t
+
+(** [fresh_var hint] generates a globally fresh variable name. *)
+val fresh_var : string -> string
+
+val equal : t -> t -> bool
+
+(** [size e] is the number of AST nodes, used to bound rewriting. *)
+val size : t -> int
+
+val binop_name : binop -> string
+val pp : Format.formatter -> t -> unit
+val pp_qualifier : Format.formatter -> qualifier -> unit
+val to_string : t -> string

@@ -1,0 +1,504 @@
+open Vida_data
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | KW of string  (* for yield if then else true false null not and or merge zero unit *)
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | LBAGBRACE | RBAGBRACE  (* {| |} *)
+  | COMMA | DOT
+  | ARROW  (* <- *)
+  | ASSIGN  (* := *)
+  | EQ | NEQ | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | SLASH | PERCENT | CARET
+  | BACKSLASH
+  | EOF
+
+let keywords =
+  [ "for"; "yield"; "if"; "then"; "else"; "true"; "false"; "null"; "not";
+    "and"; "or"; "merge"; "zero"; "unit" ]
+
+exception Parse_error of string
+
+let fail_at line col fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (Printf.sprintf "%d:%d: %s" line col s))) fmt
+
+(* --- Lexer --- *)
+
+type lexer = { src : string; mutable pos : int; mutable line : int; mutable bol : int }
+
+let col lx = lx.pos - lx.bol + 1
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.bol <- lx.pos + 1
+  | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '$'
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_ws lx
+  | Some '#' ->
+    (* line comment *)
+    while peek_char lx <> None && peek_char lx <> Some '\n' do
+      advance lx
+    done;
+    skip_ws lx
+  | _ -> ()
+
+let lex_string lx =
+  let buf = Buffer.create 16 in
+  advance lx;
+  (* opening quote *)
+  let rec go () =
+    match peek_char lx with
+    | None -> fail_at lx.line (col lx) "unterminated string literal"
+    | Some '"' -> advance lx
+    | Some '\\' ->
+      advance lx;
+      (match peek_char lx with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | _ -> fail_at lx.line (col lx) "bad escape in string literal");
+      advance lx;
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance lx;
+      go ()
+  in
+  go ();
+  STRING (Buffer.contents buf)
+
+let lex_number lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_digit c | None -> false) do
+    advance lx
+  done;
+  let is_float =
+    match peek_char lx with
+    | Some '.' when lx.pos + 1 < String.length lx.src && is_digit lx.src.[lx.pos + 1] ->
+      advance lx;
+      while (match peek_char lx with Some c -> is_digit c | None -> false) do
+        advance lx
+      done;
+      true
+    | _ -> false
+  in
+  let is_float =
+    match peek_char lx with
+    | Some ('e' | 'E') ->
+      advance lx;
+      (match peek_char lx with Some ('+' | '-') -> advance lx | _ -> ());
+      while (match peek_char lx with Some c -> is_digit c | None -> false) do
+        advance lx
+      done;
+      true
+    | _ -> is_float
+  in
+  let text = String.sub lx.src start (lx.pos - start) in
+  if is_float then FLOAT (float_of_string text) else INT (int_of_string text)
+
+let next_token lx =
+  skip_ws lx;
+  let line = lx.line and c0 = col lx in
+  match peek_char lx with
+  | None -> (EOF, line, c0)
+  | Some c ->
+    let tok =
+      if is_digit c then lex_number lx
+      else if is_ident_start c then (
+        let start = lx.pos in
+        while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+          advance lx
+        done;
+        let word = String.sub lx.src start (lx.pos - start) in
+        if List.mem word keywords then KW word else IDENT word)
+      else
+        match c with
+        | '"' -> lex_string lx
+        | '{' ->
+          advance lx;
+          if peek_char lx = Some '|' then (advance lx; LBAGBRACE) else LBRACE
+        | '|' ->
+          advance lx;
+          if peek_char lx = Some '}' then (advance lx; RBAGBRACE)
+          else fail_at line c0 "unexpected '|'"
+        | '}' -> advance lx; RBRACE
+        | '(' -> advance lx; LPAREN
+        | ')' -> advance lx; RPAREN
+        | '[' -> advance lx; LBRACKET
+        | ']' -> advance lx; RBRACKET
+        | ',' -> advance lx; COMMA
+        | '.' -> advance lx; DOT
+        | '\\' -> advance lx; BACKSLASH
+        | '+' -> advance lx; PLUS
+        | '-' -> advance lx; MINUS
+        | '*' -> advance lx; STAR
+        | '/' -> advance lx; SLASH
+        | '%' -> advance lx; PERCENT
+        | '^' -> advance lx; CARET
+        | '=' -> advance lx; EQ
+        | '!' ->
+          advance lx;
+          if peek_char lx = Some '=' then (advance lx; NEQ)
+          else fail_at line c0 "unexpected '!'"
+        | '<' ->
+          advance lx;
+          (match peek_char lx with
+          | Some '-' -> advance lx; ARROW
+          | Some '=' -> advance lx; LE
+          | _ -> LT)
+        | '>' ->
+          advance lx;
+          if peek_char lx = Some '=' then (advance lx; GE) else GT
+        | ':' ->
+          advance lx;
+          if peek_char lx = Some '=' then (advance lx; ASSIGN)
+          else fail_at line c0 "unexpected ':'"
+        | c -> fail_at line c0 "unexpected character %C" c
+    in
+    (tok, line, c0)
+
+(* --- Parser --- *)
+
+type parser_state = {
+  mutable tok : token;
+  mutable tline : int;
+  mutable tcol : int;
+  lx : lexer;
+}
+
+let shift ps =
+  let tok, line, c = next_token ps.lx in
+  ps.tok <- tok;
+  ps.tline <- line;
+  ps.tcol <- c
+
+let fail ps fmt = fail_at ps.tline ps.tcol fmt
+
+let expect ps tok what =
+  if ps.tok = tok then shift ps else fail ps "expected %s" what
+
+let expect_kw ps kw =
+  match ps.tok with
+  | KW w when String.equal w kw -> shift ps
+  | _ -> fail ps "expected keyword '%s'" kw
+
+let parse_monoid_name ps =
+  match ps.tok with
+  | IDENT ("top" | "bottom") ->
+    let largest = (match ps.tok with IDENT "top" -> true | _ -> false) in
+    shift ps;
+    expect ps LPAREN "'(' after top/bottom";
+    let k =
+      match ps.tok with
+      | INT k when k > 0 -> shift ps; k
+      | _ -> fail ps "expected a positive k"
+    in
+    expect ps RPAREN "')'";
+    if largest then Monoid.Prim (Monoid.Top k) else Monoid.Prim (Monoid.Bottom k)
+  | IDENT name | KW name -> (
+    match Monoid.of_name name with
+    | Some m -> shift ps; m
+    | None -> fail ps "unknown monoid %S" name)
+  | _ -> fail ps "expected a monoid name"
+
+let bracketed_monoid ps =
+  expect ps LBRACKET "'['";
+  let m = parse_monoid_name ps in
+  expect ps RBRACKET "']'";
+  m
+
+let rec parse_expr ps : Expr.t =
+  match ps.tok with
+  | KW "for" ->
+    shift ps;
+    expect ps LBRACE "'{'";
+    let quals = parse_qualifiers ps in
+    expect ps RBRACE "'}'";
+    expect_kw ps "yield";
+    let m = parse_monoid_name ps in
+    let head = parse_expr ps in
+    Expr.Comp (m, head, quals)
+  | KW "if" ->
+    shift ps;
+    let c = parse_expr ps in
+    expect_kw ps "then";
+    let t = parse_expr ps in
+    expect_kw ps "else";
+    let e = parse_expr ps in
+    Expr.If (c, t, e)
+  | BACKSLASH ->
+    shift ps;
+    let v = parse_ident ps in
+    expect ps DOT "'.'";
+    let body = parse_expr ps in
+    Expr.Lambda (v, body)
+  | _ -> parse_merge ps
+
+and parse_ident ps =
+  match ps.tok with
+  | IDENT v -> shift ps; v
+  | _ -> fail ps "expected an identifier"
+
+and parse_qualifiers ps =
+  let rec go acc =
+    let q = parse_qualifier ps in
+    if ps.tok = COMMA then (shift ps; go (q :: acc)) else List.rev (q :: acc)
+  in
+  go []
+
+and parse_qualifier ps =
+  match ps.tok with
+  | IDENT v ->
+    (* lookahead: IDENT <- e, IDENT := e, or an expression starting with IDENT *)
+    let saved_pos = ps.lx.pos and saved_line = ps.lx.line and saved_bol = ps.lx.bol in
+    let saved = (ps.tok, ps.tline, ps.tcol) in
+    shift ps;
+    (match ps.tok with
+    | ARROW ->
+      shift ps;
+      Expr.Gen (v, parse_expr ps)
+    | ASSIGN ->
+      shift ps;
+      Expr.Bind (v, parse_expr ps)
+    | _ ->
+      (* rewind and parse as a predicate expression *)
+      ps.lx.pos <- saved_pos;
+      ps.lx.line <- saved_line;
+      ps.lx.bol <- saved_bol;
+      let tok, line, c = saved in
+      ps.tok <- tok;
+      ps.tline <- line;
+      ps.tcol <- c;
+      Expr.Pred (parse_expr ps))
+  | _ -> Expr.Pred (parse_expr ps)
+
+and parse_merge ps =
+  let lhs = parse_or ps in
+  match ps.tok with
+  | KW "merge" ->
+    shift ps;
+    let m = bracketed_monoid ps in
+    (* the right operand may itself be a comprehension or conditional *)
+    let rhs = parse_expr ps in
+    Expr.Merge (m, lhs, rhs)
+  | _ -> lhs
+
+and parse_or ps =
+  let lhs = parse_and ps in
+  match ps.tok with
+  | KW "or" ->
+    shift ps;
+    Expr.BinOp (Expr.Or, lhs, parse_or ps)
+  | _ -> lhs
+
+and parse_and ps =
+  let lhs = parse_cmp ps in
+  match ps.tok with
+  | KW "and" ->
+    shift ps;
+    Expr.BinOp (Expr.And, lhs, parse_and ps)
+  | _ -> lhs
+
+and parse_cmp ps =
+  let lhs = parse_add ps in
+  let op =
+    match ps.tok with
+    | EQ -> Some Expr.Eq
+    | NEQ -> Some Expr.Neq
+    | LT -> Some Expr.Lt
+    | LE -> Some Expr.Le
+    | GT -> Some Expr.Gt
+    | GE -> Some Expr.Ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+    shift ps;
+    Expr.BinOp (op, lhs, parse_add ps)
+  | None -> lhs
+
+and parse_add ps =
+  let rec go lhs =
+    match ps.tok with
+    | PLUS -> shift ps; go (Expr.BinOp (Expr.Add, lhs, parse_mul ps))
+    | MINUS -> shift ps; go (Expr.BinOp (Expr.Sub, lhs, parse_mul ps))
+    | CARET -> shift ps; go (Expr.BinOp (Expr.Concat, lhs, parse_mul ps))
+    | _ -> lhs
+  in
+  go (parse_mul ps)
+
+and parse_mul ps =
+  let rec go lhs =
+    match ps.tok with
+    | STAR -> shift ps; go (Expr.BinOp (Expr.Mul, lhs, parse_unary ps))
+    | SLASH -> shift ps; go (Expr.BinOp (Expr.Div, lhs, parse_unary ps))
+    | PERCENT -> shift ps; go (Expr.BinOp (Expr.Mod, lhs, parse_unary ps))
+    | _ -> lhs
+  in
+  go (parse_unary ps)
+
+and parse_unary ps =
+  match ps.tok with
+  | MINUS ->
+    shift ps;
+    Expr.UnOp (Expr.Neg, parse_unary ps)
+  | KW "not" ->
+    shift ps;
+    Expr.UnOp (Expr.Not, parse_unary ps)
+  | _ -> parse_postfix ps
+
+and parse_postfix ps =
+  let rec go e =
+    match ps.tok with
+    | DOT ->
+      shift ps;
+      let field =
+        match ps.tok with
+        | IDENT f -> shift ps; f
+        | _ -> fail ps "expected a field name after '.'"
+      in
+      go (Expr.Proj (e, field))
+    | LBRACKET ->
+      shift ps;
+      let idxs = parse_expr_list ps RBRACKET in
+      expect ps RBRACKET "']'";
+      go (Expr.Index (e, idxs))
+    | LPAREN -> (
+      (* application: only when e is a variable/lambda/projection target *)
+      match e with
+      | Expr.Var _ | Expr.Lambda _ | Expr.Apply _ | Expr.Proj _ ->
+        shift ps;
+        let arg = parse_expr ps in
+        expect ps RPAREN "')'";
+        go (Expr.Apply (e, arg))
+      | _ -> e)
+    | _ -> e
+  in
+  go (parse_primary ps)
+
+and parse_expr_list ps closing =
+  if ps.tok = closing then []
+  else (
+    let rec go acc =
+      let e = parse_expr ps in
+      if ps.tok = COMMA then (shift ps; go (e :: acc)) else List.rev (e :: acc)
+    in
+    go [])
+
+and parse_primary ps =
+  match ps.tok with
+  | INT i -> shift ps; Expr.int i
+  | FLOAT f -> shift ps; Expr.float f
+  | STRING s -> shift ps; Expr.string s
+  | KW "true" -> shift ps; Expr.bool true
+  | KW "false" -> shift ps; Expr.bool false
+  | KW "null" -> shift ps; Expr.null
+  | KW "zero" ->
+    shift ps;
+    Expr.Zero (bracketed_monoid ps)
+  | KW "unit" ->
+    shift ps;
+    let m = bracketed_monoid ps in
+    expect ps LPAREN "'('";
+    let e = parse_expr ps in
+    expect ps RPAREN "')'";
+    Expr.Singleton (m, e)
+  | IDENT v -> shift ps; Expr.Var v
+  | LBRACKET ->
+    shift ps;
+    let es = parse_expr_list ps RBRACKET in
+    expect ps RBRACKET "']'";
+    literal_collection (Monoid.Coll Ty.List) es
+  | LBRACE ->
+    shift ps;
+    let es = parse_expr_list ps RBRACE in
+    expect ps RBRACE "'}'";
+    literal_collection (Monoid.Coll Ty.Set) es
+  | LBAGBRACE ->
+    shift ps;
+    let es = parse_expr_list ps RBAGBRACE in
+    expect ps RBAGBRACE "'|}'";
+    literal_collection (Monoid.Coll Ty.Bag) es
+  | LPAREN -> parse_paren_or_record ps
+  | _ -> fail ps "unexpected token"
+
+and literal_collection m es =
+  (* [e1, e2] desugars to unit(e1) merge unit(e2); constants collapse later
+     during normalization. *)
+  match es with
+  | [] -> Expr.Zero m
+  | es ->
+    let singletons = List.map (fun e -> Expr.Singleton (m, e)) es in
+    List.fold_left
+      (fun acc s -> Expr.Merge (m, acc, s))
+      (List.hd singletons) (List.tl singletons)
+
+and parse_paren_or_record ps =
+  expect ps LPAREN "'('";
+  (* record construction if we see IDENT := *)
+  match ps.tok with
+  | IDENT v ->
+    let saved_pos = ps.lx.pos and saved_line = ps.lx.line and saved_bol = ps.lx.bol in
+    let saved = (ps.tok, ps.tline, ps.tcol) in
+    shift ps;
+    if ps.tok = ASSIGN then (
+      shift ps;
+      let first = (v, parse_expr ps) in
+      let rec fields acc =
+        if ps.tok = COMMA then (
+          shift ps;
+          let name = parse_ident ps in
+          expect ps ASSIGN "':='";
+          let e = parse_expr ps in
+          fields ((name, e) :: acc))
+        else List.rev acc
+      in
+      let all = fields [ first ] in
+      expect ps RPAREN "')'";
+      Expr.Record all)
+    else (
+      ps.lx.pos <- saved_pos;
+      ps.lx.line <- saved_line;
+      ps.lx.bol <- saved_bol;
+      let tok, line, c = saved in
+      ps.tok <- tok;
+      ps.tline <- line;
+      ps.tcol <- c;
+      let e = parse_expr ps in
+      expect ps RPAREN "')'";
+      e)
+  | _ ->
+    let e = parse_expr ps in
+    expect ps RPAREN "')'";
+    e
+
+let parse src =
+  let lx = { src; pos = 0; line = 1; bol = 0 } in
+  let ps = { tok = EOF; tline = 1; tcol = 1; lx } in
+  try
+    shift ps;
+    let e = parse_expr ps in
+    if ps.tok <> EOF then fail ps "trailing input after expression"
+    else Ok e
+  with Parse_error msg -> Error msg
+
+let parse_exn src =
+  match parse src with Ok e -> e | Error msg -> invalid_arg ("Parser.parse_exn: " ^ msg)

@@ -1,0 +1,43 @@
+(** Parser for the comprehension surface syntax (paper §3.2).
+
+    The concrete syntax follows the paper's Scala-like notation:
+
+    {v
+    for { e <- Employees, d <- Departments,
+          e.deptNo = d.id, d.deptName = "HR" } yield sum 1
+    v}
+
+    Grammar sketch (precedence low to high):
+
+    {v
+    expr     ::= for LBRACE qual (COMMA qual)* RBRACE yield MONOID expr
+               | if expr then expr else expr
+               | BACKSLASH IDENT DOT expr
+               | merge
+    qual     ::= IDENT ARROW expr | IDENT ASSIGN expr | expr
+    merge    ::= or (merge LBRACKET MONOID RBRACKET or)*
+    or       ::= and (or-kw and)*
+    and      ::= cmp (and-kw cmp)*
+    cmp      ::= add (EQ|NEQ|LT|LE|GT|GE add)?
+    add      ::= mul (PLUS|MINUS|CARET mul)*
+    mul      ::= unary (STAR|SLASH|PERCENT unary)*
+    unary    ::= MINUS unary | not unary | postfix
+    postfix  ::= primary (DOT IDENT | LBRACKET exprs RBRACKET
+                          | LPAREN expr RPAREN)*
+    primary  ::= INT | FLOAT | STRING | true | false | null | IDENT
+               | zero LBRACKET MONOID RBRACKET
+               | unit LBRACKET MONOID RBRACKET LPAREN expr RPAREN
+               | LPAREN IDENT ASSIGN expr (COMMA ...)* RPAREN      record
+               | LPAREN expr RPAREN
+               | list / set / bag literals
+    v}
+
+    [f(e)] parses as application when [f] is not a record head; [e.A] is
+    projection; [e\[i, j\]] is array indexing. *)
+
+(** [parse s] parses a full expression; the entire input must be consumed.
+    Errors carry a line:column position. *)
+val parse : string -> (Expr.t, string) result
+
+(** [parse_exn s] is [parse] raising [Invalid_argument] on error. *)
+val parse_exn : string -> Expr.t

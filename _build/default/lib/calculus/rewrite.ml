@@ -1,0 +1,271 @@
+open Vida_data
+
+let trace = ref []
+let note fmt = Format.kasprintf (fun s -> trace := s :: !trace) fmt
+let last_trace () = List.rev !trace
+
+(* Flattening a generator drawing from an inner collection of kind [inner]
+   into an accumulator [outer] preserves semantics when the inner monoid
+   "forgets" no more than the outer one. *)
+let flatten_ok ~outer ~inner =
+  match inner with
+  | Ty.Bag | Ty.List | Ty.Array -> true
+  | Ty.Set -> Monoid.idempotent outer
+
+(* The value of a comprehension with no produced bindings. *)
+let empty_result m = Expr.Const (Monoid.finalize m (Monoid.zero m))
+
+(* Substitute [r] for [x] inside a qualifier tail + head, respecting
+   shadowing, by round-tripping through a dummy comprehension. *)
+let subst_in_tail x r quals head =
+  match Expr.subst x r (Expr.Comp (Monoid.Coll Ty.Bag, head, quals)) with
+  | Expr.Comp (_, h, q) -> (q, h)
+  | _ -> assert false
+
+(* Rename every binder of [quals] to a fresh variable (also rewriting uses in
+   later qualifiers and in [head]) so the list can be spliced into another
+   comprehension without capture. *)
+let rec freshen quals head =
+  match quals with
+  | [] -> ([], head)
+  | Expr.Pred e :: rest ->
+    let rest', head' = freshen rest head in
+    (Expr.Pred e :: rest', head')
+  | Expr.Gen (v, e) :: rest ->
+    let v' = Expr.fresh_var v in
+    let rest', head' = subst_in_tail v (Expr.Var v') rest head in
+    let rest'', head'' = freshen rest' head' in
+    (Expr.Gen (v', e) :: rest'', head'')
+  | Expr.Bind (v, e) :: rest ->
+    let v' = Expr.fresh_var v in
+    let rest', head' = subst_in_tail v (Expr.Var v') rest head in
+    let rest'', head'' = freshen rest' head' in
+    (Expr.Bind (v', e) :: rest'', head'')
+
+let count_occurrences x e =
+  let rec go acc = function
+    | Expr.Var v -> if String.equal v x then acc + 1 else acc
+    | Expr.Const _ | Expr.Zero _ -> acc
+    | Expr.Proj (e, _) | Expr.UnOp (_, e) | Expr.Singleton (_, e) -> go acc e
+    | Expr.Record fields -> List.fold_left (fun acc (_, e) -> go acc e) acc fields
+    | Expr.If (a, b, c) -> go (go (go acc a) b) c
+    | Expr.BinOp (_, a, b) | Expr.Apply (a, b) | Expr.Merge (_, a, b) ->
+      go (go acc a) b
+    | Expr.Lambda (v, e) -> if String.equal v x then acc else go acc e
+    | Expr.Index (e, idxs) -> List.fold_left go (go acc e) idxs
+    | Expr.Comp (_, head, quals) ->
+      (* approximate: shadowing makes this an overcount, which is safe (we
+         only use the count to decide whether inlining duplicates work) *)
+      List.fold_left
+        (fun acc q ->
+          match q with Expr.Gen (_, e) | Expr.Bind (_, e) | Expr.Pred e -> go acc e)
+        (go acc head) quals
+  in
+  go 0 e
+
+(* Inline a bound expression when doing so cannot blow the term up: small
+   definitions always, larger ones only if used at most once. *)
+let inline_ok e uses = Expr.size e <= 12 || uses <= 1
+
+let try_const_binop op a b =
+  match Eval.eval_binop op a b with
+  | v -> Some v
+  | exception Eval.Error _ -> None
+
+let try_const_unop op a =
+  match Eval.eval_unop op a with
+  | v -> Some v
+  | exception Eval.Error _ -> None
+
+let is_collection_const = function
+  | Value.List _ | Value.Bag _ | Value.Set _ | Value.Array _ -> true
+  | _ -> false
+
+(* One rewrite attempt at the root of [e]. Returns [Some e'] on success. *)
+let rec rewrite_root (e : Expr.t) : Expr.t option =
+  match e with
+  | Expr.Apply (Expr.Lambda (v, body), arg) ->
+    note "beta: (\\%s. ...) applied" v;
+    Some (Expr.subst v arg body)
+  | Expr.Proj (Expr.Record fields, a) -> (
+    match List.assoc_opt a fields with
+    | Some e -> note "proj-record: .%s" a; Some e
+    | None -> None)
+  | Expr.Proj (Expr.Const (Value.Record _ as r), a) -> (
+    match Value.field_opt r a with
+    | Some v -> note "proj-const: .%s" a; Some (Expr.Const v)
+    | None -> None)
+  | Expr.If (Expr.Const (Value.Bool true), t, _) ->
+    note "if-true";
+    Some t
+  | Expr.If (Expr.Const (Value.Bool false | Value.Null), _, f) ->
+    note "if-false";
+    Some f
+  | Expr.BinOp (Expr.And, Expr.Const (Value.Bool true), e)
+  | Expr.BinOp (Expr.And, e, Expr.Const (Value.Bool true)) ->
+    note "and-true";
+    Some e
+  | Expr.BinOp (Expr.And, Expr.Const (Value.Bool false), _)
+  | Expr.BinOp (Expr.And, _, Expr.Const (Value.Bool false)) ->
+    note "and-false";
+    Some (Expr.bool false)
+  | Expr.BinOp (Expr.Or, Expr.Const (Value.Bool false), e)
+  | Expr.BinOp (Expr.Or, e, Expr.Const (Value.Bool false)) ->
+    note "or-false";
+    Some e
+  | Expr.BinOp (Expr.Or, Expr.Const (Value.Bool true), _)
+  | Expr.BinOp (Expr.Or, _, Expr.Const (Value.Bool true)) ->
+    note "or-true";
+    Some (Expr.bool true)
+  | Expr.BinOp (op, Expr.Const a, Expr.Const b) -> (
+    match try_const_binop op a b with
+    | Some v -> note "const-fold: %s" (Expr.binop_name op); Some (Expr.Const v)
+    | None -> None)
+  | Expr.UnOp (op, Expr.Const a) -> (
+    match try_const_unop op a with
+    | Some v -> note "const-fold-unop"; Some (Expr.Const v)
+    | None -> None)
+  | Expr.Merge (m, Expr.Zero m', e) when Monoid.equal m m' ->
+    note "merge-zero-left";
+    Some e
+  | Expr.Merge (m, e, Expr.Zero m') when Monoid.equal m m' ->
+    note "merge-zero-right";
+    Some e
+  | Expr.Merge (m, Expr.Const a, Expr.Const b) -> (
+    match Monoid.merge m a b with
+    | v -> note "merge-const"; Some (Expr.Const v)
+    | exception Value.Type_error _ -> None)
+  | Expr.Singleton (m, Expr.Const v) -> (
+    match Monoid.unit m v with
+    | u -> note "unit-const"; Some (Expr.Const u)
+    | exception Value.Type_error _ -> None)
+  | Expr.Zero m -> note "zero-const"; Some (Expr.Const (Monoid.zero m))
+  | Expr.Comp (m, head, []) when (match m with Monoid.Coll _ -> true | _ -> false) ->
+    note "empty-quals";
+    Some (Expr.Singleton (m, head))
+  | Expr.Comp (m, head, quals) -> rewrite_comp m head quals
+  | _ -> None
+
+(* Scan the qualifier list for the leftmost rewritable qualifier. [pre] holds
+   already-scanned qualifiers in reverse. *)
+and rewrite_comp m head quals =
+  let rebuild pre q rest = List.rev_append pre (q @ rest) in
+  let no_generators_in pre =
+    List.for_all (function Expr.Gen _ -> false | _ -> true) pre
+  in
+  let rec scan pre = function
+    | [] -> None
+    | Expr.Pred (Expr.Const (Value.Bool true)) :: rest ->
+      note "pred-true";
+      Some (Expr.Comp (m, head, rebuild pre [] rest))
+    | Expr.Pred (Expr.Const (Value.Bool false | Value.Null)) :: _ ->
+      note "pred-false";
+      Some (empty_result m)
+    | Expr.Bind (v, e) :: rest
+      when inline_ok e
+             (List.fold_left
+                (fun acc q ->
+                  acc
+                  + match q with
+                    | Expr.Gen (_, e') | Expr.Bind (_, e') | Expr.Pred e' ->
+                      count_occurrences v e')
+                (count_occurrences v head) rest) ->
+      note "bind-inline: %s" v;
+      let rest', head' = subst_in_tail v e rest head in
+      Some (Expr.Comp (m, head', rebuild pre [] rest'))
+    | Expr.Gen (_, Expr.Zero _) :: _ ->
+      note "gen-zero";
+      Some (empty_result m)
+    | Expr.Gen (v, Expr.Const c) :: rest when is_collection_const c -> (
+      match Value.elements c with
+      | [] ->
+        note "gen-empty-const";
+        Some (empty_result m)
+      | [ x ] ->
+        note "gen-singleton-const";
+        Some (Expr.Comp (m, head, rebuild pre [ Expr.Bind (v, Expr.Const x) ] rest))
+      | _ -> scan (Expr.Gen (v, Expr.Const c) :: pre) rest)
+    | Expr.Gen (v, Expr.Singleton (_, e)) :: rest ->
+      note "gen-unit: %s" v;
+      Some (Expr.Comp (m, head, rebuild pre [ Expr.Bind (v, e) ] rest))
+    | Expr.Gen (v, Expr.Merge (n, e1, e2)) :: rest
+      when (match n with
+           | Monoid.Coll k -> flatten_ok ~outer:m ~inner:k
+           | Monoid.Prim _ -> false)
+           && (Monoid.commutative m || no_generators_in pre) ->
+      note "gen-merge-split: %s" v;
+      let mk src = Expr.Comp (m, head, rebuild pre [ Expr.Gen (v, src) ] rest) in
+      Some (Expr.Merge (m, mk e1, mk e2))
+    | Expr.Gen (v, Expr.Comp (n, inner_head, inner_quals)) :: rest
+      when (match n with
+           | Monoid.Coll k -> flatten_ok ~outer:m ~inner:k
+           | Monoid.Prim _ -> false) ->
+      note "gen-flatten: %s" v;
+      let inner_quals', inner_head' = freshen inner_quals inner_head in
+      Some
+        (Expr.Comp
+           ( m,
+             head,
+             rebuild pre (inner_quals' @ [ Expr.Bind (v, inner_head') ]) rest ))
+    | q :: rest -> scan (q :: pre) rest
+  in
+  scan [] quals
+
+(* One top-down pass: rewrite at the root repeatedly, then descend. *)
+let rec pass e =
+  let e, changed_root =
+    let rec fix e n changed =
+      if n = 0 then (e, changed)
+      else
+        match rewrite_root e with
+        | Some e' -> fix e' (n - 1) true
+        | None -> (e, changed)
+    in
+    fix e 64 false
+  in
+  let changed = ref changed_root in
+  let sub e' =
+    let e'', c = pass e' in
+    if c then changed := true;
+    e''
+  in
+  let e =
+    match e with
+    | Expr.Const _ | Expr.Var _ | Expr.Zero _ -> e
+    | Expr.Proj (e', a) -> Expr.Proj (sub e', a)
+    | Expr.Record fields -> Expr.Record (List.map (fun (n, e') -> (n, sub e')) fields)
+    | Expr.If (a, b, c) -> Expr.If (sub a, sub b, sub c)
+    | Expr.BinOp (op, a, b) -> Expr.BinOp (op, sub a, sub b)
+    | Expr.UnOp (op, e') -> Expr.UnOp (op, sub e')
+    | Expr.Lambda (v, e') -> Expr.Lambda (v, sub e')
+    | Expr.Apply (a, b) -> Expr.Apply (sub a, sub b)
+    | Expr.Singleton (m, e') -> Expr.Singleton (m, sub e')
+    | Expr.Merge (m, a, b) -> Expr.Merge (m, sub a, sub b)
+    | Expr.Index (e', idxs) -> Expr.Index (sub e', List.map sub idxs)
+    | Expr.Comp (m, head, quals) ->
+      let quals =
+        List.map
+          (function
+            | Expr.Gen (v, e') -> Expr.Gen (v, sub e')
+            | Expr.Bind (v, e') -> Expr.Bind (v, sub e')
+            | Expr.Pred e' -> Expr.Pred (sub e'))
+          quals
+      in
+      Expr.Comp (m, sub head, quals)
+  in
+  (e, !changed)
+
+let step e = pass e
+
+let max_passes = 64
+let max_size = 200_000
+
+let normalize e =
+  trace := [];
+  let rec go e n =
+    if n = 0 || Expr.size e > max_size then e
+    else
+      let e', changed = pass e in
+      if changed then go e' (n - 1) else e'
+  in
+  go e max_passes

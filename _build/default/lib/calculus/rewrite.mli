@@ -1,0 +1,24 @@
+(** Normalization of comprehension expressions (paper §4; Fegaras & Maier).
+
+    Applies the calculus' rewrite rules to a fixpoint, producing the
+    canonical form the algebra translator consumes: beta reduction, record
+    projection folding, bind elimination, dead-branch elimination, constant
+    folding, and — crucially — *generator unnesting*: a generator drawing
+    from a nested comprehension is flattened into the outer comprehension's
+    qualifier list, so that chains of dependent generators become visible to
+    the optimizer as joins.
+
+    Flattening a generator over an inner collection monoid [⊗] into an
+    accumulator [⊕] is performed only when semantics are preserved:
+    bag/list/array inners flatten freely; a set inner flattens only into an
+    idempotent accumulator (otherwise deduplication would be lost). *)
+
+(** [normalize e] rewrites to fixpoint (bounded; guaranteed to terminate). *)
+val normalize : Expr.t -> Expr.t
+
+(** [step e] applies one top-down pass. [normalize] iterates [step]. *)
+val step : Expr.t -> Expr.t * bool
+
+(** Human-readable trace of rule applications in the last [normalize] call,
+    most recent last. For explain output and tests. *)
+val last_trace : unit -> string list

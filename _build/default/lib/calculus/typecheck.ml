@@ -1,0 +1,142 @@
+open Vida_data
+
+type error = { message : string; context : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s (in %s)" e.message e.context
+
+exception Err of error
+
+let err context fmt =
+  Format.kasprintf (fun message -> raise (Err { message; context })) fmt
+
+module Env = Map.Make (String)
+
+let unify_or_err ctx a b =
+  match Ty.unify a b with
+  | Some t -> t
+  | None -> err ctx "cannot unify %s with %s" (Ty.to_string a) (Ty.to_string b)
+
+(* Result type of a comprehension / singleton for monoid [m] with element
+   type [elt]. *)
+let monoid_result ctx (m : Monoid.t) (elt : Ty.t) =
+  match m with
+  | Monoid.Prim (Monoid.Sum | Monoid.Prod) ->
+    if Ty.is_numeric elt then elt
+    else err ctx "monoid %s needs numeric elements, got %s" (Monoid.name m) (Ty.to_string elt)
+  | Monoid.Prim Monoid.Count -> Ty.Int
+  | Monoid.Prim (Monoid.Max | Monoid.Min) -> elt
+  | Monoid.Prim Monoid.Avg ->
+    if Ty.is_numeric elt then Ty.Float
+    else err ctx "avg needs numeric elements, got %s" (Ty.to_string elt)
+  | Monoid.Prim Monoid.Median -> elt
+  | Monoid.Prim (Monoid.Top _ | Monoid.Bottom _) -> Ty.Coll (Ty.List, elt)
+  | Monoid.Prim (Monoid.All | Monoid.Some_) ->
+    if Ty.equal elt Ty.Bool || Ty.equal elt Ty.Any then Ty.Bool
+    else err ctx "%s needs boolean elements, got %s" (Monoid.name m) (Ty.to_string elt)
+  | Monoid.Coll k -> Ty.Coll (k, elt)
+
+let rec infer_t env (e : Expr.t) : Ty.t =
+  let ctx () = Expr.to_string e in
+  match e with
+  | Expr.Const v -> Value.typeof v
+  | Expr.Var x -> (
+    match Env.find_opt x env with
+    | Some t -> t
+    | None -> err (ctx ()) "unbound variable %s" x)
+  | Expr.Proj (e', a) -> (
+    let t = infer_t env e' in
+    match Ty.field t a with
+    | Some ft -> ft
+    | None -> err (ctx ()) "type %s has no field %S" (Ty.to_string t) a)
+  | Expr.Record fields ->
+    Ty.Record (List.map (fun (n, e) -> (n, infer_t env e)) fields)
+  | Expr.If (c, t, f) ->
+    let tc = infer_t env c in
+    let _ = unify_or_err (ctx ()) tc Ty.Bool in
+    unify_or_err (ctx ()) (infer_t env t) (infer_t env f)
+  | Expr.BinOp (op, a, b) -> (
+    let ta = infer_t env a and tb = infer_t env b in
+    match op with
+    | Expr.Add | Expr.Sub | Expr.Mul | Expr.Div | Expr.Mod ->
+      if Ty.is_numeric ta && Ty.is_numeric tb then
+        unify_or_err (ctx ()) ta tb
+      else err (ctx ()) "arithmetic over %s, %s" (Ty.to_string ta) (Ty.to_string tb)
+    | Expr.Eq | Expr.Neq | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge ->
+      let _ = unify_or_err (ctx ()) ta tb in
+      Ty.Bool
+    | Expr.And | Expr.Or ->
+      let _ = unify_or_err (ctx ()) ta Ty.Bool in
+      let _ = unify_or_err (ctx ()) tb Ty.Bool in
+      Ty.Bool
+    | Expr.Concat ->
+      let _ = unify_or_err (ctx ()) ta Ty.String in
+      let _ = unify_or_err (ctx ()) tb Ty.String in
+      Ty.String)
+  | Expr.UnOp (Expr.Not, e') ->
+    let _ = unify_or_err (ctx ()) (infer_t env e') Ty.Bool in
+    Ty.Bool
+  | Expr.UnOp (Expr.Neg, e') ->
+    let t = infer_t env e' in
+    if Ty.is_numeric t then t
+    else err (ctx ()) "negation of %s" (Ty.to_string t)
+  | Expr.Lambda (x, body) ->
+    (* gradual: parameter is Any, result unexamined *)
+    let _ = infer_t (Env.add x Ty.Any env) body in
+    Ty.Any
+  | Expr.Apply (f, a) ->
+    let _ = infer_t env f and _ = infer_t env a in
+    Ty.Any
+  | Expr.Zero m -> monoid_result (ctx ()) m Ty.Any
+  | Expr.Singleton (m, e') -> monoid_result (ctx ()) m (infer_t env e')
+  | Expr.Merge (m, a, b) ->
+    let t = unify_or_err (ctx ()) (infer_t env a) (infer_t env b) in
+    (match m with
+    | Monoid.Coll k -> unify_or_err (ctx ()) t (Ty.Coll (k, Ty.Any))
+    | Monoid.Prim _ -> t)
+  | Expr.Index (e', idxs) -> (
+    List.iter
+      (fun i ->
+        let t = infer_t env i in
+        if not (Ty.is_numeric t) then
+          err (ctx ()) "array index of type %s" (Ty.to_string t))
+      idxs;
+    let t = infer_t env e' in
+    match t with
+    | Ty.Coll (Ty.Array, elt) -> elt
+    | Ty.Any -> Ty.Any
+    | t -> err (ctx ()) "indexing non-array type %s" (Ty.to_string t))
+  | Expr.Comp (m, head, quals) ->
+    let env =
+      List.fold_left
+        (fun env q ->
+          match q with
+          | Expr.Gen (v, src) -> (
+            let ts = infer_t env src in
+            match ts with
+            | Ty.Coll (k, elt) ->
+              if not (Monoid.accepts ~acc:m ~gen:k) then
+                err (ctx ())
+                  "generator %s <- ... draws from a %s into non-conforming monoid %s"
+                  v (Ty.coll_name k) (Monoid.name m);
+              Env.add v elt env
+            | Ty.Any -> Env.add v Ty.Any env
+            | t ->
+              err (ctx ()) "generator %s <- ... over non-collection type %s" v
+                (Ty.to_string t))
+          | Expr.Bind (v, e') -> Env.add v (infer_t env e') env
+          | Expr.Pred p ->
+            let _ = unify_or_err (ctx ()) (infer_t env p) Ty.Bool in
+            env)
+        env quals
+    in
+    monoid_result (ctx ()) m (infer_t env head)
+
+let infer bindings e =
+  let env =
+    List.fold_left (fun env (x, t) -> Env.add x t env) Env.empty bindings
+  in
+  match infer_t env e with
+  | t -> Ok t
+  | exception Err e -> Error e
+
+let check bindings e = Result.map (fun _ -> ()) (infer bindings e)

@@ -1,0 +1,24 @@
+(** Gradual type validation for comprehension queries.
+
+    ViDa validates user queries against the catalog's source descriptions
+    (paper §3.1) before generating an engine for them. Raw sources may be
+    only partially described, so checking is gradual: [Ty.Any] unifies with
+    everything and defers the check to runtime.
+
+    Beyond datatype errors, the checker enforces the calculus' monoid
+    well-formedness condition (Fegaras & Maier): a comprehension accumulating
+    into monoid [⊕] may only draw generators from collection kinds whose
+    monoid is "at most" [⊕] — set generators need an idempotent accumulator,
+    bag generators a commutative one. *)
+
+type error = { message : string; context : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [infer env e] infers the type of [e], where [env] gives the types of
+    free variables (typically the catalog's registered sources). Lambdas and
+    applications are typed gradually as [Any]. *)
+val infer : (string * Vida_data.Ty.t) list -> Expr.t -> (Vida_data.Ty.t, error) result
+
+(** [check env e] is [infer] keeping only success. *)
+val check : (string * Vida_data.Ty.t) list -> Expr.t -> (unit, error) result

@@ -1,0 +1,1 @@
+lib/catalog/infer.ml: Array Csv List Positional_map Printf Raw_buffer Schema Semi_index Ty Value Vida_data Vida_raw Xml_index

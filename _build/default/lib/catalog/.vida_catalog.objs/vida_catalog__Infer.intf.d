@@ -1,0 +1,1 @@
+lib/catalog/infer.mli: Vida_data Vida_raw

@@ -1,0 +1,1 @@
+lib/catalog/registry.ml: File_snapshot Hashtbl Infer List Option Printf Raw_buffer Source String Vida_raw

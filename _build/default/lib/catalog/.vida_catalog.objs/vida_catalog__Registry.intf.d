@@ -1,0 +1,1 @@
+lib/catalog/registry.mli: Source Vida_data

@@ -1,0 +1,1 @@
+lib/catalog/source.ml: Format Schema Ty Value Vida_data Vida_raw

@@ -1,0 +1,1 @@
+lib/catalog/source.mli: Format Vida_data Vida_raw

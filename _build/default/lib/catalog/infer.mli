@@ -1,0 +1,22 @@
+(** Schema inference for partially-described raw sources.
+
+    ViDa supports formats with unknown a-priori schemas through schema
+    learning (paper §3.1, citing LearnPADS). This module implements the CSV
+    case: sample the first [sample] data rows and pick, per column, the
+    narrowest scalar type every sampled value converts to (Int ⊂ Float;
+    anything ⊂ String), treating empty/NULL/NA as wildcards. JSON element
+    types are learned by unifying sampled objects' types. *)
+
+(** [csv_schema ?delim ?header ?sample buf] infers an attribute schema.
+    Columns of a headerless file are named [c0, c1, ...]. *)
+val csv_schema :
+  ?delim:char -> ?header:bool -> ?sample:int -> Vida_raw.Raw_buffer.t ->
+  Vida_data.Schema.t
+
+(** [json_element ?sample buf] infers the element type of a JSON-lines
+    file by unifying the types of sampled objects ([Any] on conflict). *)
+val json_element : ?sample:int -> Vida_raw.Raw_buffer.t -> Vida_data.Ty.t
+
+(** [xml_element ?sample buf] — likewise for the root's child elements of
+    an XML document. *)
+val xml_element : ?sample:int -> Vida_raw.Raw_buffer.t -> Vida_data.Ty.t

@@ -1,0 +1,79 @@
+open Vida_data
+
+type access_unit = Row | Object | Cell | Element
+
+type access_path =
+  | Sequential_scan
+  | Positional_probe
+  | Direct_offset
+  | In_memory
+
+type format =
+  | Csv of { delim : char; header : bool; schema : Schema.t }
+  | Json_lines of { element : Ty.t }
+  | Xml of { element : Ty.t }
+  | Binary_array
+  | Inline of Value.t
+  | External of {
+      element : Ty.t;
+      count : unit -> int;
+      produce : (Value.t -> unit) -> unit;
+    }
+
+type t = {
+  name : string;
+  format : format;
+  path : string option;
+  snapshot : Vida_raw.File_snapshot.t option;
+}
+
+let element_type t =
+  match t.format with
+  | Csv { schema; _ } -> Schema.to_record_type schema
+  | Json_lines { element } -> element
+  | Xml { element } -> element
+  | Binary_array -> Ty.Any
+  | Inline v -> ( match Ty.element (Value.typeof v) with Some e -> e | None -> Ty.Any)
+  | External { element; _ } -> element
+
+let collection_type t =
+  match t.format with
+  | Csv _ | Json_lines _ -> Ty.Coll (Ty.Bag, element_type t)
+  | Xml _ -> Ty.Coll (Ty.List, element_type t)
+  | Binary_array -> Ty.Coll (Ty.Array, element_type t)
+  | Inline v -> Value.typeof v
+  | External _ -> Ty.Coll (Ty.Bag, element_type t)
+
+let unit_of_access t =
+  match t.format with
+  | Csv _ -> Row
+  | Json_lines _ | Xml _ -> Object
+  | Binary_array -> Cell
+  | Inline _ | External _ -> Element
+
+let access_paths t =
+  match t.format with
+  | Csv _ -> [ Sequential_scan; Positional_probe ]
+  | Json_lines _ -> [ Sequential_scan; Positional_probe ]
+  | Xml _ -> [ Sequential_scan; Positional_probe ]
+  | Binary_array -> [ Sequential_scan; Direct_offset ]
+  | Inline _ -> [ In_memory ]
+  | External _ -> [ Sequential_scan ]
+
+let stale t =
+  match t.snapshot with
+  | None -> false
+  | Some snap -> Vida_raw.File_snapshot.stale snap
+
+let format_name = function
+  | Csv _ -> "csv"
+  | Json_lines _ -> "jsonl"
+  | Xml _ -> "xml"
+  | Binary_array -> "binarray"
+  | Inline _ -> "inline"
+  | External _ -> "external"
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %s%s : %a" t.name (format_name t.format)
+    (match t.path with Some p -> " @ " ^ p | None -> "")
+    Ty.pp (collection_type t)

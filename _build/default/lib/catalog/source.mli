@@ -1,0 +1,57 @@
+(** Source descriptions (paper §3.1).
+
+    A description captures the three things the engine needs to generate
+    access paths for a raw dataset: (i) its schema, (ii) the "unit" of data
+    one access retrieves, and (iii) the access paths the format exposes.
+    The equivalent concept in a DBMS is the catalog entry of a table. *)
+
+(** The "unit" retrieved by one access (paper §3.1): a CSV row, a JSON
+    object, an array cell, or an in-memory element. *)
+type access_unit = Row | Object | Cell | Element
+
+(** Access paths a format exposes; the optimizer prices each (paper §5). *)
+type access_path =
+  | Sequential_scan
+  | Positional_probe  (** via positional map / semi-index *)
+  | Direct_offset  (** fixed-width formats: O(1) seek to any cell *)
+  | In_memory
+
+type format =
+  | Csv of { delim : char; header : bool; schema : Vida_data.Schema.t }
+  | Json_lines of { element : Vida_data.Ty.t }
+  | Xml of { element : Vida_data.Ty.t }
+      (** document whose root's child elements form the collection *)
+  | Binary_array
+  | Inline of Vida_data.Value.t  (** registered in-memory collection *)
+  | External of {
+      element : Vida_data.Ty.t;
+      count : unit -> int;
+      produce : (Vida_data.Value.t -> unit) -> unit;
+    }
+      (** a wrapped foreign system — the paper's Figure 2 shows existing
+          DBMSs among the virtualized sources; [produce] streams the
+          collection's elements on demand *)
+
+type t = {
+  name : string;
+  format : format;
+  path : string option;  (** [None] for [Inline] *)
+  snapshot : Vida_raw.File_snapshot.t option;
+}
+
+(** [element_type s] is the type of one element of the source's collection,
+    for query validation. *)
+val element_type : t -> Vida_data.Ty.t
+
+(** [collection_type s] is the full collection type ([bag] for CSV/JSON,
+    [array] for binary arrays, the value's own type for [Inline]). *)
+val collection_type : t -> Vida_data.Ty.t
+
+val unit_of_access : t -> access_unit
+val access_paths : t -> access_path list
+
+(** [stale s] is true when the underlying file changed since registration
+    (always [false] for [Inline]). *)
+val stale : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cleaning/distance.ml: Array Fun List String

@@ -1,0 +1,1 @@
+lib/cleaning/distance.mli:

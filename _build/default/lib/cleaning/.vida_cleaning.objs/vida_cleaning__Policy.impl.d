@@ -1,0 +1,1 @@
+lib/cleaning/policy.ml: Distance List Printf String Value Vida_data Vida_raw

@@ -1,0 +1,1 @@
+lib/cleaning/policy.mli: Vida_data

@@ -1,0 +1,41 @@
+let hamming a b =
+  if String.length a <> String.length b then None
+  else (
+    let d = ref 0 in
+    String.iteri (fun i c -> if c <> b.[i] then incr d) a;
+    Some !d)
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else (
+    (* one-row dynamic program *)
+    let prev = Array.init (lb + 1) Fun.id in
+    let cur = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      cur.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb))
+
+let nearest ?(max_distance = 2) candidates s =
+  let dist c =
+    match hamming c s with Some d -> d | None -> levenshtein c s
+  in
+  let best =
+    List.fold_left
+      (fun acc c ->
+        let d = dist c in
+        match acc with
+        | Some (_, best_d) when best_d <= d -> acc
+        | _ -> Some (c, d))
+      None candidates
+  in
+  match best with
+  | Some (c, d) when d <= max_distance -> Some c
+  | _ -> None

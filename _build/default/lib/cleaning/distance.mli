@@ -1,0 +1,16 @@
+(** String distances for value repair (paper §7 Data Cleaning, citing
+    Hamming). *)
+
+(** [hamming a b] — number of differing positions; [None] when lengths
+    differ (Hamming is only defined on equal-length strings). *)
+val hamming : string -> string -> int option
+
+(** [levenshtein a b] — edit distance (insert/delete/substitute), for
+    candidates of different lengths. O(|a|·|b|). *)
+val levenshtein : string -> string -> int
+
+(** [nearest ?max_distance candidates s] — the candidate closest to [s]:
+    by Hamming distance when defined, by Levenshtein otherwise; ties break
+    toward the earlier candidate. [None] if no candidate is within
+    [max_distance] (default 2). *)
+val nearest : ?max_distance:int -> string list -> string -> string option

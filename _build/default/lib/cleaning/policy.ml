@@ -1,0 +1,87 @@
+open Vida_data
+
+type on_error = Strict | Null_value | Skip_row | Nearest
+
+type rule = Dictionary of string list | Range of float * float
+
+type report = { repaired : int; nulled : int; rows_skipped : int }
+
+type t = {
+  on_error : on_error;
+  rules : (string * rule) list;
+  mutable repaired : int;
+  mutable nulled : int;
+  mutable rows_skipped : int;
+}
+
+let make ?(on_error = Strict) ?(rules = []) () =
+  { on_error; rules; repaired = 0; nulled = 0; rows_skipped = 0 }
+
+let default = make ()
+
+let on_error t = t.on_error
+
+let rules_for t field =
+  List.filter_map
+    (fun (f, r) -> if String.equal f field then Some r else None)
+    t.rules
+
+let report t = { repaired = t.repaired; nulled = t.nulled; rows_skipped = t.rows_skipped }
+
+let reset_report t =
+  t.repaired <- 0;
+  t.nulled <- 0;
+  t.rows_skipped <- 0
+
+let violates rule (v : Value.t) (text : string) =
+  match rule, v with
+  | Dictionary dict, _ -> not (List.mem text dict)
+  | Range (lo, hi), (Value.Int _ | Value.Float _) ->
+    let f = Value.to_float v in
+    f < lo || f > hi
+  | Range _, Value.Null -> false
+  | Range _, _ -> true
+
+let dictionary_of rules =
+  List.find_map (function Dictionary d -> Some d | Range _ -> None) rules
+
+let clean t ~field ty text =
+  let rules = rules_for t field in
+  let attempt =
+    match Vida_raw.Csv.convert ty text with
+    | v ->
+      if List.exists (fun r -> violates r v text) rules then
+        Error (Printf.sprintf "field %s: value %S violates a domain rule" field text)
+      else Ok v
+    | exception Value.Type_error msg -> Error msg
+  in
+  match attempt with
+  | Ok v -> Ok (Some v)
+  | Error msg -> (
+    match t.on_error with
+    | Strict -> Error msg
+    | Null_value ->
+      t.nulled <- t.nulled + 1;
+      Ok (Some Value.Null)
+    | Skip_row ->
+      t.rows_skipped <- t.rows_skipped + 1;
+      Ok None
+    | Nearest -> (
+      (* repair toward the dictionary when one exists; otherwise null *)
+      match dictionary_of rules with
+      | Some dict -> (
+        match Distance.nearest dict text with
+        | Some repaired -> (
+          match Vida_raw.Csv.convert ty repaired with
+          | v ->
+            t.repaired <- t.repaired + 1;
+            Ok (Some v)
+          | exception Value.Type_error _ ->
+            t.nulled <- t.nulled + 1;
+            Ok (Some Value.Null))
+        | None ->
+          t.nulled <- t.nulled + 1;
+          Ok (Some Value.Null))
+      | None ->
+        t.nulled <- t.nulled + 1;
+        Ok (Some Value.Null)))

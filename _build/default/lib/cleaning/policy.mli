@@ -1,0 +1,46 @@
+(** Per-source cleaning policies (paper §7 Data Cleaning).
+
+    ViDa exploits its adaptive nature to reduce manual curation: entries
+    whose ingestion errors on first access can be skipped by the code
+    generated for subsequent queries; domain knowledge — acceptable value
+    ranges, dictionaries of valid values — can be built into a source's
+    specialized input plugin, repairing or rejecting wrong values during
+    the scan itself. *)
+
+(** What to do when a raw field fails typed conversion or a domain rule. *)
+type on_error =
+  | Strict  (** propagate the error — the default engine behaviour *)
+  | Null_value  (** treat the entry as NULL (skip-the-value) *)
+  | Skip_row  (** drop the whole tuple/object (skip-the-entry) *)
+  | Nearest
+      (** replace with the nearest acceptable value within distance 2
+          (requires a dictionary rule on the field) *)
+
+(** Domain rules attachable per attribute. *)
+type rule =
+  | Dictionary of string list  (** list of valid values for the attribute *)
+  | Range of float * float  (** inclusive numeric range *)
+
+type t
+
+val make : ?on_error:on_error -> ?rules:(string * rule) list -> unit -> t
+val default : t  (** [Strict], no rules *)
+
+val on_error : t -> on_error
+val rules_for : t -> string -> rule list
+
+(** Counters: how many values were repaired / nulled / rows skipped since
+    creation, for reporting. *)
+type report = { repaired : int; nulled : int; rows_skipped : int }
+
+val report : t -> report
+val reset_report : t -> unit
+
+(** [clean t ~field ty text] converts one raw field under the policy:
+    - [Ok (Some v)] — accepted (possibly repaired) value;
+    - [Ok None] — the row must be dropped ([Skip_row]);
+    - [Error msg] — [Strict] failure.
+    Conversion failures and rule violations are treated alike. *)
+val clean :
+  t -> field:string -> Vida_data.Ty.t -> string ->
+  (Vida_data.Value.t option, string) result

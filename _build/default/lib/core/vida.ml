@@ -1,0 +1,249 @@
+open Vida_data
+open Vida_calculus
+open Vida_catalog
+open Vida_engine
+
+type engine = Jit | Generic
+
+type t = {
+  registry : Registry.t;
+  mutable ctx : Plugins.ctx;
+  mutable params : (string * Value.t) list;
+  mutable queries_run : int;
+  mutable queries_from_cache : int;
+  mutable session_io : Vida_raw.Io_stats.snapshot;
+  (* §5 result re-use: optimized plan text -> (result, referenced sources) *)
+  result_cache : (string, Value.t * string list) Hashtbl.t;
+  mutable result_hits : int;
+}
+
+let create ?cache_capacity () =
+  let registry = Registry.create () in
+  let ctx = Plugins.create_ctx ?cache_capacity registry in
+  { registry; ctx; params = []; queries_run = 0; queries_from_cache = 0;
+    session_io = Vida_raw.Io_stats.zero; result_cache = Hashtbl.create 64;
+    result_hits = 0 }
+
+let csv t ~name ~path ?delim ?header ?schema () =
+  ignore (Registry.register_csv t.registry ~name ~path ?delim ?header ?schema ())
+
+let json t ~name ~path ?element () =
+  ignore (Registry.register_json t.registry ~name ~path ?element ())
+
+let xml t ~name ~path ?element () =
+  ignore (Registry.register_xml t.registry ~name ~path ?element ())
+
+let binarray t ~name ~path = ignore (Registry.register_binarray t.registry ~name ~path)
+let inline t ~name v = ignore (Registry.register_inline t.registry ~name v)
+
+let external_source t ~name ~element ~count ~produce =
+  ignore (Registry.register_external t.registry ~name ~element ~count ~produce)
+
+let rebuild_ctx t =
+  t.ctx <- { t.ctx with Plugins.params = t.params }
+
+let purge_results t source =
+  let victims =
+    Hashtbl.fold
+      (fun key (_, sources) acc ->
+        if List.mem source sources then key :: acc else acc)
+      t.result_cache []
+  in
+  List.iter (Hashtbl.remove t.result_cache) victims
+
+let bind_param t name v =
+  t.params <- (name, v) :: List.remove_assoc name t.params;
+  Hashtbl.reset t.result_cache;
+  rebuild_ctx t
+
+let sources t = Registry.names t.registry
+let describe t name = Registry.find t.registry name
+
+type error =
+  | Parse_error of string
+  | Type_error of string
+  | Engine_error of string
+
+let error_to_string = function
+  | Parse_error msg -> "parse error: " ^ msg
+  | Type_error msg -> "type error: " ^ msg
+  | Engine_error msg -> "engine error: " ^ msg
+
+type result = {
+  value : Value.t;
+  plan : Vida_algebra.Plan.t;
+  compile_ms : float;
+  exec_ms : float;
+  raw_io : Vida_raw.Io_stats.snapshot;
+  served_from_cache : bool;
+  from_result_cache : bool;
+}
+
+type stats = {
+  queries_run : int;
+  queries_from_cache : int;
+  result_reuse_hits : int;
+  cache : Vida_storage.Cache.stats;
+  io : Vida_raw.Io_stats.snapshot;
+  structures_bytes : int;
+}
+
+let invalidate t name =
+  Plugins.invalidate t.ctx name;
+  purge_results t name
+
+let set_cleaning t ~source policy =
+  Plugins.set_cleaning t.ctx ~source policy;
+  purge_results t source
+
+let cleaning_report t ~source =
+  Vida_cleaning.Policy.report (Plugins.cleaning_policy t.ctx source)
+
+let problematic_entries t ~source = Plugins.bad_row_count t.ctx source
+
+let type_env t =
+  Registry.type_env t.registry
+  @ List.map (fun (name, v) -> (name, Value.typeof v)) t.params
+
+(* Invalidate stale sources the expression references (paper §2.1: in-place
+   updates drop the affected auxiliary structures transparently). *)
+let refresh_referenced t expr =
+  List.iter
+    (fun v ->
+      match Registry.find t.registry v with
+      | Some source when Source.stale source -> invalidate t v
+      | _ -> ())
+    (Expr.free_vars expr)
+
+let now_ms () = Sys.time () *. 1000.
+
+let run_expr ?(engine = Jit) ?(optimize = true) ?(reuse = true) t (expr : Expr.t) :
+    (result, error) Result.t =
+  match Typecheck.check (type_env t) expr with
+  | Error e -> Error (Type_error (Format.asprintf "%a" Typecheck.pp_error e))
+  | Ok () -> (
+    refresh_referenced t expr;
+    let t0 = now_ms () in
+    let normalized = Rewrite.normalize expr in
+    let plan = Vida_algebra.Translate.plan_of_comp normalized in
+    let plan = if optimize then Vida_optimizer.Optimizer.optimize t.ctx plan else plan in
+    let cache_key =
+      (match engine with Jit -> "jit|" | Generic -> "gen|")
+      ^ Vida_algebra.Plan.to_string plan
+    in
+    match if reuse then Hashtbl.find_opt t.result_cache cache_key else None with
+    | Some (value, _) ->
+      t.queries_run <- t.queries_run + 1;
+      t.queries_from_cache <- t.queries_from_cache + 1;
+      t.result_hits <- t.result_hits + 1;
+      Ok
+        { value; plan; compile_ms = now_ms () -. t0; exec_ms = 0.;
+          raw_io = Vida_raw.Io_stats.zero; served_from_cache = true;
+          from_result_cache = true }
+    | None -> (
+    let compiled =
+      match engine with
+      | Jit -> Compile.query t.ctx plan
+      | Generic -> Interp.query t.ctx plan
+    in
+    let t1 = now_ms () in
+    let io_before = Vida_raw.Io_stats.current () in
+    match compiled () with
+    | value ->
+      let t2 = now_ms () in
+      let raw_io = Vida_raw.Io_stats.diff (Vida_raw.Io_stats.current ()) io_before in
+      let served_from_cache =
+        raw_io.Vida_raw.Io_stats.bytes_read = 0
+        && raw_io.Vida_raw.Io_stats.file_loads = 0
+      in
+      t.queries_run <- t.queries_run + 1;
+      if served_from_cache then t.queries_from_cache <- t.queries_from_cache + 1;
+      t.session_io <-
+        (let open Vida_raw.Io_stats in
+         { bytes_read = t.session_io.bytes_read + raw_io.bytes_read;
+           fields_tokenized = t.session_io.fields_tokenized + raw_io.fields_tokenized;
+           values_converted = t.session_io.values_converted + raw_io.values_converted;
+           objects_parsed = t.session_io.objects_parsed + raw_io.objects_parsed;
+           index_probes = t.session_io.index_probes + raw_io.index_probes;
+           file_loads = t.session_io.file_loads + raw_io.file_loads
+         });
+      if reuse then
+        Hashtbl.replace t.result_cache cache_key (value, Vida_algebra.Plan.free_vars plan);
+      Ok
+        { value; plan; compile_ms = t1 -. t0; exec_ms = t2 -. t1; raw_io;
+          served_from_cache; from_result_cache = false }
+    | exception Plugins.Engine_error msg -> Error (Engine_error msg)
+    | exception Eval.Error msg -> Error (Engine_error msg)
+    | exception Value.Type_error msg -> Error (Engine_error msg)))
+
+let query ?engine ?optimize ?reuse t text =
+  match Parser.parse text with
+  | Error msg -> Error (Parse_error msg)
+  | Ok expr -> run_expr ?engine ?optimize ?reuse t expr
+
+let sql ?engine ?optimize ?reuse t text =
+  match Vida_sql.Sql.translate text with
+  | Error msg -> Error (Parse_error msg)
+  | Ok expr -> run_expr ?engine ?optimize ?reuse t expr
+
+let query_value ?engine t text =
+  match query ?engine t text with
+  | Ok r -> r.value
+  | Error e -> failwith (error_to_string e)
+
+let export t text ~format ~path =
+  match query t text with
+  | Error _ as e -> e
+  | Ok r ->
+    Vida_engine.Output.write_file path format r.value;
+    Ok r
+
+let explain_expr t (expr : Expr.t) =
+  (
+    match Typecheck.infer (type_env t) expr with
+    | Error e -> Error (Type_error (Format.asprintf "%a" Typecheck.pp_error e))
+    | Ok ty ->
+      let normalized = Rewrite.normalize expr in
+      let trace = Rewrite.last_trace () in
+      let plan = Vida_algebra.Translate.plan_of_comp normalized in
+      let optimized, report = Vida_optimizer.Optimizer.optimize_with_report t.ctx plan in
+      let buf = Buffer.create 512 in
+      let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      pf "result type: %s\n" (Ty.to_string ty);
+      pf "normalized:  %s\n" (Expr.to_string normalized);
+      if trace <> [] then pf "rewrites:    %s\n" (String.concat ", " trace);
+      pf "\nlogical plan (%s):\n%s\n"
+        (Format.asprintf "%a" Vida_optimizer.Cost.pp report.Vida_optimizer.Optimizer.before)
+        (Vida_algebra.Plan.to_string plan);
+      pf "\noptimized plan (%s):\n%s\n"
+        (Format.asprintf "%a" Vida_optimizer.Cost.pp report.Vida_optimizer.Optimizer.after)
+        (Vida_algebra.Plan.to_string optimized);
+      Ok (Buffer.contents buf))
+
+let explain t text =
+  match Parser.parse text with
+  | Error msg -> Error (Parse_error msg)
+  | Ok expr -> explain_expr t expr
+
+let explain_sql t text =
+  match Vida_sql.Sql.translate text with
+  | Error msg -> Error (Parse_error msg)
+  | Ok expr -> explain_expr t expr
+
+let stats (t : t) =
+  { queries_run = t.queries_run;
+    queries_from_cache = t.queries_from_cache;
+    result_reuse_hits = t.result_hits;
+    cache = Vida_storage.Cache.stats t.ctx.Plugins.cache;
+    io = t.session_io;
+    structures_bytes = Structures.footprint t.ctx.Plugins.structures
+  }
+
+let checkpoint t =
+  List.fold_left
+    (fun n source ->
+      if Structures.checkpoint_posmap t.ctx.Plugins.structures source then n + 1 else n)
+    0
+    (Registry.sources t.registry)
+
+let ctx t = t.ctx

@@ -1,0 +1,157 @@
+(** ViDa: just-in-time data virtualization (the paper's public API).
+
+    A session is a "virtual database instance" over raw files: register
+    CSV / JSON-lines / binary-array files (and in-memory collections), then
+    launch queries in comprehension syntax or SQL. Nothing is loaded at
+    registration; auxiliary structures (positional maps, semi-indexes) and
+    caches build up as a side effect of the queries you run — you build the
+    database by querying it (paper §2).
+
+    {[
+      let db = Vida.create () in
+      Vida.csv db ~name:"Patients" ~path:"patients.csv";
+      Vida.json db ~name:"BrainRegions" ~path:"regions.jsonl";
+      match
+        Vida.query db
+          {|for { p <- Patients, b <- BrainRegions, p.id = b.id,
+                  p.age > 60 } yield avg b.quality|}
+      with
+      | Ok r -> Format.printf "%a@." Vida_data.Value.pp r.value
+      | Error e -> prerr_endline (Vida.error_to_string e)
+    ]} *)
+
+type t
+
+(** Which executor answers queries: the just-in-time closure-compiling
+    engine (default), or the generic interpreted engine kept for the
+    paper's static-operator comparison. *)
+type engine = Jit | Generic
+
+(** [create ()] — an empty session. [cache_capacity] bounds ViDa's data
+    caches in bytes (default 256 MB). *)
+val create : ?cache_capacity:int -> unit -> t
+
+(** {1 Registering raw sources}
+
+    Registration snapshots the file and (for CSV/JSON without an explicit
+    schema) samples it for schema inference; no data is loaded. *)
+
+val csv :
+  t -> name:string -> path:string -> ?delim:char -> ?header:bool ->
+  ?schema:Vida_data.Schema.t -> unit -> unit
+
+val json : t -> name:string -> path:string -> ?element:Vida_data.Ty.t -> unit -> unit
+
+(** [xml t ~name ~path] registers an XML document; the root's child
+    elements form the collection (data-oriented mapping, see
+    {!Vida_raw.Xml}). *)
+val xml : t -> name:string -> path:string -> ?element:Vida_data.Ty.t -> unit -> unit
+
+val binarray : t -> name:string -> path:string -> unit
+val inline : t -> name:string -> Vida_data.Value.t -> unit
+
+(** [external_source t ~name ~element ~count ~produce] wraps a foreign
+    system (e.g. a loaded DBMS) as a queryable source — the paper's
+    Figure 2 places existing DBMSs under the virtualization layer, and §2.1
+    notes their own access paths keep serving the generated code. *)
+val external_source :
+  t -> name:string -> element:Vida_data.Ty.t -> count:(unit -> int) ->
+  produce:((Vida_data.Value.t -> unit) -> unit) -> unit
+
+(** [bind_param t name v] binds a session parameter usable as a free
+    variable in queries. *)
+val bind_param : t -> string -> Vida_data.Value.t -> unit
+
+val sources : t -> string list
+val describe : t -> string -> Vida_catalog.Source.t option
+
+(** {1 Querying} *)
+
+type error =
+  | Parse_error of string
+  | Type_error of string
+  | Engine_error of string
+
+val error_to_string : error -> string
+
+type result = {
+  value : Vida_data.Value.t;
+  plan : Vida_algebra.Plan.t;  (** the optimized plan that ran *)
+  compile_ms : float;  (** parse + normalize + optimize + generate *)
+  exec_ms : float;
+  raw_io : Vida_raw.Io_stats.snapshot;  (** raw-file work this query did *)
+  served_from_cache : bool;  (** no raw bytes were read *)
+  from_result_cache : bool;
+      (** the whole result was re-used from a previous identical plan
+          (paper §5 result re-use); implies [served_from_cache] *)
+}
+
+(** [query t text] runs a comprehension query end to end: parse → validate
+    against the catalog → normalize → translate → optimize → generate the
+    engine → execute. Stale sources referenced by the query are invalidated
+    and re-registered first (paper §2.1). *)
+val query :
+  ?engine:engine -> ?optimize:bool -> ?reuse:bool -> t -> string ->
+  (result, error) Result.t
+
+(** [sql t text] is [query] for SQL input. *)
+val sql :
+  ?engine:engine -> ?optimize:bool -> ?reuse:bool -> t -> string ->
+  (result, error) Result.t
+
+(** [query_value t text] is [query] keeping only the value, raising
+    [Failure] on error — for scripts and examples. *)
+val query_value : ?engine:engine -> t -> string -> Vida_data.Value.t
+
+(** [explain t text] shows normalization trace, both plans and cost
+    estimates without executing. *)
+val explain : t -> string -> (string, error) Result.t
+
+(** [explain_sql t text] is [explain] for SQL input. *)
+val explain_sql : t -> string -> (string, error) Result.t
+
+(** [export t query ~format ~path] runs a query and materializes the
+    result through an output plugin (paper §4.1: CSV for business reports,
+    (binary) JSON for RESTful interfaces, ...). *)
+val export :
+  t -> string -> format:Vida_engine.Output.format -> path:string ->
+  (result, error) Result.t
+
+(** {1 Data cleaning} (paper §7)
+
+    Attach a repair policy to a source: conversion failures and domain-rule
+    violations can be nulled, repaired toward a dictionary, or mark the
+    entry as problematic so subsequently generated code skips it. *)
+
+val set_cleaning : t -> source:string -> Vida_cleaning.Policy.t -> unit
+
+val cleaning_report : t -> source:string -> Vida_cleaning.Policy.report
+
+(** Problematic entries discovered for a source so far. *)
+val problematic_entries : t -> source:string -> int
+
+(** {1 Session introspection} *)
+
+type stats = {
+  queries_run : int;
+  queries_from_cache : int;  (** answered without touching raw files *)
+  result_reuse_hits : int;  (** answered from the result cache outright *)
+  cache : Vida_storage.Cache.stats;
+  io : Vida_raw.Io_stats.snapshot;  (** cumulative for this session *)
+  structures_bytes : int;  (** positional maps + semi-indexes *)
+}
+
+val stats : t -> stats
+
+(** [checkpoint t] persists the session's built positional maps next to
+    their data files ([<path>.vidx]); a later session's first query
+    restores them instead of re-scanning — the virtual database outlives
+    the process. Returns how many sidecars were written. *)
+val checkpoint : t -> int
+
+(** [invalidate t name] drops [name]'s caches and auxiliary structures and
+    re-snapshots the file. *)
+val invalidate : t -> string -> unit
+
+(** Direct access for benchmarks and tests. *)
+val ctx : t -> Vida_engine.Plugins.ctx

@@ -1,0 +1,1 @@
+lib/datamodel/schema.ml: Array Format Hashtbl List Printf String Ty Value

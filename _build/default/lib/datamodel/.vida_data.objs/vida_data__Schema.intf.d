@@ -1,0 +1,1 @@
+lib/datamodel/schema.mli: Format Ty Value

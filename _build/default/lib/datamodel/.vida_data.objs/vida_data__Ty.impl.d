@@ -1,0 +1,1 @@
+lib/datamodel/ty.ml: Format List Option String

@@ -1,0 +1,1 @@
+lib/datamodel/ty.mli: Format

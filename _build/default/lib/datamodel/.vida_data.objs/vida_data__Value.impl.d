@@ -1,0 +1,1 @@
+lib/datamodel/value.ml: Array Bool Buffer Char Float Format Hashtbl Int List Printf Stdlib String Ty

@@ -1,0 +1,1 @@
+lib/datamodel/value.mli: Format Ty

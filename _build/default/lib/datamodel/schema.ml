@@ -1,0 +1,61 @@
+type attribute = { name : string; ty : Ty.t }
+
+type t = { attrs : attribute array; by_name : (string, int) Hashtbl.t }
+
+let make attrs =
+  let by_name = Hashtbl.create (List.length attrs * 2) in
+  List.iteri
+    (fun i { name; _ } ->
+      if Hashtbl.mem by_name name then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %S" name);
+      Hashtbl.add by_name name i)
+    attrs;
+  { attrs = Array.of_list attrs; by_name }
+
+let of_pairs pairs = make (List.map (fun (name, ty) -> { name; ty }) pairs)
+let attributes t = Array.to_list t.attrs
+let arity t = Array.length t.attrs
+let names t = Array.to_list (Array.map (fun a -> a.name) t.attrs)
+let index t name = Hashtbl.find_opt t.by_name name
+
+let index_exn t name =
+  match index t name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Schema.index_exn: no attribute %S" name)
+
+let attr t i = t.attrs.(i)
+let mem t name = Hashtbl.mem t.by_name name
+
+let project t names =
+  make
+    (List.map
+       (fun name ->
+         match index t name with
+         | Some i -> t.attrs.(i)
+         | None -> invalid_arg (Printf.sprintf "Schema.project: no attribute %S" name))
+       names)
+
+let concat a b = make (attributes a @ attributes b)
+
+let rename t prefix =
+  make
+    (List.map (fun a -> { a with name = prefix ^ "." ^ a.name }) (attributes t))
+
+let to_record_type t =
+  Ty.Record (List.map (fun a -> (a.name, a.ty)) (attributes t))
+
+let tuple_conforms t vs =
+  Array.length vs = arity t
+  && Array.for_all2 (fun a v -> Value.conforms v a.ty) t.attrs vs
+
+let equal a b =
+  arity a = arity b
+  && List.for_all2
+       (fun x y -> String.equal x.name y.name && Ty.equal x.ty y.ty)
+       (attributes a) (attributes b)
+
+let pp ppf t =
+  let pp_attr ppf a = Format.fprintf ppf "%s:%a" a.name Ty.pp a.ty in
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_attr)
+    (attributes t)

@@ -1,0 +1,46 @@
+(** Flat attribute schemas for tabular sources.
+
+    Raw tabular files (CSV, binary arrays of records) expose an ordered list
+    of named, typed attributes. Hierarchical sources (JSON) are described by a
+    {!Ty.t} instead; this module is the tabular special case the engine's
+    columnar plumbing works with. *)
+
+type attribute = { name : string; ty : Ty.t }
+
+type t
+
+val make : attribute list -> t
+(** @raise Invalid_argument on duplicate attribute names. *)
+
+val of_pairs : (string * Ty.t) list -> t
+val attributes : t -> attribute list
+val arity : t -> int
+val names : t -> string list
+
+(** [index t name] is the position of attribute [name]. *)
+val index : t -> string -> int option
+
+val index_exn : t -> string -> int
+val attr : t -> int -> attribute
+val mem : t -> string -> bool
+
+(** [project t names] restricts [t] to [names], in the order given.
+    @raise Invalid_argument if a name is missing. *)
+val project : t -> string list -> t
+
+(** [concat a b] appends schemas.
+    @raise Invalid_argument on name clash. *)
+val concat : t -> t -> t
+
+(** [rename t prefix] prefixes every attribute with [prefix ^ "."], used to
+    disambiguate join sides. *)
+val rename : t -> string -> t
+
+(** [to_record_type t] is the record type of one tuple of [t]. *)
+val to_record_type : t -> Ty.t
+
+(** [tuple_conforms t vs] checks arity and per-attribute conformance. *)
+val tuple_conforms : t -> Value.t array -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/engine/analysis.ml: Expr List Option Plan Set String Vida_algebra Vida_calculus Vida_data

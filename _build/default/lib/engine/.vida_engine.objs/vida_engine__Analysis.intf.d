@@ -1,0 +1,1 @@
+lib/engine/analysis.mli: Vida_algebra Vida_calculus

@@ -1,0 +1,1 @@
+lib/engine/compile.ml: Analysis Array Eval Expr Feedback Hashtbl Lazy List Monoid Option Plan Plugins Printf Translate Value Vida_algebra Vida_calculus Vida_catalog Vida_data

@@ -1,0 +1,1 @@
+lib/engine/compile.mli: Plugins Vida_algebra Vida_calculus Vida_data

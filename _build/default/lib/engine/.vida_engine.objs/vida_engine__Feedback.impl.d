@@ -1,0 +1,1 @@
+lib/engine/feedback.ml: Hashtbl Vida_calculus

@@ -1,0 +1,1 @@
+lib/engine/feedback.mli: Vida_calculus

@@ -1,0 +1,1 @@
+lib/engine/interp.ml: Analysis Eval Expr Hashtbl List Monoid Plan Plugins Value Vida_algebra Vida_calculus Vida_catalog Vida_data

@@ -1,0 +1,1 @@
+lib/engine/interp.mli: Plugins Vida_algebra Vida_data

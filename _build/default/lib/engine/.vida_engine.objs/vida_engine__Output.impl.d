@@ -1,0 +1,1 @@
+lib/engine/output.ml: Array Char Fun Hashtbl List String Value Vida_data Vida_raw Vida_storage

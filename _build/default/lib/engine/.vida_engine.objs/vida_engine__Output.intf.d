@@ -1,0 +1,1 @@
+lib/engine/output.mli: Vida_data

@@ -1,0 +1,1 @@
+lib/engine/parallel.ml: Analysis Array Compile Domain Eval Expr List Monoid Plan Plugins Registry Source Value Vida_algebra Vida_calculus Vida_catalog Vida_data

@@ -1,0 +1,1 @@
+lib/engine/plugins.mli: Analysis Feedback Hashtbl Structures Vida_calculus Vida_catalog Vida_cleaning Vida_data Vida_storage

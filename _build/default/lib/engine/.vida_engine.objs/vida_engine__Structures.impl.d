@@ -1,0 +1,1 @@
+lib/engine/structures.ml: Binarray Hashtbl Positional_map Printf Raw_buffer Semi_index Source Vida_catalog Vida_raw Xml_index

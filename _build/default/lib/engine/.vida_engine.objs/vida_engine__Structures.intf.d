@@ -1,0 +1,1 @@
+lib/engine/structures.mli: Vida_catalog Vida_raw

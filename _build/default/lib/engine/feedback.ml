@@ -1,0 +1,16 @@
+type t = (string, float) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let record t ~key ~observed =
+  match Hashtbl.find_opt t key with
+  | None -> Hashtbl.replace t key observed
+  | Some prev -> Hashtbl.replace t key ((prev +. observed) /. 2.)
+
+let lookup t ~key = Hashtbl.find_opt t key
+let entries t = Hashtbl.length t
+let clear t = Hashtbl.reset t
+
+let selectivity_key pred = "sel|" ^ Vida_calculus.Expr.to_string pred
+let join_key pred = "join|" ^ Vida_calculus.Expr.to_string pred
+let cardinality_key name = "card|" ^ name

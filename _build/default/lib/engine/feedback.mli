@@ -1,0 +1,28 @@
+(** Runtime statistics feedback (paper §5: "at runtime ViDa both makes some
+    decisions and may change some of the initial ones based on feedback it
+    receives during query execution").
+
+    The compiled engine instruments its operators at negligible cost; after
+    each run it records observed selectivities (per predicate text), join
+    selectivities and source cardinalities here. The optimizer's cost model
+    consults these before falling back to heuristics, so the next query
+    sharing a predicate or source is planned with measured numbers — the
+    plan for the same query text can change as the session learns. *)
+
+type t
+
+val create : unit -> t
+
+(** [record t ~key ~observed] blends the observation into the running
+    estimate (exponential moving average, weight 0.5). *)
+val record : t -> key:string -> observed:float -> unit
+
+val lookup : t -> key:string -> float option
+val entries : t -> int
+val clear : t -> unit
+
+(** Key constructors shared by the engine and the cost model. *)
+val selectivity_key : Vida_calculus.Expr.t -> string
+
+val join_key : Vida_calculus.Expr.t -> string
+val cardinality_key : string -> string

@@ -1,0 +1,13 @@
+(** The generic "pre-cooked" engine (paper §4's foil).
+
+    Executes the same algebra with the same algorithms (hash joins, grouped
+    nests) and the same raw-file substrates, but with none of the per-query
+    specialization the JIT performs: environments are name→value maps
+    rebuilt per tuple, scalars are interpreted by walking the AST, input
+    plugins are invoked generically (no projection pushdown — every field
+    is fetched). The JIT-vs-interpreted benchmark (DESIGN.md A1) measures
+    exactly the interpretation overhead this engine keeps. *)
+
+(** [query ctx plan] runs [plan] generically, producing the same result as
+    {!Compile.query}. *)
+val query : Plugins.ctx -> Vida_algebra.Plan.t -> unit -> Vida_data.Value.t

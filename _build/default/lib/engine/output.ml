@@ -1,0 +1,96 @@
+open Vida_data
+
+type format =
+  | Csv of { delim : char; header : bool }
+  | Json_lines
+  | Json
+  | Vbson_file
+
+let elements_of = function
+  | Value.Bag vs | Value.List vs | Value.Set vs -> vs
+  | Value.Array { data; _ } -> Array.to_list data
+  | v -> [ v ]
+
+let csv_columns rows =
+  (* union of field names in first-seen order; scalars become a "value"
+     column *)
+  let order = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun row ->
+      let fields =
+        match row with
+        | Value.Record fields -> List.map fst fields
+        | _ -> [ "value" ]
+      in
+      List.iter
+        (fun f ->
+          if not (Hashtbl.mem seen f) then (
+            Hashtbl.add seen f ();
+            order := f :: !order))
+        fields)
+    rows;
+  List.rev !order
+
+let write_channel oc format v =
+  match format with
+  | Csv { delim; header } ->
+    let rows = elements_of v in
+    let columns = csv_columns rows in
+    if header then Vida_raw.Csv.write_header oc ~delim columns;
+    List.iter
+      (fun row ->
+        let cell col =
+          match row with
+          | Value.Record _ -> (
+            match Value.field_opt row col with
+            | Some v -> Vida_raw.Csv.render_value v
+            | None -> "")
+          | v -> if String.equal col "value" then Vida_raw.Csv.render_value v else ""
+        in
+        Vida_raw.Csv.write_row oc ~delim (List.map cell columns))
+      rows
+  | Json_lines ->
+    List.iter
+      (fun row ->
+        output_string oc (Value.to_json row);
+        output_char oc '\n')
+      (elements_of v)
+  | Json ->
+    output_string oc (Value.to_json v);
+    output_char oc '\n'
+  | Vbson_file ->
+    List.iter
+      (fun row ->
+        let payload = Vida_storage.Vbson.encode row in
+        let len = String.length payload in
+        for shift = 0 to 3 do
+          output_char oc (Char.chr ((len lsr (8 * shift)) land 0xFF))
+        done;
+        output_string oc payload)
+      (elements_of v)
+
+let write_file path format v =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc format v)
+
+let read_vbson_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      let rec go pos acc =
+        if pos >= len then List.rev acc
+        else (
+          let plen =
+            Char.code contents.[pos]
+            lor (Char.code contents.[pos + 1] lsl 8)
+            lor (Char.code contents.[pos + 2] lsl 16)
+            lor (Char.code contents.[pos + 3] lsl 24)
+          in
+          let payload = String.sub contents (pos + 4) plen in
+          go (pos + 4 + plen) (Vida_storage.Vbson.decode payload :: acc))
+      in
+      go 0 [])

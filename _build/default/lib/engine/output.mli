@@ -1,0 +1,27 @@
+(** Output plugins (paper §4.1, Figure 3).
+
+    When a result must leave the engine, an output plugin materializes it
+    in the requested format — "the user may require the output in CSV";
+    applications with a JSON interface want (binary) JSON (§5). These
+    writers close the loop: data read in place from one raw format can be
+    served in another without a warehouse in between. *)
+
+type format =
+  | Csv of { delim : char; header : bool }
+      (** collections of flat records; nested values render as JSON text *)
+  | Json_lines  (** one JSON document per element *)
+  | Json  (** a single JSON document *)
+  | Vbson_file  (** length-prefixed VBSON values, one per element *)
+
+(** [write_channel oc format v] serializes [v]. Collections stream element
+    by element; a scalar is written as a single row/document.
+    @raise Invalid_argument when [v] cannot be represented (e.g. CSV of
+    non-record elements with unequal fields). *)
+val write_channel : out_channel -> format -> Vida_data.Value.t -> unit
+
+(** [write_file path format v] — [write_channel] on a fresh file. *)
+val write_file : string -> format -> Vida_data.Value.t -> unit
+
+(** [read_vbson_file path] reads back a [Vbson_file] export (round-trip
+    support and tests). *)
+val read_vbson_file : string -> Vida_data.Value.t list

@@ -1,0 +1,90 @@
+open Vida_data
+open Vida_calculus
+open Vida_algebra
+open Vida_catalog
+
+(* Decompose Select*/Map* over a single Source; returns the source parts and
+   the operator stack outer-to-inner. *)
+type step = Filter of Expr.t | Bind of string * Expr.t
+
+let rec decompose (p : Plan.t) steps =
+  match p with
+  | Plan.Select { pred; child } -> decompose child (Filter pred :: steps)
+  | Plan.Map { var; expr; child } -> decompose child (Bind (var, expr) :: steps)
+  | Plan.Source { var; expr = Expr.Var name } -> Some (var, name, steps)
+  | _ -> None
+
+let reduce ctx ?domains (plan : Plan.t) : Value.t option =
+  match plan with
+  | Plan.Reduce { monoid; head; child } when Monoid.commutative monoid -> (
+    match decompose child [] with
+    | None -> None
+    | Some (var, name, steps) -> (
+      match Registry.find ctx.Plugins.registry name with
+      | None -> None
+      | Some source -> (
+        let fields =
+          match Analysis.plan_var_needs plan ~var with
+          | Analysis.Fields fs -> fs
+          | Analysis.Whole -> (
+            match source.Source.format with
+            | Source.Csv { schema; _ } -> Vida_data.Schema.names schema
+            | _ -> [])
+        in
+        match
+          (if fields = [] then None else Plugins.column_arrays ctx source ~fields)
+        with
+        | None -> None
+        | Some (n, columns) ->
+          (* variables bound along the chain: source var then binds *)
+          let vars =
+            var :: List.filter_map (function Bind (v, _) -> Some v | Filter _ -> None) steps
+          in
+          let slots = List.mapi (fun i v -> (v, i)) vars in
+          let domains =
+            let d =
+              match domains with
+              | Some d -> d
+              | None -> Domain.recommended_domain_count ()
+            in
+            max 1 (min 8 (min d n))
+          in
+          (* per-domain fold over a disjoint row range; closures are built
+             inside each domain so nothing mutable is shared *)
+          let fold_range lo hi () =
+            let compiled_steps =
+              List.map
+                (function
+                  | Filter pred -> `Filter (Compile.scalar ctx ~slots pred)
+                  | Bind (v, e) -> `Bind (List.assoc v slots, Compile.scalar ctx ~slots e))
+                steps
+            in
+            let chead = Compile.scalar ctx ~slots head in
+            let env = Array.make (List.length vars) Value.Null in
+            let acc = ref (Monoid.zero monoid) in
+            for i = lo to hi - 1 do
+              env.(0) <- Value.Record (List.map (fun (f, arr) -> (f, arr.(i))) columns);
+              let rec apply = function
+                | [] -> acc := Monoid.merge monoid !acc (Monoid.unit monoid (chead env))
+                | `Filter cp :: rest -> if Eval.truthy (cp env) then apply rest
+                | `Bind (slot, ce) :: rest ->
+                  env.(slot) <- ce env;
+                  apply rest
+              in
+              apply compiled_steps
+            done;
+            !acc
+          in
+          let chunk = (n + domains - 1) / max 1 domains in
+          let handles =
+            List.init domains (fun d ->
+                let lo = d * chunk and hi = min n ((d + 1) * chunk) in
+                Domain.spawn (fold_range lo hi))
+          in
+          let total =
+            List.fold_left
+              (fun acc h -> Monoid.merge monoid acc (Domain.join h))
+              (Monoid.zero monoid) handles
+          in
+          Some (Monoid.finalize monoid total))))
+  | _ -> None

@@ -1,0 +1,19 @@
+(** Parallel in-situ reduction (paper §8 cites parallel operators for
+    in-situ processing; monoids make it principled: any commutative monoid
+    aggregation splits into per-domain partial folds merged at the end).
+
+    Supported shape: [Reduce] with a commutative accumulator over a chain
+    of selections/maps above a single CSV / binary-array / inline source.
+    The needed columns are faulted in once (single-threaded, through the
+    ordinary plugins and caches); the fold then runs on OCaml 5 domains
+    over disjoint row ranges, each with its own generated closures, and
+    the partial accumulators merge. Floating-point accumulations are
+    reassociated by the split, so float aggregates can differ from the
+    sequential result in the last bits. *)
+
+(** [reduce ctx ?domains plan] — [None] when the plan is outside the
+    parallelizable fragment (callers fall back to {!Compile.query}).
+    [domains] defaults to [Domain.recommended_domain_count ()], capped at
+    8. *)
+val reduce :
+  Plugins.ctx -> ?domains:int -> Vida_algebra.Plan.t -> Vida_data.Value.t option

@@ -1,0 +1,454 @@
+open Vida_data
+open Vida_calculus
+open Vida_catalog
+open Vida_storage
+
+type ctx = {
+  registry : Registry.t;
+  cache : Cache.t;
+  structures : Structures.t;
+  params : (string * Value.t) list;
+  cleaning : (string, Vida_cleaning.Policy.t) Hashtbl.t;
+  bad_rows : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  feedback : Feedback.t;
+}
+
+exception Engine_error of string
+
+let engine_error fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
+
+let create_ctx ?cache_capacity ?(params = []) registry =
+  let cache =
+    match cache_capacity with
+    | Some capacity_bytes -> Cache.create ~capacity_bytes ()
+    | None -> Cache.create ()
+  in
+  { registry; cache; structures = Structures.create (); params;
+    cleaning = Hashtbl.create 4; bad_rows = Hashtbl.create 4;
+    feedback = Feedback.create () }
+
+let whole_object_item = "__object__"
+
+let cleaning_policy ctx source =
+  match Hashtbl.find_opt ctx.cleaning source with
+  | Some p -> p
+  | None -> Vida_cleaning.Policy.default
+
+let bad_set ctx source =
+  match Hashtbl.find_opt ctx.bad_rows source with
+  | Some s -> s
+  | None ->
+    let s = Hashtbl.create 8 in
+    Hashtbl.replace ctx.bad_rows source s;
+    s
+
+let bad_row_count ctx source =
+  match Hashtbl.find_opt ctx.bad_rows source with
+  | Some s -> Hashtbl.length s
+  | None -> 0
+
+(* --- CSV --- *)
+
+(* Fetch one decoded column through the cache, loading [missing] columns in
+   a single piggy-backed scan when needed. *)
+let csv_columns ctx (source : Source.t) schema fs =
+  let name = source.Source.name in
+  let key f = { Cache.source = name; item = f; layout = Layout.Values } in
+  let lookups =
+    List.map
+      (fun f ->
+        match Schema.index schema f with
+        | None -> (f, `Absent)
+        | Some col -> (
+          match Cache.find ctx.cache (key f) with
+          | Some (Cache.Values vs) -> (f, `Cached vs)
+          | Some _ | None -> (f, `Missing col)))
+      fs
+  in
+  let missing =
+    List.filter_map (function f, `Missing col -> Some (f, col) | _ -> None) lookups
+  in
+  let loaded = Hashtbl.create 8 in
+  if missing <> [] then (
+    let pm = Structures.posmap ctx.structures source in
+    let nrows = Vida_raw.Positional_map.row_count pm in
+    let arrays = List.map (fun (f, col) -> (f, col, Array.make nrows Value.Null)) missing in
+    let cols = List.map (fun (_, col, _) -> col) arrays in
+    let policy = cleaning_policy ctx source.Source.name in
+    let bad = bad_set ctx source.Source.name in
+    Vida_raw.Positional_map.record_while_scanning pm ~cols (fun row fields ->
+        List.iteri
+          (fun i (f, _, arr) ->
+            let ty = (Schema.attr schema (Schema.index_exn schema f)).Schema.ty in
+            match Vida_cleaning.Policy.clean policy ~field:f ty fields.(i) with
+            | Ok (Some v) -> arr.(row) <- v
+            | Ok None ->
+              (* problematic entry: remember it; generated code skips it *)
+              Hashtbl.replace bad row ()
+            | Error msg -> Value.type_error "%s" msg)
+          arrays);
+    List.iter
+      (fun (f, _, arr) ->
+        ignore (Cache.put ctx.cache (key f) (Cache.Values arr));
+        Hashtbl.replace loaded f arr)
+      arrays);
+  let nrows = ref (-1) in
+  let columns =
+    List.map
+      (fun (f, status) ->
+        match status with
+        | `Absent -> (f, `Null)
+        | `Cached vs ->
+          nrows := Array.length vs;
+          (f, `Col vs)
+        | `Missing _ ->
+          let arr = Hashtbl.find loaded f in
+          nrows := Array.length arr;
+          (f, `Col arr))
+      lookups
+  in
+  let nrows =
+    if !nrows >= 0 then !nrows
+    else Vida_raw.Positional_map.row_count (Structures.posmap ctx.structures source)
+  in
+  (columns, nrows)
+
+let csv_producer ctx (source : Source.t) schema need consumer =
+  let fs =
+    match need with
+    | Analysis.Whole -> Schema.names schema
+    | Analysis.Fields fs -> fs
+  in
+  let columns, nrows = csv_columns ctx source schema fs in
+  let bad = bad_set ctx source.Source.name in
+  for row = 0 to nrows - 1 do
+    if not (Hashtbl.mem bad row) then
+      consumer
+        (Value.Record
+           (List.map
+              (fun (f, col) ->
+                match col with
+                | `Null -> (f, Value.Null)
+                | `Col arr -> (f, arr.(row)))
+              columns))
+  done
+
+(* --- JSON lines --- *)
+
+let json_field_column ctx (source : Source.t) f =
+  let key = { Cache.source = source.Source.name; item = f; layout = Layout.Values } in
+  match Cache.find ctx.cache key with
+  | Some (Cache.Values vs) -> vs
+  | Some _ | None ->
+    let si = Structures.semi_index ctx.structures source in
+    let n = Vida_raw.Semi_index.object_count si in
+    let policy = cleaning_policy ctx source.Source.name in
+    let bad = bad_set ctx source.Source.name in
+    let arr =
+      Array.init n (fun obj ->
+          match Vida_raw.Semi_index.field_value si ~obj ~field:f with
+          | v -> v
+          | exception Vida_raw.Json.Error msg -> (
+            match Vida_cleaning.Policy.on_error policy with
+            | Vida_cleaning.Policy.Strict -> Value.type_error "%s" msg
+            | Vida_cleaning.Policy.Null_value | Vida_cleaning.Policy.Nearest ->
+              Value.Null
+            | Vida_cleaning.Policy.Skip_row ->
+              Hashtbl.replace bad obj ();
+              Value.Null))
+    in
+    ignore (Cache.put ctx.cache key (Cache.Values arr));
+    arr
+
+let json_producer ctx (source : Source.t) need consumer =
+  match need with
+  | Analysis.Fields fs ->
+    let columns = List.map (fun f -> (f, json_field_column ctx source f)) fs in
+    let n =
+      match columns with
+      | (_, arr) :: _ -> Array.length arr
+      | [] ->
+        Vida_raw.Semi_index.object_count (Structures.semi_index ctx.structures source)
+    in
+    let bad = bad_set ctx source.Source.name in
+    for obj = 0 to n - 1 do
+      if not (Hashtbl.mem bad obj) then
+        consumer (Value.Record (List.map (fun (f, arr) -> (f, arr.(obj))) columns))
+    done
+  | Analysis.Whole -> (
+    let key =
+      { Cache.source = source.Source.name; item = whole_object_item;
+        layout = Layout.Vbson }
+    in
+    match Cache.find ctx.cache key with
+    | Some (Cache.Strings encoded) ->
+      Array.iter (fun s -> consumer (Vbson.decode s)) encoded
+    | Some _ | None ->
+      let si = Structures.semi_index ctx.structures source in
+      let n = Vida_raw.Semi_index.object_count si in
+      let encoded = Array.make n "" in
+      for obj = 0 to n - 1 do
+        let v = Vida_raw.Semi_index.object_value si obj in
+        encoded.(obj) <- Vbson.encode v;
+        consumer v
+      done;
+      ignore (Cache.put ctx.cache key (Cache.Strings encoded)))
+
+(* --- XML --- *)
+
+let xml_field_column ctx (source : Source.t) f =
+  let key = { Cache.source = source.Source.name; item = f; layout = Layout.Values } in
+  match Cache.find ctx.cache key with
+  | Some (Cache.Values vs) -> vs
+  | Some _ | None ->
+    let xi = Structures.xml_index ctx.structures source in
+    let n = Vida_raw.Xml_index.element_count xi in
+    let arr = Array.init n (fun elem -> Vida_raw.Xml_index.field_value xi ~elem ~field:f) in
+    ignore (Cache.put ctx.cache key (Cache.Values arr));
+    arr
+
+let xml_producer ctx (source : Source.t) need consumer =
+  match need with
+  | Analysis.Fields fs ->
+    let columns = List.map (fun f -> (f, xml_field_column ctx source f)) fs in
+    let n =
+      match columns with
+      | (_, arr) :: _ -> Array.length arr
+      | [] -> Vida_raw.Xml_index.element_count (Structures.xml_index ctx.structures source)
+    in
+    for elem = 0 to n - 1 do
+      consumer (Value.Record (List.map (fun (f, arr) -> (f, arr.(elem))) columns))
+    done
+  | Analysis.Whole -> (
+    let key =
+      { Cache.source = source.Source.name; item = whole_object_item;
+        layout = Layout.Vbson }
+    in
+    match Cache.find ctx.cache key with
+    | Some (Cache.Strings encoded) ->
+      Array.iter (fun s -> consumer (Vbson.decode s)) encoded
+    | Some _ | None ->
+      let xi = Structures.xml_index ctx.structures source in
+      let n = Vida_raw.Xml_index.element_count xi in
+      let encoded = Array.make n "" in
+      for elem = 0 to n - 1 do
+        let v = Vida_raw.Xml_index.element_value xi elem in
+        encoded.(elem) <- Vbson.encode v;
+        consumer v
+      done;
+      ignore (Cache.put ctx.cache key (Cache.Strings encoded)))
+
+(* --- binary arrays --- *)
+
+let binarray_producer ctx (source : Source.t) need consumer =
+  let ba = Structures.binarray ctx.structures source in
+  let all_fields =
+    List.map (fun f -> f.Vida_raw.Binarray.name) (Vida_raw.Binarray.header ba).fields
+  in
+  let fs =
+    match need with
+    | Analysis.Whole -> all_fields
+    | Analysis.Fields fs -> fs
+  in
+  let name = source.Source.name in
+  let n = Vida_raw.Binarray.cell_count ba in
+  let columns =
+    List.map
+      (fun f ->
+        match Vida_raw.Binarray.field_index ba f with
+        | None -> (f, `Null)
+        | Some idx ->
+          let key = { Cache.source = name; item = f; layout = Layout.Values } in
+          let arr =
+            match Cache.find ctx.cache key with
+            | Some (Cache.Values vs) -> vs
+            | Some _ | None ->
+              let arr = Array.init n (fun cell -> Vida_raw.Binarray.get ba ~cell ~field:idx) in
+              ignore (Cache.put ctx.cache key (Cache.Values arr));
+              arr
+          in
+          (f, `Col arr))
+      fs
+  in
+  for cell = 0 to n - 1 do
+    consumer
+      (Value.Record
+         (List.map
+            (fun (f, col) ->
+              match col with `Null -> (f, Value.Null) | `Col arr -> (f, arr.(cell)))
+            columns))
+  done
+
+(* binarray scan with zone-map block skipping: the ranges are a
+   conservative superset filter; the caller re-applies the exact
+   predicate *)
+let binarray_ranged_producer ctx (source : Source.t) need ~ranges consumer =
+  let ba = Structures.binarray ctx.structures source in
+  let all_fields =
+    List.map (fun f -> f.Vida_raw.Binarray.name) (Vida_raw.Binarray.header ba).fields
+  in
+  let fs =
+    match need with
+    | Analysis.Whole -> all_fields
+    | Analysis.Fields fs -> fs
+  in
+  let franges =
+    List.filter_map
+      (fun (fname, lo, hi) ->
+        match Vida_raw.Binarray.field_index ba fname with
+        | Some field -> Some { Vida_raw.Binarray.field; lo; hi }
+        | None -> None)
+      ranges
+  in
+  let idxs =
+    List.map (fun f -> (f, Vida_raw.Binarray.field_index ba f)) fs
+  in
+  Vida_raw.Binarray.scan_filtered ba ~ranges:franges (fun cell ->
+      consumer
+        (Value.Record
+           (List.map
+              (fun (f, idx) ->
+                match idx with
+                | None -> (f, Value.Null)
+                | Some field -> (f, Vida_raw.Binarray.get ba ~cell ~field))
+              idxs)))
+
+(* Column-array view of a source, for engines that fold over rows directly
+   (e.g. the parallel reducer). [None] when the format has no columnar
+   access or rows are being skipped by a cleaning policy (alignment would
+   be unsafe). *)
+let column_arrays ctx (source : Source.t) ~fields =
+  if bad_row_count ctx source.Source.name > 0 then None
+  else
+    match source.Source.format with
+    | Source.Csv { schema; _ } ->
+      let columns, nrows = csv_columns ctx source schema fields in
+      Some
+        ( nrows,
+          List.map
+            (fun (f, col) ->
+              match col with
+              | `Col arr -> (f, arr)
+              | `Null -> (f, Array.make nrows Value.Null))
+            columns )
+    | Source.Binary_array ->
+      let ba = Structures.binarray ctx.structures source in
+      let n = Vida_raw.Binarray.cell_count ba in
+      Some
+        ( n,
+          List.map
+            (fun f ->
+              match Vida_raw.Binarray.field_index ba f with
+              | None -> (f, Array.make n Value.Null)
+              | Some idx ->
+                let key =
+                  { Cache.source = source.Source.name; item = f; layout = Layout.Values }
+                in
+                let arr =
+                  match Cache.find ctx.cache key with
+                  | Some (Cache.Values vs) -> vs
+                  | Some _ | None ->
+                    let arr =
+                      Array.init n (fun cell -> Vida_raw.Binarray.get ba ~cell ~field:idx)
+                    in
+                    ignore (Cache.put ctx.cache key (Cache.Values arr));
+                    arr
+                in
+                (f, arr))
+            fields )
+    | Source.Inline v ->
+      let elements = Array.of_list (Value.elements v) in
+      let n = Array.length elements in
+      Some
+        ( n,
+          List.map
+            (fun f ->
+              ( f,
+                Array.map
+                  (fun e ->
+                    match Value.field_opt e f with Some v -> v | None -> Value.Null)
+                  elements ))
+            fields )
+    | Source.Json_lines _ | Source.Xml _ | Source.External _ -> None
+
+(* --- generic --- *)
+
+let materialize_source ctx (source : Source.t) =
+  match source.Source.format with
+  | Source.Inline v -> v
+  | Source.Csv { schema; _ } ->
+    let items = ref [] in
+    csv_producer ctx source schema Analysis.Whole (fun v -> items := v :: !items);
+    Value.Bag (List.rev !items)
+  | Source.Json_lines _ ->
+    let items = ref [] in
+    json_producer ctx source Analysis.Whole (fun v -> items := v :: !items);
+    Value.Bag (List.rev !items)
+  | Source.Xml _ ->
+    let items = ref [] in
+    xml_producer ctx source Analysis.Whole (fun v -> items := v :: !items);
+    Value.List (List.rev !items)
+  | Source.Binary_array ->
+    let ba = Structures.binarray ctx.structures source in
+    Vida_raw.Binarray.to_value ba
+  | Source.External { produce; _ } ->
+    let items = ref [] in
+    produce (fun v -> items := v :: !items);
+    Value.Bag (List.rev !items)
+
+let base_eval_env ctx =
+  let env =
+    List.fold_left (fun env (x, v) -> Eval.bind x v env) Eval.empty_env ctx.params
+  in
+  List.fold_left
+    (fun env source -> Eval.bind source.Source.name (materialize_source ctx source) env)
+    env
+    (Registry.sources ctx.registry)
+
+let source_count ctx (source : Source.t) =
+  match source.Source.format with
+  | Source.Inline v -> List.length (Value.elements v)
+  | Source.Csv _ ->
+    Vida_raw.Positional_map.row_count (Structures.posmap ctx.structures source)
+  | Source.Json_lines _ ->
+    Vida_raw.Semi_index.object_count (Structures.semi_index ctx.structures source)
+  | Source.Xml _ ->
+    Vida_raw.Xml_index.element_count (Structures.xml_index ctx.structures source)
+  | Source.Binary_array ->
+    Vida_raw.Binarray.cell_count (Structures.binarray ctx.structures source)
+  | Source.External { count; _ } -> count ()
+
+let producer ctx (expr : Expr.t) ~need consumer =
+  match expr with
+  | Expr.Var name -> (
+    match Registry.find ctx.registry name with
+    | Some source -> (
+      match source.Source.format with
+      | Source.Csv { schema; _ } -> csv_producer ctx source schema need consumer
+      | Source.Json_lines _ -> json_producer ctx source need consumer
+      | Source.Xml _ -> xml_producer ctx source need consumer
+      | Source.Binary_array -> binarray_producer ctx source need consumer
+      | Source.Inline v -> List.iter consumer (Value.elements v)
+      | Source.External { produce; _ } -> produce consumer)
+    | None -> (
+      match List.assoc_opt name ctx.params with
+      | Some v -> List.iter consumer (Value.elements v)
+      | None -> engine_error "unknown source %s" name))
+  | expr ->
+    (* arbitrary source expression: generic interpreter fallback *)
+    let v = Eval.eval (base_eval_env ctx) expr in
+    (match v with
+    | Value.Null -> ()
+    | v -> List.iter consumer (Value.elements v))
+
+let invalidate ctx name =
+  Cache.invalidate_source ctx.cache name;
+  Structures.invalidate ctx.structures name;
+  Hashtbl.remove ctx.bad_rows name;
+  ignore (Registry.refresh ctx.registry name)
+
+let set_cleaning ctx ~source policy =
+  Hashtbl.replace ctx.cleaning source policy;
+  (* decoded columns were produced under the old policy *)
+  Cache.invalidate_source ctx.cache source;
+  Hashtbl.remove ctx.bad_rows source

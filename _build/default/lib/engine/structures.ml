@@ -1,0 +1,95 @@
+open Vida_raw
+open Vida_catalog
+
+type t = {
+  buffers : (string, Raw_buffer.t) Hashtbl.t;
+  posmaps : (string, Positional_map.t) Hashtbl.t;
+  semi_indexes : (string, Semi_index.t) Hashtbl.t;
+  xml_indexes : (string, Xml_index.t) Hashtbl.t;
+  binarrays : (string, Binarray.t) Hashtbl.t;
+}
+
+let create () =
+  { buffers = Hashtbl.create 8; posmaps = Hashtbl.create 8;
+    semi_indexes = Hashtbl.create 8; xml_indexes = Hashtbl.create 8;
+    binarrays = Hashtbl.create 8 }
+
+let source_path (source : Source.t) =
+  match source.Source.path with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Structures: source %S has no backing file" source.Source.name)
+
+let memo table key f =
+  match Hashtbl.find_opt table key with
+  | Some v -> v
+  | None ->
+    let v = f () in
+    Hashtbl.replace table key v;
+    v
+
+let buffer t source =
+  memo t.buffers source.Source.name (fun () -> Raw_buffer.of_path (source_path source))
+
+let sidecar_path source = source_path source ^ ".vidx"
+
+let posmap t source =
+  match source.Source.format with
+  | Source.Csv { delim; header; _ } ->
+    memo t.posmaps source.Source.name (fun () ->
+        (* a persisted sidecar from an earlier session restores the map
+           without re-scanning, if the data file is unchanged *)
+        match Positional_map.load ~delim (buffer t source) ~path:(sidecar_path source) with
+        | Some pm -> pm
+        | None -> Positional_map.build ~delim ~header (buffer t source))
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Structures.posmap: %S is not a CSV source" source.Source.name)
+
+let semi_index t source =
+  match source.Source.format with
+  | Source.Json_lines _ ->
+    memo t.semi_indexes source.Source.name (fun () -> Semi_index.build (buffer t source))
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Structures.semi_index: %S is not a JSON source" source.Source.name)
+
+let xml_index t source =
+  match source.Source.format with
+  | Source.Xml _ ->
+    memo t.xml_indexes source.Source.name (fun () -> Xml_index.build (buffer t source))
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Structures.xml_index: %S is not an XML source" source.Source.name)
+
+let binarray t source =
+  match source.Source.format with
+  | Source.Binary_array ->
+    memo t.binarrays source.Source.name (fun () -> Binarray.open_file (buffer t source))
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Structures.binarray: %S is not a binary-array source"
+         source.Source.name)
+
+let peek_posmap t name = Hashtbl.find_opt t.posmaps name
+
+let checkpoint_posmap t source =
+  match Hashtbl.find_opt t.posmaps source.Source.name with
+  | None -> false
+  | Some pm ->
+    Positional_map.save pm ~path:(sidecar_path source);
+    true
+let peek_semi_index t name = Hashtbl.find_opt t.semi_indexes name
+
+let invalidate t name =
+  Hashtbl.remove t.buffers name;
+  Hashtbl.remove t.posmaps name;
+  Hashtbl.remove t.semi_indexes name;
+  Hashtbl.remove t.xml_indexes name;
+  Hashtbl.remove t.binarrays name
+
+let footprint t =
+  Hashtbl.fold (fun _ pm acc -> acc + Positional_map.footprint pm) t.posmaps 0
+  + Hashtbl.fold (fun _ si acc -> acc + Semi_index.footprint si) t.semi_indexes 0
+  + Hashtbl.fold (fun _ xi acc -> acc + Xml_index.footprint xi) t.xml_indexes 0

@@ -1,0 +1,39 @@
+(** Per-source auxiliary structure registry.
+
+    Holds the lazily-built raw-file structures — raw buffers, positional
+    maps, semi-indexes, binary-array handles — shared by every query of a
+    session. Invalidation drops a source's structures (paper §2.1: updates
+    to underlying files result in dropping the affected auxiliary
+    structures). *)
+
+type t
+
+val create : unit -> t
+
+(** Each accessor builds the structure on first request (registering the
+    build cost with {!Vida_raw.Io_stats}) and memoizes it.
+    @raise Invalid_argument when the source's format does not match. *)
+val buffer : t -> Vida_catalog.Source.t -> Vida_raw.Raw_buffer.t
+
+val posmap : t -> Vida_catalog.Source.t -> Vida_raw.Positional_map.t
+val semi_index : t -> Vida_catalog.Source.t -> Vida_raw.Semi_index.t
+val xml_index : t -> Vida_catalog.Source.t -> Vida_raw.Xml_index.t
+val binarray : t -> Vida_catalog.Source.t -> Vida_raw.Binarray.t
+
+(** [checkpoint_posmap t source] persists a built positional map to the
+    source's sidecar file ([<data path>.vidx]); the next session restores
+    it without re-scanning, as long as the data file is unchanged. Returns
+    false when no map has been built. *)
+val checkpoint_posmap : t -> Vida_catalog.Source.t -> bool
+
+(** [peek_posmap]/[peek_semi_index] return an already-built structure
+    without building one — cost estimation must not trigger file scans. *)
+val peek_posmap : t -> string -> Vida_raw.Positional_map.t option
+
+val peek_semi_index : t -> string -> Vida_raw.Semi_index.t option
+
+(** [invalidate t name] drops every structure of source [name]. *)
+val invalidate : t -> string -> unit
+
+(** [footprint t] is the approximate memory held by index structures. *)
+val footprint : t -> int

@@ -1,0 +1,1 @@
+lib/optimizer/cost.ml: Analysis Expr Feedback Float Format List Plan Plugins Registry Source Structures Vida_algebra Vida_calculus Vida_catalog Vida_data Vida_engine Vida_raw Vida_storage

@@ -1,0 +1,1 @@
+lib/optimizer/cost.mli: Format Vida_algebra Vida_engine

@@ -1,0 +1,1 @@
+lib/optimizer/groupby.ml: Expr List Monoid Option Plan String Translate Vida_algebra Vida_calculus Vida_data

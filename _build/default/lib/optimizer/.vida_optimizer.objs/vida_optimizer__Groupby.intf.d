@@ -1,0 +1,1 @@
+lib/optimizer/groupby.mli: Vida_algebra

@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.ml: Cost Expr Groupby List Option Plan Rules String Vida_algebra Vida_calculus

@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.mli: Cost Vida_algebra Vida_engine

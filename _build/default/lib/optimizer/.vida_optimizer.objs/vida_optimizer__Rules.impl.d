@@ -1,0 +1,1 @@
+lib/optimizer/rules.ml: Expr List Plan Vida_algebra Vida_calculus Vida_data

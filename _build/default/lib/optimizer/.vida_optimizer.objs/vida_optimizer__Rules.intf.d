@@ -1,0 +1,1 @@
+lib/optimizer/rules.mli: Vida_algebra Vida_calculus

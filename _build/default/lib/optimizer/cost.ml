@@ -1,0 +1,160 @@
+open Vida_calculus
+open Vida_algebra
+open Vida_catalog
+open Vida_engine
+
+type estimate = { cardinality : float; cost : float }
+
+let csv_cold = 3.0
+let csv_mapped = 1.0
+let json_cold = 5.0
+let json_indexed = 1.5
+let binarray_fetch = 0.5
+let cached = 0.2
+let inline_fetch = 0.1
+
+let default_cardinality = 1000.
+
+let attribute_cost ctx ~source ~field =
+  let cache_key layout =
+    { Vida_storage.Cache.source; item = field; layout }
+  in
+  if Vida_storage.Cache.mem ctx.Plugins.cache (cache_key Vida_storage.Layout.Values)
+  then cached
+  else
+    match Registry.find ctx.Plugins.registry source with
+    | None -> inline_fetch
+    | Some s -> (
+      match s.Source.format with
+      | Source.Inline _ -> inline_fetch
+      | Source.Binary_array -> binarray_fetch
+      | Source.Csv { schema; _ } -> (
+        match Structures.peek_posmap ctx.Plugins.structures source with
+        | Some pm -> (
+          match Vida_data.Schema.index schema field with
+          | Some col
+            when List.mem col (Vida_raw.Positional_map.populated_columns pm) ->
+            csv_mapped
+          | _ -> csv_cold)
+        | None -> csv_cold)
+      | Source.Json_lines _ -> (
+        match Structures.peek_semi_index ctx.Plugins.structures source with
+        | Some si when Vida_raw.Semi_index.indexed_objects si > 0 -> json_indexed
+        | _ -> json_cold)
+      | Source.Xml _ -> json_cold
+      | Source.External _ -> csv_mapped (* a loaded system: constant per attribute *))
+
+let source_cardinality ctx name =
+  match Feedback.lookup ctx.Plugins.feedback ~key:(Feedback.cardinality_key name) with
+  | Some observed -> observed
+  | None ->
+  match Registry.find ctx.Plugins.registry name with
+  | None -> default_cardinality
+  | Some s -> (
+    (* cheap counts only: build structures lazily only for file formats whose
+       structural scan we would need anyway on first access *)
+    match s.Source.format with
+    | Source.Inline v -> float_of_int (List.length (Vida_data.Value.elements v))
+    | _ -> (
+      match Plugins.source_count ctx s with
+      | n -> float_of_int n
+      | exception _ -> default_cardinality))
+
+(* heuristic selectivity, overridden by runtime feedback when the engine
+   has observed this predicate before (paper §5 feedback loop) *)
+let rec selectivity ctx (e : Expr.t) =
+  match Feedback.lookup ctx.Plugins.feedback ~key:(Feedback.selectivity_key e) with
+  | Some observed -> observed
+  | None -> (
+    match e with
+    | Expr.BinOp (Expr.And, a, b) -> selectivity ctx a *. selectivity ctx b
+    | Expr.BinOp (Expr.Or, a, b) ->
+      Float.min 1.0 (selectivity ctx a +. selectivity ctx b)
+    | Expr.BinOp (Expr.Eq, _, _) -> 0.1
+    | Expr.BinOp ((Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge), _, _) -> 0.33
+    | Expr.BinOp (Expr.Neq, _, _) -> 0.9
+    | Expr.UnOp (Expr.Not, e) -> 1.0 -. selectivity ctx e
+    | Expr.Const (Vida_data.Value.Bool true) -> 1.0
+    | Expr.Const (Vida_data.Value.Bool false) -> 0.0
+    | _ -> 0.5)
+
+let unnest_fanout = 4.0
+
+let scan_fields ctx plan (source_expr : Expr.t) var =
+  match source_expr with
+  | Expr.Var name -> (
+    match Analysis.plan_var_needs plan ~var with
+    | Analysis.Whole -> (
+      match Registry.find ctx.Plugins.registry name with
+      | Some { Source.format = Source.Csv { schema; _ }; _ } ->
+        List.map (fun f -> (name, f)) (Vida_data.Schema.names schema)
+      | _ -> [ (name, "__object__") ])
+    | Analysis.Fields fs -> List.map (fun f -> (name, f)) fs)
+  | _ -> []
+
+let estimate ctx (top : Plan.t) =
+  let rec go (p : Plan.t) : estimate =
+    match p with
+    | Plan.Unit -> { cardinality = 1.; cost = 0. }
+    | Plan.Source { var; expr } ->
+      let cardinality =
+        match expr with
+        | Expr.Var name -> source_cardinality ctx name
+        | _ -> default_cardinality
+      in
+      let per_tuple =
+        match scan_fields ctx top expr var with
+        | [] -> inline_fetch
+        | fields ->
+          List.fold_left
+            (fun acc (source, field) -> acc +. attribute_cost ctx ~source ~field)
+            0. fields
+      in
+      { cardinality; cost = cardinality *. per_tuple }
+    | Plan.Select { pred; child } ->
+      let c = go child in
+      { cardinality = c.cardinality *. selectivity ctx pred;
+        cost = c.cost +. c.cardinality }
+    | Plan.Map { child; _ } ->
+      let c = go child in
+      { c with cost = c.cost +. c.cardinality }
+    | Plan.Product { left; right } ->
+      let l = go left and r = go right in
+      let cardinality = l.cardinality *. r.cardinality in
+      { cardinality; cost = l.cost +. r.cost +. cardinality }
+    | Plan.Join { pred; left; right } ->
+      let l = go left and r = go right in
+      let keys, residual =
+        Analysis.split_equi ~left:(Plan.bound_vars left)
+          ~right:(Plan.bound_vars right) pred
+      in
+      let sel =
+        match Feedback.lookup ctx.Plugins.feedback ~key:(Feedback.join_key pred) with
+        | Some observed -> observed
+        | None ->
+          if keys = [] then selectivity ctx pred
+          else
+            1. /. Float.max 1. (Float.max l.cardinality r.cardinality)
+            *. (match residual with Some r -> selectivity ctx r | None -> 1.)
+      in
+      let cardinality = l.cardinality *. r.cardinality *. sel in
+      (* hash join: build right + probe left + emit *)
+      { cardinality; cost = l.cost +. r.cost +. l.cardinality +. r.cardinality +. cardinality }
+    | Plan.Unnest { outer; child; _ } ->
+      let c = go child in
+      let cardinality =
+        if outer then Float.max c.cardinality (c.cardinality *. unnest_fanout)
+        else c.cardinality *. unnest_fanout
+      in
+      { cardinality; cost = c.cost +. cardinality }
+    | Plan.Reduce { child; _ } ->
+      let c = go child in
+      { cardinality = 1.; cost = c.cost +. c.cardinality }
+    | Plan.Nest { child; _ } ->
+      let c = go child in
+      { cardinality = Float.max 1. (c.cardinality /. 10.);
+        cost = c.cost +. (2. *. c.cardinality) }
+  in
+  go top
+
+let pp ppf e = Format.fprintf ppf "card=%.1f cost=%.1f" e.cardinality e.cost

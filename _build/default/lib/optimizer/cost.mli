@@ -1,0 +1,47 @@
+(** Raw-data-aware cost model (paper §5).
+
+    Classical optimizers assume a constant CPU cost per attribute fetched
+    from the buffer pool; over raw data the per-attribute cost varies with
+    the format and with the auxiliary structures already built. Following
+    the paper's example ("for a CSV file with no positional index, the cost
+    to retrieve a tuple might be 3 × const_cost"), the model prices each
+    needed attribute of each source by consulting the session's caches,
+    positional maps and semi-indexes, and normalizes all formats to one
+    unit: the cost of fetching one attribute of one tuple from a loaded
+    DBMS buffer. *)
+
+type estimate = {
+  cardinality : float;  (** expected environments produced *)
+  cost : float;  (** cumulative work in attribute-fetch units *)
+}
+
+(** Per-attribute fetch cost multipliers, exposed for tests/benches:
+    [csv_cold] tokenize + parse + convert with no positional map;
+    [csv_mapped] navigate via positional map; [json_cold] full-object
+    parse; [json_indexed] semi-index field extraction; [binarray_fetch]
+    fixed-width direct seek; [cached] decoded value already in ViDa's
+    cache; [inline_fetch] in-memory element. *)
+
+val csv_cold : float
+
+val csv_mapped : float
+val json_cold : float
+val json_indexed : float
+val binarray_fetch : float
+val cached : float
+val inline_fetch : float
+
+(** [attribute_cost ctx ~source ~field] prices one attribute fetch for the
+    current session state. *)
+val attribute_cost : Vida_engine.Plugins.ctx -> source:string -> field:string -> float
+
+(** [source_cardinality ctx name] is the element count of a registered
+    source ([default] — 1000 — when unknown). *)
+val source_cardinality : Vida_engine.Plugins.ctx -> string -> float
+
+(** [estimate ctx plan] walks a plan bottom-up. Selectivities are
+    heuristic: equality 0.1, range 0.33, other 0.5, equi-join
+    1/max(|l|,|r|) (key–foreign-key assumption), unnest fan-out 4. *)
+val estimate : Vida_engine.Plugins.ctx -> Vida_algebra.Plan.t -> estimate
+
+val pp : Format.formatter -> estimate -> unit

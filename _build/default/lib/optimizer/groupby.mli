@@ -1,0 +1,22 @@
+(** Grouping recognition: correlated group-by idiom → [Nest].
+
+    The comprehension encoding of grouping (what the SQL frontend emits,
+    and what analysts write by hand) ranges over the [set] of key tuples
+    and re-filters the inputs once per key:
+
+    {v
+    for { k <- (for { quals } yield set (k0 := e0, ...)) }
+    yield bag (key := k.k0,
+               agg := for { quals, e0 = k.k0, ... } yield sum f)
+    v}
+
+    That plan is O(|groups| × |input|). This rule rewrites the exact idiom
+    into the algebra's [Nest] operator — one hashing pass collecting each
+    group's bindings, then per-group aggregation — preserving semantics
+    (including NULL group keys, whose rows contribute to no aggregate under
+    three-valued equality: the per-group aggregates keep the key-equality
+    filter, which costs O(group) and evaluates exactly as before). *)
+
+(** [rewrite plan] returns the [Nest]-based plan when [plan] matches the
+    idiom (and the result validates), [None] otherwise. *)
+val rewrite : Vida_algebra.Plan.t -> Vida_algebra.Plan.t option

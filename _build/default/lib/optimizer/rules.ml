@@ -1,0 +1,68 @@
+open Vida_calculus
+open Vida_algebra
+
+let rec conjuncts (e : Expr.t) =
+  match e with
+  | Expr.BinOp (Expr.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> Expr.bool true
+  | first :: rest ->
+    List.fold_left (fun acc c -> Expr.BinOp (Expr.And, acc, c)) first rest
+
+let subset vars allowed = List.for_all (fun v -> List.mem v allowed) vars
+
+(* One local rewrite attempt at the root. *)
+let rewrite_root (p : Plan.t) : Plan.t option =
+  match p with
+  | Plan.Select { pred = Expr.Const (Vida_data.Value.Bool true); child } -> Some child
+  | Plan.Select { pred = Expr.BinOp (Expr.And, a, b); child } ->
+    Some (Plan.Select { pred = a; child = Plan.Select { pred = b; child } })
+  | Plan.Select { pred; child = Plan.Map ({ var; _ } as m) }
+    when not (List.mem var (Expr.free_vars pred)) ->
+    Some (Plan.Map { m with child = Plan.Select { pred; child = m.child } })
+  | Plan.Select { pred; child = Plan.Unnest ({ var; _ } as u) }
+    when not (List.mem var (Expr.free_vars pred)) ->
+    Some (Plan.Unnest { u with child = Plan.Select { pred; child = u.child } })
+  | Plan.Select { pred; child = Plan.Product { left; right } } ->
+    let fv = Expr.free_vars pred in
+    let lvars = Plan.bound_vars left and rvars = Plan.bound_vars right in
+    if subset fv lvars then
+      Some (Plan.Product { left = Plan.Select { pred; child = left }; right })
+    else if subset fv rvars then
+      Some (Plan.Product { left; right = Plan.Select { pred; child = right } })
+    else Some (Plan.Join { pred; left; right })
+  | Plan.Select { pred; child = Plan.Join ({ left; right; _ } as j) } ->
+    let fv = Expr.free_vars pred in
+    let lvars = Plan.bound_vars left and rvars = Plan.bound_vars right in
+    if subset fv lvars then
+      Some (Plan.Join { j with left = Plan.Select { pred; child = left } })
+    else if subset fv rvars then
+      Some (Plan.Join { j with right = Plan.Select { pred; child = right } })
+    else Some (Plan.Join { j with pred = conjoin (conjuncts j.pred @ [ pred ]) })
+  | Plan.Product { left = Plan.Unit; right } -> Some right
+  | Plan.Product { left; right = Plan.Unit } -> Some left
+  | _ -> None
+
+let rec fixpoint_root p n =
+  if n = 0 then p
+  else
+    match rewrite_root p with
+    | Some p' -> fixpoint_root p' (n - 1)
+    | None -> p
+
+let rec pass p =
+  let p = fixpoint_root p 32 in
+  Plan.map_children pass p
+
+let apply p =
+  (* a pushed-down selection can enable further pushdown below it: iterate
+     whole-tree passes to a (bounded) fixpoint *)
+  let rec go p n =
+    if n = 0 then p
+    else
+      let p' = pass p in
+      if Plan.equal p' p then p else go p' (n - 1)
+  in
+  go p 16

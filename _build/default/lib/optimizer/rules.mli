@@ -1,0 +1,20 @@
+(** Logical plan rewrites.
+
+    Classical algebraic rewrites, run to fixpoint:
+    - conjunctive selections split into single-conjunct selections;
+    - selections pushed below maps, unnests, products and joins, down to
+      the side that binds their variables;
+    - a selection spanning both sides of a product turns it into a join
+      (hash-joinable predicates are recognized later, at compile time);
+    - unit products and trivially-true selections eliminated.
+
+    Rewrites are semantics-preserving on environment streams; the
+    differential test-suite checks them against the reference executor. *)
+
+val apply : Vida_algebra.Plan.t -> Vida_algebra.Plan.t
+
+(** [conjuncts e] splits nested conjunctions into a flat list. *)
+val conjuncts : Vida_calculus.Expr.t -> Vida_calculus.Expr.t list
+
+(** [conjoin es] rebuilds a conjunction ([true] for the empty list). *)
+val conjoin : Vida_calculus.Expr.t list -> Vida_calculus.Expr.t

@@ -1,0 +1,1 @@
+lib/rawfile/binarray.ml: Array Buffer Char Float Fun Hashtbl Int64 Io_stats List Printf Raw_buffer String Value Vida_data

@@ -1,0 +1,1 @@
+lib/rawfile/binarray.mli: Raw_buffer Vida_data

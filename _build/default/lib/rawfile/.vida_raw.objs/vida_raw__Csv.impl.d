@@ -1,0 +1,1 @@
+lib/rawfile/csv.ml: Buffer Float Io_stats List Printf Raw_buffer String Ty Value Vida_data

@@ -1,0 +1,1 @@
+lib/rawfile/csv.mli: Raw_buffer Vida_data

@@ -1,0 +1,1 @@
+lib/rawfile/file_snapshot.ml: Format Fun Hashtbl

@@ -1,0 +1,1 @@
+lib/rawfile/io_stats.mli: Format

@@ -1,0 +1,1 @@
+lib/rawfile/json.ml: Buffer Char Format Io_stats List Printf String Value Vida_data

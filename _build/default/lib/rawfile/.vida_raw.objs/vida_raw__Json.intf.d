@@ -1,0 +1,1 @@
+lib/rawfile/json.mli: Vida_data

@@ -1,0 +1,1 @@
+lib/rawfile/positional_map.ml: Array Char Csv Fun Hashtbl Io_stats List Printf Raw_buffer String Sys

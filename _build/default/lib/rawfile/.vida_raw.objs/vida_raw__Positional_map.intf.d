@@ -1,0 +1,1 @@
+lib/rawfile/positional_map.mli: Raw_buffer

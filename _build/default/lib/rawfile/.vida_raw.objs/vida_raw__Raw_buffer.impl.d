@@ -1,0 +1,1 @@
+lib/rawfile/raw_buffer.ml: Fun Io_stats Printf String

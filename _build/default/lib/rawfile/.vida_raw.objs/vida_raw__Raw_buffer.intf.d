@@ -1,0 +1,1 @@
+lib/rawfile/raw_buffer.mli:

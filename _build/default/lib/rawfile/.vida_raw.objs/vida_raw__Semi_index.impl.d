@@ -1,0 +1,1 @@
+lib/rawfile/semi_index.ml: Array Io_stats Json List Printf Raw_buffer String Value Vida_data

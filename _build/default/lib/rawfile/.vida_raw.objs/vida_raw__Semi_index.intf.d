@@ -1,0 +1,1 @@
+lib/rawfile/semi_index.mli: Raw_buffer Vida_data

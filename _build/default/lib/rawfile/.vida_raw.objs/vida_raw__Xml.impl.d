@@ -1,0 +1,1 @@
+lib/rawfile/xml.ml: Buffer Char Format Hashtbl Io_stats List Printf String Value Vida_data

@@ -1,0 +1,1 @@
+lib/rawfile/xml.mli: Vida_data

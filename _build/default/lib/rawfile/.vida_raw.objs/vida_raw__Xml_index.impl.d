@@ -1,0 +1,1 @@
+lib/rawfile/xml_index.ml: Array Hashtbl Io_stats List Printf Raw_buffer String Value Vida_data Xml

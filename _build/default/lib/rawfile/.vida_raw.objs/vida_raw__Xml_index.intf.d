@@ -1,0 +1,1 @@
+lib/rawfile/xml_index.mli: Raw_buffer Vida_data

@@ -1,0 +1,199 @@
+open Vida_data
+
+type field = { name : string; is_float : bool }
+type header = { dims : int list; fields : field list }
+
+let magic = "VARR"
+let version = 1
+
+(* --- little-endian integer helpers over Bytes/Buffer --- *)
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_u16 buf v =
+  add_u8 buf (v land 0xFF);
+  add_u8 buf ((v lsr 8) land 0xFF)
+
+let add_i64_of_int64 buf v =
+  for i = 0 to 7 do
+    add_u8 buf (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL))
+  done
+
+let write path ~dims ~fields cells =
+  if dims = [] then invalid_arg "Binarray.write: empty dims";
+  if fields = [] then invalid_arg "Binarray.write: empty fields";
+  let ncells = List.fold_left ( * ) 1 dims in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf magic;
+      add_u8 buf version;
+      add_u8 buf (List.length dims);
+      List.iter (fun d -> add_i64_of_int64 buf (Int64.of_int d)) dims;
+      add_u16 buf (List.length fields);
+      List.iter
+        (fun f ->
+          add_u16 buf (String.length f.name);
+          Buffer.add_string buf f.name;
+          add_u8 buf (if f.is_float then 1 else 0))
+        fields;
+      output_string oc (Buffer.contents buf);
+      let nfields = List.length fields in
+      let row = Buffer.create (nfields * 8) in
+      for cell = 0 to ncells - 1 do
+        Buffer.clear row;
+        let values = cells cell in
+        if Array.length values <> nfields then
+          invalid_arg "Binarray.write: wrong number of field values";
+        List.iteri
+          (fun i f ->
+            match values.(i), f.is_float with
+            | Value.Float v, true -> add_i64_of_int64 row (Int64.bits_of_float v)
+            | Value.Int v, true -> add_i64_of_int64 row (Int64.bits_of_float (float_of_int v))
+            | Value.Int v, false -> add_i64_of_int64 row (Int64.of_int v)
+            | v, _ ->
+              invalid_arg
+                (Printf.sprintf "Binarray.write: field %s cannot hold %s" f.name
+                   (Value.to_string v)))
+          fields;
+        output_string oc (Buffer.contents row)
+      done)
+
+type t = {
+  buf : Raw_buffer.t;
+  header : header;
+  data_offset : int;
+  cell_width : int;
+  ncells : int;
+  zone_cache : (int, (float * float) array) Hashtbl.t;  (* field -> blocks *)
+  mutable skipped : int;
+}
+
+let read_u8 s pos = Char.code s.[pos]
+let read_u16 s pos = read_u8 s pos lor (read_u8 s (pos + 1) lsl 8)
+
+let read_i64 s pos =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read_u8 s (pos + i)))
+  done;
+  !v
+
+let open_file buf =
+  let header_max = min (Raw_buffer.length buf) 65536 in
+  let s = Raw_buffer.slice buf ~pos:0 ~len:header_max in
+  if String.length s < 6 || String.sub s 0 4 <> magic then
+    failwith "Binarray.open_file: bad magic";
+  if read_u8 s 4 <> version then failwith "Binarray.open_file: unsupported version";
+  let ndims = read_u8 s 5 in
+  let pos = ref 6 in
+  let dims =
+    List.init ndims (fun _ ->
+        let d = Int64.to_int (read_i64 s !pos) in
+        pos := !pos + 8;
+        d)
+  in
+  let nfields = read_u16 s !pos in
+  pos := !pos + 2;
+  let fields =
+    List.init nfields (fun _ ->
+        let len = read_u16 s !pos in
+        let name = String.sub s (!pos + 2) len in
+        let is_float = read_u8 s (!pos + 2 + len) = 1 in
+        pos := !pos + 2 + len + 1;
+        { name; is_float })
+  in
+  let ncells = List.fold_left ( * ) 1 dims in
+  { buf; header = { dims; fields }; data_offset = !pos;
+    cell_width = nfields * 8; ncells; zone_cache = Hashtbl.create 4; skipped = 0 }
+
+let header t = t.header
+let cell_count t = t.ncells
+
+let field_index t name =
+  let rec go i = function
+    | [] -> None
+    | f :: rest -> if String.equal f.name name then Some i else go (i + 1) rest
+  in
+  go 0 t.header.fields
+
+let get t ~cell ~field =
+  if cell < 0 || cell >= t.ncells then
+    invalid_arg (Printf.sprintf "Binarray.get: cell %d out of range" cell);
+  let f = List.nth t.header.fields field in
+  let pos = t.data_offset + (cell * t.cell_width) + (field * 8) in
+  let s = Raw_buffer.slice t.buf ~pos ~len:8 in
+  let bits = read_i64 s 0 in
+  Io_stats.add_values_converted 1;
+  if f.is_float then Value.Float (Int64.float_of_bits bits)
+  else Value.Int (Int64.to_int bits)
+
+let get_cell t ~cell =
+  Value.Record
+    (List.mapi (fun i f -> (f.name, get t ~cell ~field:i)) t.header.fields)
+
+let cell_of_indices t idxs =
+  if List.length idxs <> List.length t.header.dims then
+    invalid_arg "Binarray.cell_of_indices: rank mismatch";
+  List.fold_left2
+    (fun acc i d ->
+      if i < 0 || i >= d then invalid_arg "Binarray.cell_of_indices: out of bounds";
+      (acc * d) + i)
+    0 idxs t.header.dims
+
+let to_value t =
+  Value.Array
+    { dims = t.header.dims; data = Array.init t.ncells (fun cell -> get_cell t ~cell) }
+
+(* --- zone maps --- *)
+
+let zone_block = 256
+
+let numeric t ~cell ~field =
+  match get t ~cell ~field with
+  | Value.Float f -> f
+  | Value.Int i -> float_of_int i
+  | _ -> Float.nan
+
+let zones t ~field =
+  match Hashtbl.find_opt t.zone_cache field with
+  | Some z -> z
+  | None ->
+    let nblocks = (t.ncells + zone_block - 1) / zone_block in
+    let z =
+      Array.init nblocks (fun b ->
+          let lo = b * zone_block and hi = min t.ncells ((b + 1) * zone_block) - 1 in
+          let mn = ref infinity and mx = ref neg_infinity in
+          for cell = lo to hi do
+            let v = numeric t ~cell ~field in
+            if v < !mn then mn := v;
+            if v > !mx then mx := v
+          done;
+          (!mn, !mx))
+    in
+    Hashtbl.replace t.zone_cache field z;
+    z
+
+type range = { field : int; lo : float option; hi : float option }
+
+let block_may_match t b ranges =
+  List.for_all
+    (fun { field; lo; hi } ->
+      let zmin, zmax = (zones t ~field).(b) in
+      (match lo with Some l -> zmax >= l | None -> true)
+      && (match hi with Some h -> zmin <= h | None -> true))
+    ranges
+
+let scan_filtered t ~ranges f =
+  let nblocks = (t.ncells + zone_block - 1) / zone_block in
+  for b = 0 to nblocks - 1 do
+    if ranges = [] || block_may_match t b ranges then
+      for cell = b * zone_block to min t.ncells ((b + 1) * zone_block) - 1 do
+        f cell
+      done
+    else t.skipped <- t.skipped + 1
+  done
+
+let blocks_skipped t = t.skipped

@@ -1,0 +1,84 @@
+(** Binary array files.
+
+    A minimal scientific array format standing in for the paper's
+    ROOT/NetCDF/HDF5 examples (§3.1): a header describing dimensions and a
+    record of named fields per cell, then row-major fixed-width cell data
+    (8 bytes per field: int64 or float64). Fixed-width cells give the
+    constant per-tuple access cost the paper's cost model contrasts with
+    textual formats — reading cell (i,j) is a direct seek, no tokenization.
+
+    Layout:
+    {v
+    magic "VARR" | version u8 | ndims u8 | dims: i64 × ndims
+    | nfields u16 | fields: (name_len u16, name bytes, typecode u8) ×
+    | cells: row-major, nfields × 8 bytes each
+    v}
+    All integers little-endian. Typecodes: 0 = int64, 1 = float64.
+    A zero in the data of an int64 field encodes NULL when the header flag
+    marks the field nullable is {e not} supported — nulls are not
+    representable, matching dense scientific arrays. *)
+
+type field = { name : string; is_float : bool }
+
+type header = { dims : int list; fields : field list }
+
+(** [write path ~dims ~fields cells] writes a file; [cells] is called with
+    the flat cell index and must return one value per field ([Int] or
+    [Float] as declared).
+    @raise Invalid_argument on shape mismatch. *)
+val write :
+  string -> dims:int list -> fields:field list -> (int -> Vida_data.Value.t array) -> unit
+
+type t
+
+(** [open_file buf] parses the header.
+    @raise Failure on a malformed file. *)
+val open_file : Raw_buffer.t -> t
+
+val header : t -> header
+val cell_count : t -> int
+
+(** [field_index t name] is the position of field [name]. *)
+val field_index : t -> string -> int option
+
+(** [get t ~cell ~field] reads one scalar with a direct seek. *)
+val get : t -> cell:int -> field:int -> Vida_data.Value.t
+
+(** [get_cell t ~cell] reads a full cell as a record. *)
+val get_cell : t -> cell:int -> Vida_data.Value.t
+
+(** [cell_of_indices t idxs] converts multi-dimensional indices to the flat
+    cell index.
+    @raise Invalid_argument on rank/bound mismatch. *)
+val cell_of_indices : t -> int list -> int
+
+(** [to_value t] materializes the whole file as a nested [Array] value of
+    records — the "load everything" path baselines use. *)
+val to_value : t -> Vida_data.Value.t
+
+(** {1 Zone maps}
+
+    Per-block min/max statistics over a field (the paper's "indexes over
+    their contents" that scan operators exploit, §4.1): a predicated scan
+    skips whole blocks whose value range cannot satisfy the predicate.
+    Built lazily on first use (one pass over the field) and memoized. *)
+
+(** Block size in cells used by the zone maps. *)
+val zone_block : int
+
+(** [zones t ~field] is the per-block [(min, max)] array for a field,
+    numeric comparison over int/float values. *)
+val zones : t -> field:int -> (float * float) array
+
+(** An inclusive numeric range restriction on one field; [None] bounds are
+    open. *)
+type range = { field : int; lo : float option; hi : float option }
+
+(** [scan_filtered t ~ranges f] calls [f cell] for every cell in blocks
+    whose zones possibly intersect all [ranges] — a conservative superset
+    of the matching cells (callers re-apply the exact predicate). Counts
+    skipped blocks as saved reads. *)
+val scan_filtered : t -> ranges:range list -> (int -> unit) -> unit
+
+(** Blocks skipped by [scan_filtered] since the handle was opened. *)
+val blocks_skipped : t -> int

@@ -1,0 +1,174 @@
+open Vida_data
+
+(* [next_pos] convention: a value strictly greater than [row_end] means the
+   row is exhausted; otherwise it is the start offset of the next field. *)
+let field_bounds ~delim buf ~row_end pos =
+  Io_stats.add_fields_tokenized 1;
+  if pos < row_end && Raw_buffer.char_at buf pos = '"' then (
+    let rec scan i =
+      if i >= row_end then i
+      else
+        match Raw_buffer.char_at buf i with
+        | '"' ->
+          if i + 1 < row_end && Raw_buffer.char_at buf (i + 1) = '"' then scan (i + 2)
+          else i
+        | _ -> scan (i + 1)
+    in
+    let close = scan (pos + 1) in
+    let next =
+      if close + 1 < row_end && Raw_buffer.char_at buf (close + 1) = delim then close + 2
+      else row_end + 1
+    in
+    (pos + 1, close, next))
+  else (
+    let rec scan i =
+      if i >= row_end then i
+      else if Raw_buffer.char_at buf i = delim then i
+      else scan (i + 1)
+    in
+    let stop = scan pos in
+    let next = if stop < row_end then stop + 1 else row_end + 1 in
+    (pos, stop, next))
+
+let skip_fields ~delim buf ~row_end pos n =
+  let rec go pos n =
+    if n = 0 then pos
+    else
+      let _, _, next = field_bounds ~delim buf ~row_end pos in
+      go next (n - 1)
+  in
+  go pos n
+
+let unescape_quotes s =
+  if not (String.contains s '"') then s
+  else (
+    let buf = Buffer.create (String.length s) in
+    let rec go i =
+      if i < String.length s then
+        if s.[i] = '"' && i + 1 < String.length s && s.[i + 1] = '"' then (
+          Buffer.add_char buf '"';
+          go (i + 2))
+        else (
+          Buffer.add_char buf s.[i];
+          go (i + 1))
+    in
+    go 0;
+    Buffer.contents buf)
+
+let field_content ~delim buf ~row_end pos =
+  let start, stop, next = field_bounds ~delim buf ~row_end pos in
+  let raw = Raw_buffer.slice buf ~pos:start ~len:(stop - start) in
+  let content = if start > pos then unescape_quotes raw else raw in
+  (content, next)
+
+let split_line ~delim line =
+  let n = String.length line in
+  let fields = ref [] in
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if !pos > n then continue := false
+    else if !pos < n && line.[!pos] = '"' then (
+      let b = Buffer.create 16 in
+      let i = ref (!pos + 1) in
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then closed := true
+        else if line.[!i] = '"' then
+          if !i + 1 < n && line.[!i + 1] = '"' then (
+            Buffer.add_char b '"';
+            i := !i + 2)
+          else (
+            closed := true;
+            incr i)
+        else (
+          Buffer.add_char b line.[!i];
+          incr i)
+      done;
+      fields := Buffer.contents b :: !fields;
+      if !i < n && line.[!i] = delim then pos := !i + 1 else (pos := n + 1))
+    else (
+      let stop =
+        match String.index_from_opt line !pos delim with
+        | Some i when i <= n -> i
+        | _ -> n
+      in
+      fields := String.sub line !pos (stop - !pos) :: !fields;
+      if stop < n then pos := stop + 1 else pos := n + 1)
+  done;
+  List.rev !fields
+
+let is_null_text s =
+  s = "" || s = "NULL" || s = "null" || s = "NA"
+
+let convert ty s =
+  if is_null_text s then Value.Null
+  else (
+    Io_stats.add_values_converted 1;
+    match ty with
+    | Ty.Int -> (
+      match int_of_string_opt s with
+      | Some i -> Value.Int i
+      | None -> Value.type_error "CSV field %S is not an int" s)
+    | Ty.Float -> (
+      match float_of_string_opt s with
+      | Some f -> Value.Float f
+      | None -> Value.type_error "CSV field %S is not a float" s)
+    | Ty.Bool -> (
+      match s with
+      | "true" | "TRUE" | "1" | "t" -> Value.Bool true
+      | "false" | "FALSE" | "0" | "f" -> Value.Bool false
+      | _ -> Value.type_error "CSV field %S is not a bool" s)
+    | Ty.String -> Value.String s
+    | Ty.Any -> (
+      (* schema-less source: sniff the narrowest scalar type *)
+      match int_of_string_opt s with
+      | Some i -> Value.Int i
+      | None -> (
+        match float_of_string_opt s with
+        | Some f -> Value.Float f
+        | None -> (
+          match s with
+          | "true" -> Value.Bool true
+          | "false" -> Value.Bool false
+          | _ -> Value.String s)))
+    | (Ty.Record _ | Ty.Coll _) as ty ->
+      Value.type_error "CSV cannot hold a %s field" (Ty.to_string ty))
+
+let needs_quoting ~delim s =
+  String.exists (fun c -> c = delim || c = '"' || c = '\n' || c = '\r') s
+
+let escape_field ~delim s =
+  if not (needs_quoting ~delim s) then s
+  else (
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf)
+
+let write_fields oc ~delim fields =
+  List.iteri
+    (fun i f ->
+      if i > 0 then output_char oc delim;
+      output_string oc (escape_field ~delim f))
+    fields;
+  output_char oc '\n'
+
+let write_header = write_fields
+let write_row = write_fields
+
+let render_value = function
+  | Value.Null -> ""
+  | Value.Bool b -> string_of_bool b
+  | Value.Int i -> string_of_int i
+  | Value.Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.12g" f
+  | Value.String s -> s
+  | (Value.Record _ | Value.List _ | Value.Bag _ | Value.Set _ | Value.Array _) as v ->
+    (* nested data flattened into CSV is serialized as JSON text *)
+    Value.to_json v

@@ -1,0 +1,47 @@
+(** CSV tokenization, typed conversion, and writing.
+
+    The tokenizer works on byte offsets so the positional map
+    ({!Positional_map}) can record field positions and later resume
+    tokenization mid-row. Quoting follows RFC 4180: fields may be wrapped in
+    double quotes, with [""] escaping a quote; delimiters and newlines
+    inside quotes are data. *)
+
+(** [field_bounds ~delim buf ~row_end pos] scans one field starting at [pos]
+    (which must be a field start), returning [(content_start, content_stop,
+    next_pos)] — content bounds exclude the quotes of a quoted field, and
+    [next_pos] is the start of the following field, or [row_end] (+1 past
+    the delimiter handling) when the row is exhausted. Counts one
+    [field_tokenized]. *)
+val field_bounds :
+  delim:char -> Raw_buffer.t -> row_end:int -> int -> int * int * int
+
+(** [skip_fields ~delim buf ~row_end pos n] tokenizes past [n] fields,
+    returning the offset of the field that follows. *)
+val skip_fields : delim:char -> Raw_buffer.t -> row_end:int -> int -> int -> int
+
+(** [field_content ~delim buf ~row_end pos] extracts the (unescaped) string
+    content of the field starting at [pos] and the offset past it. *)
+val field_content :
+  delim:char -> Raw_buffer.t -> row_end:int -> int -> string * int
+
+(** [split_line ~delim line] tokenizes a standalone string (header parsing,
+    tests). *)
+val split_line : delim:char -> string -> string list
+
+(** [convert ty s] converts CSV field text to a typed value. The empty
+    string, ["NULL"] and ["NA"] convert to [Null] for every type.
+    @raise Vida_data.Value.Type_error on malformed input. *)
+val convert : Vida_data.Ty.t -> string -> Vida_data.Value.t
+
+(** [escape_field ~delim s] quotes [s] if it contains the delimiter, a
+    quote, or a newline. *)
+val escape_field : delim:char -> string -> string
+
+(** [write_header oc ~delim names] / [write_row oc ~delim fields] append one
+    line. Callers render values with {!render_value}. *)
+val write_header : out_channel -> delim:char -> string list -> unit
+
+val write_row : out_channel -> delim:char -> string list -> unit
+
+(** [render_value v] is the CSV text of a scalar value ([Null] → empty). *)
+val render_value : Vida_data.Value.t -> string

@@ -1,0 +1,34 @@
+type t = { path : string; size : int; mtime : float }
+
+let probe path =
+  let ic = open_in_bin path in
+  let size = Fun.protect ~finally:(fun () -> close_in ic) (fun () -> in_channel_length ic) in
+  (* stdlib-only mtime: Unix is deliberately not a dependency, so mtime falls
+     back to a content fingerprint of size + first/last bytes *)
+  let fingerprint =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let head = really_input_string ic (min 64 size) in
+        if size > 64 then (
+          seek_in ic (size - min 64 size);
+          let tail = really_input_string ic (min 64 size) in
+          float_of_int (Hashtbl.hash (head, tail)))
+        else float_of_int (Hashtbl.hash head))
+  in
+  (size, fingerprint)
+
+let take path =
+  let size, mtime = probe path in
+  { path; size; mtime }
+
+let path t = t.path
+let size t = t.size
+
+let stale t =
+  match probe t.path with
+  | size, mtime -> size <> t.size || mtime <> t.mtime
+  | exception Sys_error _ -> true
+
+let pp ppf t = Format.fprintf ppf "%s (%d bytes)" t.path t.size

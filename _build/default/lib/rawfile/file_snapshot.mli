@@ -1,0 +1,19 @@
+(** File identity snapshots for invalidation.
+
+    ViDa handles in-place updates by dropping the auxiliary structures of
+    files that changed (paper §2.1). A snapshot records (size, mtime) at
+    registration; [stale] compares against the filesystem now. *)
+
+type t
+
+(** @raise Sys_error if the file does not exist. *)
+val take : string -> t
+
+val path : t -> string
+val size : t -> int
+
+(** [stale t] is true when the file's current size or mtime differ from the
+    snapshot, or the file disappeared. *)
+val stale : t -> bool
+
+val pp : Format.formatter -> t -> unit

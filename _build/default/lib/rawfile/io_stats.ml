@@ -1,0 +1,51 @@
+type snapshot = {
+  bytes_read : int;
+  fields_tokenized : int;
+  values_converted : int;
+  objects_parsed : int;
+  index_probes : int;
+  file_loads : int;
+}
+
+let zero =
+  { bytes_read = 0; fields_tokenized = 0; values_converted = 0;
+    objects_parsed = 0; index_probes = 0; file_loads = 0 }
+
+let state = ref zero
+
+let diff a b =
+  { bytes_read = a.bytes_read - b.bytes_read;
+    fields_tokenized = a.fields_tokenized - b.fields_tokenized;
+    values_converted = a.values_converted - b.values_converted;
+    objects_parsed = a.objects_parsed - b.objects_parsed;
+    index_probes = a.index_probes - b.index_probes;
+    file_loads = a.file_loads - b.file_loads
+  }
+
+let current () = !state
+let reset () = state := zero
+
+let measure f =
+  let before = !state in
+  let result = f () in
+  (result, diff !state before)
+
+let add_bytes_read n = state := { !state with bytes_read = !state.bytes_read + n }
+
+let add_fields_tokenized n =
+  state := { !state with fields_tokenized = !state.fields_tokenized + n }
+
+let add_values_converted n =
+  state := { !state with values_converted = !state.values_converted + n }
+
+let add_objects_parsed n =
+  state := { !state with objects_parsed = !state.objects_parsed + n }
+
+let add_index_probes n = state := { !state with index_probes = !state.index_probes + n }
+let add_file_loads n = state := { !state with file_loads = !state.file_loads + n }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "bytes_read=%d fields_tokenized=%d values_converted=%d objects_parsed=%d index_probes=%d file_loads=%d"
+    s.bytes_read s.fields_tokenized s.values_converted s.objects_parsed s.index_probes
+    s.file_loads

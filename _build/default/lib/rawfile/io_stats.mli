@@ -1,0 +1,31 @@
+(** Global I/O and parsing counters.
+
+    Every raw-file substrate reports its work here; the optimizer's cost
+    model calibrates against these numbers and the benchmark harness prints
+    them (e.g. to show positional maps cutting [fields_tokenized]). *)
+
+type snapshot = {
+  bytes_read : int;  (** bytes fetched from raw files *)
+  fields_tokenized : int;  (** CSV fields walked over during navigation *)
+  values_converted : int;  (** string → typed value conversions *)
+  objects_parsed : int;  (** full JSON objects parsed *)
+  index_probes : int;  (** positional map / semi-index lookups *)
+  file_loads : int;  (** raw files (lazily) brought into memory *)
+}
+
+val zero : snapshot
+val diff : snapshot -> snapshot -> snapshot
+val current : unit -> snapshot
+val reset : unit -> unit
+
+(** [measure f] runs [f] and returns its result with the counter delta. *)
+val measure : (unit -> 'a) -> 'a * snapshot
+
+val add_bytes_read : int -> unit
+val add_fields_tokenized : int -> unit
+val add_values_converted : int -> unit
+val add_objects_parsed : int -> unit
+val add_index_probes : int -> unit
+val add_file_loads : int -> unit
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,218 @@
+open Vida_data
+
+exception Error of string
+
+let error pos fmt = Format.kasprintf (fun s -> raise (Error (Printf.sprintf "byte %d: %s" pos s))) fmt
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let rec skip_ws s pos = if pos < String.length s && is_ws s.[pos] then skip_ws s (pos + 1) else pos
+
+let parse_string_at s pos =
+  (* pos points at the opening quote; returns (content, next_pos) *)
+  let buf = Buffer.create 16 in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then error i "unterminated string"
+    else
+      match s.[i] with
+      | '"' -> i + 1
+      | '\\' ->
+        if i + 1 >= n then error i "dangling escape";
+        (match s.[i + 1] with
+        | '"' -> Buffer.add_char buf '"'; ()
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          if i + 5 >= n then error i "truncated unicode escape";
+          let code = int_of_string ("0x" ^ String.sub s (i + 2) 4) in
+          (* encode as UTF-8; surrogate pairs are passed through raw *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then (
+            Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+          else (
+            Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+        | c -> error i "bad escape \\%c" c);
+        if s.[i + 1] = 'u' then go (i + 6) else go (i + 2)
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1)
+  in
+  let next = go (pos + 1) in
+  (Buffer.contents buf, next)
+
+let number_end s pos =
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> go (i + 1)
+      | _ -> i
+    else i
+  in
+  go pos
+
+let parse_number s pos =
+  let stop = number_end s pos in
+  let text = String.sub s pos (stop - pos) in
+  let v =
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text then (
+      match float_of_string_opt text with
+      | Some f -> Value.Float f
+      | None -> error pos "malformed number %S" text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Value.Int i
+      | None -> (
+        match float_of_string_opt text with
+        | Some f -> Value.Float f
+        | None -> error pos "malformed number %S" text)
+  in
+  (v, stop)
+
+let expect s pos lit v =
+  let n = String.length lit in
+  if pos + n <= String.length s && String.sub s pos n = lit then (v, pos + n)
+  else error pos "expected %s" lit
+
+let rec parse_value s pos =
+  let pos = skip_ws s pos in
+  if pos >= String.length s then error pos "unexpected end of input";
+  match s.[pos] with
+  | '{' ->
+    let fields = ref [] in
+    let pos = skip_ws s (pos + 1) in
+    if pos < String.length s && s.[pos] = '}' then (Value.Record [], pos + 1)
+    else (
+      let rec members pos =
+        let pos = skip_ws s pos in
+        if pos >= String.length s || s.[pos] <> '"' then error pos "expected field name";
+        let name, pos = parse_string_at s pos in
+        let pos = skip_ws s pos in
+        if pos >= String.length s || s.[pos] <> ':' then error pos "expected ':'";
+        let v, pos = parse_value s (pos + 1) in
+        fields := (name, v) :: !fields;
+        let pos = skip_ws s pos in
+        if pos < String.length s && s.[pos] = ',' then members (pos + 1)
+        else if pos < String.length s && s.[pos] = '}' then pos + 1
+        else error pos "expected ',' or '}'"
+      in
+      let pos = members pos in
+      (Value.Record (List.rev !fields), pos))
+  | '[' ->
+    let items = ref [] in
+    let pos = skip_ws s (pos + 1) in
+    if pos < String.length s && s.[pos] = ']' then (Value.List [], pos + 1)
+    else (
+      let rec elements pos =
+        let v, pos = parse_value s pos in
+        items := v :: !items;
+        let pos = skip_ws s pos in
+        if pos < String.length s && s.[pos] = ',' then elements (pos + 1)
+        else if pos < String.length s && s.[pos] = ']' then pos + 1
+        else error pos "expected ',' or ']'"
+      in
+      let pos = elements pos in
+      (Value.List (List.rev !items), pos))
+  | '"' ->
+    let str, pos = parse_string_at s pos in
+    (Value.String str, pos)
+  | 't' -> expect s pos "true" (Value.Bool true)
+  | 'f' -> expect s pos "false" (Value.Bool false)
+  | 'n' -> expect s pos "null" Value.Null
+  | '-' | '0' .. '9' -> parse_number s pos
+  | c -> error pos "unexpected character %C" c
+
+let parse s =
+  let v, pos = parse_value s 0 in
+  let pos = skip_ws s pos in
+  if pos <> String.length s then error pos "trailing input"
+  else (
+    Io_stats.add_objects_parsed 1;
+    v)
+
+let parse_substring s ~pos ~len =
+  let v, stop = parse_value s pos in
+  let stop = skip_ws s stop in
+  if stop > pos + len then error stop "value extends past range"
+  else (
+    Io_stats.add_objects_parsed 1;
+    v)
+
+(* Structural skip: navigate past a value without building it. *)
+let rec skip_value s pos =
+  let pos = skip_ws s pos in
+  if pos >= String.length s then error pos "unexpected end of input";
+  match s.[pos] with
+  | '"' -> skip_string s pos
+  | '{' -> skip_composite s (pos + 1) '}' (fun pos ->
+      let pos = skip_ws s pos in
+      let pos = skip_string s pos in
+      let pos = skip_ws s pos in
+      if pos >= String.length s || s.[pos] <> ':' then error pos "expected ':'";
+      skip_value s (pos + 1))
+  | '[' -> skip_composite s (pos + 1) ']' (fun pos -> skip_value s pos)
+  | 't' -> snd (expect s pos "true" ())
+  | 'f' -> snd (expect s pos "false" ())
+  | 'n' -> snd (expect s pos "null" ())
+  | '-' | '0' .. '9' -> number_end s pos
+  | c -> error pos "unexpected character %C" c
+
+and skip_string s pos =
+  (* pos at opening quote *)
+  let n = String.length s in
+  let rec go i =
+    if i >= n then error i "unterminated string"
+    else
+      match s.[i] with
+      | '"' -> i + 1
+      | '\\' -> go (i + 2)
+      | _ -> go (i + 1)
+  in
+  go (pos + 1)
+
+and skip_composite s pos closer skip_member =
+  let pos = skip_ws s pos in
+  if pos < String.length s && s.[pos] = closer then pos + 1
+  else (
+    let rec members pos =
+      let pos = skip_member pos in
+      let pos = skip_ws s pos in
+      if pos < String.length s && s.[pos] = ',' then members (pos + 1)
+      else if pos < String.length s && s.[pos] = closer then pos + 1
+      else error pos "expected ',' or closer"
+    in
+    members pos)
+
+let scan_fields s ~pos ~len =
+  let limit = pos + len in
+  let start = skip_ws s pos in
+  if start >= limit || s.[start] <> '{' then error start "expected an object";
+  let fields = ref [] in
+  let p = skip_ws s (start + 1) in
+  if p < limit && s.[p] = '}' then []
+  else (
+    let rec members p =
+      let p = skip_ws s p in
+      if p >= limit || s.[p] <> '"' then error p "expected field name";
+      let name, p = parse_string_at s p in
+      let p = skip_ws s p in
+      if p >= limit || s.[p] <> ':' then error p "expected ':'";
+      let vstart = skip_ws s (p + 1) in
+      let vstop = skip_value s vstart in
+      fields := (name, (vstart, vstop - vstart)) :: !fields;
+      let p = skip_ws s vstop in
+      if p < limit && s.[p] = ',' then members (p + 1)
+      else if p < limit && s.[p] = '}' then ()
+      else error p "expected ',' or '}'"
+    in
+    members p;
+    List.rev !fields)

@@ -1,0 +1,259 @@
+type t = {
+  buf : Raw_buffer.t;
+  delim : char;
+  header_names : string list;
+  row_starts : int array;
+  row_stops : int array;
+  cols : (int, int array) Hashtbl.t;  (* column index -> absolute field offsets *)
+}
+
+(* Quote-aware scan of row boundaries: newlines inside quoted fields do not
+   terminate a row. *)
+let scan_rows buf =
+  let len = Raw_buffer.length buf in
+  Io_stats.add_bytes_read len;
+  let starts = ref [] and stops = ref [] in
+  let row_start = ref 0 in
+  let in_quotes = ref false in
+  for i = 0 to len - 1 do
+    match Raw_buffer.char_at buf i with
+    | '"' -> in_quotes := not !in_quotes
+    | '\n' when not !in_quotes ->
+      let stop = if i > 0 && Raw_buffer.char_at buf (i - 1) = '\r' then i - 1 else i in
+      starts := !row_start :: !starts;
+      stops := stop :: !stops;
+      row_start := i + 1
+    | _ -> ()
+  done;
+  if !row_start < len then (
+    starts := !row_start :: !starts;
+    stops := len :: !stops);
+  (Array.of_list (List.rev !starts), Array.of_list (List.rev !stops))
+
+let build ?(delim = ',') ?(header = true) buf =
+  let starts, stops = scan_rows buf in
+  let header_names, starts, stops =
+    if header && Array.length starts > 0 then (
+      let line =
+        Raw_buffer.slice buf ~pos:starts.(0) ~len:(stops.(0) - starts.(0))
+      in
+      ( Csv.split_line ~delim line,
+        Array.sub starts 1 (Array.length starts - 1),
+        Array.sub stops 1 (Array.length stops - 1) ))
+    else ([], starts, stops)
+  in
+  { buf; delim; header_names; row_starts = starts; row_stops = stops;
+    cols = Hashtbl.create 16 }
+
+let row_count t = Array.length t.row_starts
+let column_names t = t.header_names
+let delim t = t.delim
+
+let row_bounds t row =
+  if row < 0 || row >= row_count t then
+    invalid_arg (Printf.sprintf "Positional_map.row_bounds: row %d out of range" row);
+  (t.row_starts.(row), t.row_stops.(row))
+
+let populated_columns t =
+  List.sort compare (Hashtbl.fold (fun c _ acc -> c :: acc) t.cols [])
+
+(* Nearest recorded anchor at or before [col]: (anchor_col, offsets array
+   option). Column 0 is implicitly anchored at the row start. *)
+let anchor t col =
+  let best = ref (0, None) in
+  Hashtbl.iter
+    (fun c offsets -> if c <= col && c >= fst !best then best := (c, Some offsets))
+    t.cols;
+  !best
+
+let populate t cols =
+  let missing = List.sort_uniq compare (List.filter (fun c -> not (Hashtbl.mem t.cols c)) cols) in
+  if missing <> [] then (
+    let nrows = row_count t in
+    let arrays = List.map (fun c -> (c, Array.make nrows 0)) missing in
+    let max_col = List.fold_left max 0 missing in
+    let anchor_col, anchor_offsets = anchor t (List.fold_left min max_col missing) in
+    for row = 0 to nrows - 1 do
+      let row_end = t.row_stops.(row) in
+      (* a row too short to reach a column keeps the past-end sentinel, which
+         [field] reads back as the empty field *)
+      List.iter (fun (_, arr) -> arr.(row) <- row_end + 1) arrays;
+      let start_pos =
+        match anchor_offsets with
+        | Some offs -> offs.(row)
+        | None -> t.row_starts.(row)
+      in
+      let pos = ref start_pos and col = ref anchor_col in
+      while !col <= max_col && !pos <= row_end do
+        List.iter (fun (c, arr) -> if c = !col then arr.(row) <- !pos) arrays;
+        if !col < max_col then (
+          let _, _, next = Csv.field_bounds ~delim:t.delim t.buf ~row_end !pos in
+          pos := next);
+        incr col
+      done
+    done;
+    List.iter (fun (c, arr) -> Hashtbl.replace t.cols c arr) arrays)
+
+let field t ~row ~col =
+  if row < 0 || row >= row_count t then
+    invalid_arg (Printf.sprintf "Positional_map.field: row %d out of range" row);
+  Io_stats.add_index_probes 1;
+  let row_end = t.row_stops.(row) in
+  let anchor_col, anchor_offsets = anchor t col in
+  let start_pos =
+    match anchor_offsets with Some offs -> offs.(row) | None -> t.row_starts.(row)
+  in
+  let pos = Csv.skip_fields ~delim:t.delim t.buf ~row_end start_pos (col - anchor_col) in
+  if pos > row_end then ""
+  else fst (Csv.field_content ~delim:t.delim t.buf ~row_end pos)
+
+let fields t ~row ~cols =
+  let sorted = List.sort_uniq compare cols in
+  let results = Hashtbl.create (List.length sorted) in
+  let row_end = t.row_stops.(row) in
+  (* walk ascending columns, reusing the position reached so far *)
+  let _ =
+    List.fold_left
+      (fun (cur_col, cur_pos) col ->
+        Io_stats.add_index_probes 1;
+        let anchor_col, anchor_offsets = anchor t col in
+        (* prefer whichever starting point is closer to [col] *)
+        let from_col, from_pos =
+          if anchor_col > cur_col then
+            ( anchor_col,
+              match anchor_offsets with
+              | Some offs -> offs.(row)
+              | None -> t.row_starts.(row) )
+          else (cur_col, cur_pos)
+        in
+        let pos = Csv.skip_fields ~delim:t.delim t.buf ~row_end from_pos (col - from_col) in
+        if pos > row_end then (
+          Hashtbl.replace results col "";
+          (col, pos))
+        else (
+          let content, next = Csv.field_content ~delim:t.delim t.buf ~row_end pos in
+          Hashtbl.replace results col content;
+          (col + 1, next)))
+      (0, t.row_starts.(row))
+      sorted
+  in
+  Array.of_list (List.map (fun c -> Hashtbl.find results c) cols)
+
+let record_while_scanning t ~cols f =
+  let cols_sorted = List.sort_uniq compare cols in
+  populate t cols_sorted;
+  let nrows = row_count t in
+  let arrays = List.map (fun c -> (c, Hashtbl.find t.cols c)) cols_sorted in
+  for row = 0 to nrows - 1 do
+    let row_end = t.row_stops.(row) in
+    let values =
+      List.map
+        (fun (_, offs) ->
+          let pos = offs.(row) in
+          if pos > row_end then ""
+          else fst (Csv.field_content ~delim:t.delim t.buf ~row_end pos))
+        arrays
+    in
+    let by_request =
+      List.map
+        (fun c ->
+          let rec find cs vs =
+            match cs, vs with
+            | c' :: _, v :: _ when c' = c -> v
+            | _ :: cs, _ :: vs -> find cs vs
+            | _ -> ""
+          in
+          find cols_sorted values)
+        cols
+    in
+    f row (Array.of_list by_request)
+  done
+
+let footprint t =
+  let ncols = Hashtbl.length t.cols in
+  8 * (Array.length t.row_starts * (2 + ncols))
+
+(* --- persistence --- *)
+
+let sidecar_magic = "VPM1"
+
+let data_fingerprint buf =
+  let len = Raw_buffer.length buf in
+  let head = if len = 0 then "" else Raw_buffer.slice buf ~pos:0 ~len:(min 64 len) in
+  let tail =
+    if len <= 64 then "" else Raw_buffer.slice buf ~pos:(len - 64) ~len:64
+  in
+  Hashtbl.hash (len, head, tail)
+
+let write_int oc v =
+  for shift = 0 to 7 do
+    output_char oc (Char.chr ((v lsr (8 * shift)) land 0xFF))
+  done
+
+let write_array oc arr =
+  write_int oc (Array.length arr);
+  Array.iter (write_int oc) arr
+
+let save t ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc sidecar_magic;
+      write_int oc (data_fingerprint t.buf);
+      output_char oc t.delim;
+      write_int oc (List.length t.header_names);
+      List.iter
+        (fun name ->
+          write_int oc (String.length name);
+          output_string oc name)
+        t.header_names;
+      write_array oc t.row_starts;
+      write_array oc t.row_stops;
+      write_int oc (Hashtbl.length t.cols);
+      Hashtbl.iter
+        (fun col offsets ->
+          write_int oc col;
+          write_array oc offsets)
+        t.cols)
+
+let load ?(delim = ',') buf ~path =
+  if not (Sys.file_exists path) then None
+  else (
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let read_int () =
+          let v = ref 0 in
+          for shift = 0 to 7 do
+            v := !v lor (Char.code (input_char ic) lsl (8 * shift))
+          done;
+          !v
+        in
+        let read_array () = Array.init (read_int ()) (fun _ -> read_int ()) in
+        match
+          let magic = really_input_string ic 4 in
+          if magic <> sidecar_magic then raise Exit;
+          let fingerprint = read_int () in
+          if fingerprint <> data_fingerprint buf then raise Exit;
+          let stored_delim = input_char ic in
+          if stored_delim <> delim then raise Exit;
+          let nheader = read_int () in
+          let header_names =
+            List.init nheader (fun _ ->
+                let len = read_int () in
+                really_input_string ic len)
+          in
+          let row_starts = read_array () in
+          let row_stops = read_array () in
+          let cols = Hashtbl.create 16 in
+          let ncols = read_int () in
+          for _ = 1 to ncols do
+            let col = read_int () in
+            Hashtbl.replace cols col (read_array ())
+          done;
+          { buf; delim; header_names; row_starts; row_stops; cols }
+        with
+        | t -> Some t
+        | exception (Exit | End_of_file | Sys_error _) -> None))

@@ -1,0 +1,65 @@
+(** Positional maps for CSV files (paper §5; NoDB).
+
+    A positional map stores binary positions of fields inside a raw text
+    file so later queries navigate directly instead of re-tokenizing. It is
+    built {e lazily}: registering a file only scans row boundaries (one
+    cheap pass); column positions are recorded as queries touch columns.
+    A probe for column [c] seeks to the nearest recorded column [c' <= c]
+    and tokenizes only the [c - c'] intervening fields — the partial-map
+    behaviour whose cost the optimizer models.
+
+    The map is an auxiliary structure: dropping it at any time only costs
+    performance (paper §2.1 invalidation). *)
+
+type t
+
+(** [build ?delim ?header buf] scans row boundaries (quote-aware) and the
+    header line if [header] (default [true]). *)
+val build : ?delim:char -> ?header:bool -> Raw_buffer.t -> t
+
+val row_count : t -> int
+val column_names : t -> string list  (** empty when the file has no header *)
+
+val delim : t -> char
+
+(** [row_bounds t row] is the [(start, stop)] byte range of a data row
+    (0-based, excluding the header), newline excluded. *)
+val row_bounds : t -> int -> int * int
+
+(** [populate t cols] records positions of [cols] (0-based indices) for all
+    rows in one pass. Idempotent per column. *)
+val populate : t -> int list -> unit
+
+(** [populated_columns t] is the sorted list of recorded column indices.
+    Column 0 is implicitly always available (row starts). *)
+val populated_columns : t -> int list
+
+(** [field t ~row ~col] extracts one field's text, navigating via the map.
+    Counts an [index_probe] plus the fields actually tokenized.
+    @raise Invalid_argument if [row] is out of range. *)
+val field : t -> row:int -> col:int -> string
+
+(** [fields t ~row ~cols] extracts several columns of one row; [cols] need
+    not be sorted. More efficient than repeated [field] for ascending
+    runs. *)
+val fields : t -> row:int -> cols:int list -> string array
+
+(** [record_while_scanning t ~cols f] streams every row in file order,
+    calling [f row fields] with the requested columns, and records their
+    positions as a side effect (the NoDB "piggy-backed" build). *)
+val record_while_scanning : t -> cols:int list -> (int -> string array -> unit) -> unit
+
+(** Approximate memory footprint in bytes, for cache accounting. *)
+val footprint : t -> int
+
+(** {1 Persistence}
+
+    A positional map is pure navigation metadata, so it can outlive the
+    process: [save] writes a sidecar file; [load] restores it, returning
+    [None] when the sidecar is missing, malformed, or was built against a
+    different version of the data file (checked by stored size +
+    first/last-byte fingerprint). *)
+
+val save : t -> path:string -> unit
+
+val load : ?delim:char -> Raw_buffer.t -> path:string -> t option

@@ -1,0 +1,37 @@
+type t = { path : string; mutable contents : string option }
+
+let of_path path = { path; contents = None }
+let path t = t.path
+
+let force t =
+  match t.contents with
+  | Some s -> s
+  | None ->
+    let ic = open_in_bin t.path in
+    let len = in_channel_length ic in
+    let s =
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> really_input_string ic len)
+    in
+    Io_stats.add_file_loads 1;
+    t.contents <- Some s;
+    s
+
+let length t = String.length (force t)
+
+let slice t ~pos ~len =
+  let s = force t in
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg
+      (Printf.sprintf "Raw_buffer.slice: [%d,%d) out of range for %s (%d bytes)" pos
+         (pos + len) t.path (String.length s));
+  Io_stats.add_bytes_read len;
+  String.sub s pos len
+
+let char_at t pos = (force t).[pos]
+
+let index_from t pos c =
+  let s = force t in
+  if pos >= String.length s then None else String.index_from_opt s pos c
+
+let loaded t = t.contents <> None
+let invalidate t = t.contents <- None

@@ -1,0 +1,35 @@
+(** In-memory view of a raw file.
+
+    ViDa never loads raw files into database structures, but repeated
+    positional accesses go through the OS page cache; this module plays that
+    role: the file's bytes are brought into memory lazily on first access
+    and shared by every reader. [slice] is the only way data leaves the
+    buffer, and it feeds {!Io_stats.add_bytes_read} so experiments can
+    observe raw-access volume. *)
+
+type t
+
+(** [of_path path] creates a lazy view; the file is read on first access.
+    @raise Sys_error at access time if the file cannot be read. *)
+val of_path : string -> t
+
+val path : t -> string
+val length : t -> int
+
+(** [slice t ~pos ~len] copies bytes out of the view. Counts toward
+    [bytes_read].
+    @raise Invalid_argument if out of range. *)
+val slice : t -> pos:int -> len:int -> string
+
+(** [char_at t pos] peeks one byte without copying (no stats). *)
+val char_at : t -> int -> char
+
+(** [index_from t pos c] is the offset of the next [c] at or after [pos],
+    or [None]. *)
+val index_from : t -> int -> char -> int option
+
+(** [loaded t] tells whether the file has been faulted in yet. *)
+val loaded : t -> bool
+
+(** [invalidate t] drops the cached bytes (next access reloads). *)
+val invalidate : t -> unit

@@ -1,0 +1,76 @@
+open Vida_data
+
+type t = {
+  buf : Raw_buffer.t;
+  obj_bounds : (int * int) array;  (* (pos, len) per object *)
+  tables : (string * (int * int)) list option array;
+      (* per object: lazily recorded top-level field ranges *)
+  mutable indexed : int;
+}
+
+let build buf =
+  let len = Raw_buffer.length buf in
+  Io_stats.add_bytes_read len;
+  let bounds = ref [] in
+  let start = ref 0 in
+  for i = 0 to len - 1 do
+    if Raw_buffer.char_at buf i = '\n' then (
+      if i > !start then bounds := (!start, i - !start) :: !bounds;
+      start := i + 1)
+  done;
+  if !start < len then bounds := (!start, len - !start) :: !bounds;
+  let obj_bounds = Array.of_list (List.rev !bounds) in
+  { buf; obj_bounds; tables = Array.make (Array.length obj_bounds) None; indexed = 0 }
+
+let object_count t = Array.length t.obj_bounds
+
+let object_bounds t i =
+  if i < 0 || i >= object_count t then
+    invalid_arg (Printf.sprintf "Semi_index.object_bounds: object %d out of range" i);
+  t.obj_bounds.(i)
+
+let object_value t i =
+  let pos, len = object_bounds t i in
+  let text = Raw_buffer.slice t.buf ~pos ~len in
+  Json.parse_substring text ~pos:0 ~len
+
+let table t obj =
+  match t.tables.(obj) with
+  | Some table -> table
+  | None ->
+    let pos, len = object_bounds t obj in
+    (* structural scan over the object's bytes; absolute offsets recorded *)
+    let text = Raw_buffer.slice t.buf ~pos ~len in
+    let table =
+      List.map
+        (fun (name, (vpos, vlen)) -> (name, (pos + vpos, vlen)))
+        (Json.scan_fields text ~pos:0 ~len)
+    in
+    t.tables.(obj) <- Some table;
+    t.indexed <- t.indexed + 1;
+    table
+
+let field_bounds t ~obj ~field =
+  Io_stats.add_index_probes 1;
+  List.assoc_opt field (table t obj)
+
+let field_string t ~obj ~field =
+  match field_bounds t ~obj ~field with
+  | None -> None
+  | Some (pos, len) -> Some (Raw_buffer.slice t.buf ~pos ~len)
+
+let field_value t ~obj ~field =
+  match field_string t ~obj ~field with
+  | None -> Value.Null
+  | Some text -> Json.parse_substring text ~pos:0 ~len:(String.length text)
+
+let indexed_objects t = t.indexed
+
+let footprint t =
+  let table_cost = function
+    | None -> 0
+    | Some fields ->
+      List.fold_left (fun acc (name, _) -> acc + String.length name + 24) 16 fields
+  in
+  (16 * Array.length t.obj_bounds)
+  + Array.fold_left (fun acc tbl -> acc + table_cost tbl) 0 t.tables

@@ -1,0 +1,43 @@
+(** Structural semi-index for JSON files (paper §5; Ottaviano & Grossi).
+
+    For a JSON-lines file (one object per line — how ViDa's workload stores
+    the BrainRegions hierarchy), the index records each object's byte range
+    up front, and lazily records the byte range of each top-level field the
+    first time it is requested for an object. A later access to the same
+    (object, field) seeks directly and parses only the field's bytes,
+    skipping the rest of the object entirely — which is what keeps
+    projective queries over deep hierarchies cheap (paper Figure 4's
+    "positions" layout carries exactly these ranges). *)
+
+type t
+
+(** [build buf] scans object boundaries (newline-separated values). *)
+val build : Raw_buffer.t -> t
+
+val object_count : t -> int
+
+(** [object_bounds t i] is the byte range [(pos, len)] of object [i]. *)
+val object_bounds : t -> int -> int * int
+
+(** [object_value t i] parses the whole object (expensive; pollutes no
+    cache by itself — callers decide what to retain). *)
+val object_value : t -> int -> Vida_data.Value.t
+
+(** [field_bounds t ~obj ~field] is the byte range of a top-level field's
+    value, recording the object's field table on first access. [None] when
+    the object lacks the field. *)
+val field_bounds : t -> obj:int -> field:string -> (int * int) option
+
+(** [field_value t ~obj ~field] parses just the requested field ([Null]
+    when absent). *)
+val field_value : t -> obj:int -> field:string -> Vida_data.Value.t
+
+(** [field_string t ~obj ~field] is the raw text of the field's value,
+    for position-only handling (paper §5 cache-pollution avoidance). *)
+val field_string : t -> obj:int -> field:string -> string option
+
+(** Number of objects whose field tables have been recorded so far. *)
+val indexed_objects : t -> int
+
+(** Approximate memory footprint in bytes. *)
+val footprint : t -> int

@@ -1,0 +1,230 @@
+open Vida_data
+
+exception Error of string
+
+let error pos fmt =
+  Format.kasprintf (fun s -> raise (Error (Printf.sprintf "byte %d: %s" pos s))) fmt
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let rec skip_ws s pos =
+  if pos < String.length s && is_ws s.[pos] then skip_ws s (pos + 1) else pos
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let read_name s pos =
+  let n = String.length s in
+  let stop = ref pos in
+  while !stop < n && is_name_char s.[!stop] do
+    incr stop
+  done;
+  if !stop = pos then error pos "expected a name";
+  (String.sub s pos (!stop - pos), !stop)
+
+let decode_entities text =
+  if not (String.contains text '&') then text
+  else (
+    let buf = Buffer.create (String.length text) in
+    let n = String.length text in
+    let i = ref 0 in
+    while !i < n do
+      if text.[!i] = '&' then (
+        let stop =
+          match String.index_from_opt text !i ';' with
+          | Some j when j - !i <= 6 -> j
+          | _ -> -1
+        in
+        if stop = -1 then (
+          Buffer.add_char buf '&';
+          incr i)
+        else (
+          let entity = String.sub text (!i + 1) (stop - !i - 1) in
+          (match entity with
+          | "amp" -> Buffer.add_char buf '&'
+          | "lt" -> Buffer.add_char buf '<'
+          | "gt" -> Buffer.add_char buf '>'
+          | "quot" -> Buffer.add_char buf '"'
+          | "apos" -> Buffer.add_char buf '\''
+          | e when String.length e > 1 && e.[0] = '#' ->
+            let code =
+              if e.[1] = 'x' then int_of_string ("0x" ^ String.sub e 2 (String.length e - 2))
+              else int_of_string (String.sub e 1 (String.length e - 1))
+            in
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_string buf (Printf.sprintf "&#%d;" code)
+          | e -> Buffer.add_string buf ("&" ^ e ^ ";"));
+          i := stop + 1))
+      else (
+        Buffer.add_char buf text.[!i];
+        incr i)
+    done;
+    Buffer.contents buf)
+
+let sniff text =
+  match int_of_string_opt text with
+  | Some i -> Value.Int i
+  | None -> (
+    match float_of_string_opt text with
+    | Some f -> Value.Float f
+    | None -> (
+      match text with
+      | "true" -> Value.Bool true
+      | "false" -> Value.Bool false
+      | "" -> Value.Null
+      | t -> Value.String t))
+
+(* skip <!-- --> comments and <? ?> processing instructions *)
+let rec skip_misc s pos =
+  let pos = skip_ws s pos in
+  let n = String.length s in
+  if pos + 3 < n && String.sub s pos 4 = "<!--" then (
+    let rec find i =
+      if i + 2 >= n then error i "unterminated comment"
+      else if String.sub s i 3 = "-->" then i + 3
+      else find (i + 1)
+    in
+    skip_misc s (find (pos + 4)))
+  else if pos + 1 < n && String.sub s pos 2 = "<?" then (
+    let rec find i =
+      if i + 1 >= n then error i "unterminated processing instruction"
+      else if String.sub s i 2 = "?>" then i + 2
+      else find (i + 1)
+    in
+    skip_misc s (find (pos + 2)))
+  else if pos + 1 < n && String.sub s pos 2 = "<!" then (
+    (* DOCTYPE and friends: skip to the closing '>' *)
+    match String.index_from_opt s pos '>' with
+    | Some j -> skip_misc s (j + 1)
+    | None -> error pos "unterminated declaration")
+  else pos
+
+let read_attributes s pos =
+  let n = String.length s in
+  let rec go acc pos =
+    let pos = skip_ws s pos in
+    if pos >= n then error pos "unterminated tag"
+    else if s.[pos] = '>' || s.[pos] = '/' then (List.rev acc, pos)
+    else (
+      let name, pos = read_name s pos in
+      let pos = skip_ws s pos in
+      if pos >= n || s.[pos] <> '=' then error pos "expected '=' after attribute %s" name;
+      let pos = skip_ws s (pos + 1) in
+      if pos >= n || (s.[pos] <> '"' && s.[pos] <> '\'') then
+        error pos "expected a quoted attribute value";
+      let quote = s.[pos] in
+      let stop =
+        match String.index_from_opt s (pos + 1) quote with
+        | Some j -> j
+        | None -> error pos "unterminated attribute value"
+      in
+      let value = decode_entities (String.sub s (pos + 1) (stop - pos - 1)) in
+      go ((name, sniff value) :: acc) (stop + 1))
+  in
+  go [] pos
+
+(* Combine attributes, child elements (grouped by tag) and text into the
+   element's value. *)
+let assemble attrs children text =
+  let text = String.trim text in
+  match attrs, children, text with
+  | [], [], "" -> Value.Null
+  | [], [], t -> sniff (decode_entities t)
+  | _ ->
+    let grouped =
+      (* children arrive in document order; group repeated tags *)
+      let order = ref [] in
+      let table = Hashtbl.create 8 in
+      List.iter
+        (fun (tag, v) ->
+          (match Hashtbl.find_opt table tag with
+          | None ->
+            order := tag :: !order;
+            Hashtbl.replace table tag [ v ]
+          | Some vs -> Hashtbl.replace table tag (v :: vs)))
+        children;
+      List.rev_map
+        (fun tag ->
+          match List.rev (Hashtbl.find table tag) with
+          | [ single ] -> (tag, single)
+          | many -> (tag, Value.List many))
+        !order
+    in
+    let text_field =
+      if text = "" then [] else [ ("#text", sniff (decode_entities text)) ]
+    in
+    Value.Record (attrs @ grouped @ text_field)
+
+let rec parse_element s pos =
+  let pos = skip_misc s pos in
+  let n = String.length s in
+  if pos >= n || s.[pos] <> '<' then error pos "expected '<'";
+  let tag, pos = read_name s (pos + 1) in
+  let attrs, pos = read_attributes s pos in
+  if pos < n && s.[pos] = '/' then (
+    if pos + 1 >= n || s.[pos + 1] <> '>' then error pos "expected '/>'";
+    (assemble attrs [] "", pos + 2))
+  else (
+    (* content until </tag> *)
+    let pos = pos + 1 in
+    let children = ref [] in
+    let text = Buffer.create 16 in
+    let rec content pos =
+      if pos >= n then error pos "unterminated element <%s>" tag
+      else if s.[pos] = '<' then
+        if pos + 1 < n && s.[pos + 1] = '/' then (
+          let close, pos' = read_name s (pos + 2) in
+          if not (String.equal close tag) then
+            error pos "mismatched </%s> for <%s>" close tag;
+          let pos' = skip_ws s pos' in
+          if pos' >= n || s.[pos'] <> '>' then error pos' "expected '>'";
+          pos' + 1)
+        else if pos + 3 < n && String.sub s pos 4 = "<!--" then content (skip_misc s pos)
+        else if pos + 1 < n && (s.[pos + 1] = '?' || s.[pos + 1] = '!') then
+          content (skip_misc s pos)
+        else (
+          (* child element: remember its tag before recursing *)
+          let child_tag, _ = read_name s (pos + 1) in
+          let v, pos' = parse_element s pos in
+          children := (child_tag, v) :: !children;
+          content pos')
+      else (
+        Buffer.add_char text s.[pos];
+        content (pos + 1))
+    in
+    let pos = content pos in
+    (assemble attrs (List.rev !children) (Buffer.contents text), pos))
+
+let skip_element s pos = snd (parse_element s pos)
+
+let parse_document s =
+  let pos = skip_misc s 0 in
+  let v, pos = parse_element s pos in
+  let pos = skip_misc s pos in
+  if pos <> String.length s then error pos "trailing content after the root element"
+  else (
+    Io_stats.add_objects_parsed 1;
+    v)
+
+let children_bounds s =
+  let n = String.length s in
+  let pos = skip_misc s 0 in
+  if pos >= n || s.[pos] <> '<' then error pos "expected the root element";
+  let _, pos = read_name s (pos + 1) in
+  let _, pos = read_attributes s pos in
+  if pos < n && s.[pos] = '/' then []
+  else (
+    let bounds = ref [] in
+    let rec scan pos =
+      let pos = skip_misc s pos in
+      if pos >= n then error pos "unterminated root element"
+      else if s.[pos] = '<' && pos + 1 < n && s.[pos + 1] = '/' then ()
+      else if s.[pos] = '<' then (
+        let stop = skip_element s pos in
+        bounds := (pos, stop - pos) :: !bounds;
+        scan stop)
+      else scan (pos + 1)
+    in
+    scan (pos + 1);
+    List.rev !bounds)

@@ -1,0 +1,34 @@
+(** XML parsing onto the ViDa data model (paper Figure 2 lists XML among
+    the virtualized formats).
+
+    Data-oriented mapping: an element becomes a [Record] holding its
+    attributes (values sniffed to scalars) and its child elements — a tag
+    appearing once maps to a field with the child's value, a repeated tag
+    to a field holding the [List] of values; an element with only text
+    becomes the sniffed scalar itself; mixed content keeps its text under
+    ["#text"]. Comments, processing instructions and the prolog are
+    skipped; the predefined entities are decoded.
+
+    {v
+    <patient id="7"><name>ada</name><visit y="2010"/><visit y="2012"/></patient>
+    ==>  <id := 7, name := "ada", visit := [<y := 2010>, <y := 2012>]>
+    v} *)
+
+exception Error of string
+
+(** [parse_element s pos] parses one element starting at (or after
+    whitespace from) [pos]; returns its value and the offset past it. *)
+val parse_element : string -> int -> Vida_data.Value.t * int
+
+(** [parse_document s] parses a whole document (prolog allowed) to the root
+    element's value. *)
+val parse_document : string -> Vida_data.Value.t
+
+(** [skip_element s pos] returns the offset just past the element starting
+    at [pos] without building it. *)
+val skip_element : string -> int -> int
+
+(** [children_bounds s] finds the root element and returns the byte range
+    [(pos, len)] of each of its child elements — the structural index for
+    XML collections ("record elements under a root"). *)
+val children_bounds : string -> (int * int) list

@@ -1,0 +1,74 @@
+open Vida_data
+
+type t = {
+  buf : Raw_buffer.t;
+  bounds : (int * int) array;
+  list_tags : (string, unit) Hashtbl.t;
+      (* top-level tags that repeat in at least one element: normalized to
+         lists in every element, so the collection has a uniform shape *)
+}
+
+let raw_element buf bounds i =
+  let pos, len = bounds.(i) in
+  let text = Raw_buffer.slice buf ~pos ~len in
+  fst (Xml.parse_element text 0)
+
+let build buf =
+  let len = Raw_buffer.length buf in
+  Io_stats.add_bytes_read len;
+  let contents = Raw_buffer.slice buf ~pos:0 ~len in
+  let bounds = Array.of_list (Xml.children_bounds contents) in
+  (* one eager pass to learn which tags repeat: XML's single-vs-repeated
+     ambiguity must be resolved file-globally or elements get inconsistent
+     types *)
+  let list_tags = Hashtbl.create 8 in
+  Array.iteri
+    (fun i _ ->
+      match raw_element buf bounds i with
+      | Value.Record fields ->
+        List.iter
+          (fun (tag, v) ->
+            match v with
+            | Value.List _ -> Hashtbl.replace list_tags tag ()
+            | _ -> ())
+          fields
+      | _ -> ())
+    bounds;
+  { buf; bounds; list_tags }
+
+let element_count t = Array.length t.bounds
+
+let element_bounds t i =
+  if i < 0 || i >= element_count t then
+    invalid_arg (Printf.sprintf "Xml_index.element_bounds: element %d out of range" i);
+  t.bounds.(i)
+
+let normalize t v =
+  match v with
+  | Value.Record fields ->
+    Value.Record
+      (List.map
+         (fun (tag, v) ->
+           if Hashtbl.mem t.list_tags tag then
+             match v with
+             | Value.List _ -> (tag, v)
+             | Value.Null -> (tag, Value.List [])
+             | v -> (tag, Value.List [ v ])
+           else (tag, v))
+         fields)
+  | v -> v
+
+let element_value t i =
+  ignore (element_bounds t i);
+  Io_stats.add_objects_parsed 1;
+  normalize t (raw_element t.buf t.bounds i)
+
+let field_value t ~elem ~field =
+  Io_stats.add_index_probes 1;
+  match element_value t elem with
+  | Value.Record _ as r -> (
+    match Value.field_opt r field with Some v -> v | None -> Value.Null)
+  | v when String.equal field "#text" -> v
+  | _ -> Value.Null
+
+let footprint t = (16 * Array.length t.bounds) + (24 * Hashtbl.length t.list_tags)

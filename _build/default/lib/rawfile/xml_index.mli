@@ -1,0 +1,25 @@
+(** Structural index for XML collections.
+
+    Records the byte range of each child element of the document's root —
+    the XML analogue of {!Semi_index} for JSON lines. Field extraction
+    parses one element's bytes only (XML's nesting makes per-field byte
+    ranges less useful than JSON's, so the element is the access unit).
+
+    Shape normalization: XML cannot distinguish "one visit" from "a list of
+    one visit", so building the index makes one eager pass to find tags
+    that repeat within any element; those tags are presented as lists in
+    {e every} element (absent → [[]], single → a one-element list), giving
+    the collection a uniform element type. *)
+
+type t
+
+val build : Raw_buffer.t -> t
+val element_count : t -> int
+val element_bounds : t -> int -> int * int
+val element_value : t -> int -> Vida_data.Value.t
+
+(** [field_value t ~elem ~field] — [Null] when the element lacks the
+    field. *)
+val field_value : t -> elem:int -> field:string -> Vida_data.Value.t
+
+val footprint : t -> int

@@ -1,0 +1,1 @@
+lib/sql/sql.ml: Buffer Expr Format List Monoid Option Printf Result String Ty Value Vida_calculus Vida_data

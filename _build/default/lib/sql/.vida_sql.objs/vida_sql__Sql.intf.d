@@ -1,0 +1,1 @@
+lib/sql/sql.mli: Vida_calculus

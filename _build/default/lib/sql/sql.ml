@@ -1,0 +1,578 @@
+open Vida_data
+open Vida_calculus
+
+(* --- lexer --- *)
+
+type token =
+  | IDENT of string
+  | NUMBER of Value.t
+  | STRING of string
+  | KW of string  (* uppercased keyword *)
+  | COMMA | DOT | LPAREN | RPAREN | STAR
+  | EQ | NEQ | LT | LE | GT | GE
+  | PLUS | MINUS | SLASH
+  | EOF
+
+let keywords =
+  [ "SELECT"; "DISTINCT"; "FROM"; "JOIN"; "INNER"; "ON"; "WHERE"; "GROUP"; "BY";
+    "HAVING"; "ORDER"; "LIMIT"; "ASC"; "DESC"; "IN";
+    "AND"; "OR"; "NOT"; "AS"; "IS"; "NULL"; "TRUE"; "FALSE";
+    "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "MEDIAN" ]
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let lex src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let pos = ref 0 in
+  let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_ident c = is_ident_start c || (c >= '0' && c <= '9') in
+  let is_digit c = c >= '0' && c <= '9' in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if is_digit c then (
+      let start = !pos in
+      while !pos < n && (is_digit src.[!pos] || src.[!pos] = '.') do
+        incr pos
+      done;
+      let text = String.sub src start (!pos - start) in
+      let v =
+        if String.contains text '.' then Value.Float (float_of_string text)
+        else Value.Int (int_of_string text)
+      in
+      tokens := NUMBER v :: !tokens)
+    else if is_ident_start c then (
+      let start = !pos in
+      while !pos < n && is_ident src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      let upper = String.uppercase_ascii word in
+      if List.mem upper keywords then tokens := KW upper :: !tokens
+      else tokens := IDENT word :: !tokens)
+    else if c = '\'' then (
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !pos >= n then error "unterminated string literal"
+        else if src.[!pos] = '\'' then
+          if !pos + 1 < n && src.[!pos + 1] = '\'' then (
+            Buffer.add_char buf '\'';
+            pos := !pos + 2)
+          else (
+            closed := true;
+            incr pos)
+        else (
+          Buffer.add_char buf src.[!pos];
+          incr pos)
+      done;
+      tokens := STRING (Buffer.contents buf) :: !tokens)
+    else (
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      match two with
+      | "<>" -> tokens := NEQ :: !tokens; pos := !pos + 2
+      | "!=" -> tokens := NEQ :: !tokens; pos := !pos + 2
+      | "<=" -> tokens := LE :: !tokens; pos := !pos + 2
+      | ">=" -> tokens := GE :: !tokens; pos := !pos + 2
+      | _ -> (
+        (match c with
+        | ',' -> tokens := COMMA :: !tokens
+        | '.' -> tokens := DOT :: !tokens
+        | '(' -> tokens := LPAREN :: !tokens
+        | ')' -> tokens := RPAREN :: !tokens
+        | '*' -> tokens := STAR :: !tokens
+        | '=' -> tokens := EQ :: !tokens
+        | '<' -> tokens := LT :: !tokens
+        | '>' -> tokens := GT :: !tokens
+        | '+' -> tokens := PLUS :: !tokens
+        | '-' -> tokens := MINUS :: !tokens
+        | '/' -> tokens := SLASH :: !tokens
+        | c -> error "unexpected character %C" c);
+        incr pos))
+  done;
+  List.rev (EOF :: !tokens)
+
+(* --- parser state --- *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> EOF
+let shift st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok what =
+  if peek st = tok then shift st else error "expected %s" what
+
+let expect_kw st kw =
+  match peek st with
+  | KW k when String.equal k kw -> shift st
+  | _ -> error "expected %s" kw
+
+let ident st =
+  match peek st with
+  | IDENT name -> shift st; name
+  | _ -> error "expected an identifier"
+
+(* --- SQL scalar expressions --- *)
+
+(* [tables] maps alias -> unit; a bare column resolves to the sole table
+   when unambiguous. *)
+type scope = { aliases : string list }
+
+let column scope name =
+  match scope.aliases with
+  | [ only ] -> Expr.Proj (Expr.Var only, name)
+  | _ when List.mem name scope.aliases -> Expr.Var name
+  | _ -> Expr.Var name (* free: session parameter or registered source *)
+
+let is_null_test e yes no =
+  (* e IS NULL: e = e is NULL (hence false-ish) exactly when e is NULL *)
+  Expr.If (Expr.BinOp (Expr.Eq, e, e), no, yes)
+
+let rec parse_or st scope =
+  let lhs = parse_and st scope in
+  match peek st with
+  | KW "OR" ->
+    shift st;
+    Expr.BinOp (Expr.Or, lhs, parse_or st scope)
+  | _ -> lhs
+
+and parse_and st scope =
+  let lhs = parse_not st scope in
+  match peek st with
+  | KW "AND" ->
+    shift st;
+    Expr.BinOp (Expr.And, lhs, parse_and st scope)
+  | _ -> lhs
+
+and parse_not st scope =
+  match peek st with
+  | KW "NOT" ->
+    shift st;
+    Expr.UnOp (Expr.Not, parse_not st scope)
+  | _ -> parse_cmp st scope
+
+and parse_cmp st scope =
+  let lhs = parse_add st scope in
+  match peek st with
+  | EQ -> shift st; Expr.BinOp (Expr.Eq, lhs, parse_add st scope)
+  | NEQ -> shift st; Expr.BinOp (Expr.Neq, lhs, parse_add st scope)
+  | LT -> shift st; Expr.BinOp (Expr.Lt, lhs, parse_add st scope)
+  | LE -> shift st; Expr.BinOp (Expr.Le, lhs, parse_add st scope)
+  | GT -> shift st; Expr.BinOp (Expr.Gt, lhs, parse_add st scope)
+  | GE -> shift st; Expr.BinOp (Expr.Ge, lhs, parse_add st scope)
+  | KW "IS" -> (
+    shift st;
+    match peek st with
+    | KW "NULL" -> shift st; is_null_test lhs (Expr.bool true) (Expr.bool false)
+    | KW "NOT" -> (
+      shift st;
+      match peek st with
+      | KW "NULL" -> shift st; is_null_test lhs (Expr.bool false) (Expr.bool true)
+      | _ -> error "expected NULL after IS NOT")
+    | _ -> error "expected NULL after IS")
+  | KW "IN" ->
+    shift st;
+    expect st LPAREN "'(' after IN";
+    let rec items acc =
+      let e = parse_add st scope in
+      if peek st = COMMA then (shift st; items (e :: acc)) else List.rev (e :: acc)
+    in
+    let cases = items [] in
+    expect st RPAREN "')'";
+    (* x IN (a, b, c) desugars to a disjunction of equalities *)
+    (match cases with
+    | [] -> Expr.bool false
+    | first :: rest ->
+      List.fold_left
+        (fun acc c -> Expr.BinOp (Expr.Or, acc, Expr.BinOp (Expr.Eq, lhs, c)))
+        (Expr.BinOp (Expr.Eq, lhs, first))
+        rest)
+  | _ -> lhs
+
+and parse_add st scope =
+  let rec go lhs =
+    match peek st with
+    | PLUS -> shift st; go (Expr.BinOp (Expr.Add, lhs, parse_mul st scope))
+    | MINUS -> shift st; go (Expr.BinOp (Expr.Sub, lhs, parse_mul st scope))
+    | _ -> lhs
+  in
+  go (parse_mul st scope)
+
+and parse_mul st scope =
+  let rec go lhs =
+    match peek st with
+    | STAR -> shift st; go (Expr.BinOp (Expr.Mul, lhs, parse_unary st scope))
+    | SLASH -> shift st; go (Expr.BinOp (Expr.Div, lhs, parse_unary st scope))
+    | _ -> lhs
+  in
+  go (parse_unary st scope)
+
+and parse_unary st scope =
+  match peek st with
+  | MINUS ->
+    shift st;
+    Expr.UnOp (Expr.Neg, parse_unary st scope)
+  | _ -> parse_primary st scope
+
+and parse_primary st scope =
+  match peek st with
+  | NUMBER v -> shift st; Expr.Const v
+  | STRING s -> shift st; Expr.string s
+  | KW "TRUE" -> shift st; Expr.bool true
+  | KW "FALSE" -> shift st; Expr.bool false
+  | KW "NULL" -> shift st; Expr.null
+  | LPAREN ->
+    shift st;
+    let e = parse_or st scope in
+    expect st RPAREN "')'";
+    e
+  | IDENT name -> (
+    shift st;
+    match peek st with
+    | DOT ->
+      shift st;
+      let field = ident st in
+      Expr.Proj (Expr.Var name, field)
+    | _ -> column scope name)
+  | _ -> error "unexpected token in expression"
+
+(* --- select items --- *)
+
+type item =
+  | Plain of Expr.t
+  | Aggregate of Monoid.t * Expr.t option  (* None: COUNT( * ) *)
+
+let agg_monoid = function
+  | "COUNT" -> Monoid.Prim Monoid.Count
+  | "SUM" -> Monoid.Prim Monoid.Sum
+  | "AVG" -> Monoid.Prim Monoid.Avg
+  | "MIN" -> Monoid.Prim Monoid.Min
+  | "MAX" -> Monoid.Prim Monoid.Max
+  | "MEDIAN" -> Monoid.Prim Monoid.Median
+  | kw -> error "unknown aggregate %s" kw
+
+let parse_item st scope =
+  let item =
+    match peek st with
+    | KW (("COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "MEDIAN") as kw) ->
+      shift st;
+      expect st LPAREN "'('";
+      let m = agg_monoid kw in
+      let arg =
+        if peek st = STAR then (shift st; None)
+        else Some (parse_or st scope)
+      in
+      expect st RPAREN "')'";
+      Aggregate (m, arg)
+    | _ -> Plain (parse_or st scope)
+  in
+  let alias =
+    match peek st with
+    | KW "AS" ->
+      shift st;
+      Some (ident st)
+    | _ -> None
+  in
+  (item, alias)
+
+let default_name i (item, alias) =
+  match alias with
+  | Some a -> a
+  | None -> (
+    match item with
+    | Plain (Expr.Proj (_, f)) -> f
+    | Plain (Expr.Var v) -> v
+    | Aggregate (m, _) -> Monoid.name m
+    | _ -> Printf.sprintf "col%d" i)
+
+(* --- the statement --- *)
+
+let translate_tokens st =
+  expect_kw st "SELECT";
+  let distinct =
+    match peek st with
+    | KW "DISTINCT" -> shift st; true
+    | _ -> false
+  in
+  (* select items reference aliases; parse them after FROM by saving the
+     token position: simpler to parse items into a thunk-free form by
+     two-phase — instead, SQL scoping lets us parse items first only if we
+     know aliases. We scan ahead for the FROM clause aliases. *)
+  let saved = st.toks in
+  (* skip to FROM *)
+  let rec skip_to_from depth toks =
+    match toks with
+    | [] -> error "missing FROM clause"
+    | KW "FROM" :: rest when depth = 0 -> rest
+    | LPAREN :: rest -> skip_to_from (depth + 1) rest
+    | RPAREN :: rest -> skip_to_from (depth - 1) rest
+    | _ :: rest -> skip_to_from depth rest
+  in
+  let after_from = skip_to_from 0 st.toks in
+  (* parse FROM tables/aliases (and JOINs) from the lookahead *)
+  let parse_table toks =
+    match toks with
+    | IDENT table :: IDENT alias :: rest -> ((table, alias), rest)
+    | IDENT table :: rest -> ((table, table), rest)
+    | _ -> error "expected a table name in FROM"
+  in
+  let rec gather_aliases toks acc =
+    let (t, rest) = parse_table toks in
+    match rest with
+    | COMMA :: rest -> gather_aliases rest (t :: acc)
+    | KW "JOIN" :: rest | KW "INNER" :: KW "JOIN" :: rest ->
+      (* skip the ON condition: conditions are re-parsed in the main pass *)
+      let rec skip_on toks =
+        match toks with
+        | KW "JOIN" :: _ | KW "INNER" :: KW "JOIN" :: _ | KW "WHERE" :: _
+        | KW "GROUP" :: _ | EOF :: _ | [] ->
+          toks
+        | _ :: rest -> skip_on rest
+      in
+      let (t2, rest2) = parse_table rest in
+      gather_aliases_join (skip_on rest2) (t2 :: t :: acc)
+    | _ -> t :: acc
+  and gather_aliases_join toks acc =
+    match toks with
+    | KW "JOIN" :: rest | KW "INNER" :: KW "JOIN" :: rest ->
+      let (t, rest2) = parse_table rest in
+      let rec skip_on toks =
+        match toks with
+        | KW "JOIN" :: _ | KW "INNER" :: KW "JOIN" :: _ | KW "WHERE" :: _
+        | KW "GROUP" :: _ | EOF :: _ | [] ->
+          toks
+        | _ :: rest -> skip_on rest
+      in
+      gather_aliases_join (skip_on rest2) (t :: acc)
+    | _ -> acc
+  in
+  let aliases = List.rev_map snd (gather_aliases after_from []) in
+  let scope = { aliases } in
+  (* now really parse the select items *)
+  st.toks <- saved;
+  let rec parse_items acc =
+    let item = parse_item st scope in
+    if peek st = COMMA then (shift st; parse_items (item :: acc))
+    else List.rev (item :: acc)
+  in
+  let items = parse_items [] in
+  expect_kw st "FROM";
+  (* FROM / JOIN with conditions, for real this time *)
+  let parse_table_real () =
+    let table = ident st in
+    match peek st with
+    | IDENT alias -> shift st; (table, alias)
+    | _ -> (table, table)
+  in
+  let gens = ref [ parse_table_real () ] in
+  let conds = ref [] in
+  let rec from_tail () =
+    match peek st with
+    | COMMA ->
+      shift st;
+      gens := parse_table_real () :: !gens;
+      from_tail ()
+    | KW "JOIN" | KW "INNER" ->
+      (match peek st with
+      | KW "INNER" -> shift st; expect_kw st "JOIN"
+      | _ -> shift st);
+      gens := parse_table_real () :: !gens;
+      expect_kw st "ON";
+      conds := parse_or st scope :: !conds;
+      from_tail ()
+    | _ -> ()
+  in
+  from_tail ();
+  (match peek st with
+  | KW "WHERE" ->
+    shift st;
+    conds := parse_or st scope :: !conds
+  | _ -> ());
+  let group_by =
+    match peek st with
+    | KW "GROUP" ->
+      shift st;
+      expect_kw st "BY";
+      let rec go acc =
+        let e = parse_or st scope in
+        if peek st = COMMA then (shift st; go (e :: acc)) else List.rev (e :: acc)
+      in
+      go []
+    | _ -> []
+  in
+  (* HAVING and ORDER BY reference select-item aliases (output columns):
+     parse them without table aliases so bare names stay symbolic *)
+  let output_scope = { aliases = [] } in
+  let having =
+    match peek st with
+    | KW "HAVING" ->
+      shift st;
+      Some (parse_or st output_scope)
+    | _ -> None
+  in
+  let order_limit =
+    match peek st with
+    | KW "ORDER" ->
+      shift st;
+      expect_kw st "BY";
+      let key = parse_or st output_scope in
+      let descending =
+        match peek st with
+        | KW "DESC" -> shift st; true
+        | KW "ASC" -> shift st; false
+        | _ -> false
+      in
+      expect_kw st "LIMIT";
+      let k =
+        match peek st with
+        | NUMBER (Value.Int k) when k > 0 -> shift st; k
+        | _ -> error "expected a positive LIMIT"
+      in
+      Some (key, descending, k)
+    | _ -> None
+  in
+  if peek st <> EOF then error "trailing input after statement";
+  (* --- translation --- *)
+  let quals =
+    List.rev_map (fun (table, alias) -> Expr.Gen (alias, Expr.Var table)) !gens
+    @ List.rev_map (fun c -> Expr.Pred c) !conds
+  in
+  let out_monoid = if distinct then Monoid.Coll Ty.Set else Monoid.Coll Ty.Bag in
+  let has_aggregate = List.exists (fun (i, _) -> match i with Aggregate _ -> true | _ -> false) items in
+  let record_of fields = Expr.Record fields in
+  let wrap_having body =
+    match having with
+    | None -> body
+    | Some cond ->
+      (* rewrite bare aliases to projections from the grouped row *)
+      let g = Expr.fresh_var "h" in
+      let aliases =
+        List.mapi (fun i item -> default_name i item) items
+      in
+      let rec rewrite (e : Expr.t) =
+        match e with
+        | Expr.Var v when List.mem v aliases -> Expr.Proj (Expr.Var g, v)
+        | Expr.Proj (a, f) -> Expr.Proj (rewrite a, f)
+        | Expr.BinOp (op, a, b) -> Expr.BinOp (op, rewrite a, rewrite b)
+        | Expr.UnOp (op, a) -> Expr.UnOp (op, rewrite a)
+        | Expr.If (a, b, c) -> Expr.If (rewrite a, rewrite b, rewrite c)
+        | e -> e
+      in
+      Expr.Comp (out_monoid, Expr.Var g, [ Expr.Gen (g, body); Expr.Pred (rewrite cond) ])
+  in
+  let key_over_row r key =
+    (* the sort key references select aliases of the produced rows *)
+    let aliases = List.mapi (fun i item -> default_name i item) items in
+    let rec rewrite (e : Expr.t) =
+      match e with
+      | Expr.Var v when List.mem v aliases -> Expr.Proj (Expr.Var r, v)
+      | Expr.Proj (a, f) -> Expr.Proj (rewrite a, f)
+      | Expr.BinOp (op, a, b) -> Expr.BinOp (op, rewrite a, rewrite b)
+      | Expr.UnOp (op, a) -> Expr.UnOp (op, rewrite a)
+      | Expr.If (a, b, c) -> Expr.If (rewrite a, rewrite b, rewrite c)
+      | e -> e
+    in
+    rewrite key
+  in
+  let wrap_order_limit body =
+    match order_limit with
+    | None -> body
+    | Some (key, descending, k) ->
+      (* ORDER BY e LIMIT k via the top-k monoid: rank on a sort-key-first
+         wrapper record, then strip the wrapper in document order *)
+      let r = Expr.fresh_var "r" in
+      let o = Expr.fresh_var "o" in
+      let m = if descending then Monoid.Top k else Monoid.Bottom k in
+      let ranked =
+        Expr.Comp
+          ( Monoid.Prim m,
+            Expr.Record [ ("key", key_over_row r key); ("row", Expr.Var r) ],
+            [ Expr.Gen (r, body) ] )
+      in
+      Expr.Comp
+        (Monoid.Coll Ty.List, Expr.Proj (Expr.Var o, "row"), [ Expr.Gen (o, ranked) ])
+  in
+  let finish body = wrap_order_limit (wrap_having body) in
+  if group_by = [] then
+    if not has_aggregate then
+      (* plain projection *)
+      let fields =
+        List.mapi
+          (fun i (item, alias) ->
+            match item with
+            | Plain e -> (default_name i (item, alias), e)
+            | Aggregate _ -> assert false)
+          items
+      in
+      finish (Expr.Comp (out_monoid, record_of fields, quals))
+    else (
+      (* bare aggregates; each aggregate is its own comprehension *)
+      let agg_comp m arg =
+        Expr.Comp (m, Option.value arg ~default:(Expr.int 1), quals)
+      in
+      match items with
+      | [ ((Aggregate (m, arg) as item), alias) ] ->
+        ignore (default_name 0 (item, alias));
+        (* a single bare aggregate: HAVING/ORDER BY make no sense here *)
+        agg_comp m arg
+      | items ->
+        let fields =
+          List.mapi
+            (fun i (item, alias) ->
+              match item with
+              | Aggregate (m, arg) -> (default_name i (item, alias), agg_comp m arg)
+              | Plain _ ->
+                error "non-aggregate select item without GROUP BY alongside aggregates")
+            items
+        in
+        record_of fields)
+  else (
+    (* GROUP BY: outer comprehension over the set of key records *)
+    let key_names = List.mapi (fun i _ -> Printf.sprintf "k%d" i) group_by in
+    let key_var = Expr.fresh_var "key" in
+    let keys_record =
+      Expr.Record (List.map2 (fun n e -> (n, e)) key_names group_by)
+    in
+    let inner_keys = Expr.Comp (Monoid.Coll Ty.Set, keys_record, quals) in
+    let requal =
+      quals
+      @ List.map2
+          (fun n e -> Expr.Pred (Expr.BinOp (Expr.Eq, e, Expr.Proj (Expr.Var key_var, n))))
+          key_names group_by
+    in
+    let head_fields =
+      List.mapi
+        (fun i (item, alias) ->
+          let name = default_name i (item, alias) in
+          match item with
+          | Plain e -> (
+            (* must be one of the grouping expressions *)
+            match
+              List.find_opt (fun (_, ge) -> Expr.equal ge e) (List.combine key_names group_by)
+            with
+            | Some (kn, _) -> (name, Expr.Proj (Expr.Var key_var, kn))
+            | None -> error "select item %s is neither aggregated nor grouped" name)
+          | Aggregate (m, arg) ->
+            (name, Expr.Comp (m, Option.value arg ~default:(Expr.int 1), requal)))
+        items
+    in
+    finish
+      (Expr.Comp
+         (out_monoid, record_of head_fields, [ Expr.Gen (key_var, inner_keys) ])))
+
+let translate sql =
+  match
+    let st = { toks = lex sql } in
+    translate_tokens st
+  with
+  | e -> Ok e
+  | exception Error msg -> Result.Error msg
+
+let translate_exn sql =
+  match translate sql with
+  | Ok e -> e
+  | Error msg -> invalid_arg ("Sql.translate_exn: " ^ msg)

@@ -1,0 +1,40 @@
+(** SQL frontend (paper §3.2: "Support for a variety of query languages can
+    be provided through a syntactic-sugar translation layer, which maps
+    queries written in the original language to the internal notation").
+
+    Supported subset — enough for the paper's workloads:
+
+    {v
+    SELECT [DISTINCT] item (, item)*
+    FROM table [alias] (, table [alias])*
+         (JOIN table [alias] ON condition)*
+    [WHERE condition]
+    [GROUP BY expr (, expr)*]
+    [HAVING condition]          — references select-item aliases
+    [ORDER BY expr [ASC|DESC] LIMIT k]
+    v}
+
+    where [item] is an expression with an optional [AS name], possibly an
+    aggregate ([COUNT( * )], [COUNT(e)], [SUM], [AVG], [MIN], [MAX],
+    [MEDIAN]); conditions use [=, <>, <, <=, >, >=, AND, OR, NOT, IS
+    (NOT) NULL] and arithmetic. Keywords are case-insensitive; identifiers
+    are case-sensitive.
+
+    Translation (documented because it is the interesting part):
+    - plain projections become a bag comprehension;
+    - [DISTINCT] yields a set instead of a bag;
+    - a single bare aggregate becomes a primitive-monoid comprehension;
+    - several aggregates become a record of sibling comprehensions;
+    - [GROUP BY] nests: the outer comprehension ranges over the [set] of
+      key tuples, the inner ones re-filter per key (the classical
+      comprehension encoding of grouping; ViDa's optimizer folds the idiom
+      into [Nest]);
+    - [HAVING] wraps the grouped rows in a filtering comprehension;
+    - [ORDER BY ... LIMIT k] uses the paper's top-k monoid: rows are ranked
+      through a sort-key-first wrapper record and unwrapped in order;
+    - [x IN (a, b, c)] desugars to a disjunction of equalities. *)
+
+(** [translate sql] parses and translates to a calculus expression. *)
+val translate : string -> (Vida_calculus.Expr.t, string) result
+
+val translate_exn : string -> Vida_calculus.Expr.t

@@ -1,0 +1,1 @@
+lib/storage/cache.ml: Array Format Hashtbl Layout List String Value Vida_data

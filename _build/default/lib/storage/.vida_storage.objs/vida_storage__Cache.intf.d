@@ -1,0 +1,1 @@
+lib/storage/cache.mli: Format Layout Vida_data

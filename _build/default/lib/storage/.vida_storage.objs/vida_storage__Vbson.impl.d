@@ -1,0 +1,1 @@
+lib/storage/vbson.ml: Array Buffer Char Int64 List Printf String Value Vida_data

@@ -1,0 +1,1 @@
+lib/storage/vbson.mli: Vida_data

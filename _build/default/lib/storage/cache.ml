@@ -1,0 +1,141 @@
+open Vida_data
+
+type payload =
+  | Values of Value.t array
+  | Strings of string array
+  | Ranges of (int * int) array
+
+type key = { source : string; item : string; layout : Layout.t }
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  resident_bytes : int;
+  entries : int;
+}
+
+type entry = { payload : payload; bytes : int; mutable last_used : int }
+
+type t = {
+  table : (key, entry) Hashtbl.t;
+  capacity : int;
+  mutable clock : int;
+  mutable resident : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ?(capacity_bytes = 256 * 1024 * 1024) () =
+  { table = Hashtbl.create 64; capacity = capacity_bytes; clock = 0; resident = 0;
+    hits = 0; misses = 0; evictions = 0; invalidations = 0 }
+
+let rec value_bytes (v : Value.t) =
+  match v with
+  | Value.Null | Value.Bool _ -> 8
+  | Value.Int _ | Value.Float _ -> 16
+  | Value.String s -> 24 + String.length s
+  | Value.Record fields ->
+    List.fold_left (fun acc (n, v) -> acc + String.length n + 16 + value_bytes v) 16 fields
+  | Value.List vs | Value.Bag vs | Value.Set vs ->
+    List.fold_left (fun acc v -> acc + 8 + value_bytes v) 16 vs
+  | Value.Array { data; _ } ->
+    Array.fold_left (fun acc v -> acc + 8 + value_bytes v) 32 data
+
+let payload_bytes = function
+  | Values vs -> Array.fold_left (fun acc v -> acc + 8 + value_bytes v) 16 vs
+  | Strings ss -> Array.fold_left (fun acc s -> acc + 24 + String.length s) 16 ss
+  | Ranges rs -> 16 + (16 * Array.length rs)
+
+let touch t entry =
+  t.clock <- t.clock + 1;
+  entry.last_used <- t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some entry ->
+    t.hits <- t.hits + 1;
+    touch t entry;
+    Some entry.payload
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let mem t key = Hashtbl.mem t.table key
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some entry ->
+    t.resident <- t.resident - entry.bytes;
+    Hashtbl.remove t.table key
+
+let evict_until t needed =
+  while t.resident + needed > t.capacity && Hashtbl.length t.table > 0 do
+    let victim =
+      Hashtbl.fold
+        (fun key entry acc ->
+          match acc with
+          | Some (_, best) when best.last_used <= entry.last_used -> acc
+          | _ -> Some (key, entry))
+        t.table None
+    in
+    match victim with
+    | None -> ()
+    | Some (key, _) ->
+      remove t key;
+      t.evictions <- t.evictions + 1
+  done
+
+let put t key payload =
+  let bytes = payload_bytes payload in
+  if bytes > t.capacity then false
+  else (
+    remove t key;
+    evict_until t bytes;
+    t.clock <- t.clock + 1;
+    Hashtbl.replace t.table key { payload; bytes; last_used = t.clock };
+    t.resident <- t.resident + bytes;
+    true)
+
+let find_or_add t key f =
+  match find t key with
+  | Some p -> p
+  | None ->
+    let p = f () in
+    ignore (put t key p);
+    p
+
+let invalidate_source t source =
+  let victims =
+    Hashtbl.fold
+      (fun key _ acc -> if String.equal key.source source then key :: acc else acc)
+      t.table []
+  in
+  List.iter
+    (fun key ->
+      remove t key;
+      t.invalidations <- t.invalidations + 1)
+    victims
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.resident <- 0
+
+let stats t =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions;
+    invalidations = t.invalidations; resident_bytes = t.resident;
+    entries = Hashtbl.length t.table }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.invalidations <- 0
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "hits=%d misses=%d evictions=%d invalidations=%d resident=%dB entries=%d"
+    s.hits s.misses s.evictions s.invalidations s.resident_bytes s.entries

@@ -1,0 +1,59 @@
+(** ViDa's data caches (paper §2.1, §5).
+
+    Caches hold previously-accessed data — decoded columns, parsed objects,
+    serialized binary JSON, raw-file positions — keyed by (source, item,
+    layout). The same logical item may be cached under several layouts at
+    once ("re-using and re-shaping results", §5). Bounded by an approximate
+    byte budget with LRU eviction; updates to a source drop all its entries
+    (§2.1). Hit/miss/eviction counters feed the experiments (the paper's
+    ~80%-served-from-cache claim). *)
+
+type payload =
+  | Values of Vida_data.Value.t array  (** decoded column / object array *)
+  | Strings of string array  (** raw text or VBSON per item *)
+  | Ranges of (int * int) array  (** positions into the raw file *)
+
+type key = { source : string; item : string; layout : Layout.t }
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  resident_bytes : int;
+  entries : int;
+}
+
+type t
+
+(** [create ~capacity_bytes ()] — default capacity 256 MB. *)
+val create : ?capacity_bytes:int -> unit -> t
+
+(** [find t key] returns the payload and counts a hit; a miss is counted
+    otherwise. *)
+val find : t -> key -> payload option
+
+(** [mem t key] checks without touching recency or counters. *)
+val mem : t -> key -> bool
+
+(** [put t key payload] inserts (replacing any previous entry), evicting
+    least-recently-used entries if over budget. A payload larger than the
+    whole budget is refused (returns [false]). *)
+val put : t -> key -> payload -> bool
+
+(** [find_or_add t key f] is [find], computing and inserting via [f] on a
+    miss. *)
+val find_or_add : t -> key -> (unit -> payload) -> payload
+
+(** [invalidate_source t source] drops every entry of [source]. *)
+val invalidate_source : t -> string -> unit
+
+val clear : t -> unit
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** [payload_bytes p] is the approximate in-memory size used for
+    accounting. *)
+val payload_bytes : payload -> int
+
+val pp_stats : Format.formatter -> stats -> unit

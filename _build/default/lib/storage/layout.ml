@@ -1,0 +1,17 @@
+type t = Values | Vbson | Text | Positions
+
+let name = function
+  | Values -> "values"
+  | Vbson -> "vbson"
+  | Text -> "text"
+  | Positions -> "positions"
+
+let of_name = function
+  | "values" -> Some Values
+  | "vbson" -> Some Vbson
+  | "text" -> Some Text
+  | "positions" -> Some Positions
+  | _ -> None
+
+let all = [ Values; Vbson; Text; Positions ]
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,18 @@
+(** Data layouts ViDa materializes intermediate results in (paper §5,
+    Figure 4).
+
+    The same logical data — e.g. a tuple carrying an integer and a JSON
+    object — can be carried through a query as parsed values, compact binary
+    JSON, raw text, or just byte positions into the raw file. The optimizer
+    picks per operator; the engine's output plugins materialize the choice. *)
+
+type t =
+  | Values  (** decoded {!Vida_data.Value.t}: Figure 4's "C++ object" *)
+  | Vbson  (** compact binary JSON: Figure 4 (b) *)
+  | Text  (** raw JSON/CSV text: Figure 4 (a) *)
+  | Positions  (** (start, len) into the raw file: Figure 4 (d) *)
+
+val name : t -> string
+val of_name : string -> t option
+val all : t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,224 @@
+open Vida_data
+
+(* --- varint (LEB128) and zigzag --- *)
+
+let add_varint buf v =
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7F in
+    v := !v lsr 7;
+    if !v = 0 then (
+      Buffer.add_char buf (Char.chr byte);
+      continue := false)
+    else Buffer.add_char buf (Char.chr (byte lor 0x80))
+  done
+
+let zigzag v = (v lsl 1) lxor (v asr 62)
+let unzigzag v = (v lsr 1) lxor (-(v land 1))
+
+let read_varint s pos =
+  let v = ref 0 and shift = ref 0 and pos = ref pos in
+  let continue = ref true in
+  while !continue do
+    if !pos >= String.length s then failwith "Vbson: truncated varint";
+    let byte = Char.code s.[!pos] in
+    incr pos;
+    v := !v lor ((byte land 0x7F) lsl !shift);
+    shift := !shift + 7;
+    if byte land 0x80 = 0 then continue := false
+  done;
+  (!v, !pos)
+
+let add_f64 buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+let read_f64 s pos =
+  if pos + 8 > String.length s then failwith "Vbson: truncated float";
+  let bits = ref 0L in
+  for i = 7 downto 0 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  (Int64.float_of_bits !bits, pos + 8)
+
+let add_string buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string s pos =
+  let len, pos = read_varint s pos in
+  if pos + len > String.length s then failwith "Vbson: truncated string";
+  (String.sub s pos len, pos + len)
+
+(* --- encode --- *)
+
+let rec encode_into buf v =
+  match v with
+  | Value.Null -> Buffer.add_char buf '\000'
+  | Value.Bool false -> Buffer.add_char buf '\001'
+  | Value.Bool true -> Buffer.add_char buf '\002'
+  | Value.Int i ->
+    Buffer.add_char buf '\003';
+    add_varint buf (zigzag i)
+  | Value.Float f ->
+    Buffer.add_char buf '\004';
+    add_f64 buf f
+  | Value.String s ->
+    Buffer.add_char buf '\005';
+    add_string buf s
+  | Value.Record fields ->
+    Buffer.add_char buf '\006';
+    add_varint buf (List.length fields);
+    List.iter
+      (fun (name, v) ->
+        add_string buf name;
+        encode_into buf v)
+      fields
+  | Value.List vs -> encode_coll buf '\007' vs
+  | Value.Bag vs -> encode_coll buf '\008' vs
+  | Value.Set vs -> encode_coll buf '\009' vs
+  | Value.Array { dims; data } ->
+    Buffer.add_char buf '\010';
+    add_varint buf (List.length dims);
+    List.iter (add_varint buf) dims;
+    add_varint buf (Array.length data);
+    Array.iter (encode_into buf) data
+
+and encode_coll buf tag vs =
+  Buffer.add_char buf tag;
+  add_varint buf (List.length vs);
+  List.iter (encode_into buf) vs
+
+let encode v =
+  let buf = Buffer.create 64 in
+  encode_into buf v;
+  Buffer.contents buf
+
+(* --- decode --- *)
+
+let rec decode_at s pos =
+  if pos >= String.length s then failwith "Vbson: truncated value";
+  let tag = Char.code s.[pos] in
+  let pos = pos + 1 in
+  match tag with
+  | 0 -> (Value.Null, pos)
+  | 1 -> (Value.Bool false, pos)
+  | 2 -> (Value.Bool true, pos)
+  | 3 ->
+    let v, pos = read_varint s pos in
+    (Value.Int (unzigzag v), pos)
+  | 4 ->
+    let f, pos = read_f64 s pos in
+    (Value.Float f, pos)
+  | 5 ->
+    let str, pos = read_string s pos in
+    (Value.String str, pos)
+  | 6 ->
+    let n, pos = read_varint s pos in
+    let fields = ref [] and pos = ref pos in
+    for _ = 1 to n do
+      let name, p = read_string s !pos in
+      let v, p = decode_at s p in
+      fields := (name, v) :: !fields;
+      pos := p
+    done;
+    (Value.Record (List.rev !fields), !pos)
+  | 7 | 8 | 9 ->
+    let n, pos = read_varint s pos in
+    let items = ref [] and pos = ref pos in
+    for _ = 1 to n do
+      let v, p = decode_at s !pos in
+      items := v :: !items;
+      pos := p
+    done;
+    let vs = List.rev !items in
+    ( (match tag with
+      | 7 -> Value.List vs
+      | 8 -> Value.Bag vs
+      | _ -> Value.Set vs),
+      !pos )
+  | 10 ->
+    let ndims, pos = read_varint s pos in
+    let dims = ref [] and pos = ref pos in
+    for _ = 1 to ndims do
+      let d, p = read_varint s !pos in
+      dims := d :: !dims;
+      pos := p
+    done;
+    let n, p = read_varint s !pos in
+    pos := p;
+    let data =
+      Array.init n (fun _ ->
+          let v, p = decode_at s !pos in
+          pos := p;
+          v)
+    in
+    (Value.Array { dims = List.rev !dims; data }, !pos)
+  | t -> failwith (Printf.sprintf "Vbson: unknown tag %d" t)
+
+let decode_prefix s ~pos = decode_at s pos
+
+let decode s =
+  let v, pos = decode_at s 0 in
+  if pos <> String.length s then failwith "Vbson: trailing bytes"
+  else v
+
+(* Skip a value without building it. *)
+let rec skip_at s pos =
+  if pos >= String.length s then failwith "Vbson: truncated value";
+  let tag = Char.code s.[pos] in
+  let pos = pos + 1 in
+  match tag with
+  | 0 | 1 | 2 -> pos
+  | 3 -> snd (read_varint s pos)
+  | 4 -> pos + 8
+  | 5 ->
+    let len, pos = read_varint s pos in
+    pos + len
+  | 6 ->
+    let n, pos = read_varint s pos in
+    let pos = ref pos in
+    for _ = 1 to n do
+      let len, p = read_varint s !pos in
+      pos := skip_at s (p + len)
+    done;
+    !pos
+  | 7 | 8 | 9 ->
+    let n, pos = read_varint s pos in
+    let pos = ref pos in
+    for _ = 1 to n do
+      pos := skip_at s !pos
+    done;
+    !pos
+  | 10 ->
+    let ndims, pos = read_varint s pos in
+    let pos = ref pos in
+    for _ = 1 to ndims do
+      pos := snd (read_varint s !pos)
+    done;
+    let n, p = read_varint s !pos in
+    pos := p;
+    for _ = 1 to n do
+      pos := skip_at s !pos
+    done;
+    !pos
+  | t -> failwith (Printf.sprintf "Vbson: unknown tag %d" t)
+
+let decode_field s name =
+  if String.length s = 0 || Char.code s.[0] <> 6 then None
+  else (
+    let n, pos = read_varint s 1 in
+    let rec go i pos =
+      if i >= n then None
+      else
+        let fname, pos = read_string s pos in
+        if String.equal fname name then Some (fst (decode_at s pos))
+        else go (i + 1) (skip_at s pos)
+    in
+    go 0 pos)
+
+let size = String.length

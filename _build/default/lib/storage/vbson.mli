@@ -1,0 +1,33 @@
+(** VBSON: a compact binary serialization of {!Vida_data.Value.t}.
+
+    Plays MongoDB-BSON's role in the paper: materializing intermediate JSON
+    results in binary form avoids re-parsing text per query (paper §5,
+    Figure 4 (b)) at the price of an encode step. The format is
+    length-prefixed so decoders can skip subtrees.
+
+    {v
+    value := tag byte, payload
+    tags:  0 null | 1 false | 2 true | 3 int (zigzag varint)
+         | 4 float (8 bytes LE) | 5 string (varint len, bytes)
+         | 6 record (varint n, n × (string name, value))
+         | 7 list | 8 bag | 9 set (varint n, n × value)
+         | 10 array (varint ndims, dims, varint n, n × value)
+    v} *)
+
+val encode : Vida_data.Value.t -> string
+
+(** @raise Failure on a malformed buffer. *)
+val decode : string -> Vida_data.Value.t
+
+(** [decode_prefix s ~pos] decodes one value starting at [pos], returning it
+    with the offset just past it — for readers of concatenated values (e.g.
+    serialized tuples in heap pages). *)
+val decode_prefix : string -> pos:int -> Vida_data.Value.t * int
+
+(** [decode_field s name] extracts one top-level record field without
+    decoding siblings (subtree-skipping). [None] when [s] is not a record
+    or lacks the field. *)
+val decode_field : string -> string -> Vida_data.Value.t option
+
+(** [size s] is the encoded size in bytes (= [String.length s]). *)
+val size : string -> int

@@ -1,0 +1,1 @@
+lib/workload/bank_data.ml: Filename Fun List Printf Prng String Sys Vida_raw

@@ -1,0 +1,1 @@
+lib/workload/bank_data.mli:

@@ -1,0 +1,1 @@
+lib/workload/hbp_data.ml: Buffer Char Filename Float Fun List Printf Prng String Sys Vida_raw

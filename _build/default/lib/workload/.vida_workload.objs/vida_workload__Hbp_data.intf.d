@@ -1,0 +1,1 @@
+lib/workload/hbp_data.mli:

@@ -1,0 +1,1 @@
+lib/workload/hbp_queries.ml: Hbp_data List Printf Prng

@@ -1,0 +1,1 @@
+lib/workload/hbp_queries.mli: Hbp_data

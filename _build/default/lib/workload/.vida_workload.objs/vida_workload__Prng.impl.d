@@ -1,0 +1,1 @@
+lib/workload/prng.ml: Float Int64 List

@@ -1,0 +1,71 @@
+type config = { trades : int; seed : int }
+type paths = { trades : string; risk : string; settlements : string }
+
+let desks = [ "rates"; "fx"; "equities"; "credit"; "commodities" ]
+let instruments = [ "swap"; "future"; "option"; "bond"; "spot" ]
+let counterparties = [ "acme_bank"; "globex"; "initech"; "umbrella"; "wayne_corp" ]
+
+let generate (config : config) ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let paths =
+    { trades = Filename.concat dir (Printf.sprintf "trades_%d_%d.csv" config.trades config.seed);
+      risk = Filename.concat dir (Printf.sprintf "risk_%d_%d.jsonl" config.trades config.seed);
+      settlements =
+        Filename.concat dir (Printf.sprintf "settlements_%d_%d.csv" config.trades config.seed)
+    }
+  in
+  if not (Sys.file_exists paths.trades) then (
+    let rng = Prng.create ~seed:config.seed in
+    let oc = open_out_bin paths.trades in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Vida_raw.Csv.write_header oc ~delim:','
+          [ "trade_id"; "desk"; "instrument"; "counterparty"; "notional"; "price"; "trade_day" ];
+        for id = 1 to config.trades do
+          Vida_raw.Csv.write_row oc ~delim:','
+            [ string_of_int id;
+              Prng.pick rng desks;
+              Prng.pick rng instruments;
+              Prng.pick rng counterparties;
+              Printf.sprintf "%.2f" (Prng.float rng 5_000_000.);
+              Printf.sprintf "%.4f" (50. +. Prng.float rng 100.);
+              string_of_int (1 + Prng.int rng 260)
+            ]
+        done);
+    let rng = Prng.create ~seed:(config.seed + 1) in
+    let oc = open_out_bin paths.risk in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        for id = 1 to config.trades do
+          let nscen = 3 + Prng.int rng 5 in
+          let scenarios =
+            String.concat ","
+              (List.init nscen (fun i ->
+                   Printf.sprintf {|{"name": "s%d", "loss": %.2f}|} i
+                     (Prng.float rng 250_000.)))
+          in
+          output_string oc
+            (Printf.sprintf
+               {|{"trade_id": %d, "var_99": %.2f, "expected_shortfall": %.2f, "scenarios": [%s]}|}
+               id (Prng.float rng 500_000.) (Prng.float rng 750_000.) scenarios);
+          output_char oc '\n'
+        done);
+    let rng = Prng.create ~seed:(config.seed + 2) in
+    let oc = open_out_bin paths.settlements in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Vida_raw.Csv.write_header oc ~delim:','
+          [ "trade_id"; "status"; "settle_day"; "fee" ];
+        for id = 1 to config.trades do
+          Vida_raw.Csv.write_row oc ~delim:','
+            [ string_of_int id;
+              Prng.pick rng [ "settled"; "settled"; "settled"; "pending"; "failed" ];
+              string_of_int (2 + Prng.int rng 262);
+              Printf.sprintf "%.2f" (Prng.float rng 500.)
+            ]
+        done))
+  ;
+  paths

@@ -1,0 +1,17 @@
+(** Synthetic banking scenario (paper §1.1: different functional domains —
+    Trading, Risk, Settlement — interfacing over shared raw data without a
+    common system).
+
+    Three raw sources: [trades.csv] written by the trading domain,
+    [risk.jsonl] produced by the risk pipeline (one document per trade,
+    with per-scenario loss arrays), and [settlements.csv] from the
+    back-office. Trade ids link all three. *)
+
+type config = { trades : int; seed : int }
+
+type paths = { trades : string; risk : string; settlements : string }
+
+val generate : config -> dir:string -> paths
+
+val desks : string list
+val instruments : string list

@@ -1,0 +1,193 @@
+type config = {
+  patients_rows : int;
+  patients_attrs : int;
+  genetics_rows : int;
+  genetics_attrs : int;
+  regions_objects : int;
+  regions_per_object : int;
+  seed : int;
+}
+
+let paper_config =
+  { patients_rows = 41718; patients_attrs = 156; genetics_rows = 51858;
+    genetics_attrs = 17832; regions_objects = 17000; regions_per_object = 8;
+    seed = 42 }
+
+let config_of_scale sf =
+  let scale n = max 8 (int_of_float (float_of_int n *. sf)) in
+  { paper_config with
+    patients_rows = scale paper_config.patients_rows;
+    genetics_rows = scale paper_config.genetics_rows;
+    genetics_attrs = max 24 (int_of_float (float_of_int paper_config.genetics_attrs *. sf));
+    regions_objects = scale paper_config.regions_objects
+  }
+
+type paths = { patients : string; genetics : string; regions : string }
+
+let protein_attr i = Printf.sprintf "protein_%d" i
+let snp_attr i = Printf.sprintf "snp_%d" i
+
+let cities =
+  [ "geneva"; "zurich"; "basel"; "bern"; "lausanne"; "lyon"; "milan"; "munich" ]
+
+let countries = [ "CH"; "FR"; "IT"; "DE" ]
+let genders = [ "f"; "m" ]
+let region_names =
+  [ "hippocampus"; "cortex"; "thalamus"; "amygdala"; "cerebellum";
+    "putamen"; "caudate"; "insula"; "precuneus"; "fusiform" ]
+
+(* fixed demographic columns before the protein panel *)
+let patient_fixed =
+  [ "id"; "age"; "gender"; "city"; "country"; "visit_year"; "height_cm"; "weight_kg" ]
+
+let write_patients config path =
+  let rng = Prng.create ~seed:config.seed in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let n_proteins = max 1 (config.patients_attrs - List.length patient_fixed) in
+      let header =
+        patient_fixed @ List.init n_proteins (fun i -> protein_attr i)
+      in
+      Vida_raw.Csv.write_header oc ~delim:',' header;
+      for id = 1 to config.patients_rows do
+        let age = 18 + Prng.int rng 75 in
+        let fixed =
+          [ string_of_int id;
+            string_of_int age;
+            Prng.pick rng genders;
+            Prng.pick rng cities;
+            Prng.pick rng countries;
+            string_of_int (2005 + Prng.int rng 10);
+            Printf.sprintf "%.1f" (Prng.gaussian rng ~mu:171. ~sigma:11.);
+            Printf.sprintf "%.1f" (Prng.gaussian rng ~mu:72. ~sigma:14.)
+          ]
+        in
+        let proteins =
+          List.init n_proteins (fun _ ->
+              (* ~5% missing measurements *)
+              if Prng.bool rng ~p:0.05 then ""
+              else Printf.sprintf "%.3f" (Float.abs (Prng.gaussian rng ~mu:1.2 ~sigma:0.8)))
+        in
+        Vida_raw.Csv.write_row oc ~delim:',' (fixed @ proteins)
+      done)
+
+let write_genetics config path =
+  let rng = Prng.create ~seed:(config.seed + 1) in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let n_snps = max 1 (config.genetics_attrs - 1) in
+      Vida_raw.Csv.write_header oc ~delim:','
+        ("id" :: List.init n_snps (fun i -> snp_attr i));
+      (* genetics rows cover the patient ids plus extra samples (the paper's
+         Genetics has more rows than Patients) *)
+      for row = 1 to config.genetics_rows do
+        let id =
+          if row <= config.patients_rows then row
+          else 1 + Prng.int rng config.patients_rows
+        in
+        let buf = Buffer.create (n_snps * 2) in
+        Buffer.add_string buf (string_of_int id);
+        for _ = 1 to n_snps do
+          Buffer.add_char buf ',';
+          (* SNP allele counts skewed toward 0 *)
+          let v =
+            let r = Prng.int rng 100 in
+            if r < 70 then 0 else if r < 93 then 1 else 2
+          in
+          Buffer.add_char buf (Char.chr (Char.code '0' + v))
+        done;
+        Buffer.add_char buf '\n';
+        output_string oc (Buffer.contents buf)
+      done)
+
+let write_regions config path =
+  let rng = Prng.create ~seed:(config.seed + 2) in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      for i = 1 to config.regions_objects do
+        (* object ids live in the patients id domain *)
+        let id = 1 + ((i - 1) mod max 1 config.patients_rows) in
+        let buf = Buffer.create 512 in
+        Buffer.add_string buf
+          (Printf.sprintf
+             {|{"id": %d, "scan": {"device": "%s", "year": %d, "field_strength": %.1f}, "atlas": "%s", "regions": [|}
+             id
+             (Prng.pick rng [ "siemens_prisma"; "ge_discovery"; "philips_achieva" ])
+             (2008 + Prng.int rng 8)
+             (Prng.pick rng [ 1.5; 3.0; 7.0 ])
+             (Prng.pick rng [ "aal"; "desikan"; "destrieux" ]));
+        let nregions = 1 + Prng.int rng config.regions_per_object in
+        for r = 0 to nregions - 1 do
+          if r > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               {|{"name": "%s", "volume": %.2f, "centroid": [%.1f, %.1f, %.1f], "stats": {"mean": %.3f, "std": %.3f}}|}
+               (Prng.pick rng region_names)
+               (Float.abs (Prng.gaussian rng ~mu:8.5 ~sigma:4.0))
+               (Prng.float rng 180. -. 90.)
+               (Prng.float rng 216. -. 108.)
+               (Prng.float rng 180. -. 90.)
+               (Prng.float rng 2.5)
+               (Prng.float rng 0.9))
+        done;
+        Buffer.add_string buf
+          (Printf.sprintf {|], "quality": %.2f}|} (0.5 +. Prng.float rng 0.5));
+        Buffer.add_char buf '\n';
+        output_string oc (Buffer.contents buf)
+      done)
+
+let fingerprint_ok path expected_first_bytes =
+  Sys.file_exists path
+  &&
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = min (String.length expected_first_bytes) (in_channel_length ic) in
+      len = String.length expected_first_bytes
+      && really_input_string ic len = expected_first_bytes)
+
+let generate config ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let tag =
+    Printf.sprintf "p%d_%d_g%d_%d_r%d_s%d" config.patients_rows config.patients_attrs
+      config.genetics_rows config.genetics_attrs config.regions_objects config.seed
+  in
+  let paths =
+    { patients = Filename.concat dir (Printf.sprintf "patients_%s.csv" tag);
+      genetics = Filename.concat dir (Printf.sprintf "genetics_%s.csv" tag);
+      regions = Filename.concat dir (Printf.sprintf "brainregions_%s.jsonl" tag)
+    }
+  in
+  if not (fingerprint_ok paths.patients "id,age") then write_patients config paths.patients;
+  if not (fingerprint_ok paths.genetics "id,snp") then write_genetics config paths.genetics;
+  if not (fingerprint_ok paths.regions "{\"id\"") then write_regions config paths.regions;
+  paths
+
+type table_row = {
+  name : string;
+  tuples : int;
+  attributes : int;
+  bytes : int;
+  kind : string;
+}
+
+let file_size path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> in_channel_length ic)
+
+let table2 config paths =
+  [ { name = "Patients"; tuples = config.patients_rows;
+      attributes = config.patients_attrs; bytes = file_size paths.patients; kind = "CSV" };
+    { name = "Genetics"; tuples = config.genetics_rows;
+      attributes = config.genetics_attrs; bytes = file_size paths.genetics; kind = "CSV" };
+    { name = "BrainRegions"; tuples = config.regions_objects;
+      attributes = config.regions_per_object * 7 (* nested fields per object, approx *);
+      bytes = file_size paths.regions; kind = "JSON" }
+  ]

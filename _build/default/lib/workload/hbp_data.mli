@@ -1,0 +1,52 @@
+(** Synthetic Human Brain Project datasets (paper §6, Table 2).
+
+    The paper's data is private medical data; these generators reproduce its
+    {e shape}: two wide CSV relations (Patients: 41 718 × 156; Genetics:
+    51 858 × 17 832 — DNA variations, mostly 0/1/2 SNP counts) and a
+    hierarchical JSON-lines dataset (BrainRegions: 17 000 objects holding
+    MRI-pipeline results). A scale factor shrinks rows — and, for Genetics,
+    also the enormous attribute count — so experiments fit a laptop budget
+    while preserving the cardinality ratios and join-key relationships
+    (patient ids are shared across all three datasets). *)
+
+type config = {
+  patients_rows : int;
+  patients_attrs : int;  (** total attributes incl. id/demographics *)
+  genetics_rows : int;
+  genetics_attrs : int;  (** total attributes incl. id *)
+  regions_objects : int;
+  regions_per_object : int;  (** hierarchy fan-out per object *)
+  seed : int;
+}
+
+(** [config_of_scale sf] is the paper's Table 2 scaled by [sf] (rows ×
+    [sf]; Genetics attributes × [sf] bounded below at 24). [sf = 1.0]
+    reproduces the published cardinalities. *)
+val config_of_scale : float -> config
+
+(** Paper values: 41718 / 156, 51858 / 17832, 17000. *)
+val paper_config : config
+
+type paths = { patients : string; genetics : string; regions : string }
+
+(** [generate config ~dir] writes the three files (idempotent: existing
+    files with the right first-line fingerprint are reused). *)
+val generate : config -> dir:string -> paths
+
+(** One row of the paper's Table 2. *)
+type table_row = {
+  name : string;
+  tuples : int;
+  attributes : int;
+  bytes : int;
+  kind : string;  (** "CSV" or "JSON" *)
+}
+
+(** [table2 config paths] measures the generated files. *)
+val table2 : config -> paths -> table_row list
+
+(** Attribute-name helpers used by the query generator. *)
+val protein_attr : int -> string
+
+val snp_attr : int -> string
+val cities : string list

@@ -1,0 +1,121 @@
+type kind = Epidemiological | Interactive
+
+type query = { id : int; text : string; flat_text : string; kind : kind; hot : bool }
+
+let hot_protein_pool = [ 0; 1; 2; 3; 4 ]
+let hot_snp_pool = [ 0; 1; 2 ]
+let hot_cities = [ "geneva"; "zurich"; "lausanne" ]
+let hot_regions = [ "hippocampus"; "cortex" ]
+
+let workload ?(n = 150) (config : Hbp_data.config) =
+  let rng = Prng.create ~seed:(config.Hbp_data.seed + 100) in
+  let n_proteins =
+    max 1 (config.Hbp_data.patients_attrs - 8 (* fixed demographic columns *))
+  in
+  let n_snps = max 1 (config.Hbp_data.genetics_attrs - 1) in
+  let protein hot =
+    if hot then Prng.pick rng (List.filter (fun i -> i < n_proteins) hot_protein_pool)
+    else Prng.int rng n_proteins
+  in
+  let snp hot =
+    if hot then Prng.pick rng (List.filter (fun i -> i < n_snps) hot_snp_pool)
+    else Prng.int rng n_snps
+  in
+  let age () = 25 + (5 * Prng.int rng 10) in
+  let threshold () = float_of_int (5 + Prng.int rng 15) /. 10. in
+  let city hot = if hot then Prng.pick rng hot_cities else Prng.pick rng Hbp_data.cities in
+  let region hot =
+    if hot then Prng.pick rng hot_regions
+    else Prng.pick rng [ "thalamus"; "amygdala"; "cerebellum"; "putamen"; "insula" ]
+  in
+  (* each template returns (text over raw shapes, text over the flattened
+     warehouse schema) from the same random draws *)
+  let epi_query hot =
+    let same s = (s, s) in
+    match Prng.int rng 5 with
+    | 0 ->
+      same
+        (Printf.sprintf
+           "for { p <- Patients, p.age > %d, p.city = \"%s\" } yield count p"
+           (age ()) (city hot))
+    | 1 ->
+      same
+        (Printf.sprintf
+           "for { p <- Patients, p.age > %d, p.age < %d } yield avg p.%s"
+           (age ()) (age () + 30) (Hbp_data.protein_attr (protein hot)))
+    | 2 ->
+      let a = Hbp_data.protein_attr (protein hot)
+      and b = Hbp_data.protein_attr (protein hot)
+      and t = threshold () in
+      same
+        (Printf.sprintf
+           "for { p <- Patients, p.country = \"CH\", p.%s > %.1f } yield max p.%s" a t b)
+    | 3 ->
+      same
+        (Printf.sprintf
+           "for { p <- Patients, g <- Genetics, p.id = g.id, g.%s = 1, p.age > %d } yield count p"
+           (Hbp_data.snp_attr (snp hot)) (age ()))
+    | _ ->
+      same
+        (Printf.sprintf
+           "for { p <- Patients, p.gender = \"f\", p.%s > %.1f } yield avg p.age"
+           (Hbp_data.protein_attr (protein hot)) (threshold ()))
+  in
+  let interactive_query hot =
+    match Prng.int rng 4 with
+    | 0 ->
+      let a = age () and s = Hbp_data.snp_attr (snp hot) in
+      ( Printf.sprintf
+          "for { p <- Patients, g <- Genetics, b <- BrainRegions, p.id = g.id, g.id = b.id, p.age > %d, g.%s = 1 } yield bag (id := p.id, city := p.city, quality := b.quality)"
+          a s,
+        Printf.sprintf
+          "for { p <- Patients, g <- Genetics, b <- BrainRegionsFlat, p.id = g.id, g.id = b.id, p.age > %d, g.%s = 1 } yield bag (id := p.id, city := p.city, quality := b.quality)"
+          a s )
+    | 1 ->
+      let r = region hot and a = age () in
+      ( Printf.sprintf
+          "for { p <- Patients, b <- BrainRegions, r <- b.regions, p.id = b.id, r.name = \"%s\", p.age > %d } yield avg r.volume"
+          r a,
+        Printf.sprintf
+          "for { p <- Patients, b <- BrainRegionsFlat, p.id = b.id, b.regions_name = \"%s\", p.age > %d } yield avg b.regions_volume"
+          r a )
+    | 2 ->
+      let pr = Hbp_data.protein_attr (protein hot)
+      and t = threshold ()
+      and s = Hbp_data.snp_attr (snp hot) in
+      ( Printf.sprintf
+          "for { p <- Patients, g <- Genetics, b <- BrainRegions, p.id = g.id, g.id = b.id, p.%s > %.1f } yield bag (id := p.id, age := p.age, protein := p.%s, quality := b.quality, snp := g.%s)"
+          pr t pr s,
+        Printf.sprintf
+          "for { p <- Patients, g <- Genetics, b <- BrainRegionsFlat, p.id = g.id, g.id = b.id, p.%s > %.1f } yield bag (id := p.id, age := p.age, protein := p.%s, quality := b.quality, snp := g.%s)"
+          pr t pr s )
+    | _ ->
+      let c = city hot and r = region hot in
+      ( Printf.sprintf
+          "for { p <- Patients, b <- BrainRegions, r <- b.regions, p.id = b.id, p.city = \"%s\", r.name = \"%s\" } yield sum r.volume"
+          c r,
+        Printf.sprintf
+          "for { p <- Patients, b <- BrainRegionsFlat, p.id = b.id, p.city = \"%s\", b.regions_name = \"%s\" } yield sum b.regions_volume"
+          c r )
+  in
+  List.init n (fun i ->
+      let id = i + 1 in
+      (* first 40%: exploration; afterwards interactive dominates 3:1 *)
+      let kind =
+        if id <= (2 * n / 5) then Epidemiological
+        else if Prng.int rng 4 = 0 then Epidemiological
+        else Interactive
+      in
+      let hot = Prng.bool rng ~p:0.8 in
+      let text, flat_text =
+        match kind with
+        | Epidemiological -> epi_query hot
+        | Interactive -> interactive_query hot
+      in
+      { id; text; flat_text; kind; hot })
+
+let hot_fraction qs =
+  if qs = [] then 0.
+  else
+    float_of_int (List.length (List.filter (fun q -> q.hot) qs))
+    /. float_of_int (List.length qs)

@@ -1,0 +1,33 @@
+(** The 150-query medical-analysis workload (paper §6).
+
+    Two phases, as the paper describes: (i) {e epidemiological exploration}
+    — filter Patients (optionally joined with Genetics) on demographic,
+    geographic and age criteria, then aggregate; (ii) {e interactive
+    analysis} — join patient data of interest with the imaging products
+    (BrainRegions), projecting 1–5 attributes.
+
+    Locality: ~80% of queries draw their attributes from a small hot set
+    (so a cache/positional-map warm engine serves them without touching the
+    raw files); the rest touch fresh protein/SNP columns, forcing raw
+    access — reproducing the 80/20 split behind the paper's cache-hit
+    claim. *)
+
+type kind = Epidemiological | Interactive
+
+type query = {
+  id : int;  (** 1-based position in the sequence *)
+  text : string;  (** comprehension syntax, sources Patients/Genetics/BrainRegions *)
+  flat_text : string;
+      (** the same query against the flattened warehouse schema (source
+          [BrainRegionsFlat] with [_]-joined columns, no unnesting) — what
+          the single-warehouse configurations execute in Figure 5 *)
+  kind : kind;
+  hot : bool;  (** drawn from the hot attribute set *)
+}
+
+(** [workload config ~n] generates the first [n] queries (default 150) of
+    the deterministic sequence for [config]'s attribute widths. *)
+val workload : ?n:int -> Hbp_data.config -> query list
+
+(** Fraction of hot queries in a generated workload (for tests). *)
+val hot_fraction : query list -> float

@@ -1,0 +1,31 @@
+(* SplitMix64, truncated to OCaml's 63-bit ints. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next t mod bound
+
+let float t bound = Int64.to_float (Int64.shift_right_logical (next64 t) 11) /. 9007199254740992. *. bound
+
+let bool t ~p = float t 1.0 < p
+
+let pick t l =
+  match l with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let gaussian t ~mu ~sigma =
+  let u1 = Float.max 1e-12 (float t 1.0) and u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The workload must be byte-identical across runs and OCaml versions so
+    experiments are reproducible; the stdlib [Random] gives no such
+    guarantee across versions. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [next t] is the next 62-bit non-negative integer. *)
+val next : t -> int
+
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] is uniform in [0, bound). *)
+val float : t -> float -> float
+
+(** [bool t ~p] is true with probability [p]. *)
+val bool : t -> p:float -> bool
+
+(** [pick t l] picks a uniform element.
+    @raise Invalid_argument on empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [gaussian t ~mu ~sigma] — Box–Muller. *)
+val gaussian : t -> mu:float -> sigma:float -> float

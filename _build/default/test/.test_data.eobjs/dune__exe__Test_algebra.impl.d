@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Eval Expr List Monoid Naive_exec Parser Plan Result Rewrite String Translate Ty Value Vida_algebra Vida_calculus Vida_data

@@ -1,0 +1,1 @@
+test/test_calculus.ml: Alcotest Array Eval Expr Format List Monoid Parser Printf QCheck QCheck_alcotest Rewrite String Ty Typecheck Value Vida_calculus Vida_data

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array List QCheck QCheck_alcotest Schema Stdlib Ty Value Vida_data

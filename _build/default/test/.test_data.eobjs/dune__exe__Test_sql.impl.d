@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Eval Expr Format Parser Rewrite Sql Ty Typecheck Value Vida_algebra Vida_calculus Vida_data Vida_sql

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Cache Filename Infer Layout List Printf QCheck QCheck_alcotest Registry Schema Source String Ty Value Vbson Vida_catalog Vida_data Vida_raw Vida_storage

@@ -1,0 +1,1 @@
+test/test_vida.ml: Alcotest Astring Filename In_channel List Printf String Value Vida Vida_data Vida_raw Vida_storage Vida_workload

@@ -1,0 +1,333 @@
+(* Tests for the baseline systems: loading, storage behaviour, and
+   differential agreement with the reference executor. *)
+
+open Vida_data
+open Vida_calculus
+open Vida_algebra
+open Vida_baseline
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_value msg expected actual =
+  Alcotest.(check string) msg (Value.to_string expected) (Value.to_string actual)
+
+let tmp_file contents =
+  let path = Filename.temp_file "vida_test" ".raw" in
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let buf_of contents = Vida_raw.Raw_buffer.of_path (tmp_file contents)
+
+let patients_csv =
+  "id,age,city,protein\n\
+   1,34,geneva,0.5\n\
+   2,71,zurich,1.5\n\
+   3,52,geneva,2.5\n\
+   4,28,basel,\n"
+
+let genetics_csv = "id,snp0,snp1\n1,0,1\n2,1,1\n3,0,0\n4,1,0\n"
+
+let regions_jsonl =
+  {|{"id": 1, "meta": {"src": "mri"}, "regions": [{"name": "r1", "vol": 3.5}, {"name": "r2", "vol": 1.5}]}
+{"id": 2, "meta": {"src": "ct"}, "regions": [{"name": "r1", "vol": 2.0}]}
+{"id": 3, "meta": {"src": "mri"}, "regions": []}
+|}
+
+let plan_of s = Translate.plan_of_comp (Rewrite.normalize (Parser.parse_exn s))
+
+(* logical reference data: what the loaded stores should behave like *)
+let patients_ref =
+  Value.Bag
+    (List.map
+       (fun (id, age, city, protein) ->
+         Value.Record
+           [ ("id", Value.Int id); ("age", Value.Int age);
+             ("city", Value.String city); ("protein", protein) ])
+       [ (1, 34, "geneva", Value.Float 0.5); (2, 71, "zurich", Value.Float 1.5);
+         (3, 52, "geneva", Value.Float 2.5); (4, 28, "basel", Value.Null) ])
+
+(* --- rowstore --- *)
+
+let test_rowstore_basic () =
+  let store = Rowstore.create () in
+  Loader.csv_into_rowstore store ~name:"Patients" (buf_of patients_csv);
+  check_int "rows" 4 (Rowstore.row_count store ~name:"Patients");
+  check_int "one partition" 1 (Rowstore.partitions store ~name:"Patients");
+  check_value "count query" (Value.Int 4)
+    (Rowstore.run store (plan_of "for { p <- Patients } yield count p"));
+  (* geneva patients: (34 + 0.5*2) + (52 + 2.5*2) = 92, float via promotion *)
+  check_value "sum with filter" (Value.Float 92.)
+    (Rowstore.run store (plan_of "for { p <- Patients, p.city = \"geneva\" } yield sum p.age + p.protein * 2"))
+
+let test_rowstore_vertical_partitioning () =
+  let store = Rowstore.create () in
+  let wide =
+    Schema.of_pairs (List.init 600 (fun i -> (Printf.sprintf "a%d" i, Ty.Int)))
+  in
+  Rowstore.create_table store ~name:"Wide" wide;
+  for row = 0 to 9 do
+    Rowstore.insert store ~name:"Wide" (Array.init 600 (fun c -> Value.Int (row * 1000 + c)))
+  done;
+  check_int "three partitions" 3 (Rowstore.partitions store ~name:"Wide");
+  (* attributes from different partitions reassemble *)
+  let seen = ref [] in
+  Rowstore.scan store ~name:"Wide" ~fields:(Some [ "a0"; "a599" ]) (fun r ->
+      seen := (Value.to_int (Value.field r "a0"), Value.to_int (Value.field r "a599")) :: !seen);
+  check_int "ten rows" 10 (List.length !seen);
+  check_bool "values line up" true
+    (List.for_all (fun (a, b) -> b - a = 599) !seen)
+
+let test_rowstore_storage_grows () =
+  let store = Rowstore.create () in
+  Loader.csv_into_rowstore store ~name:"P" (buf_of patients_csv);
+  check_bool "nonzero storage" true (Rowstore.storage_bytes store > 0)
+
+(* --- colstore --- *)
+
+let test_colstore_basic () =
+  let store = Colstore.create () in
+  Loader.csv_into_colstore store ~name:"Patients" (buf_of patients_csv);
+  check_int "rows" 4 (Colstore.row_count store ~name:"Patients");
+  check_value "vector count" (Value.Int 2)
+    (Colstore.run store (plan_of "for { p <- Patients, p.age > 40 } yield count p"));
+  check_value "vector sum" (Value.Int 157)
+    (Colstore.run store (plan_of "for { p <- Patients } yield sum p.age + (if p.city = \"geneva\" then 0 - 14 else 0)"))
+
+let test_colstore_vectorized_flag () =
+  let store = Colstore.create () in
+  Loader.csv_into_colstore store ~name:"Patients" (buf_of patients_csv);
+  Loader.csv_into_colstore store ~name:"Genetics" (buf_of genetics_csv);
+  check_bool "scan-filter-agg vectorized" true
+    (Colstore.vectorized store (plan_of "for { p <- Patients, p.age > 40 } yield sum p.id"));
+  check_bool "join vectorized" true
+    (Colstore.vectorized store
+       (plan_of "for { p <- Patients, g <- Genetics, p.id = g.id } yield count p"));
+  check_bool "unnest not vectorized" false
+    (Colstore.vectorized store (plan_of "for { p <- Patients, x <- p.anything } yield count x"))
+
+let test_colstore_join () =
+  let store = Colstore.create () in
+  Loader.csv_into_colstore store ~name:"Patients" (buf_of patients_csv);
+  Loader.csv_into_colstore store ~name:"Genetics" (buf_of genetics_csv);
+  check_value "join aggregate" (Value.Int 71 )
+    (Colstore.run store
+       (plan_of "for { p <- Patients, g <- Genetics, p.id = g.id, g.snp0 = 1, p.age > 30 } yield sum p.age"))
+
+let test_colstore_projection_bag () =
+  let store = Colstore.create () in
+  Loader.csv_into_colstore store ~name:"Patients" (buf_of patients_csv);
+  let v =
+    Colstore.run store
+      (plan_of "for { p <- Patients, p.age > 40 } yield bag (i := p.id, c := p.city)")
+  in
+  check_value "projection"
+    (Value.Bag
+       [ Value.Record [ ("i", Value.Int 2); ("c", Value.String "zurich") ];
+         Value.Record [ ("i", Value.Int 3); ("c", Value.String "geneva") ]
+       ])
+    v
+
+(* --- docstore --- *)
+
+let test_docstore_import_and_query () =
+  let store = Docstore.create () in
+  let n = Docstore.import_jsonl store ~name:"Regions" (buf_of regions_jsonl) in
+  check_int "imported" 3 n;
+  check_int "count" 3 (Docstore.doc_count store ~name:"Regions");
+  check_value "scan filter" (Value.Int 2)
+    (Docstore.run store (plan_of "for { r <- Regions, r.meta.src = \"mri\" } yield count r"));
+  check_value "unnest inside docs" (Value.Float 7.0)
+    (Docstore.run store (plan_of "for { r <- Regions, x <- r.regions } yield sum x.vol"))
+
+let test_docstore_storage_expansion () =
+  (* numeric-light, structure-heavy docs expand when every document carries
+     its field names in binary form plus per-doc headers *)
+  let store = Docstore.create () in
+  let _ = Docstore.import_jsonl store ~name:"R" (buf_of regions_jsonl) in
+  check_bool "accounts storage" true (Docstore.storage_bytes store > 0)
+
+(* --- flatten --- *)
+
+let test_flatten_value () =
+  let v =
+    Vida_raw.Json.parse
+      {|{"id": 1, "meta": {"src": "mri"}, "regions": [{"name": "r1"}, {"name": "r2"}], "tags": [1, 2]}|}
+  in
+  let rows = Flatten.flatten_value v in
+  check_int "exploded to 2 rows" 2 (List.length rows);
+  let first = List.hd rows in
+  check_bool "dotted nested" true (List.assoc_opt "meta.src" first = Some (Value.String "mri"));
+  check_bool "exploded field" true (List.assoc_opt "regions.name" first = Some (Value.String "r1"));
+  check_bool "scalar duplicated" true
+    (List.for_all (fun row -> List.assoc_opt "id" row = Some (Value.Int 1)) rows);
+  check_bool "secondary array serialized" true
+    (match List.assoc_opt "tags" first with Some (Value.String _) -> true | _ -> false)
+
+let test_flatten_jsonl_redundancy () =
+  let schema, rows = Flatten.flatten_jsonl (buf_of regions_jsonl) in
+  (* 2 + 1 + 1 rows: object 3 has an empty array -> single row *)
+  check_int "rows" 4 (List.length rows);
+  check_bool "columns include dotted" true (Schema.mem schema "regions.vol");
+  (* redundancy: object 1's id appears twice *)
+  let ids =
+    List.filter_map
+      (fun row ->
+        match row.(Schema.index_exn schema "id") with
+        | Value.Int 1 -> Some ()
+        | _ -> None)
+      rows
+  in
+  check_int "duplicated scalars" 2 (List.length ids)
+
+let test_flatten_to_csv_roundtrip () =
+  let path = Filename.temp_file "vida_test" ".csv" in
+  let schema = Flatten.to_csv_file (buf_of regions_jsonl) ~path in
+  (* load it back through the loader *)
+  let store = Rowstore.create () in
+  Loader.csv_into_rowstore store ~name:"Flat" ~schema (Vida_raw.Raw_buffer.of_path path);
+  check_int "four flattened rows" 4 (Rowstore.row_count store ~name:"Flat");
+  (* dotted column names survive the CSV hop *)
+  let total = ref 0. in
+  Rowstore.scan store ~name:"Flat" ~fields:(Some [ "regions.vol" ]) (fun r ->
+      match Value.field_opt r "regions.vol" with
+      | Some (Value.Float f) -> total := !total +. f
+      | _ -> ());
+  check_bool "volumes summed" true (abs_float (!total -. 7.0) < 1e-9)
+
+(* --- differential: all stores agree with the reference --- *)
+
+let differential_corpus =
+  [ "for { p <- Patients } yield sum p.age";
+    "for { p <- Patients, p.age > 40 } yield count p";
+    "for { p <- Patients, p.city = \"geneva\" } yield avg p.protein";
+    "for { p <- Patients, g <- Genetics, p.id = g.id, g.snp0 = 1 } yield sum p.age";
+    "for { p <- Patients } yield max p.protein";
+    "for { p <- Patients, p.protein > 1.0 } yield list p.id"
+  ]
+
+let reference_run q =
+  let sources =
+    [ ("Patients", patients_ref);
+      ( "Genetics",
+        Value.Bag
+          (List.map
+             (fun (id, s0, s1) ->
+               Value.Record [ ("id", Value.Int id); ("snp0", Value.Int s0); ("snp1", Value.Int s1) ])
+             [ (1, 0, 1); (2, 1, 1); (3, 0, 0); (4, 1, 0) ]) )
+    ]
+  in
+  Naive_exec.run ~sources (plan_of q)
+
+let test_differential_rowstore () =
+  let store = Rowstore.create () in
+  Loader.csv_into_rowstore store ~name:"Patients" (buf_of patients_csv);
+  Loader.csv_into_rowstore store ~name:"Genetics" (buf_of genetics_csv);
+  List.iter
+    (fun q ->
+      let expected = reference_run q in
+      let actual = Rowstore.run store (plan_of q) in
+      if not (Value.equal expected actual) then
+        Alcotest.failf "rowstore disagrees on %S: %s vs %s" q (Value.to_string expected)
+          (Value.to_string actual))
+    differential_corpus
+
+let test_differential_colstore () =
+  let store = Colstore.create () in
+  Loader.csv_into_colstore store ~name:"Patients" (buf_of patients_csv);
+  Loader.csv_into_colstore store ~name:"Genetics" (buf_of genetics_csv);
+  List.iter
+    (fun q ->
+      let expected = reference_run q in
+      let actual = Colstore.run store (plan_of q) in
+      if not (Value.equal expected actual) then
+        Alcotest.failf "colstore disagrees on %S: %s vs %s" q (Value.to_string expected)
+          (Value.to_string actual))
+    differential_corpus
+
+(* --- mediator --- *)
+
+let make_mediator () =
+  let col = Colstore.create () in
+  Loader.csv_into_colstore col ~name:"Patients" (buf_of patients_csv);
+  Loader.csv_into_colstore col ~name:"Genetics" (buf_of genetics_csv);
+  let docs = Docstore.create () in
+  let _ = Docstore.import_jsonl docs ~name:"Regions" (buf_of regions_jsonl) in
+  let m = Mediator.create (Mediator.Col col) docs in
+  Mediator.place m ~source:"Patients" `Rel;
+  Mediator.place m ~source:"Genetics" `Rel;
+  Mediator.place m ~source:"Regions" `Doc;
+  m
+
+let test_mediator_cross_system_join () =
+  let m = make_mediator () in
+  let v =
+    Mediator.run m
+      (plan_of
+         "for { p <- Patients, r <- Regions, p.id = r.id, p.age > 30 } yield bag (city := p.city, src := r.meta.src)")
+  in
+  (* patients over 30 joined with their regions: ids 1, 2 and 3 *)
+  check_value "cross join"
+    (Value.Bag
+       [ Value.Record [ ("city", Value.String "geneva"); ("src", Value.String "mri") ];
+         Value.Record [ ("city", Value.String "geneva"); ("src", Value.String "mri") ];
+         Value.Record [ ("city", Value.String "zurich"); ("src", Value.String "ct") ]
+       ])
+    (match v with
+    | Value.Bag vs -> Value.Bag (List.sort Value.compare vs)
+    | v -> v);
+  check_bool "values were shipped" true (Mediator.shipped_values m > 0)
+
+let test_mediator_pushdown_filters_before_shipping () =
+  let m = make_mediator () in
+  let _ =
+    Mediator.run m (plan_of "for { p <- Patients, p.age > 60, r <- Regions, p.id = r.id } yield count p")
+  in
+  (* only 1 patient survives the filter + 3 regions shipped *)
+  check_int "shipped after pushdown" 4 (Mediator.shipped_values m)
+
+let test_mediator_unplaced_source () =
+  let m = make_mediator () in
+  match Mediator.run m (plan_of "for { z <- Ghost } yield count z") with
+  | exception Invalid_argument _ -> ()
+  | v -> Alcotest.failf "expected failure, got %s" (Value.to_string v)
+
+let test_mediator_three_way () =
+  let m = make_mediator () in
+  let q =
+    "for { p <- Patients, g <- Genetics, r <- Regions, p.id = g.id, g.id = r.id, g.snp0 = 0 } yield sum p.age"
+  in
+  check_value "three way" (Value.Int 86) (Mediator.run m (plan_of q))
+
+let () =
+  Alcotest.run "vida_baseline"
+    [ ( "rowstore",
+        [ Alcotest.test_case "basics" `Quick test_rowstore_basic;
+          Alcotest.test_case "vertical partitioning" `Quick test_rowstore_vertical_partitioning;
+          Alcotest.test_case "storage bytes" `Quick test_rowstore_storage_grows;
+          Alcotest.test_case "differential" `Quick test_differential_rowstore
+        ] );
+      ( "colstore",
+        [ Alcotest.test_case "basics" `Quick test_colstore_basic;
+          Alcotest.test_case "vectorized flag" `Quick test_colstore_vectorized_flag;
+          Alcotest.test_case "join" `Quick test_colstore_join;
+          Alcotest.test_case "projection bag" `Quick test_colstore_projection_bag;
+          Alcotest.test_case "differential" `Quick test_differential_colstore
+        ] );
+      ( "docstore",
+        [ Alcotest.test_case "import/query" `Quick test_docstore_import_and_query;
+          Alcotest.test_case "storage" `Quick test_docstore_storage_expansion
+        ] );
+      ( "flatten",
+        [ Alcotest.test_case "value" `Quick test_flatten_value;
+          Alcotest.test_case "jsonl redundancy" `Quick test_flatten_jsonl_redundancy;
+          Alcotest.test_case "csv roundtrip" `Quick test_flatten_to_csv_roundtrip
+        ] );
+      ( "mediator",
+        [ Alcotest.test_case "cross-system join" `Quick test_mediator_cross_system_join;
+          Alcotest.test_case "pushdown before shipping" `Quick test_mediator_pushdown_filters_before_shipping;
+          Alcotest.test_case "unplaced source" `Quick test_mediator_unplaced_source;
+          Alcotest.test_case "three-way" `Quick test_mediator_three_way
+        ] )
+    ]

@@ -1,0 +1,164 @@
+(* Reproduction regression test: a miniature Figure 5 run asserting the
+   cross-system invariants the benchmark harness relies on —
+
+   - ViDa answers the whole workload with zero preparation;
+   - ViDa and the integration layer (mediator over colstore + docstore)
+     compute identical results (both see the raw JSON semantics);
+   - the two warehouse configurations (row store and column store over the
+     flattened schema) agree with each other;
+   - the workload's locality materializes as a high cache-service rate.
+
+   Scale is tiny so the suite stays fast; the shapes asserted here are
+   scale-independent. *)
+
+open Vida_data
+open Vida_workload
+open Vida_baseline
+
+let check_bool = Alcotest.(check bool)
+
+let config =
+  { Hbp_data.patients_rows = 120; patients_attrs = 24; genetics_rows = 150;
+    genetics_attrs = 30; regions_objects = 80; regions_per_object = 4; seed = 99 }
+
+let dir = Filename.concat (Filename.get_temp_dir_name ()) "vida_repro_test"
+let paths = lazy (Hbp_data.generate config ~dir)
+let queries = lazy (Hbp_queries.workload ~n:40 config)
+
+let plan_for text =
+  match Vida_calculus.Parser.parse text with
+  | Error msg -> failwith msg
+  | Ok e ->
+    Vida_optimizer.Rules.apply
+      (Vida_algebra.Translate.plan_of_comp (Vida_calculus.Rewrite.normalize e))
+
+(* multiset-normalize collection results so execution order is irrelevant *)
+let canon v =
+  match v with
+  | Value.Bag vs | Value.List vs -> Value.Bag (List.sort Value.compare vs)
+  | v -> v
+
+let vida_db () =
+  let p = Lazy.force paths in
+  let db = Vida.create () in
+  Vida.csv db ~name:"Patients" ~path:p.Hbp_data.patients ();
+  Vida.csv db ~name:"Genetics" ~path:p.Hbp_data.genetics ();
+  Vida.json db ~name:"BrainRegions" ~path:p.Hbp_data.regions ();
+  db
+
+let mediator () =
+  let p = Lazy.force paths in
+  let col = Colstore.create () in
+  Loader.csv_into_colstore col ~name:"Patients"
+    (Vida_raw.Raw_buffer.of_path p.Hbp_data.patients);
+  Loader.csv_into_colstore col ~name:"Genetics"
+    (Vida_raw.Raw_buffer.of_path p.Hbp_data.genetics);
+  let docs = Docstore.create () in
+  let _ =
+    Docstore.import_jsonl docs ~name:"BrainRegions"
+      (Vida_raw.Raw_buffer.of_path p.Hbp_data.regions)
+  in
+  let m = Mediator.create (Mediator.Col col) docs in
+  Mediator.place m ~source:"Patients" `Rel;
+  Mediator.place m ~source:"Genetics" `Rel;
+  Mediator.place m ~source:"BrainRegions" `Doc;
+  m
+
+let test_vida_answers_whole_workload () =
+  let db = vida_db () in
+  List.iter
+    (fun q ->
+      match Vida.query db q.Hbp_queries.text with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "q%d failed: %s\n%s" q.Hbp_queries.id (Vida.error_to_string e)
+          q.Hbp_queries.text)
+    (Lazy.force queries)
+
+let test_vida_agrees_with_integration_layer () =
+  let db = vida_db () in
+  let m = mediator () in
+  List.iter
+    (fun q ->
+      let vida_v =
+        match Vida.query db q.Hbp_queries.text with
+        | Ok r -> r.Vida.value
+        | Error e -> Alcotest.failf "vida q%d: %s" q.Hbp_queries.id (Vida.error_to_string e)
+      in
+      let med_v = Mediator.run m (plan_for q.Hbp_queries.text) in
+      if not (Value.equal (canon vida_v) (canon med_v)) then
+        Alcotest.failf "q%d: ViDa %s vs mediator %s\n%s" q.Hbp_queries.id
+          (Value.to_string vida_v) (Value.to_string med_v) q.Hbp_queries.text)
+    (Lazy.force queries)
+
+let test_warehouses_agree_with_each_other () =
+  let p = Lazy.force paths in
+  let flat = Filename.temp_file "vida_repro" ".csv" in
+  let schema =
+    Flatten.to_csv_file ~sep:"_" (Vida_raw.Raw_buffer.of_path p.Hbp_data.regions)
+      ~path:flat
+  in
+  let col = Colstore.create () in
+  Loader.csv_into_colstore col ~name:"Patients"
+    (Vida_raw.Raw_buffer.of_path p.Hbp_data.patients);
+  Loader.csv_into_colstore col ~name:"Genetics"
+    (Vida_raw.Raw_buffer.of_path p.Hbp_data.genetics);
+  Loader.csv_into_colstore col ~name:"BrainRegionsFlat" ~schema
+    (Vida_raw.Raw_buffer.of_path flat);
+  let row = Rowstore.create () in
+  Loader.csv_into_rowstore row ~name:"Patients"
+    (Vida_raw.Raw_buffer.of_path p.Hbp_data.patients);
+  Loader.csv_into_rowstore row ~name:"Genetics"
+    (Vida_raw.Raw_buffer.of_path p.Hbp_data.genetics);
+  Loader.csv_into_rowstore row ~name:"BrainRegionsFlat" ~schema
+    (Vida_raw.Raw_buffer.of_path flat);
+  List.iter
+    (fun q ->
+      let plan = plan_for q.Hbp_queries.flat_text in
+      let cv = canon (Colstore.run col plan) in
+      let rv = canon (Rowstore.run row plan) in
+      if not (Value.equal cv rv) then
+        Alcotest.failf "q%d: colstore %s vs rowstore %s\n%s" q.Hbp_queries.id
+          (Value.to_string cv) (Value.to_string rv) q.Hbp_queries.flat_text)
+    (Lazy.force queries)
+
+let test_cache_locality_materializes () =
+  let db = vida_db () in
+  List.iter
+    (fun q -> ignore (Vida.query db q.Hbp_queries.text))
+    (Lazy.force queries);
+  let s = Vida.stats db in
+  let rate =
+    float_of_int s.Vida.queries_from_cache /. float_of_int (max 1 s.Vida.queries_run)
+  in
+  check_bool (Printf.sprintf "hit rate %.2f > 0.5" rate) true (rate > 0.5)
+
+let test_generic_engine_agrees_on_workload_sample () =
+  let db = vida_db () in
+  List.iteri
+    (fun i q ->
+      if i mod 4 = 0 then (
+        let jit =
+          match Vida.query ~engine:Vida.Jit ~reuse:false db q.Hbp_queries.text with
+          | Ok r -> r.Vida.value
+          | Error e -> Alcotest.failf "jit: %s" (Vida.error_to_string e)
+        in
+        let gen =
+          match Vida.query ~engine:Vida.Generic ~reuse:false db q.Hbp_queries.text with
+          | Ok r -> r.Vida.value
+          | Error e -> Alcotest.failf "generic: %s" (Vida.error_to_string e)
+        in
+        if not (Value.equal (canon jit) (canon gen)) then
+          Alcotest.failf "q%d: engines disagree" q.Hbp_queries.id))
+    (Lazy.force queries)
+
+let () =
+  Alcotest.run "vida_reproduction"
+    [ ( "figure5-invariants",
+        [ Alcotest.test_case "vida answers workload" `Quick test_vida_answers_whole_workload;
+          Alcotest.test_case "vida = integration layer" `Quick test_vida_agrees_with_integration_layer;
+          Alcotest.test_case "warehouses agree" `Quick test_warehouses_agree_with_each_other;
+          Alcotest.test_case "cache locality" `Quick test_cache_locality_materializes;
+          Alcotest.test_case "engines agree on workload" `Quick test_generic_engine_agrees_on_workload_sample
+        ] )
+    ]

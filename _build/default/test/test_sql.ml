@@ -1,0 +1,222 @@
+(* Tests for the SQL frontend: translation shapes and semantic equivalence
+   with hand-written comprehensions. *)
+
+open Vida_data
+open Vida_calculus
+open Vida_sql
+
+let check_value msg expected actual =
+  Alcotest.(check string) msg (Value.to_string expected) (Value.to_string actual)
+
+let employees =
+  Value.List
+    [ Value.Record [ ("id", Value.Int 1); ("name", Value.String "ada"); ("deptNo", Value.Int 10); ("salary", Value.Int 100) ];
+      Value.Record [ ("id", Value.Int 2); ("name", Value.String "bob"); ("deptNo", Value.Int 20); ("salary", Value.Int 80) ];
+      Value.Record [ ("id", Value.Int 3); ("name", Value.String "cyd"); ("deptNo", Value.Int 10); ("salary", Value.Int 120) ];
+      Value.Record [ ("id", Value.Int 4); ("name", Value.String "dan"); ("deptNo", Value.Int 30); ("salary", Value.Null) ]
+    ]
+
+let departments =
+  Value.List
+    [ Value.Record [ ("id", Value.Int 10); ("deptName", Value.String "HR") ];
+      Value.Record [ ("id", Value.Int 20); ("deptName", Value.String "IT") ];
+      Value.Record [ ("id", Value.Int 30); ("deptName", Value.String "PR") ]
+    ]
+
+let env =
+  Eval.env_of_list [ ("Employees", employees); ("Departments", departments) ]
+
+let run_sql s = Eval.eval env (Sql.translate_exn s)
+let run_comp s = Eval.eval env (Parser.parse_exn s)
+
+let equivalent msg sql comp = check_value msg (run_comp comp) (run_sql sql)
+
+(* --- the paper's running example (§3.2) --- *)
+
+let test_paper_query () =
+  equivalent "paper count query"
+    {|SELECT COUNT(e.id)
+      FROM Employees e JOIN Departments d ON (e.deptNo = d.id)
+      WHERE d.deptName = 'HR'|}
+    {|for { e <- Employees, d <- Departments,
+           e.deptNo = d.id, d.deptName = "HR"} yield sum 1|}
+
+(* --- shapes --- *)
+
+let test_projection () =
+  equivalent "projection"
+    "SELECT e.name AS n, e.salary AS s FROM Employees e WHERE e.salary > 90"
+    "for { e <- Employees, e.salary > 90 } yield bag (n := e.name, s := e.salary)"
+
+let test_single_table_bare_columns () =
+  equivalent "bare columns resolve to single table"
+    "SELECT name FROM Employees WHERE salary > 90"
+    "for { e <- Employees, e.salary > 90 } yield bag (name := e.name)"
+
+let test_distinct () =
+  equivalent "distinct set"
+    "SELECT DISTINCT e.deptNo FROM Employees e"
+    "for { e <- Employees } yield set (deptNo := e.deptNo)"
+
+let test_aggregates () =
+  equivalent "count star" "SELECT COUNT( * ) FROM Employees e" "for { e <- Employees } yield count e";
+  equivalent "sum" "SELECT SUM(e.salary) FROM Employees e" "for { e <- Employees } yield sum e.salary";
+  equivalent "avg skips nulls" "SELECT AVG(e.salary) FROM Employees e"
+    "for { e <- Employees } yield avg e.salary";
+  equivalent "max" "SELECT MAX(e.salary) FROM Employees e" "for { e <- Employees } yield max e.salary";
+  equivalent "median" "SELECT MEDIAN(e.salary) FROM Employees e"
+    "for { e <- Employees } yield median e.salary"
+
+let test_multiple_aggregates () =
+  check_value "record of aggregates"
+    (Value.Record [ ("n", Value.Int 4); ("top", Value.Int 120) ])
+    (run_sql "SELECT COUNT( * ) AS n, MAX(e.salary) AS top FROM Employees e")
+
+let test_group_by () =
+  let v =
+    run_sql
+      "SELECT e.deptNo AS dept, SUM(e.salary) AS total FROM Employees e GROUP BY e.deptNo"
+  in
+  (* order-insensitive: compare as set *)
+  let expected =
+    Value.set_of_list
+      [ Value.Record [ ("dept", Value.Int 10); ("total", Value.Int 220) ];
+        Value.Record [ ("dept", Value.Int 20); ("total", Value.Int 80) ];
+        Value.Record [ ("dept", Value.Int 30); ("total", Value.Int 0) ]
+      ]
+  in
+  check_value "grouped" expected (Value.set_of_list (Value.elements v))
+
+let test_group_by_join () =
+  let v =
+    run_sql
+      {|SELECT d.deptName AS dept, COUNT( * ) AS n
+        FROM Employees e JOIN Departments d ON (e.deptNo = d.id)
+        GROUP BY d.deptName|}
+  in
+  let expected =
+    Value.set_of_list
+      [ Value.Record [ ("dept", Value.String "HR"); ("n", Value.Int 2) ];
+        Value.Record [ ("dept", Value.String "IT"); ("n", Value.Int 1) ];
+        Value.Record [ ("dept", Value.String "PR"); ("n", Value.Int 1) ]
+      ]
+  in
+  check_value "grouped join" expected (Value.set_of_list (Value.elements v))
+
+let test_null_handling () =
+  equivalent "is null"
+    "SELECT COUNT( * ) FROM Employees e WHERE e.salary IS NULL"
+    "for { e <- Employees, if e.salary = e.salary then false else true } yield sum 1";
+  check_value "is null count" (Value.Int 1)
+    (run_sql "SELECT COUNT( * ) FROM Employees e WHERE e.salary IS NULL");
+  check_value "is not null count" (Value.Int 3)
+    (run_sql "SELECT COUNT( * ) FROM Employees e WHERE e.salary IS NOT NULL")
+
+let test_expressions () =
+  check_value "arithmetic and logic" (Value.Int 2)
+    (run_sql
+       "SELECT COUNT( * ) FROM Employees e WHERE e.salary + 10 > 100 AND NOT e.deptNo = 30");
+  check_value "string compare" (Value.Int 1)
+    (run_sql "SELECT COUNT( * ) FROM Employees e WHERE e.name = 'ada'");
+  check_value "escaped quote" (Value.Int 0)
+    (run_sql "SELECT COUNT( * ) FROM Employees e WHERE e.name = 'a''da'")
+
+let test_comma_join () =
+  equivalent "implicit cross join"
+    "SELECT COUNT( * ) FROM Employees e, Departments d WHERE e.deptNo = d.id"
+    "for { e <- Employees, d <- Departments, e.deptNo = d.id } yield sum 1"
+
+let test_order_by_limit () =
+  check_value "top salaries desc"
+    (Value.List
+       [ Value.Record [ ("name", Value.String "cyd"); ("salary", Value.Int 120) ];
+         Value.Record [ ("name", Value.String "ada"); ("salary", Value.Int 100) ]
+       ])
+    (run_sql
+       "SELECT e.name AS name, e.salary AS salary FROM Employees e \
+        WHERE e.salary IS NOT NULL ORDER BY salary DESC LIMIT 2");
+  check_value "ascending"
+    (Value.List [ Value.Record [ ("salary", Value.Int 80) ] ])
+    (run_sql
+       "SELECT e.salary AS salary FROM Employees e WHERE e.salary IS NOT NULL \
+        ORDER BY salary ASC LIMIT 1")
+
+let test_having () =
+  let v =
+    run_sql
+      {|SELECT e.deptNo AS dept, COUNT( * ) AS n FROM Employees e
+        GROUP BY e.deptNo HAVING n > 1|}
+  in
+  check_value "having filters groups"
+    (Value.Bag [ Value.Record [ ("dept", Value.Int 10); ("n", Value.Int 2) ] ])
+    v
+
+let test_in_list () =
+  check_value "in list" (Value.Int 3)
+    (run_sql "SELECT COUNT( * ) FROM Employees e WHERE e.deptNo IN (10, 30)");
+  check_value "in strings" (Value.Int 1)
+    (run_sql "SELECT COUNT( * ) FROM Employees e WHERE e.name IN ('bob', 'zed')")
+
+let test_errors () =
+  let bad s =
+    match Sql.translate s with
+    | Error _ -> ()
+    | Ok e -> Alcotest.failf "%S should fail, got %s" s (Expr.to_string e)
+  in
+  bad "SELECT";
+  bad "SELECT x";
+  bad "SELECT x FROM";
+  bad "FROM t SELECT x";
+  bad "SELECT SUM(x), y FROM t";
+  bad "SELECT x FROM t WHERE";
+  bad "SELECT x FROM t GROUP BY y"  (* x neither aggregated nor grouped *)
+
+let test_typecheckable () =
+  (* translations survive the typechecker against a catalog-style env *)
+  let emp =
+    Ty.Record [ ("id", Ty.Int); ("name", Ty.String); ("deptNo", Ty.Int); ("salary", Ty.Int) ]
+  in
+  let tenv = [ ("Employees", Ty.Coll (Ty.Bag, emp)) ] in
+  let e = Sql.translate_exn "SELECT e.name FROM Employees e WHERE e.salary > 50" in
+  match Typecheck.infer tenv e with
+  | Ok (Ty.Coll (Ty.Bag, Ty.Record [ ("name", Ty.String) ])) -> ()
+  | Ok t -> Alcotest.failf "unexpected type %s" (Ty.to_string t)
+  | Error err -> Alcotest.failf "type error: %s" (Format.asprintf "%a" Typecheck.pp_error err)
+
+let test_normalizes_and_compiles () =
+  (* end to end through the algebra *)
+  let e = Sql.translate_exn
+    {|SELECT e.name AS n FROM Employees e JOIN Departments d ON (e.deptNo = d.id)
+      WHERE d.deptName = 'HR'|} in
+  let plan = Vida_algebra.Translate.plan_of_comp (Rewrite.normalize e) in
+  let sources = [ ("Employees", employees); ("Departments", departments) ] in
+  let v = Vida_algebra.Naive_exec.run ~sources plan in
+  check_value "via algebra"
+    (Value.Bag
+       [ Value.Record [ ("n", Value.String "ada") ];
+         Value.Record [ ("n", Value.String "cyd") ]
+       ])
+    v
+
+let () =
+  Alcotest.run "vida_sql"
+    [ ( "translate",
+        [ Alcotest.test_case "paper query" `Quick test_paper_query;
+          Alcotest.test_case "projection" `Quick test_projection;
+          Alcotest.test_case "bare columns" `Quick test_single_table_bare_columns;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "multiple aggregates" `Quick test_multiple_aggregates;
+          Alcotest.test_case "group by" `Quick test_group_by;
+          Alcotest.test_case "group by join" `Quick test_group_by_join;
+          Alcotest.test_case "null handling" `Quick test_null_handling;
+          Alcotest.test_case "expressions" `Quick test_expressions;
+          Alcotest.test_case "comma join" `Quick test_comma_join;
+          Alcotest.test_case "order by / limit" `Quick test_order_by_limit;
+          Alcotest.test_case "having" `Quick test_having;
+          Alcotest.test_case "in list" `Quick test_in_list;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "typechecks" `Quick test_typecheckable;
+          Alcotest.test_case "compiles via algebra" `Quick test_normalizes_and_compiles
+        ] )
+    ]

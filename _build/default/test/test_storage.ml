@@ -1,0 +1,297 @@
+(* Tests for vida_catalog (source descriptions, inference, registry) and
+   vida_storage (layouts, VBSON, cache manager). *)
+
+open Vida_data
+open Vida_catalog
+open Vida_storage
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tmp_file contents =
+  let path = Filename.temp_file "vida_test" ".raw" in
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+(* --- schema inference --- *)
+
+let test_infer_csv () =
+  let path = tmp_file "id,name,score,ok\n1,ada,1.5,true\n2,bob,2,false\n,,," in
+  let schema = Infer.csv_schema (Vida_raw.Raw_buffer.of_path path) in
+  let tys = List.map (fun a -> (a.Schema.name, a.Schema.ty)) (Schema.attributes schema) in
+  check_bool "types" true
+    (tys = [ ("id", Ty.Int); ("name", Ty.String); ("score", Ty.Float); ("ok", Ty.Bool) ])
+
+let test_infer_csv_widening () =
+  let path = tmp_file "a,b\n1,x\n2.5,7\n" in
+  let schema = Infer.csv_schema (Vida_raw.Raw_buffer.of_path path) in
+  check_bool "int widens to float" true (Ty.equal (Schema.attr schema 0).Schema.ty Ty.Float);
+  check_bool "mixed widens to string" true (Ty.equal (Schema.attr schema 1).Schema.ty Ty.String)
+
+let test_infer_csv_headerless () =
+  let path = tmp_file "1,2\n3,4\n" in
+  let schema = Infer.csv_schema ~header:false (Vida_raw.Raw_buffer.of_path path) in
+  Alcotest.(check (list string)) "generated names" [ "c0"; "c1" ] (Schema.names schema)
+
+let test_infer_csv_all_null_column () =
+  let path = tmp_file "a\n\nNA\n" in
+  let schema = Infer.csv_schema (Vida_raw.Raw_buffer.of_path path) in
+  check_bool "unconstrained column is Any" true (Ty.equal (Schema.attr schema 0).Schema.ty Ty.Any)
+
+let test_infer_json () =
+  let path = tmp_file "{\"id\": 1, \"v\": 2.5}\n{\"id\": 2, \"v\": 3.5}\n" in
+  let ty = Infer.json_element (Vida_raw.Raw_buffer.of_path path) in
+  check_bool "uniform objects" true
+    (Ty.equal ty (Ty.Record [ ("id", Ty.Int); ("v", Ty.Float) ]));
+  let path2 = tmp_file "{\"id\": 1}\n{\"other\": true}\n" in
+  check_bool "conflicting objects fall back to Any" true
+    (Ty.equal (Infer.json_element (Vida_raw.Raw_buffer.of_path path2)) Ty.Any)
+
+(* --- registry --- *)
+
+let test_registry_csv_json_inline () =
+  let reg = Registry.create () in
+  let csv = tmp_file "id,name\n1,ada\n" in
+  let json = tmp_file "{\"id\": 1}\n" in
+  let s1 = Registry.register_csv reg ~name:"People" ~path:csv () in
+  let _ = Registry.register_json reg ~name:"Docs" ~path:json () in
+  let _ = Registry.register_inline reg ~name:"Numbers" (Value.List [ Value.Int 1 ]) in
+  Alcotest.(check (list string)) "names" [ "People"; "Docs"; "Numbers" ] (Registry.names reg);
+  check_bool "find" true (Registry.find reg "Docs" <> None);
+  check_bool "mem miss" false (Registry.mem reg "Ghost");
+  check_bool "unit of access" true (Source.unit_of_access s1 = Source.Row);
+  check_bool "access paths" true
+    (List.mem Source.Positional_probe (Source.access_paths s1));
+  (* type_env usable for typechecking *)
+  let env = Registry.type_env reg in
+  check_bool "People typed" true
+    (match List.assoc "People" env with
+    | Ty.Coll (Ty.Bag, Ty.Record _) -> true
+    | _ -> false)
+
+let test_registry_duplicate_and_unregister () =
+  let reg = Registry.create () in
+  let _ = Registry.register_inline reg ~name:"X" (Value.List []) in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Registry: source \"X\" already registered") (fun () ->
+      ignore (Registry.register_inline reg ~name:"X" (Value.List [])));
+  Registry.unregister reg "X";
+  check_bool "gone" false (Registry.mem reg "X")
+
+let test_registry_staleness_and_refresh () =
+  let reg = Registry.create () in
+  let path = tmp_file "a\n1\n" in
+  let _ = Registry.register_csv reg ~name:"T" ~path () in
+  check_int "nothing stale" 0 (List.length (Registry.stale_sources reg));
+  let oc = open_out_bin path in
+  output_string oc "a,b\n1,x\n2,y\n";
+  close_out oc;
+  check_int "one stale" 1 (List.length (Registry.stale_sources reg));
+  (match Registry.refresh reg "T" with
+  | Some s -> (
+    match s.Source.format with
+    | Source.Csv { schema; _ } ->
+      Alcotest.(check (list string)) "schema re-inferred" [ "a"; "b" ] (Schema.names schema)
+    | _ -> Alcotest.fail "expected csv")
+  | None -> Alcotest.fail "refresh failed");
+  check_int "fresh again" 0 (List.length (Registry.stale_sources reg))
+
+(* --- vbson --- *)
+
+let value_gen : Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [ return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) (int_range (-1_000_000) 1_000_000);
+        map (fun f -> Value.Float f) (float_range (-1e6) 1e6);
+        map (fun s -> Value.String s) (string_size ~gen:printable (int_range 0 12))
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [ (3, scalar);
+          ( 1,
+            map
+              (fun vs -> Value.Record (List.mapi (fun i v -> ("f" ^ string_of_int i, v)) vs))
+              (list_size (int_range 0 4) (go (depth - 1))) );
+          (1, map (fun vs -> Value.List vs) (list_size (int_range 0 4) (go (depth - 1))));
+          (1, map (fun vs -> Value.Bag vs) (list_size (int_range 0 4) (go (depth - 1))));
+          (1, map Value.set_of_list (list_size (int_range 0 4) (go (depth - 1))));
+          ( 1,
+            map
+              (fun vs -> Value.Array { dims = [ List.length vs ]; data = Array.of_list vs })
+              (list_size (int_range 0 4) (go (depth - 1))) )
+        ]
+  in
+  go 3
+
+let prop_vbson_roundtrip =
+  QCheck.Test.make ~name:"vbson roundtrip" ~count:300
+    (QCheck.make ~print:Value.to_string value_gen) (fun v ->
+      Value.equal v (Vbson.decode (Vbson.encode v)))
+
+let test_vbson_compact () =
+  (* binary JSON is smaller than text for numeric-heavy data (paper: BSON's
+     compactness motivates layout (b)) *)
+  let v =
+    Value.Record
+      (List.init 50 (fun i -> ("field_" ^ string_of_int i, Value.Float (float_of_int i *. 1.1))))
+  in
+  let text = Value.to_json v in
+  let bin = Vbson.encode v in
+  check_bool
+    (Printf.sprintf "vbson %d <= text %d" (Vbson.size bin) (String.length text))
+    true
+    (Vbson.size bin <= String.length text)
+
+let test_vbson_decode_field () =
+  let v =
+    Value.Record
+      [ ("a", Value.Int 1);
+        ("big", Value.List (List.init 100 (fun i -> Value.Int i)));
+        ("c", Value.String "target")
+      ]
+  in
+  let s = Vbson.encode v in
+  check_bool "skips to c" true (Vbson.decode_field s "c" = Some (Value.String "target"));
+  check_bool "missing" true (Vbson.decode_field s "zzz" = None);
+  check_bool "non-record" true (Vbson.decode_field (Vbson.encode (Value.Int 3)) "a" = None)
+
+let test_vbson_malformed () =
+  (match Vbson.decode "\255garbage" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "bad tag accepted");
+  match Vbson.decode (Vbson.encode (Value.Int 5) ^ "extra") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "trailing bytes accepted"
+
+(* --- layout --- *)
+
+let test_layout_names () =
+  List.iter
+    (fun l -> check_bool "roundtrip" true (Layout.of_name (Layout.name l) = Some l))
+    Layout.all;
+  check_bool "unknown" true (Layout.of_name "nope" = None)
+
+(* --- cache --- *)
+
+let key source item layout = { Cache.source; item; layout }
+
+let col n = Cache.Values (Array.init n (fun i -> Value.Int i))
+
+let test_cache_hit_miss () =
+  let c = Cache.create () in
+  let k = key "Patients" "age" Layout.Values in
+  check_bool "miss" true (Cache.find c k = None);
+  check_bool "put" true (Cache.put c k (col 10));
+  (match Cache.find c k with
+  | Some (Cache.Values vs) -> check_int "payload" 10 (Array.length vs)
+  | _ -> Alcotest.fail "expected values payload");
+  let s = Cache.stats c in
+  check_int "hits" 1 s.Cache.hits;
+  check_int "misses" 1 s.Cache.misses
+
+let test_cache_layout_replicas () =
+  let c = Cache.create () in
+  ignore (Cache.put c (key "S" "obj" Layout.Values) (col 5));
+  ignore (Cache.put c (key "S" "obj" Layout.Vbson) (Cache.Strings [| "x" |]));
+  check_int "two replicas" 2 (Cache.stats c).Cache.entries
+
+let test_cache_eviction () =
+  (* capacity fits roughly two of the three payloads *)
+  let payload = col 100 in
+  let bytes = Cache.payload_bytes payload in
+  let c = Cache.create ~capacity_bytes:(bytes * 2) () in
+  ignore (Cache.put c (key "S" "a" Layout.Values) payload);
+  ignore (Cache.put c (key "S" "b" Layout.Values) payload);
+  (* touch a so b is the LRU *)
+  ignore (Cache.find c (key "S" "a" Layout.Values));
+  ignore (Cache.put c (key "S" "c" Layout.Values) payload);
+  check_bool "a survives" true (Cache.mem c (key "S" "a" Layout.Values));
+  check_bool "b evicted" false (Cache.mem c (key "S" "b" Layout.Values));
+  check_bool "c resident" true (Cache.mem c (key "S" "c" Layout.Values));
+  check_int "one eviction" 1 (Cache.stats c).Cache.evictions
+
+let test_cache_oversized_refused () =
+  let c = Cache.create ~capacity_bytes:64 () in
+  check_bool "refused" false (Cache.put c (key "S" "huge" Layout.Values) (col 1000));
+  check_int "nothing resident" 0 (Cache.stats c).Cache.entries
+
+let test_cache_invalidate_source () =
+  let c = Cache.create () in
+  ignore (Cache.put c (key "A" "x" Layout.Values) (col 5));
+  ignore (Cache.put c (key "A" "y" Layout.Values) (col 5));
+  ignore (Cache.put c (key "B" "x" Layout.Values) (col 5));
+  Cache.invalidate_source c "A";
+  check_bool "A/x gone" false (Cache.mem c (key "A" "x" Layout.Values));
+  check_bool "B/x stays" true (Cache.mem c (key "B" "x" Layout.Values));
+  check_int "invalidations" 2 (Cache.stats c).Cache.invalidations
+
+let test_cache_find_or_add () =
+  let c = Cache.create () in
+  let calls = ref 0 in
+  let f () = incr calls; col 3 in
+  ignore (Cache.find_or_add c (key "S" "x" Layout.Values) f);
+  ignore (Cache.find_or_add c (key "S" "x" Layout.Values) f);
+  check_int "computed once" 1 !calls
+
+let test_cache_replace_same_key () =
+  let c = Cache.create () in
+  let k = key "S" "x" Layout.Values in
+  ignore (Cache.put c k (col 5));
+  ignore (Cache.put c k (col 7));
+  check_int "single entry" 1 (Cache.stats c).Cache.entries;
+  match Cache.find c k with
+  | Some (Cache.Values vs) -> check_int "latest payload" 7 (Array.length vs)
+  | _ -> Alcotest.fail "expected values"
+
+let prop_cache_respects_capacity =
+  QCheck.Test.make ~name:"cache stays within capacity" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (QCheck.int_range 1 50))
+    (fun sizes ->
+      let c = Cache.create ~capacity_bytes:4096 () in
+      List.iteri
+        (fun i n -> ignore (Cache.put c (key "S" (string_of_int i) Layout.Values) (col n)))
+        sizes;
+      (Cache.stats c).Cache.resident_bytes <= 4096)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "vida_storage_catalog"
+    [ ( "infer",
+        [ Alcotest.test_case "csv" `Quick test_infer_csv;
+          Alcotest.test_case "csv widening" `Quick test_infer_csv_widening;
+          Alcotest.test_case "csv headerless" `Quick test_infer_csv_headerless;
+          Alcotest.test_case "csv null column" `Quick test_infer_csv_all_null_column;
+          Alcotest.test_case "json" `Quick test_infer_json
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "register/find" `Quick test_registry_csv_json_inline;
+          Alcotest.test_case "duplicate/unregister" `Quick test_registry_duplicate_and_unregister;
+          Alcotest.test_case "staleness/refresh" `Quick test_registry_staleness_and_refresh
+        ] );
+      ( "vbson",
+        [ Alcotest.test_case "compact" `Quick test_vbson_compact;
+          Alcotest.test_case "decode_field" `Quick test_vbson_decode_field;
+          Alcotest.test_case "malformed" `Quick test_vbson_malformed
+        ] );
+      qsuite "vbson-properties" [ prop_vbson_roundtrip ];
+      ( "layout", [ Alcotest.test_case "names" `Quick test_layout_names ] );
+      ( "cache",
+        [ Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "layout replicas" `Quick test_cache_layout_replicas;
+          Alcotest.test_case "lru eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "oversized refused" `Quick test_cache_oversized_refused;
+          Alcotest.test_case "invalidate source" `Quick test_cache_invalidate_source;
+          Alcotest.test_case "find_or_add" `Quick test_cache_find_or_add;
+          Alcotest.test_case "replace same key" `Quick test_cache_replace_same_key
+        ] );
+      qsuite "cache-properties" [ prop_cache_respects_capacity ]
+    ]
