@@ -29,10 +29,25 @@ let register db kind bindings =
           exit 2))
     bindings
 
+(* Distinct exit codes per failure class (sysexits-style), so scripts can
+   react to e.g. truncation differently from a stale sidecar. Structured
+   data errors print their source and byte offset. *)
+let error_exit_code = function
+  | Vida.Parse_error _ | Vida.Type_error _ -> 2
+  | Vida.Engine_error _ -> 1
+  | Vida.Data_error e -> Vida_error.exit_code e
+
+let print_error e =
+  (match e with
+  | Vida.Data_error de ->
+    Printf.eprintf "data error [%s]: %s\n" (Vida_error.kind_name de)
+      (Vida_error.to_string de)
+  | e -> prerr_endline (Vida.error_to_string e))
+
 let execute db ~use_sql ~engine ~show_stats ~output_json query =
   let result = if use_sql then Vida.sql ~engine db query else Vida.query ~engine db query in
   match result with
-  | Error e -> prerr_endline (Vida.error_to_string e); 1
+  | Error e -> print_error e; error_exit_code e
   | Ok r ->
     if output_json then print_endline (Vida_data.Value.to_json r.Vida.value)
     else Format.printf "%a@." Vida_data.Value.pp r.Vida.value;
@@ -55,6 +70,8 @@ let repl db ~engine ~output_json =
       \  .sources             list registered sources\n\
       \  .csv NAME=PATH       register a CSV file (.json/.xml/.binarray likewise)\n\
       \  .stats               session statistics\n\
+      \  .clean NAME=MODE     set cleaning policy (strict|null|skip|nearest|quarantine)\n\
+      \  .quarantine NAME     show raw spans quarantined for a source\n\
       \  .checkpoint          persist positional maps next to their files\n\
       \  .help                this message\n\
       \  .quit                leave\n"
@@ -70,9 +87,22 @@ let repl db ~engine ~output_json =
   let show_session_stats () =
     let s = Vida.stats db in
     Format.printf
-      "  %d queries, %d from caches (%d whole results re-used)@.  cache: %a@.  io: %a@."
+      "  %d queries, %d from caches (%d whole results re-used, %d stale results dropped)@.  cache: %a@.  io: %a@."
       s.Vida.queries_run s.Vida.queries_from_cache s.Vida.result_reuse_hits
+      s.Vida.result_stale_drops
       Vida_storage.Cache.pp_stats s.Vida.cache Vida_raw.Io_stats.pp s.Vida.io
+  in
+  let show_quarantine name =
+    match Vida.quarantine_report db ~source:name with
+    | [] -> Printf.printf "no quarantined records for %s\n" name
+    | entries ->
+      List.iter
+        (fun q ->
+          Printf.printf "  %s @ byte %d (+%d): %s\n"
+            q.Vida_cleaning.Policy.q_source q.Vida_cleaning.Policy.q_offset
+            q.Vida_cleaning.Policy.q_length q.Vida_cleaning.Policy.q_reason)
+        entries;
+      Printf.printf "  %d record(s) quarantined\n" (List.length entries)
   in
   let register_line kind rest =
     match String.index_opt rest '=' with
@@ -86,8 +116,33 @@ let repl db ~engine ~output_json =
         | `Xml -> Vida.xml db ~name ~path ()
         | `Bin -> Vida.binarray db ~name ~path);
         Format.printf "registered %s@." name
-      with Sys_error msg | Invalid_argument msg -> Printf.printf "error: %s\n" msg)
+      with
+      | Sys_error msg | Invalid_argument msg -> Printf.printf "error: %s\n" msg
+      | Vida_error.Error e ->
+        Printf.printf "data error [%s]: %s\n" (Vida_error.kind_name e)
+          (Vida_error.to_string e))
     | _ -> print_endline "expected NAME=PATH"
+  in
+  let set_clean rest =
+    match String.index_opt rest '=' with
+    | Some i when i > 0 -> (
+      let name = String.sub rest 0 i
+      and mode = String.sub rest (i + 1) (String.length rest - i - 1) in
+      let on_error =
+        match String.lowercase_ascii (String.trim mode) with
+        | "strict" -> Some Vida_cleaning.Policy.Strict
+        | "null" -> Some Vida_cleaning.Policy.Null_value
+        | "skip" -> Some Vida_cleaning.Policy.Skip_row
+        | "nearest" -> Some Vida_cleaning.Policy.Nearest
+        | "quarantine" -> Some Vida_cleaning.Policy.Quarantine
+        | _ -> None
+      in
+      match on_error with
+      | Some on_error ->
+        Vida.set_cleaning db ~source:name (Vida_cleaning.Policy.make ~on_error ());
+        Format.printf "cleaning policy for %s set@." name
+      | None -> print_endline "expected MODE in strict|null|skip|nearest|quarantine")
+    | _ -> print_endline "expected NAME=MODE"
   in
   print_endline "ViDa interactive session — .help for commands";
   let rec loop () =
@@ -103,6 +158,10 @@ let repl db ~engine ~output_json =
        else if line = ".stats" then show_session_stats ()
        else if line = ".checkpoint" then
          Printf.printf "wrote %d sidecar(s)\n" (Vida.checkpoint db)
+       else if String.length line > 7 && String.sub line 0 7 = ".clean " then
+         set_clean (String.trim (String.sub line 7 (String.length line - 7)))
+       else if String.length line > 12 && String.sub line 0 12 = ".quarantine " then
+         show_quarantine (String.trim (String.sub line 12 (String.length line - 12)))
        else if String.length line > 5 && String.sub line 0 5 = ".csv " then
          register_line `Csv (String.trim (String.sub line 5 (String.length line - 5)))
        else if String.length line > 6 && String.sub line 0 6 = ".json " then
@@ -145,7 +204,7 @@ let run csvs jsons xmls binarrays use_sql explain engine show_stats output_json
     if explain then (
       match Vida.explain db query with
       | Ok text -> print_string text; 0
-      | Error e -> prerr_endline (Vida.error_to_string e); 1)
+      | Error e -> print_error e; error_exit_code e)
     else execute db ~use_sql ~engine ~show_stats ~output_json query
 
 let csv_arg =

@@ -1,10 +1,22 @@
 open Vida_data
 
-type on_error = Strict | Null_value | Skip_row | Nearest
+type on_error = Strict | Null_value | Skip_row | Nearest | Quarantine
 
 type rule = Dictionary of string list | Range of float * float
 
-type report = { repaired : int; nulled : int; rows_skipped : int }
+type quarantine_entry = {
+  q_source : string;
+  q_offset : int;
+  q_length : int;
+  q_reason : string;
+}
+
+type report = {
+  repaired : int;
+  nulled : int;
+  rows_skipped : int;
+  quarantined : int;
+}
 
 type t = {
   on_error : on_error;
@@ -12,10 +24,11 @@ type t = {
   mutable repaired : int;
   mutable nulled : int;
   mutable rows_skipped : int;
+  mutable quarantine : quarantine_entry list;  (* newest first *)
 }
 
 let make ?(on_error = Strict) ?(rules = []) () =
-  { on_error; rules; repaired = 0; nulled = 0; rows_skipped = 0 }
+  { on_error; rules; repaired = 0; nulled = 0; rows_skipped = 0; quarantine = [] }
 
 let default = make ()
 
@@ -26,12 +39,22 @@ let rules_for t field =
     (fun (f, r) -> if String.equal f field then Some r else None)
     t.rules
 
-let report t = { repaired = t.repaired; nulled = t.nulled; rows_skipped = t.rows_skipped }
+let report t =
+  { repaired = t.repaired; nulled = t.nulled; rows_skipped = t.rows_skipped;
+    quarantined = List.length t.quarantine }
+
+let quarantined t = List.rev t.quarantine
+
+let quarantine t ~source ~offset ~length reason =
+  t.quarantine <-
+    { q_source = source; q_offset = offset; q_length = length; q_reason = reason }
+    :: t.quarantine
 
 let reset_report t =
   t.repaired <- 0;
   t.nulled <- 0;
-  t.rows_skipped <- 0
+  t.rows_skipped <- 0;
+  t.quarantine <- []
 
 let violates rule (v : Value.t) (text : string) =
   match rule, v with
@@ -45,7 +68,7 @@ let violates rule (v : Value.t) (text : string) =
 let dictionary_of rules =
   List.find_map (function Dictionary d -> Some d | Range _ -> None) rules
 
-let clean t ~field ty text =
+let clean ?span t ~field ty text =
   let rules = rules_for t field in
   let attempt =
     match Vida_raw.Csv.convert ty text with
@@ -65,6 +88,13 @@ let clean t ~field ty text =
       Ok (Some Value.Null)
     | Skip_row ->
       t.rows_skipped <- t.rows_skipped + 1;
+      Ok None
+    | Quarantine ->
+      (* skip the row, but keep the raw span so the bad bytes stay
+         queryable instead of silently vanishing *)
+      (match span with
+      | Some (source, offset, length) -> quarantine t ~source ~offset ~length msg
+      | None -> quarantine t ~source:"" ~offset:(-1) ~length:0 msg);
       Ok None
     | Nearest -> (
       (* repair toward the dictionary when one exists; otherwise null *)

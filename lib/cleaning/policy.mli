@@ -15,6 +15,10 @@ type on_error =
   | Nearest
       (** replace with the nearest acceptable value within distance 2
           (requires a dictionary rule on the field) *)
+  | Quarantine
+      (** drop the tuple/object like [Skip_row], but record the offending
+          raw span — source name, byte range, reason — in a queryable
+          quarantine report instead of discarding it silently *)
 
 (** Domain rules attachable per attribute. *)
 type rule =
@@ -29,18 +33,44 @@ val default : t  (** [Strict], no rules *)
 val on_error : t -> on_error
 val rules_for : t -> string -> rule list
 
-(** Counters: how many values were repaired / nulled / rows skipped since
-    creation, for reporting. *)
-type report = { repaired : int; nulled : int; rows_skipped : int }
+(** One quarantined raw record: where the bad bytes live and why they were
+    rejected. [q_offset] is [-1] when the caller could not supply a span. *)
+type quarantine_entry = {
+  q_source : string;
+  q_offset : int;
+  q_length : int;
+  q_reason : string;
+}
+
+(** Counters: how many values were repaired / nulled / rows skipped /
+    records quarantined since creation, for reporting. *)
+type report = {
+  repaired : int;
+  nulled : int;
+  rows_skipped : int;
+  quarantined : int;
+}
 
 val report : t -> report
+
+(** Quarantined spans in the order they were recorded. *)
+val quarantined : t -> quarantine_entry list
+
+(** [quarantine t ~source ~offset ~length reason] records a bad raw span
+    directly — used by plugins for records that fail {e structurally}
+    (unparseable row/object) rather than per-field. *)
+val quarantine : t -> source:string -> offset:int -> length:int -> string -> unit
+
 val reset_report : t -> unit
 
-(** [clean t ~field ty text] converts one raw field under the policy:
+(** [clean ?span t ~field ty text] converts one raw field under the policy:
     - [Ok (Some v)] — accepted (possibly repaired) value;
-    - [Ok None] — the row must be dropped ([Skip_row]);
+    - [Ok None] — the row must be dropped ([Skip_row] / [Quarantine]);
     - [Error msg] — [Strict] failure.
-    Conversion failures and rule violations are treated alike. *)
+    Conversion failures and rule violations are treated alike. [span] is
+    the raw row's [(source, offset, length)], recorded when the policy
+    quarantines. *)
 val clean :
+  ?span:string * int * int ->
   t -> field:string -> Vida_data.Ty.t -> string ->
   (Vida_data.Value.t option, string) result

@@ -12,9 +12,11 @@ type t = {
   mutable queries_run : int;
   mutable queries_from_cache : int;
   mutable session_io : Vida_raw.Io_stats.snapshot;
-  (* §5 result re-use: optimized plan text -> (result, referenced sources) *)
-  result_cache : (string, Value.t * string list) Hashtbl.t;
+  (* §5 result re-use: optimized plan text -> (result, referenced sources,
+     per-source file fingerprints at computation time) *)
+  result_cache : (string, Value.t * string list * (string * string) list) Hashtbl.t;
   mutable result_hits : int;
+  mutable result_stale_drops : int;
 }
 
 let create ?cache_capacity () =
@@ -22,7 +24,7 @@ let create ?cache_capacity () =
   let ctx = Plugins.create_ctx ?cache_capacity registry in
   { registry; ctx; params = []; queries_run = 0; queries_from_cache = 0;
     session_io = Vida_raw.Io_stats.zero; result_cache = Hashtbl.create 64;
-    result_hits = 0 }
+    result_hits = 0; result_stale_drops = 0 }
 
 let csv t ~name ~path ?delim ?header ?schema () =
   ignore (Registry.register_csv t.registry ~name ~path ?delim ?header ?schema ())
@@ -45,11 +47,38 @@ let rebuild_ctx t =
 let purge_results t source =
   let victims =
     Hashtbl.fold
-      (fun key (_, sources) acc ->
+      (fun key (_, sources, _) acc ->
         if List.mem source sources then key :: acc else acc)
       t.result_cache []
   in
   List.iter (Hashtbl.remove t.result_cache) victims
+
+(* Current fingerprints of the file-backed sources among [names]; sources
+   with no backing file (inline, external) carry no fingerprint. *)
+let source_fingerprints t names =
+  List.filter_map
+    (fun name ->
+      match Registry.find t.registry name with
+      | Some { Source.path = Some path; _ } ->
+        Option.map
+          (fun fp -> (name, Vida_raw.Fingerprint.encode fp))
+          (Vida_raw.Fingerprint.probe path)
+      | _ -> None)
+    names
+
+(* A cached result is only servable while every file it was computed from
+   still has the fingerprint it had then — otherwise serving it would
+   return values from bytes that no longer exist. *)
+let fingerprints_fresh t stored =
+  List.for_all
+    (fun (name, stamp) ->
+      match Registry.find t.registry name with
+      | Some { Source.path = Some path; _ } -> (
+        match Vida_raw.Fingerprint.probe path with
+        | Some fp -> String.equal (Vida_raw.Fingerprint.encode fp) stamp
+        | None -> false)
+      | _ -> true)
+    stored
 
 let bind_param t name v =
   t.params <- (name, v) :: List.remove_assoc name t.params;
@@ -63,11 +92,13 @@ type error =
   | Parse_error of string
   | Type_error of string
   | Engine_error of string
+  | Data_error of Vida_error.t
 
 let error_to_string = function
   | Parse_error msg -> "parse error: " ^ msg
   | Type_error msg -> "type error: " ^ msg
   | Engine_error msg -> "engine error: " ^ msg
+  | Data_error e -> Vida_error.to_string e
 
 type result = {
   value : Value.t;
@@ -83,6 +114,7 @@ type stats = {
   queries_run : int;
   queries_from_cache : int;
   result_reuse_hits : int;
+  result_stale_drops : int;
   cache : Vida_storage.Cache.stats;
   io : Vida_raw.Io_stats.snapshot;
   structures_bytes : int;
@@ -100,6 +132,8 @@ let cleaning_report t ~source =
   Vida_cleaning.Policy.report (Plugins.cleaning_policy t.ctx source)
 
 let problematic_entries t ~source = Plugins.bad_row_count t.ctx source
+
+let quarantine_report t ~source = Plugins.quarantine_report t.ctx source
 
 let type_env t =
   Registry.type_env t.registry
@@ -122,59 +156,79 @@ let run_expr ?(engine = Jit) ?(optimize = true) ?(reuse = true) t (expr : Expr.t
   match Typecheck.check (type_env t) expr with
   | Error e -> Error (Type_error (Format.asprintf "%a" Typecheck.pp_error e))
   | Ok () -> (
-    refresh_referenced t expr;
-    let t0 = now_ms () in
-    let normalized = Rewrite.normalize expr in
-    let plan = Vida_algebra.Translate.plan_of_comp normalized in
-    let plan = if optimize then Vida_optimizer.Optimizer.optimize t.ctx plan else plan in
-    let cache_key =
-      (match engine with Jit -> "jit|" | Generic -> "gen|")
-      ^ Vida_algebra.Plan.to_string plan
-    in
-    match if reuse then Hashtbl.find_opt t.result_cache cache_key else None with
-    | Some (value, _) ->
-      t.queries_run <- t.queries_run + 1;
-      t.queries_from_cache <- t.queries_from_cache + 1;
-      t.result_hits <- t.result_hits + 1;
-      Ok
-        { value; plan; compile_ms = now_ms () -. t0; exec_ms = 0.;
-          raw_io = Vida_raw.Io_stats.zero; served_from_cache = true;
-          from_result_cache = true }
-    | None -> (
-    let compiled =
-      match engine with
-      | Jit -> Compile.query t.ctx plan
-      | Generic -> Interp.query t.ctx plan
-    in
-    let t1 = now_ms () in
-    let io_before = Vida_raw.Io_stats.current () in
-    match compiled () with
-    | value ->
-      let t2 = now_ms () in
-      let raw_io = Vida_raw.Io_stats.diff (Vida_raw.Io_stats.current ()) io_before in
-      let served_from_cache =
-        raw_io.Vida_raw.Io_stats.bytes_read = 0
-        && raw_io.Vida_raw.Io_stats.file_loads = 0
+    try
+      refresh_referenced t expr;
+      let t0 = now_ms () in
+      let normalized = Rewrite.normalize expr in
+      let plan = Vida_algebra.Translate.plan_of_comp normalized in
+      let plan = if optimize then Vida_optimizer.Optimizer.optimize t.ctx plan else plan in
+      let cache_key =
+        (match engine with Jit -> "jit|" | Generic -> "gen|")
+        ^ Vida_algebra.Plan.to_string plan
       in
-      t.queries_run <- t.queries_run + 1;
-      if served_from_cache then t.queries_from_cache <- t.queries_from_cache + 1;
-      t.session_io <-
-        (let open Vida_raw.Io_stats in
-         { bytes_read = t.session_io.bytes_read + raw_io.bytes_read;
-           fields_tokenized = t.session_io.fields_tokenized + raw_io.fields_tokenized;
-           values_converted = t.session_io.values_converted + raw_io.values_converted;
-           objects_parsed = t.session_io.objects_parsed + raw_io.objects_parsed;
-           index_probes = t.session_io.index_probes + raw_io.index_probes;
-           file_loads = t.session_io.file_loads + raw_io.file_loads
-         });
-      if reuse then
-        Hashtbl.replace t.result_cache cache_key (value, Vida_algebra.Plan.free_vars plan);
-      Ok
-        { value; plan; compile_ms = t1 -. t0; exec_ms = t2 -. t1; raw_io;
-          served_from_cache; from_result_cache = false }
-    | exception Plugins.Engine_error msg -> Error (Engine_error msg)
-    | exception Eval.Error msg -> Error (Engine_error msg)
-    | exception Value.Type_error msg -> Error (Engine_error msg)))
+      let cached =
+        (* a hit is only a hit while the underlying files are unchanged;
+           a stale entry is dropped and the query recomputed *)
+        match if reuse then Hashtbl.find_opt t.result_cache cache_key else None with
+        | Some (value, _, stamps) ->
+          if fingerprints_fresh t stamps then Some value
+          else (
+            Hashtbl.remove t.result_cache cache_key;
+            t.result_stale_drops <- t.result_stale_drops + 1;
+            None)
+        | None -> None
+      in
+      match cached with
+      | Some value ->
+        t.queries_run <- t.queries_run + 1;
+        t.queries_from_cache <- t.queries_from_cache + 1;
+        t.result_hits <- t.result_hits + 1;
+        Ok
+          { value; plan; compile_ms = now_ms () -. t0; exec_ms = 0.;
+            raw_io = Vida_raw.Io_stats.zero; served_from_cache = true;
+            from_result_cache = true }
+      | None -> (
+      let compiled =
+        match engine with
+        | Jit -> Compile.query t.ctx plan
+        | Generic -> Interp.query t.ctx plan
+      in
+      let t1 = now_ms () in
+      let io_before = Vida_raw.Io_stats.current () in
+      match compiled () with
+      | value ->
+        let t2 = now_ms () in
+        let raw_io = Vida_raw.Io_stats.diff (Vida_raw.Io_stats.current ()) io_before in
+        let served_from_cache =
+          raw_io.Vida_raw.Io_stats.bytes_read = 0
+          && raw_io.Vida_raw.Io_stats.file_loads = 0
+        in
+        t.queries_run <- t.queries_run + 1;
+        if served_from_cache then t.queries_from_cache <- t.queries_from_cache + 1;
+        t.session_io <-
+          (let open Vida_raw.Io_stats in
+           { bytes_read = t.session_io.bytes_read + raw_io.bytes_read;
+             fields_tokenized = t.session_io.fields_tokenized + raw_io.fields_tokenized;
+             values_converted = t.session_io.values_converted + raw_io.values_converted;
+             objects_parsed = t.session_io.objects_parsed + raw_io.objects_parsed;
+             index_probes = t.session_io.index_probes + raw_io.index_probes;
+             file_loads = t.session_io.file_loads + raw_io.file_loads
+           });
+        if reuse then (
+          let sources = Vida_algebra.Plan.free_vars plan in
+          Hashtbl.replace t.result_cache cache_key
+            (value, sources, source_fingerprints t sources));
+        Ok
+          { value; plan; compile_ms = t1 -. t0; exec_ms = t2 -. t1; raw_io;
+            served_from_cache; from_result_cache = false }
+      | exception Plugins.Engine_error msg -> Error (Engine_error msg)
+      | exception Eval.Error msg -> Error (Engine_error msg)
+      | exception Value.Type_error msg -> Error (Engine_error msg))
+    with Vida_error.Error e ->
+      (* structured data-layer failure anywhere in the pipeline — stale
+         sidecar handling, corrupt raw bytes under a Strict policy,
+         resource-limit hits — surfaces as a typed error, never a crash *)
+      Error (Data_error e))
 
 let query ?engine ?optimize ?reuse t text =
   match Parser.parse text with
@@ -234,6 +288,7 @@ let stats (t : t) =
   { queries_run = t.queries_run;
     queries_from_cache = t.queries_from_cache;
     result_reuse_hits = t.result_hits;
+    result_stale_drops = t.result_stale_drops;
     cache = Vida_storage.Cache.stats t.ctx.Plugins.cache;
     io = t.session_io;
     structures_bytes = Structures.footprint t.ctx.Plugins.structures

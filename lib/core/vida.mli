@@ -71,6 +71,10 @@ type error =
   | Parse_error of string
   | Type_error of string
   | Engine_error of string
+  | Data_error of Vida_error.t
+      (** structured raw-data failure: parse error with source + offset,
+          truncation, stale auxiliary structure, resource limit, I/O
+          failure (see {!Vida_error}) *)
 
 val error_to_string : error -> string
 
@@ -130,12 +134,22 @@ val cleaning_report : t -> source:string -> Vida_cleaning.Policy.report
 (** Problematic entries discovered for a source so far. *)
 val problematic_entries : t -> source:string -> int
 
+(** [quarantine_report t ~source] — the raw spans rejected for [source]
+    under a [Quarantine] cleaning policy: source name, byte offset and
+    length into the raw file, and the rejection reason. Empty under other
+    policies. *)
+val quarantine_report :
+  t -> source:string -> Vida_cleaning.Policy.quarantine_entry list
+
 (** {1 Session introspection} *)
 
 type stats = {
   queries_run : int;
   queries_from_cache : int;  (** answered without touching raw files *)
   result_reuse_hits : int;  (** answered from the result cache outright *)
+  result_stale_drops : int;
+      (** cached results dropped because a referenced file's fingerprint
+          changed since the result was computed *)
   cache : Vida_storage.Cache.stats;
   io : Vida_raw.Io_stats.snapshot;  (** cumulative for this session *)
   structures_bytes : int;  (** positional maps + semi-indexes *)

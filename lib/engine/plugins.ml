@@ -10,6 +10,9 @@ type ctx = {
   params : (string * Value.t) list;
   cleaning : (string, Vida_cleaning.Policy.t) Hashtbl.t;
   bad_rows : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  structural_quarantined : (string, unit) Hashtbl.t;
+      (* sources whose structural bad spans (e.g. malformed XML elements)
+         were already copied into the policy's quarantine report *)
   feedback : Feedback.t;
 }
 
@@ -25,9 +28,29 @@ let create_ctx ?cache_capacity ?(params = []) registry =
   in
   { registry; cache; structures = Structures.create (); params;
     cleaning = Hashtbl.create 4; bad_rows = Hashtbl.create 4;
+    structural_quarantined = Hashtbl.create 4;
     feedback = Feedback.create () }
 
 let whole_object_item = "__object__"
+
+(* Current encoded fingerprint of a source's backing file, [None] for
+   inline/external sources. Probes the file directly (head/tail windows)
+   without touching [Raw_buffer]/[Io_stats], so validating cached entries
+   does not count as raw access. *)
+let source_fingerprint (source : Source.t) =
+  match source.Source.path with
+  | None -> None
+  | Some path -> Option.map Vida_raw.Fingerprint.encode (Vida_raw.Fingerprint.probe path)
+
+(* Cache accessors that stamp entries with the backing file's fingerprint:
+   a [find] after the file changed drops the stale entry and misses, so the
+   column is re-derived from the current bytes instead of served as
+   garbage. *)
+let cache_find ctx (source : Source.t) key =
+  Cache.find ?fingerprint:(source_fingerprint source) ctx.cache key
+
+let cache_put ctx (source : Source.t) key payload =
+  ignore (Cache.put ?fingerprint:(source_fingerprint source) ctx.cache key payload)
 
 let cleaning_policy ctx source =
   match Hashtbl.find_opt ctx.cleaning source with
@@ -54,16 +77,27 @@ let bad_row_count ctx source =
 let csv_columns ctx (source : Source.t) schema fs =
   let name = source.Source.name in
   let key f = { Cache.source = name; item = f; layout = Layout.Values } in
+  let policy = cleaning_policy ctx name in
+  (* Under a row-skipping policy every field participates in the skip
+     decision, not just the projected ones — otherwise the rows a query
+     sees would depend on how aggressively its plan pruned fields, and
+     engines with different pruning would disagree on damaged files. *)
+  let scan_fs =
+    match Vida_cleaning.Policy.on_error policy with
+    | Vida_cleaning.Policy.Skip_row | Vida_cleaning.Policy.Quarantine ->
+      fs @ List.filter (fun f -> not (List.mem f fs)) (Schema.names schema)
+    | _ -> fs
+  in
   let lookups =
     List.map
       (fun f ->
         match Schema.index schema f with
         | None -> (f, `Absent)
         | Some col -> (
-          match Cache.find ctx.cache (key f) with
+          match cache_find ctx source (key f) with
           | Some (Cache.Values vs) -> (f, `Cached vs)
           | Some _ | None -> (f, `Missing col)))
-      fs
+      scan_fs
   in
   let missing =
     List.filter_map (function f, `Missing col -> Some (f, col) | _ -> None) lookups
@@ -74,29 +108,37 @@ let csv_columns ctx (source : Source.t) schema fs =
     let nrows = Vida_raw.Positional_map.row_count pm in
     let arrays = List.map (fun (f, col) -> (f, col, Array.make nrows Value.Null)) missing in
     let cols = List.map (fun (_, col, _) -> col) arrays in
-    let policy = cleaning_policy ctx source.Source.name in
     let bad = bad_set ctx source.Source.name in
     Vida_raw.Positional_map.record_while_scanning pm ~cols (fun row fields ->
+        let span =
+          (* raw byte range of the row, for quarantine reporting *)
+          let start, stop = Vida_raw.Positional_map.row_bounds pm row in
+          (name, start, stop - start)
+        in
         List.iteri
           (fun i (f, _, arr) ->
             let ty = (Schema.attr schema (Schema.index_exn schema f)).Schema.ty in
-            match Vida_cleaning.Policy.clean policy ~field:f ty fields.(i) with
+            match Vida_cleaning.Policy.clean ~span policy ~field:f ty fields.(i) with
             | Ok (Some v) -> arr.(row) <- v
             | Ok None ->
               (* problematic entry: remember it; generated code skips it *)
               Hashtbl.replace bad row ()
-            | Error msg -> Value.type_error "%s" msg)
+            | Error msg ->
+              let _, offset, _ = span in
+              Vida_error.parse_error ~source:name ~offset "%s" msg)
           arrays);
     List.iter
       (fun (f, _, arr) ->
-        ignore (Cache.put ctx.cache (key f) (Cache.Values arr));
+        cache_put ctx source (key f) (Cache.Values arr);
         Hashtbl.replace loaded f arr)
       arrays);
   let nrows = ref (-1) in
   let columns =
+    (* widened fields were scanned only for the skip decision: the caller
+       gets exactly the columns it asked for *)
     List.map
-      (fun (f, status) ->
-        match status with
+      (fun f ->
+        match List.assoc f lookups with
         | `Absent -> (f, `Null)
         | `Cached vs ->
           nrows := Array.length vs;
@@ -105,7 +147,7 @@ let csv_columns ctx (source : Source.t) schema fs =
           let arr = Hashtbl.find loaded f in
           nrows := Array.length arr;
           (f, `Col arr))
-      lookups
+      fs
   in
   let nrows =
     if !nrows >= 0 then !nrows
@@ -137,7 +179,7 @@ let csv_producer ctx (source : Source.t) schema need consumer =
 
 let json_field_column ctx (source : Source.t) f =
   let key = { Cache.source = source.Source.name; item = f; layout = Layout.Values } in
-  match Cache.find ctx.cache key with
+  match cache_find ctx source key with
   | Some (Cache.Values vs) -> vs
   | Some _ | None ->
     let si = Structures.semi_index ctx.structures source in
@@ -148,16 +190,22 @@ let json_field_column ctx (source : Source.t) f =
       Array.init n (fun obj ->
           match Vida_raw.Semi_index.field_value si ~obj ~field:f with
           | v -> v
-          | exception Vida_raw.Json.Error msg -> (
+          | exception Vida_error.Error e -> (
             match Vida_cleaning.Policy.on_error policy with
-            | Vida_cleaning.Policy.Strict -> Value.type_error "%s" msg
+            | Vida_cleaning.Policy.Strict -> raise (Vida_error.Error e)
             | Vida_cleaning.Policy.Null_value | Vida_cleaning.Policy.Nearest ->
               Value.Null
             | Vida_cleaning.Policy.Skip_row ->
               Hashtbl.replace bad obj ();
+              Value.Null
+            | Vida_cleaning.Policy.Quarantine ->
+              let pos, len = Vida_raw.Semi_index.object_bounds si obj in
+              Vida_cleaning.Policy.quarantine policy ~source:source.Source.name
+                ~offset:pos ~length:len (Vida_error.to_string e);
+              Hashtbl.replace bad obj ();
               Value.Null))
     in
-    ignore (Cache.put ctx.cache key (Cache.Values arr));
+    cache_put ctx source key (Cache.Values arr);
     arr
 
 let json_producer ctx (source : Source.t) need consumer =
@@ -176,35 +224,98 @@ let json_producer ctx (source : Source.t) need consumer =
         consumer (Value.Record (List.map (fun (f, arr) -> (f, arr.(obj))) columns))
     done
   | Analysis.Whole -> (
+    let name = source.Source.name in
     let key =
-      { Cache.source = source.Source.name; item = whole_object_item;
-        layout = Layout.Vbson }
+      { Cache.source = name; item = whole_object_item; layout = Layout.Vbson }
     in
-    match Cache.find ctx.cache key with
+    (* the declared element shape: damaged lines can decode to a stray
+       scalar (e.g. a merged fragment parsing as a bare string), which must
+       go through the cleaning policy like any parse failure — and a nulled
+       record-typed object keeps its field names so projections stay safe *)
+    let record_fields =
+      match source.Source.format with
+      | Source.Json_lines { element = Ty.Record fields } -> Some (List.map fst fields)
+      | _ -> None
+    in
+    let null_object () =
+      match record_fields with
+      | Some fields -> Value.Record (List.map (fun f -> (f, Value.Null)) fields)
+      | None -> Value.Null
+    in
+    let checked_object si obj =
+      let v = Vida_raw.Semi_index.object_value si obj in
+      match (v, record_fields) with
+      | Value.Record _, _ | _, None -> v
+      | _, Some _ ->
+        let pos, _ = Vida_raw.Semi_index.object_bounds si obj in
+        Vida_error.parse_error ~source:name ~offset:pos
+          "record object expected, got %s" (Value.to_string v)
+    in
+    match cache_find ctx source key with
     | Some (Cache.Strings encoded) ->
-      Array.iter (fun s -> consumer (Vbson.decode s)) encoded
+      Array.iter
+        (fun s -> if s <> "" then consumer (Vbson.decode ~source:name s))
+        encoded
     | Some _ | None ->
       let si = Structures.semi_index ctx.structures source in
       let n = Vida_raw.Semi_index.object_count si in
+      let policy = cleaning_policy ctx name in
+      let bad = bad_set ctx name in
+      (* an empty encoding marks an object dropped by the cleaning policy,
+         so replays from cache skip the same objects *)
       let encoded = Array.make n "" in
       for obj = 0 to n - 1 do
-        let v = Vida_raw.Semi_index.object_value si obj in
-        encoded.(obj) <- Vbson.encode v;
-        consumer v
+        if not (Hashtbl.mem bad obj) then (
+          match checked_object si obj with
+          | v ->
+            encoded.(obj) <- Vbson.encode v;
+            consumer v
+          | exception Vida_error.Error e -> (
+            match Vida_cleaning.Policy.on_error policy with
+            | Vida_cleaning.Policy.Strict -> raise (Vida_error.Error e)
+            | Vida_cleaning.Policy.Null_value | Vida_cleaning.Policy.Nearest ->
+              let v = null_object () in
+              encoded.(obj) <- Vbson.encode v;
+              consumer v
+            | Vida_cleaning.Policy.Skip_row -> Hashtbl.replace bad obj ()
+            | Vida_cleaning.Policy.Quarantine ->
+              let pos, len = Vida_raw.Semi_index.object_bounds si obj in
+              Vida_cleaning.Policy.quarantine policy ~source:name ~offset:pos
+                ~length:len (Vida_error.to_string e);
+              Hashtbl.replace bad obj ()))
       done;
-      ignore (Cache.put ctx.cache key (Cache.Strings encoded)))
+      cache_put ctx source key (Cache.Strings encoded))
 
 (* --- XML --- *)
 
+(* The XML index is built tolerantly: malformed child elements are skipped
+   and reported as bad spans. Copy those spans into the policy's quarantine
+   report once per source (when the policy asks for quarantining). *)
+let xml_index_reported ctx (source : Source.t) =
+  let xi = Structures.xml_index ctx.structures source in
+  let name = source.Source.name in
+  (match Vida_cleaning.Policy.on_error (cleaning_policy ctx name) with
+  | Vida_cleaning.Policy.Quarantine
+    when not (Hashtbl.mem ctx.structural_quarantined name) ->
+    Hashtbl.replace ctx.structural_quarantined name ();
+    let policy = cleaning_policy ctx name in
+    List.iter
+      (fun (pos, len, reason) ->
+        Vida_cleaning.Policy.quarantine policy ~source:name ~offset:pos
+          ~length:len reason)
+      (Vida_raw.Xml_index.bad_spans xi)
+  | _ -> ());
+  xi
+
 let xml_field_column ctx (source : Source.t) f =
   let key = { Cache.source = source.Source.name; item = f; layout = Layout.Values } in
-  match Cache.find ctx.cache key with
+  match cache_find ctx source key with
   | Some (Cache.Values vs) -> vs
   | Some _ | None ->
-    let xi = Structures.xml_index ctx.structures source in
+    let xi = xml_index_reported ctx source in
     let n = Vida_raw.Xml_index.element_count xi in
     let arr = Array.init n (fun elem -> Vida_raw.Xml_index.field_value xi ~elem ~field:f) in
-    ignore (Cache.put ctx.cache key (Cache.Values arr));
+    cache_put ctx source key (Cache.Values arr);
     arr
 
 let xml_producer ctx (source : Source.t) need consumer =
@@ -214,21 +325,21 @@ let xml_producer ctx (source : Source.t) need consumer =
     let n =
       match columns with
       | (_, arr) :: _ -> Array.length arr
-      | [] -> Vida_raw.Xml_index.element_count (Structures.xml_index ctx.structures source)
+      | [] -> Vida_raw.Xml_index.element_count (xml_index_reported ctx source)
     in
     for elem = 0 to n - 1 do
       consumer (Value.Record (List.map (fun (f, arr) -> (f, arr.(elem))) columns))
     done
   | Analysis.Whole -> (
+    let name = source.Source.name in
     let key =
-      { Cache.source = source.Source.name; item = whole_object_item;
-        layout = Layout.Vbson }
+      { Cache.source = name; item = whole_object_item; layout = Layout.Vbson }
     in
-    match Cache.find ctx.cache key with
+    match cache_find ctx source key with
     | Some (Cache.Strings encoded) ->
-      Array.iter (fun s -> consumer (Vbson.decode s)) encoded
+      Array.iter (fun s -> consumer (Vbson.decode ~source:name s)) encoded
     | Some _ | None ->
-      let xi = Structures.xml_index ctx.structures source in
+      let xi = xml_index_reported ctx source in
       let n = Vida_raw.Xml_index.element_count xi in
       let encoded = Array.make n "" in
       for elem = 0 to n - 1 do
@@ -236,7 +347,7 @@ let xml_producer ctx (source : Source.t) need consumer =
         encoded.(elem) <- Vbson.encode v;
         consumer v
       done;
-      ignore (Cache.put ctx.cache key (Cache.Strings encoded)))
+      cache_put ctx source key (Cache.Strings encoded))
 
 (* --- binary arrays --- *)
 
@@ -260,11 +371,11 @@ let binarray_producer ctx (source : Source.t) need consumer =
         | Some idx ->
           let key = { Cache.source = name; item = f; layout = Layout.Values } in
           let arr =
-            match Cache.find ctx.cache key with
+            match cache_find ctx source key with
             | Some (Cache.Values vs) -> vs
             | Some _ | None ->
               let arr = Array.init n (fun cell -> Vida_raw.Binarray.get ba ~cell ~field:idx) in
-              ignore (Cache.put ctx.cache key (Cache.Values arr));
+              cache_put ctx source key (Cache.Values arr);
               arr
           in
           (f, `Col arr))
@@ -323,14 +434,18 @@ let column_arrays ctx (source : Source.t) ~fields =
     match source.Source.format with
     | Source.Csv { schema; _ } ->
       let columns, nrows = csv_columns ctx source schema fields in
-      Some
-        ( nrows,
-          List.map
-            (fun (f, col) ->
-              match col with
-              | `Col arr -> (f, arr)
-              | `Null -> (f, Array.make nrows Value.Null))
-            columns )
+      (* the scan above may itself have marked rows bad (cold cache):
+         re-check, or the fast path would include rows the policy skips *)
+      if bad_row_count ctx source.Source.name > 0 then None
+      else
+        Some
+          ( nrows,
+            List.map
+              (fun (f, col) ->
+                match col with
+                | `Col arr -> (f, arr)
+                | `Null -> (f, Array.make nrows Value.Null))
+              columns )
     | Source.Binary_array ->
       let ba = Structures.binarray ctx.structures source in
       let n = Vida_raw.Binarray.cell_count ba in
@@ -345,13 +460,13 @@ let column_arrays ctx (source : Source.t) ~fields =
                   { Cache.source = source.Source.name; item = f; layout = Layout.Values }
                 in
                 let arr =
-                  match Cache.find ctx.cache key with
+                  match cache_find ctx source key with
                   | Some (Cache.Values vs) -> vs
                   | Some _ | None ->
                     let arr =
                       Array.init n (fun cell -> Vida_raw.Binarray.get ba ~cell ~field:idx)
                     in
-                    ignore (Cache.put ctx.cache key (Cache.Values arr));
+                    cache_put ctx source key (Cache.Values arr);
                     arr
                 in
                 (f, arr))
@@ -445,10 +560,17 @@ let invalidate ctx name =
   Cache.invalidate_source ctx.cache name;
   Structures.invalidate ctx.structures name;
   Hashtbl.remove ctx.bad_rows name;
+  Hashtbl.remove ctx.structural_quarantined name;
   ignore (Registry.refresh ctx.registry name)
 
 let set_cleaning ctx ~source policy =
   Hashtbl.replace ctx.cleaning source policy;
   (* decoded columns were produced under the old policy *)
   Cache.invalidate_source ctx.cache source;
-  Hashtbl.remove ctx.bad_rows source
+  Hashtbl.remove ctx.bad_rows source;
+  Hashtbl.remove ctx.structural_quarantined source
+
+(* Quarantined raw spans recorded for [source] so far (empty unless its
+   policy is [Quarantine]). *)
+let quarantine_report ctx source =
+  Vida_cleaning.Policy.quarantined (cleaning_policy ctx source)

@@ -27,6 +27,9 @@ type ctx = {
   bad_rows : (string, (int, unit) Hashtbl.t) Hashtbl.t;
       (** per-source "problematic entries" discovered on first access and
           skipped by subsequently generated code (paper §7) *)
+  structural_quarantined : (string, unit) Hashtbl.t;
+      (** sources whose structurally-bad spans were already copied into the
+          policy quarantine report (one-shot, per source) *)
   feedback : Feedback.t;
       (** observed selectivities/cardinalities from past executions,
           consulted by the optimizer (paper §5 runtime feedback) *)
@@ -93,3 +96,10 @@ val cleaning_policy : ctx -> string -> Vida_cleaning.Policy.t
 
 (** [bad_row_count ctx source] — problematic entries discovered so far. *)
 val bad_row_count : ctx -> string -> int
+
+(** [quarantine_report ctx source] — raw spans quarantined for [source]
+    so far (populated only under a [Quarantine] cleaning policy): source
+    name, byte offset/length into the raw file, and the reason each record
+    was rejected. *)
+val quarantine_report :
+  ctx -> string -> Vida_cleaning.Policy.quarantine_entry list

@@ -18,8 +18,8 @@ let source_path (source : Source.t) =
   match source.Source.path with
   | Some p -> p
   | None ->
-    invalid_arg
-      (Printf.sprintf "Structures: source %S has no backing file" source.Source.name)
+    Vida_error.invalid_request ~source:source.Source.name
+      "Structures: source %S has no backing file" source.Source.name
 
 let memo table key f =
   match Hashtbl.find_opt table key with
@@ -39,38 +39,39 @@ let posmap t source =
   | Source.Csv { delim; header; _ } ->
     memo t.posmaps source.Source.name (fun () ->
         (* a persisted sidecar from an earlier session restores the map
-           without re-scanning, if the data file is unchanged *)
+           without re-scanning; a missing, corrupt or stale sidecar
+           (fingerprint mismatch) costs only a rebuild from raw — never
+           wrong answers *)
         match Positional_map.load ~delim (buffer t source) ~path:(sidecar_path source) with
-        | Some pm -> pm
-        | None -> Positional_map.build ~delim ~header (buffer t source))
+        | Ok pm -> pm
+        | Error _ -> Positional_map.build ~delim ~header (buffer t source))
   | _ ->
-    invalid_arg
-      (Printf.sprintf "Structures.posmap: %S is not a CSV source" source.Source.name)
+    Vida_error.invalid_request ~source:source.Source.name
+      "Structures.posmap: %S is not a CSV source" source.Source.name
 
 let semi_index t source =
   match source.Source.format with
   | Source.Json_lines _ ->
     memo t.semi_indexes source.Source.name (fun () -> Semi_index.build (buffer t source))
   | _ ->
-    invalid_arg
-      (Printf.sprintf "Structures.semi_index: %S is not a JSON source" source.Source.name)
+    Vida_error.invalid_request ~source:source.Source.name
+      "Structures.semi_index: %S is not a JSON source" source.Source.name
 
 let xml_index t source =
   match source.Source.format with
   | Source.Xml _ ->
     memo t.xml_indexes source.Source.name (fun () -> Xml_index.build (buffer t source))
   | _ ->
-    invalid_arg
-      (Printf.sprintf "Structures.xml_index: %S is not an XML source" source.Source.name)
+    Vida_error.invalid_request ~source:source.Source.name
+      "Structures.xml_index: %S is not an XML source" source.Source.name
 
 let binarray t source =
   match source.Source.format with
   | Source.Binary_array ->
     memo t.binarrays source.Source.name (fun () -> Binarray.open_file (buffer t source))
   | _ ->
-    invalid_arg
-      (Printf.sprintf "Structures.binarray: %S is not a binary-array source"
-         source.Source.name)
+    Vida_error.invalid_request ~source:source.Source.name
+      "Structures.binarray: %S is not a binary-array source" source.Source.name
 
 let peek_posmap t name = Hashtbl.find_opt t.posmaps name
 

@@ -12,7 +12,8 @@ val create : unit -> t
 
 (** Each accessor builds the structure on first request (registering the
     build cost with {!Vida_raw.Io_stats}) and memoizes it.
-    @raise Invalid_argument when the source's format does not match. *)
+    @raise Vida_error.Error ([Invalid_request]) when the source's format
+    does not match. *)
 val buffer : t -> Vida_catalog.Source.t -> Vida_raw.Raw_buffer.t
 
 val posmap : t -> Vida_catalog.Source.t -> Vida_raw.Positional_map.t

@@ -1,0 +1,122 @@
+type span = { source : string; offset : int; length : int }
+
+type t =
+  | Parse_error of { source : string; offset : int; reason : string }
+  | Truncated of { source : string; offset : int; expected : string }
+  | Stale_auxiliary of { source : string; auxiliary : string; reason : string }
+  | Resource_limit of { source : string; what : string; actual : int; limit : int }
+  | Io_failure of { source : string; reason : string }
+  | Invalid_request of { source : string; reason : string }
+
+exception Error of t
+
+let error e = raise (Error e)
+
+let parse_error ~source ~offset fmt =
+  Format.kasprintf (fun reason -> error (Parse_error { source; offset; reason })) fmt
+
+let truncated ~source ~offset fmt =
+  Format.kasprintf (fun expected -> error (Truncated { source; offset; expected })) fmt
+
+let stale_auxiliary ~source ~auxiliary fmt =
+  Format.kasprintf
+    (fun reason -> error (Stale_auxiliary { source; auxiliary; reason }))
+    fmt
+
+let resource_limit ~source ~what ~actual ~limit =
+  error (Resource_limit { source; what; actual; limit })
+
+let io_failure ~source fmt =
+  Format.kasprintf (fun reason -> error (Io_failure { source; reason })) fmt
+
+let invalid_request ~source fmt =
+  Format.kasprintf (fun reason -> error (Invalid_request { source; reason })) fmt
+
+let source = function
+  | Parse_error { source; _ }
+  | Truncated { source; _ }
+  | Stale_auxiliary { source; _ }
+  | Resource_limit { source; _ }
+  | Io_failure { source; _ }
+  | Invalid_request { source; _ } -> source
+
+let offset = function
+  | Parse_error { offset; _ } | Truncated { offset; _ } -> Some offset
+  | Stale_auxiliary _ | Resource_limit _ | Io_failure _ | Invalid_request _ -> None
+
+let kind_name = function
+  | Parse_error _ -> "parse"
+  | Truncated _ -> "truncated"
+  | Stale_auxiliary _ -> "stale"
+  | Resource_limit _ -> "limit"
+  | Io_failure _ -> "io"
+  | Invalid_request _ -> "invalid"
+
+let exit_code = function
+  | Parse_error _ -> 65
+  | Truncated _ -> 66
+  | Stale_auxiliary _ -> 67
+  | Resource_limit _ -> 68
+  | Io_failure _ -> 69
+  | Invalid_request _ -> 70
+
+let pp ppf = function
+  | Parse_error { source; offset; reason } ->
+    Format.fprintf ppf "%s: byte %d: %s" source offset reason
+  | Truncated { source; offset; expected } ->
+    Format.fprintf ppf "%s: truncated at byte %d (expected %s)" source offset expected
+  | Stale_auxiliary { source; auxiliary; reason } ->
+    Format.fprintf ppf "%s: stale %s: %s" source auxiliary reason
+  | Resource_limit { source; what; actual; limit } ->
+    Format.fprintf ppf "%s: %s %d exceeds the limit of %d" source what actual limit
+  | Io_failure { source; reason } -> Format.fprintf ppf "%s: I/O failure: %s" source reason
+  | Invalid_request { source; reason } -> Format.fprintf ppf "%s: %s" source reason
+
+let to_string e = Format.asprintf "%a" pp e
+
+let protect ~source f =
+  try f () with
+  | Error _ as e -> raise e
+  | Sys_error reason -> error (Io_failure { source; reason })
+  | Failure reason -> error (Parse_error { source; offset = 0; reason })
+  | Invalid_argument reason -> error (Parse_error { source; offset = 0; reason })
+
+let guard f = match f () with v -> Ok v | exception Error e -> Result.Error e
+
+module Limits = struct
+  type t = {
+    max_row_bytes : int;
+    max_nesting : int;
+    max_fields : int;
+    max_string_bytes : int;
+  }
+
+  let default =
+    { max_row_bytes = 16 * 1024 * 1024;
+      max_nesting = 512;
+      max_fields = 65536;
+      max_string_bytes = 64 * 1024 * 1024 }
+
+  let state = ref default
+  let current () = !state
+  let set l = state := l
+
+  let with_limits l f =
+    let saved = !state in
+    state := l;
+    Fun.protect ~finally:(fun () -> state := saved) f
+
+  let check ~source ~offset:_ what actual limit =
+    if actual > limit then resource_limit ~source ~what ~actual ~limit
+
+  let check_nesting ~source ~offset depth =
+    check ~source ~offset "nesting depth" depth !state.max_nesting
+
+  let check_fields ~source ~offset n = check ~source ~offset "field count" n !state.max_fields
+
+  let check_row_bytes ~source ~offset n =
+    check ~source ~offset "row length" n !state.max_row_bytes
+
+  let check_string_bytes ~source ~offset n =
+    check ~source ~offset "string length" n !state.max_string_bytes
+end

@@ -1,0 +1,99 @@
+(** Structured errors for the raw-data access path.
+
+    ViDa queries files it does not control: they may be truncated mid-write,
+    concurrently modified, bit-flipped on disk, or simply malformed. Every
+    layer that touches raw bytes (raw buffers, scanners, auxiliary
+    structures, binary caches) reports failures through this typed taxonomy
+    instead of bare [Failure]/[Invalid_argument], so the engine can decide
+    per {!Vida_cleaning.Policy} whether to recover, quarantine, or abort —
+    and so callers always receive a source name and byte offset. *)
+
+(** A byte range inside a named raw source. *)
+type span = { source : string; offset : int; length : int }
+
+type t =
+  | Parse_error of { source : string; offset : int; reason : string }
+      (** malformed bytes where a record/value was expected *)
+  | Truncated of { source : string; offset : int; expected : string }
+      (** the data ends before [expected] could be read *)
+  | Stale_auxiliary of { source : string; auxiliary : string; reason : string }
+      (** a sidecar / cached structure no longer matches its data file *)
+  | Resource_limit of { source : string; what : string; actual : int; limit : int }
+      (** a configurable guard tripped (row length, nesting depth, ...) *)
+  | Io_failure of { source : string; reason : string }
+      (** the operating system failed the read *)
+  | Invalid_request of { source : string; reason : string }
+      (** the caller asked for data that cannot exist (row out of range, ...) *)
+
+exception Error of t
+
+(** {1 Raising} *)
+
+val error : t -> 'a
+
+val parse_error :
+  source:string -> offset:int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val truncated :
+  source:string -> offset:int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val stale_auxiliary :
+  source:string -> auxiliary:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val resource_limit : source:string -> what:string -> actual:int -> limit:int -> 'a
+val io_failure : source:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val invalid_request : source:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** {1 Inspection} *)
+
+val source : t -> string
+val offset : t -> int option  (** byte offset, when the error names one *)
+
+val kind_name : t -> string
+(** short stable tag: ["parse"], ["truncated"], ["stale"], ["limit"],
+    ["io"], ["invalid"] *)
+
+val exit_code : t -> int
+(** distinct process exit code per kind, for CLI surfacing:
+    parse 65, truncated 66, stale 67, limit 68, io 69, invalid 70. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** [protect ~source f] runs [f], converting [Sys_error], stray [Failure]
+    and [Invalid_argument] leaking from below into {!Io_failure} /
+    {!Parse_error} so the raw-access path never surfaces an untyped
+    exception. [Error] passes through untouched. *)
+val protect : source:string -> (unit -> 'a) -> 'a
+
+(** [guard f] captures a structured error as a [result]. *)
+val guard : (unit -> 'a) -> ('a, t) result
+
+(** {1 Resource guards}
+
+    Global, configurable limits consulted by the scanners. Exceeding one
+    raises {!Resource_limit} instead of looping or overflowing the stack. *)
+module Limits : sig
+  type t = {
+    max_row_bytes : int;  (** longest CSV row (quote-runaway guard) *)
+    max_nesting : int;  (** deepest JSON/XML/VBSON nesting *)
+    max_fields : int;  (** most fields in one record/object *)
+    max_string_bytes : int;  (** longest single decoded string *)
+  }
+
+  val default : t
+  val current : unit -> t
+  val set : t -> unit
+
+  (** [with_limits l f] runs [f] under [l], restoring the previous limits
+      afterwards (exception-safe). *)
+  val with_limits : t -> (unit -> 'a) -> 'a
+
+  (** [check_nesting ~source ~offset depth] — raises when [depth] exceeds
+      [max_nesting]. *)
+  val check_nesting : source:string -> offset:int -> int -> unit
+
+  val check_fields : source:string -> offset:int -> int -> unit
+  val check_row_bytes : source:string -> offset:int -> int -> unit
+  val check_string_bytes : source:string -> offset:int -> int -> unit
+end

@@ -20,8 +20,8 @@ let add_i64_of_int64 buf v =
   done
 
 let write path ~dims ~fields cells =
-  if dims = [] then invalid_arg "Binarray.write: empty dims";
-  if fields = [] then invalid_arg "Binarray.write: empty fields";
+  if dims = [] then Vida_error.invalid_request ~source:path "Binarray.write: empty dims";
+  if fields = [] then Vida_error.invalid_request ~source:path "Binarray.write: empty fields";
   let ncells = List.fold_left ( * ) 1 dims in
   let oc = open_out_bin path in
   Fun.protect
@@ -46,7 +46,7 @@ let write path ~dims ~fields cells =
         Buffer.clear row;
         let values = cells cell in
         if Array.length values <> nfields then
-          invalid_arg "Binarray.write: wrong number of field values";
+          Vida_error.invalid_request ~source:path "Binarray.write: wrong number of field values";
         List.iteri
           (fun i f ->
             match values.(i), f.is_float with
@@ -54,9 +54,8 @@ let write path ~dims ~fields cells =
             | Value.Int v, true -> add_i64_of_int64 row (Int64.bits_of_float (float_of_int v))
             | Value.Int v, false -> add_i64_of_int64 row (Int64.of_int v)
             | v, _ ->
-              invalid_arg
-                (Printf.sprintf "Binarray.write: field %s cannot hold %s" f.name
-                   (Value.to_string v)))
+              Vida_error.invalid_request ~source:path
+                "Binarray.write: field %s cannot hold %s" f.name (Value.to_string v))
           fields;
         output_string oc (Buffer.contents row)
       done)
@@ -82,32 +81,51 @@ let read_i64 s pos =
   !v
 
 let open_file buf =
+  let source = Raw_buffer.path buf in
   let header_max = min (Raw_buffer.length buf) 65536 in
   let s = Raw_buffer.slice buf ~pos:0 ~len:header_max in
-  if String.length s < 6 || String.sub s 0 4 <> magic then
-    failwith "Binarray.open_file: bad magic";
-  if read_u8 s 4 <> version then failwith "Binarray.open_file: unsupported version";
+  let need pos len what =
+    if pos + len > String.length s then
+      Vida_error.truncated ~source ~offset:pos "%s" what
+  in
+  need 0 6 "binarray header";
+  if String.sub s 0 4 <> magic then
+    Vida_error.parse_error ~source ~offset:0 "Binarray.open_file: bad magic";
+  if read_u8 s 4 <> version then
+    Vida_error.parse_error ~source ~offset:4 "Binarray.open_file: unsupported version %d"
+      (read_u8 s 4);
   let ndims = read_u8 s 5 in
   let pos = ref 6 in
   let dims =
     List.init ndims (fun _ ->
+        need !pos 8 "dimension";
         let d = Int64.to_int (read_i64 s !pos) in
+        if d < 0 then
+          Vida_error.parse_error ~source ~offset:!pos "negative dimension %d" d;
         pos := !pos + 8;
         d)
   in
+  need !pos 2 "field count";
   let nfields = read_u16 s !pos in
   pos := !pos + 2;
   let fields =
     List.init nfields (fun _ ->
+        need !pos 2 "field name length";
         let len = read_u16 s !pos in
+        need (!pos + 2) (len + 1) "field descriptor";
         let name = String.sub s (!pos + 2) len in
         let is_float = read_u8 s (!pos + 2 + len) = 1 in
         pos := !pos + 2 + len + 1;
         { name; is_float })
   in
   let ncells = List.fold_left ( * ) 1 dims in
+  let cell_width = nfields * 8 in
+  (* corrupted headers must not promise more data than the file holds *)
+  if ncells * cell_width > Raw_buffer.length buf - !pos then
+    Vida_error.truncated ~source ~offset:(Raw_buffer.length buf)
+      "%d cells of %d bytes after a %d-byte header" ncells cell_width !pos;
   { buf; header = { dims; fields }; data_offset = !pos;
-    cell_width = nfields * 8; ncells; zone_cache = Hashtbl.create 4; skipped = 0 }
+    cell_width; ncells; zone_cache = Hashtbl.create 4; skipped = 0 }
 
 let header t = t.header
 let cell_count t = t.ncells
@@ -121,7 +139,8 @@ let field_index t name =
 
 let get t ~cell ~field =
   if cell < 0 || cell >= t.ncells then
-    invalid_arg (Printf.sprintf "Binarray.get: cell %d out of range" cell);
+    Vida_error.invalid_request ~source:(Raw_buffer.path t.buf)
+      "Binarray.get: cell %d out of range" cell;
   let f = List.nth t.header.fields field in
   let pos = t.data_offset + (cell * t.cell_width) + (field * 8) in
   let s = Raw_buffer.slice t.buf ~pos ~len:8 in
@@ -135,11 +154,13 @@ let get_cell t ~cell =
     (List.mapi (fun i f -> (f.name, get t ~cell ~field:i)) t.header.fields)
 
 let cell_of_indices t idxs =
+  let source = Raw_buffer.path t.buf in
   if List.length idxs <> List.length t.header.dims then
-    invalid_arg "Binarray.cell_of_indices: rank mismatch";
+    Vida_error.invalid_request ~source "Binarray.cell_of_indices: rank mismatch";
   List.fold_left2
     (fun acc i d ->
-      if i < 0 || i >= d then invalid_arg "Binarray.cell_of_indices: out of bounds";
+      if i < 0 || i >= d then
+        Vida_error.invalid_request ~source "Binarray.cell_of_indices: out of bounds";
       (acc * d) + i)
     0 idxs t.header.dims
 

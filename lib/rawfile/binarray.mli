@@ -25,14 +25,16 @@ type header = { dims : int list; fields : field list }
 (** [write path ~dims ~fields cells] writes a file; [cells] is called with
     the flat cell index and must return one value per field ([Int] or
     [Float] as declared).
-    @raise Invalid_argument on shape mismatch. *)
+    @raise Vida_error.Error ([Invalid_request]) on shape mismatch. *)
 val write :
   string -> dims:int list -> fields:field list -> (int -> Vida_data.Value.t array) -> unit
 
 type t
 
-(** [open_file buf] parses the header.
-    @raise Failure on a malformed file. *)
+(** [open_file buf] parses and validates the header (a corrupted header
+    may not promise more cells than the file holds).
+    @raise Vida_error.Error ([Parse_error]/[Truncated]) on a malformed
+    file. *)
 val open_file : Raw_buffer.t -> t
 
 val header : t -> header
@@ -49,7 +51,7 @@ val get_cell : t -> cell:int -> Vida_data.Value.t
 
 (** [cell_of_indices t idxs] converts multi-dimensional indices to the flat
     cell index.
-    @raise Invalid_argument on rank/bound mismatch. *)
+    @raise Vida_error.Error ([Invalid_request]) on rank/bound mismatch. *)
 val cell_of_indices : t -> int list -> int
 
 (** [to_value t] materializes the whole file as a nested [Array] value of

@@ -15,11 +15,16 @@ let field_bounds ~delim buf ~row_end pos =
         | _ -> scan (i + 1)
     in
     let close = scan (pos + 1) in
-    let next =
-      if close + 1 < row_end && Raw_buffer.char_at buf (close + 1) = delim then close + 2
-      else row_end + 1
+    (* Tolerate stray bytes between the closing quote and the delimiter
+       (e.g. ["abc"x,next]): the field keeps its quoted content and the
+       scan resyncs at the next delimiter instead of dropping the rest of
+       the row. *)
+    let rec to_delim i =
+      if i >= row_end then row_end + 1
+      else if Raw_buffer.char_at buf i = delim then i + 1
+      else to_delim (i + 1)
     in
-    (pos + 1, close, next))
+    (pos + 1, close, to_delim (close + 1)))
   else (
     let rec scan i =
       if i >= row_end then i
@@ -86,7 +91,11 @@ let split_line ~delim line =
           incr i)
       done;
       fields := Buffer.contents b :: !fields;
-      if !i < n && line.[!i] = delim then pos := !i + 1 else (pos := n + 1))
+      (* same trailing-byte tolerance as [field_bounds] *)
+      let rec to_delim i =
+        if i >= n then n + 1 else if line.[i] = delim then i + 1 else to_delim (i + 1)
+      in
+      pos := to_delim !i)
     else (
       let stop =
         match String.index_from_opt line !pos delim with

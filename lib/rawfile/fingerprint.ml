@@ -1,0 +1,65 @@
+type t = { size : int; head : string; tail : string }
+
+let window = 4096
+
+let of_contents s =
+  let n = String.length s in
+  let head = String.sub s 0 (min window n) in
+  let tail = if n <= window then head else String.sub s (n - window) window in
+  { size = n; head = Digest.string head; tail = Digest.string tail }
+
+let of_buffer buf = of_contents (Raw_buffer.slice buf ~pos:0 ~len:(Raw_buffer.length buf))
+
+(* Direct read, bypassing Raw_buffer and Io_stats: validation probes must
+   not count as raw-data access or force a buffer reload. *)
+let probe path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match
+          let size = in_channel_length ic in
+          let head = really_input_string ic (min window size) in
+          let tail =
+            if size <= window then head
+            else (
+              seek_in ic (size - window);
+              really_input_string ic window)
+          in
+          { size; head = Digest.string head; tail = Digest.string tail }
+        with
+        | fp -> Some fp
+        | exception (Sys_error _ | End_of_file) -> None)
+
+let equal a b = a.size = b.size && String.equal a.head b.head && String.equal a.tail b.tail
+
+let encoded_size = 8 + 16 + 16
+
+let encode fp =
+  let b = Buffer.create encoded_size in
+  for shift = 0 to 7 do
+    Buffer.add_char b (Char.chr ((fp.size lsr (8 * shift)) land 0xFF))
+  done;
+  Buffer.add_string b fp.head;
+  Buffer.add_string b fp.tail;
+  Buffer.contents b
+
+let decode s ~pos =
+  if pos < 0 || pos + encoded_size > String.length s then None
+  else (
+    let size = ref 0 in
+    for shift = 7 downto 0 do
+      size := (!size lsl 8) lor Char.code s.[pos + shift]
+    done;
+    Some
+      { size = !size;
+        head = String.sub s (pos + 8) 16;
+        tail = String.sub s (pos + 24) 16 })
+
+let pp ppf fp =
+  Format.fprintf ppf "size=%d head=%s tail=%s" fp.size (Digest.to_hex fp.head)
+    (Digest.to_hex fp.tail)
+
+let to_string fp = Format.asprintf "%a" pp fp

@@ -1,0 +1,40 @@
+(** Content fingerprints of raw source files.
+
+    Used to detect corruption and staleness before serving derived data:
+    positional-map sidecars, cache entries and whole-query results each
+    record the fingerprint of the file they were computed from, and are
+    auto-invalidated (rebuilt from the raw bytes) when the file no longer
+    matches instead of returning garbage.
+
+    A fingerprint is the file size plus MD5 digests of the first and last
+    4 KiB windows. The mtime is deliberately not part of it: the stdlib
+    exposes no portable stat (Unix is not a dependency of this tree), and
+    content digests also catch same-size in-place rewrites that mtime
+    granularity can miss. *)
+
+type t = { size : int; head : string; tail : string }
+(** [head]/[tail] are raw 16-byte MD5 digests of the boundary windows. *)
+
+(** [of_contents s] fingerprints in-memory bytes. *)
+val of_contents : string -> t
+
+(** [of_buffer buf] fingerprints a raw buffer (forces it; counts as a raw
+    read). *)
+val of_buffer : Raw_buffer.t -> t
+
+(** [probe path] fingerprints a file directly — no {!Io_stats} accounting,
+    no buffer load. [None] when the file cannot be read. *)
+val probe : string -> t option
+
+val equal : t -> t -> bool
+
+(** Fixed-width binary form for sidecars and cache tags. *)
+val encoded_size : int
+
+val encode : t -> string
+
+(** [decode s ~pos] reads an encoded fingerprint; [None] if out of range. *)
+val decode : string -> pos:int -> t option
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

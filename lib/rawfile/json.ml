@@ -1,24 +1,24 @@
 open Vida_data
 
-exception Error of string
+let default_source = "json"
 
-let error pos fmt = Format.kasprintf (fun s -> raise (Error (Printf.sprintf "byte %d: %s" pos s))) fmt
+let error ~source pos fmt = Vida_error.parse_error ~source ~offset:pos fmt
 
 let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
 
 let rec skip_ws s pos = if pos < String.length s && is_ws s.[pos] then skip_ws s (pos + 1) else pos
 
-let parse_string_at s pos =
+let parse_string_at ?(source = default_source) s pos =
   (* pos points at the opening quote; returns (content, next_pos) *)
   let buf = Buffer.create 16 in
   let n = String.length s in
   let rec go i =
-    if i >= n then error i "unterminated string"
+    if i >= n then error ~source i "unterminated string"
     else
       match s.[i] with
       | '"' -> i + 1
       | '\\' ->
-        if i + 1 >= n then error i "dangling escape";
+        if i + 1 >= n then error ~source i "dangling escape";
         (match s.[i + 1] with
         | '"' -> Buffer.add_char buf '"'; ()
         | '\\' -> Buffer.add_char buf '\\'
@@ -29,8 +29,12 @@ let parse_string_at s pos =
         | 'r' -> Buffer.add_char buf '\r'
         | 't' -> Buffer.add_char buf '\t'
         | 'u' ->
-          if i + 5 >= n then error i "truncated unicode escape";
-          let code = int_of_string ("0x" ^ String.sub s (i + 2) 4) in
+          if i + 5 >= n then error ~source i "truncated unicode escape";
+          let code =
+            match int_of_string_opt ("0x" ^ String.sub s (i + 2) 4) with
+            | Some c -> c
+            | None -> error ~source i "malformed unicode escape"
+          in
           (* encode as UTF-8; surrogate pairs are passed through raw *)
           if code < 0x80 then Buffer.add_char buf (Char.chr code)
           else if code < 0x800 then (
@@ -40,7 +44,7 @@ let parse_string_at s pos =
             Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
-        | c -> error i "bad escape \\%c" c);
+        | c -> error ~source i "bad escape \\%c" c);
         if s.[i + 1] = 'u' then go (i + 6) else go (i + 2)
       | c ->
         Buffer.add_char buf c;
@@ -60,50 +64,54 @@ let number_end s pos =
   in
   go pos
 
-let parse_number s pos =
+let parse_number ~source s pos =
   let stop = number_end s pos in
   let text = String.sub s pos (stop - pos) in
   let v =
     if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text then (
       match float_of_string_opt text with
       | Some f -> Value.Float f
-      | None -> error pos "malformed number %S" text)
+      | None -> error ~source pos "malformed number %S" text)
     else
       match int_of_string_opt text with
       | Some i -> Value.Int i
       | None -> (
         match float_of_string_opt text with
         | Some f -> Value.Float f
-        | None -> error pos "malformed number %S" text)
+        | None -> error ~source pos "malformed number %S" text)
   in
   (v, stop)
 
-let expect s pos lit v =
+let expect ~source s pos lit v =
   let n = String.length lit in
   if pos + n <= String.length s && String.sub s pos n = lit then (v, pos + n)
-  else error pos "expected %s" lit
+  else error ~source pos "expected %s" lit
 
-let rec parse_value s pos =
+let rec parse_value ~source ~depth s pos =
+  Vida_error.Limits.check_nesting ~source ~offset:pos depth;
   let pos = skip_ws s pos in
-  if pos >= String.length s then error pos "unexpected end of input";
+  if pos >= String.length s then error ~source pos "unexpected end of input";
   match s.[pos] with
   | '{' ->
     let fields = ref [] in
+    let nfields = ref 0 in
     let pos = skip_ws s (pos + 1) in
     if pos < String.length s && s.[pos] = '}' then (Value.Record [], pos + 1)
     else (
       let rec members pos =
         let pos = skip_ws s pos in
-        if pos >= String.length s || s.[pos] <> '"' then error pos "expected field name";
-        let name, pos = parse_string_at s pos in
+        if pos >= String.length s || s.[pos] <> '"' then error ~source pos "expected field name";
+        let name, pos = parse_string_at ~source s pos in
         let pos = skip_ws s pos in
-        if pos >= String.length s || s.[pos] <> ':' then error pos "expected ':'";
-        let v, pos = parse_value s (pos + 1) in
+        if pos >= String.length s || s.[pos] <> ':' then error ~source pos "expected ':'";
+        let v, pos = parse_value ~source ~depth:(depth + 1) s (pos + 1) in
         fields := (name, v) :: !fields;
+        incr nfields;
+        Vida_error.Limits.check_fields ~source ~offset:pos !nfields;
         let pos = skip_ws s pos in
         if pos < String.length s && s.[pos] = ',' then members (pos + 1)
         else if pos < String.length s && s.[pos] = '}' then pos + 1
-        else error pos "expected ',' or '}'"
+        else error ~source pos "expected ',' or '}'"
       in
       let pos = members pos in
       (Value.Record (List.rev !fields), pos))
@@ -113,64 +121,66 @@ let rec parse_value s pos =
     if pos < String.length s && s.[pos] = ']' then (Value.List [], pos + 1)
     else (
       let rec elements pos =
-        let v, pos = parse_value s pos in
+        let v, pos = parse_value ~source ~depth:(depth + 1) s pos in
         items := v :: !items;
         let pos = skip_ws s pos in
         if pos < String.length s && s.[pos] = ',' then elements (pos + 1)
         else if pos < String.length s && s.[pos] = ']' then pos + 1
-        else error pos "expected ',' or ']'"
+        else error ~source pos "expected ',' or ']'"
       in
       let pos = elements pos in
       (Value.List (List.rev !items), pos))
   | '"' ->
-    let str, pos = parse_string_at s pos in
+    let str, pos = parse_string_at ~source s pos in
     (Value.String str, pos)
-  | 't' -> expect s pos "true" (Value.Bool true)
-  | 'f' -> expect s pos "false" (Value.Bool false)
-  | 'n' -> expect s pos "null" Value.Null
-  | '-' | '0' .. '9' -> parse_number s pos
-  | c -> error pos "unexpected character %C" c
+  | 't' -> expect ~source s pos "true" (Value.Bool true)
+  | 'f' -> expect ~source s pos "false" (Value.Bool false)
+  | 'n' -> expect ~source s pos "null" Value.Null
+  | '-' | '0' .. '9' -> parse_number ~source s pos
+  | c -> error ~source pos "unexpected character %C" c
 
-let parse s =
-  let v, pos = parse_value s 0 in
+let parse ?(source = default_source) s =
+  let v, pos = parse_value ~source ~depth:0 s 0 in
   let pos = skip_ws s pos in
-  if pos <> String.length s then error pos "trailing input"
+  if pos <> String.length s then error ~source pos "trailing input"
   else (
     Io_stats.add_objects_parsed 1;
     v)
 
-let parse_substring s ~pos ~len =
-  let v, stop = parse_value s pos in
+let parse_substring ?(source = default_source) s ~pos ~len =
+  let v, stop = parse_value ~source ~depth:0 s pos in
   let stop = skip_ws s stop in
-  if stop > pos + len then error stop "value extends past range"
+  if stop > pos + len then error ~source stop "value extends past range"
   else (
     Io_stats.add_objects_parsed 1;
     v)
 
 (* Structural skip: navigate past a value without building it. *)
-let rec skip_value s pos =
+let rec skip_value_at ~source ~depth s pos =
+  Vida_error.Limits.check_nesting ~source ~offset:pos depth;
   let pos = skip_ws s pos in
-  if pos >= String.length s then error pos "unexpected end of input";
+  if pos >= String.length s then error ~source pos "unexpected end of input";
   match s.[pos] with
-  | '"' -> skip_string s pos
-  | '{' -> skip_composite s (pos + 1) '}' (fun pos ->
+  | '"' -> skip_string ~source s pos
+  | '{' -> skip_composite ~source s (pos + 1) '}' (fun pos ->
       let pos = skip_ws s pos in
-      let pos = skip_string s pos in
+      let pos = skip_string ~source s pos in
       let pos = skip_ws s pos in
-      if pos >= String.length s || s.[pos] <> ':' then error pos "expected ':'";
-      skip_value s (pos + 1))
-  | '[' -> skip_composite s (pos + 1) ']' (fun pos -> skip_value s pos)
-  | 't' -> snd (expect s pos "true" ())
-  | 'f' -> snd (expect s pos "false" ())
-  | 'n' -> snd (expect s pos "null" ())
+      if pos >= String.length s || s.[pos] <> ':' then error ~source pos "expected ':'";
+      skip_value_at ~source ~depth:(depth + 1) s (pos + 1))
+  | '[' -> skip_composite ~source s (pos + 1) ']' (fun pos ->
+      skip_value_at ~source ~depth:(depth + 1) s pos)
+  | 't' -> snd (expect ~source s pos "true" ())
+  | 'f' -> snd (expect ~source s pos "false" ())
+  | 'n' -> snd (expect ~source s pos "null" ())
   | '-' | '0' .. '9' -> number_end s pos
-  | c -> error pos "unexpected character %C" c
+  | c -> error ~source pos "unexpected character %C" c
 
-and skip_string s pos =
+and skip_string ~source s pos =
   (* pos at opening quote *)
   let n = String.length s in
   let rec go i =
-    if i >= n then error i "unterminated string"
+    if i >= n then error ~source i "unterminated string"
     else
       match s.[i] with
       | '"' -> i + 1
@@ -179,7 +189,7 @@ and skip_string s pos =
   in
   go (pos + 1)
 
-and skip_composite s pos closer skip_member =
+and skip_composite ~source s pos closer skip_member =
   let pos = skip_ws s pos in
   if pos < String.length s && s.[pos] = closer then pos + 1
   else (
@@ -188,31 +198,36 @@ and skip_composite s pos closer skip_member =
       let pos = skip_ws s pos in
       if pos < String.length s && s.[pos] = ',' then members (pos + 1)
       else if pos < String.length s && s.[pos] = closer then pos + 1
-      else error pos "expected ',' or closer"
+      else error ~source pos "expected ',' or closer"
     in
     members pos)
 
-let scan_fields s ~pos ~len =
+let skip_value ?(source = default_source) s pos = skip_value_at ~source ~depth:0 s pos
+
+let scan_fields ?(source = default_source) s ~pos ~len =
   let limit = pos + len in
   let start = skip_ws s pos in
-  if start >= limit || s.[start] <> '{' then error start "expected an object";
+  if start >= limit || s.[start] <> '{' then error ~source start "expected an object";
   let fields = ref [] in
+  let nfields = ref 0 in
   let p = skip_ws s (start + 1) in
   if p < limit && s.[p] = '}' then []
   else (
     let rec members p =
       let p = skip_ws s p in
-      if p >= limit || s.[p] <> '"' then error p "expected field name";
-      let name, p = parse_string_at s p in
+      if p >= limit || s.[p] <> '"' then error ~source p "expected field name";
+      let name, p = parse_string_at ~source s p in
       let p = skip_ws s p in
-      if p >= limit || s.[p] <> ':' then error p "expected ':'";
+      if p >= limit || s.[p] <> ':' then error ~source p "expected ':'";
       let vstart = skip_ws s (p + 1) in
-      let vstop = skip_value s vstart in
+      let vstop = skip_value_at ~source ~depth:1 s vstart in
       fields := (name, (vstart, vstop - vstart)) :: !fields;
+      incr nfields;
+      Vida_error.Limits.check_fields ~source ~offset:p !nfields;
       let p = skip_ws s vstop in
       if p < limit && s.[p] = ',' then members (p + 1)
       else if p < limit && s.[p] = '}' then ()
-      else error p "expected ',' or '}'"
+      else error ~source p "expected ',' or '}'"
     in
     members p;
     List.rev !fields)

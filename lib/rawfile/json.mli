@@ -3,25 +3,29 @@
     Objects become [Record]s (field order preserved), arrays become [List]s,
     integers stay [Int] when exactly representable. The parser is
     substring-addressable so the semi-index ({!Semi_index}) can parse only
-    the byte range of a requested field. *)
+    the byte range of a requested field.
 
-exception Error of string
+    Malformed input raises {!Vida_error.Parse_error} carrying [source]
+    (default ["json"]) and the byte offset; nesting deeper than
+    {!Vida_error.Limits} allows raises [Resource_limit] instead of
+    overflowing the stack. *)
 
 (** [parse s] parses the full string.
-    @raise Error with a byte position on malformed input. *)
-val parse : string -> Vida_data.Value.t
+    @raise Vida_error.Error with a byte position on malformed input. *)
+val parse : ?source:string -> string -> Vida_data.Value.t
 
 (** [parse_substring s ~pos ~len] parses one JSON value occupying exactly
     [s.[pos .. pos+len)] (surrounding whitespace tolerated). Counts one
     parsed object. *)
-val parse_substring : string -> pos:int -> len:int -> Vida_data.Value.t
+val parse_substring : ?source:string -> string -> pos:int -> len:int -> Vida_data.Value.t
 
 (** [skip_value s pos] returns the offset just past the JSON value starting
     at [pos] without building it — structural navigation only. *)
-val skip_value : string -> int -> int
+val skip_value : ?source:string -> string -> int -> int
 
 (** [scan_fields s ~pos ~len] scans an object's top level, returning each
     field's name and the byte range of its value — the structural
     information a semi-index records. Does not build values.
-    @raise Error if the range does not hold an object. *)
-val scan_fields : string -> pos:int -> len:int -> (string * (int * int)) list
+    @raise Vida_error.Error if the range does not hold an object. *)
+val scan_fields :
+  ?source:string -> string -> pos:int -> len:int -> (string * (int * int)) list

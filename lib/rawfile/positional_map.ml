@@ -8,8 +8,11 @@ type t = {
 }
 
 (* Quote-aware scan of row boundaries: newlines inside quoted fields do not
-   terminate a row. *)
+   terminate a row. A row longer than the configured limit (usually the
+   symptom of an unbalanced quote swallowing the rest of the file) raises
+   [Resource_limit] instead of degenerating into one giant row. *)
 let scan_rows buf =
+  let source = Raw_buffer.path buf in
   let len = Raw_buffer.length buf in
   Io_stats.add_bytes_read len;
   let starts = ref [] and stops = ref [] in
@@ -23,7 +26,7 @@ let scan_rows buf =
       starts := !row_start :: !starts;
       stops := stop :: !stops;
       row_start := i + 1
-    | _ -> ()
+    | _ -> Vida_error.Limits.check_row_bytes ~source ~offset:!row_start (i - !row_start)
   done;
   if !row_start < len then (
     starts := !row_start :: !starts;
@@ -51,7 +54,8 @@ let delim t = t.delim
 
 let row_bounds t row =
   if row < 0 || row >= row_count t then
-    invalid_arg (Printf.sprintf "Positional_map.row_bounds: row %d out of range" row);
+    Vida_error.invalid_request ~source:(Raw_buffer.path t.buf)
+      "Positional_map.row_bounds: row %d out of range" row;
   (t.row_starts.(row), t.row_stops.(row))
 
 let populated_columns t =
@@ -96,7 +100,8 @@ let populate t cols =
 
 let field t ~row ~col =
   if row < 0 || row >= row_count t then
-    invalid_arg (Printf.sprintf "Positional_map.field: row %d out of range" row);
+    Vida_error.invalid_request ~source:(Raw_buffer.path t.buf)
+      "Positional_map.field: row %d out of range" row;
   Io_stats.add_index_probes 1;
   let row_end = t.row_stops.(row) in
   let anchor_col, anchor_offsets = anchor t col in
@@ -175,15 +180,7 @@ let footprint t =
 
 (* --- persistence --- *)
 
-let sidecar_magic = "VPM1"
-
-let data_fingerprint buf =
-  let len = Raw_buffer.length buf in
-  let head = if len = 0 then "" else Raw_buffer.slice buf ~pos:0 ~len:(min 64 len) in
-  let tail =
-    if len <= 64 then "" else Raw_buffer.slice buf ~pos:(len - 64) ~len:64
-  in
-  Hashtbl.hash (len, head, tail)
+let sidecar_magic = "VPM2"
 
 let write_int oc v =
   for shift = 0 to 7 do
@@ -200,7 +197,7 @@ let save t ~path =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc sidecar_magic;
-      write_int oc (data_fingerprint t.buf);
+      output_string oc (Fingerprint.encode (Fingerprint.of_buffer t.buf));
       output_char oc t.delim;
       write_int oc (List.length t.header_names);
       List.iter
@@ -218,7 +215,12 @@ let save t ~path =
         t.cols)
 
 let load ?(delim = ',') buf ~path =
-  if not (Sys.file_exists path) then None
+  let source = Raw_buffer.path buf in
+  let stale reason =
+    Result.Error
+      (Vida_error.Stale_auxiliary { source; auxiliary = path; reason })
+  in
+  if not (Sys.file_exists path) then stale "no sidecar"
   else (
     let ic = open_in_bin path in
     Fun.protect
@@ -231,29 +233,56 @@ let load ?(delim = ',') buf ~path =
           done;
           !v
         in
-        let read_array () = Array.init (read_int ()) (fun _ -> read_int ()) in
+        let bounded_count () =
+          (* a corrupted length must not drive a giant allocation: no array
+             in a sidecar can hold more entries than the sidecar has bytes *)
+          let n = read_int () in
+          if n < 0 || n > in_channel_length ic then failwith "implausible count";
+          n
+        in
+        let read_array () = Array.init (bounded_count ()) (fun _ -> read_int ()) in
         match
           let magic = really_input_string ic 4 in
-          if magic <> sidecar_magic then raise Exit;
-          let fingerprint = read_int () in
-          if fingerprint <> data_fingerprint buf then raise Exit;
+          if magic <> sidecar_magic then failwith "bad magic";
+          let stored_fp =
+            match
+              Fingerprint.decode (really_input_string ic Fingerprint.encoded_size) ~pos:0
+            with
+            | Some fp -> fp
+            | None -> failwith "unreadable fingerprint"
+          in
+          if not (Fingerprint.equal stored_fp (Fingerprint.of_buffer buf)) then
+            failwith "data file changed since the sidecar was written";
           let stored_delim = input_char ic in
-          if stored_delim <> delim then raise Exit;
-          let nheader = read_int () in
+          if stored_delim <> delim then failwith "delimiter mismatch";
+          let nheader = bounded_count () in
           let header_names =
             List.init nheader (fun _ ->
-                let len = read_int () in
+                let len = bounded_count () in
                 really_input_string ic len)
           in
           let row_starts = read_array () in
           let row_stops = read_array () in
+          (* validate offsets against the data file before trusting them *)
+          let data_len = Raw_buffer.length buf in
+          if Array.length row_starts <> Array.length row_stops then
+            failwith "row array length mismatch";
+          Array.iteri
+            (fun i start ->
+              if start < 0 || row_stops.(i) < start || row_stops.(i) > data_len then
+                failwith "row bounds outside the data file")
+            row_starts;
           let cols = Hashtbl.create 16 in
-          let ncols = read_int () in
+          let ncols = bounded_count () in
           for _ = 1 to ncols do
             let col = read_int () in
-            Hashtbl.replace cols col (read_array ())
+            let offsets = read_array () in
+            if Array.length offsets <> Array.length row_starts then
+              failwith "column array length mismatch";
+            Hashtbl.replace cols col offsets
           done;
           { buf; delim; header_names; row_starts; row_stops; cols }
         with
-        | t -> Some t
-        | exception (Exit | End_of_file | Sys_error _) -> None))
+        | t -> Ok t
+        | exception Failure reason -> stale reason
+        | exception (End_of_file | Sys_error _) -> stale "sidecar truncated or unreadable"))

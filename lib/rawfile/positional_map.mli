@@ -36,7 +36,7 @@ val populated_columns : t -> int list
 
 (** [field t ~row ~col] extracts one field's text, navigating via the map.
     Counts an [index_probe] plus the fields actually tokenized.
-    @raise Invalid_argument if [row] is out of range. *)
+    @raise Vida_error.Error ([Invalid_request]) if [row] is out of range. *)
 val field : t -> row:int -> col:int -> string
 
 (** [fields t ~row ~cols] extracts several columns of one row; [cols] need
@@ -55,11 +55,14 @@ val footprint : t -> int
 (** {1 Persistence}
 
     A positional map is pure navigation metadata, so it can outlive the
-    process: [save] writes a sidecar file; [load] restores it, returning
-    [None] when the sidecar is missing, malformed, or was built against a
-    different version of the data file (checked by stored size +
-    first/last-byte fingerprint). *)
+    process: [save] writes a sidecar file stamped with a {!Fingerprint} of
+    the data it was built from; [load] restores it, returning
+    [Error (Stale_auxiliary _)] when the sidecar is missing, malformed,
+    internally inconsistent (row/column arrays of different lengths or
+    offsets outside the data file), or was built against a different
+    version of the data file. Callers treat any [Error] as "rebuild from
+    raw" — the paper's §2.1 auxiliary-structure invalidation. *)
 
 val save : t -> path:string -> unit
 
-val load : ?delim:char -> Raw_buffer.t -> path:string -> t option
+val load : ?delim:char -> Raw_buffer.t -> path:string -> (t, Vida_error.t) result

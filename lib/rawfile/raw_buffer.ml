@@ -1,16 +1,32 @@
-type t = { path : string; mutable contents : string option }
+type backing = File | Memory of string
 
-let of_path path = { path; contents = None }
+type t = { path : string; backing : backing; mutable contents : string option }
+
+let of_path path = { path; backing = File; contents = None }
+
+let of_string ~source contents =
+  { path = source; backing = Memory contents; contents = None }
+
 let path t = t.path
 
 let force t =
   match t.contents with
   | Some s -> s
   | None ->
-    let ic = open_in_bin t.path in
-    let len = in_channel_length ic in
     let s =
-      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> really_input_string ic len)
+      match t.backing with
+      | Memory s -> s
+      | File -> (
+        match open_in_bin t.path with
+        | exception Sys_error reason -> Vida_error.io_failure ~source:t.path "%s" reason
+        | ic ->
+          let len = in_channel_length ic in
+          (try
+             Fun.protect
+               ~finally:(fun () -> close_in ic)
+               (fun () -> really_input_string ic len)
+           with Sys_error reason | Failure reason ->
+             Vida_error.io_failure ~source:t.path "%s" reason))
     in
     Io_stats.add_file_loads 1;
     t.contents <- Some s;
@@ -21,17 +37,23 @@ let length t = String.length (force t)
 let slice t ~pos ~len =
   let s = force t in
   if pos < 0 || len < 0 || pos + len > String.length s then
-    invalid_arg
-      (Printf.sprintf "Raw_buffer.slice: [%d,%d) out of range for %s (%d bytes)" pos
-         (pos + len) t.path (String.length s));
+    Vida_error.truncated ~source:t.path ~offset:(max 0 pos)
+      "%d bytes at [%d,%d) of a %d-byte file" len pos (pos + len) (String.length s);
   Io_stats.add_bytes_read len;
   String.sub s pos len
 
-let char_at t pos = (force t).[pos]
+let char_at t pos =
+  let s = force t in
+  if pos < 0 || pos >= String.length s then
+    Vida_error.truncated ~source:t.path ~offset:(max 0 pos)
+      "one byte at %d of a %d-byte file" pos (String.length s);
+  String.unsafe_get s pos
 
 let index_from t pos c =
   let s = force t in
-  if pos >= String.length s then None else String.index_from_opt s pos c
+  if pos >= String.length s then None else String.index_from_opt s (max 0 pos) c
 
 let loaded t = t.contents <> None
-let invalidate t = t.contents <- None
+
+let invalidate t =
+  match t.backing with Memory _ -> () | File -> t.contents <- None

@@ -5,23 +5,35 @@
     role: the file's bytes are brought into memory lazily on first access
     and shared by every reader. [slice] is the only way data leaves the
     buffer, and it feeds {!Io_stats.add_bytes_read} so experiments can
-    observe raw-access volume. *)
+    observe raw-access volume.
+
+    All failures are structured: an unreadable file raises
+    {!Vida_error.Io_failure} and an out-of-range access raises
+    {!Vida_error.Truncated} — never a bare [Sys_error] or
+    [Invalid_argument]. *)
 
 type t
 
 (** [of_path path] creates a lazy view; the file is read on first access.
-    @raise Sys_error at access time if the file cannot be read. *)
+    @raise Vida_error.Error ([Io_failure]) at access time if the file
+    cannot be read. *)
 val of_path : string -> t
+
+(** [of_string ~source contents] wraps in-memory bytes as a buffer (fault
+    injection, tests). [source] is the name reported in errors and by
+    [path]. [invalidate] is a no-op for such buffers. *)
+val of_string : source:string -> string -> t
 
 val path : t -> string
 val length : t -> int
 
 (** [slice t ~pos ~len] copies bytes out of the view. Counts toward
     [bytes_read].
-    @raise Invalid_argument if out of range. *)
+    @raise Vida_error.Error ([Truncated]) if out of range. *)
 val slice : t -> pos:int -> len:int -> string
 
-(** [char_at t pos] peeks one byte without copying (no stats). *)
+(** [char_at t pos] peeks one byte without copying (no stats).
+    @raise Vida_error.Error ([Truncated]) if out of range. *)
 val char_at : t -> int -> char
 
 (** [index_from t pos c] is the offset of the next [c] at or after [pos],
@@ -31,5 +43,6 @@ val index_from : t -> int -> char -> int option
 (** [loaded t] tells whether the file has been faulted in yet. *)
 val loaded : t -> bool
 
-(** [invalidate t] drops the cached bytes (next access reloads). *)
+(** [invalidate t] drops the cached bytes (next access reloads; no-op for
+    in-memory buffers). *)
 val invalidate : t -> unit

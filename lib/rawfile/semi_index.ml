@@ -26,13 +26,14 @@ let object_count t = Array.length t.obj_bounds
 
 let object_bounds t i =
   if i < 0 || i >= object_count t then
-    invalid_arg (Printf.sprintf "Semi_index.object_bounds: object %d out of range" i);
+    Vida_error.invalid_request ~source:(Raw_buffer.path t.buf)
+      "Semi_index.object_bounds: object %d out of range" i;
   t.obj_bounds.(i)
 
 let object_value t i =
   let pos, len = object_bounds t i in
   let text = Raw_buffer.slice t.buf ~pos ~len in
-  Json.parse_substring text ~pos:0 ~len
+  Json.parse_substring ~source:(Raw_buffer.path t.buf) text ~pos:0 ~len
 
 let table t obj =
   match t.tables.(obj) with
@@ -44,7 +45,7 @@ let table t obj =
     let table =
       List.map
         (fun (name, (vpos, vlen)) -> (name, (pos + vpos, vlen)))
-        (Json.scan_fields text ~pos:0 ~len)
+        (Json.scan_fields ~source:(Raw_buffer.path t.buf) text ~pos:0 ~len)
     in
     t.tables.(obj) <- Some table;
     t.indexed <- t.indexed + 1;
@@ -62,7 +63,9 @@ let field_string t ~obj ~field =
 let field_value t ~obj ~field =
   match field_string t ~obj ~field with
   | None -> Value.Null
-  | Some text -> Json.parse_substring text ~pos:0 ~len:(String.length text)
+  | Some text ->
+    Json.parse_substring ~source:(Raw_buffer.path t.buf) text ~pos:0
+      ~len:(String.length text)
 
 let indexed_objects t = t.indexed
 

@@ -1,9 +1,8 @@
 open Vida_data
 
-exception Error of string
+let default_source = "xml"
 
-let error pos fmt =
-  Format.kasprintf (fun s -> raise (Error (Printf.sprintf "byte %d: %s" pos s))) fmt
+let error ~source pos fmt = Vida_error.parse_error ~source ~offset:pos fmt
 
 let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
 
@@ -14,13 +13,13 @@ let is_name_char = function
   | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
   | _ -> false
 
-let read_name s pos =
+let read_name ~source s pos =
   let n = String.length s in
   let stop = ref pos in
   while !stop < n && is_name_char s.[!stop] do
     incr stop
   done;
-  if !stop = pos then error pos "expected a name";
+  if !stop = pos then error ~source pos "expected a name";
   (String.sub s pos (!stop - pos), !stop)
 
 let decode_entities text =
@@ -47,13 +46,15 @@ let decode_entities text =
           | "gt" -> Buffer.add_char buf '>'
           | "quot" -> Buffer.add_char buf '"'
           | "apos" -> Buffer.add_char buf '\''
-          | e when String.length e > 1 && e.[0] = '#' ->
-            let code =
-              if e.[1] = 'x' then int_of_string ("0x" ^ String.sub e 2 (String.length e - 2))
-              else int_of_string (String.sub e 1 (String.length e - 1))
+          | e when String.length e > 1 && e.[0] = '#' -> (
+            let parsed =
+              if e.[1] = 'x' then int_of_string_opt ("0x" ^ String.sub e 2 (String.length e - 2))
+              else int_of_string_opt (String.sub e 1 (String.length e - 1))
             in
-            if code < 0x80 then Buffer.add_char buf (Char.chr code)
-            else Buffer.add_string buf (Printf.sprintf "&#%d;" code)
+            match parsed with
+            | Some code when code >= 0 && code < 0x80 -> Buffer.add_char buf (Char.chr code)
+            | Some code -> Buffer.add_string buf (Printf.sprintf "&#%d;" code)
+            | None -> Buffer.add_string buf ("&" ^ e ^ ";"))
           | e -> Buffer.add_string buf ("&" ^ e ^ ";"));
           i := stop + 1))
       else (
@@ -76,53 +77,55 @@ let sniff text =
       | t -> Value.String t))
 
 (* skip <!-- --> comments and <? ?> processing instructions *)
-let rec skip_misc s pos =
+let rec skip_misc ~source s pos =
   let pos = skip_ws s pos in
   let n = String.length s in
   if pos + 3 < n && String.sub s pos 4 = "<!--" then (
     let rec find i =
-      if i + 2 >= n then error i "unterminated comment"
+      if i + 2 >= n then error ~source i "unterminated comment"
       else if String.sub s i 3 = "-->" then i + 3
       else find (i + 1)
     in
-    skip_misc s (find (pos + 4)))
+    skip_misc ~source s (find (pos + 4)))
   else if pos + 1 < n && String.sub s pos 2 = "<?" then (
     let rec find i =
-      if i + 1 >= n then error i "unterminated processing instruction"
+      if i + 1 >= n then error ~source i "unterminated processing instruction"
       else if String.sub s i 2 = "?>" then i + 2
       else find (i + 1)
     in
-    skip_misc s (find (pos + 2)))
+    skip_misc ~source s (find (pos + 2)))
   else if pos + 1 < n && String.sub s pos 2 = "<!" then (
     (* DOCTYPE and friends: skip to the closing '>' *)
     match String.index_from_opt s pos '>' with
-    | Some j -> skip_misc s (j + 1)
-    | None -> error pos "unterminated declaration")
+    | Some j -> skip_misc ~source s (j + 1)
+    | None -> error ~source pos "unterminated declaration")
   else pos
 
-let read_attributes s pos =
+let read_attributes ~source s pos =
   let n = String.length s in
-  let rec go acc pos =
+  let rec go acc nattrs pos =
+    Vida_error.Limits.check_fields ~source ~offset:pos nattrs;
     let pos = skip_ws s pos in
-    if pos >= n then error pos "unterminated tag"
+    if pos >= n then error ~source pos "unterminated tag"
     else if s.[pos] = '>' || s.[pos] = '/' then (List.rev acc, pos)
     else (
-      let name, pos = read_name s pos in
+      let name, pos = read_name ~source s pos in
       let pos = skip_ws s pos in
-      if pos >= n || s.[pos] <> '=' then error pos "expected '=' after attribute %s" name;
+      if pos >= n || s.[pos] <> '=' then
+        error ~source pos "expected '=' after attribute %s" name;
       let pos = skip_ws s (pos + 1) in
       if pos >= n || (s.[pos] <> '"' && s.[pos] <> '\'') then
-        error pos "expected a quoted attribute value";
+        error ~source pos "expected a quoted attribute value";
       let quote = s.[pos] in
       let stop =
         match String.index_from_opt s (pos + 1) quote with
         | Some j -> j
-        | None -> error pos "unterminated attribute value"
+        | None -> error ~source pos "unterminated attribute value"
       in
       let value = decode_entities (String.sub s (pos + 1) (stop - pos - 1)) in
-      go ((name, sniff value) :: acc) (stop + 1))
+      go ((name, sniff value) :: acc) (nattrs + 1) (stop + 1))
   in
-  go [] pos
+  go [] 0 pos
 
 (* Combine attributes, child elements (grouped by tag) and text into the
    element's value. *)
@@ -156,14 +159,15 @@ let assemble attrs children text =
     in
     Value.Record (attrs @ grouped @ text_field)
 
-let rec parse_element s pos =
-  let pos = skip_misc s pos in
+let rec parse_element_at ~source ~depth s pos =
+  Vida_error.Limits.check_nesting ~source ~offset:pos depth;
+  let pos = skip_misc ~source s pos in
   let n = String.length s in
-  if pos >= n || s.[pos] <> '<' then error pos "expected '<'";
-  let tag, pos = read_name s (pos + 1) in
-  let attrs, pos = read_attributes s pos in
+  if pos >= n || s.[pos] <> '<' then error ~source pos "expected '<'";
+  let tag, pos = read_name ~source s (pos + 1) in
+  let attrs, pos = read_attributes ~source s pos in
   if pos < n && s.[pos] = '/' then (
-    if pos + 1 >= n || s.[pos + 1] <> '>' then error pos "expected '/>'";
+    if pos + 1 >= n || s.[pos + 1] <> '>' then error ~source pos "expected '/>'";
     (assemble attrs [] "", pos + 2))
   else (
     (* content until </tag> *)
@@ -171,22 +175,23 @@ let rec parse_element s pos =
     let children = ref [] in
     let text = Buffer.create 16 in
     let rec content pos =
-      if pos >= n then error pos "unterminated element <%s>" tag
+      if pos >= n then error ~source pos "unterminated element <%s>" tag
       else if s.[pos] = '<' then
         if pos + 1 < n && s.[pos + 1] = '/' then (
-          let close, pos' = read_name s (pos + 2) in
+          let close, pos' = read_name ~source s (pos + 2) in
           if not (String.equal close tag) then
-            error pos "mismatched </%s> for <%s>" close tag;
+            error ~source pos "mismatched </%s> for <%s>" close tag;
           let pos' = skip_ws s pos' in
-          if pos' >= n || s.[pos'] <> '>' then error pos' "expected '>'";
+          if pos' >= n || s.[pos'] <> '>' then error ~source pos' "expected '>'";
           pos' + 1)
-        else if pos + 3 < n && String.sub s pos 4 = "<!--" then content (skip_misc s pos)
+        else if pos + 3 < n && String.sub s pos 4 = "<!--" then
+          content (skip_misc ~source s pos)
         else if pos + 1 < n && (s.[pos + 1] = '?' || s.[pos + 1] = '!') then
-          content (skip_misc s pos)
+          content (skip_misc ~source s pos)
         else (
           (* child element: remember its tag before recursing *)
-          let child_tag, _ = read_name s (pos + 1) in
-          let v, pos' = parse_element s pos in
+          let child_tag, _ = read_name ~source s (pos + 1) in
+          let v, pos' = parse_element_at ~source ~depth:(depth + 1) s pos in
           children := (child_tag, v) :: !children;
           content pos')
       else (
@@ -196,35 +201,99 @@ let rec parse_element s pos =
     let pos = content pos in
     (assemble attrs (List.rev !children) (Buffer.contents text), pos))
 
-let skip_element s pos = snd (parse_element s pos)
+let parse_element ?(source = default_source) s pos =
+  parse_element_at ~source ~depth:0 s pos
 
-let parse_document s =
-  let pos = skip_misc s 0 in
-  let v, pos = parse_element s pos in
-  let pos = skip_misc s pos in
-  if pos <> String.length s then error pos "trailing content after the root element"
+let skip_element ?(source = default_source) s pos =
+  snd (parse_element_at ~source ~depth:0 s pos)
+
+let parse_document ?(source = default_source) s =
+  let pos = skip_misc ~source s 0 in
+  let v, pos = parse_element_at ~source ~depth:0 s pos in
+  let pos = skip_misc ~source s pos in
+  if pos <> String.length s then error ~source pos "trailing content after the root element"
   else (
     Io_stats.add_objects_parsed 1;
     v)
 
-let children_bounds s =
+let children_bounds ?(source = default_source) s =
   let n = String.length s in
-  let pos = skip_misc s 0 in
-  if pos >= n || s.[pos] <> '<' then error pos "expected the root element";
-  let _, pos = read_name s (pos + 1) in
-  let _, pos = read_attributes s pos in
+  let pos = skip_misc ~source s 0 in
+  if pos >= n || s.[pos] <> '<' then error ~source pos "expected the root element";
+  let _, pos = read_name ~source s (pos + 1) in
+  let _, pos = read_attributes ~source s pos in
   if pos < n && s.[pos] = '/' then []
   else (
     let bounds = ref [] in
     let rec scan pos =
-      let pos = skip_misc s pos in
-      if pos >= n then error pos "unterminated root element"
+      let pos = skip_misc ~source s pos in
+      if pos >= n then error ~source pos "unterminated root element"
       else if s.[pos] = '<' && pos + 1 < n && s.[pos + 1] = '/' then ()
       else if s.[pos] = '<' then (
-        let stop = skip_element s pos in
+        let stop = skip_element ~source s pos in
         bounds := (pos, stop - pos) :: !bounds;
         scan stop)
       else scan (pos + 1)
     in
     scan (pos + 1);
     List.rev !bounds)
+
+(* Tolerant variant: a malformed child element does not abort the scan.
+   Recovery resyncs at the next plausible element start — a '<' followed by
+   a name character — after the failure point, and reports the skipped raw
+   span so the cleaning layer can quarantine it. *)
+let children_bounds_tolerant ?(source = default_source) s =
+  let n = String.length s in
+  let resync from =
+    let rec go i =
+      if i + 1 >= n then n
+      else if s.[i] = '<' && (is_name_char s.[i + 1] || s.[i + 1] = '/') then i
+      else go (i + 1)
+    in
+    go from
+  in
+  match
+    Vida_error.guard (fun () ->
+        let pos = skip_misc ~source s 0 in
+        if pos >= n || s.[pos] <> '<' then error ~source pos "expected the root element";
+        let name, pos = read_name ~source s (pos + 1) in
+        let _, pos = read_attributes ~source s pos in
+        (name, pos))
+  with
+  | Result.Error e -> ([], [ (0, n, Vida_error.to_string e) ])
+  | Ok (_, pos) when pos < n && s.[pos] = '/' -> ([], [])
+  | Ok (root, pos) ->
+    (* a closing tag at record level ends the scan only if it closes the
+       root; a stray one (left behind by a damaged record) is reported as
+       a bad span and skipped so the records after it still come back *)
+    let closes_root pos =
+      match Vida_error.guard (fun () -> read_name ~source s (pos + 2)) with
+      | Ok (name, _) -> String.equal name root
+      | Result.Error _ -> false
+    in
+    let bounds = ref [] and bad = ref [] in
+    let rec scan pos =
+      if pos < n then (
+        match Vida_error.guard (fun () -> skip_misc ~source s pos) with
+        | Result.Error e ->
+          bad := (pos, n - pos, Vida_error.to_string e) :: !bad
+        | Ok pos ->
+          if pos >= n then ()
+          else if s.[pos] = '<' && pos + 1 < n && s.[pos + 1] = '/' then (
+            if not (closes_root pos) then (
+              let next = resync (pos + 2) in
+              bad := (pos, next - pos, "stray closing tag") :: !bad;
+              scan next))
+          else if s.[pos] = '<' then (
+            match Vida_error.guard (fun () -> skip_element ~source s pos) with
+            | Ok stop ->
+              bounds := (pos, stop - pos) :: !bounds;
+              scan stop
+            | Result.Error e ->
+              let next = resync (pos + 1) in
+              bad := (pos, next - pos, Vida_error.to_string e) :: !bad;
+              scan next)
+          else scan (pos + 1))
+    in
+    scan (pos + 1);
+    (List.rev !bounds, List.rev !bad)

@@ -12,23 +12,31 @@
     {v
     <patient id="7"><name>ada</name><visit y="2010"/><visit y="2012"/></patient>
     ==>  <id := 7, name := "ada", visit := [<y := 2010>, <y := 2012>]>
-    v} *)
+    v}
 
-exception Error of string
+    Malformed input raises {!Vida_error.Parse_error} with [source] (default
+    ["xml"]) and a byte offset; over-deep nesting raises [Resource_limit]. *)
 
 (** [parse_element s pos] parses one element starting at (or after
     whitespace from) [pos]; returns its value and the offset past it. *)
-val parse_element : string -> int -> Vida_data.Value.t * int
+val parse_element : ?source:string -> string -> int -> Vida_data.Value.t * int
 
 (** [parse_document s] parses a whole document (prolog allowed) to the root
     element's value. *)
-val parse_document : string -> Vida_data.Value.t
+val parse_document : ?source:string -> string -> Vida_data.Value.t
 
 (** [skip_element s pos] returns the offset just past the element starting
     at [pos] without building it. *)
-val skip_element : string -> int -> int
+val skip_element : ?source:string -> string -> int -> int
 
 (** [children_bounds s] finds the root element and returns the byte range
     [(pos, len)] of each of its child elements — the structural index for
     XML collections ("record elements under a root"). *)
-val children_bounds : string -> (int * int) list
+val children_bounds : ?source:string -> string -> (int * int) list
+
+(** [children_bounds_tolerant s] is {!children_bounds} with record-level
+    recovery: a malformed child element is skipped (the scan resyncs at the
+    next plausible element start) and reported as a bad span
+    [(pos, len, reason)] instead of aborting the whole file. *)
+val children_bounds_tolerant :
+  ?source:string -> string -> (int * int) list * (int * int * string) list

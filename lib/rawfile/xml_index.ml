@@ -3,6 +3,8 @@ open Vida_data
 type t = {
   buf : Raw_buffer.t;
   bounds : (int * int) array;
+  bad_spans : (int * int * string) list;
+      (* malformed child elements skipped during the build: (pos, len, reason) *)
   list_tags : (string, unit) Hashtbl.t;
       (* top-level tags that repeat in at least one element: normalized to
          lists in every element, so the collection has a uniform shape *)
@@ -11,13 +13,17 @@ type t = {
 let raw_element buf bounds i =
   let pos, len = bounds.(i) in
   let text = Raw_buffer.slice buf ~pos ~len in
-  fst (Xml.parse_element text 0)
+  fst (Xml.parse_element ~source:(Raw_buffer.path buf) text 0)
 
 let build buf =
   let len = Raw_buffer.length buf in
+  let source = Raw_buffer.path buf in
   Io_stats.add_bytes_read len;
   let contents = Raw_buffer.slice buf ~pos:0 ~len in
-  let bounds = Array.of_list (Xml.children_bounds contents) in
+  (* tolerant scan: a malformed element is recorded as a bad span and
+     skipped, instead of one bad record poisoning the whole file *)
+  let bounds_list, bad_spans = Xml.children_bounds_tolerant ~source contents in
+  let bounds = Array.of_list bounds_list in
   (* one eager pass to learn which tags repeat: XML's single-vs-repeated
      ambiguity must be resolved file-globally or elements get inconsistent
      types *)
@@ -34,13 +40,15 @@ let build buf =
           fields
       | _ -> ())
     bounds;
-  { buf; bounds; list_tags }
+  { buf; bounds; bad_spans; list_tags }
 
 let element_count t = Array.length t.bounds
+let bad_spans t = t.bad_spans
 
 let element_bounds t i =
   if i < 0 || i >= element_count t then
-    invalid_arg (Printf.sprintf "Xml_index.element_bounds: element %d out of range" i);
+    Vida_error.invalid_request ~source:(Raw_buffer.path t.buf)
+      "Xml_index.element_bounds: element %d out of range" i;
   t.bounds.(i)
 
 let normalize t v =

@@ -13,10 +13,18 @@
 
 type t
 
+(** [build buf] scans child-element boundaries tolerantly: a malformed
+    element is skipped (recorded in {!bad_spans}) rather than failing the
+    whole file. *)
 val build : Raw_buffer.t -> t
+
 val element_count : t -> int
 val element_bounds : t -> int -> int * int
 val element_value : t -> int -> Vida_data.Value.t
+
+(** Raw spans [(pos, len, reason)] of malformed elements skipped during
+    {!build} — the cleaning layer quarantines these. *)
+val bad_spans : t -> (int * int * string) list
 
 (** [field_value t ~elem ~field] — [Null] when the element lacks the
     field. *)

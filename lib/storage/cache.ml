@@ -12,11 +12,19 @@ type stats = {
   misses : int;
   evictions : int;
   invalidations : int;
+  stale_drops : int;
   resident_bytes : int;
   entries : int;
 }
 
-type entry = { payload : payload; bytes : int; mutable last_used : int }
+type entry = {
+  payload : payload;
+  bytes : int;
+  fingerprint : string option;
+      (* encoded Fingerprint of the source file the payload was derived
+         from; [None] for payloads with no file backing *)
+  mutable last_used : int;
+}
 
 type t = {
   table : (key, entry) Hashtbl.t;
@@ -27,11 +35,12 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable invalidations : int;
+  mutable stale_drops : int;
 }
 
 let create ?(capacity_bytes = 256 * 1024 * 1024) () =
   { table = Hashtbl.create 64; capacity = capacity_bytes; clock = 0; resident = 0;
-    hits = 0; misses = 0; evictions = 0; invalidations = 0 }
+    hits = 0; misses = 0; evictions = 0; invalidations = 0; stale_drops = 0 }
 
 let rec value_bytes (v : Value.t) =
   match v with
@@ -54,16 +63,6 @@ let touch t entry =
   t.clock <- t.clock + 1;
   entry.last_used <- t.clock
 
-let find t key =
-  match Hashtbl.find_opt t.table key with
-  | Some entry ->
-    t.hits <- t.hits + 1;
-    touch t entry;
-    Some entry.payload
-  | None ->
-    t.misses <- t.misses + 1;
-    None
-
 let mem t key = Hashtbl.mem t.table key
 
 let remove t key =
@@ -72,6 +71,28 @@ let remove t key =
   | Some entry ->
     t.resident <- t.resident - entry.bytes;
     Hashtbl.remove t.table key
+
+(* An entry whose stored fingerprint no longer matches the file's current
+   fingerprint was derived from bytes that have since changed: serving it
+   would return garbage, so it is dropped and the lookup misses (§2.1
+   auxiliary-structure invalidation applied to cached data). An entry with
+   no stored fingerprint predates fingerprinting and is served as-is. *)
+let find ?fingerprint t key =
+  match Hashtbl.find_opt t.table key with
+  | Some entry -> (
+    match entry.fingerprint, fingerprint with
+    | Some stored, Some current when not (String.equal stored current) ->
+      remove t key;
+      t.stale_drops <- t.stale_drops + 1;
+      t.misses <- t.misses + 1;
+      None
+    | _ ->
+      t.hits <- t.hits + 1;
+      touch t entry;
+      Some entry.payload)
+  | None ->
+    t.misses <- t.misses + 1;
+    None
 
 let evict_until t needed =
   while t.resident + needed > t.capacity && Hashtbl.length t.table > 0 do
@@ -90,23 +111,23 @@ let evict_until t needed =
       t.evictions <- t.evictions + 1
   done
 
-let put t key payload =
+let put ?fingerprint t key payload =
   let bytes = payload_bytes payload in
   if bytes > t.capacity then false
   else (
     remove t key;
     evict_until t bytes;
     t.clock <- t.clock + 1;
-    Hashtbl.replace t.table key { payload; bytes; last_used = t.clock };
+    Hashtbl.replace t.table key { payload; bytes; fingerprint; last_used = t.clock };
     t.resident <- t.resident + bytes;
     true)
 
-let find_or_add t key f =
-  match find t key with
+let find_or_add ?fingerprint t key f =
+  match find ?fingerprint t key with
   | Some p -> p
   | None ->
     let p = f () in
-    ignore (put t key p);
+    ignore (put ?fingerprint t key p);
     p
 
 let invalidate_source t source =
@@ -127,15 +148,17 @@ let clear t =
 
 let stats t =
   { hits = t.hits; misses = t.misses; evictions = t.evictions;
-    invalidations = t.invalidations; resident_bytes = t.resident;
-    entries = Hashtbl.length t.table }
+    invalidations = t.invalidations; stale_drops = t.stale_drops;
+    resident_bytes = t.resident; entries = Hashtbl.length t.table }
 
 let reset_stats t =
   t.hits <- 0;
   t.misses <- 0;
   t.evictions <- 0;
-  t.invalidations <- 0
+  t.invalidations <- 0;
+  t.stale_drops <- 0
 
 let pp_stats ppf (s : stats) =
-  Format.fprintf ppf "hits=%d misses=%d evictions=%d invalidations=%d resident=%dB entries=%d"
-    s.hits s.misses s.evictions s.invalidations s.resident_bytes s.entries
+  Format.fprintf ppf
+    "hits=%d misses=%d evictions=%d invalidations=%d stale_drops=%d resident=%dB entries=%d"
+    s.hits s.misses s.evictions s.invalidations s.stale_drops s.resident_bytes s.entries

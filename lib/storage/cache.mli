@@ -20,6 +20,8 @@ type stats = {
   misses : int;
   evictions : int;
   invalidations : int;
+  stale_drops : int;
+      (** entries dropped because the source file's fingerprint changed *)
   resident_bytes : int;
   entries : int;
 }
@@ -29,21 +31,26 @@ type t
 (** [create ~capacity_bytes ()] — default capacity 256 MB. *)
 val create : ?capacity_bytes:int -> unit -> t
 
-(** [find t key] returns the payload and counts a hit; a miss is counted
-    otherwise. *)
-val find : t -> key -> payload option
+(** [find ?fingerprint t key] returns the payload and counts a hit; a miss
+    is counted otherwise. When [fingerprint] (the source file's current
+    encoded {!Vida_raw.Fingerprint}) is given and the entry was stored with
+    a different one, the entry is {e dropped} (counted under
+    [stale_drops]) and the lookup misses — a changed file must never be
+    served from stale cache. *)
+val find : ?fingerprint:string -> t -> key -> payload option
 
-(** [mem t key] checks without touching recency or counters. *)
+(** [mem t key] checks without touching recency, counters or staleness. *)
 val mem : t -> key -> bool
 
-(** [put t key payload] inserts (replacing any previous entry), evicting
-    least-recently-used entries if over budget. A payload larger than the
-    whole budget is refused (returns [false]). *)
-val put : t -> key -> payload -> bool
+(** [put ?fingerprint t key payload] inserts (replacing any previous
+    entry), evicting least-recently-used entries if over budget, recording
+    [fingerprint] for staleness checks on later [find]s. A payload larger
+    than the whole budget is refused (returns [false]). *)
+val put : ?fingerprint:string -> t -> key -> payload -> bool
 
-(** [find_or_add t key f] is [find], computing and inserting via [f] on a
-    miss. *)
-val find_or_add : t -> key -> (unit -> payload) -> payload
+(** [find_or_add ?fingerprint t key f] is [find], computing and inserting
+    via [f] on a miss. *)
+val find_or_add : ?fingerprint:string -> t -> key -> (unit -> payload) -> payload
 
 (** [invalidate_source t source] drops every entry of [source]. *)
 val invalidate_source : t -> string -> unit

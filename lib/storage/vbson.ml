@@ -1,5 +1,10 @@
 open Vida_data
 
+let default_source = "vbson"
+
+let truncated ~source pos fmt =
+  Vida_error.truncated ~source ~offset:pos fmt
+
 (* --- varint (LEB128) and zigzag --- *)
 
 let add_varint buf v =
@@ -17,11 +22,11 @@ let add_varint buf v =
 let zigzag v = (v lsl 1) lxor (v asr 62)
 let unzigzag v = (v lsr 1) lxor (-(v land 1))
 
-let read_varint s pos =
+let read_varint ~source s pos =
   let v = ref 0 and shift = ref 0 and pos = ref pos in
   let continue = ref true in
   while !continue do
-    if !pos >= String.length s then failwith "Vbson: truncated varint";
+    if !pos >= String.length s then truncated ~source !pos "varint";
     let byte = Char.code s.[!pos] in
     incr pos;
     v := !v lor ((byte land 0x7F) lsl !shift);
@@ -30,6 +35,16 @@ let read_varint s pos =
   done;
   (!v, !pos)
 
+(* A corrupted count must not drive a giant allocation or a long decode
+   loop: [n] items need at least [n] bytes (every value is >= 1 byte), so
+   any count exceeding the remaining bytes is corruption, reported as
+   truncation at the count's position. *)
+let read_count ~source s pos =
+  let n, pos' = read_varint ~source s pos in
+  if n < 0 || n > String.length s - pos' then
+    truncated ~source pos "%d items in %d remaining bytes" n (String.length s - pos');
+  (n, pos')
+
 let add_f64 buf f =
   let bits = Int64.bits_of_float f in
   for i = 0 to 7 do
@@ -37,8 +52,8 @@ let add_f64 buf f =
       (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
   done
 
-let read_f64 s pos =
-  if pos + 8 > String.length s then failwith "Vbson: truncated float";
+let read_f64 ~source s pos =
+  if pos + 8 > String.length s then truncated ~source pos "float";
   let bits = ref 0L in
   for i = 7 downto 0 do
     bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code s.[pos + i]))
@@ -49,9 +64,10 @@ let add_string buf s =
   add_varint buf (String.length s);
   Buffer.add_string buf s
 
-let read_string s pos =
-  let len, pos = read_varint s pos in
-  if pos + len > String.length s then failwith "Vbson: truncated string";
+let read_string ~source s pos =
+  let len, pos = read_varint ~source s pos in
+  if len < 0 || pos + len > String.length s then truncated ~source pos "string of %d bytes" len;
+  Vida_error.Limits.check_string_bytes ~source ~offset:pos len;
   (String.sub s pos len, pos + len)
 
 (* --- encode --- *)
@@ -100,8 +116,9 @@ let encode v =
 
 (* --- decode --- *)
 
-let rec decode_at s pos =
-  if pos >= String.length s then failwith "Vbson: truncated value";
+let rec decode_at ~source ~depth s pos =
+  Vida_error.Limits.check_nesting ~source ~offset:pos depth;
+  if pos >= String.length s then truncated ~source pos "value";
   let tag = Char.code s.[pos] in
   let pos = pos + 1 in
   match tag with
@@ -109,29 +126,29 @@ let rec decode_at s pos =
   | 1 -> (Value.Bool false, pos)
   | 2 -> (Value.Bool true, pos)
   | 3 ->
-    let v, pos = read_varint s pos in
+    let v, pos = read_varint ~source s pos in
     (Value.Int (unzigzag v), pos)
   | 4 ->
-    let f, pos = read_f64 s pos in
+    let f, pos = read_f64 ~source s pos in
     (Value.Float f, pos)
   | 5 ->
-    let str, pos = read_string s pos in
+    let str, pos = read_string ~source s pos in
     (Value.String str, pos)
   | 6 ->
-    let n, pos = read_varint s pos in
+    let n, pos = read_count ~source s pos in
     let fields = ref [] and pos = ref pos in
     for _ = 1 to n do
-      let name, p = read_string s !pos in
-      let v, p = decode_at s p in
+      let name, p = read_string ~source s !pos in
+      let v, p = decode_at ~source ~depth:(depth + 1) s p in
       fields := (name, v) :: !fields;
       pos := p
     done;
     (Value.Record (List.rev !fields), !pos)
   | 7 | 8 | 9 ->
-    let n, pos = read_varint s pos in
+    let n, pos = read_count ~source s pos in
     let items = ref [] and pos = ref pos in
     for _ = 1 to n do
-      let v, p = decode_at s !pos in
+      let v, p = decode_at ~source ~depth:(depth + 1) s !pos in
       items := v :: !items;
       pos := p
     done;
@@ -142,82 +159,92 @@ let rec decode_at s pos =
       | _ -> Value.Set vs),
       !pos )
   | 10 ->
-    let ndims, pos = read_varint s pos in
+    let ndims, pos = read_count ~source s pos in
     let dims = ref [] and pos = ref pos in
     for _ = 1 to ndims do
-      let d, p = read_varint s !pos in
+      let d, p = read_varint ~source s !pos in
       dims := d :: !dims;
       pos := p
     done;
-    let n, p = read_varint s !pos in
+    let n, p = read_count ~source s !pos in
     pos := p;
     let data =
       Array.init n (fun _ ->
-          let v, p = decode_at s !pos in
+          let v, p = decode_at ~source ~depth:(depth + 1) s !pos in
           pos := p;
           v)
     in
     (Value.Array { dims = List.rev !dims; data }, !pos)
-  | t -> failwith (Printf.sprintf "Vbson: unknown tag %d" t)
+  | t -> Vida_error.parse_error ~source ~offset:(pos - 1) "unknown tag %d" t
 
-let decode_prefix s ~pos = decode_at s pos
+let decode_prefix ?(source = default_source) s ~pos =
+  decode_at ~source ~depth:0 s pos
 
-let decode s =
-  let v, pos = decode_at s 0 in
-  if pos <> String.length s then failwith "Vbson: trailing bytes"
+let decode ?(source = default_source) s =
+  let v, pos = decode_at ~source ~depth:0 s 0 in
+  if pos <> String.length s then
+    Vida_error.parse_error ~source ~offset:pos "trailing bytes after the value"
   else v
 
 (* Skip a value without building it. *)
-let rec skip_at s pos =
-  if pos >= String.length s then failwith "Vbson: truncated value";
+let rec skip_at ~source ~depth s pos =
+  Vida_error.Limits.check_nesting ~source ~offset:pos depth;
+  if pos >= String.length s then truncated ~source pos "value";
   let tag = Char.code s.[pos] in
   let pos = pos + 1 in
   match tag with
   | 0 | 1 | 2 -> pos
-  | 3 -> snd (read_varint s pos)
-  | 4 -> pos + 8
+  | 3 -> snd (read_varint ~source s pos)
+  | 4 ->
+    if pos + 8 > String.length s then truncated ~source pos "float";
+    pos + 8
   | 5 ->
-    let len, pos = read_varint s pos in
+    let len, pos = read_varint ~source s pos in
+    if len < 0 || pos + len > String.length s then
+      truncated ~source pos "string of %d bytes" len;
     pos + len
   | 6 ->
-    let n, pos = read_varint s pos in
+    let n, pos = read_count ~source s pos in
     let pos = ref pos in
     for _ = 1 to n do
-      let len, p = read_varint s !pos in
-      pos := skip_at s (p + len)
+      let len, p = read_varint ~source s !pos in
+      if len < 0 || p + len > String.length s then
+        truncated ~source !pos "field name of %d bytes" len;
+      pos := skip_at ~source ~depth:(depth + 1) s (p + len)
     done;
     !pos
   | 7 | 8 | 9 ->
-    let n, pos = read_varint s pos in
+    let n, pos = read_count ~source s pos in
     let pos = ref pos in
     for _ = 1 to n do
-      pos := skip_at s !pos
+      pos := skip_at ~source ~depth:(depth + 1) s !pos
     done;
     !pos
   | 10 ->
-    let ndims, pos = read_varint s pos in
+    let ndims, pos = read_count ~source s pos in
     let pos = ref pos in
     for _ = 1 to ndims do
-      pos := snd (read_varint s !pos)
+      pos := snd (read_varint ~source s !pos)
     done;
-    let n, p = read_varint s !pos in
+    let n, p = read_count ~source s !pos in
     pos := p;
     for _ = 1 to n do
-      pos := skip_at s !pos
+      pos := skip_at ~source ~depth:(depth + 1) s !pos
     done;
     !pos
-  | t -> failwith (Printf.sprintf "Vbson: unknown tag %d" t)
+  | t -> Vida_error.parse_error ~source ~offset:(pos - 1) "unknown tag %d" t
 
-let decode_field s name =
+let decode_field ?(source = default_source) s name =
   if String.length s = 0 || Char.code s.[0] <> 6 then None
   else (
-    let n, pos = read_varint s 1 in
+    let n, pos = read_count ~source s 1 in
     let rec go i pos =
       if i >= n then None
       else
-        let fname, pos = read_string s pos in
-        if String.equal fname name then Some (fst (decode_at s pos))
-        else go (i + 1) (skip_at s pos)
+        let fname, pos = read_string ~source s pos in
+        if String.equal fname name then
+          Some (fst (decode_at ~source ~depth:0 s pos))
+        else go (i + 1) (skip_at ~source ~depth:0 s pos)
     in
     go 0 pos)
 

@@ -16,18 +16,24 @@
 
 val encode : Vida_data.Value.t -> string
 
-(** @raise Failure on a malformed buffer. *)
-val decode : string -> Vida_data.Value.t
+(** Decoders raise {!Vida_error.Error} on malformed buffers — [Truncated]
+    when bytes run out (or a count promises more items than bytes remain,
+    the guard against allocation bombs from corrupt varints),
+    [Parse_error] on unknown tags or trailing bytes, [Resource_limit] on
+    nesting deeper than {!Vida_error.Limits} allows. [source] (default
+    ["vbson"]) names the buffer's origin in those errors. *)
+
+val decode : ?source:string -> string -> Vida_data.Value.t
 
 (** [decode_prefix s ~pos] decodes one value starting at [pos], returning it
     with the offset just past it — for readers of concatenated values (e.g.
     serialized tuples in heap pages). *)
-val decode_prefix : string -> pos:int -> Vida_data.Value.t * int
+val decode_prefix : ?source:string -> string -> pos:int -> Vida_data.Value.t * int
 
 (** [decode_field s name] extracts one top-level record field without
     decoding siblings (subtree-skipping). [None] when [s] is not a record
     or lacks the field. *)
-val decode_field : string -> string -> Vida_data.Value.t option
+val decode_field : ?source:string -> string -> string -> Vida_data.Value.t option
 
 (** [size s] is the encoded size in bytes (= [String.length s]). *)
 val size : string -> int

@@ -210,10 +210,131 @@ let prop_printer_roundtrip =
         Value.equal v v'
         || QCheck.Test.fail_reportf "roundtrip changed semantics of %s" (Expr.to_string e))
 
+(* --- randomized corruption: engines agree on damaged raw files --- *)
+
+(* The differential property extended to hostile inputs: a seeded fault is
+   injected into a raw file, and the JIT and Generic engines must reach the
+   same outcome — the same recovered value under a lenient cleaning policy,
+   or a structured error of the same kind. Divergence would mean one
+   engine silently reads different bytes than the other; an untyped
+   exception anywhere fails the property outright. *)
+
+module FI = Vida_raw.Fault_inject
+
+let csv_contents =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "id,v\n";
+  for i = 1 to 12 do
+    Buffer.add_string b (Printf.sprintf "%d,%d\n" i (i * 3))
+  done;
+  Buffer.contents b
+
+let jsonl_contents =
+  let b = Buffer.create 256 in
+  for i = 1 to 12 do
+    Buffer.add_string b (Printf.sprintf "{\"id\": %d, \"v\": %d}\n" i (i * 3))
+  done;
+  Buffer.contents b
+
+type corruption_case = { fault : FI.fault; seed : int; lenient : bool }
+
+let show_fault = function
+  | FI.Truncate_at n -> Printf.sprintf "Truncate_at %d" n
+  | FI.Truncate_tail n -> Printf.sprintf "Truncate_tail %d" n
+  | FI.Bit_flip { offset; bit } -> Printf.sprintf "Bit_flip {offset=%d; bit=%d}" offset bit
+  | FI.Random_bit_flips n -> Printf.sprintf "Random_bit_flips %d" n
+  | FI.Short_read { offset; dropped } ->
+    Printf.sprintf "Short_read {offset=%d; dropped=%d}" offset dropped
+  | FI.Garbage_append n -> Printf.sprintf "Garbage_append %d" n
+  | FI.Overwrite { offset; bytes } ->
+    Printf.sprintf "Overwrite {offset=%d; bytes=%S}" offset bytes
+
+let gen_corruption len : corruption_case QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* fault =
+    oneof
+      [ map (fun n -> FI.Truncate_at n) (int_bound len);
+        map (fun n -> FI.Truncate_tail n) (int_bound len);
+        map (fun n -> FI.Random_bit_flips (1 + n)) (int_bound 7);
+        map2
+          (fun offset d -> FI.Short_read { offset; dropped = 1 + d })
+          (int_bound (len - 1)) (int_bound 9);
+        map (fun n -> FI.Garbage_append (1 + n)) (int_bound 31)
+      ]
+  in
+  let* seed = int_bound 10_000 in
+  let* lenient = bool in
+  return { fault; seed; lenient }
+
+let arb_corruption len =
+  QCheck.make
+    ~print:(fun { fault; seed; lenient } ->
+      Printf.sprintf "{fault=%s; seed=%d; lenient=%b}" (show_fault fault) seed lenient)
+    (gen_corruption len)
+
+let corrupt_tmp contents { fault; seed; _ } =
+  let path = Filename.temp_file "vida_diff" ".raw" in
+  let oc = open_out_bin path in
+  output_string oc (FI.apply ~seed [ fault ] contents);
+  close_out oc;
+  path
+
+let policy_of { lenient; _ } =
+  Vida_cleaning.Policy.make
+    ~on_error:
+      (if lenient then Vida_cleaning.Policy.Quarantine
+       else Vida_cleaning.Policy.Null_value)
+    ()
+
+let engine_outcome db engine q =
+  match Vida.query ~engine db q with
+  | Ok r -> Ok (Value.to_string (canon r.Vida.value))
+  | Error (Vida.Data_error e) -> Error (Vida_error.kind_name e)
+  | Error e -> Error (Vida.error_to_string e)
+
+let show_outcome = function
+  | Ok v -> "value " ^ v
+  | Error e -> "error " ^ e
+
+let corrupted_engines_agree contents register case =
+  let path = corrupt_tmp contents case in
+  let db = Vida.create () in
+  register db path;
+  Vida.set_cleaning db ~source:"C" (policy_of case);
+  let q = "for { r <- C } yield sum r.v" in
+  let jit = engine_outcome db Vida.Jit q in
+  let generic = engine_outcome db Vida.Generic q in
+  Sys.remove path;
+  if jit = generic then true
+  else
+    QCheck.Test.fail_reportf "engines diverge on corrupt input:\n  jit     %s\n  generic %s"
+      (show_outcome jit) (show_outcome generic)
+
+let register_csv db path =
+  Vida.csv db ~name:"C" ~path
+    ~schema:(Vida_data.Schema.of_pairs [ ("id", Ty.Int); ("v", Ty.Int) ])
+    ()
+
+let register_json db path =
+  Vida.json db ~name:"C" ~path ~element:(Ty.Record [ ("id", Ty.Int); ("v", Ty.Int) ]) ()
+
+let prop_csv_corruption =
+  QCheck.Test.make ~name:"engines agree on corrupted CSV" ~count:120
+    (arb_corruption (String.length csv_contents))
+    (corrupted_engines_agree csv_contents register_csv)
+
+let prop_json_corruption =
+  QCheck.Test.make ~name:"engines agree on corrupted JSON" ~count:120
+    (arb_corruption (String.length jsonl_contents))
+    (corrupted_engines_agree jsonl_contents register_json)
+
 let () =
   Alcotest.run "vida_differential_random"
     [ ( "random",
         List.map QCheck_alcotest.to_alcotest
           [ prop_typechecks; prop_normalization_preserves; prop_all_paths_agree;
-            prop_printer_roundtrip ] )
+            prop_printer_roundtrip ] );
+      ( "corruption",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_csv_corruption; prop_json_corruption ] )
     ]

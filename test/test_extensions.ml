@@ -100,7 +100,7 @@ let test_engine_strict_fails () =
     ~schema:(Schema.of_pairs [ ("id", Ty.Int); ("age", Ty.Int); ("city", Ty.String) ])
     ();
   match Vida.query db "for { p <- P } yield sum p.age" with
-  | Error (Vida.Engine_error _) -> ()
+  | Error (Vida.Data_error (Vida_error.Parse_error { source = "P"; _ })) -> ()
   | Ok r -> Alcotest.failf "expected failure, got %s" (Value.to_string r.Vida.value)
   | Error e -> Alcotest.failf "wrong error: %s" (Vida.error_to_string e)
 
@@ -334,7 +334,7 @@ let test_xml_parse () =
 let test_xml_errors () =
   let bad s =
     match Vida_raw.Xml.parse_document s with
-    | exception Vida_raw.Xml.Error _ -> ()
+    | exception Vida_error.Error (Vida_error.Parse_error _) -> ()
     | v -> Alcotest.failf "%S should fail, got %s" s (Value.to_string v)
   in
   bad "<a><b></a>";
@@ -395,8 +395,8 @@ let test_posmap_sidecar_roundtrip () =
   let sidecar = path ^ ".vidx" in
   Vida_raw.Positional_map.save pm ~path:sidecar;
   (match Vida_raw.Positional_map.load buf ~path:sidecar with
-  | None -> Alcotest.fail "sidecar failed to load"
-  | Some pm' ->
+  | Error e -> Alcotest.failf "sidecar failed to load: %s" (Vida_error.to_string e)
+  | Ok pm' ->
     check_int "rows restored" 3 (Vida_raw.Positional_map.row_count pm');
     Alcotest.(check (list int)) "columns restored" [ 1; 2 ]
       (Vida_raw.Positional_map.populated_columns pm');
@@ -408,9 +408,13 @@ let test_posmap_sidecar_roundtrip () =
   close_out oc;
   Vida_raw.Raw_buffer.invalidate buf;
   check_bool "stale sidecar rejected" true
-    (Vida_raw.Positional_map.load buf ~path:sidecar = None);
+    (match Vida_raw.Positional_map.load buf ~path:sidecar with
+    | Error (Vida_error.Stale_auxiliary _) -> true
+    | _ -> false);
   check_bool "garbage sidecar rejected" true
-    (Vida_raw.Positional_map.load buf ~path:(tmp_file "not a sidecar") = None)
+    (match Vida_raw.Positional_map.load buf ~path:(tmp_file "not a sidecar") with
+    | Error (Vida_error.Stale_auxiliary _) -> true
+    | _ -> false)
 
 let test_session_checkpoint_restores () =
   let csv_path = tmp_file "id,v\n1,10\n2,20\n3,30\n" in

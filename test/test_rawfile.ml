@@ -27,9 +27,11 @@ let test_raw_buffer () =
   check_string "slice" "world" (Raw_buffer.slice buf ~pos:6 ~len:5);
   check_bool "index_from" true (Raw_buffer.index_from buf 0 '\n' = Some 5);
   check_bool "index_from miss" true (Raw_buffer.index_from buf 12 'x' = None);
-  Alcotest.check_raises "slice bounds" (Invalid_argument
-    (Printf.sprintf "Raw_buffer.slice: [10,15) out of range for %s (12 bytes)" (Raw_buffer.path buf)))
-    (fun () -> ignore (Raw_buffer.slice buf ~pos:10 ~len:5));
+  (match Raw_buffer.slice buf ~pos:10 ~len:5 with
+  | exception Vida_error.Error (Vida_error.Truncated { source; offset; _ }) ->
+    check_string "slice error source" (Raw_buffer.path buf) source;
+    check_int "slice error offset" 10 offset
+  | _ -> Alcotest.fail "out-of-range slice should raise Truncated");
   Raw_buffer.invalidate buf;
   check_bool "invalidated" false (Raw_buffer.loaded buf)
 
@@ -73,6 +75,20 @@ let test_csv_quoted_field_navigation () =
   check_string "quoted content" "x,y" content;
   let content, _ = Csv.field_content ~delim:',' buf ~row_end next in
   check_string "after quoted" "2" content
+
+(* regression: stray bytes after a closing quote ("abc"x,next) used to
+   swallow the delimiter and drop every remaining field of the row *)
+let test_csv_quoted_stray_bytes () =
+  let buf = buf_of "\"abc\"x,next,3\n" in
+  let row_end = 13 in
+  let content, next = Csv.field_content ~delim:',' buf ~row_end 0 in
+  check_string "quoted content kept" "abc" content;
+  check_int "resynced at the delimiter" 7 next;
+  let content, next = Csv.field_content ~delim:',' buf ~row_end next in
+  check_string "following field intact" "next" content;
+  let content, next = Csv.field_content ~delim:',' buf ~row_end next in
+  check_string "last field intact" "3" content;
+  check_bool "row exhausted" true (next > row_end)
 
 let test_csv_convert () =
   check_bool "int" true (Csv.convert Ty.Int "42" = Value.Int 42);
@@ -230,7 +246,7 @@ let test_json_escapes () =
 let test_json_errors () =
   let bad s =
     match Json.parse s with
-    | exception Json.Error _ -> ()
+    | exception Vida_error.Error (Vida_error.Parse_error _) -> ()
     | v -> Alcotest.failf "%S should fail, got %s" s (Value.to_string v)
   in
   bad "{";
@@ -368,8 +384,8 @@ let test_binarray_negative_values () =
 let test_binarray_bad_file () =
   let path = tmp_file "NOT A VARR FILE" in
   match Binarray.open_file (Raw_buffer.of_path path) with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected failure on bad magic"
+  | exception Vida_error.Error (Vida_error.Parse_error _) -> ()
+  | _ -> Alcotest.fail "expected Parse_error on bad magic"
 
 (* --- File snapshot --- *)
 
@@ -396,6 +412,7 @@ let () =
         [ Alcotest.test_case "split_line" `Quick test_csv_split_line;
           Alcotest.test_case "field navigation" `Quick test_csv_field_navigation;
           Alcotest.test_case "quoted navigation" `Quick test_csv_quoted_field_navigation;
+          Alcotest.test_case "quoted stray bytes" `Quick test_csv_quoted_stray_bytes;
           Alcotest.test_case "convert" `Quick test_csv_convert;
           Alcotest.test_case "escape roundtrip" `Quick test_csv_escape_roundtrip
         ] );

@@ -165,10 +165,10 @@ let test_vbson_decode_field () =
 
 let test_vbson_malformed () =
   (match Vbson.decode "\255garbage" with
-  | exception Failure _ -> ()
+  | exception Vida_error.Error (Vida_error.Parse_error _) -> ()
   | _ -> Alcotest.fail "bad tag accepted");
   match Vbson.decode (Vbson.encode (Value.Int 5) ^ "extra") with
-  | exception Failure _ -> ()
+  | exception Vida_error.Error (Vida_error.Parse_error _) -> ()
   | _ -> Alcotest.fail "trailing bytes accepted"
 
 (* --- layout --- *)

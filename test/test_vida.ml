@@ -68,7 +68,8 @@ let test_error_paths () =
   match Vida.query db "for { z <- Unknown } yield sum z" with
   | Error (Vida.Type_error _) | Error (Vida.Engine_error _) -> ()
   | Ok _ -> Alcotest.fail "expected failure"
-  | Error (Vida.Parse_error _) -> Alcotest.fail "wrong error class"
+  | Error (Vida.Parse_error _ | Vida.Data_error _) ->
+    Alcotest.fail "wrong error class"
 
 let test_params () =
   let db = make_db () in
