@@ -760,6 +760,101 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* R1: query-lifecycle governor under injected faults                  *)
+(* ------------------------------------------------------------------ *)
+
+let governor () =
+  section "R1: query-lifecycle governor under injected faults";
+  let module FI = Vida_raw.Fault_inject in
+  let module G = Vida_governor.Governor in
+  let p = Lazy.force paths in
+  let db = Vida.create () in
+  Vida.csv db ~name:"Patients" ~path:p.Hbp_data.patients ();
+  Vida.csv db ~name:"Genetics" ~path:p.Hbp_data.genetics ();
+  Vida.json db ~name:"BrainRegions" ~path:p.Hbp_data.regions ();
+  let qs =
+    let rec take n = function
+      | x :: tl when n > 0 -> x :: take (n - 1) tl
+      | _ -> []
+    in
+    take 25 (Lazy.force queries)
+  in
+  let rows = ref [] in
+  let ok = ref 0 and degraded = ref 0 and structured = ref 0 in
+  List.iteri
+    (fun i q ->
+      (* every 5th query reloads a source whose first load attempt fails
+         transiently (retried with backoff); every 7th hits an injected
+         JIT compile failure (degrades to the Generic engine) *)
+      let faulty_io = i mod 5 = 0 in
+      let faulty_jit = i mod 7 = 0 in
+      if faulty_io then (
+        Vida.invalidate db "Patients";
+        FI.install_io_plan (FI.io_plan ~fail_loads:1 ()));
+      if faulty_jit then G.Chaos.fail_jit_compiles 1;
+      let row =
+        match Vida.query ~reuse:false db q.Hbp_queries.text with
+        | Ok r ->
+          let g = r.Vida.governor in
+          incr ok;
+          if g.G.fallbacks <> [] then incr degraded;
+          (i, "ok", g.G.wall_ms, g.G.retries, List.length g.G.fallbacks)
+        | Error (Vida.Data_error e) ->
+          incr structured;
+          (i, Vida_error.kind_name e, 0., 0, 0)
+        | Error e -> failwith (Vida.error_to_string e)
+      in
+      FI.clear_io_plan ();
+      G.Chaos.reset ();
+      rows := row :: !rows)
+    qs;
+  (* a deliberately slow reload under injected latency and a tight
+     deadline: must finish with a structured deadline error — never a
+     hang, never a crash, never a wrong answer *)
+  Vida.invalidate db "Genetics";
+  FI.install_io_plan (FI.io_plan ~latency_ms:50. ());
+  Vida.set_limits db { G.unlimited with G.deadline_ms = Some 10. };
+  let deadline_outcome =
+    match Vida.query ~reuse:false db "for { g <- Genetics } yield count g" with
+    | Error (Vida.Data_error e) -> Vida_error.kind_name e
+    | Ok _ -> "ok"
+    | Error e -> failwith (Vida.error_to_string e)
+  in
+  FI.clear_io_plan ();
+  Vida.set_limits db G.unlimited;
+  rows := (List.length qs, deadline_outcome, 0., 0, 0) :: !rows;
+  let rows = List.rev !rows in
+  let out = "BENCH_governor.json" in
+  let oc = open_out out in
+  output_string oc "{\n  \"experiment\": \"governor\",\n  \"queries\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun k (i, outcome, wall_ms, retries, fallbacks) ->
+      Printf.fprintf oc
+        "    {\"query\": %d, \"outcome\": \"%s\", \"wall_ms\": %.3f, \
+         \"retries\": %d, \"fallbacks\": %d}%s\n"
+        i outcome wall_ms retries fallbacks
+        (if k = last then "" else ","))
+    rows;
+  Printf.fprintf oc
+    "  ],\n  \"ok\": %d,\n  \"degraded\": %d,\n  \"structured_errors\": %d,\n\
+    \  \"deadline_outcome\": \"%s\"\n}\n"
+    !ok !degraded !structured deadline_outcome;
+  close_out oc;
+  Printf.printf
+    "(%d workload queries; every 5th reload fails transiently once, every \
+     7th JIT compile is failed)\n\n"
+    (List.length qs);
+  Printf.printf "completed ok: %d (of which degraded but correct: %d), \
+                 structured errors: %d\n" !ok !degraded !structured;
+  Printf.printf "slow reload under 10 ms deadline + 50 ms injected latency: %s\n"
+    deadline_outcome;
+  Printf.printf
+    "\nshape check: every query terminated, deadline surfaced structurally: %b\n"
+    (deadline_outcome = "deadline");
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("table2", table2);
@@ -772,6 +867,7 @@ let experiments =
     ("ablation-feedback", ablation_feedback);
     ("ablation-zonemaps", ablation_zonemaps);
     ("ablation-parallel", ablation_parallel);
+    ("governor", governor);
     ("micro", micro)
   ]
 

@@ -57,7 +57,9 @@ let execute db ~use_sql ~engine ~show_stats ~output_json query =
         (if r.Vida.from_result_cache then "result re-used"
          else if r.Vida.served_from_cache then "served from cache"
          else "raw access");
-      Format.eprintf "raw io: %a@." Vida_raw.Io_stats.pp r.Vida.raw_io);
+      Format.eprintf "raw io: %a@." Vida_raw.Io_stats.pp r.Vida.raw_io;
+      Format.eprintf "governor: %a@." Vida_governor.Governor.pp_report
+        r.Vida.governor);
     0
 
 (* Interactive session: queries plus dot-commands, one per line. *)
@@ -72,6 +74,8 @@ let repl db ~engine ~output_json =
       \  .stats               session statistics\n\
       \  .clean NAME=MODE     set cleaning policy (strict|null|skip|nearest|quarantine)\n\
       \  .quarantine NAME     show raw spans quarantined for a source\n\
+      \  .timeout MS          per-query wall-clock deadline in ms (0 = off)\n\
+      \  .limit BYTES         per-query memory budget in bytes (0 = off)\n\
       \  .checkpoint          persist positional maps next to their files\n\
       \  .help                this message\n\
       \  .quit                leave\n"
@@ -123,6 +127,26 @@ let repl db ~engine ~output_json =
           (Vida_error.to_string e))
     | _ -> print_endline "expected NAME=PATH"
   in
+  let set_timeout rest =
+    match float_of_string_opt (String.trim rest) with
+    | Some ms ->
+      let deadline_ms = if ms <= 0. then None else Some ms in
+      Vida.set_limits db { (Vida.limits db) with Vida_governor.Governor.deadline_ms };
+      (match deadline_ms with
+      | Some ms -> Printf.printf "per-query deadline set to %.0f ms\n" ms
+      | None -> print_endline "per-query deadline disabled")
+    | None -> print_endline "expected a number of milliseconds"
+  in
+  let set_limit rest =
+    match int_of_string_opt (String.trim rest) with
+    | Some bytes ->
+      let memory_budget = if bytes <= 0 then None else Some bytes in
+      Vida.set_limits db { (Vida.limits db) with Vida_governor.Governor.memory_budget };
+      (match memory_budget with
+      | Some b -> Printf.printf "per-query memory budget set to %d bytes\n" b
+      | None -> print_endline "per-query memory budget disabled")
+    | None -> print_endline "expected a number of bytes"
+  in
   let set_clean rest =
     match String.index_opt rest '=' with
     | Some i when i > 0 -> (
@@ -162,6 +186,10 @@ let repl db ~engine ~output_json =
          set_clean (String.trim (String.sub line 7 (String.length line - 7)))
        else if String.length line > 12 && String.sub line 0 12 = ".quarantine " then
          show_quarantine (String.trim (String.sub line 12 (String.length line - 12)))
+       else if String.length line > 9 && String.sub line 0 9 = ".timeout " then
+         set_timeout (String.sub line 9 (String.length line - 9))
+       else if String.length line > 7 && String.sub line 0 7 = ".limit " then
+         set_limit (String.sub line 7 (String.length line - 7))
        else if String.length line > 5 && String.sub line 0 5 = ".csv " then
          register_line `Csv (String.trim (String.sub line 5 (String.length line - 5)))
        else if String.length line > 6 && String.sub line 0 6 = ".json " then
@@ -186,8 +214,15 @@ let repl db ~engine ~output_json =
   0
 
 let run csvs jsons xmls binarrays use_sql explain engine show_stats output_json
-    interactive query =
-  let db = Vida.create () in
+    timeout_ms memory_budget interactive query =
+  let limits =
+    { Vida_governor.Governor.unlimited with
+      Vida_governor.Governor.deadline_ms =
+        (match timeout_ms with Some ms when ms > 0. -> Some ms | _ -> None);
+      memory_budget =
+        (match memory_budget with Some b when b > 0 -> Some b | _ -> None) }
+  in
+  let db = Vida.create ~limits () in
   register db "csv" csvs;
   register db "json" jsons;
   List.iter
@@ -222,7 +257,15 @@ let explain_arg = Arg.(value & flag & info [ "explain" ] ~doc:"Show plans and co
 let engine_arg =
   Arg.(value & opt string "jit" & info [ "engine" ] ~docv:"jit|generic" ~doc:"Executor to use.")
 
-let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"Print timing and raw-I/O statistics to stderr.")
+let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"Print timing, raw-I/O and resource-governor statistics to stderr.")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS"
+       ~doc:"Per-query wall-clock deadline in milliseconds; a query past it fails with a structured deadline error (exit code 71).")
+
+let budget_arg =
+  Arg.(value & opt (some int) None & info [ "memory-budget" ] ~docv:"BYTES"
+       ~doc:"Per-query memory budget in bytes for materialized state and cache admissions; exceeding it fails with a structured budget error (exit code 72).")
 let json_out_arg = Arg.(value & flag & info [ "output-json" ] ~doc:"Print the result as JSON.")
 
 let xml_arg =
@@ -240,7 +283,7 @@ let cmd =
     (Cmd.info "vida" ~doc)
     Term.(
       const run $ csv_arg $ json_arg $ xml_arg $ binarray_arg $ sql_arg
-      $ explain_arg $ engine_arg $ stats_arg $ json_out_arg $ interactive_arg
-      $ query_arg)
+      $ explain_arg $ engine_arg $ stats_arg $ json_out_arg $ timeout_arg
+      $ budget_arg $ interactive_arg $ query_arg)
 
 let () = exit (Cmd.eval' cmd)

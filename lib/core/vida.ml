@@ -3,12 +3,15 @@ open Vida_calculus
 open Vida_catalog
 open Vida_engine
 
+module Governor = Vida_governor.Governor
+
 type engine = Jit | Generic
 
 type t = {
   registry : Registry.t;
   mutable ctx : Plugins.ctx;
   mutable params : (string * Value.t) list;
+  mutable limits : Governor.limits;
   mutable queries_run : int;
   mutable queries_from_cache : int;
   mutable session_io : Vida_raw.Io_stats.snapshot;
@@ -19,12 +22,15 @@ type t = {
   mutable result_stale_drops : int;
 }
 
-let create ?cache_capacity () =
+let create ?cache_capacity ?(limits = Governor.unlimited) () =
   let registry = Registry.create () in
   let ctx = Plugins.create_ctx ?cache_capacity registry in
-  { registry; ctx; params = []; queries_run = 0; queries_from_cache = 0;
+  { registry; ctx; params = []; limits; queries_run = 0; queries_from_cache = 0;
     session_io = Vida_raw.Io_stats.zero; result_cache = Hashtbl.create 64;
     result_hits = 0; result_stale_drops = 0 }
+
+let set_limits t limits = t.limits <- limits
+let limits t = t.limits
 
 let csv t ~name ~path ?delim ?header ?schema () =
   ignore (Registry.register_csv t.registry ~name ~path ?delim ?header ?schema ())
@@ -108,6 +114,7 @@ type result = {
   raw_io : Vida_raw.Io_stats.snapshot;
   served_from_cache : bool;
   from_result_cache : bool;
+  governor : Governor.report;
 }
 
 type stats = {
@@ -151,11 +158,25 @@ let refresh_referenced t expr =
 
 let now_ms () = Sys.time () *. 1000.
 
-let run_expr ?(engine = Jit) ?(optimize = true) ?(reuse = true) t (expr : Expr.t) :
+let rec run_expr ?(engine = Jit) ?(optimize = true) ?(reuse = true) t (expr : Expr.t) :
     (result, error) Result.t =
   match Typecheck.check (type_env t) expr with
   | Error e -> Error (Type_error (Format.asprintf "%a" Typecheck.pp_error e))
-  | Ok () -> (
+  | Ok () ->
+    (* every execution runs inside a governor session: deadline +
+       cancellation token + memory budget. An already-ambient session
+       (a caller wrapping several queries, or a test driving cancellation)
+       is reused; otherwise a fresh one starts from the instance limits. *)
+    let session, owned =
+      match Governor.current () with
+      | Some s -> (s, false)
+      | None -> (Governor.start ~limits:t.limits ~name:"query" (), true)
+    in
+    let body () = run_governed ~engine ~optimize ~reuse ~session t expr in
+    if owned then Governor.with_session session body else body ()
+
+and run_governed ~engine ~optimize ~reuse ~session t (expr : Expr.t) :
+    (result, error) Result.t =
     try
       refresh_referenced t expr;
       let t0 = now_ms () in
@@ -186,16 +207,35 @@ let run_expr ?(engine = Jit) ?(optimize = true) ?(reuse = true) t (expr : Expr.t
         Ok
           { value; plan; compile_ms = now_ms () -. t0; exec_ms = 0.;
             raw_io = Vida_raw.Io_stats.zero; served_from_cache = true;
-            from_result_cache = true }
+            from_result_cache = true; governor = Governor.report session }
       | None -> (
-      let compiled =
+      let run_generic () = (Interp.query t.ctx plan) () in
+      (* degradation ladder, rung 1: a JIT code-generation or execution
+         failure demotes the query to the Generic engine instead of failing
+         it outright (the two engines are semantically equivalent).
+         Governor violations — deadline, budget, cancellation — and
+         structured data errors are NOT engine bugs and propagate. *)
+      let degrade reason =
+        Governor.note_fallback ~session ~stage:"jit->generic" ~reason ();
+        run_generic ()
+      in
+      let run () =
         match engine with
-        | Jit -> Compile.query t.ctx plan
-        | Generic -> Interp.query t.ctx plan
+        | Generic -> run_generic ()
+        | Jit -> (
+          match Governor.Chaos.take_jit_failure () with
+          | Some reason -> degrade reason
+          | None -> (
+            match (Compile.query t.ctx plan) () with
+            | value -> value
+            | exception Plugins.Engine_error msg -> degrade msg
+            | exception Eval.Error msg -> degrade msg
+            | exception Value.Type_error msg -> degrade msg
+            | exception Invalid_argument msg -> degrade msg))
       in
       let t1 = now_ms () in
       let io_before = Vida_raw.Io_stats.current () in
-      match compiled () with
+      match run () with
       | value ->
         let t2 = now_ms () in
         let raw_io = Vida_raw.Io_stats.diff (Vida_raw.Io_stats.current ()) io_before in
@@ -220,15 +260,17 @@ let run_expr ?(engine = Jit) ?(optimize = true) ?(reuse = true) t (expr : Expr.t
             (value, sources, source_fingerprints t sources));
         Ok
           { value; plan; compile_ms = t1 -. t0; exec_ms = t2 -. t1; raw_io;
-            served_from_cache; from_result_cache = false }
+            served_from_cache; from_result_cache = false;
+            governor = Governor.report session }
       | exception Plugins.Engine_error msg -> Error (Engine_error msg)
       | exception Eval.Error msg -> Error (Engine_error msg)
       | exception Value.Type_error msg -> Error (Engine_error msg))
     with Vida_error.Error e ->
       (* structured data-layer failure anywhere in the pipeline — stale
          sidecar handling, corrupt raw bytes under a Strict policy,
-         resource-limit hits — surfaces as a typed error, never a crash *)
-      Error (Data_error e))
+         resource-limit or deadline/budget/cancellation hits — surfaces as
+         a typed error, never a crash *)
+      Error (Data_error e)
 
 let query ?engine ?optimize ?reuse t text =
   match Parser.parse text with

@@ -28,8 +28,16 @@ type t
 type engine = Jit | Generic
 
 (** [create ()] — an empty session. [cache_capacity] bounds ViDa's data
-    caches in bytes (default 256 MB). *)
-val create : ?cache_capacity:int -> unit -> t
+    caches in bytes (default 256 MB). [limits] are the per-query resource
+    limits (deadline, memory budget, retry policy) every query launched
+    from this instance runs under; default {!Vida_governor.Governor.unlimited}. *)
+val create : ?cache_capacity:int -> ?limits:Vida_governor.Governor.limits -> unit -> t
+
+(** [set_limits t limits] changes the per-query resource limits for
+    subsequent queries (the CLI's [.timeout] / [.limit] commands). *)
+val set_limits : t -> Vida_governor.Governor.limits -> unit
+
+val limits : t -> Vida_governor.Governor.limits
 
 (** {1 Registering raw sources}
 
@@ -72,9 +80,10 @@ type error =
   | Type_error of string
   | Engine_error of string
   | Data_error of Vida_error.t
-      (** structured raw-data failure: parse error with source + offset,
-          truncation, stale auxiliary structure, resource limit, I/O
-          failure (see {!Vida_error}) *)
+      (** structured raw-data or resource-governance failure: parse error
+          with source + offset, truncation, stale auxiliary structure,
+          resource limit, I/O failure, deadline exceeded, memory budget
+          exceeded, cooperative cancellation (see {!Vida_error}) *)
 
 val error_to_string : error -> string
 
@@ -88,6 +97,10 @@ type result = {
   from_result_cache : bool;
       (** the whole result was re-used from a previous identical plan
           (paper §5 result re-use); implies [served_from_cache] *)
+  governor : Vida_governor.Governor.report;
+      (** the query's resource-governance trace: wall time, cooperative
+          polls, bytes charged against the memory budget, transient-IO
+          retries and degradation fallbacks (JIT→Generic, sidecar→raw) *)
 }
 
 (** [query t text] runs a comprehension query end to end: parse → validate

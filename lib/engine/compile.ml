@@ -12,6 +12,22 @@ end
 
 module Vtbl = Hashtbl.Make (Vkey)
 
+module Governor = Vida_governor.Governor
+
+(* Charge materialized operator state (join build snapshots, product
+   snapshots, group accumulators) against the ambient governor memory
+   budget; sizing is skipped when no budget is active. *)
+let charge_snapshot (vs : Value.t list) =
+  if Governor.budgeted () then
+    Governor.charge ~source:"compile"
+      (List.fold_left
+         (fun acc v -> acc + 16 + Vida_storage.Cache.value_bytes v)
+         0 vs)
+
+let charge_value v =
+  if Governor.budgeted () then
+    Governor.charge ~source:"compile" (16 + Vida_storage.Cache.value_bytes v)
+
 (* Binders of a plan subtree, in binding order (used for slot allocation and
    for snapshotting a side of a join). *)
 let rec binders (p : Plan.t) : string list =
@@ -224,6 +240,7 @@ and compile_ops ctx slots needs flushes env (p : Plan.t) (consume : unit -> unit
       | _ -> ());
       fun () ->
         Plugins.producer ctx expr ~need (fun v ->
+            Governor.poll ~source:"compile" ();
             incr produced;
             env.(s) <- v;
             consume ()))
@@ -280,6 +297,7 @@ and compile_ops ctx slots needs flushes env (p : Plan.t) (consume : unit -> unit
           in
           fun () ->
             Plugins.binarray_ranged_producer ctx source need ~ranges (fun v ->
+                Governor.poll ~source:"compile" ();
                 env.(s) <- v;
                 filtered ()))
       | _ -> compile_ops ctx slots needs flushes env base filtered)
@@ -313,7 +331,9 @@ and compile_ops ctx slots needs flushes env (p : Plan.t) (consume : unit -> unit
     let stored = ref [] in
     let run_right =
       compile_ops ctx slots needs flushes env right (fun () ->
-          stored := List.map (fun i -> env.(i)) right_slots :: !stored)
+          let snapshot = List.map (fun i -> env.(i)) right_slots in
+          charge_snapshot snapshot;
+          stored := snapshot :: !stored)
     in
     let run_left =
       compile_ops ctx slots needs flushes env left (fun () ->
@@ -326,6 +346,8 @@ and compile_ops ctx slots needs flushes env (p : Plan.t) (consume : unit -> unit
     fun () ->
       stored := [];
       run_right ();
+      (* right side fully materialized: boundary check before re-scan *)
+      Governor.checkpoint ~source:"compile" ();
       stored := List.rev !stored;
       run_left ()
   | Plan.Join { pred; left; right } -> (
@@ -361,6 +383,7 @@ and compile_ops ctx slots needs flushes env (p : Plan.t) (consume : unit -> unit
             (* NULL keys never match (three-valued equality) *)
             if not (List.exists (fun v -> v = Value.Null) key) then (
               let snapshot = List.map (fun i -> env.(i)) right_slots in
+              charge_snapshot snapshot;
               let bucket = try Vtbl.find table key with Not_found -> [] in
               Vtbl.replace table key (snapshot :: bucket)))
       in
@@ -388,6 +411,8 @@ and compile_ops ctx slots needs flushes env (p : Plan.t) (consume : unit -> unit
       fun () ->
         Vtbl.reset table;
         run_right ();
+        (* hash build done: boundary check before the probe phase starts *)
+        Governor.checkpoint ~source:"compile" ();
         run_left ())
   | Plan.Reduce _ ->
     invalid_arg "Compile: nested Reduce operator (subqueries live in scalars)"
@@ -410,12 +435,15 @@ and compile_ops ctx slots needs flushes env (p : Plan.t) (consume : unit -> unit
               order := key :: !order;
               acc
           in
-          acc := Monoid.merge monoid !acc (Monoid.unit monoid (chead env)))
+          let unit = Monoid.unit monoid (chead env) in
+          charge_value unit;
+          acc := Monoid.merge monoid !acc unit)
     in
     fun () ->
       Vtbl.reset table;
       order := [];
       run_child ();
+      Governor.checkpoint ~source:"compile" ();
       List.iter
         (fun key ->
           let acc = Vtbl.find table key in

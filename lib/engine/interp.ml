@@ -11,6 +11,22 @@ end)
 
 type env = (string * Value.t) list
 
+module Governor = Vida_governor.Governor
+
+(* Charge an operator's materialized bindings (join build side, product
+   snapshot, group state) against the ambient governor memory budget.
+   Sizing is skipped entirely when no budget is active. *)
+let charge_env (env : env) =
+  if Governor.budgeted () then
+    Governor.charge ~source:"interp"
+      (List.fold_left
+         (fun acc (_, v) -> acc + 16 + Vida_storage.Cache.value_bytes v)
+         0 env)
+
+let charge_value v =
+  if Governor.budgeted () then
+    Governor.charge ~source:"interp" (16 + Vida_storage.Cache.value_bytes v)
+
 let eval_scalar ctx (env : env) e =
   (* generic engines re-resolve names per tuple: rebuild the interpreter
      environment each time (deliberately; this is the measured overhead) *)
@@ -37,8 +53,11 @@ let rec stream ctx (p : Plan.t) (emit : env -> unit) : unit =
   match p with
   | Plan.Unit -> emit []
   | Plan.Source { var; expr } ->
-    (* generic plugin: whole elements, no projection pushdown *)
-    Plugins.producer ctx expr ~need:Analysis.Whole (fun v -> emit [ (var, v) ])
+    (* generic plugin: whole elements, no projection pushdown; every tuple
+       entering the pipeline is a cooperative cancellation/deadline poll *)
+    Plugins.producer ctx expr ~need:Analysis.Whole (fun v ->
+        Governor.poll ~source:"interp" ();
+        emit [ (var, v) ])
   | Plan.Select { pred; child } ->
     stream ctx child (fun env -> if Eval.truthy (eval_scalar ctx env pred) then emit env)
   | Plan.Map { var; expr; child } ->
@@ -55,7 +74,10 @@ let rec stream ctx (p : Plan.t) (emit : env -> unit) : unit =
         | vs -> List.iter (fun v -> emit (env @ [ (var, v) ])) vs)
   | Plan.Product { left; right } ->
     let rights = ref [] in
-    stream ctx right (fun env -> rights := env :: !rights);
+    stream ctx right (fun env ->
+        charge_env env;
+        rights := env :: !rights);
+    Governor.checkpoint ~source:"interp" ();
     let rights = List.rev !rights in
     stream ctx left (fun lenv -> List.iter (fun renv -> emit (lenv @ renv)) rights)
   | Plan.Join { pred; left; right } -> (
@@ -71,8 +93,11 @@ let rec stream ctx (p : Plan.t) (emit : env -> unit) : unit =
       stream ctx right (fun renv ->
           let key = List.map (fun (_, rk) -> eval_scalar ctx renv rk) keys in
           if not (List.exists (fun v -> v = Value.Null) key) then (
+            charge_env renv;
             let bucket = try Vtbl.find table key with Not_found -> [] in
             Vtbl.replace table key (renv :: bucket)));
+      (* hash build done: boundary check before the probe phase starts *)
+      Governor.checkpoint ~source:"interp" ();
       stream ctx left (fun lenv ->
           let key = List.map (fun (lk, _) -> eval_scalar ctx lenv lk) keys in
           if not (List.exists (fun v -> v = Value.Null) key) then
@@ -101,7 +126,10 @@ let rec stream ctx (p : Plan.t) (emit : env -> unit) : unit =
             order := key :: !order;
             acc
         in
-        acc := Monoid.merge monoid !acc (Monoid.unit monoid (eval_scalar ctx env head)));
+        let unit = Monoid.unit monoid (eval_scalar ctx env head) in
+        charge_value unit;
+        acc := Monoid.merge monoid !acc unit);
+    Governor.checkpoint ~source:"interp" ();
     List.iter
       (fun key ->
         let acc = Vtbl.find table key in

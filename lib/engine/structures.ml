@@ -44,7 +44,16 @@ let posmap t source =
            wrong answers *)
         match Positional_map.load ~delim (buffer t source) ~path:(sidecar_path source) with
         | Ok pm -> pm
-        | Error _ -> Positional_map.build ~delim ~header (buffer t source))
+        | Error err ->
+          (* note the degradation for the governor report, except for the
+             ordinary cold start where no sidecar exists yet *)
+          (match err with
+          | Vida_error.Stale_auxiliary { reason; _ }
+            when not (String.equal reason "no sidecar") ->
+            Vida_governor.Governor.note_fallback ~stage:"sidecar->raw"
+              ~reason ()
+          | _ -> ());
+          Positional_map.build ~delim ~header (buffer t source))
   | _ ->
     Vida_error.invalid_request ~source:source.Source.name
       "Structures.posmap: %S is not a CSV source" source.Source.name

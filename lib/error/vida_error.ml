@@ -7,6 +7,9 @@ type t =
   | Resource_limit of { source : string; what : string; actual : int; limit : int }
   | Io_failure of { source : string; reason : string }
   | Invalid_request of { source : string; reason : string }
+  | Deadline_exceeded of { source : string; elapsed_ms : float; deadline_ms : float }
+  | Budget_exceeded of { source : string; requested : int; budget : int }
+  | Cancelled of { source : string; reason : string }
 
 exception Error of t
 
@@ -32,17 +35,30 @@ let io_failure ~source fmt =
 let invalid_request ~source fmt =
   Format.kasprintf (fun reason -> error (Invalid_request { source; reason })) fmt
 
+let deadline_exceeded ~source ~elapsed_ms ~deadline_ms =
+  error (Deadline_exceeded { source; elapsed_ms; deadline_ms })
+
+let budget_exceeded ~source ~requested ~budget =
+  error (Budget_exceeded { source; requested; budget })
+
+let cancelled ~source fmt =
+  Format.kasprintf (fun reason -> error (Cancelled { source; reason })) fmt
+
 let source = function
   | Parse_error { source; _ }
   | Truncated { source; _ }
   | Stale_auxiliary { source; _ }
   | Resource_limit { source; _ }
   | Io_failure { source; _ }
-  | Invalid_request { source; _ } -> source
+  | Invalid_request { source; _ }
+  | Deadline_exceeded { source; _ }
+  | Budget_exceeded { source; _ }
+  | Cancelled { source; _ } -> source
 
 let offset = function
   | Parse_error { offset; _ } | Truncated { offset; _ } -> Some offset
-  | Stale_auxiliary _ | Resource_limit _ | Io_failure _ | Invalid_request _ -> None
+  | Stale_auxiliary _ | Resource_limit _ | Io_failure _ | Invalid_request _
+  | Deadline_exceeded _ | Budget_exceeded _ | Cancelled _ -> None
 
 let kind_name = function
   | Parse_error _ -> "parse"
@@ -51,6 +67,9 @@ let kind_name = function
   | Resource_limit _ -> "limit"
   | Io_failure _ -> "io"
   | Invalid_request _ -> "invalid"
+  | Deadline_exceeded _ -> "deadline"
+  | Budget_exceeded _ -> "budget"
+  | Cancelled _ -> "cancelled"
 
 let exit_code = function
   | Parse_error _ -> 65
@@ -59,6 +78,9 @@ let exit_code = function
   | Resource_limit _ -> 68
   | Io_failure _ -> 69
   | Invalid_request _ -> 70
+  | Deadline_exceeded _ -> 71
+  | Budget_exceeded _ -> 72
+  | Cancelled _ -> 73
 
 let pp ppf = function
   | Parse_error { source; offset; reason } ->
@@ -71,6 +93,13 @@ let pp ppf = function
     Format.fprintf ppf "%s: %s %d exceeds the limit of %d" source what actual limit
   | Io_failure { source; reason } -> Format.fprintf ppf "%s: I/O failure: %s" source reason
   | Invalid_request { source; reason } -> Format.fprintf ppf "%s: %s" source reason
+  | Deadline_exceeded { source; elapsed_ms; deadline_ms } ->
+    Format.fprintf ppf "%s: deadline exceeded after %.1f ms (budget %.1f ms)" source
+      elapsed_ms deadline_ms
+  | Budget_exceeded { source; requested; budget } ->
+    Format.fprintf ppf "%s: memory budget exceeded: %d bytes requested over a %d-byte budget"
+      source requested budget
+  | Cancelled { source; reason } -> Format.fprintf ppf "%s: cancelled: %s" source reason
 
 let to_string e = Format.asprintf "%a" pp e
 

@@ -24,6 +24,12 @@ type t =
       (** the operating system failed the read *)
   | Invalid_request of { source : string; reason : string }
       (** the caller asked for data that cannot exist (row out of range, ...) *)
+  | Deadline_exceeded of { source : string; elapsed_ms : float; deadline_ms : float }
+      (** the query's governor deadline fired before it finished *)
+  | Budget_exceeded of { source : string; requested : int; budget : int }
+      (** the query tried to materialize more bytes than its governor budget *)
+  | Cancelled of { source : string; reason : string }
+      (** the query's cancellation token was tripped cooperatively *)
 
 exception Error of t
 
@@ -43,6 +49,9 @@ val stale_auxiliary :
 val resource_limit : source:string -> what:string -> actual:int -> limit:int -> 'a
 val io_failure : source:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 val invalid_request : source:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val deadline_exceeded : source:string -> elapsed_ms:float -> deadline_ms:float -> 'a
+val budget_exceeded : source:string -> requested:int -> budget:int -> 'a
+val cancelled : source:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 (** {1 Inspection} *)
 
@@ -51,11 +60,12 @@ val offset : t -> int option  (** byte offset, when the error names one *)
 
 val kind_name : t -> string
 (** short stable tag: ["parse"], ["truncated"], ["stale"], ["limit"],
-    ["io"], ["invalid"] *)
+    ["io"], ["invalid"], ["deadline"], ["budget"], ["cancelled"] *)
 
 val exit_code : t -> int
 (** distinct process exit code per kind, for CLI surfacing:
-    parse 65, truncated 66, stale 67, limit 68, io 69, invalid 70. *)
+    parse 65, truncated 66, stale 67, limit 68, io 69, invalid 70,
+    deadline 71, budget 72, cancelled 73. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,210 @@
+(* Query-lifecycle resource governor.
+
+   Every query runs inside a [session] carrying a wall-clock deadline, a
+   cooperative cancellation token and a memory budget. The hot paths —
+   raw-file scan loops, engine operator pipelines, cache admissions — poll
+   or charge the ambient session; a violation surfaces as a structured
+   {!Vida_error} (never a hang, never an unbounded allocation). The
+   session also accumulates the degradation history of the query: IO
+   retries and engine/auxiliary fallbacks. *)
+
+type limits = {
+  deadline_ms : float option;
+  memory_budget : int option;
+  max_retries : int;
+  retry_backoff_ms : float;
+  poll_stride : int;
+}
+
+let unlimited =
+  { deadline_ms = None; memory_budget = None; max_retries = 2;
+    retry_backoff_ms = 1.0; poll_stride = 64 }
+
+(* Bound any single backoff sleep: retries must never out-wait a deadline
+   by much, even with a large retry count. *)
+let max_backoff_ms = 250.0
+
+type fallback = { stage : string; reason : string }
+
+type session = {
+  id : int;
+  name : string;
+  limits : limits;
+  started_at : float;  (* Unix.gettimeofday seconds *)
+  mutable cancel_reason : string option;
+  mutable cancel_at_poll : int option;
+  mutable polls : int;
+  mutable charged : int;
+  mutable retries : int;
+  mutable fallbacks : fallback list;  (* newest first *)
+}
+
+type report = {
+  wall_ms : float;
+  polls : int;
+  charged_bytes : int;
+  retries : int;
+  fallbacks : fallback list;  (* oldest first *)
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+let sleep_ms ms = if ms > 0. then Unix.sleepf (ms /. 1000.)
+
+let next_id = ref 0
+
+let defaults = ref unlimited
+let set_default_limits l = defaults := l
+let default_limits () = !defaults
+
+let start ?limits ?(name = "query") () =
+  let limits = match limits with Some l -> l | None -> !defaults in
+  incr next_id;
+  { id = !next_id; name; limits; started_at = Unix.gettimeofday ();
+    cancel_reason = None; cancel_at_poll = None; polls = 0; charged = 0;
+    retries = 0; fallbacks = [] }
+
+let ambient : session option ref = ref None
+let current () = !ambient
+
+let with_session s f =
+  let saved = !ambient in
+  ambient := Some s;
+  Fun.protect ~finally:(fun () -> ambient := saved) f
+
+let elapsed_ms s = now_ms () -. (s.started_at *. 1000.)
+
+let cancel s ~reason = if s.cancel_reason = None then s.cancel_reason <- Some reason
+
+(* Deterministic cooperative-cancellation injection for tests: the token
+   trips itself once the session has been polled [polls] times, exactly as
+   an out-of-band [cancel] landing mid-scan would. *)
+let cancel_after_polls s ~polls = s.cancel_at_poll <- Some polls
+
+let raise_for_cancel ~source reason = Vida_error.cancelled ~source "%s" reason
+
+let check_deadline ~source s =
+  match s.limits.deadline_ms with
+  | None -> ()
+  | Some deadline_ms ->
+    let elapsed = elapsed_ms s in
+    if elapsed > deadline_ms then
+      Vida_error.deadline_exceeded ~source ~elapsed_ms:elapsed ~deadline_ms
+
+let check_session ~source s =
+  (match s.cancel_reason with
+  | Some reason -> raise_for_cancel ~source reason
+  | None -> ());
+  check_deadline ~source s
+
+(* The per-record poll. Cancellation is a flag test on every call; the
+   wall clock is consulted only every [poll_stride] calls so scan loops
+   stay cheap on the fast path. *)
+let poll ?(source = "query") () =
+  match !ambient with
+  | None -> ()
+  | Some s ->
+    s.polls <- s.polls + 1;
+    (match s.cancel_at_poll with
+    | Some n when s.polls >= n && s.cancel_reason = None ->
+      s.cancel_reason <- Some "cancellation token tripped"
+    | _ -> ());
+    (match s.cancel_reason with
+    | Some reason -> raise_for_cancel ~source reason
+    | None -> ());
+    if s.polls mod s.limits.poll_stride = 0 then check_deadline ~source s
+
+(* Operator-pipeline boundary check: always consults the clock. *)
+let checkpoint ?(source = "query") () =
+  match !ambient with None -> () | Some s -> check_session ~source s
+
+let budgeted () =
+  match !ambient with
+  | Some { limits = { memory_budget = Some _; _ }; _ } -> true
+  | _ -> false
+
+let charge ?(source = "query") bytes =
+  match !ambient with
+  | None -> ()
+  | Some s -> (
+    match s.limits.memory_budget with
+    | None -> ()
+    | Some budget ->
+      s.charged <- s.charged + bytes;
+      if s.charged > budget then
+        Vida_error.budget_exceeded ~source ~requested:s.charged ~budget)
+
+(* (session id, budget, bytes already hard-charged) of the ambient
+   budgeted session — what the cache needs to scope its admission
+   accounting per query. *)
+let cache_budget () =
+  match !ambient with
+  | Some ({ limits = { memory_budget = Some budget; _ }; _ } as s) ->
+    Some (s.id, budget)
+  | _ -> None
+
+let note_fallback ?session ~stage ~reason () =
+  match (match session with Some s -> Some s | None -> !ambient) with
+  | None -> ()
+  | Some s -> s.fallbacks <- { stage; reason } :: s.fallbacks
+
+let note_retry () =
+  match !ambient with None -> () | Some s -> s.retries <- s.retries + 1
+
+(* Bounded-exponential-backoff retry around a transient-failure-prone
+   action (file loads). Only [Io_failure] is considered transient; any
+   other structured error propagates immediately. The deadline and the
+   cancellation token are re-checked before every attempt and every sleep,
+   so retrying can never out-live the session's time budget. *)
+let with_retries ~source f =
+  let limits =
+    match !ambient with Some s -> s.limits | None -> !defaults
+  in
+  let rec attempt k =
+    (match !ambient with Some s -> check_session ~source s | None -> ());
+    match f () with
+    | v -> v
+    | exception Vida_error.Error (Vida_error.Io_failure _ as e) ->
+      if k >= limits.max_retries then raise (Vida_error.Error e)
+      else (
+        note_retry ();
+        let backoff =
+          Float.min max_backoff_ms
+            (limits.retry_backoff_ms *. (2. ** float_of_int k))
+        in
+        (match !ambient with Some s -> check_session ~source s | None -> ());
+        sleep_ms backoff;
+        attempt (k + 1))
+  in
+  attempt 0
+
+let report s =
+  { wall_ms = elapsed_ms s; polls = s.polls; charged_bytes = s.charged;
+    retries = s.retries; fallbacks = List.rev s.fallbacks }
+
+let zero_report =
+  { wall_ms = 0.; polls = 0; charged_bytes = 0; retries = 0; fallbacks = [] }
+
+let pp_report ppf r =
+  Format.fprintf ppf "wall=%.2fms polls=%d charged=%dB retries=%d fallbacks=[%s]"
+    r.wall_ms r.polls r.charged_bytes r.retries
+    (String.concat "; "
+       (List.map (fun f -> f.stage ^ ": " ^ f.reason) r.fallbacks))
+
+(* --- chaos hooks ---------------------------------------------------- *)
+
+(* Deterministic engine-level fault injection: arm [n] JIT failures and
+   the next [n] JIT compilations act as if code generation failed, forcing
+   the governor's jit->generic degradation path. Complements the raw-byte
+   faults in [Vida_raw.Fault_inject] at the engine layer. *)
+module Chaos = struct
+  let jit_failures = ref 0
+
+  let fail_jit_compiles n = jit_failures := n
+  let reset () = jit_failures := 0
+
+  let take_jit_failure () =
+    if !jit_failures > 0 then (
+      decr jit_failures;
+      Some "injected JIT compile failure")
+    else None
+end

@@ -1,0 +1,134 @@
+(** Query-lifecycle resource governor (robustness layer).
+
+    ViDa is an always-on engine querying files it does not control, so one
+    pathological query — a huge un-indexed scan, a nesting-heavy source, a
+    cache-polluting materialization — must not take the service down. Every
+    query runs inside a {!session} carrying:
+
+    - a wall-clock {e deadline}, polled cooperatively at record granularity
+      in the scan loops and at operator boundaries in both engines;
+    - a {e cancellation token}, checked on every poll;
+    - a {e memory budget}, hard-charged by operator materializations
+      (join/product build sides) and consulted by the shared cache to scope
+      one query's admissions (see {!Vida_storage.Cache});
+    - the query's {e degradation history}: transient-IO retries and
+      fallbacks (JIT→Generic, sidecar→raw scan).
+
+    Violations raise the structured {!Vida_error} cases
+    [Deadline_exceeded] / [Budget_exceeded] / [Cancelled] — never a hang,
+    never an unbounded allocation, never an untyped exception. *)
+
+type limits = {
+  deadline_ms : float option;  (** wall-clock budget for the whole query *)
+  memory_budget : int option;  (** bytes of materialized/cached working set *)
+  max_retries : int;  (** bounded retries for transient IO failures *)
+  retry_backoff_ms : float;  (** initial backoff, doubled per retry *)
+  poll_stride : int;  (** clock consulted every N polls (cancel: every poll) *)
+}
+
+val unlimited : limits
+(** no deadline, no budget, 2 retries with 1 ms initial backoff. *)
+
+type fallback = { stage : string; reason : string }
+(** one rung of the degradation ladder, e.g.
+    [{ stage = "jit->generic"; reason = ... }]. *)
+
+type session
+
+type report = {
+  wall_ms : float;
+  polls : int;
+  charged_bytes : int;
+  retries : int;
+  fallbacks : fallback list;  (** oldest first *)
+}
+
+(** {1 Session lifecycle} *)
+
+val start : ?limits:limits -> ?name:string -> unit -> session
+(** a fresh session; [limits] defaults to {!default_limits}. *)
+
+val with_session : session -> (unit -> 'a) -> 'a
+(** install [s] as the ambient session for the duration of [f]
+    (exception-safe, restores the previous one — sessions nest). *)
+
+val current : unit -> session option
+
+val set_default_limits : limits -> unit
+(** limits used by [start] when none are given — the CLI's [.timeout] /
+    [.limit] dot-commands set these. *)
+
+val default_limits : unit -> limits
+
+(** {1 Cooperative control} *)
+
+val cancel : session -> reason:string -> unit
+(** trip the cancellation token; the query observes it at its next poll. *)
+
+val cancel_after_polls : session -> polls:int -> unit
+(** deterministic test injection: the token trips itself at the [polls]-th
+    poll, exactly as an out-of-band {!cancel} landing mid-scan would. *)
+
+val poll : ?source:string -> unit -> unit
+(** the per-record check in scan loops: cancellation on every call, the
+    wall clock every [poll_stride] calls. No-op without an ambient
+    session. Raises [Cancelled] / [Deadline_exceeded]. *)
+
+val checkpoint : ?source:string -> unit -> unit
+(** operator-pipeline-boundary check: like {!poll} but always consults
+    the clock. *)
+
+(** {1 Memory budget} *)
+
+val budgeted : unit -> bool
+(** whether the ambient session carries a budget — guard for callers that
+    would otherwise pay to compute byte sizes nobody accounts. *)
+
+val charge : ?source:string -> int -> unit
+(** hard-charge [bytes] of materialized working set against the ambient
+    budget; raises [Budget_exceeded] once cumulative charges pass it. *)
+
+val cache_budget : unit -> (int * int) option
+(** [(session id, budget bytes)] of the ambient budgeted session, for the
+    cache's per-query admission accounting. *)
+
+(** {1 Degradation bookkeeping} *)
+
+val note_fallback : ?session:session -> stage:string -> reason:string -> unit -> unit
+val note_retry : unit -> unit
+
+val with_retries : source:string -> (unit -> 'a) -> 'a
+(** run [f], retrying transient [Io_failure]s up to [max_retries] times
+    with bounded exponential backoff (each sleep capped at 250 ms). The
+    deadline and cancellation token are re-checked before every attempt
+    and sleep. Other structured errors propagate immediately. *)
+
+(** {1 Clock utilities}
+
+    Shared here so lower layers need no direct [unix] dependency. *)
+
+val now_ms : unit -> float
+val sleep_ms : float -> unit
+
+(** {1 Reporting} *)
+
+val elapsed_ms : session -> float
+val report : session -> report
+val zero_report : report
+val pp_report : Format.formatter -> report -> unit
+
+(** {1 Engine-level fault injection}
+
+    Deterministic chaos hooks for exercising the degradation ladder in
+    tests and the bench harness (raw-byte faults live in
+    {!Vida_raw.Fault_inject}). *)
+module Chaos : sig
+  val fail_jit_compiles : int -> unit
+  (** arm [n] injected JIT compile failures: the next [n] JIT compilations
+      degrade to the Generic engine. *)
+
+  val take_jit_failure : unit -> string option
+  (** consume one armed failure (called by the engine facade). *)
+
+  val reset : unit -> unit
+end

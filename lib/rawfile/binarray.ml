@@ -208,10 +208,12 @@ let block_may_match t b ranges =
     ranges
 
 let scan_filtered t ~ranges f =
+  let source = Raw_buffer.path t.buf in
   let nblocks = (t.ncells + zone_block - 1) / zone_block in
   for b = 0 to nblocks - 1 do
     if ranges = [] || block_may_match t b ranges then
       for cell = b * zone_block to min t.ncells ((b + 1) * zone_block) - 1 do
+        Vida_governor.Governor.poll ~source ();
         f cell
       done
     else t.skipped <- t.skipped + 1

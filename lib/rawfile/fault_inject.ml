@@ -69,6 +69,26 @@ let apply ?(seed = 0) faults s =
 
 let buffer ~source ?seed faults s = Raw_buffer.of_string ~source (apply ?seed faults s)
 
+(* --- injected IO faults (transient failures, latency) ----------------
+
+   Configuration facade over {!Io_fault}: the state lives below
+   [Raw_buffer] (which consults it on every load attempt), the knobs live
+   here with the rest of the fault-injection surface. *)
+
+type io_plan = Io_fault.plan = {
+  fail_loads : int;
+  latency_ms : float;
+  only : string option;
+}
+
+let io_plan ?(fail_loads = 0) ?(latency_ms = 0.) ?only () =
+  { fail_loads; latency_ms; only }
+
+let install_io_plan = Io_fault.install
+let clear_io_plan = Io_fault.clear
+let with_io_plan = Io_fault.with_plan
+let io_failures_injected = Io_fault.failures_injected
+
 let corrupt_file ?seed faults ~path =
   let ic = open_in_bin path in
   let contents =

@@ -30,3 +30,29 @@ val buffer : source:string -> ?seed:int -> fault list -> string -> Raw_buffer.t
 (** [corrupt_file ~seed faults ~path] rewrites a file in place with the
     faults applied — for end-to-end tests over registered sources. *)
 val corrupt_file : ?seed:int -> fault list -> path:string -> unit
+
+(** {1 Injected IO faults}
+
+    Byte corruption above models {e what} is on disk; the IO plan models
+    {e how reading behaves}: transient failures (NFS hiccups, racing
+    writers) and latency (cold object stores, contended disks). Both are
+    deterministic, so timeout/retry/fallback paths are exactly testable:
+    the first [fail_loads] load attempts of each matching source raise a
+    transient [Io_failure], and every attempt first sleeps [latency_ms]. *)
+
+type io_plan = Io_fault.plan = {
+  fail_loads : int;
+  latency_ms : float;
+  only : string option;  (** restrict to sources whose name contains this *)
+}
+
+val io_plan : ?fail_loads:int -> ?latency_ms:float -> ?only:string -> unit -> io_plan
+val install_io_plan : io_plan -> unit
+val clear_io_plan : unit -> unit
+
+(** [with_io_plan p f] runs [f] under [p], restoring the previous plan
+    afterwards (exception-safe). *)
+val with_io_plan : io_plan -> (unit -> 'a) -> 'a
+
+(** transient failures injected since the current plan was installed. *)
+val io_failures_injected : unit -> int

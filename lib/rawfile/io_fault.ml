@@ -1,0 +1,64 @@
+(* Injected IO-level faults for the raw load path (configured through
+   {!Fault_inject}, consulted by {!Raw_buffer}).
+
+   Lives in its own module below [Raw_buffer] so the buffer's load path
+   can consult the plan without a dependency cycle: [Fault_inject] (which
+   depends on [Raw_buffer]) only re-exports the configuration calls. *)
+
+type plan = {
+  fail_loads : int;  (* first N loads of each matching source fail transiently *)
+  latency_ms : float;  (* injected latency per load attempt *)
+  only : string option;  (* restrict to sources whose name contains this *)
+}
+
+let active : plan option ref = ref None
+let attempts : (string, int) Hashtbl.t = Hashtbl.create 8
+let injected_failures = ref 0
+
+let install p =
+  active := Some p;
+  Hashtbl.reset attempts;
+  injected_failures := 0
+
+let clear () =
+  active := None;
+  Hashtbl.reset attempts;
+  injected_failures := 0
+
+let with_plan p f =
+  let saved = !active in
+  install p;
+  Fun.protect
+    ~finally:(fun () ->
+      active := saved;
+      Hashtbl.reset attempts)
+    f
+
+let failures_injected () = !injected_failures
+
+let matches p source =
+  match p.only with
+  | None -> true
+  | Some needle ->
+    let nl = String.length needle and sl = String.length source in
+    let rec scan i =
+      i + nl <= sl && (String.sub source i nl = needle || scan (i + 1))
+    in
+    nl = 0 || scan 0
+
+(* Called by [Raw_buffer.force] before each load attempt: may sleep (to
+   make deadlines deterministically reachable) and may raise a transient
+   [Io_failure] (to exercise the retry/backoff path). Deterministic: the
+   first [fail_loads] attempts per source fail, then loads succeed. *)
+let on_load ~source =
+  match !active with
+  | None -> ()
+  | Some p ->
+    if matches p source then (
+      Vida_governor.Governor.sleep_ms p.latency_ms;
+      let k = Option.value ~default:0 (Hashtbl.find_opt attempts source) in
+      Hashtbl.replace attempts source (k + 1);
+      if k < p.fail_loads then (
+        incr injected_failures;
+        Vida_error.io_failure ~source "injected transient IO failure (attempt %d)"
+          (k + 1)))

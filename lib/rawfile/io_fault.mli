@@ -1,0 +1,29 @@
+(** Injected IO-level faults for the raw load path.
+
+    Configure through {!Fault_inject.install_io_plan} (this module is the
+    shared state consulted by {!Raw_buffer}; it sits below [Raw_buffer] to
+    avoid a dependency cycle). *)
+
+type plan = {
+  fail_loads : int;
+      (** the first [n] load attempts of each matching source raise a
+          transient [Io_failure] — deterministic, so retry counts are
+          exactly testable *)
+  latency_ms : float;  (** injected latency per load attempt *)
+  only : string option;
+      (** restrict to sources whose name contains this substring *)
+}
+
+val install : plan -> unit
+val clear : unit -> unit
+
+(** [with_plan p f] runs [f] under [p], restoring the previous plan
+    afterwards (exception-safe). *)
+val with_plan : plan -> (unit -> 'a) -> 'a
+
+val failures_injected : unit -> int
+(** transient failures injected since the plan was installed. *)
+
+val on_load : source:string -> unit
+(** the [Raw_buffer.force] hook: sleeps [latency_ms], then fails the first
+    [fail_loads] attempts per source. No-op with no plan installed. *)

@@ -25,7 +25,8 @@ let scan_rows buf =
       let stop = if i > 0 && Raw_buffer.char_at buf (i - 1) = '\r' then i - 1 else i in
       starts := !row_start :: !starts;
       stops := stop :: !stops;
-      row_start := i + 1
+      row_start := i + 1;
+      Vida_governor.Governor.poll ~source ()
     | _ -> Vida_error.Limits.check_row_bytes ~source ~offset:!row_start (i - !row_start)
   done;
   if !row_start < len then (
@@ -77,7 +78,9 @@ let populate t cols =
     let arrays = List.map (fun c -> (c, Array.make nrows 0)) missing in
     let max_col = List.fold_left max 0 missing in
     let anchor_col, anchor_offsets = anchor t (List.fold_left min max_col missing) in
+    let source = Raw_buffer.path t.buf in
     for row = 0 to nrows - 1 do
+      Vida_governor.Governor.poll ~source ();
       let row_end = t.row_stops.(row) in
       (* a row too short to reach a column keeps the past-end sentinel, which
          [field] reads back as the empty field *)
@@ -149,7 +152,9 @@ let record_while_scanning t ~cols f =
   populate t cols_sorted;
   let nrows = row_count t in
   let arrays = List.map (fun c -> (c, Hashtbl.find t.cols c)) cols_sorted in
+  let source = Raw_buffer.path t.buf in
   for row = 0 to nrows - 1 do
+    Vida_governor.Governor.poll ~source ();
     let row_end = t.row_stops.(row) in
     let values =
       List.map

@@ -9,6 +9,21 @@ let of_string ~source contents =
 
 let path t = t.path
 
+(* One load attempt; transient failures surface as [Io_failure] so the
+   governed retry loop below can distinguish them from corruption. *)
+let load_once t =
+  Io_fault.on_load ~source:t.path;
+  match open_in_bin t.path with
+  | exception Sys_error reason -> Vida_error.io_failure ~source:t.path "%s" reason
+  | ic ->
+    let len = in_channel_length ic in
+    (try
+       Fun.protect
+         ~finally:(fun () -> close_in ic)
+         (fun () -> really_input_string ic len)
+     with Sys_error reason | Failure reason ->
+       Vida_error.io_failure ~source:t.path "%s" reason)
+
 let force t =
   match t.contents with
   | Some s -> s
@@ -16,17 +31,11 @@ let force t =
     let s =
       match t.backing with
       | Memory s -> s
-      | File -> (
-        match open_in_bin t.path with
-        | exception Sys_error reason -> Vida_error.io_failure ~source:t.path "%s" reason
-        | ic ->
-          let len = in_channel_length ic in
-          (try
-             Fun.protect
-               ~finally:(fun () -> close_in ic)
-               (fun () -> really_input_string ic len)
-           with Sys_error reason | Failure reason ->
-             Vida_error.io_failure ~source:t.path "%s" reason))
+      | File ->
+        (* transient IO errors are retried with bounded exponential
+           backoff under the ambient governor session; persistent ones
+           keep their structured [Io_failure] *)
+        Vida_governor.Governor.with_retries ~source:t.path (fun () -> load_once t)
     in
     Io_stats.add_file_loads 1;
     t.contents <- Some s;

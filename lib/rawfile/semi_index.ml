@@ -13,10 +13,12 @@ let build buf =
   Io_stats.add_bytes_read len;
   let bounds = ref [] in
   let start = ref 0 in
+  let source = Raw_buffer.path buf in
   for i = 0 to len - 1 do
     if Raw_buffer.char_at buf i = '\n' then (
       if i > !start then bounds := (!start, i - !start) :: !bounds;
-      start := i + 1)
+      start := i + 1;
+      Vida_governor.Governor.poll ~source ())
   done;
   if !start < len then bounds := (!start, len - !start) :: !bounds;
   let obj_bounds = Array.of_list (List.rev !bounds) in

@@ -30,6 +30,7 @@ let build buf =
   let list_tags = Hashtbl.create 8 in
   Array.iteri
     (fun i _ ->
+      Vida_governor.Governor.poll ~source ();
       match raw_element buf bounds i with
       | Value.Record fields ->
         List.iter

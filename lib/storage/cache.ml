@@ -13,6 +13,8 @@ type stats = {
   evictions : int;
   invalidations : int;
   stale_drops : int;
+  budget_evictions : int;
+  budget_refusals : int;
   resident_bytes : int;
   entries : int;
 }
@@ -23,12 +25,16 @@ type entry = {
   fingerprint : string option;
       (* encoded Fingerprint of the source file the payload was derived
          from; [None] for payloads with no file backing *)
+  owner : int option;
+      (* governor session that admitted the entry, for per-query budget
+         accounting; [None] for ungoverned admissions *)
   mutable last_used : int;
 }
 
 type t = {
   table : (key, entry) Hashtbl.t;
   capacity : int;
+  owner_resident : (int, int) Hashtbl.t;  (* session id -> admitted bytes *)
   mutable clock : int;
   mutable resident : int;
   mutable hits : int;
@@ -36,11 +42,15 @@ type t = {
   mutable evictions : int;
   mutable invalidations : int;
   mutable stale_drops : int;
+  mutable budget_evictions : int;
+  mutable budget_refusals : int;
 }
 
 let create ?(capacity_bytes = 256 * 1024 * 1024) () =
-  { table = Hashtbl.create 64; capacity = capacity_bytes; clock = 0; resident = 0;
-    hits = 0; misses = 0; evictions = 0; invalidations = 0; stale_drops = 0 }
+  { table = Hashtbl.create 64; capacity = capacity_bytes;
+    owner_resident = Hashtbl.create 8; clock = 0; resident = 0;
+    hits = 0; misses = 0; evictions = 0; invalidations = 0; stale_drops = 0;
+    budget_evictions = 0; budget_refusals = 0 }
 
 let rec value_bytes (v : Value.t) =
   match v with
@@ -65,11 +75,23 @@ let touch t entry =
 
 let mem t key = Hashtbl.mem t.table key
 
+let credit_owner t entry =
+  match entry.owner with
+  | None -> ()
+  | Some id -> (
+    match Hashtbl.find_opt t.owner_resident id with
+    | None -> ()
+    | Some bytes ->
+      let bytes = bytes - entry.bytes in
+      if bytes <= 0 then Hashtbl.remove t.owner_resident id
+      else Hashtbl.replace t.owner_resident id bytes)
+
 let remove t key =
   match Hashtbl.find_opt t.table key with
   | None -> ()
   | Some entry ->
     t.resident <- t.resident - entry.bytes;
+    credit_owner t entry;
     Hashtbl.remove t.table key
 
 (* An entry whose stored fingerprint no longer matches the file's current
@@ -111,16 +133,64 @@ let evict_until t needed =
       t.evictions <- t.evictions + 1
   done
 
+(* Least-recently-used entry admitted by governor session [id]. *)
+let evict_owner_lru t id =
+  let victim =
+    Hashtbl.fold
+      (fun key entry acc ->
+        if entry.owner = Some id then (
+          match acc with
+          | Some (_, best) when best.last_used <= entry.last_used -> acc
+          | _ -> Some (key, entry))
+        else acc)
+      t.table None
+  in
+  match victim with
+  | None -> false
+  | Some (key, _) ->
+    remove t key;
+    t.budget_evictions <- t.budget_evictions + 1;
+    true
+
+(* Per-query admission control (the paper's cache-pollution concern): a
+   governed query's resident cache footprint may not exceed its memory
+   budget. Under pressure the query's own least-recently-used admissions
+   are evicted first; an entry that cannot fit even then is refused — the
+   query still runs (it just re-derives from raw later), the shared cache
+   stays usable for everyone else, and no stale data is ever introduced. *)
+let admit t bytes =
+  match Vida_governor.Governor.cache_budget () with
+  | None -> Some None
+  | Some (id, budget) ->
+    let resident () =
+      match Hashtbl.find_opt t.owner_resident id with Some b -> b | None -> 0
+    in
+    if bytes > budget then (
+      t.budget_refusals <- t.budget_refusals + 1;
+      None)
+    else (
+      while resident () + bytes > budget && evict_owner_lru t id do () done;
+      if resident () + bytes > budget then (
+        t.budget_refusals <- t.budget_refusals + 1;
+        None)
+      else (
+        Hashtbl.replace t.owner_resident id (resident () + bytes);
+        Some (Some id)))
+
 let put ?fingerprint t key payload =
   let bytes = payload_bytes payload in
   if bytes > t.capacity then false
   else (
     remove t key;
-    evict_until t bytes;
-    t.clock <- t.clock + 1;
-    Hashtbl.replace t.table key { payload; bytes; fingerprint; last_used = t.clock };
-    t.resident <- t.resident + bytes;
-    true)
+    match admit t bytes with
+    | None -> false
+    | Some owner ->
+      evict_until t bytes;
+      t.clock <- t.clock + 1;
+      Hashtbl.replace t.table key
+        { payload; bytes; fingerprint; owner; last_used = t.clock };
+      t.resident <- t.resident + bytes;
+      true)
 
 let find_or_add ?fingerprint t key f =
   match find ?fingerprint t key with
@@ -144,11 +214,13 @@ let invalidate_source t source =
 
 let clear t =
   Hashtbl.reset t.table;
+  Hashtbl.reset t.owner_resident;
   t.resident <- 0
 
 let stats t =
   { hits = t.hits; misses = t.misses; evictions = t.evictions;
     invalidations = t.invalidations; stale_drops = t.stale_drops;
+    budget_evictions = t.budget_evictions; budget_refusals = t.budget_refusals;
     resident_bytes = t.resident; entries = Hashtbl.length t.table }
 
 let reset_stats t =
@@ -156,9 +228,12 @@ let reset_stats t =
   t.misses <- 0;
   t.evictions <- 0;
   t.invalidations <- 0;
-  t.stale_drops <- 0
+  t.stale_drops <- 0;
+  t.budget_evictions <- 0;
+  t.budget_refusals <- 0
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
-    "hits=%d misses=%d evictions=%d invalidations=%d stale_drops=%d resident=%dB entries=%d"
-    s.hits s.misses s.evictions s.invalidations s.stale_drops s.resident_bytes s.entries
+    "hits=%d misses=%d evictions=%d invalidations=%d stale_drops=%d budget_evictions=%d budget_refusals=%d resident=%dB entries=%d"
+    s.hits s.misses s.evictions s.invalidations s.stale_drops s.budget_evictions
+    s.budget_refusals s.resident_bytes s.entries

@@ -22,6 +22,12 @@ type stats = {
   invalidations : int;
   stale_drops : int;
       (** entries dropped because the source file's fingerprint changed *)
+  budget_evictions : int;
+      (** a governed query's own LRU entries evicted to keep its cache
+          footprint within its memory budget *)
+  budget_refusals : int;
+      (** admissions refused because they could not fit the admitting
+          query's memory budget even after evicting its own entries *)
   resident_bytes : int;
   entries : int;
 }
@@ -43,9 +49,16 @@ val find : ?fingerprint:string -> t -> key -> payload option
 val mem : t -> key -> bool
 
 (** [put ?fingerprint t key payload] inserts (replacing any previous
-    entry), evicting least-recently-used entries if over budget, recording
-    [fingerprint] for staleness checks on later [find]s. A payload larger
-    than the whole budget is refused (returns [false]). *)
+    entry), evicting least-recently-used entries if over capacity,
+    recording [fingerprint] for staleness checks on later [find]s. A
+    payload larger than the whole capacity is refused (returns [false]).
+
+    When the ambient {!Vida_governor.Governor} session carries a memory
+    budget, the admission is charged against that query's budget: under
+    pressure the query's {e own} least-recently-used admissions are
+    evicted first ([budget_evictions]), and an entry that still cannot
+    fit is refused ([budget_refusals]) — one query cannot pollute the
+    shared cache past its budget. *)
 val put : ?fingerprint:string -> t -> key -> payload -> bool
 
 (** [find_or_add ?fingerprint t key f] is [find], computing and inserting
@@ -62,5 +75,10 @@ val reset_stats : t -> unit
 (** [payload_bytes p] is the approximate in-memory size used for
     accounting. *)
 val payload_bytes : payload -> int
+
+(** [value_bytes v] is the approximate in-memory size of one value — the
+    unit the engines use to charge materialized operator state (join build
+    sides, product snapshots) against a governor memory budget. *)
+val value_bytes : Vida_data.Value.t -> int
 
 val pp_stats : Format.formatter -> stats -> unit
