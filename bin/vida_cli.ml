@@ -76,6 +76,7 @@ let repl db ~engine ~output_json =
       \  .quarantine NAME     show raw spans quarantined for a source\n\
       \  .timeout MS          per-query wall-clock deadline in ms (0 = off)\n\
       \  .limit BYTES         per-query memory budget in bytes (0 = off)\n\
+      \  .domains N           worker-domain budget for parallel scans (1 = sequential)\n\
       \  .checkpoint          persist positional maps next to their files\n\
       \  .help                this message\n\
       \  .quit                leave\n"
@@ -147,6 +148,13 @@ let repl db ~engine ~output_json =
       | None -> print_endline "per-query memory budget disabled")
     | None -> print_endline "expected a number of bytes"
   in
+  let set_domains rest =
+    match int_of_string_opt (String.trim rest) with
+    | Some d when d >= 1 ->
+      Vida.set_domains db d;
+      Printf.printf "domain budget set to %d\n" (Vida.domains db)
+    | _ -> print_endline "expected a positive domain count"
+  in
   let set_clean rest =
     match String.index_opt rest '=' with
     | Some i when i > 0 -> (
@@ -190,6 +198,8 @@ let repl db ~engine ~output_json =
          set_timeout (String.sub line 9 (String.length line - 9))
        else if String.length line > 7 && String.sub line 0 7 = ".limit " then
          set_limit (String.sub line 7 (String.length line - 7))
+       else if String.length line > 9 && String.sub line 0 9 = ".domains " then
+         set_domains (String.sub line 9 (String.length line - 9))
        else if String.length line > 5 && String.sub line 0 5 = ".csv " then
          register_line `Csv (String.trim (String.sub line 5 (String.length line - 5)))
        else if String.length line > 6 && String.sub line 0 6 = ".json " then
@@ -214,7 +224,7 @@ let repl db ~engine ~output_json =
   0
 
 let run csvs jsons xmls binarrays use_sql explain engine show_stats output_json
-    timeout_ms memory_budget interactive query =
+    timeout_ms memory_budget domains interactive query =
   let limits =
     { Vida_governor.Governor.unlimited with
       Vida_governor.Governor.deadline_ms =
@@ -222,7 +232,7 @@ let run csvs jsons xmls binarrays use_sql explain engine show_stats output_json
       memory_budget =
         (match memory_budget with Some b when b > 0 -> Some b | _ -> None) }
   in
-  let db = Vida.create ~limits () in
+  let db = Vida.create ?domains ~limits () in
   register db "csv" csvs;
   register db "json" jsons;
   List.iter
@@ -266,6 +276,10 @@ let timeout_arg =
 let budget_arg =
   Arg.(value & opt (some int) None & info [ "memory-budget" ] ~docv:"BYTES"
        ~doc:"Per-query memory budget in bytes for materialized state and cache admissions; exceeding it fails with a structured budget error (exit code 72).")
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+       ~doc:"Worker-domain budget for parallel query regions, clamped to the hardware core count; the VIDA_DOMAINS environment variable overrides it. Default: the hardware count (1 = sequential).")
+
 let json_out_arg = Arg.(value & flag & info [ "output-json" ] ~doc:"Print the result as JSON.")
 
 let xml_arg =
@@ -284,6 +298,6 @@ let cmd =
     Term.(
       const run $ csv_arg $ json_arg $ xml_arg $ binarray_arg $ sql_arg
       $ explain_arg $ engine_arg $ stats_arg $ json_out_arg $ timeout_arg
-      $ budget_arg $ interactive_arg $ query_arg)
+      $ budget_arg $ domains_arg $ interactive_arg $ query_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -22,15 +22,22 @@ type t = {
   mutable result_stale_drops : int;
 }
 
-let create ?cache_capacity ?(limits = Governor.unlimited) () =
+let create ?cache_capacity ?domains ?(limits = Governor.unlimited) () =
   let registry = Registry.create () in
-  let ctx = Plugins.create_ctx ?cache_capacity registry in
+  let ctx = Plugins.create_ctx ?cache_capacity ?domains registry in
   { registry; ctx; params = []; limits; queries_run = 0; queries_from_cache = 0;
     session_io = Vida_raw.Io_stats.zero; result_cache = Hashtbl.create 64;
     result_hits = 0; result_stale_drops = 0 }
 
 let set_limits t limits = t.limits <- limits
 let limits t = t.limits
+
+(* [set_domains] takes the request literally (only floored at 1): a
+   deliberate programmatic choice may oversubscribe the hardware — tests
+   exercising the parallel path on small machines, IO-bound scans — while
+   [create ?domains] resolves conservatively through {!Vida_raw.Morsel}. *)
+let set_domains t d = t.ctx <- { t.ctx with Plugins.domains = max 1 d }
+let domains t = t.ctx.Plugins.domains
 
 let csv t ~name ~path ?delim ?header ?schema () =
   ignore (Registry.register_csv t.registry ~name ~path ?delim ?header ?schema ())
@@ -156,7 +163,9 @@ let refresh_referenced t expr =
       | _ -> ())
     (Expr.free_vars expr)
 
-let now_ms () = Sys.time () *. 1000.
+(* wall-clock milliseconds: reported durations must include time spent
+   blocked or on worker domains, which CPU time ([Sys.time]) misses *)
+let now_ms () = Unix.gettimeofday () *. 1000.
 
 let rec run_expr ?(engine = Jit) ?(optimize = true) ?(reuse = true) t (expr : Expr.t) :
     (result, error) Result.t =
@@ -226,12 +235,32 @@ and run_governed ~engine ~optimize ~reuse ~session t (expr : Expr.t) :
           match Governor.Chaos.take_jit_failure () with
           | Some reason -> degrade reason
           | None -> (
-            match (Compile.query t.ctx plan) () with
-            | value -> value
-            | exception Plugins.Engine_error msg -> degrade msg
-            | exception Eval.Error msg -> degrade msg
-            | exception Value.Type_error msg -> degrade msg
-            | exception Invalid_argument msg -> degrade msg))
+            let run_sequential () =
+              match (Compile.query t.ctx plan) () with
+              | value -> value
+              | exception Plugins.Engine_error msg -> degrade msg
+              | exception Eval.Error msg -> degrade msg
+              | exception Value.Type_error msg -> degrade msg
+              | exception Invalid_argument msg -> degrade msg
+            in
+            (* degradation ladder, rung 0: with a domain budget > 1, try
+               the morsel-parallel engine; a decline (unsupported shape)
+               or an engine failure falls back to the sequential JIT.
+               Governor violations and structured data errors propagate
+               from workers exactly as from the sequential path. *)
+            if t.ctx.Plugins.domains > 1 then
+              match Parallel.try_query t.ctx plan with
+              | Some value -> value
+              | None -> run_sequential ()
+              | exception
+                  ( Plugins.Engine_error msg
+                  | Eval.Error msg
+                  | Value.Type_error msg
+                  | Invalid_argument msg ) ->
+                Governor.note_fallback ~session ~stage:"parallel->sequential"
+                  ~reason:msg ();
+                run_sequential ()
+            else run_sequential ()))
       in
       let t1 = now_ms () in
       let io_before = Vida_raw.Io_stats.current () in

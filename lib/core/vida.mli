@@ -30,14 +30,31 @@ type engine = Jit | Generic
 (** [create ()] — an empty session. [cache_capacity] bounds ViDa's data
     caches in bytes (default 256 MB). [limits] are the per-query resource
     limits (deadline, memory budget, retry policy) every query launched
-    from this instance runs under; default {!Vida_governor.Governor.unlimited}. *)
-val create : ?cache_capacity:int -> ?limits:Vida_governor.Governor.limits -> unit -> t
+    from this instance runs under; default {!Vida_governor.Governor.unlimited}.
+    [domains] is the worker-domain budget for parallel query regions,
+    resolved as {!Vida_raw.Morsel.resolve}: the [VIDA_DOMAINS] environment
+    override wins, else the request clamped to the hardware count, else
+    the hardware count. With a budget of 1 every query runs on the
+    sequential engines. *)
+val create :
+  ?cache_capacity:int -> ?domains:int ->
+  ?limits:Vida_governor.Governor.limits -> unit -> t
 
 (** [set_limits t limits] changes the per-query resource limits for
     subsequent queries (the CLI's [.timeout] / [.limit] commands). *)
 val set_limits : t -> Vida_governor.Governor.limits -> unit
 
 val limits : t -> Vida_governor.Governor.limits
+
+(** [set_domains t d] sets the domain budget for subsequent queries,
+    taking [d] literally (floored at 1, {e not} clamped to the hardware):
+    deliberate oversubscription is allowed — differential tests on small
+    machines, IO-bound scans. The [VIDA_DOMAINS] environment variable only
+    affects budgets resolved at {!create} time, never this setter. *)
+val set_domains : t -> int -> unit
+
+(** [domains t] — the current domain budget. *)
+val domains : t -> int
 
 (** {1 Registering raw sources}
 

@@ -2,11 +2,42 @@ open Vida_data
 open Vida_calculus
 open Vida_algebra
 open Vida_catalog
+module Morsel = Vida_raw.Morsel
+module Governor = Vida_governor.Governor
 
-(* Decompose Select*/Map* over a single Source; returns the source parts and
-   the operator stack outer-to-inner. *)
+(* Morsel-driven parallel execution over columnar scans.
+
+   [try_query] recognizes plan shapes whose hot loop can fold disjoint row
+   ranges on worker domains:
+
+     - Reduce over a Select*/Map* chain on one columnar source, for every
+       monoid: morsel partials are merged in morsel (= source) order, so
+       non-commutative collection monoids concatenate correctly;
+     - Reduce over an equi-Join of two such chains: parallel hash build
+       over right-side morsels (stitched in source order), then a parallel
+       probe+fold over left-side morsels;
+     - a bare chain (no Reduce): parallel filtered/projected
+       materialization, concatenated in morsel order — the same bag, in
+       the same order, the sequential engine produces.
+
+   Anything else returns [None] and the caller falls back to the
+   sequential engines — that fallback is the correctness anchor: with
+   [domains = 1] or an unsupported shape, results are the sequential
+   engine's by construction.
+
+   Worker-domain safety: each task compiles its own closures (no shared
+   mutable compile state), reads immutable column arrays built up front on
+   the calling domain, and polls/charges the caller's governor session
+   through its atomic counters. Expressions whose compiled form could
+   touch shared lazy state (subqueries, lambdas, free variables that
+   resolve to registry sources and would materialize them inside a
+   worker) are rejected by [worker_safe] below, declining parallelism
+   rather than racing. *)
+
 type step = Filter of Expr.t | Bind of string * Expr.t
 
+(* Decompose Select*/Map* over a single Source; returns the source var and
+   name plus the operator steps in execution order (innermost first). *)
 let rec decompose (p : Plan.t) steps =
   match p with
   | Plan.Select { pred; child } -> decompose child (Filter pred :: steps)
@@ -14,77 +45,392 @@ let rec decompose (p : Plan.t) steps =
   | Plan.Source { var; expr = Expr.Var name } -> Some (var, name, steps)
   | _ -> None
 
-let reduce ctx ?domains (plan : Plan.t) : Value.t option =
-  match plan with
-  | Plan.Reduce { monoid; head; child } when Monoid.commutative monoid -> (
-    match decompose child [] with
+let chain_vars var steps =
+  var :: List.filter_map (function Bind (v, _) -> Some v | Filter _ -> None) steps
+
+(* Closure compilation of [e] must not reach shared mutable state when run
+   on a worker domain: no subqueries (their pipelines own feedback/flush
+   state), no lambdas (interpreter fallback materializes every registered
+   source), and every free variable either plan-bound or an immutable
+   session parameter (an unbound one would lazily materialize a source
+   inside the worker). *)
+let rec worker_safe (e : Expr.t) =
+  match e with
+  | Expr.Comp _ | Expr.Lambda _ | Expr.Apply _ -> false
+  | Expr.Const _ | Expr.Var _ | Expr.Zero _ -> true
+  | Expr.Proj (e, _) | Expr.UnOp (_, e) | Expr.Singleton (_, e) -> worker_safe e
+  | Expr.Record fields -> List.for_all (fun (_, e) -> worker_safe e) fields
+  | Expr.If (a, b, c) -> worker_safe a && worker_safe b && worker_safe c
+  | Expr.BinOp (_, a, b) | Expr.Merge (_, a, b) -> worker_safe a && worker_safe b
+  | Expr.Index (e, idxs) -> worker_safe e && List.for_all worker_safe idxs
+
+let scoped ctx ~bound e =
+  worker_safe e
+  && List.for_all
+       (fun v -> List.mem v bound || List.mem_assoc v ctx.Plugins.params)
+       (Expr.free_vars e)
+
+let steps_scoped ctx ~bound steps =
+  List.for_all
+    (function Filter p -> scoped ctx ~bound p | Bind (_, e) -> scoped ctx ~bound e)
+    steps
+
+(* Fields of [source] the plan needs for chain variable [var]. [Whole] is
+   only honored for formats whose declared field list reconstructs the
+   row exactly as the sequential producer does (CSV schema, binary-array
+   header); JSON/XML objects may carry fields beyond the declared element
+   type, so [Whole] declines there. *)
+let fields_for ctx ?(whole = false) plan ~var (source : Source.t) =
+  match
+    if whole then Analysis.Whole else Analysis.plan_var_needs plan ~var
+  with
+  | Analysis.Fields fs -> Some fs
+  | Analysis.Whole -> (
+    match source.Source.format with
+    | Source.Csv { schema; _ } -> Some (Schema.names schema)
+    | Source.Binary_array ->
+      Some
+        (List.map
+           (fun f -> f.Vida_raw.Binarray.name)
+           (Vida_raw.Binarray.header
+              (Structures.binarray ctx.Plugins.structures source))
+             .fields)
+    | _ -> None)
+
+type chain = {
+  var : string;
+  steps : step list;
+  n : int;  (* row count *)
+  columns : (string * Value.t array) array;
+}
+
+let resolve_chain ctx ?whole plan (p : Plan.t) =
+  match decompose p [] with
+  | None -> None
+  | Some (var, name, steps) -> (
+    match Registry.find ctx.Plugins.registry name with
     | None -> None
-    | Some (var, name, steps) -> (
-      match Registry.find ctx.Plugins.registry name with
-      | None -> None
-      | Some source -> (
-        let fields =
-          match Analysis.plan_var_needs plan ~var with
-          | Analysis.Fields fs -> fs
-          | Analysis.Whole -> (
-            match source.Source.format with
-            | Source.Csv { schema; _ } -> Vida_data.Schema.names schema
-            | _ -> [])
-        in
-        match
-          (if fields = [] then None else Plugins.column_arrays ctx source ~fields)
-        with
-        | None -> None
-        | Some (n, columns) ->
-          (* variables bound along the chain: source var then binds *)
-          let vars =
-            var :: List.filter_map (function Bind (v, _) -> Some v | Filter _ -> None) steps
-          in
-          let slots = List.mapi (fun i v -> (v, i)) vars in
-          let domains =
-            let d =
-              match domains with
-              | Some d -> d
-              | None -> Domain.recommended_domain_count ()
-            in
-            max 1 (min 8 (min d n))
-          in
-          (* per-domain fold over a disjoint row range; closures are built
-             inside each domain so nothing mutable is shared *)
-          let fold_range lo hi () =
-            let compiled_steps =
-              List.map
-                (function
-                  | Filter pred -> `Filter (Compile.scalar ctx ~slots pred)
-                  | Bind (v, e) -> `Bind (List.assoc v slots, Compile.scalar ctx ~slots e))
-                steps
-            in
-            let chead = Compile.scalar ctx ~slots head in
-            let env = Array.make (List.length vars) Value.Null in
-            let acc = ref (Monoid.zero monoid) in
-            for i = lo to hi - 1 do
-              env.(0) <- Value.Record (List.map (fun (f, arr) -> (f, arr.(i))) columns);
-              let rec apply = function
-                | [] -> acc := Monoid.merge monoid !acc (Monoid.unit monoid (chead env))
-                | `Filter cp :: rest -> if Eval.truthy (cp env) then apply rest
-                | `Bind (slot, ce) :: rest ->
-                  env.(slot) <- ce env;
-                  apply rest
-              in
-              apply compiled_steps
-            done;
-            !acc
-          in
-          let chunk = (n + domains - 1) / max 1 domains in
-          let handles =
-            List.init domains (fun d ->
-                let lo = d * chunk and hi = min n ((d + 1) * chunk) in
-                Domain.spawn (fold_range lo hi))
-          in
-          let total =
-            List.fold_left
-              (fun acc h -> Monoid.merge monoid acc (Domain.join h))
-              (Monoid.zero monoid) handles
-          in
-          Some (Monoid.finalize monoid total))))
+    | Some source -> (
+      let bound = chain_vars var steps in
+      if not (steps_scoped ctx ~bound steps) then None
+      else
+        match fields_for ctx ?whole plan ~var source with
+        | None -> None (* Whole needed, format can't reconstruct rows *)
+        | Some fields -> (
+          (* [] is fine: only the row count matters (e.g. a neutralized
+             count head) and column_arrays reports it for every format *)
+          match Plugins.column_arrays ctx source ~fields with
+          | None -> None
+          | Some (n, columns) ->
+            Some { var; steps; n; columns = Array.of_list columns })))
+
+(* Per-task compiled pipeline for one chain: applies steps to the row
+   loaded in slot [base] and calls [sink] on rows that survive. Compiled
+   closures are task-local; the column arrays they read are immutable. *)
+let compile_steps ctx ~slots steps =
+  List.map
+    (function
+      | Filter pred -> `Filter (Compile.scalar ctx ~slots pred)
+      | Bind (v, e) -> `Bind (List.assoc v slots, Compile.scalar ctx ~slots e))
+    steps
+
+let run_steps compiled env k =
+  let rec apply = function
+    | [] -> k ()
+    | `Filter cp :: rest -> if Eval.truthy (cp env) then apply rest
+    | `Bind (slot, ce) :: rest ->
+      env.(slot) <- ce env;
+      apply rest
+  in
+  apply compiled
+
+(* Row record built from hoisted column arrays without a per-row closure. *)
+let record_of_columns columns i =
+  let rec go j acc =
+    if j < 0 then acc
+    else
+      let f, arr = Array.unsafe_get columns j in
+      go (j - 1) ((f, arr.(i)) :: acc)
+  in
+  Value.Record (go (Array.length columns - 1) [])
+
+(* Morsels per domain: a few extra so the atomic-counter scheduler can
+   rebalance skew between chunks. *)
+let morsel_ranges n d = Morsel.chunks n (d * 4)
+
+(* --- Reduce over a single chain ------------------------------------- *)
+
+let fold_chain ctx ~domains ~monoid ~head (c : chain) =
+  let vars = chain_vars c.var c.steps in
+  let slots = List.mapi (fun i v -> (v, i)) vars in
+  let nslots = List.length vars in
+  let ranges = morsel_ranges c.n domains in
+  let partials =
+    Morsel.run ~domains ~tasks:(Array.length ranges) (fun t ->
+        let compiled = compile_steps ctx ~slots c.steps in
+        let chead = Compile.scalar ctx ~slots head in
+        let env = Array.make nslots Value.Null in
+        let acc = ref (Monoid.zero monoid) in
+        let lo, hi = ranges.(t) in
+        for i = lo to hi - 1 do
+          Governor.poll ~source:"parallel" ();
+          env.(0) <- record_of_columns c.columns i;
+          run_steps compiled env (fun () ->
+              acc := Monoid.merge monoid !acc (Monoid.unit monoid (chead env)))
+        done;
+        !acc)
+  in
+  (* indexed merge: partials combine in morsel (= source) order, which is
+     what makes non-commutative monoids (list/array concat) correct *)
+  Monoid.finalize monoid
+    (Array.fold_left (Monoid.merge monoid) (Monoid.zero monoid) partials)
+
+(* --- bare chain: parallel filtered/projected materialization --------- *)
+
+let materialize_chain ctx ~domains (c : chain) =
+  let vars = chain_vars c.var c.steps in
+  let slots = List.mapi (fun i v -> (v, i)) vars in
+  let nslots = List.length vars in
+  let ranges = morsel_ranges c.n domains in
+  let chunks =
+    Morsel.run ~domains ~tasks:(Array.length ranges) (fun t ->
+        let compiled = compile_steps ctx ~slots c.steps in
+        let env = Array.make nslots Value.Null in
+        let out = ref [] in
+        let lo, hi = ranges.(t) in
+        for i = lo to hi - 1 do
+          Governor.poll ~source:"parallel" ();
+          env.(0) <- record_of_columns c.columns i;
+          run_steps compiled env (fun () ->
+              out :=
+                Value.Record
+                  (List.map (fun (v, s) -> (v, env.(s))) slots)
+                :: !out)
+        done;
+        List.rev !out)
+  in
+  Value.Bag (List.concat (Array.to_list chunks))
+
+(* --- Reduce over an equi-join of two chains -------------------------- *)
+
+module Vkey = struct
+  type t = Value.t list
+
+  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+  let hash ks = List.fold_left (fun acc v -> (acc * 65599) + Value.hash v) 17 ks
+end
+
+module Vtbl = Hashtbl.Make (Vkey)
+
+let charge_snapshot (vs : Value.t list) =
+  if Governor.budgeted () then
+    Governor.charge ~source:"parallel"
+      (List.fold_left
+         (fun acc v -> acc + 16 + Vida_storage.Cache.value_bytes v)
+         0 vs)
+
+let join_reduce ctx ~domains ~monoid ~head ~pred ~post (lc : chain) (rc : chain) =
+  let lvars = chain_vars lc.var lc.steps and rvars = chain_vars rc.var rc.steps in
+  let post_vars =
+    List.filter_map (function Bind (v, _) -> Some v | Filter _ -> None) post
+  in
+  let vars = lvars @ rvars @ post_vars in
+  let slots = List.mapi (fun i v -> (v, i)) vars in
+  let nslots = List.length vars in
+  let lbase = 0 and rbase = List.length lvars in
+  let keys, residual = Analysis.split_equi ~left:lvars ~right:rvars pred in
+  if keys = [] then None
+  else if
+    not
+      (scoped ctx ~bound:vars head
+      && steps_scoped ctx ~bound:vars post
+      && List.for_all
+           (fun (l, r) -> scoped ctx ~bound:vars l && scoped ctx ~bound:vars r)
+           keys
+      && (match residual with Some r -> scoped ctx ~bound:vars r | None -> true))
+  then None
+  else begin
+    let right_slots = List.mapi (fun i _ -> rbase + i) rvars in
+    (* build: each right-side morsel collects (key, snapshot) pairs in row
+       order; the hash table is stitched on the calling domain in morsel
+       order, reproducing the sequential engine's bucket order exactly *)
+    let rranges = morsel_ranges rc.n domains in
+    let built =
+      Morsel.run ~domains ~tasks:(Array.length rranges) (fun t ->
+          let compiled = compile_steps ctx ~slots rc.steps in
+          let rkeys = List.map (fun (_, r) -> Compile.scalar ctx ~slots r) keys in
+          let env = Array.make nslots Value.Null in
+          let out = ref [] in
+          let lo, hi = rranges.(t) in
+          for i = lo to hi - 1 do
+            Governor.poll ~source:"parallel" ();
+            env.(rbase) <- record_of_columns rc.columns i;
+            run_steps compiled env (fun () ->
+                let key = List.map (fun c -> c env) rkeys in
+                (* NULL keys never match (three-valued equality) *)
+                if not (List.exists (fun v -> v = Value.Null) key) then (
+                  let snapshot = List.map (fun s -> env.(s)) right_slots in
+                  charge_snapshot snapshot;
+                  out := (key, snapshot) :: !out))
+          done;
+          List.rev !out)
+    in
+    let table : Value.t list list Vtbl.t = Vtbl.create 1024 in
+    Array.iter
+      (List.iter (fun (key, snapshot) ->
+           let bucket = try Vtbl.find table key with Not_found -> [] in
+           Vtbl.replace table key (snapshot :: bucket)))
+      built;
+    (* buckets were accumulated newest-first; flip them once so the probe
+       streams matches in right-source order, as the sequential probe does *)
+    let ordered = Vtbl.create (Vtbl.length table) in
+    Vtbl.iter (fun key bucket -> Vtbl.replace ordered key (List.rev bucket)) table;
+    (* hash build done: boundary check before the probe phase starts *)
+    Governor.checkpoint ~source:"parallel" ();
+    let lranges = morsel_ranges lc.n domains in
+    let partials =
+      Morsel.run ~domains ~tasks:(Array.length lranges) (fun t ->
+          let compiled = compile_steps ctx ~slots lc.steps in
+          let cpost = compile_steps ctx ~slots post in
+          let lkeys = List.map (fun (l, _) -> Compile.scalar ctx ~slots l) keys in
+          let cresidual = Option.map (Compile.scalar ctx ~slots) residual in
+          let chead = Compile.scalar ctx ~slots head in
+          let env = Array.make nslots Value.Null in
+          let acc = ref (Monoid.zero monoid) in
+          let lo, hi = lranges.(t) in
+          for i = lo to hi - 1 do
+            Governor.poll ~source:"parallel" ();
+            env.(lbase) <- record_of_columns lc.columns i;
+            run_steps compiled env (fun () ->
+                let key = List.map (fun c -> c env) lkeys in
+                if not (List.exists (fun v -> v = Value.Null) key) then
+                  match Vtbl.find_opt ordered key with
+                  | None -> ()
+                  | Some bucket ->
+                    List.iter
+                      (fun snapshot ->
+                        List.iter2
+                          (fun s v -> env.(s) <- v)
+                          right_slots snapshot;
+                        let emit () =
+                          run_steps cpost env (fun () ->
+                              acc :=
+                                Monoid.merge monoid !acc
+                                  (Monoid.unit monoid (chead env)))
+                        in
+                        match cresidual with
+                        | None -> emit ()
+                        | Some cr -> if Eval.truthy (cr env) then emit ())
+                      bucket)
+          done;
+          !acc)
+    in
+    Some
+      (Monoid.finalize monoid
+         (Array.fold_left (Monoid.merge monoid) (Monoid.zero monoid) partials))
+  end
+
+(* --- entry point ------------------------------------------------------ *)
+
+(* Peel Select/Map operators above a join/product core, in execution
+   order (innermost first) — the translator leaves join predicates as
+   Selects above a Product. *)
+let rec strip_ops (p : Plan.t) acc =
+  match p with
+  | Plan.Select { pred; child } -> strip_ops child (Filter pred :: acc)
+  | Plan.Map { var; expr; child } -> strip_ops child (Bind (var, expr) :: acc)
+  | core -> (core, acc)
+
+let conj = function
+  | [] -> None
+  | p :: ps ->
+    Some (List.fold_left (fun acc q -> Expr.BinOp (Expr.And, acc, q)) p ps)
+
+(* Reduce over a join/product core: resolve both input chains, push
+   one-sided filters into them (filters commute with the product — only
+   evaluation counts change, never results), conjoin two-sided filters
+   into the join predicate for equi-splitting, and keep everything else
+   (binds, filters over bind vars) as post-join steps. *)
+let try_join_reduce ctx ~domains:budget ~monoid ~head plan ~left ~right steps =
+  match (resolve_chain ctx plan left, resolve_chain ctx plan right) with
+  | Some lc, Some rc ->
+    let lvars = chain_vars lc.var lc.steps and rvars = chain_vars rc.var rc.steps in
+    let one_side vars e =
+      List.for_all
+        (fun v -> List.mem v vars || List.mem_assoc v ctx.Plugins.params)
+        (Expr.free_vars e)
+    in
+    let lpush = ref [] and rpush = ref [] and cross = ref [] and post = ref [] in
+    List.iter
+      (fun stp ->
+        match stp with
+        | Filter p when one_side lvars p -> lpush := stp :: !lpush
+        | Filter p when one_side rvars p -> rpush := stp :: !rpush
+        | Filter p when one_side (lvars @ rvars) p -> cross := p :: !cross
+        | stp -> post := stp :: !post)
+      steps;
+    (match conj (List.rev !cross) with
+    | None -> None (* pure product: no equi-conjunct to build a table on *)
+    | Some pred ->
+      let lc = { lc with steps = lc.steps @ List.rev !lpush } in
+      let rc = { rc with steps = rc.steps @ List.rev !rpush } in
+      let domains = Morsel.domains_for_rows ~domains:budget (lc.n + rc.n) in
+      if domains <= 1 then None
+      else
+        join_reduce ctx ~domains ~monoid ~head ~pred ~post:(List.rev !post) lc rc)
   | _ -> None
+
+let try_query ctx ?domains (plan : Plan.t) : Value.t option =
+  let budget =
+    match domains with Some d -> max 1 d | None -> ctx.Plugins.domains
+  in
+  if budget <= 1 then None
+  else
+    match plan with
+    | Plan.Reduce { monoid; head; child } -> (
+      (* [count v] where [v] is a generator variable counts one per row —
+         generator bindings are records, never [Null], so count's
+         NULL-skipping cannot fire. Neutralizing the head before needs
+         analysis keeps [count r] over a hierarchical source from
+         demanding whole objects. (Map-bound vars can be [Null] and must
+         keep their head: sequential count skips them.) *)
+      let rec source_vars p acc =
+        match p with
+        | Plan.Source { var; _ } -> var :: acc
+        | Plan.Select { child; _ } | Plan.Map { child; _ } ->
+          source_vars child acc
+        | Plan.Join { left; right; _ } | Plan.Product { left; right } ->
+          source_vars left (source_vars right acc)
+        | _ -> acc
+      in
+      let head, plan =
+        match (monoid, head) with
+        | Monoid.Prim Monoid.Count, Expr.Var v
+          when List.mem v (source_vars child []) ->
+          let h = Expr.Const (Value.Int 0) in
+          (h, Plan.Reduce { monoid; head = h; child })
+        | _ -> (head, plan)
+      in
+      match resolve_chain ctx plan child with
+      | Some c ->
+        if not (scoped ctx ~bound:(chain_vars c.var c.steps) head) then None
+        else
+          let domains = Morsel.domains_for_rows ~domains:budget c.n in
+          if domains <= 1 then None
+          else Some (fold_chain ctx ~domains ~monoid ~head c)
+      | None -> (
+        match strip_ops child [] with
+        | Plan.Join { pred; left; right }, steps ->
+          try_join_reduce ctx ~domains:budget ~monoid ~head plan ~left ~right
+            (Filter pred :: steps)
+        | Plan.Product { left; right }, steps ->
+          try_join_reduce ctx ~domains:budget ~monoid ~head plan ~left ~right steps
+        | _ -> None))
+    | p -> (
+      (* bare chain output carries every binder's whole record *)
+      match resolve_chain ctx ~whole:true p p with
+      | None -> None
+      | Some c ->
+        let domains = Morsel.domains_for_rows ~domains:budget c.n in
+        if domains <= 1 then None
+        else Some (materialize_chain ctx ~domains c))

@@ -1,19 +1,32 @@
-(** Parallel in-situ reduction (paper §8 cites parallel operators for
-    in-situ processing; monoids make it principled: any commutative monoid
-    aggregation splits into per-domain partial folds merged at the end).
+(** Morsel-driven parallel execution (paper §8 cites parallel operators
+    for in-situ processing; monoids make it principled: any monoid
+    aggregation splits into per-morsel partial folds merged back in
+    source order).
 
-    Supported shape: [Reduce] with a commutative accumulator over a chain
-    of selections/maps above a single CSV / binary-array / inline source.
-    The needed columns are faulted in once (single-threaded, through the
-    ordinary plugins and caches); the fold then runs on OCaml 5 domains
-    over disjoint row ranges, each with its own generated closures, and
-    the partial accumulators merge. Floating-point accumulations are
+    Supported plan shapes, each over Select*/Map* chains on single
+    columnar sources (CSV, binary array, JSON lines, XML, inline
+    records):
+
+    - [Reduce] with {e any} monoid — partials merge in morsel order, so
+      non-commutative collection monoids (list/array) concatenate
+      correctly;
+    - [Reduce] over an equi-[Join] of two such chains — parallel hash
+      build (stitched in right-source order) then parallel probe+fold;
+    - a bare chain — parallel filtered/projected materialization,
+      concatenated in morsel order.
+
+    Needed columns are faulted in once on the calling domain (through the
+    ordinary plugins and caches); workers then read only immutable arrays
+    and their own task-compiled closures, polling the caller's governor
+    session through atomic counters. Floating-point accumulations are
     reassociated by the split, so float aggregates can differ from the
     sequential result in the last bits. *)
 
-(** [reduce ctx ?domains plan] — [None] when the plan is outside the
-    parallelizable fragment (callers fall back to {!Compile.query}).
-    [domains] defaults to [Domain.recommended_domain_count ()], capped at
-    8. *)
-val reduce :
+(** [try_query ctx ?domains plan] — [None] when the plan is outside the
+    parallelizable fragment or the effective domain budget is 1 (callers
+    fall back to {!Compile.query}; with [domains = 1] the sequential
+    engines are authoritative). [domains] defaults to
+    [ctx.domains]; either is clamped per region to the row count and the
+    {!Vida_raw.Morsel} minimum-rows floor. *)
+val try_query :
   Plugins.ctx -> ?domains:int -> Vida_algebra.Plan.t -> Vida_data.Value.t option

@@ -14,13 +14,16 @@ type ctx = {
       (* sources whose structural bad spans (e.g. malformed XML elements)
          were already copied into the policy's quarantine report *)
   feedback : Feedback.t;
+  domains : int;
+      (* domain budget for parallel regions (morsel folds, chunked
+         auxiliary-structure builds); 1 = strictly sequential *)
 }
 
 exception Engine_error of string
 
 let engine_error fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
 
-let create_ctx ?cache_capacity ?(params = []) registry =
+let create_ctx ?cache_capacity ?(params = []) ?domains registry =
   let cache =
     match cache_capacity with
     | Some capacity_bytes -> Cache.create ~capacity_bytes ()
@@ -29,7 +32,8 @@ let create_ctx ?cache_capacity ?(params = []) registry =
   { registry; cache; structures = Structures.create (); params;
     cleaning = Hashtbl.create 4; bad_rows = Hashtbl.create 4;
     structural_quarantined = Hashtbl.create 4;
-    feedback = Feedback.create () }
+    feedback = Feedback.create ();
+    domains = Vida_raw.Morsel.resolve ?requested:domains () }
 
 let whole_object_item = "__object__"
 
@@ -104,10 +108,18 @@ let csv_columns ctx (source : Source.t) schema fs =
   in
   let loaded = Hashtbl.create 8 in
   if missing <> [] then (
-    let pm = Structures.posmap ctx.structures source in
+    let pm = Structures.posmap ~domains:ctx.domains ctx.structures source in
     let nrows = Vida_raw.Positional_map.row_count pm in
-    let arrays = List.map (fun (f, col) -> (f, col, Array.make nrows Value.Null)) missing in
-    let cols = List.map (fun (_, col, _) -> col) arrays in
+    (* field types hoisted out of the per-row callback: one schema lookup
+       per column for the whole scan, not one per cell *)
+    let arrays =
+      List.map
+        (fun (f, col) ->
+          let ty = (Schema.attr schema (Schema.index_exn schema f)).Schema.ty in
+          (f, ty, col, Array.make nrows Value.Null))
+        missing
+    in
+    let cols = List.map (fun (_, _, col, _) -> col) arrays in
     let bad = bad_set ctx source.Source.name in
     Vida_raw.Positional_map.record_while_scanning pm ~cols (fun row fields ->
         let span =
@@ -116,8 +128,7 @@ let csv_columns ctx (source : Source.t) schema fs =
           (name, start, stop - start)
         in
         List.iteri
-          (fun i (f, _, arr) ->
-            let ty = (Schema.attr schema (Schema.index_exn schema f)).Schema.ty in
+          (fun i (f, ty, _, arr) ->
             match Vida_cleaning.Policy.clean ~span policy ~field:f ty fields.(i) with
             | Ok (Some v) -> arr.(row) <- v
             | Ok None ->
@@ -128,7 +139,7 @@ let csv_columns ctx (source : Source.t) schema fs =
               Vida_error.parse_error ~source:name ~offset "%s" msg)
           arrays);
     List.iter
-      (fun (f, _, arr) ->
+      (fun (f, _, _, arr) ->
         cache_put ctx source (key f) (Cache.Values arr);
         Hashtbl.replace loaded f arr)
       arrays);
@@ -151,7 +162,7 @@ let csv_columns ctx (source : Source.t) schema fs =
   in
   let nrows =
     if !nrows >= 0 then !nrows
-    else Vida_raw.Positional_map.row_count (Structures.posmap ctx.structures source)
+    else Vida_raw.Positional_map.row_count (Structures.posmap ~domains:ctx.domains ctx.structures source)
   in
   (columns, nrows)
 
@@ -182,7 +193,7 @@ let json_field_column ctx (source : Source.t) f =
   match cache_find ctx source key with
   | Some (Cache.Values vs) -> vs
   | Some _ | None ->
-    let si = Structures.semi_index ctx.structures source in
+    let si = Structures.semi_index ~domains:ctx.domains ctx.structures source in
     let n = Vida_raw.Semi_index.object_count si in
     let policy = cleaning_policy ctx source.Source.name in
     let bad = bad_set ctx source.Source.name in
@@ -216,7 +227,7 @@ let json_producer ctx (source : Source.t) need consumer =
       match columns with
       | (_, arr) :: _ -> Array.length arr
       | [] ->
-        Vida_raw.Semi_index.object_count (Structures.semi_index ctx.structures source)
+        Vida_raw.Semi_index.object_count (Structures.semi_index ~domains:ctx.domains ctx.structures source)
     in
     let bad = bad_set ctx source.Source.name in
     for obj = 0 to n - 1 do
@@ -257,7 +268,7 @@ let json_producer ctx (source : Source.t) need consumer =
         (fun s -> if s <> "" then consumer (Vbson.decode ~source:name s))
         encoded
     | Some _ | None ->
-      let si = Structures.semi_index ctx.structures source in
+      let si = Structures.semi_index ~domains:ctx.domains ctx.structures source in
       let n = Vida_raw.Semi_index.object_count si in
       let policy = cleaning_policy ctx name in
       let bad = bad_set ctx name in
@@ -474,17 +485,45 @@ let column_arrays ctx (source : Source.t) ~fields =
     | Source.Inline v ->
       let elements = Array.of_list (Value.elements v) in
       let n = Array.length elements in
-      Some
-        ( n,
-          List.map
-            (fun f ->
-              ( f,
-                Array.map
-                  (fun e ->
-                    match Value.field_opt e f with Some v -> v | None -> Value.Null)
-                  elements ))
-            fields )
-    | Source.Json_lines _ | Source.Xml _ | Source.External _ -> None
+      (* non-record elements would make field extraction silently yield
+         Null where the row engines raise a type error — decline instead *)
+      if not (Array.for_all (function Value.Record _ -> true | _ -> false) elements)
+      then None
+      else
+        Some
+          ( n,
+            List.map
+              (fun f ->
+                ( f,
+                  Array.map
+                    (fun e ->
+                      match Value.field_opt e f with Some v -> v | None -> Value.Null)
+                    elements ))
+              fields )
+    | Source.Json_lines _ ->
+      let columns = List.map (fun f -> (f, json_field_column ctx source f)) fields in
+      (* the cold column build may itself have marked objects bad — same
+         re-check as the CSV path, or the columnar fold would include
+         objects the cleaning policy skips *)
+      if bad_row_count ctx source.Source.name > 0 then None
+      else
+        let n =
+          match columns with
+          | (_, arr) :: _ -> Array.length arr
+          | [] ->
+            Vida_raw.Semi_index.object_count
+              (Structures.semi_index ~domains:ctx.domains ctx.structures source)
+        in
+        Some (n, columns)
+    | Source.Xml _ ->
+      let columns = List.map (fun f -> (f, xml_field_column ctx source f)) fields in
+      let n =
+        match columns with
+        | (_, arr) :: _ -> Array.length arr
+        | [] -> Vida_raw.Xml_index.element_count (xml_index_reported ctx source)
+      in
+      Some (n, columns)
+    | Source.External _ -> None
 
 (* --- generic --- *)
 
@@ -524,9 +563,9 @@ let source_count ctx (source : Source.t) =
   match source.Source.format with
   | Source.Inline v -> List.length (Value.elements v)
   | Source.Csv _ ->
-    Vida_raw.Positional_map.row_count (Structures.posmap ctx.structures source)
+    Vida_raw.Positional_map.row_count (Structures.posmap ~domains:ctx.domains ctx.structures source)
   | Source.Json_lines _ ->
-    Vida_raw.Semi_index.object_count (Structures.semi_index ctx.structures source)
+    Vida_raw.Semi_index.object_count (Structures.semi_index ~domains:ctx.domains ctx.structures source)
   | Source.Xml _ ->
     Vida_raw.Xml_index.element_count (Structures.xml_index ctx.structures source)
   | Source.Binary_array ->

@@ -33,11 +33,18 @@ type ctx = {
   feedback : Feedback.t;
       (** observed selectivities/cardinalities from past executions,
           consulted by the optimizer (paper §5 runtime feedback) *)
+  domains : int;
+      (** domain budget for parallel regions (morsel-driven folds, chunked
+          auxiliary-structure builds); 1 = strictly sequential *)
 }
 
+(** [create_ctx ?domains] resolves the domain budget as
+    {!Vida_raw.Morsel.resolve}: the [VIDA_DOMAINS] environment override
+    wins, else [domains] clamped to the hardware count, else the hardware
+    count. *)
 val create_ctx :
   ?cache_capacity:int -> ?params:(string * Vida_data.Value.t) list ->
-  Vida_catalog.Registry.t -> ctx
+  ?domains:int -> Vida_catalog.Registry.t -> ctx
 
 exception Engine_error of string
 

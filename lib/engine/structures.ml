@@ -34,7 +34,7 @@ let buffer t source =
 
 let sidecar_path source = source_path source ^ ".vidx"
 
-let posmap t source =
+let posmap ?domains t source =
   match source.Source.format with
   | Source.Csv { delim; header; _ } ->
     memo t.posmaps source.Source.name (fun () ->
@@ -53,15 +53,16 @@ let posmap t source =
             Vida_governor.Governor.note_fallback ~stage:"sidecar->raw"
               ~reason ()
           | _ -> ());
-          Positional_map.build ~delim ~header (buffer t source))
+          Positional_map.build ~delim ~header ?domains (buffer t source))
   | _ ->
     Vida_error.invalid_request ~source:source.Source.name
       "Structures.posmap: %S is not a CSV source" source.Source.name
 
-let semi_index t source =
+let semi_index ?domains t source =
   match source.Source.format with
   | Source.Json_lines _ ->
-    memo t.semi_indexes source.Source.name (fun () -> Semi_index.build (buffer t source))
+    memo t.semi_indexes source.Source.name (fun () ->
+        Semi_index.build ?domains (buffer t source))
   | _ ->
     Vida_error.invalid_request ~source:source.Source.name
       "Structures.semi_index: %S is not a JSON source" source.Source.name

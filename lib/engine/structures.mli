@@ -16,8 +16,13 @@ val create : unit -> t
     does not match. *)
 val buffer : t -> Vida_catalog.Source.t -> Vida_raw.Raw_buffer.t
 
-val posmap : t -> Vida_catalog.Source.t -> Vida_raw.Positional_map.t
-val semi_index : t -> Vida_catalog.Source.t -> Vida_raw.Semi_index.t
+(** [posmap]/[semi_index] additionally accept [?domains]: a cold build of
+    the structure is chunked across that many domains (see
+    {!Vida_raw.Positional_map.build}); a sidecar restore or memo hit
+    ignores it. *)
+val posmap : ?domains:int -> t -> Vida_catalog.Source.t -> Vida_raw.Positional_map.t
+
+val semi_index : ?domains:int -> t -> Vida_catalog.Source.t -> Vida_raw.Semi_index.t
 val xml_index : t -> Vida_catalog.Source.t -> Vida_raw.Xml_index.t
 val binarray : t -> Vida_catalog.Source.t -> Vida_raw.Binarray.t
 

@@ -26,17 +26,21 @@ let max_backoff_ms = 250.0
 
 type fallback = { stage : string; reason : string }
 
+(* A session is shared by every domain participating in a parallel query
+   region, so all mutable state is [Atomic]: counters advance with
+   [fetch_and_add], the cancellation token is set with a compare-and-set
+   so the first reason wins, and the fallback log is a CAS-pushed list. *)
 type session = {
   id : int;
   name : string;
   limits : limits;
   started_at : float;  (* Unix.gettimeofday seconds *)
-  mutable cancel_reason : string option;
-  mutable cancel_at_poll : int option;
-  mutable polls : int;
-  mutable charged : int;
-  mutable retries : int;
-  mutable fallbacks : fallback list;  (* newest first *)
+  cancel_reason : string option Atomic.t;
+  cancel_at_poll : int option Atomic.t;
+  polls : int Atomic.t;
+  charged : int Atomic.t;
+  retries : int Atomic.t;
+  fallbacks : fallback list Atomic.t;  (* newest first *)
 }
 
 type report = {
@@ -50,7 +54,7 @@ type report = {
 let now_ms () = Unix.gettimeofday () *. 1000.
 let sleep_ms ms = if ms > 0. then Unix.sleepf (ms /. 1000.)
 
-let next_id = ref 0
+let next_id = Atomic.make 0
 
 let defaults = ref unlimited
 let set_default_limits l = defaults := l
@@ -58,27 +62,35 @@ let default_limits () = !defaults
 
 let start ?limits ?(name = "query") () =
   let limits = match limits with Some l -> l | None -> !defaults in
-  incr next_id;
-  { id = !next_id; name; limits; started_at = Unix.gettimeofday ();
-    cancel_reason = None; cancel_at_poll = None; polls = 0; charged = 0;
-    retries = 0; fallbacks = [] }
+  { id = Atomic.fetch_and_add next_id 1 + 1; name; limits;
+    started_at = Unix.gettimeofday ();
+    cancel_reason = Atomic.make None; cancel_at_poll = Atomic.make None;
+    polls = Atomic.make 0; charged = Atomic.make 0;
+    retries = Atomic.make 0; fallbacks = Atomic.make [] }
 
-let ambient : session option ref = ref None
-let current () = !ambient
+(* The ambient session is domain-local: each worker domain of a parallel
+   region re-installs the owning query's session via [with_session], so
+   polls and charges from every domain land on the same shared counters
+   while unrelated domains stay unaffected. *)
+let ambient : session option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get ambient
 
 let with_session s f =
-  let saved = !ambient in
-  ambient := Some s;
-  Fun.protect ~finally:(fun () -> ambient := saved) f
+  let saved = Domain.DLS.get ambient in
+  Domain.DLS.set ambient (Some s);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient saved) f
 
 let elapsed_ms s = now_ms () -. (s.started_at *. 1000.)
 
-let cancel s ~reason = if s.cancel_reason = None then s.cancel_reason <- Some reason
+let cancel s ~reason =
+  ignore (Atomic.compare_and_set s.cancel_reason None (Some reason))
 
 (* Deterministic cooperative-cancellation injection for tests: the token
    trips itself once the session has been polled [polls] times, exactly as
    an out-of-band [cancel] landing mid-scan would. *)
-let cancel_after_polls s ~polls = s.cancel_at_poll <- Some polls
+let cancel_after_polls s ~polls = Atomic.set s.cancel_at_poll (Some polls)
 
 let raise_for_cancel ~source reason = Vida_error.cancelled ~source "%s" reason
 
@@ -91,7 +103,7 @@ let check_deadline ~source s =
       Vida_error.deadline_exceeded ~source ~elapsed_ms:elapsed ~deadline_ms
 
 let check_session ~source s =
-  (match s.cancel_reason with
+  (match Atomic.get s.cancel_reason with
   | Some reason -> raise_for_cancel ~source reason
   | None -> ());
   check_deadline ~source s
@@ -100,55 +112,63 @@ let check_session ~source s =
    wall clock is consulted only every [poll_stride] calls so scan loops
    stay cheap on the fast path. *)
 let poll ?(source = "query") () =
-  match !ambient with
+  match Domain.DLS.get ambient with
   | None -> ()
   | Some s ->
-    s.polls <- s.polls + 1;
-    (match s.cancel_at_poll with
-    | Some n when s.polls >= n && s.cancel_reason = None ->
-      s.cancel_reason <- Some "cancellation token tripped"
+    let polls = Atomic.fetch_and_add s.polls 1 + 1 in
+    (match Atomic.get s.cancel_at_poll with
+    | Some n when polls >= n ->
+      ignore
+        (Atomic.compare_and_set s.cancel_reason None
+           (Some "cancellation token tripped"))
     | _ -> ());
-    (match s.cancel_reason with
+    (match Atomic.get s.cancel_reason with
     | Some reason -> raise_for_cancel ~source reason
     | None -> ());
-    if s.polls mod s.limits.poll_stride = 0 then check_deadline ~source s
+    if polls mod s.limits.poll_stride = 0 then check_deadline ~source s
 
 (* Operator-pipeline boundary check: always consults the clock. *)
 let checkpoint ?(source = "query") () =
-  match !ambient with None -> () | Some s -> check_session ~source s
+  match current () with None -> () | Some s -> check_session ~source s
 
 let budgeted () =
-  match !ambient with
+  match current () with
   | Some { limits = { memory_budget = Some _; _ }; _ } -> true
   | _ -> false
 
 let charge ?(source = "query") bytes =
-  match !ambient with
+  match current () with
   | None -> ()
   | Some s -> (
     match s.limits.memory_budget with
     | None -> ()
     | Some budget ->
-      s.charged <- s.charged + bytes;
-      if s.charged > budget then
-        Vida_error.budget_exceeded ~source ~requested:s.charged ~budget)
+      let charged = Atomic.fetch_and_add s.charged bytes + bytes in
+      if charged > budget then
+        Vida_error.budget_exceeded ~source ~requested:charged ~budget)
 
 (* (session id, budget, bytes already hard-charged) of the ambient
    budgeted session — what the cache needs to scope its admission
    accounting per query. *)
 let cache_budget () =
-  match !ambient with
+  match current () with
   | Some ({ limits = { memory_budget = Some budget; _ }; _ } as s) ->
     Some (s.id, budget)
   | _ -> None
 
+let rec atomic_push a x =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (x :: old)) then atomic_push a x
+
 let note_fallback ?session ~stage ~reason () =
-  match (match session with Some s -> Some s | None -> !ambient) with
+  match (match session with Some s -> Some s | None -> current ()) with
   | None -> ()
-  | Some s -> s.fallbacks <- { stage; reason } :: s.fallbacks
+  | Some s -> atomic_push s.fallbacks { stage; reason }
 
 let note_retry () =
-  match !ambient with None -> () | Some s -> s.retries <- s.retries + 1
+  match current () with
+  | None -> ()
+  | Some s -> ignore (Atomic.fetch_and_add s.retries 1)
 
 (* Bounded-exponential-backoff retry around a transient-failure-prone
    action (file loads). Only [Io_failure] is considered transient; any
@@ -157,10 +177,10 @@ let note_retry () =
    so retrying can never out-live the session's time budget. *)
 let with_retries ~source f =
   let limits =
-    match !ambient with Some s -> s.limits | None -> !defaults
+    match current () with Some s -> s.limits | None -> !defaults
   in
   let rec attempt k =
-    (match !ambient with Some s -> check_session ~source s | None -> ());
+    (match current () with Some s -> check_session ~source s | None -> ());
     match f () with
     | v -> v
     | exception Vida_error.Error (Vida_error.Io_failure _ as e) ->
@@ -171,15 +191,16 @@ let with_retries ~source f =
           Float.min max_backoff_ms
             (limits.retry_backoff_ms *. (2. ** float_of_int k))
         in
-        (match !ambient with Some s -> check_session ~source s | None -> ());
+        (match current () with Some s -> check_session ~source s | None -> ());
         sleep_ms backoff;
         attempt (k + 1))
   in
   attempt 0
 
 let report s =
-  { wall_ms = elapsed_ms s; polls = s.polls; charged_bytes = s.charged;
-    retries = s.retries; fallbacks = List.rev s.fallbacks }
+  { wall_ms = elapsed_ms s; polls = Atomic.get s.polls;
+    charged_bytes = Atomic.get s.charged; retries = Atomic.get s.retries;
+    fallbacks = List.rev (Atomic.get s.fallbacks) }
 
 let zero_report =
   { wall_ms = 0.; polls = 0; charged_bytes = 0; retries = 0; fallbacks = [] }
@@ -197,14 +218,19 @@ let pp_report ppf r =
    the governor's jit->generic degradation path. Complements the raw-byte
    faults in [Vida_raw.Fault_inject] at the engine layer. *)
 module Chaos = struct
-  let jit_failures = ref 0
+  let jit_failures = Atomic.make 0
 
-  let fail_jit_compiles n = jit_failures := n
-  let reset () = jit_failures := 0
+  let fail_jit_compiles n = Atomic.set jit_failures n
+  let reset () = Atomic.set jit_failures 0
 
   let take_jit_failure () =
-    if !jit_failures > 0 then (
-      decr jit_failures;
-      Some "injected JIT compile failure")
-    else None
+    let rec take () =
+      let n = Atomic.get jit_failures in
+      if n > 0 then
+        if Atomic.compare_and_set jit_failures n (n - 1) then
+          Some "injected JIT compile failure"
+        else take ()
+      else None
+    in
+    take ()
 end

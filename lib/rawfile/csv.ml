@@ -1,16 +1,22 @@
 open Vida_data
 
 (* [next_pos] convention: a value strictly greater than [row_end] means the
-   row is exhausted; otherwise it is the start offset of the next field. *)
-let field_bounds ~delim buf ~row_end pos =
+   row is exhausted; otherwise it is the start offset of the next field.
+
+   The tokenizer core works on the whole file as one immutable string:
+   [row_end] is clamped to the string length once on entry, after which
+   every access below is within-bounds by construction, so the hot loops
+   read with [String.unsafe_get] instead of paying a per-byte check. *)
+let field_bounds_str ~delim s ~row_end pos =
   Io_stats.add_fields_tokenized 1;
-  if pos < row_end && Raw_buffer.char_at buf pos = '"' then (
+  let row_end = min row_end (String.length s) in
+  if pos >= 0 && pos < row_end && String.unsafe_get s pos = '"' then (
     let rec scan i =
       if i >= row_end then i
       else
-        match Raw_buffer.char_at buf i with
+        match String.unsafe_get s i with
         | '"' ->
-          if i + 1 < row_end && Raw_buffer.char_at buf (i + 1) = '"' then scan (i + 2)
+          if i + 1 < row_end && String.unsafe_get s (i + 1) = '"' then scan (i + 2)
           else i
         | _ -> scan (i + 1)
     in
@@ -21,28 +27,35 @@ let field_bounds ~delim buf ~row_end pos =
        the row. *)
     let rec to_delim i =
       if i >= row_end then row_end + 1
-      else if Raw_buffer.char_at buf i = delim then i + 1
+      else if String.unsafe_get s i = delim then i + 1
       else to_delim (i + 1)
     in
     (pos + 1, close, to_delim (close + 1)))
   else (
+    let pos = max 0 pos in
     let rec scan i =
       if i >= row_end then i
-      else if Raw_buffer.char_at buf i = delim then i
+      else if String.unsafe_get s i = delim then i
       else scan (i + 1)
     in
     let stop = scan pos in
     let next = if stop < row_end then stop + 1 else row_end + 1 in
     (pos, stop, next))
 
-let skip_fields ~delim buf ~row_end pos n =
+let field_bounds ~delim buf ~row_end pos =
+  field_bounds_str ~delim (Raw_buffer.contents buf) ~row_end pos
+
+let skip_fields_str ~delim s ~row_end pos n =
   let rec go pos n =
     if n = 0 then pos
     else
-      let _, _, next = field_bounds ~delim buf ~row_end pos in
+      let _, _, next = field_bounds_str ~delim s ~row_end pos in
       go next (n - 1)
   in
   go pos n
+
+let skip_fields ~delim buf ~row_end pos n =
+  skip_fields_str ~delim (Raw_buffer.contents buf) ~row_end pos n
 
 let unescape_quotes s =
   if not (String.contains s '"') then s
@@ -60,11 +73,16 @@ let unescape_quotes s =
     go 0;
     Buffer.contents buf)
 
-let field_content ~delim buf ~row_end pos =
-  let start, stop, next = field_bounds ~delim buf ~row_end pos in
-  let raw = Raw_buffer.slice buf ~pos:start ~len:(stop - start) in
+let field_content_str ~delim s ~row_end pos =
+  let start, stop, next = field_bounds_str ~delim s ~row_end pos in
+  let len = stop - start in
+  Io_stats.add_bytes_read len;
+  let raw = String.sub s start len in
   let content = if start > pos then unescape_quotes raw else raw in
   (content, next)
+
+let field_content ~delim buf ~row_end pos =
+  field_content_str ~delim (Raw_buffer.contents buf) ~row_end pos
 
 let split_line ~delim line =
   let n = String.length line in

@@ -24,6 +24,17 @@ val skip_fields : delim:char -> Raw_buffer.t -> row_end:int -> int -> int -> int
 val field_content :
   delim:char -> Raw_buffer.t -> row_end:int -> int -> string * int
 
+(** String-core variants of the three tokenizer entry points, for scan
+    loops that hoist {!Raw_buffer.contents} once and avoid per-byte bounds
+    checks. [row_end] is clamped to the string length. *)
+val field_bounds_str :
+  delim:char -> string -> row_end:int -> int -> int * int * int
+
+val skip_fields_str : delim:char -> string -> row_end:int -> int -> int -> int
+
+val field_content_str :
+  delim:char -> string -> row_end:int -> int -> string * int
+
 (** [split_line ~delim line] tokenizes a standalone string (header parsing,
     tests). *)
 val split_line : delim:char -> string -> string list

@@ -11,7 +11,16 @@ let zero =
   { bytes_read = 0; fields_tokenized = 0; values_converted = 0;
     objects_parsed = 0; index_probes = 0; file_loads = 0 }
 
-let state = ref zero
+(* Per-counter atomics: scan loops running on several domains bump these
+   concurrently, and a read-modify-write on a shared record would lose
+   updates. [current] is a per-field read (not a consistent cut), which is
+   fine for the observational uses the stats serve. *)
+let bytes_read = Atomic.make 0
+let fields_tokenized = Atomic.make 0
+let values_converted = Atomic.make 0
+let objects_parsed = Atomic.make 0
+let index_probes = Atomic.make 0
+let file_loads = Atomic.make 0
 
 let diff a b =
   { bytes_read = a.bytes_read - b.bytes_read;
@@ -22,27 +31,33 @@ let diff a b =
     file_loads = a.file_loads - b.file_loads
   }
 
-let current () = !state
-let reset () = state := zero
+let current () =
+  { bytes_read = Atomic.get bytes_read;
+    fields_tokenized = Atomic.get fields_tokenized;
+    values_converted = Atomic.get values_converted;
+    objects_parsed = Atomic.get objects_parsed;
+    index_probes = Atomic.get index_probes;
+    file_loads = Atomic.get file_loads }
+
+let reset () =
+  Atomic.set bytes_read 0;
+  Atomic.set fields_tokenized 0;
+  Atomic.set values_converted 0;
+  Atomic.set objects_parsed 0;
+  Atomic.set index_probes 0;
+  Atomic.set file_loads 0
 
 let measure f =
-  let before = !state in
+  let before = current () in
   let result = f () in
-  (result, diff !state before)
+  (result, diff (current ()) before)
 
-let add_bytes_read n = state := { !state with bytes_read = !state.bytes_read + n }
-
-let add_fields_tokenized n =
-  state := { !state with fields_tokenized = !state.fields_tokenized + n }
-
-let add_values_converted n =
-  state := { !state with values_converted = !state.values_converted + n }
-
-let add_objects_parsed n =
-  state := { !state with objects_parsed = !state.objects_parsed + n }
-
-let add_index_probes n = state := { !state with index_probes = !state.index_probes + n }
-let add_file_loads n = state := { !state with file_loads = !state.file_loads + n }
+let add_bytes_read n = ignore (Atomic.fetch_and_add bytes_read n)
+let add_fields_tokenized n = ignore (Atomic.fetch_and_add fields_tokenized n)
+let add_values_converted n = ignore (Atomic.fetch_and_add values_converted n)
+let add_objects_parsed n = ignore (Atomic.fetch_and_add objects_parsed n)
+let add_index_probes n = ignore (Atomic.fetch_and_add index_probes n)
+let add_file_loads n = ignore (Atomic.fetch_and_add file_loads n)
 
 let pp ppf s =
   Format.fprintf ppf

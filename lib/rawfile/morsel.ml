@@ -1,0 +1,105 @@
+(* Morsel-driven work scheduling on OCaml 5 domains.
+
+   A parallel region splits its work into [tasks] independent morsels;
+   worker domains pull morsel indices from a shared atomic counter and
+   write each result into a slot of an ordered array. Keeping results
+   indexed by morsel lets callers merge non-commutative monoids (lists,
+   ordered bags) in source order — the "indexed merge" that removes the
+   commutativity restriction of naive parallel reduction.
+
+   Every worker re-installs the caller's governor session, so deadline
+   checks, cancellation tokens and budget charges land on the same shared
+   (atomic) counters no matter which domain trips them. The first morsel
+   failure flags the region; other workers stop at their next morsel
+   boundary and the lowest-index exception is re-raised in the caller. *)
+
+let env_domains =
+  lazy
+    (match Sys.getenv_opt "VIDA_DOMAINS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> Some d
+      | _ -> None)
+    | None -> None)
+
+let override () = Lazy.force env_domains
+
+(* Domain-count resolution: VIDA_DOMAINS always wins; an explicit request
+   is clamped to what the hardware offers; otherwise use the hardware
+   count. Never below 1; per-region clamping to the task count happens at
+   [run]/[domains_for_*] time. *)
+let resolve ?requested () =
+  match override () with
+  | Some d -> d
+  | None -> (
+    let hw = Domain.recommended_domain_count () in
+    match requested with
+    | Some d -> max 1 (min d hw)
+    | None -> hw)
+
+let default_domains () = resolve ()
+
+(* Work-size thresholds below which spawning domains costs more than it
+   saves. Settable so tests can force parallel execution on tiny inputs. *)
+let min_parallel_rows = Atomic.make 2048
+let min_parallel_bytes = Atomic.make (256 * 1024)
+
+let set_min_parallel_rows n = Atomic.set min_parallel_rows (max 1 n)
+let set_min_parallel_bytes n = Atomic.set min_parallel_bytes (max 0 n)
+
+let domains_for_rows ~domains rows =
+  if domains <= 1 || rows < Atomic.get min_parallel_rows then 1
+  else max 1 (min domains rows)
+
+let domains_for_bytes ~domains bytes =
+  if domains <= 1 || bytes < Atomic.get min_parallel_bytes then 1
+  else domains
+
+(* [chunks n parts] splits [0, n) into at most [parts] contiguous
+   [(lo, hi)] ranges covering it exactly, in order. *)
+let chunks n parts =
+  let parts = max 1 (min parts n) in
+  let size = (n + parts - 1) / parts in
+  Array.init parts (fun i -> (i * size, min n ((i + 1) * size)))
+
+let run ~domains ~tasks f =
+  if tasks <= 0 then [||]
+  else if domains <= 1 || tasks = 1 then Array.init tasks f
+  else begin
+    let results = Array.make tasks None in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make false in
+    let session = Vida_governor.Governor.current () in
+    let worker () =
+      let body () =
+        let rec loop () =
+          if not (Atomic.get failed) then begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < tasks then begin
+              (match f i with
+              | v -> results.(i) <- Some (Ok v)
+              | exception e ->
+                Atomic.set failed true;
+                results.(i) <- Some (Error e));
+              loop ()
+            end
+          end
+        in
+        loop ()
+      in
+      match session with
+      | Some s -> Vida_governor.Governor.with_session s body
+      | None -> body ()
+    in
+    let spawned =
+      List.init (min (domains - 1) (tasks - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.iter
+      (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+      results;
+    Array.map
+      (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+      results
+  end

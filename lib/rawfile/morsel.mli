@@ -1,0 +1,47 @@
+(** Morsel-driven work scheduling on OCaml 5 domains.
+
+    Worker domains pull morsel indices from a shared atomic counter and
+    deposit each result into an ordered, morsel-indexed array, so callers
+    can merge partial results in source order (correct even for
+    non-commutative monoids). Workers re-install the caller's governor
+    session: deadlines, cancellation and budget charges are enforced
+    inside every domain, against the same shared counters. *)
+
+(** [override ()] is the [VIDA_DOMAINS] environment override, if set to a
+    positive integer (read once, at first use). *)
+val override : unit -> int option
+
+(** [resolve ?requested ()] resolves a domain count: [VIDA_DOMAINS] wins;
+    else an explicit [requested] clamped to
+    [Domain.recommended_domain_count ()]; else the hardware count. Always
+    at least 1. *)
+val resolve : ?requested:int -> unit -> int
+
+(** [default_domains ()] = [resolve ()]. *)
+val default_domains : unit -> int
+
+(** Work-size floors below which parallel regions run sequentially.
+    Settable so tests can force parallelism on tiny inputs. *)
+val set_min_parallel_rows : int -> unit
+
+val set_min_parallel_bytes : int -> unit
+
+(** [domains_for_rows ~domains rows] clamps [domains] for a region of
+    [rows] work items: 1 if below the row floor, never more than [rows]. *)
+val domains_for_rows : domains:int -> int -> int
+
+(** [domains_for_bytes ~domains bytes] is 1 if [bytes] is below the byte
+    floor, else [domains]. *)
+val domains_for_bytes : domains:int -> int -> int
+
+(** [chunks n parts] splits [0, n) into at most [parts] contiguous
+    [(lo, hi)] ranges covering it exactly, in order. *)
+val chunks : int -> int -> (int * int) array
+
+(** [run ~domains ~tasks f] computes [f i] for every [i] in [0, tasks)
+    and returns the results in task order. With [domains <= 1] (or a
+    single task) everything runs in the calling domain; otherwise
+    [domains - 1] extra domains are spawned and the caller participates.
+    If any task raises, remaining morsels are abandoned at the next
+    boundary and the lowest-index exception is re-raised in the caller. *)
+val run : domains:int -> tasks:int -> (int -> 'a) -> 'a array

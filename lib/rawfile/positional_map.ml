@@ -10,32 +10,93 @@ type t = {
 (* Quote-aware scan of row boundaries: newlines inside quoted fields do not
    terminate a row. A row longer than the configured limit (usually the
    symptom of an unbalanced quote swallowing the rest of the file) raises
-   [Resource_limit] instead of degenerating into one giant row. *)
-let scan_rows buf =
-  let source = Raw_buffer.path buf in
-  let len = Raw_buffer.length buf in
-  Io_stats.add_bytes_read len;
-  let starts = ref [] and stops = ref [] in
-  let row_start = ref 0 in
-  let in_quotes = ref false in
-  for i = 0 to len - 1 do
-    match Raw_buffer.char_at buf i with
-    | '"' -> in_quotes := not !in_quotes
-    | '\n' when not !in_quotes ->
-      let stop = if i > 0 && Raw_buffer.char_at buf (i - 1) = '\r' then i - 1 else i in
-      starts := !row_start :: !starts;
-      stops := stop :: !stops;
-      row_start := i + 1;
-      Vida_governor.Governor.poll ~source ()
-    | _ -> Vida_error.Limits.check_row_bytes ~source ~offset:!row_start (i - !row_start)
-  done;
-  if !row_start < len then (
-    starts := !row_start :: !starts;
-    stops := len :: !stops);
-  (Array.of_list (List.rev !starts), Array.of_list (List.rev !stops))
+   [Resource_limit] instead of degenerating into one giant row.
 
-let build ?(delim = ',') ?(header = true) buf =
-  let starts, stops = scan_rows buf in
+   The scan collects the offsets of row-terminating newlines, then derives
+   row bounds (and the row-length check) from them — the same derivation
+   whether the newlines were found by one domain or stitched together from
+   per-chunk parallel scans, so sequential and parallel builds produce
+   identical maps and identical structured errors. *)
+
+let collect_newlines s ~source ~lo ~hi ~in_quotes =
+  let acc = ref [] in
+  let q = ref in_quotes in
+  for i = lo to hi - 1 do
+    match String.unsafe_get s i with
+    | '"' -> q := not !q
+    | '\n' when not !q ->
+      acc := i :: !acc;
+      Vida_governor.Governor.poll ~source ()
+    | _ -> ()
+  done;
+  List.rev !acc
+
+let derive_rows ~source s len newlines =
+  let k = Array.length newlines in
+  let last_start = if k = 0 then 0 else newlines.(k - 1) + 1 in
+  let trailing = last_start < len in
+  let n = k + if trailing then 1 else 0 in
+  let starts = Array.make n 0 and stops = Array.make n 0 in
+  let row_start = ref 0 in
+  Array.iteri
+    (fun idx i ->
+      let stop = if i > 0 && String.unsafe_get s (i - 1) = '\r' then i - 1 else i in
+      starts.(idx) <- !row_start;
+      stops.(idx) <- stop;
+      row_start := i + 1)
+    newlines;
+  if trailing then (
+    starts.(n - 1) <- last_start;
+    stops.(n - 1) <- len);
+  for idx = 0 to n - 1 do
+    Vida_error.Limits.check_row_bytes ~source ~offset:starts.(idx)
+      (stops.(idx) - starts.(idx))
+  done;
+  (starts, stops)
+
+let scan_rows ?(domains = 1) buf =
+  let source = Raw_buffer.path buf in
+  let s = Raw_buffer.contents buf in
+  let len = String.length s in
+  Io_stats.add_bytes_read len;
+  let d = Morsel.domains_for_bytes ~domains len in
+  let newlines =
+    if d <= 1 then
+      Array.of_list (collect_newlines s ~source ~lo:0 ~hi:len ~in_quotes:false)
+    else (
+      let ranges = Morsel.chunks len d in
+      let nchunks = Array.length ranges in
+      (* pass 1: quote count per chunk; the prefix parity tells each chunk
+         whether it starts inside a quoted field *)
+      let quotes =
+        Morsel.run ~domains:d ~tasks:nchunks (fun c ->
+            let lo, hi = ranges.(c) in
+            let n = ref 0 in
+            for i = lo to hi - 1 do
+              if String.unsafe_get s i = '"' then incr n
+            done;
+            !n)
+      in
+      let parity = Array.make nchunks false in
+      let acc = ref 0 in
+      Array.iteri
+        (fun c q ->
+          parity.(c) <- !acc land 1 = 1;
+          acc := !acc + q)
+        quotes;
+      (* pass 2: quote-aware newline collection per chunk, stitched in
+         file order *)
+      let per_chunk =
+        Morsel.run ~domains:d ~tasks:nchunks (fun c ->
+            let lo, hi = ranges.(c) in
+            Array.of_list (collect_newlines s ~source ~lo ~hi ~in_quotes:parity.(c)))
+      in
+      Array.concat (Array.to_list per_chunk))
+  in
+  derive_rows ~source s len newlines
+
+let build ?(delim = ',') ?(header = true) ?domains buf =
+  let starts, stops = scan_rows ?domains buf in
   let header_names, starts, stops =
     if header && Array.length starts > 0 then (
       let line =
@@ -79,6 +140,7 @@ let populate t cols =
     let max_col = List.fold_left max 0 missing in
     let anchor_col, anchor_offsets = anchor t (List.fold_left min max_col missing) in
     let source = Raw_buffer.path t.buf in
+    let s = Raw_buffer.contents t.buf in
     for row = 0 to nrows - 1 do
       Vida_governor.Governor.poll ~source ();
       let row_end = t.row_stops.(row) in
@@ -94,7 +156,7 @@ let populate t cols =
       while !col <= max_col && !pos <= row_end do
         List.iter (fun (c, arr) -> if c = !col then arr.(row) <- !pos) arrays;
         if !col < max_col then (
-          let _, _, next = Csv.field_bounds ~delim:t.delim t.buf ~row_end !pos in
+          let _, _, next = Csv.field_bounds_str ~delim:t.delim s ~row_end !pos in
           pos := next);
         incr col
       done
@@ -111,14 +173,16 @@ let field t ~row ~col =
   let start_pos =
     match anchor_offsets with Some offs -> offs.(row) | None -> t.row_starts.(row)
   in
-  let pos = Csv.skip_fields ~delim:t.delim t.buf ~row_end start_pos (col - anchor_col) in
+  let s = Raw_buffer.contents t.buf in
+  let pos = Csv.skip_fields_str ~delim:t.delim s ~row_end start_pos (col - anchor_col) in
   if pos > row_end then ""
-  else fst (Csv.field_content ~delim:t.delim t.buf ~row_end pos)
+  else fst (Csv.field_content_str ~delim:t.delim s ~row_end pos)
 
 let fields t ~row ~cols =
   let sorted = List.sort_uniq compare cols in
   let results = Hashtbl.create (List.length sorted) in
   let row_end = t.row_stops.(row) in
+  let s = Raw_buffer.contents t.buf in
   (* walk ascending columns, reusing the position reached so far *)
   let _ =
     List.fold_left
@@ -134,12 +198,12 @@ let fields t ~row ~cols =
               | None -> t.row_starts.(row) )
           else (cur_col, cur_pos)
         in
-        let pos = Csv.skip_fields ~delim:t.delim t.buf ~row_end from_pos (col - from_col) in
+        let pos = Csv.skip_fields_str ~delim:t.delim s ~row_end from_pos (col - from_col) in
         if pos > row_end then (
           Hashtbl.replace results col "";
           (col, pos))
         else (
-          let content, next = Csv.field_content ~delim:t.delim t.buf ~row_end pos in
+          let content, next = Csv.field_content_str ~delim:t.delim s ~row_end pos in
           Hashtbl.replace results col content;
           (col + 1, next)))
       (0, t.row_starts.(row))
@@ -151,32 +215,36 @@ let record_while_scanning t ~cols f =
   let cols_sorted = List.sort_uniq compare cols in
   populate t cols_sorted;
   let nrows = row_count t in
-  let arrays = List.map (fun c -> (c, Hashtbl.find t.cols c)) cols_sorted in
   let source = Raw_buffer.path t.buf in
+  let s = Raw_buffer.contents t.buf in
+  (* hoisted out of the row loop: the offset array per sorted column, the
+     sorted-position of each requested column, and a scratch buffer for
+     the sorted extraction — only the per-row result array the callback
+     receives is freshly allocated *)
+  let offs = Array.of_list (List.map (fun c -> Hashtbl.find t.cols c) cols_sorted) in
+  let nsorted = Array.length offs in
+  let sorted_arr = Array.of_list cols_sorted in
+  let request_idx =
+    Array.of_list
+      (List.map
+         (fun c ->
+           let rec find i = if sorted_arr.(i) = c then i else find (i + 1) in
+           find 0)
+         cols)
+  in
+  let nreq = Array.length request_idx in
+  let scratch = Array.make (max 1 nsorted) "" in
   for row = 0 to nrows - 1 do
     Vida_governor.Governor.poll ~source ();
     let row_end = t.row_stops.(row) in
-    let values =
-      List.map
-        (fun (_, offs) ->
-          let pos = offs.(row) in
-          if pos > row_end then ""
-          else fst (Csv.field_content ~delim:t.delim t.buf ~row_end pos))
-        arrays
-    in
-    let by_request =
-      List.map
-        (fun c ->
-          let rec find cs vs =
-            match cs, vs with
-            | c' :: _, v :: _ when c' = c -> v
-            | _ :: cs, _ :: vs -> find cs vs
-            | _ -> ""
-          in
-          find cols_sorted values)
-        cols
-    in
-    f row (Array.of_list by_request)
+    for j = 0 to nsorted - 1 do
+      let pos = offs.(j).(row) in
+      scratch.(j) <-
+        (if pos > row_end then ""
+         else fst (Csv.field_content_str ~delim:t.delim s ~row_end pos))
+    done;
+    let by_request = Array.init nreq (fun r -> scratch.(request_idx.(r))) in
+    f row by_request
   done
 
 let footprint t =

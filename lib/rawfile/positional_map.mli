@@ -13,9 +13,13 @@
 
 type t
 
-(** [build ?delim ?header buf] scans row boundaries (quote-aware) and the
-    header line if [header] (default [true]). *)
-val build : ?delim:char -> ?header:bool -> Raw_buffer.t -> t
+(** [build ?delim ?header ?domains buf] scans row boundaries (quote-aware)
+    and the header line if [header] (default [true]). With [domains > 1]
+    and a file above the parallel-bytes floor, the scan is chunked across
+    domains (a quote-parity prepass gives each chunk its starting state)
+    and the per-chunk boundaries are stitched in file order — the
+    resulting map is byte-identical to a sequential build. *)
+val build : ?delim:char -> ?header:bool -> ?domains:int -> Raw_buffer.t -> t
 
 val row_count : t -> int
 val column_names : t -> string list  (** empty when the file has no header *)

@@ -43,6 +43,11 @@ let force t =
 
 let length t = String.length (force t)
 
+(* The whole file as one immutable string, for validated-range scan loops
+   that want [String.unsafe_get] without a per-byte bounds check. Does not
+   count toward [bytes_read] (callers account for what they consume). *)
+let contents t = force t
+
 let slice t ~pos ~len =
   let s = force t in
   if pos < 0 || len < 0 || pos + len > String.length s then

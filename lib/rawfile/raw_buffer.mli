@@ -27,6 +27,13 @@ val of_string : source:string -> string -> t
 val path : t -> string
 val length : t -> int
 
+(** [contents t] is the whole file as one immutable string (faulted in on
+    first use). Scan loops use it to hoist bounds checks: validate a range
+    once, then read with [String.unsafe_get]. Does not count toward
+    [bytes_read].
+    @raise Vida_error.Error ([Io_failure]) if the file cannot be read. *)
+val contents : t -> string
+
 (** [slice t ~pos ~len] copies bytes out of the view. Counts toward
     [bytes_read].
     @raise Vida_error.Error ([Truncated]) if out of range. *)

@@ -8,18 +8,45 @@ type t = {
   mutable indexed : int;
 }
 
-let build buf =
-  let len = Raw_buffer.length buf in
-  Io_stats.add_bytes_read len;
-  let bounds = ref [] in
-  let start = ref 0 in
-  let source = Raw_buffer.path buf in
-  for i = 0 to len - 1 do
-    if Raw_buffer.char_at buf i = '\n' then (
-      if i > !start then bounds := (!start, i - !start) :: !bounds;
-      start := i + 1;
+(* Newline-delimited objects: the boundary scan is chunkable at any byte —
+   each chunk reports the object bounds fully inside it, plus enough
+   structure (first newline, trailing partial) to stitch objects that span
+   a chunk edge. We keep it simpler: chunks collect newline offsets and
+   the bounds are derived from the stitched offsets, exactly as in the
+   sequential scan, so parallel and sequential builds are identical. *)
+let collect_newlines s ~source ~lo ~hi =
+  let acc = ref [] in
+  for i = lo to hi - 1 do
+    if String.unsafe_get s i = '\n' then (
+      acc := i :: !acc;
       Vida_governor.Governor.poll ~source ())
   done;
+  List.rev !acc
+
+let build ?(domains = 1) buf =
+  let s = Raw_buffer.contents buf in
+  let len = String.length s in
+  Io_stats.add_bytes_read len;
+  let source = Raw_buffer.path buf in
+  let d = Morsel.domains_for_bytes ~domains len in
+  let newlines =
+    if d <= 1 then Array.of_list (collect_newlines s ~source ~lo:0 ~hi:len)
+    else (
+      let ranges = Morsel.chunks len d in
+      let per_chunk =
+        Morsel.run ~domains:d ~tasks:(Array.length ranges) (fun c ->
+            let lo, hi = ranges.(c) in
+            Array.of_list (collect_newlines s ~source ~lo ~hi))
+      in
+      Array.concat (Array.to_list per_chunk))
+  in
+  let bounds = ref [] in
+  let start = ref 0 in
+  Array.iter
+    (fun i ->
+      if i > !start then bounds := (!start, i - !start) :: !bounds;
+      start := i + 1)
+    newlines;
   if !start < len then bounds := (!start, len - !start) :: !bounds;
   let obj_bounds = Array.of_list (List.rev !bounds) in
   { buf; obj_bounds; tables = Array.make (Array.length obj_bounds) None; indexed = 0 }

@@ -12,7 +12,7 @@
 type t
 
 (** [build buf] scans object boundaries (newline-separated values). *)
-val build : Raw_buffer.t -> t
+val build : ?domains:int -> Raw_buffer.t -> t
 
 val object_count : t -> int
 

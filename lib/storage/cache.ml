@@ -31,7 +31,15 @@ type entry = {
   mutable last_used : int;
 }
 
+(* All mutable state below is guarded by [lock]: concurrent scans on
+   several domains admit, touch and evict entries through the public
+   operations, each of which holds the mutex for its whole critical
+   section so the LRU clock, resident accounting and stat counters can
+   never be torn. Only [find_or_add] releases the lock while deriving a
+   missing payload (a duplicated derivation is harmless; a lock held
+   across a raw-file scan is not). *)
 type t = {
+  lock : Mutex.t;
   table : (key, entry) Hashtbl.t;
   capacity : int;
   owner_resident : (int, int) Hashtbl.t;  (* session id -> admitted bytes *)
@@ -47,10 +55,13 @@ type t = {
 }
 
 let create ?(capacity_bytes = 256 * 1024 * 1024) () =
-  { table = Hashtbl.create 64; capacity = capacity_bytes;
+  { lock = Mutex.create (); table = Hashtbl.create 64;
+    capacity = capacity_bytes;
     owner_resident = Hashtbl.create 8; clock = 0; resident = 0;
     hits = 0; misses = 0; evictions = 0; invalidations = 0; stale_drops = 0;
     budget_evictions = 0; budget_refusals = 0 }
+
+let locked t f = Mutex.protect t.lock f
 
 let rec value_bytes (v : Value.t) =
   match v with
@@ -73,7 +84,7 @@ let touch t entry =
   t.clock <- t.clock + 1;
   entry.last_used <- t.clock
 
-let mem t key = Hashtbl.mem t.table key
+let mem t key = locked t (fun () -> Hashtbl.mem t.table key)
 
 let credit_owner t entry =
   match entry.owner with
@@ -99,7 +110,7 @@ let remove t key =
    would return garbage, so it is dropped and the lookup misses (§2.1
    auxiliary-structure invalidation applied to cached data). An entry with
    no stored fingerprint predates fingerprinting and is served as-is. *)
-let find ?fingerprint t key =
+let find_unlocked ?fingerprint t key =
   match Hashtbl.find_opt t.table key with
   | Some entry -> (
     match entry.fingerprint, fingerprint with
@@ -115,6 +126,8 @@ let find ?fingerprint t key =
   | None ->
     t.misses <- t.misses + 1;
     None
+
+let find ?fingerprint t key = locked t (fun () -> find_unlocked ?fingerprint t key)
 
 let evict_until t needed =
   while t.resident + needed > t.capacity && Hashtbl.length t.table > 0 do
@@ -177,7 +190,7 @@ let admit t bytes =
         Hashtbl.replace t.owner_resident id (resident () + bytes);
         Some (Some id)))
 
-let put ?fingerprint t key payload =
+let put_unlocked ?fingerprint t key payload =
   let bytes = payload_bytes payload in
   if bytes > t.capacity then false
   else (
@@ -192,6 +205,13 @@ let put ?fingerprint t key payload =
       t.resident <- t.resident + bytes;
       true)
 
+let put ?fingerprint t key payload =
+  locked t (fun () -> put_unlocked ?fingerprint t key payload)
+
+(* The payload is derived with the lock released: a concurrent domain may
+   derive the same payload — both derivations are correct, the second
+   [put] simply replaces the first — whereas holding the lock across a
+   raw-file scan would serialize every other cache user behind it. *)
 let find_or_add ?fingerprint t key f =
   match find ?fingerprint t key with
   | Some p -> p
@@ -201,36 +221,42 @@ let find_or_add ?fingerprint t key f =
     p
 
 let invalidate_source t source =
-  let victims =
-    Hashtbl.fold
-      (fun key _ acc -> if String.equal key.source source then key :: acc else acc)
-      t.table []
-  in
-  List.iter
-    (fun key ->
-      remove t key;
-      t.invalidations <- t.invalidations + 1)
-    victims
+  locked t (fun () ->
+      let victims =
+        Hashtbl.fold
+          (fun key _ acc ->
+            if String.equal key.source source then key :: acc else acc)
+          t.table []
+      in
+      List.iter
+        (fun key ->
+          remove t key;
+          t.invalidations <- t.invalidations + 1)
+        victims)
 
 let clear t =
-  Hashtbl.reset t.table;
-  Hashtbl.reset t.owner_resident;
-  t.resident <- 0
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      Hashtbl.reset t.owner_resident;
+      t.resident <- 0)
 
 let stats t =
-  { hits = t.hits; misses = t.misses; evictions = t.evictions;
-    invalidations = t.invalidations; stale_drops = t.stale_drops;
-    budget_evictions = t.budget_evictions; budget_refusals = t.budget_refusals;
-    resident_bytes = t.resident; entries = Hashtbl.length t.table }
+  locked t (fun () ->
+      { hits = t.hits; misses = t.misses; evictions = t.evictions;
+        invalidations = t.invalidations; stale_drops = t.stale_drops;
+        budget_evictions = t.budget_evictions;
+        budget_refusals = t.budget_refusals;
+        resident_bytes = t.resident; entries = Hashtbl.length t.table })
 
 let reset_stats t =
-  t.hits <- 0;
-  t.misses <- 0;
-  t.evictions <- 0;
-  t.invalidations <- 0;
-  t.stale_drops <- 0;
-  t.budget_evictions <- 0;
-  t.budget_refusals <- 0
+  locked t (fun () ->
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0;
+      t.invalidations <- 0;
+      t.stale_drops <- 0;
+      t.budget_evictions <- 0;
+      t.budget_refusals <- 0)
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf

@@ -180,6 +180,37 @@ let prop_all_paths_agree =
   QCheck.Test.make ~name:"all execution paths agree" ~count:300 arb_query
     all_paths_agree
 
+(* The same property for the morsel-parallel engine: wherever it accepts a
+   plan (original or optimized) at a random domain budget, its answer must
+   match the calculus semantics. [None] (shape outside the parallel
+   fragment) passes trivially — the facade falls back to the engines the
+   property above already pins down. *)
+let arb_parallel_case =
+  QCheck.make
+    ~print:(fun (e, d) -> Printf.sprintf "domains=%d %s" d (print_query e))
+    QCheck.Gen.(pair gen_query (int_range 2 5))
+
+let parallel_agrees (e, domains) =
+  let expected = canon (Eval.eval eval_env e) in
+  let plan = Translate.plan_of_comp (Rewrite.normalize e) in
+  let ctx = make_ctx () in
+  let optimized = Vida_optimizer.Optimizer.optimize ctx plan in
+  List.for_all
+    (fun (name, p) ->
+      match Parallel.try_query ctx ~domains p with
+      | None -> true
+      | Some actual ->
+        Value.equal expected (canon actual)
+        || QCheck.Test.fail_reportf
+             "parallel (%s, d=%d) disagrees on %s:\n  expected %s\n  got %s" name
+             domains (print_query e) (Value.to_string expected)
+             (Value.to_string (canon actual)))
+    [ ("plan", plan); ("optimized", optimized) ]
+
+let prop_parallel_agrees =
+  QCheck.Test.make ~name:"parallel engine agrees where it applies" ~count:300
+    arb_parallel_case parallel_agrees
+
 let prop_normalization_preserves =
   QCheck.Test.make ~name:"normalization preserves semantics" ~count:300 arb_query
     (fun e ->
@@ -301,14 +332,22 @@ let corrupted_engines_agree contents register case =
   let db = Vida.create () in
   register db path;
   Vida.set_cleaning db ~source:"C" (policy_of case);
+  (* a third instance with a domain budget: the morsel-parallel path (or
+     its fallback) must reach the same outcome on the same damaged bytes *)
+  let dbp = Vida.create () in
+  Vida.set_domains dbp 4;
+  register dbp path;
+  Vida.set_cleaning dbp ~source:"C" (policy_of case);
   let q = "for { r <- C } yield sum r.v" in
   let jit = engine_outcome db Vida.Jit q in
   let generic = engine_outcome db Vida.Generic q in
+  let par = engine_outcome dbp Vida.Jit q in
   Sys.remove path;
-  if jit = generic then true
+  if jit = generic && jit = par then true
   else
-    QCheck.Test.fail_reportf "engines diverge on corrupt input:\n  jit     %s\n  generic %s"
-      (show_outcome jit) (show_outcome generic)
+    QCheck.Test.fail_reportf
+      "engines diverge on corrupt input:\n  jit      %s\n  generic  %s\n  parallel %s"
+      (show_outcome jit) (show_outcome generic) (show_outcome par)
 
 let register_csv db path =
   Vida.csv db ~name:"C" ~path
@@ -329,11 +368,15 @@ let prop_json_corruption =
     (corrupted_engines_agree jsonl_contents register_json)
 
 let () =
+  (* the fixture sources are tiny; without this the parallel engine would
+     decline everything and the parallel properties would be vacuous *)
+  Vida_raw.Morsel.set_min_parallel_rows 1;
+  Vida_raw.Morsel.set_min_parallel_bytes 0;
   Alcotest.run "vida_differential_random"
     [ ( "random",
         List.map QCheck_alcotest.to_alcotest
           [ prop_typechecks; prop_normalization_preserves; prop_all_paths_agree;
-            prop_printer_roundtrip ] );
+            prop_printer_roundtrip; prop_parallel_agrees ] );
       ( "corruption",
         List.map QCheck_alcotest.to_alcotest
           [ prop_csv_corruption; prop_json_corruption ] )
