@@ -77,6 +77,8 @@ let repl db ~engine ~output_json =
       \  .timeout MS          per-query wall-clock deadline in ms (0 = off)\n\
       \  .limit BYTES         per-query memory budget in bytes (0 = off)\n\
       \  .domains N           worker-domain budget for parallel scans (1 = sequential)\n\
+      \  .analyze QUERY       verify + lint the plan without executing it\n\
+      \  .verify MODE         plan-verifier mode (off|warn|strict)\n\
       \  .checkpoint          persist positional maps next to their files\n\
       \  .help                this message\n\
       \  .quit                leave\n"
@@ -212,6 +214,23 @@ let repl db ~engine ~output_json =
          match Vida.explain db (String.sub line 9 (String.length line - 9)) with
          | Ok text -> print_string text
          | Error e -> prerr_endline (Vida.error_to_string e))
+       else if String.length line > 9 && String.sub line 0 9 = ".analyze " then (
+         match Vida.analyze db (String.sub line 9 (String.length line - 9)) with
+         | Ok a -> print_string (Vida.analysis_report a)
+         | Error e -> prerr_endline (Vida.error_to_string e))
+       else if String.length line > 8 && String.sub line 0 8 = ".verify " then (
+         match
+           String.lowercase_ascii
+             (String.trim (String.sub line 8 (String.length line - 8)))
+         with
+         | "off" -> Vida.set_verify db Vida.Off; print_endline "plan verification off"
+         | "warn" ->
+           Vida.set_verify db Vida.Warn;
+           print_endline "plan verification: warn (violations logged)"
+         | "strict" ->
+           Vida.set_verify db Vida.Strict;
+           print_endline "plan verification: strict (violations abort queries)"
+         | _ -> print_endline "expected off|warn|strict")
        else if String.length line > 5 && String.sub line 0 5 = ".sql " then
          ignore
            (execute db ~use_sql:true ~engine ~show_stats:false ~output_json
@@ -223,8 +242,89 @@ let repl db ~engine ~output_json =
   (try loop () with Exit -> ());
   0
 
-let run csvs jsons xmls binarrays use_sql explain engine show_stats output_json
-    timeout_ms memory_budget domains interactive query =
+(* --lint: static analysis instead of execution. Exit code 3 when the
+   verifier rejects a plan or any lint of severity error fires — CI jobs
+   gate on it. *)
+let lint_one db ~label text =
+  match Vida.analyze db text with
+  | Error e ->
+    Printf.printf "%s: analysis failed: %s\n" label (Vida.error_to_string e);
+    3
+  | Ok a ->
+    let broken =
+      a.Vida.verify_error <> None
+      || Vida_analysis.Lint.max_severity a.Vida.findings
+         = Some Vida_analysis.Lint.Error
+    in
+    if a.Vida.verify_error = None && a.Vida.findings = [] then (
+      Printf.printf "%s: ok\n" label;
+      0)
+    else begin
+      Printf.printf "%s:\n" label;
+      (match a.Vida.verify_error with
+      | Some e -> Printf.printf "  verifier: %s\n" (Vida_error.to_string e)
+      | None -> ());
+      List.iter
+        (fun f ->
+          Printf.printf "  %s\n"
+            (Format.asprintf "%a" Vida_analysis.Lint.pp_finding f))
+        a.Vida.findings;
+      if broken then 3 else 0
+    end
+
+let lint_many db items =
+  let code =
+    List.fold_left (fun acc (label, text) -> max acc (lint_one db ~label text)) 0 items
+  in
+  Printf.printf "%d queries linted\n" (List.length items);
+  code
+
+let lint_workload_run db which =
+  let tmp = Filename.get_temp_dir_name () in
+  match which with
+  | "hbp" ->
+    let config =
+      { Vida_workload.Hbp_data.patients_rows = 120; patients_attrs = 24;
+        genetics_rows = 150; genetics_attrs = 30; regions_objects = 80;
+        regions_per_object = 4; seed = 7 }
+    in
+    let paths =
+      Vida_workload.Hbp_data.generate config ~dir:(Filename.concat tmp "vida_lint_hbp")
+    in
+    Vida.csv db ~name:"Patients" ~path:paths.Vida_workload.Hbp_data.patients ();
+    Vida.csv db ~name:"Genetics" ~path:paths.Vida_workload.Hbp_data.genetics ();
+    Vida.json db ~name:"BrainRegions" ~path:paths.Vida_workload.Hbp_data.regions ();
+    let qs = Vida_workload.Hbp_queries.workload ~n:60 config in
+    lint_many db
+      (List.map
+         (fun q ->
+           ( Printf.sprintf "hbp q%d" q.Vida_workload.Hbp_queries.id,
+             q.Vida_workload.Hbp_queries.text ))
+         qs)
+  | "bank" ->
+    let paths =
+      Vida_workload.Bank_data.generate { trades = 50; seed = 3 }
+        ~dir:(Filename.concat tmp "vida_lint_bank")
+    in
+    Vida.csv db ~name:"Trades" ~path:paths.Vida_workload.Bank_data.trades ();
+    Vida.json db ~name:"Risk" ~path:paths.Vida_workload.Bank_data.risk ();
+    Vida.csv db ~name:"Settlements" ~path:paths.Vida_workload.Bank_data.settlements ();
+    lint_many db
+      [ ("bank count", "for { t <- Trades } yield count t");
+        ( "bank cross-domain join",
+          "for { t <- Trades, r <- Risk, s <- Settlements, t.trade_id = \
+           r.trade_id, t.trade_id = s.trade_id, s.status = \"failed\" } yield \
+           max r.var_99" );
+        ( "bank notional by desk",
+          "for { t <- Trades, t.notional > 1000000.0 } yield sum t.notional" );
+        ( "bank risk scan",
+          "for { r <- Risk, r.var_99 > 0.0 } yield count r" ) ]
+  | other ->
+    Printf.eprintf "--lint-workload expects hbp|bank, got %S\n" other;
+    2
+
+let run csvs jsons xmls binarrays use_sql explain lint lint_workload engine
+    show_stats output_json timeout_ms memory_budget domains interactive query =
   let limits =
     { Vida_governor.Governor.unlimited with
       Vida_governor.Governor.deadline_ms =
@@ -243,14 +343,32 @@ let run csvs jsons xmls binarrays use_sql explain engine show_stats output_json
     xmls;
   register db "binarray" binarrays;
   let engine = if engine = "generic" then Vida.Generic else Vida.Jit in
-  match query, interactive with
-  | None, _ | _, true -> repl db ~engine ~output_json
-  | Some query, false ->
-    if explain then (
-      match Vida.explain db query with
-      | Ok text -> print_string text; 0
-      | Error e -> print_error e; error_exit_code e)
-    else execute db ~use_sql ~engine ~show_stats ~output_json query
+  match lint_workload with
+  | Some which -> lint_workload_run db which
+  | None -> (
+    match query, interactive with
+    | Some query, false when lint ->
+      let analyze = if use_sql then Vida.analyze_sql else Vida.analyze in
+      (match analyze db query with
+      | Error e -> print_error e; error_exit_code e
+      | Ok a ->
+        print_string (Vida.analysis_report a);
+        if
+          a.Vida.verify_error <> None
+          || Vida_analysis.Lint.max_severity a.Vida.findings
+             = Some Vida_analysis.Lint.Error
+        then 3
+        else 0)
+    | None, false when lint ->
+      prerr_endline "--lint needs a query (or --lint-workload hbp|bank)";
+      2
+    | None, _ | _, true -> repl db ~engine ~output_json
+    | Some query, false ->
+      if explain then (
+        match Vida.explain db query with
+        | Ok text -> print_string text; 0
+        | Error e -> print_error e; error_exit_code e)
+      else execute db ~use_sql ~engine ~show_stats ~output_json query)
 
 let csv_arg =
   Arg.(value & opt_all string [] & info [ "csv" ] ~docv:"NAME=PATH" ~doc:"Register a CSV file as source $(docv).")
@@ -263,6 +381,14 @@ let binarray_arg =
 
 let sql_arg = Arg.(value & flag & info [ "sql" ] ~doc:"Interpret the query as SQL.")
 let explain_arg = Arg.(value & flag & info [ "explain" ] ~doc:"Show plans and costs instead of executing.")
+
+let lint_arg =
+  Arg.(value & flag & info [ "lint" ]
+       ~doc:"Statically analyze the query instead of executing it: run the plan verifier and linter and report worker-safety declines. Exit code 3 when the verifier rejects the plan or a lint of severity error fires.")
+
+let lint_workload_arg =
+  Arg.(value & opt (some string) None & info [ "lint-workload" ] ~docv:"hbp|bank"
+       ~doc:"Generate the named synthetic workload (tiny scale) and lint every query in it; exit code 3 on any verifier rejection or error-severity lint.")
 
 let engine_arg =
   Arg.(value & opt string "jit" & info [ "engine" ] ~docv:"jit|generic" ~doc:"Executor to use.")
@@ -297,7 +423,8 @@ let cmd =
     (Cmd.info "vida" ~doc)
     Term.(
       const run $ csv_arg $ json_arg $ xml_arg $ binarray_arg $ sql_arg
-      $ explain_arg $ engine_arg $ stats_arg $ json_out_arg $ timeout_arg
-      $ budget_arg $ domains_arg $ interactive_arg $ query_arg)
+      $ explain_arg $ lint_arg $ lint_workload_arg $ engine_arg $ stats_arg
+      $ json_out_arg $ timeout_arg $ budget_arg $ domains_arg
+      $ interactive_arg $ query_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,127 @@
+open Vida_calculus
+
+type reason =
+  | Subquery of string
+  | Lambda of string
+  | Application of string
+  | Unbound of string
+
+let reason_to_string = function
+  | Subquery s -> "subquery owns pipeline state: " ^ s
+  | Lambda s -> "lambda forces interpreter fallback: " ^ s
+  | Application s -> "application forces interpreter fallback: " ^ s
+  | Unbound v -> "free variable " ^ v ^ " would materialize a source in a worker"
+
+type summary = {
+  reads : string list;
+  allocates : bool;
+  subqueries : int;
+  lambdas : int;
+  applications : int;
+}
+
+module Sset = Set.Make (String)
+
+let analyze e =
+  let allocates = ref false in
+  let subqueries = ref 0 in
+  let lambdas = ref 0 in
+  let applications = ref 0 in
+  (* free_vars already respects binder shadowing; the walk below only
+     counts structural effects, so it need not track scopes itself *)
+  let rec go (e : Expr.t) =
+    match e with
+    | Expr.Const _ | Expr.Var _ -> ()
+    | Expr.Zero _ -> allocates := true
+    | Expr.Proj (e, _) | Expr.UnOp (_, e) -> go e
+    | Expr.Singleton (_, e) ->
+      allocates := true;
+      go e
+    | Expr.Record fs ->
+      allocates := true;
+      List.iter (fun (_, e) -> go e) fs
+    | Expr.If (a, b, c) -> go a; go b; go c
+    | Expr.BinOp (_, a, b) -> go a; go b
+    | Expr.Merge (_, a, b) ->
+      allocates := true;
+      go a;
+      go b
+    | Expr.Lambda (_, body) ->
+      incr lambdas;
+      go body
+    | Expr.Apply (f, a) ->
+      incr applications;
+      go f;
+      go a
+    | Expr.Index (e, idxs) -> go e; List.iter go idxs
+    | Expr.Comp (_, head, quals) ->
+      incr subqueries;
+      allocates := true;
+      go head;
+      List.iter
+        (function
+          | Expr.Gen (_, e) | Expr.Bind (_, e) | Expr.Pred e -> go e)
+        quals
+  in
+  go e;
+  { reads = Sset.elements (Sset.of_list (Expr.free_vars e));
+    allocates = !allocates;
+    subqueries = !subqueries;
+    lambdas = !lambdas;
+    applications = !applications }
+
+let pure s = s.subqueries = 0 && s.lambdas = 0 && s.applications = 0
+
+(* The verdict walks the term itself (rather than reusing [analyze]) so the
+   declined subterm can be named in the reason. *)
+let worker_verdict ~bound ~params e =
+  let exception Declined of reason in
+  let rec go (e : Expr.t) =
+    match e with
+    | Expr.Comp _ -> raise (Declined (Subquery (Expr.to_string e)))
+    | Expr.Lambda _ -> raise (Declined (Lambda (Expr.to_string e)))
+    | Expr.Apply _ -> raise (Declined (Application (Expr.to_string e)))
+    | Expr.Const _ | Expr.Var _ | Expr.Zero _ -> ()
+    | Expr.Proj (e, _) | Expr.UnOp (_, e) | Expr.Singleton (_, e) -> go e
+    | Expr.Record fs -> List.iter (fun (_, e) -> go e) fs
+    | Expr.If (a, b, c) -> go a; go b; go c
+    | Expr.BinOp (_, a, b) | Expr.Merge (_, a, b) -> go a; go b
+    | Expr.Index (e, idxs) -> go e; List.iter go idxs
+  in
+  match go e with
+  | () -> (
+    match
+      List.find_opt
+        (fun v -> not (List.mem v bound || List.mem v params))
+        (Expr.free_vars e)
+    with
+    | Some v -> Error (Unbound v)
+    | None -> Ok ())
+  | exception Declined r -> Error r
+
+type laws = {
+  commutative : bool;
+  associative : bool;
+  idempotent : bool;
+  identity : Vida_data.Value.t;
+}
+
+let laws m =
+  { commutative = Monoid.commutative m;
+    associative = true;
+    idempotent = Monoid.idempotent m;
+    identity = Monoid.zero m }
+
+type merge_requirement = Any_order | Source_order
+
+let merge_requirement m =
+  if Monoid.commutative m then Any_order else Source_order
+
+let check_merge m ~strategy =
+  match strategy, merge_requirement m with
+  | `Ordered, _ | `Unordered, Any_order -> Ok ()
+  | `Unordered, Source_order ->
+    Error
+      (Printf.sprintf
+         "monoid %s is not commutative: partial merges must follow source order"
+         (Monoid.name m))

@@ -1,0 +1,82 @@
+(** Effect and purity analysis over calculus expressions.
+
+    The morsel-parallel engine compiles scalar expressions into closures
+    that run on worker domains. An expression is {e worker-safe} when its
+    compiled form cannot reach shared mutable state: no nested
+    comprehension (subquery pipelines own feedback/flush state), no
+    lambda/application (the interpreter fallback materializes every
+    registered source), and no free variable beyond the plan's own binders
+    and the immutable session parameters (an unbound variable lazily
+    materializes a registry source inside the worker).
+
+    This module replaces the engine's syntactic [worker_safe] gate with a
+    summary-based verdict that names the offending subterm — every decline
+    carries a machine-readable {!reason}.
+
+    It also states the {e monoid-law obligations} a parallel fold relies
+    on: partial accumulators may be merged in any order only for
+    commutative monoids; everything else (list/array concatenation)
+    requires merging in source (morsel-index) order. *)
+
+(** Why an expression was declined for worker execution. *)
+type reason =
+  | Subquery of string  (** nested comprehension; rendered subterm *)
+  | Lambda of string
+  | Application of string
+  | Unbound of string  (** free variable resolving to a registry source *)
+
+val reason_to_string : reason -> string
+
+(** Effect summary of one expression. *)
+type summary = {
+  reads : string list;  (** free variables consulted (sorted, unique) *)
+  allocates : bool;  (** builds records, collections or merges *)
+  subqueries : int;  (** nested comprehensions *)
+  lambdas : int;
+  applications : int;
+}
+
+val analyze : Vida_calculus.Expr.t -> summary
+
+(** [pure s] — no subqueries, lambdas or applications: evaluation cannot
+    observe or mutate engine state beyond reading its environment. *)
+val pure : summary -> bool
+
+(** [worker_verdict ~bound ~params e] — [Ok ()] when [e] may be compiled
+    and run on a worker domain given the plan binders [bound] and session
+    parameter names [params]; otherwise the first offending reason. The
+    verdict is no less permissive than the historical syntactic gate: any
+    expression that gate accepted is accepted here. *)
+val worker_verdict :
+  bound:string list -> params:string list -> Vida_calculus.Expr.t ->
+  (unit, reason) result
+
+(** {1 Monoid-law obligations} *)
+
+(** Algebraic laws of a monoid, as the merge planner needs them. All the
+    calculus' monoids are associative by construction (floating-point
+    [sum]/[avg] only up to rounding); identity is {!Vida_calculus.Monoid.zero}. *)
+type laws = {
+  commutative : bool;
+  associative : bool;
+  idempotent : bool;
+  identity : Vida_data.Value.t;
+}
+
+val laws : Vida_calculus.Monoid.t -> laws
+
+(** How partial (per-morsel) accumulators of a monoid may be merged. *)
+type merge_requirement =
+  | Any_order  (** commutative: partials combine in any order *)
+  | Source_order
+      (** non-commutative (list/array concatenation): partials must be
+          merged in morsel = source order *)
+
+val merge_requirement : Vida_calculus.Monoid.t -> merge_requirement
+
+(** [check_merge m ~strategy] — whether a merge strategy discharges the
+    monoid's obligation: [`Ordered] (indexed, source-order) merges satisfy
+    every monoid; [`Unordered] merges only commutative ones. *)
+val check_merge :
+  Vida_calculus.Monoid.t -> strategy:[ `Ordered | `Unordered ] ->
+  (unit, string) result

@@ -1,0 +1,139 @@
+open Vida_data
+open Vida_calculus
+open Vida_algebra
+
+type env = (string * Ty.t) list
+
+exception Fail of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Fail s)) fmt
+
+(* Scalar typing under externals + the derived schema; schema entries are
+   appended so plan binders shadow registered sources of the same name,
+   exactly as the engines resolve them. *)
+let scalar_ty externals gamma (e : Expr.t) =
+  Typecheck.infer_exn (externals @ gamma) e
+
+let check_bool externals gamma ~op (e : Expr.t) =
+  let t = scalar_ty externals gamma e in
+  match Ty.unify t Ty.Bool with
+  | Some _ -> ()
+  | None ->
+    fail "%s predicate %s has type %s, expected bool" op (Expr.to_string e)
+      (Ty.to_string t)
+
+let bind ~op gamma (var, ty) =
+  if List.mem_assoc var gamma then fail "%s rebinds variable %s" op var
+  else gamma @ [ (var, ty) ]
+
+let element ~op ~var t =
+  match t with
+  | Ty.Coll (_, elt) -> elt
+  | Ty.Any -> Ty.Any
+  | t ->
+    fail "%s draws %s from non-collection type %s" op var (Ty.to_string t)
+
+(* The type a Reduce/Nest fold produces: [Singleton (m, head)] has exactly
+   the monoid's result type for [head]'s element type, so the expression
+   checker is reused as the single source of monoid typing rules. *)
+let fold_ty externals gamma monoid head =
+  scalar_ty externals gamma (Expr.Singleton (monoid, head))
+
+let rec environment ~env:externals (p : Plan.t) : env =
+  match p with
+  | Plan.Unit -> []
+  | Plan.Source { var; expr } ->
+    [ (var, element ~op:"Source" ~var (scalar_ty externals [] expr)) ]
+  | Plan.Select { pred; child } ->
+    let gamma = environment ~env:externals child in
+    check_bool externals gamma ~op:"Select" pred;
+    gamma
+  | Plan.Map { var; expr; child } ->
+    let gamma = environment ~env:externals child in
+    bind ~op:"Map" gamma (var, scalar_ty externals gamma expr)
+  | Plan.Product { left; right } ->
+    let gl = environment ~env:externals left in
+    let gr = environment ~env:externals right in
+    List.fold_left (bind ~op:"Product") gl gr
+  | Plan.Join { pred; left; right } ->
+    let gl = environment ~env:externals left in
+    let gr = environment ~env:externals right in
+    let gamma = List.fold_left (bind ~op:"Join") gl gr in
+    check_bool externals gamma ~op:"Join" pred;
+    gamma
+  | Plan.Unnest { var; path; outer = _; child } ->
+    let gamma = environment ~env:externals child in
+    bind ~op:"Unnest" gamma
+      (var, element ~op:"Unnest" ~var (scalar_ty externals gamma path))
+  | Plan.Reduce _ ->
+    (* a nested Reduce produces one scalar, not environments (its binding
+       contribution is empty, as [Plan.bound_vars] states) *)
+    ignore (result_ty ~env:externals p);
+    []
+  | Plan.Nest { monoid; var; head; keys; child } ->
+    let gamma = environment ~env:externals child in
+    let keyts = List.map (fun (n, k) -> (n, scalar_ty externals gamma k)) keys in
+    let folded = fold_ty externals gamma monoid head in
+    List.fold_left (bind ~op:"Nest") [] (keyts @ [ (var, folded) ])
+
+and result_ty ~env:externals (p : Plan.t) : Ty.t =
+  match p with
+  | Plan.Reduce { monoid; head; child } ->
+    let gamma = environment ~env:externals child in
+    fold_ty externals gamma monoid head
+  | p ->
+    let gamma = environment ~env:externals p in
+    (* environments are name-addressed: binder order is presentational, so
+       the result type is canonicalized — a rewrite that merely permutes
+       binders (e.g. a join build-side swap) preserves it *)
+    let gamma = List.sort (fun (a, _) (b, _) -> String.compare a b) gamma in
+    Ty.Coll (Ty.Bag, Ty.Record gamma)
+
+let run ?(stage = "plan") ?rule f =
+  match f () with
+  | v -> Ok v
+  | exception Fail reason -> Error (Vida_error.Plan_invalid { stage; rule; reason })
+  | exception Vida_error.Error (Vida_error.Type_invalid { context; reason }) ->
+    Error
+      (Vida_error.Plan_invalid
+         { stage; rule; reason = Printf.sprintf "%s (in %s)" reason context })
+  | exception Vida_error.Error e -> Error e
+
+let infer ?stage ?rule ~env p = run ?stage ?rule (fun () -> result_ty ~env p)
+
+let verify ?stage ?rule ~env p =
+  run ?stage ?rule (fun () ->
+      (match Plan.validate p with Ok () -> () | Error msg -> fail "%s" msg);
+      ignore (result_ty ~env p))
+
+let verify_exn ?stage ?rule ~env p =
+  match verify ?stage ?rule ~env p with
+  | Ok () -> ()
+  | Error e -> Vida_error.error e
+
+let check_rewrite ~stage ~rule ~env ~before ~after =
+  (* a broken [before] predates this firing: report it against the stage
+     so the diagnostic does not blame an innocent rule *)
+  match verify ~stage ~env before with
+  | Error _ as e -> e
+  | Ok () ->
+    match verify ~stage ~rule ~env after with
+    | Error _ as e -> e
+    | Ok () ->
+      match run ~stage ~rule (fun () ->
+          let tb = result_ty ~env before in
+          let ta = result_ty ~env after in
+          (match Ty.unify tb ta with
+          | Some _ -> ()
+          | None ->
+            fail "rewrite changed the result type from %s to %s"
+              (Ty.to_string tb) (Ty.to_string ta));
+          let fb = Plan.free_vars before and fa = Plan.free_vars after in
+          List.iter
+            (fun v ->
+              if not (List.mem v fb) then
+                fail "rewrite introduced free variable %s" v)
+            fa)
+      with
+      | Ok () -> Ok ()
+      | Error _ as e -> e

@@ -1,0 +1,53 @@
+(** Plan verifier: typed-IR invariant checking for algebra plans.
+
+    Re-derives well-typedness of a {!Vida_algebra.Plan} tree against the
+    catalog's type environment, independently of how the plan was built —
+    the pipeline's transformations (calculus normalization, translation,
+    optimizer rules, parallel plan-shape rewrites) are semantics-preserving
+    {e by intention}; this module checks the typing part of that claim
+    after every one of them, so a transformation bug surfaces at plan time
+    with the offending stage and rule named, not as a wrong answer at
+    execution time.
+
+    The derivation mirrors the nested-relational-algebra typing rules: a
+    stream operator's output is an {e environment schema} (variable/type
+    bindings, in binding order); scalar expressions inside operators are
+    checked with {!Vida_calculus.Typecheck} under the externals plus that
+    schema. Checking is gradual exactly as query admission is: [Ty.Any]
+    unifies with everything. *)
+
+type env = (string * Vida_data.Ty.t) list
+
+(** [environment ~env p] is the environment schema the stream plan [p]
+    produces, deriving and checking every operator on the way.
+    @raise Vida_error.Error on an invariant violation. *)
+val environment : env:env -> Vida_algebra.Plan.t -> env
+
+(** [infer ~env p] is the type of the plan's result: the folded value for
+    a [Reduce] root, a bag of environment records for a bare stream. *)
+val infer :
+  ?stage:string -> ?rule:string -> env:env -> Vida_algebra.Plan.t ->
+  (Vida_data.Ty.t, Vida_error.t) result
+
+(** [verify ~env p] checks structural well-formedness ({!Vida_algebra.Plan.validate})
+    and re-derives types over the whole tree. [stage] names the pipeline
+    point ("translate", "optimize", "parallel"); [rule] the rewrite whose
+    firing produced [p]. Both are carried into the
+    {!Vida_error.Plan_invalid} diagnostic on failure. *)
+val verify :
+  ?stage:string -> ?rule:string -> env:env -> Vida_algebra.Plan.t ->
+  (unit, Vida_error.t) result
+
+(** [verify_exn] raises {!Vida_error.Error} instead. *)
+val verify_exn :
+  ?stage:string -> ?rule:string -> env:env -> Vida_algebra.Plan.t -> unit
+
+(** [check_rewrite ~stage ~rule ~env ~before ~after] — the pre/post
+    obligation for one rewrite firing: [before] must be well-typed (else
+    the bug predates this rule and is reported against the stage), and
+    [after] must be well-typed {e with the rule named}. Additionally the
+    rewrite must not change the plan's result type (up to gradual
+    unification) nor its free variables. *)
+val check_rewrite :
+  stage:string -> rule:string -> env:env -> before:Vida_algebra.Plan.t ->
+  after:Vida_algebra.Plan.t -> (unit, Vida_error.t) result

@@ -10,7 +10,7 @@ let page_size = 8192
 type partition = {
   pschema : Schema.t;
   mutable closed : string list;  (* full pages, reverse order *)
-  mutable current : Buffer.t;
+  current : Buffer.t;
 }
 
 type table = {

@@ -1,13 +1,10 @@
 open Vida_data
 
-type error = { message : string; context : string }
+type error = Vida_error.t
 
-let pp_error ppf e = Format.fprintf ppf "%s (in %s)" e.message e.context
+let pp_error = Vida_error.pp
 
-exception Err of error
-
-let err context fmt =
-  Format.kasprintf (fun message -> raise (Err { message; context })) fmt
+let err context fmt = Vida_error.type_invalid ~context fmt
 
 module Env = Map.Make (String)
 
@@ -35,6 +32,24 @@ let monoid_result ctx (m : Monoid.t) (elt : Ty.t) =
     else err ctx "%s needs boolean elements, got %s" (Monoid.name m) (Ty.to_string elt)
   | Monoid.Coll k -> Ty.Coll (k, elt)
 
+(* The carrier type of a primitive monoid's accumulator, for checking
+   [Merge]: merging two already-accumulated values. *)
+let merge_result ctx (m : Monoid.t) (t : Ty.t) =
+  match m with
+  | Monoid.Prim (Monoid.Sum | Monoid.Prod | Monoid.Avg) ->
+    if Ty.is_numeric t then t
+    else err ctx "monoid %s merges numeric values, got %s" (Monoid.name m) (Ty.to_string t)
+  | Monoid.Prim Monoid.Count ->
+    let _ = unify_or_err ctx t Ty.Int in
+    Ty.Int
+  | Monoid.Prim (Monoid.All | Monoid.Some_) ->
+    let _ = unify_or_err ctx t Ty.Bool in
+    Ty.Bool
+  | Monoid.Prim (Monoid.Max | Monoid.Min | Monoid.Median) -> t
+  | Monoid.Prim (Monoid.Top _ | Monoid.Bottom _) ->
+    unify_or_err ctx t (Ty.Coll (Ty.List, Ty.Any))
+  | Monoid.Coll k -> unify_or_err ctx t (Ty.Coll (k, Ty.Any))
+
 let rec infer_t env (e : Expr.t) : Ty.t =
   let ctx () = Expr.to_string e in
   match e with
@@ -49,6 +64,13 @@ let rec infer_t env (e : Expr.t) : Ty.t =
     | Some ft -> ft
     | None -> err (ctx ()) "type %s has no field %S" (Ty.to_string t) a)
   | Expr.Record fields ->
+    let rec dup = function
+      | [] -> ()
+      | (n, _) :: rest ->
+        if List.mem_assoc n rest then err (ctx ()) "duplicate record field %S" n
+        else dup rest
+    in
+    dup fields;
     Ty.Record (List.map (fun (n, e) -> (n, infer_t env e)) fields)
   | Expr.If (c, t, f) ->
     let tc = infer_t env c in
@@ -90,9 +112,7 @@ let rec infer_t env (e : Expr.t) : Ty.t =
   | Expr.Singleton (m, e') -> monoid_result (ctx ()) m (infer_t env e')
   | Expr.Merge (m, a, b) ->
     let t = unify_or_err (ctx ()) (infer_t env a) (infer_t env b) in
-    (match m with
-    | Monoid.Coll k -> unify_or_err (ctx ()) t (Ty.Coll (k, Ty.Any))
-    | Monoid.Prim _ -> t)
+    merge_result (ctx ()) m t
   | Expr.Index (e', idxs) -> (
     List.iter
       (fun i ->
@@ -131,12 +151,25 @@ let rec infer_t env (e : Expr.t) : Ty.t =
     in
     monoid_result (ctx ()) m (infer_t env head)
 
+let env_of_bindings bindings =
+  List.fold_left (fun env (x, t) -> Env.add x t env) Env.empty bindings
+
+let infer_exn bindings e = infer_t (env_of_bindings bindings) e
+
+(* Total: a structured error is returned, and any stray exception from the
+   data layer (malformed constants, pathological types) is converted rather
+   than allowed to escape. *)
 let infer bindings e =
-  let env =
-    List.fold_left (fun env (x, t) -> Env.add x t env) Env.empty bindings
-  in
-  match infer_t env e with
+  match infer_t (env_of_bindings bindings) e with
   | t -> Ok t
-  | exception Err e -> Error e
+  | exception Vida_error.Error err -> Error err
+  | exception Stack_overflow ->
+    Error
+      (Vida_error.Type_invalid
+         { context = "typecheck"; reason = "expression too deep to check" })
+  | exception exn ->
+    Error
+      (Vida_error.Type_invalid
+         { context = "typecheck"; reason = Printexc.to_string exn })
 
 let check bindings e = Result.map (fun _ -> ()) (infer bindings e)

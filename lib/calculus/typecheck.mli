@@ -9,9 +9,13 @@
     well-formedness condition (Fegaras & Maier): a comprehension accumulating
     into monoid [⊕] may only draw generators from collection kinds whose
     monoid is "at most" [⊕] — set generators need an idempotent accumulator,
-    bag generators a commutative one. *)
+    bag generators a commutative one.
 
-type error = { message : string; context : string }
+    Failures are reported through the system-wide taxonomy as
+    {!Vida_error.Type_invalid}; checking is {e total}: no exception escapes
+    [infer]/[check] whatever the input expression. *)
+
+type error = Vida_error.t
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -22,3 +26,7 @@ val infer : (string * Vida_data.Ty.t) list -> Expr.t -> (Vida_data.Ty.t, error) 
 
 (** [check env e] is [infer] keeping only success. *)
 val check : (string * Vida_data.Ty.t) list -> Expr.t -> (unit, error) result
+
+(** [infer_exn env e] is [infer] raising {!Vida_error.Error} — for callers
+    already running under a {!Vida_error} handler (the plan verifier). *)
+val infer_exn : (string * Vida_data.Ty.t) list -> Expr.t -> Vida_data.Ty.t

@@ -7,11 +7,16 @@ module Governor = Vida_governor.Governor
 
 type engine = Jit | Generic
 
+(** How much the plan verifier participates in the query pipeline. *)
+type verify = Off | Warn | Strict
+
 type t = {
   registry : Registry.t;
   mutable ctx : Plugins.ctx;
   mutable params : (string * Value.t) list;
   mutable limits : Governor.limits;
+  mutable verify : verify;
+  mutable verify_log : string list;  (* newest first *)
   mutable queries_run : int;
   mutable queries_from_cache : int;
   mutable session_io : Vida_raw.Io_stats.snapshot;
@@ -25,9 +30,14 @@ type t = {
 let create ?cache_capacity ?domains ?(limits = Governor.unlimited) () =
   let registry = Registry.create () in
   let ctx = Plugins.create_ctx ?cache_capacity ?domains registry in
-  { registry; ctx; params = []; limits; queries_run = 0; queries_from_cache = 0;
+  { registry; ctx; params = []; limits; verify = Warn; verify_log = [];
+    queries_run = 0; queries_from_cache = 0;
     session_io = Vida_raw.Io_stats.zero; result_cache = Hashtbl.create 64;
     result_hits = 0; result_stale_drops = 0 }
+
+let set_verify t v = t.verify <- v
+let verify_mode t = t.verify
+let verify_log t = List.rev t.verify_log
 
 let set_limits t limits = t.limits <- limits
 let limits t = t.limits
@@ -167,6 +177,34 @@ let refresh_referenced t expr =
    blocked or on worker domains, which CPU time ([Sys.time]) misses *)
 let now_ms () = Unix.gettimeofday () *. 1000.
 
+(* --- plan-verifier participation (ISSUE: typed-IR invariant checking).
+
+   [Warn] re-derives well-typedness after translation and optimization and
+   per rewrite firing, recording violations in [verify_log]; [Strict]
+   aborts the query with [Vida_error.Plan_invalid] instead. [Off] skips
+   verification entirely. *)
+
+let note_verify t e = t.verify_log <- Vida_error.to_string e :: t.verify_log
+
+let verify_stage t ~env stage plan =
+  match t.verify with
+  | Off -> ()
+  | Warn -> (
+    match Vida_analysis.Verifier.verify ~stage ~env plan with
+    | Ok () -> ()
+    | Error e -> note_verify t e)
+  | Strict -> Vida_analysis.Verifier.verify_exn ~stage ~env plan
+
+(* Per-firing pre/post obligation, installed as the optimizer's and the
+   parallel engine's rewrite checker. *)
+let firing_check t ~env stage ~rule ~before ~after =
+  match t.verify with
+  | Off -> ()
+  | Warn | Strict -> (
+    match Vida_analysis.Verifier.check_rewrite ~stage ~rule ~env ~before ~after with
+    | Ok () -> ()
+    | Error e -> if t.verify = Strict then raise (Vida_error.Error e) else note_verify t e)
+
 let rec run_expr ?(engine = Jit) ?(optimize = true) ?(reuse = true) t (expr : Expr.t) :
     (result, error) Result.t =
   match Typecheck.check (type_env t) expr with
@@ -190,8 +228,20 @@ and run_governed ~engine ~optimize ~reuse ~session t (expr : Expr.t) :
       refresh_referenced t expr;
       let t0 = now_ms () in
       let normalized = Rewrite.normalize expr in
+      let venv = type_env t in
       let plan = Vida_algebra.Translate.plan_of_comp normalized in
-      let plan = if optimize then Vida_optimizer.Optimizer.optimize t.ctx plan else plan in
+      verify_stage t ~env:venv "translate" plan;
+      let plan =
+        if optimize then (
+          let plan =
+            Vida_optimizer.Rules.with_checker
+              (firing_check t ~env:venv "optimize")
+              (fun () -> Vida_optimizer.Optimizer.optimize t.ctx plan)
+          in
+          verify_stage t ~env:venv "optimize" plan;
+          plan)
+        else plan
+      in
       let cache_key =
         (match engine with Jit -> "jit|" | Generic -> "gen|")
         ^ Vida_algebra.Plan.to_string plan
@@ -249,7 +299,11 @@ and run_governed ~engine ~optimize ~reuse ~session t (expr : Expr.t) :
                Governor violations and structured data errors propagate
                from workers exactly as from the sequential path. *)
             if t.ctx.Plugins.domains > 1 then
-              match Parallel.try_query t.ctx plan with
+              match
+                Parallel.with_checker
+                  (firing_check t ~env:venv "parallel")
+                  (fun () -> Parallel.try_query t.ctx plan)
+              with
               | Some value -> value
               | None -> run_sequential ()
               | exception
@@ -354,6 +408,111 @@ let explain_sql t text =
   match Vida_sql.Sql.translate text with
   | Error msg -> Error (Parse_error msg)
   | Ok expr -> explain_expr t expr
+
+(* --- static analysis: verify + lint + parallelizability, no execution --- *)
+
+type analysis = {
+  analyzed_plan : Vida_algebra.Plan.t;
+  verify_error : Vida_error.t option;
+  findings : Vida_analysis.Lint.finding list;
+  declines : (string * string) list;
+}
+
+(* Worker-safety verdicts for every operator expression: the reasons the
+   morsel engine would decline (part of) this plan. Source expressions are
+   resolved on the calling domain and are not gated. *)
+let worker_declines t (plan : Vida_algebra.Plan.t) =
+  let module Plan = Vida_algebra.Plan in
+  let params = List.map fst t.params in
+  let out = ref [] in
+  (* an operator's expressions see the binders its child produces, not the
+     (possibly narrower) environment the operator itself outputs *)
+  let check ~bound where e =
+    match Vida_analysis.Effects.worker_verdict ~bound ~params e with
+    | Ok () -> ()
+    | Error r ->
+      out := (where, Vida_analysis.Effects.reason_to_string r) :: !out
+  in
+  let rec walk (p : Plan.t) =
+    (match p with
+    | Plan.Unit | Plan.Source _ | Plan.Product _ -> ()
+    | Plan.Select { pred; child } ->
+      check ~bound:(Plan.bound_vars child) "filter" pred
+    | Plan.Map { var; expr; child } ->
+      check ~bound:(Plan.bound_vars child) ("binding of " ^ var) expr
+    | Plan.Unnest { path; child; _ } ->
+      check ~bound:(Plan.bound_vars child) "unnest path" path
+    | Plan.Join { pred; left; right } ->
+      check ~bound:(Plan.bound_vars left @ Plan.bound_vars right)
+        "join predicate" pred
+    | Plan.Reduce { head; child; _ } ->
+      check ~bound:(Plan.bound_vars child) "fold head" head
+    | Plan.Nest { head; keys; child; _ } ->
+      let bound = Plan.bound_vars child in
+      List.iter (fun (k, e) -> check ~bound ("group key " ^ k) e) keys;
+      check ~bound "group head" head);
+    List.iter walk (Plan.children p)
+  in
+  walk plan;
+  List.rev !out
+
+let analyze_expr t (expr : Expr.t) =
+  match Typecheck.check (type_env t) expr with
+  | Error e -> Error (Type_error (Format.asprintf "%a" Typecheck.pp_error e))
+  | Ok () ->
+    let normalized = Rewrite.normalize expr in
+    let plan = Vida_algebra.Translate.plan_of_comp normalized in
+    let plan = Vida_optimizer.Optimizer.optimize t.ctx plan in
+    let env = type_env t in
+    let verify_error =
+      match Vida_analysis.Verifier.verify ~stage:"analyze" ~env plan with
+      | Ok () -> None
+      | Error e -> Some e
+    in
+    let stale =
+      List.filter
+        (fun name ->
+          match Registry.find t.registry name with
+          | Some source -> Source.stale source
+          | None -> false)
+        (Vida_algebra.Plan.free_vars plan)
+    in
+    let findings = Vida_analysis.Lint.plan ~env ~stale plan in
+    Ok
+      { analyzed_plan = plan; verify_error; findings;
+        declines = worker_declines t plan }
+
+let analyze t text =
+  match Parser.parse text with
+  | Error msg -> Error (Parse_error msg)
+  | Ok expr -> analyze_expr t expr
+
+let analyze_sql t text =
+  match Vida_sql.Sql.translate text with
+  | Error msg -> Error (Parse_error msg)
+  | Ok expr -> analyze_expr t expr
+
+let analysis_report (a : analysis) =
+  let buf = Buffer.create 256 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "plan:\n%s\n" (Vida_algebra.Plan.to_string a.analyzed_plan);
+  (match a.verify_error with
+  | None -> pf "verifier:  ok\n"
+  | Some e -> pf "verifier:  FAILED: %s\n" (Vida_error.to_string e));
+  (match a.findings with
+  | [] -> pf "lint:      clean\n"
+  | fs ->
+    pf "lint:      %d finding(s)\n" (List.length fs);
+    List.iter
+      (fun f -> pf "  %s\n" (Format.asprintf "%a" Vida_analysis.Lint.pp_finding f))
+      fs);
+  (match a.declines with
+  | [] -> pf "parallel:  all operator expressions worker-safe\n"
+  | ds ->
+    pf "parallel:  %d expression(s) pin the query to the sequential engines\n"
+      (List.length ds);
+    List.iter (fun (where, reason) -> pf "  %s: %s\n" where reason) ds);
+  Buffer.contents buf
 
 let stats (t : t) =
   { queries_run = t.queries_run;

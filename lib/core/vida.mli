@@ -144,6 +144,50 @@ val explain : t -> string -> (string, error) Result.t
 (** [explain_sql t text] is [explain] for SQL input. *)
 val explain_sql : t -> string -> (string, error) Result.t
 
+(** {1 Static analysis} (verifier + linter, no execution)
+
+    The plan verifier ({!Vida_analysis.Verifier}) re-derives
+    well-typedness of every plan against the catalog; its participation in
+    the query pipeline is controlled per session:
+    - [Off] — no checking;
+    - [Warn] (default) — plans are verified after translation and
+      optimization, and every optimizer/parallel rewrite firing is checked
+      pre/post; violations are recorded in {!verify_log};
+    - [Strict] — a violation aborts the query with
+      {!Vida_error.Plan_invalid} (surfaced as [Data_error]), the offending
+      stage and rule named. *)
+
+type verify = Off | Warn | Strict
+
+val set_verify : t -> verify -> unit
+val verify_mode : t -> verify
+
+(** Verifier violations recorded so far under [Warn] (oldest first). *)
+val verify_log : t -> string list
+
+(** What {!analyze} reports for one query, without executing it. *)
+type analysis = {
+  analyzed_plan : Vida_algebra.Plan.t;  (** the optimized plan *)
+  verify_error : Vida_error.t option;  (** [None] when the plan verifies *)
+  findings : Vida_analysis.Lint.finding list;  (** most severe first *)
+  declines : (string * string) list;
+      (** [(position, reason)] for every operator expression the
+          effect analysis declines for worker-domain execution — why the
+          morsel engine would run (part of) this plan sequentially *)
+}
+
+(** [analyze t text] parses, typechecks, translates and optimizes [text],
+    then runs the plan verifier and linter over the result — the CLI's
+    [.analyze] / [--lint] entry. Nothing is executed and no raw data is
+    touched beyond what registration already sampled. *)
+val analyze : t -> string -> (analysis, error) Result.t
+
+(** [analyze_sql t text] is [analyze] for SQL input. *)
+val analyze_sql : t -> string -> (analysis, error) Result.t
+
+(** Human-readable rendering of an {!analysis}. *)
+val analysis_report : analysis -> string
+
 (** [export t query ~format ~path] runs a query and materializes the
     result through an output plugin (paper §4.1: CSV for business reports,
     (binary) JSON for RESTful interfaces, ...). *)

@@ -4,6 +4,7 @@ open Vida_algebra
 open Vida_catalog
 module Morsel = Vida_raw.Morsel
 module Governor = Vida_governor.Governor
+module Effects = Vida_analysis.Effects
 
 (* Morsel-driven parallel execution over columnar scans.
 
@@ -31,8 +32,26 @@ module Governor = Vida_governor.Governor
    through its atomic counters. Expressions whose compiled form could
    touch shared lazy state (subqueries, lambdas, free variables that
    resolve to registry sources and would materialize them inside a
-   worker) are rejected by [worker_safe] below, declining parallelism
-   rather than racing. *)
+   worker) are rejected by {!Vida_analysis.Effects.worker_verdict},
+   declining parallelism rather than racing; every decline is recorded
+   with its reason in {!last_declines}. *)
+
+type decline = { where : string; reason : string }
+
+let declines : decline list ref = ref []
+let note_decline ~where reason = declines := { where; reason } :: !declines
+let last_declines () = List.rev !declines
+
+(* Observation hook for the plan-shape rewrites this module performs
+   (count-head neutralization, one-sided filter pushdown): same contract
+   as [Vida_optimizer.Rules.checker]. *)
+let checker : (rule:string -> before:Plan.t -> after:Plan.t -> unit) ref =
+  ref (fun ~rule:_ ~before:_ ~after:_ -> ())
+
+let with_checker f body =
+  let saved = !checker in
+  checker := f;
+  Fun.protect ~finally:(fun () -> checker := saved) body
 
 type step = Filter of Expr.t | Bind of string * Expr.t
 
@@ -49,30 +68,24 @@ let chain_vars var steps =
   var :: List.filter_map (function Bind (v, _) -> Some v | Filter _ -> None) steps
 
 (* Closure compilation of [e] must not reach shared mutable state when run
-   on a worker domain: no subqueries (their pipelines own feedback/flush
-   state), no lambdas (interpreter fallback materializes every registered
-   source), and every free variable either plan-bound or an immutable
-   session parameter (an unbound one would lazily materialize a source
-   inside the worker). *)
-let rec worker_safe (e : Expr.t) =
-  match e with
-  | Expr.Comp _ | Expr.Lambda _ | Expr.Apply _ -> false
-  | Expr.Const _ | Expr.Var _ | Expr.Zero _ -> true
-  | Expr.Proj (e, _) | Expr.UnOp (_, e) | Expr.Singleton (_, e) -> worker_safe e
-  | Expr.Record fields -> List.for_all (fun (_, e) -> worker_safe e) fields
-  | Expr.If (a, b, c) -> worker_safe a && worker_safe b && worker_safe c
-  | Expr.BinOp (_, a, b) | Expr.Merge (_, a, b) -> worker_safe a && worker_safe b
-  | Expr.Index (e, idxs) -> worker_safe e && List.for_all worker_safe idxs
+   on a worker domain; the effect analysis decides, and a decline carries
+   the offending subterm so callers (and `.analyze`) can explain it. *)
+let scoped ctx ~bound ~where e =
+  match
+    Effects.worker_verdict ~bound
+      ~params:(List.map fst ctx.Plugins.params)
+      e
+  with
+  | Ok () -> true
+  | Error r ->
+    note_decline ~where (Effects.reason_to_string r);
+    false
 
-let scoped ctx ~bound e =
-  worker_safe e
-  && List.for_all
-       (fun v -> List.mem v bound || List.mem_assoc v ctx.Plugins.params)
-       (Expr.free_vars e)
-
-let steps_scoped ctx ~bound steps =
+let steps_scoped ctx ~bound ~where steps =
   List.for_all
-    (function Filter p -> scoped ctx ~bound p | Bind (_, e) -> scoped ctx ~bound e)
+    (function
+      | Filter p -> scoped ctx ~bound ~where:(where ^ " filter") p
+      | Bind (_, e) -> scoped ctx ~bound ~where:(where ^ " binding") e)
     steps
 
 (* Fields of [source] the plan needs for chain variable [var]. [Whole] is
@@ -99,10 +112,23 @@ let fields_for ctx ?(whole = false) plan ~var (source : Source.t) =
 
 type chain = {
   var : string;
+  name : string;  (* registry name of the source *)
   steps : step list;
   n : int;  (* row count *)
   columns : (string * Value.t array) array;
 }
+
+(* Rebuild the algebra subtree a chain stands for — used to hand the
+   engine's own rewrites to the plan verifier in the same [before]/[after]
+   form the optimizer rules use. *)
+let plan_of_step child = function
+  | Filter pred -> Plan.Select { pred; child }
+  | Bind (var, expr) -> Plan.Map { var; expr; child }
+
+let plan_of_chain (c : chain) =
+  List.fold_left plan_of_step
+    (Plan.Source { var = c.var; expr = Expr.Var c.name })
+    c.steps
 
 let resolve_chain ctx ?whole plan (p : Plan.t) =
   match decompose p [] with
@@ -112,7 +138,7 @@ let resolve_chain ctx ?whole plan (p : Plan.t) =
     | None -> None
     | Some source -> (
       let bound = chain_vars var steps in
-      if not (steps_scoped ctx ~bound steps) then None
+      if not (steps_scoped ctx ~bound ~where:"chain" steps) then None
       else
         match fields_for ctx ?whole plan ~var source with
         | None -> None (* Whole needed, format can't reconstruct rows *)
@@ -122,7 +148,7 @@ let resolve_chain ctx ?whole plan (p : Plan.t) =
           match Plugins.column_arrays ctx source ~fields with
           | None -> None
           | Some (n, columns) ->
-            Some { var; steps; n; columns = Array.of_list columns })))
+            Some { var; name; steps; n; columns = Array.of_list columns })))
 
 (* Per-task compiled pipeline for one chain: applies steps to the row
    loaded in slot [base] and calls [sink] on rows that survive. Compiled
@@ -158,6 +184,20 @@ let record_of_columns columns i =
    rebalance skew between chunks. *)
 let morsel_ranges n d = Morsel.chunks n (d * 4)
 
+(* Discharge the monoid-law obligation before merging partials: the
+   indexed fold below combines them in morsel (= source) order, an
+   [`Ordered] strategy, which {!Effects.check_merge} proves sufficient for
+   every monoid — including non-commutative list/array concatenation. *)
+let merge_partials monoid partials =
+  (match Effects.check_merge monoid ~strategy:`Ordered with
+  | Ok () -> ()
+  | Error reason ->
+    raise
+      (Vida_error.Error
+         (Vida_error.Plan_invalid
+            { stage = "parallel"; rule = Some "morsel-merge"; reason })));
+  Array.fold_left (Monoid.merge monoid) (Monoid.zero monoid) partials
+
 (* --- Reduce over a single chain ------------------------------------- *)
 
 let fold_chain ctx ~domains ~monoid ~head (c : chain) =
@@ -182,8 +222,7 @@ let fold_chain ctx ~domains ~monoid ~head (c : chain) =
   in
   (* indexed merge: partials combine in morsel (= source) order, which is
      what makes non-commutative monoids (list/array concat) correct *)
-  Monoid.finalize monoid
-    (Array.fold_left (Monoid.merge monoid) (Monoid.zero monoid) partials)
+  Monoid.finalize monoid (merge_partials monoid partials)
 
 (* --- bare chain: parallel filtered/projected materialization --------- *)
 
@@ -242,12 +281,17 @@ let join_reduce ctx ~domains ~monoid ~head ~pred ~post (lc : chain) (rc : chain)
   if keys = [] then None
   else if
     not
-      (scoped ctx ~bound:vars head
-      && steps_scoped ctx ~bound:vars post
+      (scoped ctx ~bound:vars ~where:"join head" head
+      && steps_scoped ctx ~bound:vars ~where:"post-join" post
       && List.for_all
-           (fun (l, r) -> scoped ctx ~bound:vars l && scoped ctx ~bound:vars r)
+           (fun (l, r) ->
+             scoped ctx ~bound:vars ~where:"join key" l
+             && scoped ctx ~bound:vars ~where:"join key" r)
            keys
-      && (match residual with Some r -> scoped ctx ~bound:vars r | None -> true))
+      &&
+      match residual with
+      | Some r -> scoped ctx ~bound:vars ~where:"join residual" r
+      | None -> true)
   then None
   else begin
     let right_slots = List.mapi (fun i _ -> rbase + i) rvars in
@@ -325,9 +369,7 @@ let join_reduce ctx ~domains ~monoid ~head ~pred ~post (lc : chain) (rc : chain)
           done;
           !acc)
     in
-    Some
-      (Monoid.finalize monoid
-         (Array.fold_left (Monoid.merge monoid) (Monoid.zero monoid) partials))
+    Some (Monoid.finalize monoid (merge_partials monoid partials))
   end
 
 (* --- entry point ------------------------------------------------------ *)
@@ -370,10 +412,28 @@ let try_join_reduce ctx ~domains:budget ~monoid ~head plan ~left ~right steps =
         | stp -> post := stp :: !post)
       steps;
     (match conj (List.rev !cross) with
-    | None -> None (* pure product: no equi-conjunct to build a table on *)
+    | None ->
+      note_decline ~where:"join core"
+        "no cross-side equi-conjunct to build a hash table on";
+      None
     | Some pred ->
-      let lc = { lc with steps = lc.steps @ List.rev !lpush } in
-      let rc = { rc with steps = rc.steps @ List.rev !rpush } in
+      let lc' = { lc with steps = lc.steps @ List.rev !lpush } in
+      let rc' = { rc with steps = rc.steps @ List.rev !rpush } in
+      (* the pushdown is a plan-shape rewrite: report it to the verifier
+         hook in the same Product+Select form the translator uses *)
+      (if !lpush <> [] || !rpush <> [] then
+         let rebuild l r rest =
+           List.fold_left plan_of_step
+             (Plan.Product { left = plan_of_chain l; right = plan_of_chain r })
+             rest
+         in
+         let before = rebuild lc rc steps in
+         let after =
+           rebuild lc' rc'
+             (List.map (fun p -> Filter p) (List.rev !cross) @ List.rev !post)
+         in
+         !checker ~rule:"parallel-filter-pushdown" ~before ~after);
+      let lc = lc' and rc = rc' in
       let domains = Morsel.domains_for_rows ~domains:budget (lc.n + rc.n) in
       if domains <= 1 then None
       else
@@ -381,6 +441,7 @@ let try_join_reduce ctx ~domains:budget ~monoid ~head plan ~left ~right steps =
   | _ -> None
 
 let try_query ctx ?domains (plan : Plan.t) : Value.t option =
+  declines := [];
   let budget =
     match domains with Some d -> max 1 d | None -> ctx.Plugins.domains
   in
@@ -408,12 +469,20 @@ let try_query ctx ?domains (plan : Plan.t) : Value.t option =
         | Monoid.Prim Monoid.Count, Expr.Var v
           when List.mem v (source_vars child []) ->
           let h = Expr.Const (Value.Int 0) in
-          (h, Plan.Reduce { monoid; head = h; child })
+          let plan' = Plan.Reduce { monoid; head = h; child } in
+          !checker ~rule:"parallel-neutralize-count-head" ~before:plan
+            ~after:plan';
+          (h, plan')
         | _ -> (head, plan)
       in
       match resolve_chain ctx plan child with
       | Some c ->
-        if not (scoped ctx ~bound:(chain_vars c.var c.steps) head) then None
+        if
+          not
+            (scoped ctx
+               ~bound:(chain_vars c.var c.steps)
+               ~where:"fold head" head)
+        then None
         else
           let domains = Morsel.domains_for_rows ~domains:budget c.n in
           if domains <= 1 then None

@@ -22,6 +22,37 @@
     reassociated by the split, so float aggregates can differ from the
     sequential result in the last bits. *)
 
+(** One reason the engine declined (part of) a plan for worker execution:
+    [where] names the position ("fold head", "join key", "chain filter",
+    …), [reason] is the effect-analysis verdict rendered by
+    {!Vida_analysis.Effects.reason_to_string}. *)
+type decline = { where : string; reason : string }
+
+(** Declines recorded by the most recent {!try_query} call, in the order
+    they were hit. Empty when the plan parallelized (or was never
+    gated on an expression verdict). *)
+val last_declines : unit -> decline list
+
+(** Observation hook for this module's own plan-shape rewrites
+    (["parallel-neutralize-count-head"], ["parallel-filter-pushdown"]) —
+    same contract as {!Vida_optimizer.Rules.checker}: called once per
+    firing with the rule named; may raise to abort. *)
+val checker :
+  (rule:string ->
+  before:Vida_algebra.Plan.t ->
+  after:Vida_algebra.Plan.t ->
+  unit)
+  ref
+
+(** [with_checker f body] installs [f] for the duration of [body]
+    (exception-safe, restores the previous hook). *)
+val with_checker :
+  (rule:string ->
+  before:Vida_algebra.Plan.t ->
+  after:Vida_algebra.Plan.t ->
+  unit) ->
+  (unit -> 'a) -> 'a
+
 (** [try_query ctx ?domains plan] — [None] when the plan is outside the
     parallelizable fragment or the effective domain budget is 1 (callers
     fall back to {!Compile.query}; with [domains = 1] the sequential

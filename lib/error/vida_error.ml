@@ -10,6 +10,8 @@ type t =
   | Deadline_exceeded of { source : string; elapsed_ms : float; deadline_ms : float }
   | Budget_exceeded of { source : string; requested : int; budget : int }
   | Cancelled of { source : string; reason : string }
+  | Type_invalid of { context : string; reason : string }
+  | Plan_invalid of { stage : string; rule : string option; reason : string }
 
 exception Error of t
 
@@ -44,6 +46,12 @@ let budget_exceeded ~source ~requested ~budget =
 let cancelled ~source fmt =
   Format.kasprintf (fun reason -> error (Cancelled { source; reason })) fmt
 
+let type_invalid ~context fmt =
+  Format.kasprintf (fun reason -> error (Type_invalid { context; reason })) fmt
+
+let plan_invalid ~stage ?rule fmt =
+  Format.kasprintf (fun reason -> error (Plan_invalid { stage; rule; reason })) fmt
+
 let source = function
   | Parse_error { source; _ }
   | Truncated { source; _ }
@@ -54,11 +62,14 @@ let source = function
   | Deadline_exceeded { source; _ }
   | Budget_exceeded { source; _ }
   | Cancelled { source; _ } -> source
+  | Type_invalid { context; _ } -> context
+  | Plan_invalid { stage; _ } -> stage
 
 let offset = function
   | Parse_error { offset; _ } | Truncated { offset; _ } -> Some offset
   | Stale_auxiliary _ | Resource_limit _ | Io_failure _ | Invalid_request _
-  | Deadline_exceeded _ | Budget_exceeded _ | Cancelled _ -> None
+  | Deadline_exceeded _ | Budget_exceeded _ | Cancelled _ | Type_invalid _
+  | Plan_invalid _ -> None
 
 let kind_name = function
   | Parse_error _ -> "parse"
@@ -70,6 +81,8 @@ let kind_name = function
   | Deadline_exceeded _ -> "deadline"
   | Budget_exceeded _ -> "budget"
   | Cancelled _ -> "cancelled"
+  | Type_invalid _ -> "type"
+  | Plan_invalid _ -> "plan"
 
 let exit_code = function
   | Parse_error _ -> 65
@@ -81,6 +94,8 @@ let exit_code = function
   | Deadline_exceeded _ -> 71
   | Budget_exceeded _ -> 72
   | Cancelled _ -> 73
+  | Type_invalid _ -> 74
+  | Plan_invalid _ -> 75
 
 let pp ppf = function
   | Parse_error { source; offset; reason } ->
@@ -100,6 +115,11 @@ let pp ppf = function
     Format.fprintf ppf "%s: memory budget exceeded: %d bytes requested over a %d-byte budget"
       source requested budget
   | Cancelled { source; reason } -> Format.fprintf ppf "%s: cancelled: %s" source reason
+  | Type_invalid { context; reason } -> Format.fprintf ppf "%s (in %s)" reason context
+  | Plan_invalid { stage; rule; reason } ->
+    Format.fprintf ppf "invalid plan after %s%s: %s" stage
+      (match rule with Some r -> Printf.sprintf " (rule %s)" r | None -> "")
+      reason
 
 let to_string e = Format.asprintf "%a" pp e
 

@@ -30,6 +30,14 @@ type t =
       (** the query tried to materialize more bytes than its governor budget *)
   | Cancelled of { source : string; reason : string }
       (** the query's cancellation token was tripped cooperatively *)
+  | Type_invalid of { context : string; reason : string }
+      (** a query expression failed static type validation; [context] is
+          the offending (sub)expression rendered as text *)
+  | Plan_invalid of { stage : string; rule : string option; reason : string }
+      (** the plan verifier rejected an algebra plan; [stage] names the
+          pipeline point ("translate", "optimize", "parallel", ...) and
+          [rule] the optimizer/parallel rewrite whose firing broke the
+          invariant, when one did *)
 
 exception Error of t
 
@@ -52,6 +60,10 @@ val invalid_request : source:string -> ('a, Format.formatter, unit, 'b) format4 
 val deadline_exceeded : source:string -> elapsed_ms:float -> deadline_ms:float -> 'a
 val budget_exceeded : source:string -> requested:int -> budget:int -> 'a
 val cancelled : source:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val type_invalid : context:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val plan_invalid :
+  stage:string -> ?rule:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 (** {1 Inspection} *)
 
@@ -60,12 +72,13 @@ val offset : t -> int option  (** byte offset, when the error names one *)
 
 val kind_name : t -> string
 (** short stable tag: ["parse"], ["truncated"], ["stale"], ["limit"],
-    ["io"], ["invalid"], ["deadline"], ["budget"], ["cancelled"] *)
+    ["io"], ["invalid"], ["deadline"], ["budget"], ["cancelled"],
+    ["type"], ["plan"] *)
 
 val exit_code : t -> int
 (** distinct process exit code per kind, for CLI surfacing:
     parse 65, truncated 66, stale 67, limit 68, io 69, invalid 70,
-    deadline 71, budget 72, cancelled 73. *)
+    deadline 71, budget 72, cancelled 73, type 74, plan 75. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

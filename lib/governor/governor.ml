@@ -83,6 +83,7 @@ let with_session s f =
   Fun.protect ~finally:(fun () -> Domain.DLS.set ambient saved) f
 
 let elapsed_ms s = now_ms () -. (s.started_at *. 1000.)
+let name s = s.name
 
 let cancel s ~reason =
   ignore (Atomic.compare_and_set s.cancel_reason None (Some reason))

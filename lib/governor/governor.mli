@@ -113,6 +113,10 @@ val sleep_ms : float -> unit
 (** {1 Reporting} *)
 
 val elapsed_ms : session -> float
+
+val name : session -> string
+(** the label given at {!start} ("query" by default). *)
+
 val report : session -> report
 val zero_report : report
 val pp_report : Format.formatter -> report -> unit

@@ -113,8 +113,10 @@ let rec choose_build_sides ctx (p : Plan.t) =
   match p with
   | Plan.Join ({ left; right; _ } as j) ->
     let l = Cost.estimate ctx left and r = Cost.estimate ctx right in
-    if r.Cost.cardinality > l.Cost.cardinality *. 1.5 then
-      Plan.Join { j with left = right; right = left }
+    if r.Cost.cardinality > l.Cost.cardinality *. 1.5 then (
+      let p' = Plan.Join { j with left = right; right = left } in
+      !Rules.checker ~rule:"join-build-side-swap" ~before:p ~after:p';
+      p')
     else p
   | p -> p
 
@@ -127,10 +129,13 @@ let optimize ctx (p : Plan.t) =
   (* grouping recognition first: the correlated group-by idiom becomes a
      single Nest pass, then its input stream is ordered as usual *)
   match Groupby.rewrite p with
-  | Some (Plan.Reduce ({ child = Plan.Nest n; _ } as r)) ->
+  | Some (Plan.Reduce ({ child = Plan.Nest n; _ } as r) as nested) ->
+    !Rules.checker ~rule:"groupby-nest" ~before:p ~after:nested;
     Plan.Reduce
       { r with child = Plan.Nest { n with child = optimize_stream ctx n.child } }
-  | Some p -> p
+  | Some p' ->
+    !Rules.checker ~rule:"groupby-nest" ~before:p ~after:p';
+    p'
   | None -> (
     match p with
     | Plan.Reduce r -> Plan.Reduce { r with child = optimize_stream ctx r.child }

@@ -13,18 +13,37 @@ let conjoin = function
 
 let subset vars allowed = List.for_all (fun v -> List.mem v allowed) vars
 
-(* One local rewrite attempt at the root. *)
-let rewrite_root (p : Plan.t) : Plan.t option =
+type rule = { name : string; rewrite : Plan.t -> Plan.t option }
+
+(* Each rule is one local rewrite attempt at the root of a subtree. *)
+
+let select_true_elim (p : Plan.t) =
   match p with
   | Plan.Select { pred = Expr.Const (Vida_data.Value.Bool true); child } -> Some child
+  | _ -> None
+
+let select_split_conjunction (p : Plan.t) =
+  match p with
   | Plan.Select { pred = Expr.BinOp (Expr.And, a, b); child } ->
     Some (Plan.Select { pred = a; child = Plan.Select { pred = b; child } })
+  | _ -> None
+
+let select_past_map (p : Plan.t) =
+  match p with
   | Plan.Select { pred; child = Plan.Map ({ var; _ } as m) }
     when not (List.mem var (Expr.free_vars pred)) ->
     Some (Plan.Map { m with child = Plan.Select { pred; child = m.child } })
+  | _ -> None
+
+let select_past_unnest (p : Plan.t) =
+  match p with
   | Plan.Select { pred; child = Plan.Unnest ({ var; _ } as u) }
     when not (List.mem var (Expr.free_vars pred)) ->
     Some (Plan.Unnest { u with child = Plan.Select { pred; child = u.child } })
+  | _ -> None
+
+let select_into_product (p : Plan.t) =
+  match p with
   | Plan.Select { pred; child = Plan.Product { left; right } } ->
     let fv = Expr.free_vars pred in
     let lvars = Plan.bound_vars left and rvars = Plan.bound_vars right in
@@ -33,6 +52,10 @@ let rewrite_root (p : Plan.t) : Plan.t option =
     else if subset fv rvars then
       Some (Plan.Product { left; right = Plan.Select { pred; child = right } })
     else Some (Plan.Join { pred; left; right })
+  | _ -> None
+
+let select_into_join (p : Plan.t) =
+  match p with
   | Plan.Select { pred; child = Plan.Join ({ left; right; _ } as j) } ->
     let fv = Expr.free_vars pred in
     let lvars = Plan.bound_vars left and rvars = Plan.bound_vars right in
@@ -41,9 +64,49 @@ let rewrite_root (p : Plan.t) : Plan.t option =
     else if subset fv rvars then
       Some (Plan.Join { j with right = Plan.Select { pred; child = right } })
     else Some (Plan.Join { j with pred = conjoin (conjuncts j.pred @ [ pred ]) })
+  | _ -> None
+
+let product_unit_elim (p : Plan.t) =
+  match p with
   | Plan.Product { left = Plan.Unit; right } -> Some right
   | Plan.Product { left; right = Plan.Unit } -> Some left
   | _ -> None
+
+let builtin_rules =
+  [ { name = "select-true-elim"; rewrite = select_true_elim };
+    { name = "select-split-conjunction"; rewrite = select_split_conjunction };
+    { name = "select-past-map"; rewrite = select_past_map };
+    { name = "select-past-unnest"; rewrite = select_past_unnest };
+    { name = "select-into-product"; rewrite = select_into_product };
+    { name = "select-into-join"; rewrite = select_into_join };
+    { name = "product-unit-elim"; rewrite = product_unit_elim } ]
+
+let extra_rules : rule list ref = ref []
+
+let checker :
+    (rule:string -> before:Plan.t -> after:Plan.t -> unit) ref =
+  ref (fun ~rule:_ ~before:_ ~after:_ -> ())
+
+let with_checker f body =
+  let saved = !checker in
+  checker := f;
+  Fun.protect ~finally:(fun () -> checker := saved) body
+
+(* One rewrite attempt at the root: first applicable rule wins. Every
+   firing is reported to [checker] with the rule named — a subtree is
+   closed over its own binders (the algebra binds bottom-up), so it can be
+   verified in isolation. *)
+let rewrite_root (p : Plan.t) : Plan.t option =
+  let rec try_rules = function
+    | [] -> None
+    | r :: rest -> (
+      match r.rewrite p with
+      | None -> try_rules rest
+      | Some p' ->
+        !checker ~rule:r.name ~before:p ~after:p';
+        Some p')
+  in
+  try_rules (builtin_rules @ !extra_rules)
 
 let rec fixpoint_root p n =
   if n = 0 then p

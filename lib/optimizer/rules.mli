@@ -9,7 +9,36 @@
     - unit products and trivially-true selections eliminated.
 
     Rewrites are semantics-preserving on environment streams; the
-    differential test-suite checks them against the reference executor. *)
+    differential test-suite checks them against the reference executor,
+    and every individual firing can additionally be checked by the plan
+    verifier through {!checker} — each rule is named, so a type-breaking
+    firing is reported against the rule that produced it. *)
+
+(** One named local rewrite. [rewrite] returns [None] when the rule does
+    not apply at this root. *)
+type rule = { name : string; rewrite : Vida_algebra.Plan.t -> Vida_algebra.Plan.t option }
+
+(** The built-in rule set, in application order. *)
+val builtin_rules : rule list
+
+(** Extra rules appended after the built-ins — the mutation hook the
+    verifier test-suite uses to seed type-breaking rules. Empty by
+    default; reset it when done. *)
+val extra_rules : rule list ref
+
+(** Per-firing observation hook: called as [checker ~rule ~before ~after]
+    for every successful rule application ([before] the subtree it fired
+    on, [after] its replacement). The default is a no-op; installing the
+    plan verifier here turns every optimizer step into checked territory.
+    May raise (e.g. {!Vida_error.Error}) to abort the rewrite. *)
+val checker :
+  (rule:string -> before:Vida_algebra.Plan.t -> after:Vida_algebra.Plan.t -> unit) ref
+
+(** [with_checker f body] installs [f] for the duration of [body]
+    (exception-safe, restores the previous hook). *)
+val with_checker :
+  (rule:string -> before:Vida_algebra.Plan.t -> after:Vida_algebra.Plan.t -> unit) ->
+  (unit -> 'a) -> 'a
 
 val apply : Vida_algebra.Plan.t -> Vida_algebra.Plan.t
 
