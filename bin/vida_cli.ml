@@ -44,11 +44,20 @@ let print_error e =
       (Vida_error.to_string de)
   | e -> prerr_endline (Vida.error_to_string e))
 
-let execute db ~use_sql ~engine ~show_stats ~output_json query =
+(* human-readable form of an encoded epoch fingerprint *)
+let epoch_to_string encoded =
+  match Vida_raw.Fingerprint.decode encoded ~pos:0 with
+  | Some fp -> Vida_raw.Fingerprint.to_string fp
+  | None -> "<unreadable fingerprint>"
+
+let execute ?record_epochs db ~use_sql ~engine ~show_stats ~output_json query =
   let result = if use_sql then Vida.sql ~engine db query else Vida.query ~engine db query in
   match result with
   | Error e -> print_error e; error_exit_code e
   | Ok r ->
+    (match record_epochs with
+    | Some cell -> cell := r.Vida.epochs
+    | None -> ());
     if output_json then print_endline (Vida_data.Value.to_json r.Vida.value)
     else Format.printf "%a@." Vida_data.Value.pp r.Vida.value;
     if show_stats then (
@@ -59,11 +68,31 @@ let execute db ~use_sql ~engine ~show_stats ~output_json query =
          else "raw access");
       Format.eprintf "raw io: %a@." Vida_raw.Io_stats.pp r.Vida.raw_io;
       Format.eprintf "governor: %a@." Vida_governor.Governor.pp_report
-        r.Vida.governor);
+        r.Vida.governor;
+      List.iter
+        (fun (name, encoded) ->
+          Printf.eprintf "epoch: %s %s\n" name (epoch_to_string encoded))
+        r.Vida.epochs);
     0
+
+(* [retry] / [retry=N] / [fail] — the reaction to a pinned source file
+   changing under a running query. *)
+let parse_on_change s =
+  match String.lowercase_ascii (String.trim s) with
+  | "fail" -> Some Vida_governor.Governor.Fail_fast
+  | "retry" -> Some (Vida_governor.Governor.Retry_fresh 2)
+  | s ->
+    let pfx = "retry=" in
+    let n = String.length pfx in
+    if String.length s > n && String.sub s 0 n = pfx then
+      match int_of_string_opt (String.sub s n (String.length s - n)) with
+      | Some k when k >= 0 -> Some (Vida_governor.Governor.Retry_fresh k)
+      | _ -> None
+    else None
 
 (* Interactive session: queries plus dot-commands, one per line. *)
 let repl db ~engine ~output_json =
+  let last_epochs = ref [] in
   let help () =
     print_string
       "enter a comprehension query, or:\n\
@@ -76,6 +105,9 @@ let repl db ~engine ~output_json =
       \  .quarantine NAME     show raw spans quarantined for a source\n\
       \  .timeout MS          per-query wall-clock deadline in ms (0 = off)\n\
       \  .limit BYTES         per-query memory budget in bytes (0 = off)\n\
+      \  .on-change MODE      reaction to a source file changing mid-query:\n\
+      \                       retry[=N] (re-pin a fresh epoch, default N=2) | fail\n\
+      \  .epochs              pinned source generations of the last query\n\
       \  .domains N           worker-domain budget for parallel scans (1 = sequential)\n\
       \  .analyze QUERY       verify + lint the plan without executing it\n\
       \  .verify MODE         plan-verifier mode (off|warn|strict)\n\
@@ -150,6 +182,29 @@ let repl db ~engine ~output_json =
       | None -> print_endline "per-query memory budget disabled")
     | None -> print_endline "expected a number of bytes"
   in
+  let set_on_change rest =
+    match parse_on_change rest with
+    | Some policy ->
+      Vida.set_limits db
+        { (Vida.limits db) with Vida_governor.Governor.on_change = policy };
+      (match policy with
+      | Vida_governor.Governor.Fail_fast ->
+        print_endline "mid-query source changes fail the query (exit code 76)"
+      | Vida_governor.Governor.Retry_fresh n ->
+        Printf.printf
+          "mid-query source changes re-pin a fresh epoch and retry up to %d time(s)\n"
+          n)
+    | None -> print_endline "expected retry, retry=N or fail"
+  in
+  let show_epochs () =
+    match !last_epochs with
+    | [] -> print_endline "no epochs pinned yet (run a query over file sources)"
+    | epochs ->
+      List.iter
+        (fun (name, encoded) ->
+          Printf.printf "  %s %s\n" name (epoch_to_string encoded))
+        epochs
+  in
   let set_domains rest =
     match int_of_string_opt (String.trim rest) with
     | Some d when d >= 1 ->
@@ -192,6 +247,9 @@ let repl db ~engine ~output_json =
        else if line = ".stats" then show_session_stats ()
        else if line = ".checkpoint" then
          Printf.printf "wrote %d sidecar(s)\n" (Vida.checkpoint db)
+       else if line = ".epochs" then show_epochs ()
+       else if String.length line > 11 && String.sub line 0 11 = ".on-change " then
+         set_on_change (String.sub line 11 (String.length line - 11))
        else if String.length line > 7 && String.sub line 0 7 = ".clean " then
          set_clean (String.trim (String.sub line 7 (String.length line - 7)))
        else if String.length line > 12 && String.sub line 0 12 = ".quarantine " then
@@ -233,10 +291,13 @@ let repl db ~engine ~output_json =
          | _ -> print_endline "expected off|warn|strict")
        else if String.length line > 5 && String.sub line 0 5 = ".sql " then
          ignore
-           (execute db ~use_sql:true ~engine ~show_stats:false ~output_json
+           (execute ~record_epochs:last_epochs db ~use_sql:true ~engine
+              ~show_stats:false ~output_json
               (String.sub line 5 (String.length line - 5)))
        else
-         ignore (execute db ~use_sql:false ~engine ~show_stats:false ~output_json line));
+         ignore
+           (execute ~record_epochs:last_epochs db ~use_sql:false ~engine
+              ~show_stats:false ~output_json line));
       loop ()
   in
   (try loop () with Exit -> ());
@@ -324,13 +385,25 @@ let lint_workload_run db which =
     2
 
 let run csvs jsons xmls binarrays use_sql explain lint lint_workload engine
-    show_stats output_json timeout_ms memory_budget domains interactive query =
+    show_stats output_json timeout_ms memory_budget domains on_change
+    interactive query =
+  let on_change =
+    match on_change with
+    | None -> Vida_governor.Governor.unlimited.Vida_governor.Governor.on_change
+    | Some spec -> (
+      match parse_on_change spec with
+      | Some policy -> policy
+      | None ->
+        Printf.eprintf "--on-change expects retry, retry=N or fail, got %S\n" spec;
+        exit 2)
+  in
   let limits =
     { Vida_governor.Governor.unlimited with
       Vida_governor.Governor.deadline_ms =
         (match timeout_ms with Some ms when ms > 0. -> Some ms | _ -> None);
       memory_budget =
-        (match memory_budget with Some b when b > 0 -> Some b | _ -> None) }
+        (match memory_budget with Some b when b > 0 -> Some b | _ -> None);
+      on_change }
   in
   let db = Vida.create ?domains ~limits () in
   register db "csv" csvs;
@@ -406,6 +479,10 @@ let domains_arg =
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
        ~doc:"Worker-domain budget for parallel query regions, clamped to the hardware core count; the VIDA_DOMAINS environment variable overrides it. Default: the hardware count (1 = sequential).")
 
+let on_change_arg =
+  Arg.(value & opt (some string) None & info [ "on-change" ] ~docv:"retry|fail"
+       ~doc:"Reaction to a source file changing under a running query (detected by the query's pinned epoch): $(b,retry) re-pins a fresh epoch and re-runs up to 2 times ($(b,retry=N) for another bound); $(b,fail) surfaces the structured change error (exit code 76). Default: retry.")
+
 let json_out_arg = Arg.(value & flag & info [ "output-json" ] ~doc:"Print the result as JSON.")
 
 let xml_arg =
@@ -424,7 +501,7 @@ let cmd =
     Term.(
       const run $ csv_arg $ json_arg $ xml_arg $ binarray_arg $ sql_arg
       $ explain_arg $ lint_arg $ lint_workload_arg $ engine_arg $ stats_arg
-      $ json_out_arg $ timeout_arg $ budget_arg $ domains_arg
+      $ json_out_arg $ timeout_arg $ budget_arg $ domains_arg $ on_change_arg
       $ interactive_arg $ query_arg)
 
 let () = exit (Cmd.eval' cmd)

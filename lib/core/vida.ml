@@ -77,7 +77,14 @@ let purge_results t source =
   List.iter (Hashtbl.remove t.result_cache) victims
 
 (* Current fingerprints of the file-backed sources among [names]; sources
-   with no backing file (inline, external) carry no fingerprint. *)
+   with no backing file (inline, external) carry no fingerprint. Inside a
+   query the ambient epoch's pin is authoritative — the generation the
+   query runs against, not whatever the file mutated to since. *)
+let current_fingerprint name path =
+  match Vida_raw.Epoch.pinned name with
+  | Some fp -> Some fp
+  | None -> Vida_raw.Fingerprint.probe path
+
 let source_fingerprints t names =
   List.filter_map
     (fun name ->
@@ -85,7 +92,7 @@ let source_fingerprints t names =
       | Some { Source.path = Some path; _ } ->
         Option.map
           (fun fp -> (name, Vida_raw.Fingerprint.encode fp))
-          (Vida_raw.Fingerprint.probe path)
+          (current_fingerprint name path)
       | _ -> None)
     names
 
@@ -97,7 +104,7 @@ let fingerprints_fresh t stored =
     (fun (name, stamp) ->
       match Registry.find t.registry name with
       | Some { Source.path = Some path; _ } -> (
-        match Vida_raw.Fingerprint.probe path with
+        match current_fingerprint name path with
         | Some fp -> String.equal (Vida_raw.Fingerprint.encode fp) stamp
         | None -> false)
       | _ -> true)
@@ -132,6 +139,9 @@ type result = {
   served_from_cache : bool;
   from_result_cache : bool;
   governor : Governor.report;
+  epochs : (string * string) list;
+      (* the query's pinned generations: source name -> encoded
+         fingerprint of the file version every served value came from *)
 }
 
 type stats = {
@@ -163,14 +173,38 @@ let type_env t =
   Registry.type_env t.registry
   @ List.map (fun (name, v) -> (name, Value.typeof v)) t.params
 
-(* Invalidate stale sources the expression references (paper §2.1: in-place
-   updates drop the affected auxiliary structures transparently). *)
+(* Bring sources the expression references up to date (paper §2.1,
+   refined): appends extend the derived state incrementally, anything
+   else drops it. Either way results computed against the old generation
+   are purged. *)
 let refresh_referenced t expr =
   List.iter
     (fun v ->
       match Registry.find t.registry v with
-      | Some source when Source.stale source -> invalidate t v
-      | _ -> ())
+      | Some source -> (
+        match Plugins.refresh_source t.ctx source with
+        | `Unchanged -> ()
+        | `Extended | `Rebuilt -> purge_results t v)
+      | None -> ())
+    (Expr.free_vars expr)
+
+(* Pin the current generation of every referenced file-backed source.
+   Each is pinned under both its registry name (cache stamping, producer
+   ticks) and its backing path (raw-buffer loads, scan loops) — see
+   {!Vida_raw.Epoch.pin}. Returns the pins for the query result. *)
+let pin_referenced t epoch expr =
+  List.filter_map
+    (fun v ->
+      match Registry.find t.registry v with
+      | Some { Source.name; path = Some path; _ } -> (
+        match Vida_raw.Fingerprint.probe path with
+        | Some fp ->
+          Vida_raw.Epoch.pin epoch ~source:name ~path fp;
+          if not (String.equal name path) then
+            Vida_raw.Epoch.pin epoch ~source:path ~path fp;
+          Some (name, Vida_raw.Fingerprint.encode fp)
+        | None -> None)
+      | _ -> None)
     (Expr.free_vars expr)
 
 (* wall-clock milliseconds: reported durations must include time spent
@@ -222,10 +256,44 @@ let rec run_expr ?(engine = Jit) ?(optimize = true) ?(reuse = true) t (expr : Ex
     let body () = run_governed ~engine ~optimize ~reuse ~session t expr in
     if owned then Governor.with_session session body else body ()
 
+(* Each attempt refreshes the referenced sources (repairing appends
+   incrementally), pins a fresh epoch, and runs the whole pipeline inside
+   it. A [Source_changed] raised anywhere — a scan-loop probe, a buffer
+   reload, a cache validation — aborts the attempt before any value mixing
+   two generations can be produced; the instance's change policy decides
+   whether to re-pin and retry ([Retry_fresh], each retry recorded as an
+   ["epoch-repin"] fallback) or surface the error ([Fail_fast]). The
+   governor session (deadline, budget) spans all attempts. *)
 and run_governed ~engine ~optimize ~reuse ~session t (expr : Expr.t) :
     (result, error) Result.t =
+  let retry_budget =
+    match t.limits.Governor.on_change with
+    | Governor.Retry_fresh n -> max 0 n
+    | Governor.Fail_fast -> 0
+  in
+  let rec attempt retries_left =
+    let outcome =
+      try
+        refresh_referenced t expr;
+        let epoch = Vida_raw.Epoch.create () in
+        let epochs = pin_referenced t epoch expr in
+        Vida_raw.Epoch.with_epoch epoch (fun () ->
+            run_pinned ~engine ~optimize ~reuse ~session ~epochs t expr)
+      with Vida_error.Error e -> Error (Data_error e)
+    in
+    match outcome with
+    | Error (Data_error (Vida_error.Source_changed { source; detail }))
+      when retries_left > 0 ->
+      Governor.note_fallback ~session ~stage:"epoch-repin"
+        ~reason:(source ^ ": " ^ detail) ();
+      attempt (retries_left - 1)
+    | r -> r
+  in
+  attempt retry_budget
+
+and run_pinned ~engine ~optimize ~reuse ~session ~epochs t (expr : Expr.t) :
+    (result, error) Result.t =
     try
-      refresh_referenced t expr;
       let t0 = now_ms () in
       let normalized = Rewrite.normalize expr in
       let venv = type_env t in
@@ -266,7 +334,8 @@ and run_governed ~engine ~optimize ~reuse ~session t (expr : Expr.t) :
         Ok
           { value; plan; compile_ms = now_ms () -. t0; exec_ms = 0.;
             raw_io = Vida_raw.Io_stats.zero; served_from_cache = true;
-            from_result_cache = true; governor = Governor.report session }
+            from_result_cache = true; governor = Governor.report session;
+            epochs }
       | None -> (
       let run_generic () = (Interp.query t.ctx plan) () in
       (* degradation ladder, rung 1: a JIT code-generation or execution
@@ -344,7 +413,7 @@ and run_governed ~engine ~optimize ~reuse ~session t (expr : Expr.t) :
         Ok
           { value; plan; compile_ms = t1 -. t0; exec_ms = t2 -. t1; raw_io;
             served_from_cache; from_result_cache = false;
-            governor = Governor.report session }
+            governor = Governor.report session; epochs }
       | exception Plugins.Engine_error msg -> Error (Engine_error msg)
       | exception Eval.Error msg -> Error (Engine_error msg)
       | exception Value.Type_error msg -> Error (Engine_error msg))

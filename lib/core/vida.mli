@@ -117,7 +117,16 @@ type result = {
   governor : Vida_governor.Governor.report;
       (** the query's resource-governance trace: wall time, cooperative
           polls, bytes charged against the memory budget, transient-IO
-          retries and degradation fallbacks (JIT→Generic, sidecar→raw) *)
+          retries and degradation fallbacks (JIT→Generic, sidecar→raw,
+          epoch-repin) *)
+  epochs : (string * string) list;
+      (** the query's pinned epoch: for every referenced file-backed
+          source, the encoded {!Vida_raw.Fingerprint} of the file version
+          every served value was computed from. A source mutating
+          mid-query raises [Source_changed] (surfaced as [Data_error])
+          rather than ever mixing generations; the instance's
+          {!Vida_governor.Governor.change_policy} decides whether the
+          query transparently re-pins and retries first. *)
 }
 
 (** [query t text] runs a comprehension query end to end: parse → validate

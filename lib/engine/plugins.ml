@@ -37,14 +37,22 @@ let create_ctx ?cache_capacity ?(params = []) ?domains registry =
 
 let whole_object_item = "__object__"
 
-(* Current encoded fingerprint of a source's backing file, [None] for
-   inline/external sources. Probes the file directly (head/tail windows)
-   without touching [Raw_buffer]/[Io_stats], so validating cached entries
-   does not count as raw access. *)
+(* Encoded fingerprint used to stamp and validate cache entries of a
+   source; [None] for inline/external sources. Under an ambient
+   {!Vida_raw.Epoch} the query's pinned generation is used — entries are
+   stamped with (and hits validated against) the generation the query runs
+   on, so a concurrent writer can never mix two generations through the
+   cache. Outside an epoch the file is probed directly (sampled windows,
+   no [Raw_buffer]/[Io_stats] — validating cached entries does not count
+   as raw access). *)
 let source_fingerprint (source : Source.t) =
-  match source.Source.path with
-  | None -> None
-  | Some path -> Option.map Vida_raw.Fingerprint.encode (Vida_raw.Fingerprint.probe path)
+  match Vida_raw.Epoch.pinned source.Source.name with
+  | Some fp -> Some (Vida_raw.Fingerprint.encode fp)
+  | None -> (
+    match source.Source.path with
+    | None -> None
+    | Some path ->
+      Option.map Vida_raw.Fingerprint.encode (Vida_raw.Fingerprint.probe path))
 
 (* Cache accessors that stamp entries with the backing file's fingerprint:
    a [find] after the file changed drops the stale entry and misses, so the
@@ -173,8 +181,12 @@ let csv_producer ctx (source : Source.t) schema need consumer =
     | Analysis.Fields fs -> fs
   in
   let columns, nrows = csv_columns ctx source schema fs in
-  let bad = bad_set ctx source.Source.name in
+  let name = source.Source.name in
+  let bad = bad_set ctx name in
   for row = 0 to nrows - 1 do
+    (* cache-served rows bypass the raw scan loops, so the epoch tick
+       lives here too — a fully-cached query still notices a writer *)
+    Vida_raw.Epoch.check ~source:name ();
     if not (Hashtbl.mem bad row) then
       consumer
         (Value.Record
@@ -231,6 +243,7 @@ let json_producer ctx (source : Source.t) need consumer =
     in
     let bad = bad_set ctx source.Source.name in
     for obj = 0 to n - 1 do
+      Vida_raw.Epoch.check ~source:source.Source.name ();
       if not (Hashtbl.mem bad obj) then
         consumer (Value.Record (List.map (fun (f, arr) -> (f, arr.(obj))) columns))
     done
@@ -265,7 +278,9 @@ let json_producer ctx (source : Source.t) need consumer =
     match cache_find ctx source key with
     | Some (Cache.Strings encoded) ->
       Array.iter
-        (fun s -> if s <> "" then consumer (Vbson.decode ~source:name s))
+        (fun s ->
+          Vida_raw.Epoch.check ~source:name ();
+          if s <> "" then consumer (Vbson.decode ~source:name s))
         encoded
     | Some _ | None ->
       let si = Structures.semi_index ~domains:ctx.domains ctx.structures source in
@@ -339,6 +354,7 @@ let xml_producer ctx (source : Source.t) need consumer =
       | [] -> Vida_raw.Xml_index.element_count (xml_index_reported ctx source)
     in
     for elem = 0 to n - 1 do
+      Vida_raw.Epoch.check ~source:source.Source.name ();
       consumer (Value.Record (List.map (fun (f, arr) -> (f, arr.(elem))) columns))
     done
   | Analysis.Whole -> (
@@ -348,7 +364,11 @@ let xml_producer ctx (source : Source.t) need consumer =
     in
     match cache_find ctx source key with
     | Some (Cache.Strings encoded) ->
-      Array.iter (fun s -> consumer (Vbson.decode ~source:name s)) encoded
+      Array.iter
+        (fun s ->
+          Vida_raw.Epoch.check ~source:name ();
+          consumer (Vbson.decode ~source:name s))
+        encoded
     | Some _ | None ->
       let xi = xml_index_reported ctx source in
       let n = Vida_raw.Xml_index.element_count xi in
@@ -393,6 +413,7 @@ let binarray_producer ctx (source : Source.t) need consumer =
       fs
   in
   for cell = 0 to n - 1 do
+    Vida_raw.Epoch.check ~source:name ();
     consumer
       (Value.Record
          (List.map
@@ -601,6 +622,203 @@ let invalidate ctx name =
   Hashtbl.remove ctx.bad_rows name;
   Hashtbl.remove ctx.structural_quarantined name;
   ignore (Registry.refresh ctx.registry name)
+
+(* --- live-data refresh: append-aware incremental repair ---
+
+   Paper §2.1 drops a source's auxiliary structures and caches when its
+   file changes. For the append-only case (log-structured files, the
+   common live-data shape — see {!Vida_raw.Delta}) that wastes every scan
+   already paid for, so structures are extended in place
+   ({!Structures.repair_appended}) and cached columns are extended with
+   just the appended items and re-stamped with the new fingerprint. Any
+   wrinkle — cleaning policies in force, rows already marked bad, a parse
+   failure in the appended bytes, a payload shape we don't recognize —
+   falls back to the paper's drop-and-rederive; extension is an
+   optimization, never a correctness risk. *)
+
+exception Unextendable
+
+(* Old cells carry over; cells from [from] on are re-derived ([from] is
+   one before the old item count for line-oriented formats, whose last old
+   item may have been a partial line completed by the append). *)
+let extended_values ~n ~from ~derive old =
+  let arr = Array.make n Value.Null in
+  Array.blit old 0 arr 0 from;
+  for i = from to n - 1 do
+    arr.(i) <- derive i
+  done;
+  arr
+
+let extended_strings ~n ~from ~derive old =
+  let arr = Array.make n "" in
+  Array.blit old 0 arr 0 from;
+  for i = from to n - 1 do
+    arr.(i) <- derive i
+  done;
+  arr
+
+let extend_csv_caches ctx (source : Source.t) pm ~old_rows ~fingerprint entries =
+  let name = source.Source.name in
+  let schema =
+    match source.Source.format with
+    | Source.Csv { schema; _ } -> schema
+    | _ -> raise Unextendable
+  in
+  let n = Vida_raw.Positional_map.row_count pm in
+  let from = max 0 (old_rows - 1) in
+  let policy = cleaning_policy ctx name in
+  List.iter
+    (fun ((key : Cache.key), payload, _) ->
+      match (payload, key.Cache.layout, Schema.index schema key.Cache.item) with
+      | Cache.Values old, Layout.Values, Some col when Array.length old = old_rows ->
+        let ty = (Schema.attr schema col).Schema.ty in
+        let derive row =
+          let start, stop = Vida_raw.Positional_map.row_bounds pm row in
+          match
+            Vida_cleaning.Policy.clean ~span:(name, start, stop - start) policy
+              ~field:key.Cache.item ty
+              (Vida_raw.Positional_map.field pm ~row ~col)
+          with
+          | Ok (Some v) -> v
+          | Ok None | Error _ ->
+            (* an appended row needs the full cleaning machinery *)
+            raise Unextendable
+        in
+        ignore
+          (Cache.put ~fingerprint ctx.cache key
+             (Cache.Values (extended_values ~n ~from ~derive old)))
+      | _ -> ()  (* unrecognized shape: left to stale-drop on next access *))
+    entries
+
+let extend_json_caches ctx (source : Source.t) si ~old_objects ~fingerprint entries =
+  let n = Vida_raw.Semi_index.object_count si in
+  let from = max 0 (old_objects - 1) in
+  let record_fields =
+    match source.Source.format with
+    | Source.Json_lines { element = Ty.Record fields } -> Some (List.map fst fields)
+    | _ -> None
+  in
+  List.iter
+    (fun ((key : Cache.key), payload, _) ->
+      match (payload, key.Cache.layout) with
+      | Cache.Values old, Layout.Values when Array.length old = old_objects ->
+        let derive obj =
+          Vida_raw.Semi_index.field_value si ~obj ~field:key.Cache.item
+        in
+        ignore
+          (Cache.put ~fingerprint ctx.cache key
+             (Cache.Values (extended_values ~n ~from ~derive old)))
+      | Cache.Strings old, Layout.Vbson
+        when String.equal key.Cache.item whole_object_item
+             && Array.length old = old_objects ->
+        let derive obj =
+          let v = Vida_raw.Semi_index.object_value si obj in
+          (match (v, record_fields) with
+          | Value.Record _, _ | _, None -> ()
+          | _ -> raise Unextendable (* stray scalar: policy's business *));
+          Vbson.encode v
+        in
+        ignore
+          (Cache.put ~fingerprint ctx.cache key
+             (Cache.Strings (extended_strings ~n ~from ~derive old)))
+      | _ -> ())
+    entries
+
+(* XML elements are whole (an element's bounds never straddle old EOF:
+   the resume point backs up before any span that did), so old cells are
+   all kept. *)
+let extend_xml_caches ctx xi ~old_elements ~fingerprint entries =
+  let n = Vida_raw.Xml_index.element_count xi in
+  List.iter
+    (fun ((key : Cache.key), payload, _) ->
+      match (payload, key.Cache.layout) with
+      | Cache.Values old, Layout.Values when Array.length old = old_elements ->
+        let derive elem =
+          Vida_raw.Xml_index.field_value xi ~elem ~field:key.Cache.item
+        in
+        ignore
+          (Cache.put ~fingerprint ctx.cache key
+             (Cache.Values (extended_values ~n ~from:old_elements ~derive old)))
+      | Cache.Strings old, Layout.Vbson
+        when String.equal key.Cache.item whole_object_item
+             && Array.length old = old_elements ->
+        let derive elem = Vbson.encode (Vida_raw.Xml_index.element_value xi elem) in
+        ignore
+          (Cache.put ~fingerprint ctx.cache key
+             (Cache.Strings (extended_strings ~n ~from:old_elements ~derive old)))
+      | _ -> ())
+    entries
+
+let extend_source_caches ctx (source : Source.t) (r : Structures.repair) =
+  let name = source.Source.name in
+  let entries = Cache.entries_of_source ctx.cache name in
+  if entries <> [] then (
+    let fingerprint =
+      Vida_raw.Fingerprint.encode
+        (Vida_raw.Fingerprint.of_buffer r.Structures.new_buffer)
+    in
+    match (r.Structures.csv, r.Structures.json, r.Structures.xml) with
+    | Some (pm, old_rows), _, _ ->
+      extend_csv_caches ctx source pm ~old_rows ~fingerprint entries
+    | _, Some (si, old_objects), _ ->
+      extend_json_caches ctx source si ~old_objects ~fingerprint entries
+    | _, _, Some (xi, old_elements, new_list_tag) ->
+      if new_list_tag then
+        (* normalized shape of old elements changed (a tag became a
+           list): cached element values are wrong, drop them *)
+        Cache.invalidate_source ctx.cache name
+      else extend_xml_caches ctx xi ~old_elements ~fingerprint entries
+    | None, None, None ->
+      (* no structure to extend from (binary arrays re-open; or nothing
+         was built): old-generation entries stale-drop on access anyway,
+         but drop them now so the source presents one generation *)
+      Cache.invalidate_source ctx.cache name)
+
+let try_extend ctx (source : Source.t) =
+  let name = source.Source.name in
+  let r = Structures.repair_appended ctx.structures source in
+  if bad_row_count ctx name > 0 || Hashtbl.mem ctx.cleaning name then (
+    (* columns were derived under a cleaning policy (rows skipped,
+       values repaired): extension would need to replay the policy over
+       appended rows including its side effects — drop the caches and
+       let the next scan re-derive everything under the policy *)
+    Cache.invalidate_source ctx.cache name;
+    Hashtbl.remove ctx.bad_rows name;
+    Hashtbl.remove ctx.structural_quarantined name)
+  else
+    try extend_source_caches ctx source r
+    with _ ->
+      (* malformed appended bytes, shape surprises: the structures stay
+         extended (they are navigation only), the caches re-derive *)
+      Cache.invalidate_source ctx.cache name
+
+let refresh_source ctx (source : Source.t) =
+  let name = source.Source.name in
+  let rebuilt () = invalidate ctx name; `Rebuilt in
+  match source.Source.path with
+  | None -> `Unchanged
+  | Some path -> (
+    match Structures.peek_buffer ctx.structures name with
+    | Some buf when Vida_raw.Raw_buffer.loaded buf -> (
+      let old_fp = Vida_raw.Fingerprint.of_buffer buf in
+      match Vida_raw.Delta.classify ~old_fp path with
+      | Vida_raw.Delta.Unchanged ->
+        (* content is current; a drifted cheap snapshot (mtime-only
+           change, e.g. touch(1)) just re-snapshots the registry *)
+        if Source.stale source then ignore (Registry.refresh ctx.registry name);
+        `Unchanged
+      | Vida_raw.Delta.Appended _ -> (
+        match try_extend ctx source with
+        | () ->
+          ignore (Registry.refresh ctx.registry name);
+          `Extended
+        | exception _ -> rebuilt ())
+      | Vida_raw.Delta.Rewritten | Vida_raw.Delta.Truncated _
+      | Vida_raw.Delta.Vanished ->
+        rebuilt ())
+    | _ ->
+      (* nothing derived yet: the registration-time snapshot decides *)
+      if Source.stale source then rebuilt () else `Unchanged)
 
 let set_cleaning ctx ~source policy =
   Hashtbl.replace ctx.cleaning source policy;

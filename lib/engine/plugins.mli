@@ -92,6 +92,23 @@ val base_eval_env : ctx -> Vida_calculus.Eval.env
     detected). *)
 val invalidate : ctx -> string -> unit
 
+(** [refresh_source ctx source] brings a source's derived state up to
+    date with its backing file, classifying the change with
+    {!Vida_raw.Delta}:
+    - [`Unchanged] — content fingerprint matches (an mtime-only drift
+      just re-snapshots the registry);
+    - [`Extended] — the file grew by append: built structures are
+      extended in place ({!Structures.repair_appended}) and cached
+      columns are extended with the appended items and re-stamped with
+      the new fingerprint. Sources under a cleaning policy, rows already
+      marked problematic, parse failures in the appended bytes, or
+      unrecognized payload shapes fall back to dropping the caches (the
+      structures stay extended);
+    - [`Rebuilt] — rewritten/truncated/vanished, or no structures built
+      yet and the snapshot drifted: full {!invalidate} (paper §2.1). *)
+val refresh_source :
+  ctx -> Vida_catalog.Source.t -> [ `Unchanged | `Extended | `Rebuilt ]
+
 (** [set_cleaning ctx ~source policy] attaches a cleaning policy; the
     source's caches are dropped so already-decoded columns are re-read
     under the new policy. *)

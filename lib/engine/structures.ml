@@ -83,6 +83,7 @@ let binarray t source =
     Vida_error.invalid_request ~source:source.Source.name
       "Structures.binarray: %S is not a binary-array source" source.Source.name
 
+let peek_buffer t name = Hashtbl.find_opt t.buffers name
 let peek_posmap t name = Hashtbl.find_opt t.posmaps name
 
 let checkpoint_posmap t source =
@@ -92,6 +93,62 @@ let checkpoint_posmap t source =
     Positional_map.save pm ~path:(sidecar_path source);
     true
 let peek_semi_index t name = Hashtbl.find_opt t.semi_indexes name
+
+(* --- append-aware incremental repair (paper §2.1, refined) ---
+
+   §2.1 drops auxiliary structures when the underlying file changes. For
+   the common live-data case — the file grew by append, its old prefix
+   untouched (see {!Vida_raw.Delta}) — dropping wastes every scan already
+   paid for. Instead each built structure is extended in place from the
+   old tail, and the caller learns the old item counts so cached columns
+   can be extended too. Binary arrays are simply re-opened (their open is
+   a header parse, not a scan). *)
+
+type repair = {
+  new_buffer : Raw_buffer.t;
+  csv : (Positional_map.t * int) option;  (* extended map, old row count *)
+  json : (Semi_index.t * int) option;  (* extended index, old object count *)
+  xml : (Xml_index.t * int * bool) option;
+      (* extended index, old element count, [true] when a new repeated tag
+         appeared (normalized shape of old elements changed) *)
+}
+
+let repair_appended t source =
+  let name = source.Source.name in
+  let new_buffer = Raw_buffer.of_path (source_path source) in
+  (* repair is not lazy: load now, outside any epoch, so the extended
+     structures and the buffer they index agree on one generation *)
+  ignore (Raw_buffer.contents new_buffer);
+  let csv =
+    match Hashtbl.find_opt t.posmaps name with
+    | None -> None
+    | Some pm ->
+      let old_rows = Positional_map.row_count pm in
+      let pm = Positional_map.extend pm new_buffer in
+      Hashtbl.replace t.posmaps name pm;
+      Some (pm, old_rows)
+  in
+  let json =
+    match Hashtbl.find_opt t.semi_indexes name with
+    | None -> None
+    | Some si ->
+      let old_objects = Semi_index.object_count si in
+      let si = Semi_index.extend si new_buffer in
+      Hashtbl.replace t.semi_indexes name si;
+      Some (si, old_objects)
+  in
+  let xml =
+    match Hashtbl.find_opt t.xml_indexes name with
+    | None -> None
+    | Some xi ->
+      let old_elements = Xml_index.element_count xi in
+      let xi, new_list_tag = Xml_index.extend xi new_buffer in
+      Hashtbl.replace t.xml_indexes name xi;
+      Some (xi, old_elements, new_list_tag)
+  in
+  Hashtbl.remove t.binarrays name;
+  Hashtbl.replace t.buffers name new_buffer;
+  { new_buffer; csv; json; xml }
 
 let invalidate t name =
   Hashtbl.remove t.buffers name;

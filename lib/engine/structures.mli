@@ -32,11 +32,38 @@ val binarray : t -> Vida_catalog.Source.t -> Vida_raw.Binarray.t
     false when no map has been built. *)
 val checkpoint_posmap : t -> Vida_catalog.Source.t -> bool
 
-(** [peek_posmap]/[peek_semi_index] return an already-built structure
-    without building one — cost estimation must not trigger file scans. *)
+(** [peek_buffer]/[peek_posmap]/[peek_semi_index] return an already-built
+    structure without building one — cost estimation and change detection
+    must not trigger file scans. *)
+val peek_buffer : t -> string -> Vida_raw.Raw_buffer.t option
+
 val peek_posmap : t -> string -> Vida_raw.Positional_map.t option
 
 val peek_semi_index : t -> string -> Vida_raw.Semi_index.t option
+
+(** {1 Append-aware incremental repair} *)
+
+type repair = {
+  new_buffer : Vida_raw.Raw_buffer.t;
+  csv : (Vida_raw.Positional_map.t * int) option;
+      (** extended map, old row count *)
+  json : (Vida_raw.Semi_index.t * int) option;
+      (** extended index, old object count *)
+  xml : (Vida_raw.Xml_index.t * int * bool) option;
+      (** extended index, old element count, [true] when a new repeated
+          tag appeared among appended elements (the normalized shape of
+          old elements changed — element-derived caches must be dropped) *)
+}
+
+(** [repair_appended t source] reacts to [source]'s file having grown by
+    append ({!Vida_raw.Delta.Appended}): the memoized buffer is replaced
+    by a freshly loaded one and every built structure is {e extended}
+    from the old tail instead of rebuilt ({!Vida_raw.Positional_map.extend}
+    and friends); binary-array handles are dropped (re-opening is a header
+    parse). Returns the new buffer plus old item counts so the engine can
+    extend cached columns as well. Caller is responsible for having
+    classified the change as an append. *)
+val repair_appended : t -> Vida_catalog.Source.t -> repair
 
 (** [invalidate t name] drops every structure of source [name]. *)
 val invalidate : t -> string -> unit

@@ -12,6 +12,7 @@ type t =
   | Cancelled of { source : string; reason : string }
   | Type_invalid of { context : string; reason : string }
   | Plan_invalid of { stage : string; rule : string option; reason : string }
+  | Source_changed of { source : string; detail : string }
 
 exception Error of t
 
@@ -52,6 +53,9 @@ let type_invalid ~context fmt =
 let plan_invalid ~stage ?rule fmt =
   Format.kasprintf (fun reason -> error (Plan_invalid { stage; rule; reason })) fmt
 
+let source_changed ~source fmt =
+  Format.kasprintf (fun detail -> error (Source_changed { source; detail })) fmt
+
 let source = function
   | Parse_error { source; _ }
   | Truncated { source; _ }
@@ -61,7 +65,8 @@ let source = function
   | Invalid_request { source; _ }
   | Deadline_exceeded { source; _ }
   | Budget_exceeded { source; _ }
-  | Cancelled { source; _ } -> source
+  | Cancelled { source; _ }
+  | Source_changed { source; _ } -> source
   | Type_invalid { context; _ } -> context
   | Plan_invalid { stage; _ } -> stage
 
@@ -69,7 +74,7 @@ let offset = function
   | Parse_error { offset; _ } | Truncated { offset; _ } -> Some offset
   | Stale_auxiliary _ | Resource_limit _ | Io_failure _ | Invalid_request _
   | Deadline_exceeded _ | Budget_exceeded _ | Cancelled _ | Type_invalid _
-  | Plan_invalid _ -> None
+  | Plan_invalid _ | Source_changed _ -> None
 
 let kind_name = function
   | Parse_error _ -> "parse"
@@ -83,6 +88,7 @@ let kind_name = function
   | Cancelled _ -> "cancelled"
   | Type_invalid _ -> "type"
   | Plan_invalid _ -> "plan"
+  | Source_changed _ -> "changed"
 
 let exit_code = function
   | Parse_error _ -> 65
@@ -96,6 +102,7 @@ let exit_code = function
   | Cancelled _ -> 73
   | Type_invalid _ -> 74
   | Plan_invalid _ -> 75
+  | Source_changed _ -> 76
 
 let pp ppf = function
   | Parse_error { source; offset; reason } ->
@@ -120,6 +127,8 @@ let pp ppf = function
     Format.fprintf ppf "invalid plan after %s%s: %s" stage
       (match rule with Some r -> Printf.sprintf " (rule %s)" r | None -> "")
       reason
+  | Source_changed { source; detail } ->
+    Format.fprintf ppf "%s: source changed under the query: %s" source detail
 
 let to_string e = Format.asprintf "%a" pp e
 

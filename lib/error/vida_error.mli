@@ -38,6 +38,11 @@ type t =
           pipeline point ("translate", "optimize", "parallel", ...) and
           [rule] the optimizer/parallel rewrite whose firing broke the
           invariant, when one did *)
+  | Source_changed of { source : string; detail : string }
+      (** a raw file changed away from the generation the running query
+          pinned at start (its {!Vida_raw.Epoch}); [detail] classifies the
+          change ("appended", "rewritten", ...). The governor converts this
+          into a bounded re-pin-and-retry under a [Retry_fresh] policy *)
 
 exception Error of t
 
@@ -65,6 +70,8 @@ val type_invalid : context:string -> ('a, Format.formatter, unit, 'b) format4 ->
 val plan_invalid :
   stage:string -> ?rule:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 
+val source_changed : source:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
 (** {1 Inspection} *)
 
 val source : t -> string
@@ -73,12 +80,12 @@ val offset : t -> int option  (** byte offset, when the error names one *)
 val kind_name : t -> string
 (** short stable tag: ["parse"], ["truncated"], ["stale"], ["limit"],
     ["io"], ["invalid"], ["deadline"], ["budget"], ["cancelled"],
-    ["type"], ["plan"] *)
+    ["type"], ["plan"], ["changed"] *)
 
 val exit_code : t -> int
 (** distinct process exit code per kind, for CLI surfacing:
     parse 65, truncated 66, stale 67, limit 68, io 69, invalid 70,
-    deadline 71, budget 72, cancelled 73, type 74, plan 75. *)
+    deadline 71, budget 72, cancelled 73, type 74, plan 75, changed 76. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

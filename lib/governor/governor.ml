@@ -8,17 +8,25 @@
    session also accumulates the degradation history of the query: IO
    retries and engine/auxiliary fallbacks. *)
 
+(* What to do when a pinned source changes under a running query
+   ([Vida_error.Source_changed]): re-pin a fresh epoch and re-run the
+   query up to [n] times, or surface the error immediately. Held here (the
+   policy travels with the query's limits) but enacted by the engine
+   facade, which owns the pin/retry loop. *)
+type change_policy = Retry_fresh of int | Fail_fast
+
 type limits = {
   deadline_ms : float option;
   memory_budget : int option;
   max_retries : int;
   retry_backoff_ms : float;
   poll_stride : int;
+  on_change : change_policy;
 }
 
 let unlimited =
   { deadline_ms = None; memory_budget = None; max_retries = 2;
-    retry_backoff_ms = 1.0; poll_stride = 64 }
+    retry_backoff_ms = 1.0; poll_stride = 64; on_change = Retry_fresh 2 }
 
 (* Bound any single backoff sleep: retries must never out-wait a deadline
    by much, even with a large retry count. *)

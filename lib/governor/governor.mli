@@ -18,16 +18,25 @@
     [Deadline_exceeded] / [Budget_exceeded] / [Cancelled] — never a hang,
     never an unbounded allocation, never an untyped exception. *)
 
+(** Policy for a pinned source changing under a running query
+    ([Vida_error.Source_changed]): [Retry_fresh n] re-pins a fresh epoch
+    and re-runs the whole query up to [n] times (each retry recorded as an
+    ["epoch-repin"] fallback); [Fail_fast] surfaces the error to the
+    caller. Enacted by the engine facade, which owns the pin/retry loop. *)
+type change_policy = Retry_fresh of int | Fail_fast
+
 type limits = {
   deadline_ms : float option;  (** wall-clock budget for the whole query *)
   memory_budget : int option;  (** bytes of materialized/cached working set *)
   max_retries : int;  (** bounded retries for transient IO failures *)
   retry_backoff_ms : float;  (** initial backoff, doubled per retry *)
   poll_stride : int;  (** clock consulted every N polls (cancel: every poll) *)
+  on_change : change_policy;  (** reaction to a source changing mid-query *)
 }
 
 val unlimited : limits
-(** no deadline, no budget, 2 retries with 1 ms initial backoff. *)
+(** no deadline, no budget, 2 retries with 1 ms initial backoff,
+    [Retry_fresh 2] on mid-query source changes. *)
 
 type fallback = { stage : string; reason : string }
 (** one rung of the degradation ladder, e.g.

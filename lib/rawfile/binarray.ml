@@ -214,6 +214,7 @@ let scan_filtered t ~ranges f =
     if ranges = [] || block_may_match t b ranges then
       for cell = b * zone_block to min t.ncells ((b + 1) * zone_block) - 1 do
         Vida_governor.Governor.poll ~source ();
+        Epoch.check ~source ();
         f cell
       done
     else t.skipped <- t.skipped + 1

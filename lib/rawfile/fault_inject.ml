@@ -89,6 +89,16 @@ let clear_io_plan = Io_fault.clear
 let with_io_plan = Io_fault.with_plan
 let io_failures_injected = Io_fault.failures_injected
 
+(* --- sidecar crash injection -----------------------------------------
+
+   Facade over {!Atomic_sidecar.Crash}: while armed, sidecar publishes
+   may be deterministically torn, exercising the load-side CRC /
+   quarantine / rebuild path. *)
+
+let arm_sidecar_crash ~seed = Atomic_sidecar.Crash.arm_random ~seed
+let disarm_sidecar_crash = Atomic_sidecar.Crash.disarm
+let sidecar_crashes = Atomic_sidecar.Crash.crashes
+
 let corrupt_file ?seed faults ~path =
   let ic = open_in_bin path in
   let contents =

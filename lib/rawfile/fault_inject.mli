@@ -43,7 +43,9 @@ val corrupt_file : ?seed:int -> fault list -> path:string -> unit
 type io_plan = Io_fault.plan = {
   fail_loads : int;
   latency_ms : float;
-  only : string option;  (** restrict to sources whose name contains this *)
+  only : string option;
+      (** restrict to the source with this path or basename (exact after
+          normalization, never substring) *)
 }
 
 val io_plan : ?fail_loads:int -> ?latency_ms:float -> ?only:string -> unit -> io_plan
@@ -56,3 +58,16 @@ val with_io_plan : io_plan -> (unit -> 'a) -> 'a
 
 (** transient failures injected since the current plan was installed. *)
 val io_failures_injected : unit -> int
+
+(** {1 Sidecar crash injection}
+
+    Facade over {!Atomic_sidecar.Crash}: while armed, roughly half of all
+    sidecar publishes (seeded) are torn at a random byte offset,
+    simulating a crash before writeback — the loader must detect,
+    quarantine and rebuild, never serve wrong data. *)
+
+val arm_sidecar_crash : seed:int -> unit
+val disarm_sidecar_crash : unit -> unit
+
+(** sidecar writes torn since last armed. *)
+val sidecar_crashes : unit -> int

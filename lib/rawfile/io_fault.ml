@@ -8,7 +8,7 @@
 type plan = {
   fail_loads : int;  (* first N loads of each matching source fail transiently *)
   latency_ms : float;  (* injected latency per load attempt *)
-  only : string option;  (* restrict to sources whose name contains this *)
+  only : string option;  (* restrict to the source with this path or basename *)
 }
 
 let active : plan option ref = ref None
@@ -36,15 +36,24 @@ let with_plan p f =
 
 let failures_injected () = !injected_failures
 
+(* Selector matching is exact on the normalized path or its basename —
+   NOT a substring scan, which made [only = "a.csv"] silently hit
+   "data.csv" and fault the wrong source in multi-source tests. *)
+let normalize path =
+  let path =
+    let n = String.length path in
+    if n > 1 && path.[n - 1] = '/' then String.sub path 0 (n - 1) else path
+  in
+  if Filename.is_relative path then Filename.concat Filename.current_dir_name path
+  else path
+
 let matches p source =
   match p.only with
   | None -> true
-  | Some needle ->
-    let nl = String.length needle and sl = String.length source in
-    let rec scan i =
-      i + nl <= sl && (String.sub source i nl = needle || scan (i + 1))
-    in
-    nl = 0 || scan 0
+  | Some sel ->
+    String.equal sel source
+    || String.equal (normalize sel) (normalize source)
+    || String.equal (Filename.basename sel) (Filename.basename source)
 
 (* Called by [Raw_buffer.force] before each load attempt: may sleep (to
    make deadlines deterministically reachable) and may raise a transient

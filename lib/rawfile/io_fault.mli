@@ -11,7 +11,9 @@ type plan = {
           exactly testable *)
   latency_ms : float;  (** injected latency per load attempt *)
   only : string option;
-      (** restrict to sources whose name contains this substring *)
+      (** restrict to the source whose path — or basename — equals this
+          (normalized; never a substring match, so ["a.csv"] cannot
+          accidentally select ["data.csv"]) *)
 }
 
 val install : plan -> unit

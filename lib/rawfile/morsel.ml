@@ -70,6 +70,7 @@ let run ~domains ~tasks f =
     let next = Atomic.make 0 in
     let failed = Atomic.make false in
     let session = Vida_governor.Governor.current () in
+    let epoch = Epoch.current () in
     let worker () =
       let body () =
         let rec loop () =
@@ -86,6 +87,11 @@ let run ~domains ~tasks f =
           end
         in
         loop ()
+      in
+      (* re-install the caller's ambient epoch alongside its governor
+         session: parallel scans must revalidate against the same pins *)
+      let body () =
+        match epoch with Some e -> Epoch.with_epoch e body | None -> body ()
       in
       match session with
       | Some s -> Vida_governor.Governor.with_session s body

@@ -26,18 +26,19 @@ let collect_newlines s ~source ~lo ~hi ~in_quotes =
     | '"' -> q := not !q
     | '\n' when not !q ->
       acc := i :: !acc;
-      Vida_governor.Governor.poll ~source ()
+      Vida_governor.Governor.poll ~source ();
+      Epoch.check ~source ()
     | _ -> ()
   done;
   List.rev !acc
 
-let derive_rows ~source s len newlines =
+let derive_rows ?(first_start = 0) ~source s len newlines =
   let k = Array.length newlines in
-  let last_start = if k = 0 then 0 else newlines.(k - 1) + 1 in
+  let last_start = if k = 0 then first_start else newlines.(k - 1) + 1 in
   let trailing = last_start < len in
   let n = k + if trailing then 1 else 0 in
   let starts = Array.make n 0 and stops = Array.make n 0 in
-  let row_start = ref 0 in
+  let row_start = ref first_start in
   Array.iteri
     (fun idx i ->
       let stop = if i > 0 && String.unsafe_get s (i - 1) = '\r' then i - 1 else i in
@@ -132,16 +133,19 @@ let anchor t col =
     t.cols;
   !best
 
-let populate t cols =
-  let missing = List.sort_uniq compare (List.filter (fun c -> not (Hashtbl.mem t.cols c)) cols) in
-  if missing <> [] then (
-    let nrows = row_count t in
-    let arrays = List.map (fun c -> (c, Array.make nrows 0)) missing in
+(* Fill offset [arrays] (pairs of column index and a full-length array)
+   for rows [row_lo, row_hi) — the shared core of a full [populate] and
+   the tail-only pass of [extend]. *)
+let populate_range t arrays ~row_lo ~row_hi =
+  match arrays with
+  | [] -> ()
+  | _ ->
+    let missing = List.map fst arrays in
     let max_col = List.fold_left max 0 missing in
     let anchor_col, anchor_offsets = anchor t (List.fold_left min max_col missing) in
     let source = Raw_buffer.path t.buf in
     let s = Raw_buffer.contents t.buf in
-    for row = 0 to nrows - 1 do
+    for row = row_lo to row_hi - 1 do
       Vida_governor.Governor.poll ~source ();
       let row_end = t.row_stops.(row) in
       (* a row too short to reach a column keeps the past-end sentinel, which
@@ -160,7 +164,14 @@ let populate t cols =
           pos := next);
         incr col
       done
-    done;
+    done
+
+let populate t cols =
+  let missing = List.sort_uniq compare (List.filter (fun c -> not (Hashtbl.mem t.cols c)) cols) in
+  if missing <> [] then (
+    let nrows = row_count t in
+    let arrays = List.map (fun c -> (c, Array.make nrows 0)) missing in
+    populate_range t arrays ~row_lo:0 ~row_hi:nrows;
     List.iter (fun (c, arr) -> Hashtbl.replace t.cols c arr) arrays)
 
 let field t ~row ~col =
@@ -251,111 +262,189 @@ let footprint t =
   let ncols = Hashtbl.length t.cols in
   8 * (Array.length t.row_starts * (2 + ncols))
 
+(* --- incremental extension after an append --- *)
+
+(* Extend a map built over the old prefix of [buf] to cover appended
+   bytes. The last old row may have been partial (no trailing newline
+   when the writer paused mid-record), so the rescan resumes from the
+   {e start} of that row — row starts are always outside quotes, making
+   [in_quotes:false] sound — and everything from there is re-derived.
+   Old rows, and the populated column offsets over them, carry over
+   verbatim; only tail rows are tokenized. *)
+let extend t buf =
+  let nrows_old = row_count t in
+  if nrows_old = 0 then build ~delim:t.delim ~header:(t.header_names <> []) buf
+  else (
+    let source = Raw_buffer.path buf in
+    let s = Raw_buffer.contents buf in
+    let len = String.length s in
+    let keep = nrows_old - 1 in
+    let resume = t.row_starts.(keep) in
+    Io_stats.add_bytes_read (len - resume);
+    let newlines =
+      Array.of_list (collect_newlines s ~source ~lo:resume ~hi:len ~in_quotes:false)
+    in
+    let tail_starts, tail_stops =
+      derive_rows ~first_start:resume ~source s len newlines
+    in
+    let row_starts = Array.append (Array.sub t.row_starts 0 keep) tail_starts in
+    let row_stops = Array.append (Array.sub t.row_stops 0 keep) tail_stops in
+    let t' =
+      { buf; delim = t.delim; header_names = t.header_names; row_starts; row_stops;
+        cols = Hashtbl.create 16 }
+    in
+    let nrows' = Array.length row_starts in
+    let arrays =
+      List.map
+        (fun c ->
+          let old = Hashtbl.find t.cols c in
+          let arr = Array.make nrows' 0 in
+          Array.blit old 0 arr 0 keep;
+          (c, arr))
+        (populated_columns t)
+    in
+    populate_range t' arrays ~row_lo:keep ~row_hi:nrows';
+    List.iter (fun (c, arr) -> Hashtbl.replace t'.cols c arr) arrays;
+    t')
+
+(* Structural equality over everything persisted/derived — the
+   differential oracle for incremental == full-rebuild tests. *)
+let equal_structure a b =
+  a.delim = b.delim
+  && a.header_names = b.header_names
+  && a.row_starts = b.row_starts
+  && a.row_stops = b.row_stops
+  && populated_columns a = populated_columns b
+  && List.for_all
+       (fun c -> Hashtbl.find a.cols c = Hashtbl.find b.cols c)
+       (populated_columns a)
+
 (* --- persistence --- *)
 
-let sidecar_magic = "VPM2"
+(* VPM3: frames inside an {!Atomic_sidecar} envelope (temp+rename
+   publish, per-frame CRC32, generation counter). VPM2 and earlier wrote
+   bare bytes; they fail the magic check and are quarantined like any
+   other unreadable sidecar — auxiliary structures are disposable. *)
+let sidecar_magic = "VPM3"
 
-let write_int oc v =
+let enc_int b v =
   for shift = 0 to 7 do
-    output_char oc (Char.chr ((v lsr (8 * shift)) land 0xFF))
+    Buffer.add_char b (Char.chr ((v lsr (8 * shift)) land 0xFF))
   done
 
-let write_array oc arr =
-  write_int oc (Array.length arr);
-  Array.iter (write_int oc) arr
+let enc_array b arr =
+  enc_int b (Array.length arr);
+  Array.iter (enc_int b) arr
+
+let dec_int frame pos =
+  if !pos + 8 > String.length frame then failwith "frame too short";
+  let v = ref 0 in
+  for shift = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code frame.[!pos + shift]
+  done;
+  pos := !pos + 8;
+  !v
+
+let dec_count frame pos =
+  (* a corrupted length must not drive a giant allocation: no array in a
+     frame can hold more entries than the frame has bytes *)
+  let n = dec_int frame pos in
+  if n < 0 || n > String.length frame then failwith "implausible count";
+  n
+
+let dec_array frame pos = Array.init (dec_count frame pos) (fun _ -> dec_int frame pos)
 
 let save t ~path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc sidecar_magic;
-      output_string oc (Fingerprint.encode (Fingerprint.of_buffer t.buf));
-      output_char oc t.delim;
-      write_int oc (List.length t.header_names);
-      List.iter
-        (fun name ->
-          write_int oc (String.length name);
-          output_string oc name)
-        t.header_names;
-      write_array oc t.row_starts;
-      write_array oc t.row_stops;
-      write_int oc (Hashtbl.length t.cols);
-      Hashtbl.iter
-        (fun col offsets ->
-          write_int oc col;
-          write_array oc offsets)
-        t.cols)
+  let meta = Buffer.create 128 in
+  Buffer.add_string meta (Fingerprint.encode (Fingerprint.of_buffer t.buf));
+  Buffer.add_char meta t.delim;
+  enc_int meta (List.length t.header_names);
+  List.iter
+    (fun name ->
+      enc_int meta (String.length name);
+      Buffer.add_string meta name)
+    t.header_names;
+  let starts = Buffer.create 1024 and stops = Buffer.create 1024 in
+  enc_array starts t.row_starts;
+  enc_array stops t.row_stops;
+  let cols = Buffer.create 1024 in
+  enc_int cols (Hashtbl.length t.cols);
+  Hashtbl.iter
+    (fun col offsets ->
+      enc_int cols col;
+      enc_array cols offsets)
+    t.cols;
+  ignore
+    (Atomic_sidecar.write ~path ~magic:sidecar_magic
+       [ Buffer.contents meta; Buffer.contents starts; Buffer.contents stops;
+         Buffer.contents cols ])
 
 let load ?(delim = ',') buf ~path =
   let source = Raw_buffer.path buf in
   let stale reason =
-    Result.Error
-      (Vida_error.Stale_auxiliary { source; auxiliary = path; reason })
+    Result.Error (Vida_error.Stale_auxiliary { source; auxiliary = path; reason })
   in
-  if not (Sys.file_exists path) then stale "no sidecar"
-  else (
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let read_int () =
-          let v = ref 0 in
-          for shift = 0 to 7 do
-            v := !v lor (Char.code (input_char ic) lsl (8 * shift))
-          done;
-          !v
-        in
-        let bounded_count () =
-          (* a corrupted length must not drive a giant allocation: no array
-             in a sidecar can hold more entries than the sidecar has bytes *)
-          let n = read_int () in
-          if n < 0 || n > in_channel_length ic then failwith "implausible count";
-          n
-        in
-        let read_array () = Array.init (bounded_count ()) (fun _ -> read_int ()) in
-        match
-          let magic = really_input_string ic 4 in
-          if magic <> sidecar_magic then failwith "bad magic";
-          let stored_fp =
-            match
-              Fingerprint.decode (really_input_string ic Fingerprint.encoded_size) ~pos:0
-            with
-            | Some fp -> fp
-            | None -> failwith "unreadable fingerprint"
-          in
-          if not (Fingerprint.equal stored_fp (Fingerprint.of_buffer buf)) then
-            failwith "data file changed since the sidecar was written";
-          let stored_delim = input_char ic in
-          if stored_delim <> delim then failwith "delimiter mismatch";
-          let nheader = bounded_count () in
-          let header_names =
-            List.init nheader (fun _ ->
-                let len = bounded_count () in
-                really_input_string ic len)
-          in
-          let row_starts = read_array () in
-          let row_stops = read_array () in
-          (* validate offsets against the data file before trusting them *)
-          let data_len = Raw_buffer.length buf in
-          if Array.length row_starts <> Array.length row_stops then
-            failwith "row array length mismatch";
-          Array.iteri
-            (fun i start ->
-              if start < 0 || row_stops.(i) < start || row_stops.(i) > data_len then
-                failwith "row bounds outside the data file")
-            row_starts;
-          let cols = Hashtbl.create 16 in
-          let ncols = bounded_count () in
-          for _ = 1 to ncols do
-            let col = read_int () in
-            let offsets = read_array () in
-            if Array.length offsets <> Array.length row_starts then
-              failwith "column array length mismatch";
-            Hashtbl.replace cols col offsets
-          done;
-          { buf; delim; header_names; row_starts; row_stops; cols }
-        with
-        | t -> Ok t
-        | exception Failure reason -> stale reason
-        | exception (End_of_file | Sys_error _) -> stale "sidecar truncated or unreadable"))
+  let corrupt reason =
+    (* a torn/corrupt sidecar is moved aside so it is diagnosable but
+       never consulted again; the caller rebuilds from raw *)
+    match Atomic_sidecar.quarantine path with
+    | Some dest -> stale (Printf.sprintf "%s; quarantined to %s" reason dest)
+    | None -> stale reason
+  in
+  match Atomic_sidecar.read ~path ~magic:sidecar_magic with
+  | Atomic_sidecar.No_sidecar -> stale "no sidecar"
+  | Atomic_sidecar.Bad reason -> corrupt ("sidecar corrupt: " ^ reason)
+  | Atomic_sidecar.Sidecar { generation = _; frames = [ meta; starts; stops; colsf ] }
+    -> (
+    match
+      let pos = ref 0 in
+      let stored_fp =
+        match Fingerprint.decode meta ~pos:0 with
+        | Some fp ->
+          pos := Fingerprint.encoded_size;
+          fp
+        | None -> failwith "unreadable fingerprint"
+      in
+      if not (Fingerprint.equal stored_fp (Fingerprint.of_buffer buf)) then
+        failwith "data file changed since the sidecar was written";
+      if !pos >= String.length meta then failwith "frame too short";
+      let stored_delim = meta.[!pos] in
+      incr pos;
+      if stored_delim <> delim then failwith "delimiter mismatch";
+      let nheader = dec_count meta pos in
+      let header_names =
+        List.init nheader (fun _ ->
+            let len = dec_count meta pos in
+            if !pos + len > String.length meta then failwith "frame too short";
+            let name = String.sub meta !pos len in
+            pos := !pos + len;
+            name)
+      in
+      let p = ref 0 in
+      let row_starts = dec_array starts p in
+      let p = ref 0 in
+      let row_stops = dec_array stops p in
+      (* validate offsets against the data file before trusting them *)
+      let data_len = Raw_buffer.length buf in
+      if Array.length row_starts <> Array.length row_stops then
+        failwith "row array length mismatch";
+      Array.iteri
+        (fun i start ->
+          if start < 0 || row_stops.(i) < start || row_stops.(i) > data_len then
+            failwith "row bounds outside the data file")
+        row_starts;
+      let cols = Hashtbl.create 16 in
+      let p = ref 0 in
+      let ncols = dec_count colsf p in
+      for _ = 1 to ncols do
+        let col = dec_int colsf p in
+        let offsets = dec_array colsf p in
+        if Array.length offsets <> Array.length row_starts then
+          failwith "column array length mismatch";
+        Hashtbl.replace cols col offsets
+      done;
+      { buf; delim; header_names; row_starts; row_stops; cols }
+    with
+    | t -> Ok t
+    | exception Failure reason -> stale reason)
+  | Atomic_sidecar.Sidecar _ -> corrupt "sidecar corrupt: unexpected frame shape"

@@ -56,16 +56,36 @@ val record_while_scanning : t -> cols:int list -> (int -> string array -> unit) 
 (** Approximate memory footprint in bytes, for cache accounting. *)
 val footprint : t -> int
 
+(** {1 Incremental repair}
+
+    When a data file grew by append (its old prefix unchanged — see
+    {!Delta}), the map over the prefix stays valid and can be extended
+    instead of rebuilt. *)
+
+(** [extend t buf] extends a map built over the old prefix of [buf] to
+    cover the appended tail: the rescan resumes from the start of the
+    last old row (which may have been partial), old rows and their
+    populated column offsets carry over verbatim, and only tail rows are
+    tokenized. Produces exactly what [build] over [buf] followed by
+    [populate] of the same columns would. *)
+val extend : t -> Raw_buffer.t -> t
+
+(** structural equality over everything derived (rows, header, populated
+    offsets) — the differential oracle for incremental-vs-full tests. *)
+val equal_structure : t -> t -> bool
+
 (** {1 Persistence}
 
     A positional map is pure navigation metadata, so it can outlive the
-    process: [save] writes a sidecar file stamped with a {!Fingerprint} of
-    the data it was built from; [load] restores it, returning
-    [Error (Stale_auxiliary _)] when the sidecar is missing, malformed,
-    internally inconsistent (row/column arrays of different lengths or
-    offsets outside the data file), or was built against a different
-    version of the data file. Callers treat any [Error] as "rebuild from
-    raw" — the paper's §2.1 auxiliary-structure invalidation. *)
+    process: [save] publishes a sidecar through {!Atomic_sidecar}
+    (temp+rename, per-frame CRC32, generation counter) stamped with a
+    {!Fingerprint} of the data it was built from; [load] restores it,
+    returning [Error (Stale_auxiliary _)] when the sidecar is missing,
+    torn/corrupt (in which case it is also quarantined aside), internally
+    inconsistent (row/column arrays of different lengths or offsets
+    outside the data file), or was built against a different version of
+    the data file. Callers treat any [Error] as "rebuild from raw" — the
+    paper's §2.1 auxiliary-structure invalidation. *)
 
 val save : t -> path:string -> unit
 

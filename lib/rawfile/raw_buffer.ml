@@ -9,6 +9,13 @@ let of_string ~source contents =
 
 let path t = t.path
 
+(* [Epoch.validate_contents], registered at module init by [Epoch] — a
+   direct call would be a dependency cycle (Epoch → Delta → Fingerprint →
+   Raw_buffer). Identity until Epoch is linked, in which case no epoch can
+   be ambient either. *)
+let validate_load : (source:string -> string -> unit) ref =
+  ref (fun ~source:_ _ -> ())
+
 (* One load attempt; transient failures surface as [Io_failure] so the
    governed retry loop below can distinguish them from corruption. *)
 let load_once t =
@@ -35,7 +42,13 @@ let force t =
         (* transient IO errors are retried with bounded exponential
            backoff under the ambient governor session; persistent ones
            keep their structured [Io_failure] *)
-        Vida_governor.Governor.with_retries ~source:t.path (fun () -> load_once t)
+        let s =
+          Vida_governor.Governor.with_retries ~source:t.path (fun () -> load_once t)
+        in
+        (* a load (or reload) mid-query must not hand the query a newer
+           generation than the one it pinned at start *)
+        !validate_load ~source:t.path s;
+        s
     in
     Io_stats.add_file_loads 1;
     t.contents <- Some s;

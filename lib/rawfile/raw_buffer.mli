@@ -15,6 +15,9 @@
 type t
 
 (** [of_path path] creates a lazy view; the file is read on first access.
+    A load under an ambient {!Epoch} with a pin for [path] validates the
+    bytes against the pin and raises [Source_changed] on mismatch — a
+    mid-query (re)load can never hand the query a newer generation.
     @raise Vida_error.Error ([Io_failure]) at access time if the file
     cannot be read. *)
 val of_path : string -> t
@@ -53,3 +56,10 @@ val loaded : t -> bool
 (** [invalidate t] drops the cached bytes (next access reloads; no-op for
     in-memory buffers). *)
 val invalidate : t -> unit
+
+(**/**)
+
+(** Load-time validation hook, installed by {!Epoch} at module init (a
+    direct dependency would be a cycle through {!Fingerprint}). Not for
+    application use. *)
+val validate_load : (source:string -> string -> unit) ref

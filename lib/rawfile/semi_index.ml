@@ -19,7 +19,8 @@ let collect_newlines s ~source ~lo ~hi =
   for i = lo to hi - 1 do
     if String.unsafe_get s i = '\n' then (
       acc := i :: !acc;
-      Vida_governor.Governor.poll ~source ())
+      Vida_governor.Governor.poll ~source ();
+      Epoch.check ~source ())
   done;
   List.rev !acc
 
@@ -52,6 +53,39 @@ let build ?(domains = 1) buf =
   { buf; obj_bounds; tables = Array.make (Array.length obj_bounds) None; indexed = 0 }
 
 let object_count t = Array.length t.obj_bounds
+
+(* Extend an index built over the old prefix of [buf] after an append.
+   The last old object may have been a partial line (writer paused
+   mid-record, no trailing newline yet), so the rescan resumes from its
+   start; earlier objects — and their lazily recorded field tables, which
+   hold absolute offsets into the unchanged prefix — carry over verbatim. *)
+let extend t buf =
+  let n_old = object_count t in
+  if n_old = 0 then build buf
+  else (
+    let s = Raw_buffer.contents buf in
+    let len = String.length s in
+    let source = Raw_buffer.path buf in
+    let keep = n_old - 1 in
+    let resume = fst t.obj_bounds.(keep) in
+    Io_stats.add_bytes_read (len - resume);
+    let newlines = collect_newlines s ~source ~lo:resume ~hi:len in
+    let bounds = ref [] in
+    let start = ref resume in
+    List.iter
+      (fun i ->
+        if i > !start then bounds := (!start, i - !start) :: !bounds;
+        start := i + 1)
+      newlines;
+    if !start < len then bounds := (!start, len - !start) :: !bounds;
+    let tail = Array.of_list (List.rev !bounds) in
+    let obj_bounds = Array.append (Array.sub t.obj_bounds 0 keep) tail in
+    let tables = Array.make (Array.length obj_bounds) None in
+    Array.blit t.tables 0 tables 0 keep;
+    let indexed =
+      Array.fold_left (fun acc tbl -> acc + if tbl = None then 0 else 1) 0 tables
+    in
+    { buf; obj_bounds; tables; indexed })
 
 let object_bounds t i =
   if i < 0 || i >= object_count t then

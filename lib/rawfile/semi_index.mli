@@ -16,6 +16,13 @@ val build : ?domains:int -> Raw_buffer.t -> t
 
 val object_count : t -> int
 
+(** [extend t buf] extends an index built over the old prefix of [buf]
+    (see {!Delta.Appended}) to cover appended bytes: the rescan resumes
+    from the start of the last old object (which may have been a partial
+    line), earlier objects and their recorded field tables carry over
+    verbatim. Object bounds equal what [build buf] would produce. *)
+val extend : t -> Raw_buffer.t -> t
+
 (** [object_bounds t i] is the byte range [(pos, len)] of object [i]. *)
 val object_bounds : t -> int -> int * int
 

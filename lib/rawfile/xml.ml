@@ -242,7 +242,19 @@ let children_bounds ?(source = default_source) s =
    Recovery resyncs at the next plausible element start — a '<' followed by
    a name character — after the failure point, and reports the skipped raw
    span so the cleaning layer can quarantine it. *)
-let children_bounds_tolerant ?(source = default_source) s =
+type tolerant_scan = {
+  scan_bounds : (int * int) list;
+  scan_bad : (int * int * string) list;
+  scan_root : string option;  (* None when the root itself failed to parse *)
+  scan_stop : int;  (* byte offset where the child scan stopped *)
+  scan_closed : bool;  (* the scan ended at the root's closing tag *)
+}
+
+(* Child-level tolerant scan from byte [from] of a document rooted at
+   [root] — shared by the full scan and append-resumption ({!Xml_index}
+   extends its index by re-running exactly this loop over the new tail,
+   so incremental and full scans cannot diverge). *)
+let scan_children ?(source = default_source) ~root ~from s =
   let n = String.length s in
   let resync from =
     let rec go i =
@@ -252,6 +264,47 @@ let children_bounds_tolerant ?(source = default_source) s =
     in
     go from
   in
+  (* a closing tag at record level ends the scan only if it closes the
+     root; a stray one (left behind by a damaged record) is reported as
+     a bad span and skipped so the records after it still come back *)
+  let closes_root pos =
+    match Vida_error.guard (fun () -> read_name ~source s (pos + 2)) with
+    | Ok (name, _) -> String.equal name root
+    | Result.Error _ -> false
+  in
+  let bounds = ref [] and bad = ref [] in
+  let rec scan pos =
+    if pos >= n then (n, false)
+    else (
+      match Vida_error.guard (fun () -> skip_misc ~source s pos) with
+      | Result.Error e ->
+        bad := (pos, n - pos, Vida_error.to_string e) :: !bad;
+        (n, false)
+      | Ok pos ->
+        if pos >= n then (n, false)
+        else if s.[pos] = '<' && pos + 1 < n && s.[pos + 1] = '/' then
+          if closes_root pos then (pos, true)
+          else (
+            let next = resync (pos + 2) in
+            bad := (pos, next - pos, "stray closing tag") :: !bad;
+            scan next)
+        else if s.[pos] = '<' then (
+          match Vida_error.guard (fun () -> skip_element ~source s pos) with
+          | Ok stop ->
+            bounds := (pos, stop - pos) :: !bounds;
+            scan stop
+          | Result.Error e ->
+            let next = resync (pos + 1) in
+            bad := (pos, next - pos, Vida_error.to_string e) :: !bad;
+            scan next)
+        else scan (pos + 1))
+  in
+  let stop, closed = scan from in
+  { scan_bounds = List.rev !bounds; scan_bad = List.rev !bad;
+    scan_root = Some root; scan_stop = stop; scan_closed = closed }
+
+let children_bounds_scan ?(source = default_source) s =
+  let n = String.length s in
   match
     Vida_error.guard (fun () ->
         let pos = skip_misc ~source s 0 in
@@ -260,40 +313,16 @@ let children_bounds_tolerant ?(source = default_source) s =
         let _, pos = read_attributes ~source s pos in
         (name, pos))
   with
-  | Result.Error e -> ([], [ (0, n, Vida_error.to_string e) ])
-  | Ok (_, pos) when pos < n && s.[pos] = '/' -> ([], [])
-  | Ok (root, pos) ->
-    (* a closing tag at record level ends the scan only if it closes the
-       root; a stray one (left behind by a damaged record) is reported as
-       a bad span and skipped so the records after it still come back *)
-    let closes_root pos =
-      match Vida_error.guard (fun () -> read_name ~source s (pos + 2)) with
-      | Ok (name, _) -> String.equal name root
-      | Result.Error _ -> false
-    in
-    let bounds = ref [] and bad = ref [] in
-    let rec scan pos =
-      if pos < n then (
-        match Vida_error.guard (fun () -> skip_misc ~source s pos) with
-        | Result.Error e ->
-          bad := (pos, n - pos, Vida_error.to_string e) :: !bad
-        | Ok pos ->
-          if pos >= n then ()
-          else if s.[pos] = '<' && pos + 1 < n && s.[pos + 1] = '/' then (
-            if not (closes_root pos) then (
-              let next = resync (pos + 2) in
-              bad := (pos, next - pos, "stray closing tag") :: !bad;
-              scan next))
-          else if s.[pos] = '<' then (
-            match Vida_error.guard (fun () -> skip_element ~source s pos) with
-            | Ok stop ->
-              bounds := (pos, stop - pos) :: !bounds;
-              scan stop
-            | Result.Error e ->
-              let next = resync (pos + 1) in
-              bad := (pos, next - pos, Vida_error.to_string e) :: !bad;
-              scan next)
-          else scan (pos + 1))
-    in
-    scan (pos + 1);
-    (List.rev !bounds, List.rev !bad)
+  | Result.Error e ->
+    { scan_bounds = []; scan_bad = [ (0, n, Vida_error.to_string e) ];
+      scan_root = None; scan_stop = n; scan_closed = true }
+  | Ok (root, pos) when pos < n && s.[pos] = '/' ->
+    { scan_bounds = []; scan_bad = []; scan_root = Some root; scan_stop = pos;
+      scan_closed = true }
+  | Ok (root, pos) -> scan_children ~source ~root ~from:(pos + 1) s
+
+let children_bounds_resume ?source ~root ~from s = scan_children ?source ~root ~from s
+
+let children_bounds_tolerant ?source s =
+  let r = children_bounds_scan ?source s in
+  (r.scan_bounds, r.scan_bad)

@@ -40,3 +40,24 @@ val children_bounds : ?source:string -> string -> (int * int) list
     [(pos, len, reason)] instead of aborting the whole file. *)
 val children_bounds_tolerant :
   ?source:string -> string -> (int * int) list * (int * int * string) list
+
+(** Richer result of the tolerant scan, enough to {e resume} it after the
+    file grew by append (see {!Xml_index}): where the scan stopped, and
+    whether it stopped because the root element was closed (bytes after
+    [</root>] are ignored, so a closed document cannot be extended — which
+    matches what a full rescan would do). *)
+type tolerant_scan = {
+  scan_bounds : (int * int) list;
+  scan_bad : (int * int * string) list;
+  scan_root : string option;  (** [None] when the root itself failed to parse *)
+  scan_stop : int;  (** byte offset where the child scan stopped *)
+  scan_closed : bool;  (** the scan ended at the root's closing tag *)
+}
+
+val children_bounds_scan : ?source:string -> string -> tolerant_scan
+
+(** [children_bounds_resume ~root ~from s] continues the child scan of a
+    document rooted at [root] from byte [from] — the same loop the full
+    scan runs, so resumed and full scans cannot diverge. *)
+val children_bounds_resume :
+  ?source:string -> root:string -> from:int -> string -> tolerant_scan

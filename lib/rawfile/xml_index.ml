@@ -8,12 +8,40 @@ type t = {
   list_tags : (string, unit) Hashtbl.t;
       (* top-level tags that repeat in at least one element: normalized to
          lists in every element, so the collection has a uniform shape *)
+  root : string option;  (* root element name; None when it failed to parse *)
+  scan_stop : int;  (* where the child scan stopped *)
+  closed : bool;  (* the scan ended at the root's closing tag *)
+  data_len : int;  (* file length the index was built over *)
 }
 
 let raw_element buf bounds i =
   let pos, len = bounds.(i) in
   let text = Raw_buffer.slice buf ~pos ~len in
   fst (Xml.parse_element ~source:(Raw_buffer.path buf) text 0)
+
+(* one eager pass over elements [lo, hi) to learn which tags repeat: XML's
+   single-vs-repeated ambiguity must be resolved file-globally or elements
+   get inconsistent types. Returns whether a tag not already in
+   [list_tags] was added (existing elements' normalization changes). *)
+let record_list_tags ~source buf bounds list_tags ~lo ~hi =
+  let added = ref false in
+  for i = lo to hi - 1 do
+    Vida_governor.Governor.poll ~source ();
+    Epoch.check ~source ();
+    match raw_element buf bounds i with
+    | Value.Record fields ->
+      List.iter
+        (fun (tag, v) ->
+          match v with
+          | Value.List _ ->
+            if not (Hashtbl.mem list_tags tag) then (
+              added := true;
+              Hashtbl.replace list_tags tag ())
+          | _ -> ())
+        fields
+    | _ -> ()
+  done;
+  !added
 
 let build buf =
   let len = Raw_buffer.length buf in
@@ -22,29 +50,58 @@ let build buf =
   let contents = Raw_buffer.slice buf ~pos:0 ~len in
   (* tolerant scan: a malformed element is recorded as a bad span and
      skipped, instead of one bad record poisoning the whole file *)
-  let bounds_list, bad_spans = Xml.children_bounds_tolerant ~source contents in
-  let bounds = Array.of_list bounds_list in
-  (* one eager pass to learn which tags repeat: XML's single-vs-repeated
-     ambiguity must be resolved file-globally or elements get inconsistent
-     types *)
+  let scan = Xml.children_bounds_scan ~source contents in
+  let bounds = Array.of_list scan.Xml.scan_bounds in
   let list_tags = Hashtbl.create 8 in
-  Array.iteri
-    (fun i _ ->
-      Vida_governor.Governor.poll ~source ();
-      match raw_element buf bounds i with
-      | Value.Record fields ->
-        List.iter
-          (fun (tag, v) ->
-            match v with
-            | Value.List _ -> Hashtbl.replace list_tags tag ()
-            | _ -> ())
-          fields
-      | _ -> ())
-    bounds;
-  { buf; bounds; bad_spans; list_tags }
+  ignore (record_list_tags ~source buf bounds list_tags ~lo:0 ~hi:(Array.length bounds));
+  { buf; bounds; bad_spans = scan.Xml.scan_bad; list_tags;
+    root = scan.Xml.scan_root; scan_stop = scan.Xml.scan_stop;
+    closed = scan.Xml.scan_closed; data_len = len }
 
 let element_count t = Array.length t.bounds
 let bad_spans t = t.bad_spans
+
+(* Extend an index built over the old prefix of [buf] after an append.
+   Returns the new index plus whether a {e new} list tag appeared among
+   the appended elements — in that case the normalized shape of old
+   elements changes too, and the caller must drop element-derived caches
+   even though the index itself is still exact.
+
+   A closed document (scan ended at [</root>]) ignores appended bytes, as
+   a full rescan would; an unclosed "streaming" document resumes the
+   child scan from where it stopped — or from the start of the last bad
+   span touching old EOF, since appended bytes may complete a previously
+   partial (malformed-looking) element. *)
+let extend t buf =
+  match t.root with
+  | None -> (build buf, true)  (* root never parsed: anything may change *)
+  | Some _ when t.closed ->
+    ({ t with buf; data_len = Raw_buffer.length buf }, false)
+  | Some root ->
+    let len = Raw_buffer.length buf in
+    let source = Raw_buffer.path buf in
+    let contents = Raw_buffer.slice buf ~pos:0 ~len in
+    let trailing, kept_bad =
+      List.partition (fun (p, l, _) -> p + l >= t.data_len) t.bad_spans
+    in
+    let resume =
+      List.fold_left (fun acc (p, _, _) -> min acc p) t.scan_stop trailing
+    in
+    Io_stats.add_bytes_read (len - resume);
+    let scan = Xml.children_bounds_resume ~source ~root ~from:resume contents in
+    let old_n = Array.length t.bounds in
+    let bounds = Array.append t.bounds (Array.of_list scan.Xml.scan_bounds) in
+    let list_tags = Hashtbl.copy t.list_tags in
+    let t' =
+      { buf; bounds; bad_spans = kept_bad @ scan.Xml.scan_bad; list_tags;
+        root = Some root; scan_stop = scan.Xml.scan_stop;
+        closed = scan.Xml.scan_closed; data_len = len }
+    in
+    let added =
+      record_list_tags ~source buf bounds list_tags ~lo:old_n
+        ~hi:(Array.length bounds)
+    in
+    (t', added)
 
 let element_bounds t i =
   if i < 0 || i >= element_count t then
@@ -81,3 +138,12 @@ let field_value t ~elem ~field =
   | _ -> Value.Null
 
 let footprint t = (16 * Array.length t.bounds) + (24 * Hashtbl.length t.list_tags)
+
+let sorted_tags tbl = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+(* Structural equality over everything derived — the differential oracle
+   for incremental == full-rebuild tests. *)
+let equal_structure a b =
+  a.bounds = b.bounds && a.bad_spans = b.bad_spans
+  && sorted_tags a.list_tags = sorted_tags b.list_tags
+  && a.root = b.root && a.closed = b.closed

@@ -22,6 +22,19 @@ val element_count : t -> int
 val element_bounds : t -> int -> int * int
 val element_value : t -> int -> Vida_data.Value.t
 
+(** [extend t buf] extends an index built over the old prefix of [buf]
+    (see {!Delta.Appended}). A closed document ([</root>] seen) ignores
+    appended bytes exactly as a full rescan would; an unclosed streaming
+    document resumes the tolerant child scan where it stopped. The
+    returned flag is [true] when a {e new} repeated tag appeared among
+    appended elements — the normalized shape of old elements then changes
+    and callers must drop element-derived caches. *)
+val extend : t -> Raw_buffer.t -> t * bool
+
+(** structural equality of everything derived (bounds, bad spans, list
+    tags) — the differential oracle for incremental-vs-full tests. *)
+val equal_structure : t -> t -> bool
+
 (** Raw spans [(pos, len, reason)] of malformed elements skipped during
     {!build} — the cleaning layer quarantines these. *)
 val bad_spans : t -> (int * int * string) list

@@ -220,6 +220,19 @@ let find_or_add ?fingerprint t key f =
     ignore (put ?fingerprint t key p);
     p
 
+(* Snapshot of a source's resident entries, for append-aware repair: the
+   repairer extends each payload with values from the appended rows and
+   re-[put]s it under the new fingerprint, instead of losing the whole
+   entry to a stale-drop. *)
+let entries_of_source t source =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun key entry acc ->
+          if String.equal key.source source then
+            (key, entry.payload, entry.fingerprint) :: acc
+          else acc)
+        t.table [])
+
 let invalidate_source t source =
   locked t (fun () ->
       let victims =

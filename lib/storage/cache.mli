@@ -65,6 +65,12 @@ val put : ?fingerprint:string -> t -> key -> payload -> bool
     via [f] on a miss. *)
 val find_or_add : ?fingerprint:string -> t -> key -> (unit -> payload) -> payload
 
+(** [entries_of_source t source] snapshots the resident entries of
+    [source] (key, payload, stored fingerprint) — used by append-aware
+    repair to extend cached columns with appended rows and re-[put] them
+    under the new fingerprint instead of losing them to stale-drops. *)
+val entries_of_source : t -> string -> (key * payload * string option) list
+
 (** [invalidate_source t source] drops every entry of [source]. *)
 val invalidate_source : t -> string -> unit
 

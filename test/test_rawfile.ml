@@ -400,6 +400,71 @@ let test_file_snapshot () =
   Sys.remove path;
   check_bool "stale after delete" true (File_snapshot.stale snap)
 
+(* the snapshot's identity is content-derived (stdlib-only; no Unix
+   mtime): a same-size in-place rewrite — which mtime granularity can
+   miss entirely — must read as stale, while rewriting identical bytes
+   (only the timestamp moves) must not *)
+let test_file_snapshot_same_size_rewrite () =
+  let path = tmp_file "constant contents" in
+  let snap = File_snapshot.take path in
+  check_bool "fresh" false (File_snapshot.stale snap);
+  Vida_governor.Governor.sleep_ms 20.0;
+  let rewrite s =
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc
+  in
+  rewrite "constant contents";
+  check_bool "identical rewrite is not stale" false (File_snapshot.stale snap);
+  rewrite "CONSTANT contents";
+  check_int "size unchanged" (String.length "constant contents") (File_snapshot.size snap);
+  check_bool "same-size content change is stale" true (File_snapshot.stale snap);
+  Sys.remove path
+
+(* --- Fingerprint --- *)
+
+(* probing files that cannot be read is a clean [None], never an
+   exception: the delta detector runs against files other processes own *)
+let test_fingerprint_probe_errors () =
+  check_bool "missing file" true (Fingerprint.probe "/nonexistent/vida/fp.raw" = None);
+  let path = tmp_file "short-lived" in
+  check_bool "readable file" true (Fingerprint.probe path <> None);
+  Sys.remove path;
+  check_bool "disappeared file" true (Fingerprint.probe path = None);
+  check_bool "prefix of missing file" true (Fingerprint.probe_prefix path ~size:4 = None);
+  check_bool "directory" true (Fingerprint.probe (Filename.get_temp_dir_name ()) = None)
+
+(* edits strictly between the head and tail windows are covered by the
+   size-seeded interior window (fingerprint version 2) *)
+let test_fingerprint_interior_window () =
+  let n = 5 * Fingerprint.window in
+  let base = String.init n (fun i -> Char.chr (Char.code 'a' + (i mod 17))) in
+  let fp = Fingerprint.of_contents base in
+  check_bool "deterministic" true (Fingerprint.equal fp (Fingerprint.of_contents base));
+  (* sample interior positions; the 4 KiB interior window must catch a
+     window's worth of them *)
+  let lo = Fingerprint.window and hi = n - Fingerprint.window in
+  let caught = ref 0 in
+  let pos = ref lo in
+  while !pos < hi do
+    let edited = Bytes.of_string base in
+    Bytes.set edited !pos '!';
+    if not (Fingerprint.equal fp (Fingerprint.of_contents (Bytes.to_string edited))) then
+      incr caught;
+    pos := !pos + 97
+  done;
+  check_bool "interior edits detected" true (!caught >= 40);
+  (* encode/decode roundtrip; older encoding versions read as stale *)
+  let enc = Fingerprint.encode fp in
+  check_int "encoded size" Fingerprint.encoded_size (String.length enc);
+  check_bool "roundtrip" true
+    (match Fingerprint.decode enc ~pos:0 with
+    | Some fp' -> Fingerprint.equal fp fp'
+    | None -> false);
+  let old = "\x01" ^ String.sub enc 1 (String.length enc - 1) in
+  check_bool "old version rejected" true (Fingerprint.decode old ~pos:0 = None);
+  check_bool "out of range rejected" true (Fingerprint.decode enc ~pos:1 = None)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -451,5 +516,11 @@ let () =
           Alcotest.test_case "bad file" `Quick test_binarray_bad_file
         ] );
       ( "file_snapshot",
-        [ Alcotest.test_case "staleness" `Quick test_file_snapshot ] )
+        [ Alcotest.test_case "staleness" `Quick test_file_snapshot;
+          Alcotest.test_case "same-size rewrite" `Quick test_file_snapshot_same_size_rewrite
+        ] );
+      ( "fingerprint",
+        [ Alcotest.test_case "probe errors" `Quick test_fingerprint_probe_errors;
+          Alcotest.test_case "interior window" `Quick test_fingerprint_interior_window
+        ] )
     ]
