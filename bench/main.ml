@@ -36,6 +36,14 @@ let time f =
    efficiency matters *)
 let cpu_s = Sys.time
 
+(* every BENCH_*.json records how much parallelism this run actually had:
+   the domain budget resolved at startup (VIDA_DOMAINS included) and what
+   the runtime would recommend on this machine *)
+let domains_meta_fields =
+  Printf.sprintf
+    "  \"resolved_domains\": %d,\n  \"recommended_domains\": %d,\n"
+    (Vida_raw.Morsel.resolve ()) (Domain.recommended_domain_count ())
+
 let config = lazy (Hbp_data.config_of_scale sf)
 let paths = lazy (Hbp_data.generate (Lazy.force config) ~dir:data_dir)
 let queries = lazy (Hbp_queries.workload ~n:n_queries (Lazy.force config))
@@ -834,7 +842,9 @@ let governor () =
   let rows = List.rev !rows in
   let out = "BENCH_governor.json" in
   let oc = open_out out in
-  output_string oc "{\n  \"experiment\": \"governor\",\n  \"queries\": [\n";
+  output_string oc "{\n  \"experiment\": \"governor\",\n";
+  output_string oc domains_meta_fields;
+  output_string oc "  \"queries\": [\n";
   let last = List.length rows - 1 in
   List.iteri
     (fun k (i, outcome, wall_ms, retries, fallbacks) ->
@@ -976,9 +986,9 @@ let parallel_bench () =
   let out = "BENCH_parallel.json" in
   let oc = open_out out in
   Printf.fprintf oc
-    "{\n  \"experiment\": \"parallel\",\n  \"scale\": %.3f,\n  \"rows\": %d,\n\
+    "{\n  \"experiment\": \"parallel\",\n%s  \"scale\": %.3f,\n  \"rows\": %d,\n\
     \  \"cores\": %d,\n  \"workloads\": [\n"
-    sf n cores;
+    domains_meta_fields sf n cores;
   let last = List.length rows - 1 in
   List.iteri
     (fun k (name, q, runs) ->
@@ -1148,8 +1158,8 @@ let recovery () =
   let all_ok = retry_ok && List.for_all (fun (_, _, _, _, _, ok) -> ok) size_rows in
   let out = "BENCH_recovery.json" in
   let oc = open_out out in
-  Printf.fprintf oc "{\n  \"experiment\": \"recovery\",\n  \"scale\": %.3f,\n\
-                    \  \"sizes\": [\n" sf;
+  Printf.fprintf oc "{\n  \"experiment\": \"recovery\",\n%s  \"scale\": %.3f,\n\
+                    \  \"sizes\": [\n" domains_meta_fields sf;
   let last = List.length size_rows - 1 in
   List.iteri
     (fun k (n, appended, build_s, repair_s, rebuild_s, ok) ->
@@ -1175,6 +1185,117 @@ let recovery () =
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* serving: concurrent sessions against one server process            *)
+(* ------------------------------------------------------------------ *)
+
+let serving () =
+  section "serving: concurrent framed clients against one instance";
+  let module Server = Vida_server.Server in
+  let module GA = Vida_governor.Governor.Admission in
+  let n = max 2_000 (int_of_float (100_000. *. sf)) in
+  let buf = Buffer.create (n * 8) in
+  Buffer.add_string buf "v,k\n";
+  let st = Random.State.make [| 0x5e41 |] in
+  for _ = 1 to n do
+    Buffer.add_string buf
+      (Printf.sprintf "%d,%d\n" (Random.State.int st 1000) (Random.State.int st 10))
+  done;
+  let path = Filename.temp_file "vida_serving" ".csv" in
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  let queries =
+    [| "for { s <- S } yield sum s.v"; "for { s <- S } yield count s";
+       "for { s <- S, s.v > 500 } yield count s";
+       "for { s <- S, s.k = 3 } yield sum s.v" |]
+  in
+  let percentile sorted p =
+    if Array.length sorted = 0 then nan
+    else sorted.(min (Array.length sorted - 1)
+                   (int_of_float (p *. float_of_int (Array.length sorted))))
+  in
+  let run_load clients =
+    (* fresh server per load point: lifetime counters start at zero *)
+    let db = Vida.create () in
+    Vida.csv db ~name:"S" ~path ();
+    let config =
+      { Server.default_config with
+        Server.admission =
+          { GA.default_config with
+            GA.max_concurrent = 4; max_queue = 8; per_tenant = clients;
+            queue_timeout_ms = 50.; retry_after_ms = 25. } }
+    in
+    let srv = Server.create ~config db in
+    let address = Server.address srv in
+    let per_client = max 8 (64 / clients) in
+    let lock = Mutex.create () in
+    let lat = ref [] and ok = ref 0 and shed = ref 0 in
+    let threads =
+      List.init clients (fun i ->
+          Thread.create
+            (fun () ->
+              let c = Server.Client.connect address in
+              for r = 0 to per_client - 1 do
+                let q = queries.((i + r) mod Array.length queries) in
+                let t0 = now_s () in
+                let reply = Server.Client.query c q in
+                let dt = now_s () -. t0 in
+                let status =
+                  match Value.field_opt reply "status" with
+                  | Some (Value.String s) -> s
+                  | _ -> "?"
+                in
+                Mutex.protect lock (fun () ->
+                    if status = "ok" then (
+                      ok := !ok + 1;
+                      lat := dt :: !lat)
+                    else shed := !shed + 1)
+              done;
+              Server.Client.close c)
+            ())
+    in
+    List.iter Thread.join threads;
+    let stats = Server.stats srv in
+    Server.stop srv;
+    let sorted = Array.of_list !lat in
+    Array.sort compare sorted;
+    let total = !ok + !shed in
+    let p50 = percentile sorted 0.50 *. 1000. in
+    let p99 = percentile sorted 0.99 *. 1000. in
+    let shed_rate = float_of_int !shed /. float_of_int (max 1 total) in
+    Printf.printf
+      "%3d clients: %4d requests, p50 %7.2f ms, p99 %7.2f ms, shed %5.1f%% \
+       (served=%d shed=%d)\n"
+      clients total p50 p99 (100. *. shed_rate) stats.Server.served
+      stats.Server.shed;
+    (clients, total, p50, p99, shed_rate, stats.Server.served, stats.Server.shed)
+  in
+  let rows = List.map run_load [ 1; 8; 32 ] in
+  Sys.remove path;
+  let out = "BENCH_serving.json" in
+  let oc = open_out out in
+  Printf.fprintf oc "{\n  \"experiment\": \"serving\",\n%s  \"rows\": %d,\n\
+                    \  \"loads\": [\n" domains_meta_fields n;
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun k (clients, total, p50, p99, shed_rate, served, shed) ->
+      Printf.fprintf oc
+        "    {\"clients\": %d, \"requests\": %d, \"p50_ms\": %.3f, \
+         \"p99_ms\": %.3f, \"shed_rate\": %.4f, \"served\": %d, \
+         \"shed\": %d}%s\n"
+        clients total p50 p99 shed_rate served shed
+        (if k = last then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  let one_client_shed =
+    match rows with (_, _, _, _, r, _, _) :: _ -> r | [] -> 1.
+  in
+  Printf.printf "\nshape check: a lone client is never shed: %b\n"
+    (one_client_shed = 0.);
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("table2", table2);
@@ -1190,6 +1311,7 @@ let experiments =
     ("parallel", parallel_bench);
     ("governor", governor);
     ("recovery", recovery);
+    ("serving", serving);
     ("micro", micro)
   ]
 

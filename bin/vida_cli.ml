@@ -494,14 +494,212 @@ let interactive_arg =
 let query_arg =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Comprehension (or SQL with $(b,--sql)) query; omit for an interactive session.")
 
+
+(* --- serving mode ---------------------------------------------------- *)
+
+module Server = Vida_server.Server
+
+let parse_endpoint spec =
+  match String.rindex_opt spec ':' with
+  | Some i ->
+    let host = String.sub spec 0 i in
+    let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+    (match int_of_string_opt port with
+    | Some port -> Some ((if host = "" then "127.0.0.1" else host), port)
+    | None -> None)
+  | None -> (
+    match int_of_string_opt spec with
+    | Some port -> Some ("127.0.0.1", port)
+    | None -> None)
+
+let register_all db csvs jsons xmls binarrays =
+  register db "csv" csvs;
+  register db "json" jsons;
+  List.iter
+    (fun spec ->
+      match split_binding "xml" spec with
+      | Error msg -> prerr_endline msg; exit 2
+      | Ok (name, path) -> Vida.xml db ~name ~path ())
+    xmls;
+  register db "binarray" binarrays
+
+let serve csvs jsons xmls binarrays listen socket max_concurrent max_queue
+    per_tenant queue_timeout_ms retry_after_ms executors pool_domains
+    timeout_ms memory_budget domains on_change =
+  let on_change =
+    match on_change with
+    | None -> Vida_governor.Governor.unlimited.Vida_governor.Governor.on_change
+    | Some spec -> (
+      match parse_on_change spec with
+      | Some policy -> policy
+      | None ->
+        Printf.eprintf "--on-change expects retry, retry=N or fail, got %S\n" spec;
+        exit 2)
+  in
+  let limits =
+    { Vida_governor.Governor.unlimited with
+      Vida_governor.Governor.deadline_ms =
+        (match timeout_ms with Some ms when ms > 0. -> Some ms | _ -> None);
+      memory_budget =
+        (match memory_budget with Some b when b > 0 -> Some b | _ -> None);
+      on_change }
+  in
+  let db = Vida.create ?domains ~limits () in
+  register_all db csvs jsons xmls binarrays;
+  let address =
+    match (socket, listen) with
+    | Some path, _ -> Server.Unix_socket path
+    | None, Some spec -> (
+      match parse_endpoint spec with
+      | Some (host, port) -> Server.Tcp { host; port }
+      | None ->
+        Printf.eprintf "--listen expects HOST:PORT or PORT, got %S\n" spec;
+        exit 2)
+    | None, None -> Server.Tcp { host = "127.0.0.1"; port = 0 }
+  in
+  let admission =
+    { Vida_governor.Governor.Admission.default_config with
+      Vida_governor.Governor.Admission.max_concurrent; max_queue; per_tenant;
+      queue_timeout_ms; retry_after_ms }
+  in
+  let config =
+    { Server.default_config with
+      Server.address; admission; executors; pool_domains }
+  in
+  let srv = try Server.create ~config db with
+    | Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "cannot listen: %s\n" (Unix.error_message err);
+      exit 2
+  in
+  (match Server.address srv with
+  | Server.Tcp { host; port } ->
+    Printf.printf "vida: serving on %s:%d\n%!" host port
+  | Server.Unix_socket path -> Printf.printf "vida: serving on %s\n%!" path);
+  let quit = Atomic.make false in
+  let request_quit _ = Atomic.set quit true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_quit);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_quit);
+  while not (Atomic.get quit) do
+    Thread.delay 0.1
+  done;
+  prerr_endline "vida: shutting down";
+  Server.stop srv;
+  0
+
+let client connect socket use_sql tenant query =
+  let address =
+    match (socket, connect) with
+    | Some path, _ -> Server.Unix_socket path
+    | None, Some spec -> (
+      match parse_endpoint spec with
+      | Some (host, port) -> Server.Tcp { host; port }
+      | None ->
+        Printf.eprintf "--connect expects HOST:PORT or PORT, got %S\n" spec;
+        exit 2)
+    | None, None ->
+      prerr_endline "vida client needs --connect HOST:PORT or --socket PATH";
+      exit 2
+  in
+  let c =
+    try Server.Client.connect address
+    with Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "cannot connect: %s\n" (Unix.error_message err);
+      exit 2
+  in
+  let syntax = if use_sql then `Sql else `Comp in
+  let reply = Server.Client.query ?tenant ~syntax c query in
+  Server.Client.close c;
+  let fld name = Vida_data.Value.field_opt reply name in
+  match fld "status" with
+  | Some (Vida_data.Value.String "ok") ->
+    (match fld "value" with
+    | Some v -> print_endline (Vida_data.Value.to_json v)
+    | None -> ());
+    0
+  | _ ->
+    (match (fld "kind", fld "message") with
+    | Some (Vida_data.Value.String kind), Some (Vida_data.Value.String msg) ->
+      Printf.eprintf "error [%s]: %s\n" kind msg
+    | _ -> Printf.eprintf "error: %s\n" (Vida_data.Value.to_json reply));
+    (match fld "retry_after_ms" with
+    | Some (Vida_data.Value.Float ms) ->
+      Printf.eprintf "retry after %.0f ms\n" ms
+    | _ -> ());
+    (match fld "code" with Some (Vida_data.Value.Int c) -> c | _ -> 1)
+
+let listen_arg =
+  Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT"
+       ~doc:"TCP endpoint to serve on (port 0 picks a free port; default 127.0.0.1:0).")
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+       ~doc:"Unix-domain socket to serve on (overrides --listen).")
+
+let connect_arg =
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT"
+       ~doc:"TCP endpoint of a running $(b,vida serve).")
+
+let max_concurrent_arg =
+  Arg.(value & opt int 4 & info [ "max-concurrent" ] ~docv:"N"
+       ~doc:"Queries running at once; further admits queue.")
+
+let max_queue_arg =
+  Arg.(value & opt int 16 & info [ "max-queue" ] ~docv:"N"
+       ~doc:"Admission queue depth; a query beyond it is shed with exit code 77 and a retry-after hint.")
+
+let per_tenant_arg =
+  Arg.(value & opt int 2 & info [ "per-tenant" ] ~docv:"N"
+       ~doc:"Concurrent running queries per tenant.")
+
+let queue_timeout_arg =
+  Arg.(value & opt float 1000. & info [ "queue-timeout-ms" ] ~docv:"MS"
+       ~doc:"Longest a query may wait for admission before being shed.")
+
+let retry_after_arg =
+  Arg.(value & opt float 250. & info [ "retry-after-ms" ] ~docv:"MS"
+       ~doc:"Backoff hint carried by shed responses.")
+
+let executors_arg =
+  Arg.(value & opt (some int) None & info [ "executors" ] ~docv:"N"
+       ~doc:"Executor domains running queries (default: --max-concurrent).")
+
+let pool_domains_arg =
+  Arg.(value & opt (some int) None & info [ "pool-domains" ] ~docv:"N"
+       ~doc:"Shared morsel-pool sizing (default: resolved from the hardware and VIDA_DOMAINS at startup).")
+
+let tenant_arg =
+  Arg.(value & opt (some string) None & info [ "tenant" ] ~docv:"NAME"
+       ~doc:"Tenant name for per-tenant admission accounting.")
+
+let client_query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
+       ~doc:"Comprehension (or SQL with $(b,--sql)) query to send.")
+
+let serve_cmd =
+  let doc = "serve concurrent framed queries over TCP or a Unix socket" in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ csv_arg $ json_arg $ xml_arg $ binarray_arg $ listen_arg
+      $ socket_arg $ max_concurrent_arg $ max_queue_arg $ per_tenant_arg
+      $ queue_timeout_arg $ retry_after_arg $ executors_arg $ pool_domains_arg
+      $ timeout_arg $ budget_arg $ domains_arg $ on_change_arg)
+
+let client_cmd =
+  let doc = "send one query to a running vida server" in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const client $ connect_arg $ socket_arg $ sql_arg $ tenant_arg
+      $ client_query_arg)
+
 let cmd =
   let doc = "just-in-time queries over raw heterogeneous files (ViDa)" in
-  Cmd.v
-    (Cmd.info "vida" ~doc)
+  let default =
     Term.(
       const run $ csv_arg $ json_arg $ xml_arg $ binarray_arg $ sql_arg
       $ explain_arg $ lint_arg $ lint_workload_arg $ engine_arg $ stats_arg
       $ json_out_arg $ timeout_arg $ budget_arg $ domains_arg $ on_change_arg
       $ interactive_arg $ query_arg)
+  in
+  Cmd.group ~default (Cmd.info "vida" ~doc) [ serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -2,15 +2,23 @@ open Vida_raw
 
 type entry = { source : Source.t; explicit_schema : bool }
 
-type t = { table : (string, entry) Hashtbl.t; mutable order : string list }
+(* registration/lookup race under concurrent sessions: one mutex guards
+   the table and the insertion order together *)
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutable order : string list;
+  lock : Mutex.t;
+}
 
-let create () = { table = Hashtbl.create 16; order = [] }
+let create () = { table = Hashtbl.create 16; order = []; lock = Mutex.create () }
+let locked t f = Mutex.protect t.lock f
 
 let add t name entry =
-  if Hashtbl.mem t.table name then
-    invalid_arg (Printf.sprintf "Registry: source %S already registered" name);
-  Hashtbl.replace t.table name entry;
-  t.order <- t.order @ [ name ]
+  locked t (fun () ->
+      if Hashtbl.mem t.table name then
+        invalid_arg (Printf.sprintf "Registry: source %S already registered" name);
+      Hashtbl.replace t.table name entry;
+      t.order <- t.order @ [ name ])
 
 let register_csv t ~name ~path ?(delim = ',') ?(header = true) ?schema () =
   let snapshot = File_snapshot.take path in
@@ -81,14 +89,23 @@ let register_inline t ~name value =
   add t name { source; explicit_schema = true };
   source
 
-let find t name = Option.map (fun e -> e.source) (Hashtbl.find_opt t.table name)
-let mem t name = Hashtbl.mem t.table name
-let names t = t.order
-let sources t = List.filter_map (fun n -> find t n) t.order
+let find t name =
+  locked t (fun () ->
+      Option.map (fun e -> e.source) (Hashtbl.find_opt t.table name))
+
+let mem t name = locked t (fun () -> Hashtbl.mem t.table name)
+let names t = locked t (fun () -> t.order)
+
+let sources t =
+  locked t (fun () ->
+      List.filter_map
+        (fun n -> Option.map (fun e -> e.source) (Hashtbl.find_opt t.table n))
+        t.order)
 
 let unregister t name =
-  Hashtbl.remove t.table name;
-  t.order <- List.filter (fun n -> not (String.equal n name)) t.order
+  locked t (fun () ->
+      Hashtbl.remove t.table name;
+      t.order <- List.filter (fun n -> not (String.equal n name)) t.order)
 
 let type_env t =
   List.map (fun s -> (s.Source.name, Source.collection_type s)) (sources t)
@@ -96,7 +113,9 @@ let type_env t =
 let stale_sources t = List.filter Source.stale (sources t)
 
 let refresh t name =
-  match Hashtbl.find_opt t.table name with
+  (* snapshot/inference run outside the lock (they scan the file); only
+     the table reads and the final replace are guarded *)
+  match locked t (fun () -> Hashtbl.find_opt t.table name) with
   | None -> None
   | Some { source; explicit_schema } -> (
     match source.Source.path with
@@ -117,5 +136,7 @@ let refresh t name =
         | f, _ -> f
       in
       let source = { source with Source.format; snapshot = Some snapshot } in
-      Hashtbl.replace t.table name { source; explicit_schema };
+      locked t (fun () ->
+          if Hashtbl.mem t.table name then
+            Hashtbl.replace t.table name { source; explicit_schema });
       Some source)

@@ -25,6 +25,19 @@ type t = {
   result_cache : (string, Value.t * string list * (string * string) list) Hashtbl.t;
   mutable result_hits : int;
   mutable result_stale_drops : int;
+  (* plan cache (serving layer): query text -> optimized plan, stamped
+     with the source fingerprints and the catalog revision it was derived
+     under; a hit skips parse/typecheck/translate/optimize entirely *)
+  plan_cache : (string, Vida_algebra.Plan.t * (string * string) list * int) Hashtbl.t;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable catalog_rev : int;
+      (* bumped on any change that can affect planning: registration,
+         unregistration, parameter binds, invalidation, cleaning policies,
+         source refreshes. Plan-cache entries from older revisions miss. *)
+  lock : Mutex.t;
+      (* one instance serves many concurrent sessions: guards the result
+         and plan caches, counters, verify log and ctx/params swaps *)
 }
 
 let create ?cache_capacity ?domains ?(limits = Governor.unlimited) () =
@@ -33,7 +46,13 @@ let create ?cache_capacity ?domains ?(limits = Governor.unlimited) () =
   { registry; ctx; params = []; limits; verify = Warn; verify_log = [];
     queries_run = 0; queries_from_cache = 0;
     session_io = Vida_raw.Io_stats.zero; result_cache = Hashtbl.create 64;
-    result_hits = 0; result_stale_drops = 0 }
+    result_hits = 0; result_stale_drops = 0; plan_cache = Hashtbl.create 64;
+    plan_hits = 0; plan_misses = 0; catalog_rev = 0; lock = Mutex.create () }
+
+let locked t f = Mutex.protect t.lock f
+
+(* any catalog-affecting change retires every cached plan *)
+let bump_rev t = locked t (fun () -> t.catalog_rev <- t.catalog_rev + 1)
 
 let set_verify t v = t.verify <- v
 let verify_mode t = t.verify
@@ -46,35 +65,45 @@ let limits t = t.limits
    deliberate programmatic choice may oversubscribe the hardware — tests
    exercising the parallel path on small machines, IO-bound scans — while
    [create ?domains] resolves conservatively through {!Vida_raw.Morsel}. *)
-let set_domains t d = t.ctx <- { t.ctx with Plugins.domains = max 1 d }
+let set_domains t d =
+  locked t (fun () -> t.ctx <- { t.ctx with Plugins.domains = max 1 d });
+  bump_rev t
 let domains t = t.ctx.Plugins.domains
 
 let csv t ~name ~path ?delim ?header ?schema () =
-  ignore (Registry.register_csv t.registry ~name ~path ?delim ?header ?schema ())
+  ignore (Registry.register_csv t.registry ~name ~path ?delim ?header ?schema ());
+  bump_rev t
 
 let json t ~name ~path ?element () =
-  ignore (Registry.register_json t.registry ~name ~path ?element ())
+  ignore (Registry.register_json t.registry ~name ~path ?element ());
+  bump_rev t
 
 let xml t ~name ~path ?element () =
-  ignore (Registry.register_xml t.registry ~name ~path ?element ())
+  ignore (Registry.register_xml t.registry ~name ~path ?element ());
+  bump_rev t
 
-let binarray t ~name ~path = ignore (Registry.register_binarray t.registry ~name ~path)
-let inline t ~name v = ignore (Registry.register_inline t.registry ~name v)
+let binarray t ~name ~path =
+  ignore (Registry.register_binarray t.registry ~name ~path);
+  bump_rev t
+
+let inline t ~name v =
+  ignore (Registry.register_inline t.registry ~name v);
+  bump_rev t
 
 let external_source t ~name ~element ~count ~produce =
-  ignore (Registry.register_external t.registry ~name ~element ~count ~produce)
-
-let rebuild_ctx t =
-  t.ctx <- { t.ctx with Plugins.params = t.params }
+  ignore (Registry.register_external t.registry ~name ~element ~count ~produce);
+  bump_rev t
 
 let purge_results t source =
-  let victims =
-    Hashtbl.fold
-      (fun key (_, sources, _) acc ->
-        if List.mem source sources then key :: acc else acc)
-      t.result_cache []
-  in
-  List.iter (Hashtbl.remove t.result_cache) victims
+  locked t (fun () ->
+      let victims =
+        Hashtbl.fold
+          (fun key (_, sources, _) acc ->
+            if List.mem source sources then key :: acc else acc)
+          t.result_cache []
+      in
+      List.iter (Hashtbl.remove t.result_cache) victims;
+      t.catalog_rev <- t.catalog_rev + 1)
 
 (* Current fingerprints of the file-backed sources among [names]; sources
    with no backing file (inline, external) carry no fingerprint. Inside a
@@ -111,9 +140,12 @@ let fingerprints_fresh t stored =
     stored
 
 let bind_param t name v =
-  t.params <- (name, v) :: List.remove_assoc name t.params;
-  Hashtbl.reset t.result_cache;
-  rebuild_ctx t
+  locked t (fun () ->
+      t.params <- (name, v) :: List.remove_assoc name t.params;
+      Hashtbl.reset t.result_cache;
+      Hashtbl.reset t.plan_cache;
+      t.catalog_rev <- t.catalog_rev + 1;
+      t.ctx <- { t.ctx with Plugins.params = t.params })
 
 let sources t = Registry.names t.registry
 let describe t name = Registry.find t.registry name
@@ -138,6 +170,9 @@ type result = {
   raw_io : Vida_raw.Io_stats.snapshot;
   served_from_cache : bool;
   from_result_cache : bool;
+  plan_from_cache : bool;
+      (* the optimized plan came from the instance plan cache: parse,
+         typecheck, translation and optimization were all skipped *)
   governor : Governor.report;
   epochs : (string * string) list;
       (* the query's pinned generations: source name -> encoded
@@ -149,6 +184,8 @@ type stats = {
   queries_from_cache : int;
   result_reuse_hits : int;
   result_stale_drops : int;
+  plan_cache_hits : int;
+  plan_cache_misses : int;
   cache : Vida_storage.Cache.stats;
   io : Vida_raw.Io_stats.snapshot;
   structures_bytes : int;
@@ -177,7 +214,7 @@ let type_env t =
    refined): appends extend the derived state incrementally, anything
    else drops it. Either way results computed against the old generation
    are purged. *)
-let refresh_referenced t expr =
+let refresh_referenced t refs =
   List.iter
     (fun v ->
       match Registry.find t.registry v with
@@ -186,13 +223,13 @@ let refresh_referenced t expr =
         | `Unchanged -> ()
         | `Extended | `Rebuilt -> purge_results t v)
       | None -> ())
-    (Expr.free_vars expr)
+    refs
 
 (* Pin the current generation of every referenced file-backed source.
    Each is pinned under both its registry name (cache stamping, producer
    ticks) and its backing path (raw-buffer loads, scan loops) — see
    {!Vida_raw.Epoch.pin}. Returns the pins for the query result. *)
-let pin_referenced t epoch expr =
+let pin_referenced t epoch refs =
   List.filter_map
     (fun v ->
       match Registry.find t.registry v with
@@ -205,7 +242,7 @@ let pin_referenced t epoch expr =
           Some (name, Vida_raw.Fingerprint.encode fp)
         | None -> None)
       | _ -> None)
-    (Expr.free_vars expr)
+    refs
 
 (* wall-clock milliseconds: reported durations must include time spent
    blocked or on worker domains, which CPU time ([Sys.time]) misses *)
@@ -218,7 +255,8 @@ let now_ms () = Unix.gettimeofday () *. 1000.
    aborts the query with [Vida_error.Plan_invalid] instead. [Off] skips
    verification entirely. *)
 
-let note_verify t e = t.verify_log <- Vida_error.to_string e :: t.verify_log
+let note_verify t e =
+  locked t (fun () -> t.verify_log <- Vida_error.to_string e :: t.verify_log)
 
 let verify_stage t ~env stage plan =
   match t.verify with
@@ -239,10 +277,27 @@ let firing_check t ~env stage ~rule ~before ~after =
     | Ok () -> ()
     | Error e -> if t.verify = Strict then raise (Vida_error.Error e) else note_verify t e)
 
-let rec run_expr ?(engine = Jit) ?(optimize = true) ?(reuse = true) t (expr : Expr.t) :
+(* A unit of execution: a freshly parsed expression going through the
+   whole pipeline, or an optimized plan served by the plan cache that
+   skips straight to execution. *)
+let rec run_job ?(engine = Jit) ?(optimize = true) ?(reuse = true) ?domains
+    ?(note_plan = fun _ -> ()) t
+    (job : [ `Expr of Expr.t | `Plan of Vida_algebra.Plan.t ]) :
     (result, error) Result.t =
-  match Typecheck.check (type_env t) expr with
-  | Error e -> Error (Type_error (Format.asprintf "%a" Typecheck.pp_error e))
+  let checked =
+    match job with
+    | `Plan _ ->
+      (* the plan was typechecked when first derived; cache validation
+         (catalog revision + source fingerprints) vouches the environment
+         has not changed since *)
+      Ok ()
+    | `Expr expr -> (
+      match Typecheck.check (type_env t) expr with
+      | Error e -> Error (Type_error (Format.asprintf "%a" Typecheck.pp_error e))
+      | Ok () -> Ok ())
+  in
+  match checked with
+  | Error e -> Error e
   | Ok () ->
     (* every execution runs inside a governor session: deadline +
        cancellation token + memory budget. An already-ambient session
@@ -253,7 +308,9 @@ let rec run_expr ?(engine = Jit) ?(optimize = true) ?(reuse = true) t (expr : Ex
       | Some s -> (s, false)
       | None -> (Governor.start ~limits:t.limits ~name:"query" (), true)
     in
-    let body () = run_governed ~engine ~optimize ~reuse ~session t expr in
+    let body () =
+      run_governed ~engine ~optimize ~reuse ~domains ~note_plan ~session t job
+    in
     if owned then Governor.with_session session body else body ()
 
 (* Each attempt refreshes the referenced sources (repairing appends
@@ -264,8 +321,13 @@ let rec run_expr ?(engine = Jit) ?(optimize = true) ?(reuse = true) t (expr : Ex
    whether to re-pin and retry ([Retry_fresh], each retry recorded as an
    ["epoch-repin"] fallback) or surface the error ([Fail_fast]). The
    governor session (deadline, budget) spans all attempts. *)
-and run_governed ~engine ~optimize ~reuse ~session t (expr : Expr.t) :
+and run_governed ~engine ~optimize ~reuse ~domains ~note_plan ~session t job :
     (result, error) Result.t =
+  let refs =
+    match job with
+    | `Expr expr -> Expr.free_vars expr
+    | `Plan plan -> Vida_algebra.Plan.free_vars plan
+  in
   let retry_budget =
     match t.limits.Governor.on_change with
     | Governor.Retry_fresh n -> max 0 n
@@ -274,11 +336,12 @@ and run_governed ~engine ~optimize ~reuse ~session t (expr : Expr.t) :
   let rec attempt retries_left =
     let outcome =
       try
-        refresh_referenced t expr;
+        refresh_referenced t refs;
         let epoch = Vida_raw.Epoch.create () in
-        let epochs = pin_referenced t epoch expr in
+        let epochs = pin_referenced t epoch refs in
         Vida_raw.Epoch.with_epoch epoch (fun () ->
-            run_pinned ~engine ~optimize ~reuse ~session ~epochs t expr)
+            run_pinned ~engine ~optimize ~reuse ~domains ~note_plan ~session
+              ~epochs t job)
       with Vida_error.Error e -> Error (Data_error e)
     in
     match outcome with
@@ -291,24 +354,40 @@ and run_governed ~engine ~optimize ~reuse ~session t (expr : Expr.t) :
   in
   attempt retry_budget
 
-and run_pinned ~engine ~optimize ~reuse ~session ~epochs t (expr : Expr.t) :
-    (result, error) Result.t =
+and run_pinned ~engine ~optimize ~reuse ~domains ~note_plan ~session ~epochs t
+    job : (result, error) Result.t =
     try
       let t0 = now_ms () in
-      let normalized = Rewrite.normalize expr in
+      (* per-submit domain override (the serving layer's degradation
+         ladder runs queries sequentially under load): a copied ctx
+         sharing every cache/table, differing only in the budget *)
+      let ctx =
+        match domains with
+        | Some d when d <> t.ctx.Plugins.domains ->
+          { t.ctx with Plugins.domains = max 1 d }
+        | _ -> t.ctx
+      in
       let venv = type_env t in
-      let plan = Vida_algebra.Translate.plan_of_comp normalized in
-      verify_stage t ~env:venv "translate" plan;
-      let plan =
-        if optimize then (
+      let plan, plan_from_cache =
+        match job with
+        | `Plan plan -> (plan, true)
+        | `Expr expr ->
+          let normalized = Rewrite.normalize expr in
+          let plan = Vida_algebra.Translate.plan_of_comp normalized in
+          verify_stage t ~env:venv "translate" plan;
           let plan =
-            Vida_optimizer.Rules.with_checker
-              (firing_check t ~env:venv "optimize")
-              (fun () -> Vida_optimizer.Optimizer.optimize t.ctx plan)
+            if optimize then (
+              let plan =
+                Vida_optimizer.Rules.with_checker
+                  (firing_check t ~env:venv "optimize")
+                  (fun () -> Vida_optimizer.Optimizer.optimize ctx plan)
+              in
+              verify_stage t ~env:venv "optimize" plan;
+              plan)
+            else plan
           in
-          verify_stage t ~env:venv "optimize" plan;
-          plan)
-        else plan
+          note_plan plan;
+          (plan, false)
       in
       let cache_key =
         (match engine with Jit -> "jit|" | Generic -> "gen|")
@@ -317,27 +396,33 @@ and run_pinned ~engine ~optimize ~reuse ~session ~epochs t (expr : Expr.t) :
       let cached =
         (* a hit is only a hit while the underlying files are unchanged;
            a stale entry is dropped and the query recomputed *)
-        match if reuse then Hashtbl.find_opt t.result_cache cache_key else None with
+        match
+          if reuse then
+            locked t (fun () -> Hashtbl.find_opt t.result_cache cache_key)
+          else None
+        with
         | Some (value, _, stamps) ->
           if fingerprints_fresh t stamps then Some value
           else (
-            Hashtbl.remove t.result_cache cache_key;
-            t.result_stale_drops <- t.result_stale_drops + 1;
+            locked t (fun () ->
+                Hashtbl.remove t.result_cache cache_key;
+                t.result_stale_drops <- t.result_stale_drops + 1);
             None)
         | None -> None
       in
       match cached with
       | Some value ->
-        t.queries_run <- t.queries_run + 1;
-        t.queries_from_cache <- t.queries_from_cache + 1;
-        t.result_hits <- t.result_hits + 1;
+        locked t (fun () ->
+            t.queries_run <- t.queries_run + 1;
+            t.queries_from_cache <- t.queries_from_cache + 1;
+            t.result_hits <- t.result_hits + 1);
         Ok
           { value; plan; compile_ms = now_ms () -. t0; exec_ms = 0.;
             raw_io = Vida_raw.Io_stats.zero; served_from_cache = true;
-            from_result_cache = true; governor = Governor.report session;
-            epochs }
+            from_result_cache = true; plan_from_cache;
+            governor = Governor.report session; epochs }
       | None -> (
-      let run_generic () = (Interp.query t.ctx plan) () in
+      let run_generic () = (Interp.query ctx plan) () in
       (* degradation ladder, rung 1: a JIT code-generation or execution
          failure demotes the query to the Generic engine instead of failing
          it outright (the two engines are semantically equivalent).
@@ -355,7 +440,7 @@ and run_pinned ~engine ~optimize ~reuse ~session ~epochs t (expr : Expr.t) :
           | Some reason -> degrade reason
           | None -> (
             let run_sequential () =
-              match (Compile.query t.ctx plan) () with
+              match (Compile.query ctx plan) () with
               | value -> value
               | exception Plugins.Engine_error msg -> degrade msg
               | exception Eval.Error msg -> degrade msg
@@ -367,11 +452,11 @@ and run_pinned ~engine ~optimize ~reuse ~session ~epochs t (expr : Expr.t) :
                or an engine failure falls back to the sequential JIT.
                Governor violations and structured data errors propagate
                from workers exactly as from the sequential path. *)
-            if t.ctx.Plugins.domains > 1 then
+            if ctx.Plugins.domains > 1 then
               match
                 Parallel.with_checker
                   (firing_check t ~env:venv "parallel")
-                  (fun () -> Parallel.try_query t.ctx plan)
+                  (fun () -> Parallel.try_query ctx plan)
               with
               | Some value -> value
               | None -> run_sequential ()
@@ -395,24 +480,29 @@ and run_pinned ~engine ~optimize ~reuse ~session ~epochs t (expr : Expr.t) :
           raw_io.Vida_raw.Io_stats.bytes_read = 0
           && raw_io.Vida_raw.Io_stats.file_loads = 0
         in
-        t.queries_run <- t.queries_run + 1;
-        if served_from_cache then t.queries_from_cache <- t.queries_from_cache + 1;
-        t.session_io <-
-          (let open Vida_raw.Io_stats in
-           { bytes_read = t.session_io.bytes_read + raw_io.bytes_read;
-             fields_tokenized = t.session_io.fields_tokenized + raw_io.fields_tokenized;
-             values_converted = t.session_io.values_converted + raw_io.values_converted;
-             objects_parsed = t.session_io.objects_parsed + raw_io.objects_parsed;
-             index_probes = t.session_io.index_probes + raw_io.index_probes;
-             file_loads = t.session_io.file_loads + raw_io.file_loads
-           });
+        locked t (fun () ->
+            t.queries_run <- t.queries_run + 1;
+            if served_from_cache then
+              t.queries_from_cache <- t.queries_from_cache + 1;
+            t.session_io <-
+              (let open Vida_raw.Io_stats in
+               { bytes_read = t.session_io.bytes_read + raw_io.bytes_read;
+                 fields_tokenized =
+                   t.session_io.fields_tokenized + raw_io.fields_tokenized;
+                 values_converted =
+                   t.session_io.values_converted + raw_io.values_converted;
+                 objects_parsed = t.session_io.objects_parsed + raw_io.objects_parsed;
+                 index_probes = t.session_io.index_probes + raw_io.index_probes;
+                 file_loads = t.session_io.file_loads + raw_io.file_loads
+               }));
         if reuse then (
           let sources = Vida_algebra.Plan.free_vars plan in
-          Hashtbl.replace t.result_cache cache_key
-            (value, sources, source_fingerprints t sources));
+          let stamps = source_fingerprints t sources in
+          locked t (fun () ->
+              Hashtbl.replace t.result_cache cache_key (value, sources, stamps)));
         Ok
           { value; plan; compile_ms = t1 -. t0; exec_ms = t2 -. t1; raw_io;
-            served_from_cache; from_result_cache = false;
+            served_from_cache; from_result_cache = false; plan_from_cache;
             governor = Governor.report session; epochs }
       | exception Plugins.Engine_error msg -> Error (Engine_error msg)
       | exception Eval.Error msg -> Error (Engine_error msg)
@@ -424,15 +514,72 @@ and run_pinned ~engine ~optimize ~reuse ~session ~epochs t (expr : Expr.t) :
          a typed error, never a crash *)
       Error (Data_error e)
 
-let query ?engine ?optimize ?reuse t text =
-  match Parser.parse text with
-  | Error msg -> Error (Parse_error msg)
-  | Ok expr -> run_expr ?engine ?optimize ?reuse t expr
+(* --- plan cache (serving layer) ---
 
-let sql ?engine ?optimize ?reuse t text =
-  match Vida_sql.Sql.translate text with
-  | Error msg -> Error (Parse_error msg)
-  | Ok expr -> run_expr ?engine ?optimize ?reuse t expr
+   Keyed on the query text (plus syntax, engine and optimize flag); an
+   entry is only served while the catalog revision it was derived under is
+   current AND every file-backed source it references still has the
+   fingerprint it had then — a changed file can change an inferred schema
+   and hence the valid plan. Serving a cached plan skips parse, typecheck,
+   translation and optimization; execution (epochs, governor, result
+   cache) is identical. A cached plan intentionally freezes the optimizer
+   decision: runtime-feedback-driven replans only happen on a miss. *)
+
+let plan_cache_key ~syntax ~engine ~optimize text =
+  String.concat "|"
+    [ syntax; (match engine with Jit -> "jit" | Generic -> "gen");
+      (if optimize then "opt" else "raw"); text ]
+
+let plan_cache_find t key =
+  match locked t (fun () -> (Hashtbl.find_opt t.plan_cache key, t.catalog_rev)) with
+  | None, _ ->
+    locked t (fun () -> t.plan_misses <- t.plan_misses + 1);
+    None
+  | Some (plan, stamps, rev), current_rev ->
+    if rev = current_rev && fingerprints_fresh t stamps then (
+      locked t (fun () -> t.plan_hits <- t.plan_hits + 1);
+      Some plan)
+    else (
+      locked t (fun () ->
+          Hashtbl.remove t.plan_cache key;
+          t.plan_misses <- t.plan_misses + 1);
+      None)
+
+(* stored under the revision read {e before} the pipeline ran: if a
+   concurrent catalog change (or this query's own source refresh) bumped
+   the revision meanwhile, the entry self-invalidates on first lookup *)
+let plan_cache_store t key ~rev plan =
+  let stamps = source_fingerprints t (Vida_algebra.Plan.free_vars plan) in
+  locked t (fun () -> Hashtbl.replace t.plan_cache key (plan, stamps, rev))
+
+let run_text ?(engine = Jit) ?(optimize = true) ?(reuse = true) ?domains ~syntax
+    t text =
+  let parse =
+    match syntax with `Comp -> Parser.parse | `Sql -> Vida_sql.Sql.translate
+  in
+  let run_parsed ?note_plan () =
+    match parse text with
+    | Error msg -> Error (Parse_error msg)
+    | Ok expr -> run_job ~engine ~optimize ~reuse ?domains ?note_plan t (`Expr expr)
+  in
+  if not reuse then run_parsed ()
+  else
+    let key =
+      plan_cache_key
+        ~syntax:(match syntax with `Comp -> "comp" | `Sql -> "sql")
+        ~engine ~optimize text
+    in
+    match plan_cache_find t key with
+    | Some plan -> run_job ~engine ~optimize ~reuse ?domains t (`Plan plan)
+    | None ->
+      let rev = locked t (fun () -> t.catalog_rev) in
+      run_parsed ~note_plan:(fun plan -> plan_cache_store t key ~rev plan) ()
+
+let query ?engine ?optimize ?reuse ?domains t text =
+  run_text ?engine ?optimize ?reuse ?domains ~syntax:`Comp t text
+
+let sql ?engine ?optimize ?reuse ?domains t text =
+  run_text ?engine ?optimize ?reuse ?domains ~syntax:`Sql t text
 
 let query_value ?engine t text =
   match query ?engine t text with
@@ -584,12 +731,16 @@ let analysis_report (a : analysis) =
   Buffer.contents buf
 
 let stats (t : t) =
-  { queries_run = t.queries_run;
-    queries_from_cache = t.queries_from_cache;
-    result_reuse_hits = t.result_hits;
-    result_stale_drops = t.result_stale_drops;
+  let queries_run, queries_from_cache, result_reuse_hits, result_stale_drops,
+      plan_cache_hits, plan_cache_misses, io =
+    locked t (fun () ->
+        ( t.queries_run, t.queries_from_cache, t.result_hits,
+          t.result_stale_drops, t.plan_hits, t.plan_misses, t.session_io ))
+  in
+  { queries_run; queries_from_cache; result_reuse_hits; result_stale_drops;
+    plan_cache_hits; plan_cache_misses;
     cache = Vida_storage.Cache.stats t.ctx.Plugins.cache;
-    io = t.session_io;
+    io;
     structures_bytes = Structures.footprint t.ctx.Plugins.structures
   }
 
@@ -601,3 +752,71 @@ let checkpoint t =
     (Registry.sources t.registry)
 
 let ctx t = t.ctx
+
+(* --- concurrent serving sessions ---
+
+   A [session] is one client's handle on a shared instance: queries
+   submitted through it run under a governor session that out-of-band
+   {!cancel} (another thread observing a client disconnect, an operator
+   killing a tenant) can trip at any moment — the running query stops at
+   its next cooperative poll, releases its budget charges and epoch pins,
+   and surfaces [Cancelled] (exit 73). The instance itself is shared:
+   catalog, caches, structures and feedback are all lock-guarded, so any
+   number of sessions may submit concurrently from their own domains. *)
+
+type session = {
+  db : t;
+  tenant : string;
+  label : string;
+  session_id : int;
+  mutable running : Governor.session option;
+      (* the governor session of the in-flight query, while one runs *)
+  mutable closed : bool;
+  s_lock : Mutex.t;
+}
+
+let session_counter = Atomic.make 0
+
+let open_session ?(tenant = "default") ?(name = "session") t =
+  { db = t; tenant; label = name;
+    session_id = Atomic.fetch_and_add session_counter 1; running = None;
+    closed = false; s_lock = Mutex.create () }
+
+let session_tenant s = s.tenant
+let session_name s = s.label
+let session_id s = s.session_id
+let session_db s = s.db
+
+let cancel s ~reason =
+  Mutex.protect s.s_lock (fun () ->
+      match s.running with
+      | Some g -> Governor.cancel g ~reason
+      | None -> ())
+
+let close_session s =
+  Mutex.protect s.s_lock (fun () ->
+      s.closed <- true;
+      match s.running with
+      | Some g -> Governor.cancel g ~reason:"session closed"
+      | None -> ())
+
+let submit ?engine ?optimize ?reuse ?domains ?(syntax = `Comp) s text =
+  let g = Governor.start ~limits:s.db.limits ~name:s.label () in
+  let admitted =
+    Mutex.protect s.s_lock (fun () ->
+        if s.closed then false
+        else (
+          s.running <- Some g;
+          true))
+  in
+  if not admitted then
+    Error
+      (Data_error
+         (Vida_error.Cancelled { source = s.label; reason = "session closed" }))
+  else
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.protect s.s_lock (fun () -> s.running <- None))
+      (fun () ->
+        Governor.with_session g (fun () ->
+            run_text ?engine ?optimize ?reuse ?domains ~syntax s.db text))

@@ -114,6 +114,12 @@ type result = {
   from_result_cache : bool;
       (** the whole result was re-used from a previous identical plan
           (paper §5 result re-use); implies [served_from_cache] *)
+  plan_from_cache : bool;
+      (** the optimized plan was served by the instance plan cache —
+          parse, typecheck, translation and optimization were skipped.
+          Entries are validated against the catalog revision and every
+          referenced source's fingerprint, so a schema change or file
+          mutation forces a re-plan, never a stale plan. *)
   governor : Vida_governor.Governor.report;
       (** the query's resource-governance trace: wall time, cooperative
           polls, bytes charged against the memory budget, transient-IO
@@ -132,15 +138,20 @@ type result = {
 (** [query t text] runs a comprehension query end to end: parse → validate
     against the catalog → normalize → translate → optimize → generate the
     engine → execute. Stale sources referenced by the query are invalidated
-    and re-registered first (paper §2.1). *)
+    and re-registered first (paper §2.1). With [reuse] (default), the
+    optimized plan is remembered per query text and served on repeats while
+    the catalog and the referenced files are unchanged
+    ({!result.plan_from_cache}). [domains] overrides the instance domain
+    budget for this call only — the serving layer's degradation ladder runs
+    queries with [~domains:1] under load. *)
 val query :
-  ?engine:engine -> ?optimize:bool -> ?reuse:bool -> t -> string ->
-  (result, error) Result.t
+  ?engine:engine -> ?optimize:bool -> ?reuse:bool -> ?domains:int -> t ->
+  string -> (result, error) Result.t
 
 (** [sql t text] is [query] for SQL input. *)
 val sql :
-  ?engine:engine -> ?optimize:bool -> ?reuse:bool -> t -> string ->
-  (result, error) Result.t
+  ?engine:engine -> ?optimize:bool -> ?reuse:bool -> ?domains:int -> t ->
+  string -> (result, error) Result.t
 
 (** [query_value t text] is [query] keeping only the value, raising
     [Failure] on error — for scripts and examples. *)
@@ -233,6 +244,10 @@ type stats = {
   result_stale_drops : int;
       (** cached results dropped because a referenced file's fingerprint
           changed since the result was computed *)
+  plan_cache_hits : int;  (** queries whose optimized plan was reused *)
+  plan_cache_misses : int;
+      (** lookups that re-planned (no entry, stale entry, or a catalog
+          change since the entry was derived) *)
   cache : Vida_storage.Cache.stats;
   io : Vida_raw.Io_stats.snapshot;  (** cumulative for this session *)
   structures_bytes : int;  (** positional maps + semi-indexes *)
@@ -252,3 +267,49 @@ val invalidate : t -> string -> unit
 
 (** Direct access for benchmarks and tests. *)
 val ctx : t -> Vida_engine.Plugins.ctx
+
+(** {1 Concurrent serving sessions}
+
+    One {!t} instance serves many concurrent clients: the catalog, data
+    caches, auxiliary structures, result/plan caches and feedback tables
+    are all internally lock-guarded. A [session] is one client's handle —
+    it carries the tenant identity the admission controller accounts
+    against, and makes the in-flight query cancellable from another
+    thread (the serving layer cancels on client disconnect). Submissions
+    on {e distinct} sessions may run truly concurrently from separate
+    domains; a given session runs one query at a time. *)
+
+type session
+
+(** [open_session t] — a new client handle on the shared instance.
+    [tenant] (default ["default"]) groups sessions for per-tenant
+    admission caps; [name] labels governor reports and error sources. *)
+val open_session : ?tenant:string -> ?name:string -> t -> session
+
+val session_tenant : session -> string
+val session_name : session -> string
+
+(** [session_id s] — unique per process, for fair-share accounting and
+    log correlation. *)
+val session_id : session -> int
+
+val session_db : session -> t
+
+(** [submit s text] runs one query on this session (syntax [`Comp] or
+    [`Sql], default comprehension). The query runs under a fresh governor
+    session started from the instance limits, registered with [s] so a
+    concurrent {!cancel} reaches it. On a closed session, returns
+    [Cancelled] immediately. *)
+val submit :
+  ?engine:engine -> ?optimize:bool -> ?reuse:bool -> ?domains:int ->
+  ?syntax:[ `Comp | `Sql ] -> session -> string -> (result, error) Result.t
+
+(** [cancel s ~reason] trips the in-flight query's cancellation token (a
+    no-op when none is running); the query stops at its next cooperative
+    poll, releasing budget charges and epoch pins, and returns
+    [Data_error (Cancelled _)] to its submitter. *)
+val cancel : session -> reason:string -> unit
+
+(** [close_session s] cancels any in-flight query and refuses future
+    submissions. Idempotent. *)
+val close_session : session -> unit

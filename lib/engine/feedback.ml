@@ -1,15 +1,18 @@
-type t = (string, float) Hashtbl.t
+(* concurrent sessions record observations from many domains at once *)
+type t = { table : (string, float) Hashtbl.t; lock : Mutex.t }
 
-let create () = Hashtbl.create 64
+let create () = { table = Hashtbl.create 64; lock = Mutex.create () }
+let locked t f = Mutex.protect t.lock f
 
 let record t ~key ~observed =
-  match Hashtbl.find_opt t key with
-  | None -> Hashtbl.replace t key observed
-  | Some prev -> Hashtbl.replace t key ((prev +. observed) /. 2.)
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None -> Hashtbl.replace t.table key observed
+      | Some prev -> Hashtbl.replace t.table key ((prev +. observed) /. 2.))
 
-let lookup t ~key = Hashtbl.find_opt t key
-let entries t = Hashtbl.length t
-let clear t = Hashtbl.reset t
+let lookup t ~key = locked t (fun () -> Hashtbl.find_opt t.table key)
+let entries t = locked t (fun () -> Hashtbl.length t.table)
+let clear t = locked t (fun () -> Hashtbl.reset t.table)
 
 let selectivity_key pred = "sel|" ^ Vida_calculus.Expr.to_string pred
 let join_key pred = "join|" ^ Vida_calculus.Expr.to_string pred

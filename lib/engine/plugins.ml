@@ -17,6 +17,13 @@ type ctx = {
   domains : int;
       (* domain budget for parallel regions (morsel folds, chunked
          auxiliary-structure builds); 1 = strictly sequential *)
+  lock : Mutex.t;
+      (* guards [cleaning]/[bad_rows]/[structural_quarantined] under
+         concurrent sessions. Per-row membership probes of an already
+         -fetched bad set stay unlocked: OCaml hashtables are memory-safe
+         under races, and the worst case is a row a concurrently-cleaning
+         query just marked being transiently included — the same answer a
+         serial schedule running that query a moment later would give *)
 }
 
 exception Engine_error of string
@@ -33,7 +40,8 @@ let create_ctx ?cache_capacity ?(params = []) ?domains registry =
     cleaning = Hashtbl.create 4; bad_rows = Hashtbl.create 4;
     structural_quarantined = Hashtbl.create 4;
     feedback = Feedback.create ();
-    domains = Vida_raw.Morsel.resolve ?requested:domains () }
+    domains = Vida_raw.Morsel.resolve ?requested:domains ();
+    lock = Mutex.create () }
 
 let whole_object_item = "__object__"
 
@@ -64,23 +72,30 @@ let cache_find ctx (source : Source.t) key =
 let cache_put ctx (source : Source.t) key payload =
   ignore (Cache.put ?fingerprint:(source_fingerprint source) ctx.cache key payload)
 
+let locked ctx f = Mutex.protect ctx.lock f
+
 let cleaning_policy ctx source =
-  match Hashtbl.find_opt ctx.cleaning source with
+  match locked ctx (fun () -> Hashtbl.find_opt ctx.cleaning source) with
   | Some p -> p
   | None -> Vida_cleaning.Policy.default
 
 let bad_set ctx source =
-  match Hashtbl.find_opt ctx.bad_rows source with
-  | Some s -> s
-  | None ->
-    let s = Hashtbl.create 8 in
-    Hashtbl.replace ctx.bad_rows source s;
-    s
+  locked ctx (fun () ->
+      match Hashtbl.find_opt ctx.bad_rows source with
+      | Some s -> s
+      | None ->
+        let s = Hashtbl.create 8 in
+        Hashtbl.replace ctx.bad_rows source s;
+        s)
+
+let mark_bad ctx bad row =
+  locked ctx (fun () -> Hashtbl.replace bad row ())
 
 let bad_row_count ctx source =
-  match Hashtbl.find_opt ctx.bad_rows source with
-  | Some s -> Hashtbl.length s
-  | None -> 0
+  locked ctx (fun () ->
+      match Hashtbl.find_opt ctx.bad_rows source with
+      | Some s -> Hashtbl.length s
+      | None -> 0)
 
 (* --- CSV --- *)
 
@@ -141,7 +156,7 @@ let csv_columns ctx (source : Source.t) schema fs =
             | Ok (Some v) -> arr.(row) <- v
             | Ok None ->
               (* problematic entry: remember it; generated code skips it *)
-              Hashtbl.replace bad row ()
+              mark_bad ctx bad row
             | Error msg ->
               let _, offset, _ = span in
               Vida_error.parse_error ~source:name ~offset "%s" msg)
@@ -219,13 +234,13 @@ let json_field_column ctx (source : Source.t) f =
             | Vida_cleaning.Policy.Null_value | Vida_cleaning.Policy.Nearest ->
               Value.Null
             | Vida_cleaning.Policy.Skip_row ->
-              Hashtbl.replace bad obj ();
+              mark_bad ctx bad obj;
               Value.Null
             | Vida_cleaning.Policy.Quarantine ->
               let pos, len = Vida_raw.Semi_index.object_bounds si obj in
               Vida_cleaning.Policy.quarantine policy ~source:source.Source.name
                 ~offset:pos ~length:len (Vida_error.to_string e);
-              Hashtbl.replace bad obj ();
+              mark_bad ctx bad obj;
               Value.Null))
     in
     cache_put ctx source key (Cache.Values arr);
@@ -303,12 +318,12 @@ let json_producer ctx (source : Source.t) need consumer =
               let v = null_object () in
               encoded.(obj) <- Vbson.encode v;
               consumer v
-            | Vida_cleaning.Policy.Skip_row -> Hashtbl.replace bad obj ()
+            | Vida_cleaning.Policy.Skip_row -> mark_bad ctx bad obj
             | Vida_cleaning.Policy.Quarantine ->
               let pos, len = Vida_raw.Semi_index.object_bounds si obj in
               Vida_cleaning.Policy.quarantine policy ~source:name ~offset:pos
                 ~length:len (Vida_error.to_string e);
-              Hashtbl.replace bad obj ()))
+              mark_bad ctx bad obj))
       done;
       cache_put ctx source key (Cache.Strings encoded))
 
@@ -322,8 +337,9 @@ let xml_index_reported ctx (source : Source.t) =
   let name = source.Source.name in
   (match Vida_cleaning.Policy.on_error (cleaning_policy ctx name) with
   | Vida_cleaning.Policy.Quarantine
-    when not (Hashtbl.mem ctx.structural_quarantined name) ->
-    Hashtbl.replace ctx.structural_quarantined name ();
+    when locked ctx (fun () ->
+             if Hashtbl.mem ctx.structural_quarantined name then false
+             else (Hashtbl.replace ctx.structural_quarantined name (); true)) ->
     let policy = cleaning_policy ctx name in
     List.iter
       (fun (pos, len, reason) ->
@@ -619,8 +635,9 @@ let producer ctx (expr : Expr.t) ~need consumer =
 let invalidate ctx name =
   Cache.invalidate_source ctx.cache name;
   Structures.invalidate ctx.structures name;
-  Hashtbl.remove ctx.bad_rows name;
-  Hashtbl.remove ctx.structural_quarantined name;
+  locked ctx (fun () ->
+      Hashtbl.remove ctx.bad_rows name;
+      Hashtbl.remove ctx.structural_quarantined name);
   ignore (Registry.refresh ctx.registry name)
 
 (* --- live-data refresh: append-aware incremental repair ---
@@ -777,14 +794,22 @@ let extend_source_caches ctx (source : Source.t) (r : Structures.repair) =
 let try_extend ctx (source : Source.t) =
   let name = source.Source.name in
   let r = Structures.repair_appended ctx.structures source in
-  if bad_row_count ctx name > 0 || Hashtbl.mem ctx.cleaning name then (
+  let dirty =
+    locked ctx (fun () ->
+        (match Hashtbl.find_opt ctx.bad_rows name with
+        | Some s -> Hashtbl.length s > 0
+        | None -> false)
+        || Hashtbl.mem ctx.cleaning name)
+  in
+  if dirty then (
     (* columns were derived under a cleaning policy (rows skipped,
        values repaired): extension would need to replay the policy over
        appended rows including its side effects — drop the caches and
        let the next scan re-derive everything under the policy *)
     Cache.invalidate_source ctx.cache name;
-    Hashtbl.remove ctx.bad_rows name;
-    Hashtbl.remove ctx.structural_quarantined name)
+    locked ctx (fun () ->
+        Hashtbl.remove ctx.bad_rows name;
+        Hashtbl.remove ctx.structural_quarantined name))
   else
     try extend_source_caches ctx source r
     with _ ->
@@ -821,11 +846,12 @@ let refresh_source ctx (source : Source.t) =
       if Source.stale source then rebuilt () else `Unchanged)
 
 let set_cleaning ctx ~source policy =
-  Hashtbl.replace ctx.cleaning source policy;
+  locked ctx (fun () -> Hashtbl.replace ctx.cleaning source policy);
   (* decoded columns were produced under the old policy *)
   Cache.invalidate_source ctx.cache source;
-  Hashtbl.remove ctx.bad_rows source;
-  Hashtbl.remove ctx.structural_quarantined source
+  locked ctx (fun () ->
+      Hashtbl.remove ctx.bad_rows source;
+      Hashtbl.remove ctx.structural_quarantined source)
 
 (* Quarantined raw spans recorded for [source] so far (empty unless its
    policy is [Quarantine]). *)

@@ -36,6 +36,10 @@ type ctx = {
   domains : int;
       (** domain budget for parallel regions (morsel-driven folds, chunked
           auxiliary-structure builds); 1 = strictly sequential *)
+  lock : Mutex.t;
+      (** guards the mutable policy/bad-row tables under concurrent
+          sessions (the registry, cache, structures and feedback carry
+          their own locks) *)
 }
 
 (** [create_ctx ?domains] resolves the domain budget as

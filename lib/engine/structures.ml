@@ -7,12 +7,20 @@ type t = {
   semi_indexes : (string, Semi_index.t) Hashtbl.t;
   xml_indexes : (string, Xml_index.t) Hashtbl.t;
   binarrays : (string, Binarray.t) Hashtbl.t;
+  (* one mutex over all memo tables: concurrent sessions must never
+     observe a half-built structure or build the same one twice. Builds
+     run under the lock — second-comers wait and reuse, and structure
+     builds parallelize internally via morsels, so serializing distinct
+     builds costs little next to returning a torn index *)
+  lock : Mutex.t;
 }
 
 let create () =
   { buffers = Hashtbl.create 8; posmaps = Hashtbl.create 8;
     semi_indexes = Hashtbl.create 8; xml_indexes = Hashtbl.create 8;
-    binarrays = Hashtbl.create 8 }
+    binarrays = Hashtbl.create 8; lock = Mutex.create () }
+
+let locked t f = Mutex.protect t.lock f
 
 let source_path (source : Source.t) =
   match source.Source.path with
@@ -21,7 +29,17 @@ let source_path (source : Source.t) =
     Vida_error.invalid_request ~source:source.Source.name
       "Structures: source %S has no backing file" source.Source.name
 
-let memo table key f =
+let memo t table key f =
+  locked t (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some v -> v
+      | None ->
+        let v = f () in
+        Hashtbl.replace table key v;
+        v)
+
+(* unlocked variant for callers already holding [t.lock] *)
+let memo_unlocked table key f =
   match Hashtbl.find_opt table key with
   | Some v -> v
   | None ->
@@ -29,20 +47,28 @@ let memo table key f =
     Hashtbl.replace table key v;
     v
 
+let buffer_unlocked t source =
+  memo_unlocked t.buffers source.Source.name (fun () ->
+      Raw_buffer.of_path (source_path source))
+
 let buffer t source =
-  memo t.buffers source.Source.name (fun () -> Raw_buffer.of_path (source_path source))
+  memo t t.buffers source.Source.name (fun () ->
+      Raw_buffer.of_path (source_path source))
 
 let sidecar_path source = source_path source ^ ".vidx"
 
 let posmap ?domains t source =
   match source.Source.format with
   | Source.Csv { delim; header; _ } ->
-    memo t.posmaps source.Source.name (fun () ->
+    memo t t.posmaps source.Source.name (fun () ->
         (* a persisted sidecar from an earlier session restores the map
            without re-scanning; a missing, corrupt or stale sidecar
            (fingerprint mismatch) costs only a rebuild from raw — never
            wrong answers *)
-        match Positional_map.load ~delim (buffer t source) ~path:(sidecar_path source) with
+        match
+          Positional_map.load ~delim (buffer_unlocked t source)
+            ~path:(sidecar_path source)
+        with
         | Ok pm -> pm
         | Error err ->
           (* note the degradation for the governor report, except for the
@@ -53,7 +79,7 @@ let posmap ?domains t source =
             Vida_governor.Governor.note_fallback ~stage:"sidecar->raw"
               ~reason ()
           | _ -> ());
-          Positional_map.build ~delim ~header ?domains (buffer t source))
+          Positional_map.build ~delim ~header ?domains (buffer_unlocked t source))
   | _ ->
     Vida_error.invalid_request ~source:source.Source.name
       "Structures.posmap: %S is not a CSV source" source.Source.name
@@ -61,8 +87,8 @@ let posmap ?domains t source =
 let semi_index ?domains t source =
   match source.Source.format with
   | Source.Json_lines _ ->
-    memo t.semi_indexes source.Source.name (fun () ->
-        Semi_index.build ?domains (buffer t source))
+    memo t t.semi_indexes source.Source.name (fun () ->
+        Semi_index.build ?domains (buffer_unlocked t source))
   | _ ->
     Vida_error.invalid_request ~source:source.Source.name
       "Structures.semi_index: %S is not a JSON source" source.Source.name
@@ -70,7 +96,8 @@ let semi_index ?domains t source =
 let xml_index t source =
   match source.Source.format with
   | Source.Xml _ ->
-    memo t.xml_indexes source.Source.name (fun () -> Xml_index.build (buffer t source))
+    memo t t.xml_indexes source.Source.name (fun () ->
+        Xml_index.build (buffer_unlocked t source))
   | _ ->
     Vida_error.invalid_request ~source:source.Source.name
       "Structures.xml_index: %S is not an XML source" source.Source.name
@@ -78,21 +105,24 @@ let xml_index t source =
 let binarray t source =
   match source.Source.format with
   | Source.Binary_array ->
-    memo t.binarrays source.Source.name (fun () -> Binarray.open_file (buffer t source))
+    memo t t.binarrays source.Source.name (fun () ->
+        Binarray.open_file (buffer_unlocked t source))
   | _ ->
     Vida_error.invalid_request ~source:source.Source.name
       "Structures.binarray: %S is not a binary-array source" source.Source.name
 
-let peek_buffer t name = Hashtbl.find_opt t.buffers name
-let peek_posmap t name = Hashtbl.find_opt t.posmaps name
+let peek_buffer t name = locked t (fun () -> Hashtbl.find_opt t.buffers name)
+let peek_posmap t name = locked t (fun () -> Hashtbl.find_opt t.posmaps name)
 
 let checkpoint_posmap t source =
-  match Hashtbl.find_opt t.posmaps source.Source.name with
+  match locked t (fun () -> Hashtbl.find_opt t.posmaps source.Source.name) with
   | None -> false
   | Some pm ->
     Positional_map.save pm ~path:(sidecar_path source);
     true
-let peek_semi_index t name = Hashtbl.find_opt t.semi_indexes name
+
+let peek_semi_index t name =
+  locked t (fun () -> Hashtbl.find_opt t.semi_indexes name)
 
 (* --- append-aware incremental repair (paper §2.1, refined) ---
 
@@ -114,6 +144,7 @@ type repair = {
 }
 
 let repair_appended t source =
+  locked t @@ fun () ->
   let name = source.Source.name in
   let new_buffer = Raw_buffer.of_path (source_path source) in
   (* repair is not lazy: load now, outside any epoch, so the extended
@@ -151,13 +182,19 @@ let repair_appended t source =
   { new_buffer; csv; json; xml }
 
 let invalidate t name =
-  Hashtbl.remove t.buffers name;
-  Hashtbl.remove t.posmaps name;
-  Hashtbl.remove t.semi_indexes name;
-  Hashtbl.remove t.xml_indexes name;
-  Hashtbl.remove t.binarrays name
+  locked t (fun () ->
+      Hashtbl.remove t.buffers name;
+      Hashtbl.remove t.posmaps name;
+      Hashtbl.remove t.semi_indexes name;
+      Hashtbl.remove t.xml_indexes name;
+      Hashtbl.remove t.binarrays name)
 
 let footprint t =
-  Hashtbl.fold (fun _ pm acc -> acc + Positional_map.footprint pm) t.posmaps 0
-  + Hashtbl.fold (fun _ si acc -> acc + Semi_index.footprint si) t.semi_indexes 0
-  + Hashtbl.fold (fun _ xi acc -> acc + Xml_index.footprint xi) t.xml_indexes 0
+  locked t (fun () ->
+      Hashtbl.fold (fun _ pm acc -> acc + Positional_map.footprint pm) t.posmaps 0
+      + Hashtbl.fold
+          (fun _ si acc -> acc + Semi_index.footprint si)
+          t.semi_indexes 0
+      + Hashtbl.fold
+          (fun _ xi acc -> acc + Xml_index.footprint xi)
+          t.xml_indexes 0)

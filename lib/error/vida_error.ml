@@ -13,6 +13,7 @@ type t =
   | Type_invalid of { context : string; reason : string }
   | Plan_invalid of { stage : string; rule : string option; reason : string }
   | Source_changed of { source : string; detail : string }
+  | Overloaded of { source : string; reason : string; retry_after_ms : float }
 
 exception Error of t
 
@@ -56,6 +57,11 @@ let plan_invalid ~stage ?rule fmt =
 let source_changed ~source fmt =
   Format.kasprintf (fun detail -> error (Source_changed { source; detail })) fmt
 
+let overloaded ~source ~retry_after_ms fmt =
+  Format.kasprintf
+    (fun reason -> error (Overloaded { source; reason; retry_after_ms }))
+    fmt
+
 let source = function
   | Parse_error { source; _ }
   | Truncated { source; _ }
@@ -66,7 +72,8 @@ let source = function
   | Deadline_exceeded { source; _ }
   | Budget_exceeded { source; _ }
   | Cancelled { source; _ }
-  | Source_changed { source; _ } -> source
+  | Source_changed { source; _ }
+  | Overloaded { source; _ } -> source
   | Type_invalid { context; _ } -> context
   | Plan_invalid { stage; _ } -> stage
 
@@ -74,7 +81,7 @@ let offset = function
   | Parse_error { offset; _ } | Truncated { offset; _ } -> Some offset
   | Stale_auxiliary _ | Resource_limit _ | Io_failure _ | Invalid_request _
   | Deadline_exceeded _ | Budget_exceeded _ | Cancelled _ | Type_invalid _
-  | Plan_invalid _ | Source_changed _ -> None
+  | Plan_invalid _ | Source_changed _ | Overloaded _ -> None
 
 let kind_name = function
   | Parse_error _ -> "parse"
@@ -89,6 +96,7 @@ let kind_name = function
   | Type_invalid _ -> "type"
   | Plan_invalid _ -> "plan"
   | Source_changed _ -> "changed"
+  | Overloaded _ -> "overloaded"
 
 let exit_code = function
   | Parse_error _ -> 65
@@ -103,6 +111,7 @@ let exit_code = function
   | Type_invalid _ -> 74
   | Plan_invalid _ -> 75
   | Source_changed _ -> 76
+  | Overloaded _ -> 77
 
 let pp ppf = function
   | Parse_error { source; offset; reason } ->
@@ -129,6 +138,9 @@ let pp ppf = function
       reason
   | Source_changed { source; detail } ->
     Format.fprintf ppf "%s: source changed under the query: %s" source detail
+  | Overloaded { source; reason; retry_after_ms } ->
+    Format.fprintf ppf "%s: overloaded: %s (retry after %.0f ms)" source reason
+      retry_after_ms
 
 let to_string e = Format.asprintf "%a" pp e
 

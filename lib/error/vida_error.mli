@@ -43,6 +43,11 @@ type t =
           pinned at start (its {!Vida_raw.Epoch}); [detail] classifies the
           change ("appended", "rewritten", ...). The governor converts this
           into a bounded re-pin-and-retry under a [Retry_fresh] policy *)
+  | Overloaded of { source : string; reason : string; retry_after_ms : float }
+      (** the serving layer shed this query under load (admission queue
+          full, queue wait past its deadline, tenant concurrency cap, or
+          aggregate memory watermark); [retry_after_ms] is the backoff the
+          client should apply before resubmitting *)
 
 exception Error of t
 
@@ -72,6 +77,10 @@ val plan_invalid :
 
 val source_changed : source:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 
+val overloaded :
+  source:string -> retry_after_ms:float ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+
 (** {1 Inspection} *)
 
 val source : t -> string
@@ -80,12 +89,13 @@ val offset : t -> int option  (** byte offset, when the error names one *)
 val kind_name : t -> string
 (** short stable tag: ["parse"], ["truncated"], ["stale"], ["limit"],
     ["io"], ["invalid"], ["deadline"], ["budget"], ["cancelled"],
-    ["type"], ["plan"], ["changed"] *)
+    ["type"], ["plan"], ["changed"], ["overloaded"] *)
 
 val exit_code : t -> int
 (** distinct process exit code per kind, for CLI surfacing:
     parse 65, truncated 66, stale 67, limit 68, io 69, invalid 70,
-    deadline 71, budget 72, cancelled 73, type 74, plan 75, changed 76. *)
+    deadline 71, budget 72, cancelled 73, type 74, plan 75, changed 76,
+    overloaded 77. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -93,6 +93,11 @@ let with_session s f =
 let elapsed_ms s = now_ms () -. (s.started_at *. 1000.)
 let name s = s.name
 
+(* Stable per-process identity of the session: the shared morsel pool's
+   fair-share accounting and the cache's per-query admission scoping both
+   key on it. *)
+let session_id s = s.id
+
 let cancel s ~reason =
   ignore (Atomic.compare_and_set s.cancel_reason None (Some reason))
 
@@ -219,6 +224,182 @@ let pp_report ppf r =
     r.wall_ms r.polls r.charged_bytes r.retries
     (String.concat "; "
        (List.map (fun f -> f.stage ^ ": " ^ f.reason) r.fallbacks))
+
+(* --- admission control / overload resilience ------------------------ *)
+
+(* The serving layer's front door. Budgets and deadlines (above) bound
+   ONE query; admission bounds the POPULATION of queries: how many run at
+   once (globally and per tenant), how many may wait, how much aggregate
+   memory the admitted set may reserve, and how long a waiter may sit in
+   the queue before it is shed with a typed [Overloaded] error carrying a
+   retry-after hint. Everything is a counter under one mutex — admission
+   is cold compared to query execution.
+
+   Waiting is a bounded sleep-poll (stdlib [Condition] has no timed
+   wait): releases are observed within [poll_ms], which is noise next to
+   queue timeouts measured in hundreds of milliseconds. *)
+module Admission = struct
+  type config = {
+    max_concurrent : int;  (* queries running at once *)
+    max_queue : int;  (* waiters beyond the running set *)
+    per_tenant : int;  (* concurrent running queries per tenant *)
+    memory_watermark : int option;
+        (* aggregate bytes the admitted set may reserve (a query reserves
+           its memory budget; un-budgeted queries reserve nothing) *)
+    queue_timeout_ms : float;  (* max queue wait before shedding *)
+    retry_after_ms : float;  (* backoff hint in shed responses *)
+  }
+
+  let default_config =
+    { max_concurrent = 4; max_queue = 16; per_tenant = 2;
+      memory_watermark = None; queue_timeout_ms = 1000.;
+      retry_after_ms = 250. }
+
+  type gauges = {
+    running : int;
+    queued : int;
+    reserved_bytes : int;
+    tenants : (string * int) list;  (* running per tenant, sorted *)
+    admitted_total : int;
+    shed_total : int;
+  }
+
+  type t = {
+    config : config;
+    mutex : Mutex.t;
+    mutable running : int;
+    mutable queued : int;
+    mutable reserved : int;
+    tenant_running : (string, int) Hashtbl.t;
+    mutable admitted_total : int;
+    mutable shed_total : int;
+  }
+
+  type ticket = { t_tenant : string; t_reserve : int }
+
+  let create ?(config = default_config) () =
+    { config; mutex = Mutex.create (); running = 0; queued = 0; reserved = 0;
+      tenant_running = Hashtbl.create 8; admitted_total = 0; shed_total = 0 }
+
+  let poll_ms = 5.
+
+  let locked t f = Mutex.protect t.mutex f
+
+  let tenant_count t tenant =
+    Option.value ~default:0 (Hashtbl.find_opt t.tenant_running tenant)
+
+  let shed t ~source ~reason =
+    locked t (fun () -> t.shed_total <- t.shed_total + 1);
+    Vida_error.overloaded ~source ~retry_after_ms:t.config.retry_after_ms "%s"
+      reason
+
+  (* Does a (tenant, reserve) admission fit right now? Caller holds the
+     mutex. *)
+  let fits t ~tenant ~reserve =
+    t.running < t.config.max_concurrent
+    && tenant_count t tenant < t.config.per_tenant
+    && (match t.config.memory_watermark with
+       | Some w -> t.reserved + reserve <= w
+       | None -> true)
+
+  let take t ~tenant ~reserve =
+    t.running <- t.running + 1;
+    t.reserved <- t.reserved + reserve;
+    t.admitted_total <- t.admitted_total + 1;
+    Hashtbl.replace t.tenant_running tenant (tenant_count t tenant + 1)
+
+  (* [admit t ~tenant ~reserve ?deadline_ms ()] blocks until the query
+     may run, and returns the ticket to [release] when it finishes (on
+     ANY path — the caller pairs them with [Fun.protect]). Sheds with
+     [Overloaded] when the queue is full, when the wait would exceed the
+     queue timeout (or the query's own remaining [deadline_ms], whichever
+     is sooner), or when a tenant is already at its concurrency cap with
+     no prospect of this waiter fitting the queue bound. *)
+  let admit ?deadline_ms t ~tenant ~reserve =
+    let source = "admission:" ^ tenant in
+    (match t.config.memory_watermark with
+    | Some w when reserve > w ->
+      shed t ~source
+        ~reason:
+          (Printf.sprintf
+             "memory reservation of %d bytes exceeds the %d-byte watermark"
+             reserve w)
+    | _ -> ());
+    let wait_budget_ms =
+      match deadline_ms with
+      | Some d -> Float.min t.config.queue_timeout_ms d
+      | None -> t.config.queue_timeout_ms
+    in
+    let admitted_now =
+      locked t (fun () ->
+          if fits t ~tenant ~reserve then (
+            take t ~tenant ~reserve;
+            `Admitted)
+          else if t.queued >= t.config.max_queue then `Queue_full
+          else (
+            t.queued <- t.queued + 1;
+            `Queued))
+    in
+    match admitted_now with
+    | `Admitted -> { t_tenant = tenant; t_reserve = reserve }
+    | `Queue_full ->
+      shed t ~source
+        ~reason:
+          (Printf.sprintf "admission queue full (%d waiting, %d running)"
+             t.config.max_queue t.config.max_concurrent)
+    | `Queued ->
+      let t0 = now_ms () in
+      let rec wait () =
+        let outcome =
+          locked t (fun () ->
+              if fits t ~tenant ~reserve then (
+                t.queued <- t.queued - 1;
+                take t ~tenant ~reserve;
+                `Admitted)
+              else if now_ms () -. t0 > wait_budget_ms then (
+                t.queued <- t.queued - 1;
+                `Timed_out)
+              else `Keep_waiting)
+        in
+        match outcome with
+        | `Admitted -> { t_tenant = tenant; t_reserve = reserve }
+        | `Timed_out ->
+          shed t ~source
+            ~reason:
+              (Printf.sprintf "queued %.0f ms without a slot" (now_ms () -. t0))
+        | `Keep_waiting ->
+          sleep_ms poll_ms;
+          wait ()
+      in
+      wait ()
+
+  let release t ticket =
+    locked t (fun () ->
+        t.running <- t.running - 1;
+        t.reserved <- t.reserved - ticket.t_reserve;
+        match tenant_count t ticket.t_tenant - 1 with
+        | 0 -> Hashtbl.remove t.tenant_running ticket.t_tenant
+        | n -> Hashtbl.replace t.tenant_running ticket.t_tenant n)
+
+  (* Degradation-ladder input: [`Normal] -> run with the shared pool;
+     [`Elevated] (queries waiting, or the running set at capacity) -> run
+     sequentially so in-flight queries finish sooner; shedding itself is
+     the third rung, decided inside [admit]. *)
+  let pressure t =
+    locked t (fun () ->
+        if t.queued > 0 || t.running >= t.config.max_concurrent then `Elevated
+        else `Normal)
+
+  let gauges t =
+    locked t (fun () ->
+        { running = t.running; queued = t.queued; reserved_bytes = t.reserved;
+          tenants =
+            List.sort compare
+              (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tenant_running []);
+          admitted_total = t.admitted_total; shed_total = t.shed_total })
+
+  let config t = t.config
+end
 
 (* --- chaos hooks ---------------------------------------------------- *)
 

@@ -126,9 +126,73 @@ val elapsed_ms : session -> float
 val name : session -> string
 (** the label given at {!start} ("query" by default). *)
 
+val session_id : session -> int
+(** stable per-process id — the key the shared morsel pool's fair-share
+    accounting and the cache's per-query admission scoping use. *)
+
 val report : session -> report
 val zero_report : report
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Admission control / overload resilience}
+
+    The serving layer's front door (ISSUE 6). Where {!limits} bound one
+    query, admission bounds the {e population}: concurrent queries
+    globally and per tenant, queue depth, aggregate reserved memory, and
+    queue wait time. A query that cannot be admitted is {e shed} with a
+    typed [Vida_error.Overloaded] (exit code 77) carrying a retry-after
+    hint — never a hang, never an unbounded queue. *)
+module Admission : sig
+  type config = {
+    max_concurrent : int;  (** queries running at once *)
+    max_queue : int;  (** waiters beyond the running set *)
+    per_tenant : int;  (** concurrent running queries per tenant *)
+    memory_watermark : int option;
+        (** aggregate bytes the admitted set may reserve (each query
+            reserves its memory budget; un-budgeted queries reserve 0) *)
+    queue_timeout_ms : float;  (** max queue wait before shedding *)
+    retry_after_ms : float;  (** backoff hint carried by shed errors *)
+  }
+
+  val default_config : config
+  (** 4 concurrent, 16 queued, 2 per tenant, no watermark, 1 s queue
+      timeout, 250 ms retry-after. *)
+
+  type t
+  type ticket
+
+  val create : ?config:config -> unit -> t
+
+  val admit : ?deadline_ms:float -> t -> tenant:string -> reserve:int -> ticket
+  (** block until the query may run (a waiter occupies one of the
+      [max_queue] slots; the wait is bounded by [queue_timeout_ms] and by
+      [deadline_ms] when given), or shed it by raising
+      [Vida_error.Overloaded]. Pair with {!release} via [Fun.protect]. *)
+
+  val release : t -> ticket -> unit
+  (** return the slot (and the memory reservation) — on every completion
+      path, including failures and client disconnects. *)
+
+  val pressure : t -> [ `Normal | `Elevated ]
+  (** degradation-ladder input: [`Elevated] (waiters present or the
+      running set at capacity) tells the server to run queries
+      sequentially instead of fanning out over the shared pool. *)
+
+  type gauges = {
+    running : int;
+    queued : int;
+    reserved_bytes : int;
+    tenants : (string * int) list;  (** running per tenant, sorted *)
+    admitted_total : int;
+    shed_total : int;
+  }
+
+  val gauges : t -> gauges
+  (** instantaneous occupancy — the soak's leak check asserts these
+      return to zero when traffic stops. *)
+
+  val config : t -> config
+end
 
 (** {1 Engine-level fault injection}
 

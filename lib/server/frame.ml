@@ -1,0 +1,51 @@
+(* Length-prefixed framing over a stream socket: a 4-byte big-endian
+   payload length, then that many bytes of UTF-8 JSON. The length guard
+   turns a corrupt or hostile header into a typed error instead of an
+   attempted multi-gigabyte allocation. *)
+
+let default_max_bytes = 64 * 1024 * 1024
+
+let rec really_write fd buf pos len =
+  if len > 0 then (
+    let n =
+      try Unix.write fd buf pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    really_write fd buf (pos + n) (len - n))
+
+(* [really_read] returns how many bytes it could read before EOF. *)
+let really_read fd buf pos len =
+  let rec go pos remaining =
+    if remaining = 0 then len
+    else
+      match Unix.read fd buf pos remaining with
+      | 0 -> len - remaining
+      | n -> go (pos + n) (remaining - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos remaining
+  in
+  go pos len
+
+let write fd payload =
+  let len = String.length payload in
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  really_write fd buf 0 (4 + len)
+
+let read ?(max_bytes = default_max_bytes) fd =
+  let header = Bytes.create 4 in
+  match really_read fd header 0 4 with
+  | 0 -> None (* clean EOF between frames: the peer hung up *)
+  | n when n < 4 ->
+    Vida_error.truncated ~source:"frame" ~offset:n "4-byte frame header"
+  | _ ->
+    let len = Int32.to_int (Bytes.get_int32_be header 0) in
+    if len < 0 || len > max_bytes then
+      Vida_error.resource_limit ~source:"frame" ~what:"frame bytes" ~actual:len
+        ~limit:max_bytes;
+    let payload = Bytes.create len in
+    let got = really_read fd payload 0 len in
+    if got < len then
+      Vida_error.truncated ~source:"frame" ~offset:(4 + got)
+        "frame payload (%d of %d bytes)" got len
+    else Some (Bytes.unsafe_to_string payload)

@@ -1,0 +1,19 @@
+(** Length-prefixed request/response framing (serving protocol, layer 0).
+
+    Every message on a connection is one frame: a 4-byte big-endian
+    payload length followed by that many bytes of JSON. Both sides read
+    and write frames symmetrically; JSON semantics live in {!Server}. *)
+
+val default_max_bytes : int
+(** 64 MiB — the largest payload {!read} accepts by default. *)
+
+val write : Unix.file_descr -> string -> unit
+(** [write fd payload] sends one complete frame (handles short writes and
+    [EINTR]). *)
+
+val read : ?max_bytes:int -> Unix.file_descr -> string option
+(** [read fd] blocks for one complete frame. [None] on clean EOF at a
+    frame boundary (the peer closed). Raises [Vida_error.Truncated] on a
+    mid-frame EOF and [Vida_error.Resource_limit] on a length prefix
+    beyond [max_bytes] — a corrupt header never provokes a huge
+    allocation. *)

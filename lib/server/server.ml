@@ -1,0 +1,463 @@
+open Vida_data
+module G = Vida_governor.Governor
+module Morsel = Vida_raw.Morsel
+
+type address = Tcp of { host : string; port : int } | Unix_socket of string
+
+type config = {
+  address : address;
+  admission : G.Admission.config;
+  pool_domains : int option;
+  executors : int option;
+  max_frame_bytes : int;
+}
+
+let default_config =
+  { address = Tcp { host = "127.0.0.1"; port = 0 };
+    admission = G.Admission.default_config; pool_domains = None;
+    executors = None; max_frame_bytes = Frame.default_max_bytes }
+
+(* A parsed request frame. *)
+type request = {
+  req_id : Value.t;  (* echoed verbatim in the response *)
+  query : string;
+  syntax : [ `Comp | `Sql ];
+  tenant : string option;  (* admission accounting; connection default else *)
+}
+
+(* One admitted query travelling from a connection thread to an executor
+   domain and back. Queries must run on a domain of their own — the
+   governor session and epoch are ambient per {e domain}, while every
+   connection thread shares domain 0 — so connection threads only do
+   socket IO and hand the work to the executor pool. *)
+type job = {
+  run : unit -> string;
+  mutable reply : string option;
+  j_lock : Mutex.t;
+  j_done : Condition.t;
+}
+
+type conn = { c_fd : Unix.file_descr; c_thread : Thread.t }
+
+type t = {
+  db : Vida.t;
+  config : config;
+  adm : G.Admission.t;
+  pool : Morsel.Pool.t;
+  listen_fd : Unix.file_descr;
+  bound : Unix.sockaddr;
+  queue : job Queue.t;
+  lock : Mutex.t;
+  work : Condition.t;
+  mutable stopping : bool;
+  mutable execs : unit Domain.t list;
+  mutable acceptor : Thread.t option;
+  mutable conns : conn list;
+  mutable served : int;
+  mutable shed : int;
+  mutable disconnect_cancels : int;
+}
+
+type stats = {
+  admission : G.Admission.gauges;
+  pool : Morsel.Pool.stats;
+  active_connections : int;
+  served : int;
+  shed : int;
+  disconnect_cancels : int;
+}
+
+(* --- response payloads --- *)
+
+let field name v rest = (name, v) :: rest
+
+let respond fields = Value.to_json (Value.Record fields)
+
+let ok_payload req_id (r : Vida.result) =
+  respond
+    (field "id" req_id
+    @@ field "status" (Value.String "ok")
+    @@ field "cache"
+         (Value.String (if r.Vida.plan_from_cache then "hit" else "miss"))
+    @@ field "result_cache"
+         (Value.String (if r.Vida.from_result_cache then "hit" else "miss"))
+    @@ field "compile_ms" (Value.Float r.Vida.compile_ms)
+    @@ field "exec_ms" (Value.Float r.Vida.exec_ms)
+    @@ field "value" r.Vida.value [])
+
+let data_error_payload req_id (e : Vida_error.t) =
+  let base tail =
+    field "id" req_id
+    @@ field "status" (Value.String "error")
+    @@ field "kind" (Value.String (Vida_error.kind_name e))
+    @@ field "code" (Value.Int (Vida_error.exit_code e))
+    @@ field "message" (Value.String (Vida_error.to_string e)) tail
+  in
+  match e with
+  | Vida_error.Overloaded { retry_after_ms; _ } ->
+    (* the protocol's Retry-After: clients back off this long before
+       resubmitting a shed query *)
+    respond (base @@ field "retry_after_ms" (Value.Float retry_after_ms) [])
+  | _ -> respond (base [])
+
+let error_payload req_id (e : Vida.error) =
+  match e with
+  | Vida.Data_error de -> data_error_payload req_id de
+  | Vida.Parse_error _ | Vida.Type_error _ | Vida.Engine_error _ ->
+    let kind, code =
+      match e with
+      | Vida.Parse_error _ -> ("parse", 65)
+      | Vida.Type_error _ -> ("type", 74)
+      | _ -> ("engine", 70)
+    in
+    respond
+      (field "id" req_id
+      @@ field "status" (Value.String "error")
+      @@ field "kind" (Value.String kind)
+      @@ field "code" (Value.Int code)
+      @@ field "message" (Value.String (Vida.error_to_string e)) [])
+
+let bad_request_payload msg =
+  respond
+    (field "id" Value.Null
+    @@ field "status" (Value.String "error")
+    @@ field "kind" (Value.String "invalid")
+    @@ field "code" (Value.Int 70)
+    @@ field "message" (Value.String msg) [])
+
+(* --- request parsing --- *)
+
+let parse_request payload =
+  match Vida_raw.Json.parse ~source:"request" payload with
+  | exception Vida_error.Error e -> Error (Vida_error.to_string e)
+  | Value.Record _ as v -> (
+    match Value.field_opt v "query" with
+    | Some (Value.String query) ->
+      let syntax =
+        match Value.field_opt v "syntax" with
+        | Some (Value.String "sql") -> Ok `Sql
+        | Some (Value.String "comp") | None -> Ok `Comp
+        | Some other ->
+          Error
+            (Printf.sprintf "unknown syntax %s (want \"comp\" or \"sql\")"
+               (Value.to_json other))
+      in
+      Result.map
+        (fun syntax ->
+          { req_id = Option.value (Value.field_opt v "id") ~default:Value.Null;
+            query; syntax;
+            tenant =
+              (match Value.field_opt v "tenant" with
+              | Some (Value.String s) -> Some s
+              | _ -> None) })
+        syntax
+    | Some _ -> Error "request field \"query\" must be a string"
+    | None -> Error "request lacks a \"query\" field")
+  | _ -> Error "request frame must be a JSON object"
+
+(* --- the query path (runs on an executor domain, post-admission) --- *)
+
+let execute srv session req =
+  (* degradation ladder: under elevated pressure every query runs
+     sequentially — no shared-pool fan-out — so the worker domains serve
+     admitted queries instead of amplifying the backlog *)
+  let domains =
+    match G.Admission.pressure srv.adm with
+    | `Normal -> None
+    | `Elevated -> Some 1
+  in
+  let outcome = Vida.submit ?domains ~syntax:req.syntax session req.query in
+  Mutex.protect srv.lock (fun () -> srv.served <- srv.served + 1);
+  match outcome with
+  | Ok r -> ok_payload req.req_id r
+  | Error e -> error_payload req.req_id e
+
+(* --- executor domains --- *)
+
+let exec_loop srv () =
+  let rec next () =
+    Mutex.lock srv.lock;
+    (* drain-before-exit: a job enqueued before [stopping] flipped must
+       still get a reply, or its connection thread would await forever *)
+    let rec claim () =
+      match Queue.take_opt srv.queue with
+      | Some job ->
+        Mutex.unlock srv.lock;
+        Some job
+      | None ->
+        if srv.stopping then (
+          Mutex.unlock srv.lock;
+          None)
+        else (
+          Condition.wait srv.work srv.lock;
+          claim ())
+    in
+    match claim () with
+    | None -> ()
+    | Some job ->
+      let reply =
+        try job.run ()
+        with e ->
+          (* a worker exception must never take the executor domain down:
+             the session that submitted the query gets a typed report and
+             every other session is untouched *)
+          bad_request_payload ("internal error: " ^ Printexc.to_string e)
+      in
+      Mutex.protect job.j_lock (fun () ->
+          job.reply <- Some reply;
+          Condition.broadcast job.j_done);
+      next ()
+  in
+  next ()
+
+let submit_job srv run =
+  let job =
+    { run; reply = None; j_lock = Mutex.create (); j_done = Condition.create () }
+  in
+  Mutex.protect srv.lock (fun () ->
+      if srv.stopping then
+        (* refused, answered inline: after [stopping] no executor is
+           guaranteed to ever claim the queue again *)
+        job.reply <- Some (bad_request_payload "server shutting down")
+      else (
+        Queue.add job srv.queue;
+        Condition.signal srv.work));
+  job
+
+(* The peer closed its end iff the socket selects readable and a MSG_PEEK
+   recv returns 0 bytes. Data arriving mid-query (an eager pipelined
+   request) selects readable too and simply stays buffered. *)
+let peer_gone fd =
+  match Unix.select [ fd ] [] [] 0. with
+  | [], _, _ -> false
+  | _ -> (
+    let b = Bytes.create 1 in
+    match Unix.recv fd b 0 1 [ Unix.MSG_PEEK ] with
+    | 0 -> true
+    | _ -> false
+    | exception Unix.Unix_error _ -> true)
+  | exception Unix.Unix_error _ -> true
+
+(* --- connection handling (systhreads: socket IO and cancellation only) --- *)
+
+let handle_conn srv fd =
+  let session =
+    Vida.open_session srv.db
+      ~name:(Printf.sprintf "conn-%d" (Thread.id (Thread.self ())))
+  in
+  let rec serve () =
+    match Frame.read ~max_bytes:srv.config.max_frame_bytes fd with
+    | None -> ()
+    | Some payload ->
+      let reply =
+        match parse_request payload with
+        | Error msg -> Some (bad_request_payload msg)
+        | Ok req -> (
+          (* admission happens HERE, on the connection thread: the
+             bounded front door must see the whole offered load, so shed
+             decisions cannot hide behind a busy executor. With
+             [executors >= max_concurrent], an admitted query never waits
+             for an executor either. *)
+          let tenant =
+            Option.value req.tenant ~default:(Vida.session_tenant session)
+          in
+          let limits = Vida.limits srv.db in
+          match
+            G.Admission.admit ?deadline_ms:limits.G.deadline_ms srv.adm
+              ~tenant
+              ~reserve:(Option.value limits.G.memory_budget ~default:0)
+          with
+          | exception Vida_error.Error (Vida_error.Overloaded _ as e) ->
+            Mutex.protect srv.lock (fun () -> srv.shed <- srv.shed + 1);
+            Some (data_error_payload req.req_id e)
+          | ticket ->
+          let job =
+            submit_job srv (fun () ->
+                (* the slot is returned on every completion path — a
+                   failing query, a cancelled one, a dead client *)
+                Fun.protect
+                  ~finally:(fun () -> G.Admission.release srv.adm ticket)
+                  (fun () -> execute srv session req))
+          in
+          (* wait for the executor; watch the socket meanwhile so a
+             client that dies mid-query cancels its work instead of
+             occupying an admission slot until completion *)
+          let cancelled = ref false in
+          let rec await () =
+            match Mutex.protect job.j_lock (fun () -> job.reply) with
+            | Some r -> if !cancelled then None else Some r
+            | None ->
+              if (not !cancelled) && peer_gone fd then (
+                cancelled := true;
+                Vida.cancel session ~reason:"client disconnected";
+                Mutex.protect srv.lock (fun () ->
+                    srv.disconnect_cancels <- srv.disconnect_cancels + 1));
+              Thread.delay 0.002;
+              await ()
+          in
+          await ())
+      in
+      (match reply with
+      | Some r ->
+        Frame.write fd r;
+        serve ()
+      | None -> (* client gone; its query was cancelled *) ())
+  in
+  (try serve () with
+  | Vida_error.Error _ -> () (* framing violation: drop the connection *)
+  | Unix.Unix_error _ -> ());
+  Vida.close_session session;
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* Each connection thread registers itself (so [stop] can force it to
+   EOF and join it) and prunes itself on exit (so [active_connections] is
+   a live gauge, not a high-water mark). Registration is refused once
+   [stopping] is set: [stop] snapshots the registry after joining the
+   acceptor, and a late connection that raced the shutdown must not slip
+   past that snapshot unjoinable. *)
+let conn_main srv fd () =
+  let me = { c_fd = fd; c_thread = Thread.self () } in
+  let registered =
+    Mutex.protect srv.lock (fun () ->
+        if srv.stopping then false
+        else (
+          srv.conns <- me :: srv.conns;
+          true))
+  in
+  if not registered then (try Unix.close fd with Unix.Unix_error _ -> ())
+  else (
+    handle_conn srv fd;
+    Mutex.protect srv.lock (fun () ->
+        srv.conns <- List.filter (fun c -> c != me) srv.conns))
+
+let accept_loop srv () =
+  let rec loop () =
+    match Unix.accept srv.listen_fd with
+    | fd, _ ->
+      ignore (Thread.create (conn_main srv fd) ());
+      loop ()
+    | exception Unix.Unix_error _ -> () (* listener closed: shutting down *)
+  in
+  loop ()
+
+(* --- lifecycle --- *)
+
+let bind_address address =
+  match address with
+  | Tcp { host; port } ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    fd
+  | Unix_socket path ->
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    fd
+
+let create ?(config = default_config) db =
+  let pool = Morsel.Pool.create ?domains:config.pool_domains () in
+  Morsel.set_shared_pool (Some pool);
+  let adm = G.Admission.create ~config:config.admission () in
+  let listen_fd = bind_address config.address in
+  Unix.listen listen_fd 64;
+  let srv =
+    { db; config; adm; pool; listen_fd; bound = Unix.getsockname listen_fd;
+      queue = Queue.create (); lock = Mutex.create ();
+      work = Condition.create (); stopping = false; execs = []; acceptor = None;
+      conns = []; served = 0; shed = 0; disconnect_cancels = 0 }
+  in
+  let executors =
+    match config.executors with
+    | Some n -> max 1 n
+    | None -> max 1 config.admission.G.Admission.max_concurrent
+  in
+  srv.execs <- List.init executors (fun _ -> Domain.spawn (exec_loop srv));
+  srv.acceptor <- Some (Thread.create (accept_loop srv) ());
+  srv
+
+let address srv =
+  match srv.bound with
+  | Unix.ADDR_INET (host, port) ->
+    Tcp { host = Unix.string_of_inet_addr host; port }
+  | Unix.ADDR_UNIX path -> Unix_socket path
+
+let stats srv =
+  let active_connections, served, shed, disconnect_cancels =
+    Mutex.protect srv.lock (fun () ->
+        (List.length srv.conns, srv.served, srv.shed, srv.disconnect_cancels))
+  in
+  { admission = G.Admission.gauges srv.adm; pool = Morsel.Pool.stats srv.pool;
+    active_connections; served; shed; disconnect_cancels }
+
+let stop srv =
+  Mutex.protect srv.lock (fun () ->
+      srv.stopping <- true;
+      Condition.broadcast srv.work);
+  (* wake the acceptor, then force every live connection to EOF so its
+     thread unblocks from Frame.read and exits. [shutdown] before [close]:
+     closing an fd does NOT interrupt a thread already blocked in
+     [accept]/[read] on Linux — shutting the socket down does *)
+  (try Unix.shutdown srv.listen_fd Unix.SHUTDOWN_ALL
+   with Unix.Unix_error _ -> ());
+  (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+  (match srv.acceptor with Some t -> Thread.join t | None -> ());
+  let conns = Mutex.protect srv.lock (fun () -> srv.conns) in
+  List.iter
+    (fun c ->
+      try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter (fun c -> Thread.join c.c_thread) conns;
+  Mutex.protect srv.lock (fun () ->
+      srv.conns <- [];
+      Condition.broadcast srv.work);
+  List.iter Domain.join srv.execs;
+  srv.execs <- [];
+  (match Morsel.shared_pool () with
+  | Some p when p == srv.pool -> Morsel.set_shared_pool None
+  | _ -> ());
+  Morsel.Pool.shutdown srv.pool;
+  match srv.config.address with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()
+
+(* --- client --- *)
+
+module Client = struct
+  type client = { fd : Unix.file_descr; mutable next_id : int }
+
+  let connect address =
+    match address with
+    | Tcp { host; port } ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      { fd; next_id = 1 }
+    | Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      { fd; next_id = 1 }
+
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+  let roundtrip c payload =
+    Frame.write c.fd payload;
+    match Frame.read c.fd with
+    | Some reply -> reply
+    | None ->
+      Vida_error.io_failure ~source:"client" "server closed the connection"
+
+  let query ?tenant ?(syntax = `Comp) c text =
+    let id = c.next_id in
+    c.next_id <- id + 1;
+    let fields =
+      field "id" (Value.Int id)
+      @@ field "query" (Value.String text)
+      @@ field "syntax"
+           (Value.String (match syntax with `Comp -> "comp" | `Sql -> "sql"))
+           (match tenant with
+           | Some t -> field "tenant" (Value.String t) []
+           | None -> [])
+    in
+    Vida_raw.Json.parse ~source:"response"
+      (roundtrip c (respond fields))
+end

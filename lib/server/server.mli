@@ -1,0 +1,94 @@
+(** Concurrent query serving: the multi-session front end.
+
+    One {!Vida.t} instance serves many clients over TCP or a Unix-domain
+    socket. Each message is a length-prefixed JSON frame ({!Frame}):
+
+    - request: [{"id": any, "query": "...", "syntax": "comp"|"sql",
+      "tenant": "..."}] — [id] is echoed verbatim; [syntax] defaults to
+      comprehension; [tenant] defaults per connection and scopes the
+      admission controller's per-tenant cap;
+    - success: [{"id", "status": "ok", "cache": "hit"|"miss",
+      "result_cache": "hit"|"miss", "compile_ms", "exec_ms", "value"}] —
+      [cache] marks whether the optimized plan was served by the plan
+      cache;
+    - failure: [{"id", "status": "error", "kind", "code", "message"}] with
+      [kind]/[code] from {!Vida_error.kind_name}/{!Vida_error.exit_code};
+      a shed query ([kind = "overloaded"], code 77) additionally carries
+      ["retry_after_ms"], the protocol's Retry-After hint.
+
+    Architecture: connection {e threads} only do socket IO — the governor
+    session and epoch are ambient per {e domain}, so queries execute on a
+    pool of dedicated executor domains, and their morsel regions fan out
+    over one shared long-lived worker pool ({!Vida_raw.Morsel.Pool})
+    scheduling all concurrent queries fair-share. The front door is
+    {!Vida_governor.Governor.Admission}: a query is admitted, queued
+    (bounded, deadline-aware) or shed; under elevated pressure admitted
+    queries run sequentially instead of fanning out (degradation ladder).
+    A client that disconnects mid-query has its query cancelled
+    cooperatively — budget charges, epoch pins and its admission slot are
+    all released; a killed client can never leak a pool slot. *)
+
+type address = Tcp of { host : string; port : int } | Unix_socket of string
+
+type config = {
+  address : address;  (** where to listen; TCP port 0 picks a free port *)
+  admission : Vida_governor.Governor.Admission.config;
+  pool_domains : int option;
+      (** shared morsel-pool sizing; [None] resolves via
+          {!Vida_raw.Morsel.resolve} (both snapshotted at startup) *)
+  executors : int option;
+      (** executor domains running queries; [None] = [admission.max_concurrent] *)
+  max_frame_bytes : int;  (** per-frame payload cap *)
+}
+
+val default_config : config
+(** loopback TCP on a free port, {!Vida_governor.Governor.Admission.default_config},
+    resolved pool sizing, 64 MiB frames. *)
+
+type t
+
+val create : ?config:config -> Vida.t -> t
+(** [create db] binds, installs the shared morsel pool, spawns the
+    executor domains and the acceptor thread, and starts serving. *)
+
+val address : t -> address
+(** the bound address — for TCP with port 0, the actual port. *)
+
+val stop : t -> unit
+(** graceful shutdown: stops accepting, forces live connections to EOF
+    (cancelling their in-flight queries), joins every thread and executor
+    domain, uninstalls and shuts down the shared pool. *)
+
+type stats = {
+  admission : Vida_governor.Governor.Admission.gauges;
+  pool : Vida_raw.Morsel.Pool.stats;
+  active_connections : int;
+  served : int;  (** admitted queries answered (ok or error) *)
+  shed : int;  (** queries refused with [Overloaded] *)
+  disconnect_cancels : int;  (** queries cancelled by client disconnect *)
+}
+
+val stats : t -> stats
+(** instantaneous gauges + lifetime counters: the soak asserts admission
+    occupancy and pool regions return to zero when traffic stops. *)
+
+(** A minimal blocking client for the framed protocol (tests, the CLI's
+    client mode, the bench harness). Not thread-safe; one request in
+    flight per client. *)
+module Client : sig
+  type client
+
+  val connect : address -> client
+  val close : client -> unit
+
+  val roundtrip : client -> string -> string
+  (** [roundtrip c payload] sends one raw frame and blocks for the reply
+      frame. Raises [Vida_error.Io_failure] if the server closes first. *)
+
+  val query :
+    ?tenant:string -> ?syntax:[ `Comp | `Sql ] -> client -> string ->
+    Vida_data.Value.t
+  (** [query c text] sends a request frame (ids auto-increment) and
+      parses the JSON reply into a value — inspect ["status"], ["value"],
+      ["cache"], ["kind"], ["retry_after_ms"] as record fields. *)
+end

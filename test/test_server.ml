@@ -1,0 +1,602 @@
+(* Serving-layer suite: the framed protocol, the multi-session front end,
+   admission control and overload shedding, plan-cache correctness under
+   catalog churn, disconnect cancellation, session fault isolation, and a
+   seeded many-client chaos soak with a differential check against a cold
+   instance. *)
+
+open Vida_data
+module Server = Vida_server.Server
+module Frame = Vida_server.Frame
+module G = Vida_governor.Governor
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let tmp_file contents =
+  let path = Filename.temp_file "vida_srv" ".raw" in
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let append_file path contents =
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
+  output_string oc contents;
+  close_out oc
+
+let rm path = try Sys.remove path with Sys_error _ -> ()
+
+let sock_path () =
+  let path = Filename.temp_file "vida_srv" ".sock" in
+  Sys.remove path;
+  path
+
+(* JSON record field access on a parsed reply *)
+let fld reply name =
+  match Value.field_opt reply name with
+  | Some v -> v
+  | None -> Alcotest.failf "reply lacks %S: %s" name (Value.to_json reply)
+
+let fld_str reply name =
+  match fld reply name with
+  | Value.String s -> s
+  | v -> Alcotest.failf "field %S not a string: %s" name (Value.to_json v)
+
+let with_server ?config db f =
+  let srv = Server.create ?config db in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+let with_client srv f =
+  let c = Server.Client.connect (Server.address srv) in
+  Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () -> f c)
+
+let numbers_db () =
+  let path = tmp_file "n\n1\n2\n3\n4\n" in
+  let db = Vida.create () in
+  Vida.csv db ~name:"Nums" ~path ();
+  (db, path)
+
+(* A source whose scan blocks until [gate] opens, polling the governor so
+   cancellation/deadlines are observed promptly. *)
+let gated_db gate =
+  let db = Vida.create () in
+  Vida.external_source db ~name:"SlowSrc" ~element:(Ty.Record [ ("x", Ty.Int) ])
+    ~count:(fun () -> 1)
+    ~produce:(fun consumer ->
+      while not (Atomic.get gate) do
+        G.poll ();
+        Thread.delay 0.002
+      done;
+      consumer (Value.Record [ ("x", Value.Int 7) ]));
+  db
+
+(* --- frame layer ----------------------------------------------------- *)
+
+let test_frame_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Frame.write a "hello";
+  Frame.write a "";
+  Frame.write a (String.make 70_000 'x');
+  check_string "first frame" "hello" (Option.get (Frame.read b));
+  check_string "empty frame" "" (Option.get (Frame.read b));
+  check_int "large frame" 70_000 (String.length (Option.get (Frame.read b)));
+  Unix.close a;
+  check_bool "clean EOF" true (Frame.read b = None);
+  Unix.close b
+
+let test_frame_guards () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* mid-frame EOF: header promises 10 bytes, peer sends 3 then closes *)
+  let buf = Bytes.create 7 in
+  Bytes.set_int32_be buf 0 10l;
+  Bytes.blit_string "abc" 0 buf 4 3;
+  ignore (Unix.write a buf 0 7);
+  Unix.close a;
+  check_bool "truncated frame" true
+    (match Frame.read b with
+    | exception Vida_error.Error (Vida_error.Truncated _) -> true
+    | _ -> false);
+  Unix.close b;
+  (* oversize length prefix is refused before allocation *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 0x40000000l;
+  ignore (Unix.write a hdr 0 4);
+  check_bool "oversize frame" true
+    (match Frame.read ~max_bytes:1024 b with
+    | exception Vida_error.Error (Vida_error.Resource_limit _) -> true
+    | _ -> false);
+  Unix.close a;
+  Unix.close b
+
+(* --- serve / roundtrip ----------------------------------------------- *)
+
+let test_serve_roundtrip () =
+  let db, path = numbers_db () in
+  with_server db (fun srv ->
+      with_client srv (fun c ->
+          let r = Server.Client.query c "for { n <- Nums } yield sum n.n" in
+          check_string "status" "ok" (fld_str r "status");
+          check_string "value" "10" (Value.to_json (fld r "value"));
+          check_bool "id echoed" true (fld r "id" = Value.Int 1);
+          let r = Server.Client.query ~syntax:`Sql c "SELECT COUNT( * ) FROM Nums x" in
+          check_string "sql status" "ok" (fld_str r "status");
+          check_bool "sql id" true (fld r "id" = Value.Int 2);
+          (* typed failure stays on the same connection *)
+          let r = Server.Client.query c "for { n <- Nums } yield sum n.nope" in
+          check_string "error status" "error" (fld_str r "status");
+          check_string "error kind" "type" (fld_str r "kind");
+          let r = Server.Client.query c "for { n <- Nums } yield count n" in
+          check_string "alive after error" "ok" (fld_str r "status"));
+      let st = Server.stats srv in
+      check_int "served" 4 st.Server.served;
+      check_int "shed" 0 st.Server.shed);
+  rm path
+
+let test_serve_unix_socket () =
+  let db, path = numbers_db () in
+  let sock = sock_path () in
+  let config =
+    { Server.default_config with
+      Server.address = Server.Unix_socket sock }
+  in
+  with_server ~config db (fun srv ->
+      with_client srv (fun c ->
+          let r = Server.Client.query c "for { n <- Nums } yield count n" in
+          check_string "status" "ok" (fld_str r "status");
+          check_string "value" "4" (Value.to_json (fld r "value"))));
+  check_bool "socket unlinked after stop" false (Sys.file_exists sock);
+  rm path
+
+let test_bad_request () =
+  let db, path = numbers_db () in
+  with_server db (fun srv ->
+      with_client srv (fun c ->
+          let r =
+            Vida_raw.Json.parse ~source:"reply"
+              (Server.Client.roundtrip c "{\"no_query\": 1}")
+          in
+          check_string "status" "error" (fld_str r "status");
+          check_string "kind" "invalid" (fld_str r "kind");
+          let r =
+            Vida_raw.Json.parse ~source:"reply"
+              (Server.Client.roundtrip c "not json at all")
+          in
+          check_string "unparsable" "error" (fld_str r "status");
+          (* connection survives garbage *)
+          let r = Server.Client.query c "for { n <- Nums } yield count n" in
+          check_string "alive" "ok" (fld_str r "status")));
+  rm path
+
+(* --- plan cache ------------------------------------------------------ *)
+
+let test_plan_cache_markers () =
+  let db, path = numbers_db () in
+  with_server db (fun srv ->
+      with_client srv (fun c ->
+          let q = "for { n <- Nums } yield sum n.n" in
+          let r1 = Server.Client.query c q in
+          check_string "first is a miss" "miss" (fld_str r1 "cache");
+          let r2 = Server.Client.query c q in
+          check_string "second hits" "hit" (fld_str r2 "cache");
+          check_string "hit answer" "10" (Value.to_json (fld r2 "value"));
+          (* the result cache answered too: same instance, same epoch *)
+          check_string "result cache" "hit" (fld_str r2 "result_cache");
+          (* a second connection shares the plan cache *)
+          with_client srv (fun c2 ->
+              let r3 = Server.Client.query c2 q in
+              check_string "cross-session hit" "hit" (fld_str r3 "cache"));
+          (* appending invalidates: fingerprints went stale *)
+          append_file path "5\n";
+          let r4 = Server.Client.query c q in
+          check_string "stale plan dropped" "miss" (fld_str r4 "cache");
+          check_string "fresh answer" "15" (Value.to_json (fld r4 "value"));
+          (* conservative self-invalidation: r4's own refresh bumped the
+             catalog revision after its plan was stamped, so r5 misses
+             once more (and re-primes), then r6 hits *)
+          let r5 = Server.Client.query c q in
+          check_string "re-primed" "miss" (fld_str r5 "cache");
+          let r6 = Server.Client.query c q in
+          check_string "re-cached" "hit" (fld_str r6 "cache")));
+  let st = Vida.stats db in
+  check_bool "hits counted" true (st.Vida.plan_cache_hits >= 3);
+  check_bool "misses counted" true (st.Vida.plan_cache_misses >= 2);
+  rm path
+
+let test_plan_cache_catalog_rev () =
+  (* registration and parameter binds bump the catalog revision, so a
+     cached plan can never leak across a schema-affecting change *)
+  let db, path = numbers_db () in
+  let q = "for { n <- Nums } yield count n" in
+  let miss_then_hit label =
+    match (Vida.query db q, Vida.query db q) with
+    | Ok a, Ok b ->
+      check_bool (label ^ ": first miss") false a.Vida.plan_from_cache;
+      check_bool (label ^ ": then hit") true b.Vida.plan_from_cache
+    | _ -> Alcotest.failf "%s: query failed" label
+  in
+  miss_then_hit "initial";
+  Vida.inline db ~name:"Other" (Value.List [ Value.Int 1 ]);
+  miss_then_hit "after registration";
+  Vida.bind_param db "p" (Value.Int 1);
+  miss_then_hit "after bind_param";
+  rm path
+
+(* --- admission: shedding, tenants, degradation ----------------------- *)
+
+let shed_config =
+  { G.Admission.default_config with
+    G.Admission.max_concurrent = 1; max_queue = 0; per_tenant = 1;
+    queue_timeout_ms = 50.; retry_after_ms = 25. }
+
+let test_overload_shed () =
+  let gate = Atomic.make false in
+  let db = gated_db gate in
+  let config =
+    { Server.default_config with Server.admission = shed_config }
+  in
+  with_server ~config db (fun srv ->
+      with_client srv (fun c1 ->
+          with_client srv (fun c2 ->
+              (* c1 occupies the only admission slot… *)
+              let slow = Thread.create (fun () ->
+                  ignore (Server.Client.query c1 "for { s <- SlowSrc } yield count s")) ()
+              in
+              Thread.delay 0.1;
+              (* …so c2 is shed with the full typed refusal *)
+              let r = Server.Client.query c2 "for { s <- SlowSrc } yield count s" in
+              check_string "status" "error" (fld_str r "status");
+              check_string "kind" "overloaded" (fld_str r "kind");
+              check_bool "exit code 77" true (fld r "code" = Value.Int 77);
+              check_bool "retry-after hint" true
+                (match fld r "retry_after_ms" with
+                | Value.Float f -> f > 0.
+                | _ -> false);
+              Atomic.set gate true;
+              Thread.join slow));
+      let st = Server.stats srv in
+      check_int "one shed" 1 st.Server.shed;
+      check_int "one served" 1 st.Server.served;
+      check_int "no admitted residue" 0 st.Server.admission.G.Admission.running;
+      check_int "no queued residue" 0 st.Server.admission.G.Admission.queued)
+
+let test_per_tenant_cap () =
+  let gate = Atomic.make false in
+  let db = gated_db gate in
+  let config =
+    { Server.default_config with
+      Server.admission =
+        { G.Admission.default_config with
+          G.Admission.max_concurrent = 4; max_queue = 0; per_tenant = 1;
+          queue_timeout_ms = 50.; retry_after_ms = 25. } }
+  in
+  with_server ~config db (fun srv ->
+      with_client srv (fun c1 ->
+          with_client srv (fun c2 ->
+              with_client srv (fun c3 ->
+                  let ra = ref Value.Null and rb = ref Value.Null in
+                  let slow = Thread.create (fun () ->
+                      ra :=
+                        Server.Client.query ~tenant:"acme" c1
+                          "for { s <- SlowSrc } yield count s") ()
+                  in
+                  Thread.delay 0.1;
+                  (* same tenant: capped out; different tenant: admitted *)
+                  let r2 =
+                    Server.Client.query ~tenant:"acme" c2
+                      "for { s <- SlowSrc } yield count s"
+                  in
+                  check_string "same tenant shed" "overloaded"
+                    (fld_str r2 "kind");
+                  let other = Thread.create (fun () ->
+                      rb :=
+                        Server.Client.query ~tenant:"globex" c3
+                          "for { s <- SlowSrc } yield count s") ()
+                  in
+                  Thread.delay 0.05;
+                  Atomic.set gate true;
+                  Thread.join slow;
+                  Thread.join other;
+                  check_string "acme ok" "ok" (fld_str !ra "status");
+                  check_string "globex ok" "ok" (fld_str !rb "status")))))
+
+(* --- disconnect cancellation ----------------------------------------- *)
+
+(* a raw socket we can slam shut mid-query, unlike the polite Client *)
+let raw_connect address =
+  match address with
+  | Server.Tcp { host; port } ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    fd
+  | Server.Unix_socket path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+
+let wait_for ?(timeout_s = 5.) pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () > deadline then false
+    else (
+      Thread.delay 0.01;
+      go ())
+  in
+  go ()
+
+let test_disconnect_cancels () =
+  let gate = Atomic.make false in
+  let db = gated_db gate in
+  with_server db (fun srv ->
+      let fd = raw_connect (Server.address srv) in
+      Frame.write fd "{\"id\": 9, \"query\": \"for { s <- SlowSrc } yield count s\"}";
+      (* let the query reach the gated scan, then vanish *)
+      check_bool "query admitted" true
+        (wait_for (fun () ->
+             (Server.stats srv).Server.admission.G.Admission.running = 1));
+      Unix.close fd;
+      check_bool "disconnect noticed and cancelled" true
+        (wait_for (fun () ->
+             (Server.stats srv).Server.disconnect_cancels = 1));
+      (* the cancelled query's slot and session drain without the gate
+         ever opening: cancellation interrupted the scan *)
+      check_bool "slot released" true
+        (wait_for (fun () ->
+             let st = Server.stats srv in
+             st.Server.admission.G.Admission.running = 0
+             && st.Server.active_connections = 0));
+      let st = Server.stats srv in
+      check_int "no queue residue" 0 st.Server.admission.G.Admission.queued;
+      check_int "pool regions drained" 0
+        st.Server.pool.Vida_raw.Morsel.Pool.active_regions;
+      (* untouched clients keep working afterwards *)
+      Atomic.set gate true;
+      with_client srv (fun c ->
+          let r = Server.Client.query c "for { s <- SlowSrc } yield count s" in
+          check_string "post-cancel query ok" "ok" (fld_str r "status")))
+
+(* --- session fault isolation ----------------------------------------- *)
+
+let test_fault_isolation () =
+  let db, path = numbers_db () in
+  with_server db (fun srv ->
+      with_client srv (fun bad ->
+          with_client srv (fun good ->
+              for i = 1 to 5 do
+                let r = Server.Client.query bad "for { x <- NoSuch } yield count x" in
+                check_string "bad fails" "error" (fld_str r "status");
+                let r =
+                  Server.Client.query good "for { n <- Nums } yield count n"
+                in
+                check_string
+                  (Printf.sprintf "good round %d unaffected" i)
+                  "ok" (fld_str r "status")
+              done)));
+  rm path
+
+(* --- shared-cache stress (satellite): sessions hammering overlapping
+   sources while one appends and one is cancelled mid-scan --------------- *)
+
+let test_shared_cache_stress () =
+  let pa = tmp_file "v\n1\n2\n3\n" in
+  let pb = tmp_file "w\n10\n20\n" in
+  let db = Vida.create () in
+  Vida.csv db ~name:"A" ~path:pa ();
+  Vida.csv db ~name:"B" ~path:pb ();
+  let gate = Atomic.make false in
+  Vida.external_source db ~name:"Gated" ~element:(Ty.Record [ ("x", Ty.Int) ])
+    ~count:(fun () -> 1)
+    ~produce:(fun consumer ->
+      while not (Atomic.get gate) do
+        G.poll ();
+        Thread.delay 0.002
+      done;
+      consumer (Value.Record [ ("x", Value.Int 1) ]));
+  let queries =
+    [| "for { a <- A } yield sum a.v"; "for { a <- A, a.v > 1 } yield count a";
+       "for { b <- B } yield sum b.w"; "for { a <- A, b <- B } yield sum a.v + b.w" |]
+  in
+  let ok = Atomic.make 0 and failed = Atomic.make 0 in
+  (* four reader sessions on their own domains, sharing every cache *)
+  let readers =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let s = Vida.open_session db ~name:(Printf.sprintf "reader-%d" d) in
+            for i = 0 to 19 do
+              match Vida.submit s queries.((d + i) mod 4) with
+              | Ok _ -> Atomic.incr ok
+              | Error _ -> Atomic.incr failed
+            done;
+            Vida.close_session s))
+  in
+  (* one session is cancelled mid-scan on the gated source *)
+  let victim = Vida.open_session db ~name:"victim" in
+  let victim_d =
+    Domain.spawn (fun () -> Vida.submit victim "for { g <- Gated } yield count g")
+  in
+  (* one appender mutating a shared source under the readers *)
+  for _ = 1 to 5 do
+    Thread.delay 0.01;
+    append_file pa "9\n"
+  done;
+  Thread.delay 0.05;
+  Vida.cancel victim ~reason:"stress: mid-scan cancel";
+  let victim_result = Domain.join victim_d in
+  check_bool "victim cancelled, not hung" true
+    (match victim_result with
+    | Error (Vida.Data_error (Vida_error.Cancelled _)) -> true
+    | Error _ -> true (* raced to another typed error: still not a hang *)
+    | Ok _ -> false);
+  List.iter Domain.join readers;
+  Vida.close_session victim;
+  check_int "all reader queries accounted for" 80
+    (Atomic.get ok + Atomic.get failed);
+  check_int "no reader failed" 0 (Atomic.get failed);
+  (* no stale serves: a fresh read sees every appended row *)
+  (match Vida.query db "for { a <- A } yield count a" with
+  | Ok r -> check_string "final count fresh" "8" (Value.to_json r.Vida.value)
+  | Error e -> Alcotest.failf "final read: %s" (Vida.error_to_string e));
+  Atomic.set gate true;
+  rm pa;
+  rm pb
+
+(* --- chaos soak (Slow; CI's server-soak job runs it with [-e]) -------- *)
+
+let test_chaos_soak () =
+  let seed = try int_of_string (Sys.getenv "VIDA_SOAK_SEED") with _ -> 0xC1DA in
+  let path = tmp_file "v\n1\n2\n3\n" in
+  let db = Vida.create () in
+  Vida.csv db ~name:"S" ~path ();
+  let config =
+    { Server.default_config with
+      Server.admission =
+        { G.Admission.default_config with
+          G.Admission.max_concurrent = 4; max_queue = 8;
+          queue_timeout_ms = 2000. } }
+  in
+  let queries =
+    [| "for { s <- S } yield sum s.v"; "for { s <- S } yield count s";
+       "for { s <- S, s.v > 1 } yield count s"; "for { s <- S } yield max s.v" |]
+  in
+  let appends = Atomic.make 0 in
+  with_server ~config db (fun srv ->
+      let results = Array.make 32 [] in
+      let clients =
+        List.init 32 (fun i ->
+            (* per-client generator: the run is replayable from one seed
+               even though clients interleave freely *)
+            let rng = Random.State.make [| seed; i |] in
+            let kill_round =
+              (* a third of the clients die abruptly mid-run *)
+              if i mod 3 = 0 then 2 + Random.State.int rng 4 else max_int
+            in
+            Thread.create
+              (fun () ->
+                let c = Server.Client.connect (Server.address srv) in
+                (try
+                   for round = 0 to 7 do
+                     if round = kill_round then (
+                       Server.Client.close c;
+                       raise Exit);
+                     let q = queries.(Random.State.int rng 4) in
+                     let r =
+                       Server.Client.query
+                         ~tenant:(Printf.sprintf "t%d" (i mod 5))
+                         c q
+                     in
+                     (match fld_str r "status" with
+                     | "ok" ->
+                       results.(i) <-
+                         (q, Value.to_json (fld r "value")) :: results.(i)
+                     | _ ->
+                       check_string "only typed refusals" "overloaded"
+                         (fld_str r "kind"));
+                     Thread.delay (float_of_int (Random.State.int rng 5) /. 500.)
+                   done;
+                   Server.Client.close c
+                 with Exit | Vida_error.Error _ | Unix.Unix_error _ -> ()))
+              ())
+      in
+      (* source mutations under load *)
+      let mutator =
+        Thread.create
+          (fun () ->
+            for _ = 1 to 6 do
+              Thread.delay 0.05;
+              append_file path (Printf.sprintf "%d\n" (4 + Atomic.get appends));
+              Atomic.incr appends
+            done)
+          ()
+      in
+      List.iter Thread.join clients;
+      Thread.join mutator;
+      (* leak check: all occupancy gauges return to zero *)
+      check_bool "admission drained" true
+        (wait_for (fun () ->
+             let g = (Server.stats srv).Server.admission in
+             g.G.Admission.running = 0 && g.G.Admission.queued = 0));
+      check_bool "pool drained" true
+        (wait_for (fun () ->
+             (Server.stats srv).Server.pool.Vida_raw.Morsel.Pool.active_regions
+             = 0));
+      (* differential: every surviving final answer must match a cold
+         instance reading today's file generation *)
+      let cold = Vida.create () in
+      Vida.csv cold ~name:"S" ~path ();
+      let expect q =
+        match Vida.query cold q with
+        | Ok r -> Value.to_json r.Vida.value
+        | Error e -> Alcotest.failf "cold %s: %s" q (Vida.error_to_string e)
+      in
+      (* answers observed after the last append must equal the cold run *)
+      let last_gen = Array.map expect queries in
+      Array.iteri
+        (fun qi q ->
+          (* re-ask through a fresh connection: served from shared caches *)
+          with_client srv (fun c ->
+              let r = Server.Client.query c q in
+              check_string "post-soak status ok" "ok" (fld_str r "status");
+              check_string
+                (Printf.sprintf "differential %s" q)
+                last_gen.(qi)
+                (Value.to_json (fld r "value"))))
+        queries;
+      (* historical answers must be internally consistent: monotone counts
+         under pure appends *)
+      Array.iter
+        (fun per_client ->
+          let counts =
+            List.filter_map
+              (fun (q, v) ->
+                if q = "for { s <- S } yield count s" then int_of_string_opt v else None)
+              per_client
+          in
+          (* results were prepended, so the list is newest-first *)
+          ignore
+            (List.fold_left
+               (fun newer older ->
+                 check_bool "counts monotone under appends" true
+                   (older <= newer);
+                 older)
+               max_int counts))
+        results);
+  rm path
+
+(* Domain sizing is snapshotted at startup: a mid-run environment
+   mutation must never re-size a shared pool between sessions. *)
+let test_env_snapshot () =
+  let module Morsel = Vida_raw.Morsel in
+  let before_resolve = Morsel.resolve () in
+  let before_override = Morsel.override () in
+  Unix.putenv "VIDA_DOMAINS" "63";
+  check_int "resolution immune to mid-run env mutation" before_resolve
+    (Morsel.resolve ());
+  check_bool "override snapshot stable" true
+    (Morsel.override () = before_override)
+
+let tests =
+  [ ("config",
+     [ Alcotest.test_case "VIDA_DOMAINS snapshot" `Quick test_env_snapshot ]);
+    ("frame",
+     [ Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+       Alcotest.test_case "guards" `Quick test_frame_guards ]);
+    ("serve",
+     [ Alcotest.test_case "roundtrip" `Quick test_serve_roundtrip;
+       Alcotest.test_case "unix socket" `Quick test_serve_unix_socket;
+       Alcotest.test_case "bad request" `Quick test_bad_request ]);
+    ("plan cache",
+     [ Alcotest.test_case "markers" `Quick test_plan_cache_markers;
+       Alcotest.test_case "catalog rev" `Quick test_plan_cache_catalog_rev ]);
+    ("admission",
+     [ Alcotest.test_case "overload shed" `Quick test_overload_shed;
+       Alcotest.test_case "per-tenant cap" `Quick test_per_tenant_cap ]);
+    ("cancel",
+     [ Alcotest.test_case "disconnect cancels" `Quick test_disconnect_cancels ]);
+    ("isolation",
+     [ Alcotest.test_case "fault isolation" `Quick test_fault_isolation;
+       Alcotest.test_case "shared-cache stress" `Quick test_shared_cache_stress ]);
+    ("soak", [ Alcotest.test_case "chaos soak" `Slow test_chaos_soak ]) ]
+
+let () = Alcotest.run "server" tests
