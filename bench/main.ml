@@ -1296,6 +1296,198 @@ let serving () =
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* resilience: guarded-path overhead, breaker trip/heal, reconnects    *)
+(* ------------------------------------------------------------------ *)
+
+let resilience () =
+  section "resilience: deadline overhead, breaker recovery, reconnects";
+  let module Server = Vida_server.Server in
+  let module Chaos = Vida_server.Chaos in
+  let module GA = Vida_governor.Governor.Admission in
+  let module GB = Vida_governor.Governor.Breaker in
+  let module Fault = Vida_raw.Fault_inject in
+  let n = max 2_000 (int_of_float (50_000. *. sf)) in
+  let buf = Buffer.create (n * 8) in
+  Buffer.add_string buf "v,k\n";
+  let st = Random.State.make [| 0x7e51 |] in
+  for _ = 1 to n do
+    Buffer.add_string buf
+      (Printf.sprintf "%d,%d\n" (Random.State.int st 1000) (Random.State.int st 10))
+  done;
+  let path = Filename.temp_file "vida_resil" ".csv" in
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  let q = "for { s <- S } yield sum s.v" in
+  let percentile sorted p =
+    if Array.length sorted = 0 then nan
+    else sorted.(min (Array.length sorted - 1)
+                   (int_of_float (p *. float_of_int (Array.length sorted))))
+  in
+  let stats_of lat =
+    let sorted = Array.of_list lat in
+    Array.sort compare sorted;
+    (percentile sorted 0.50 *. 1000., percentile sorted 0.99 *. 1000.)
+  in
+  (* 1. steady-state overhead of the guarded serving path: per-connection
+     deadlines armed and a heartbeat ping interleaved with every request,
+     vs an unguarded server — the deadline machinery costs a [select]
+     per read/write, which must be noise against query time *)
+  let serve_point ~guarded =
+    let db = Vida.create () in
+    Vida.csv db ~name:"S" ~path ();
+    let config =
+      if guarded then
+        { Server.default_config with
+          Server.idle_timeout_ms = Some 5_000.;
+          frame_timeout_ms = Some 2_000.; write_timeout_ms = Some 2_000. }
+      else
+        { Server.default_config with
+          Server.idle_timeout_ms = None; frame_timeout_ms = None;
+          write_timeout_ms = None }
+    in
+    let srv = Server.create ~config db in
+    let c = Server.Client.connect (Server.address srv) in
+    let lat = ref [] in
+    let requests = 120 in
+    for _ = 1 to requests do
+      if guarded then ignore (Server.Client.ping c);
+      let t0 = now_s () in
+      ignore (Server.Client.query c q);
+      lat := (now_s () -. t0) :: !lat
+    done;
+    Server.Client.close c;
+    Server.stop srv;
+    stats_of !lat
+  in
+  let plain_p50, plain_p99 = serve_point ~guarded:false in
+  let guard_p50, guard_p99 = serve_point ~guarded:true in
+  let overhead_pct = 100. *. (guard_p50 -. plain_p50) /. plain_p50 in
+  Printf.printf
+    "guarded path: plain p50 %.3f ms p99 %.3f ms | guarded+heartbeat p50 %.3f \
+     ms p99 %.3f ms (overhead %.1f%%)\n"
+    plain_p50 plain_p99 guard_p50 guard_p99 overhead_pct;
+  (* 2. breaker recovery: a tripped breaker sheds in a hashtable probe
+     where the failing scan costs a full retry loop; a half-open probe
+     closes it as soon as the source heals *)
+  let saved_breaker = GB.config () in
+  GB.reset ();
+  GB.set_config { GB.failure_threshold = 3; cooldown_ms = 150. };
+  let db = Vida.create () in
+  Vida.csv db ~name:"S" ~path ();
+  Fault.install_io_plan
+    (Fault.io_plan ~fail_loads:1_000_000 ~only:(Filename.basename path) ());
+  let failing_s =
+    let t0 = now_s () in
+    ignore (Vida.query db q);
+    now_s () -. t0
+  in
+  let tripped = ref 0 in
+  while GB.state ~source:path <> `Open && !tripped < 10 do
+    incr tripped;
+    ignore (Vida.query db q)
+  done;
+  let shed_s =
+    let t0 = now_s () in
+    ignore (Vida.query db q);
+    now_s () -. t0
+  in
+  Fault.clear_io_plan ();
+  (* heal: from the moment the source recovers, how long until a query
+     flows again (cooldown wait + half-open probe) *)
+  let heal_s =
+    let t0 = now_s () in
+    let rec probe () =
+      match Vida.query db q with
+      | Ok _ -> now_s () -. t0
+      | Error _ ->
+        Thread.delay 0.01;
+        probe ()
+    in
+    probe ()
+  in
+  let breaker_closed = GB.state ~source:path = `Closed in
+  GB.set_config saved_breaker;
+  GB.reset ();
+  let shed_speedup = failing_s /. shed_s in
+  Printf.printf
+    "breaker: failing scan %.2f ms, open-breaker shed %.4f ms (%.0fx \
+     faster), heal-to-first-answer %.1f ms, closed again: %b\n"
+    (failing_s *. 1000.) (shed_s *. 1000.) shed_speedup (heal_s *. 1000.)
+    breaker_closed;
+  (* 3. reconnect recovery: the self-healing client through a resetting
+     proxy — every logical query must be answered; the p99 bounds the
+     reconnect-and-resubmit recovery latency *)
+  let db = Vida.create () in
+  Vida.csv db ~name:"S" ~path ();
+  let srv = Server.create db in
+  let direct_lat = ref [] in
+  let cd = Server.Client.connect (Server.address srv) in
+  for _ = 1 to 60 do
+    let t0 = now_s () in
+    ignore (Server.Client.query cd q);
+    direct_lat := (now_s () -. t0) :: !direct_lat
+  done;
+  Server.Client.close cd;
+  let direct_p50, _ = stats_of !direct_lat in
+  let proxy =
+    Chaos.start ~seed:99
+      ~config:{ Chaos.calm with Chaos.reset_p = 0.25 }
+      (Server.address srv)
+  in
+  let rc =
+    Server.Client.connect_resilient
+      ~retry:
+        { Server.Client.default_retry with
+          Server.Client.max_attempts = 20; base_backoff_ms = 2.;
+          max_backoff_ms = 50.; seed = 17 }
+      (Chaos.address proxy)
+  in
+  let requests = 80 in
+  let lat = ref [] and ok = ref 0 in
+  for _ = 1 to requests do
+    let t0 = now_s () in
+    let reply = Server.Client.rquery rc q in
+    let dt = now_s () -. t0 in
+    lat := dt :: !lat;
+    match Value.field_opt reply "status" with
+    | Some (Value.String "ok") -> incr ok
+    | _ -> ()
+  done;
+  let reconnects = Server.Client.reconnects rc in
+  Server.Client.close_resilient rc;
+  Chaos.stop proxy;
+  Server.stop srv;
+  Sys.remove path;
+  let re_p50, re_p99 = stats_of !lat in
+  Printf.printf
+    "reconnect: %d/%d answered through a resetting proxy (%d reconnects), \
+     p50 %.3f ms p99 %.3f ms (direct p50 %.3f ms)\n"
+    !ok requests reconnects re_p50 re_p99 direct_p50;
+  let all_ok = !ok = requests && shed_speedup > 5. && breaker_closed in
+  let out = "BENCH_resilience.json" in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"resilience\",\n%s  \"rows\": %d,\n\
+    \  \"overhead\": {\"plain_p50_ms\": %.4f, \"plain_p99_ms\": %.4f, \
+     \"guarded_p50_ms\": %.4f, \"guarded_p99_ms\": %.4f, \
+     \"overhead_pct\": %.2f},\n\
+    \  \"breaker\": {\"failing_query_ms\": %.4f, \"open_shed_ms\": %.4f, \
+     \"shed_speedup\": %.1f, \"heal_ms\": %.4f, \"closed_after_heal\": %b},\n\
+    \  \"reconnect\": {\"requests\": %d, \"answered\": %d, \
+     \"reconnects\": %d, \"p50_ms\": %.4f, \"p99_ms\": %.4f, \
+     \"direct_p50_ms\": %.4f},\n\
+    \  \"ok\": %b\n}\n"
+    domains_meta_fields n plain_p50 plain_p99 guard_p50 guard_p99 overhead_pct
+    (failing_s *. 1000.) (shed_s *. 1000.) shed_speedup (heal_s *. 1000.)
+    breaker_closed requests !ok reconnects re_p50 re_p99 direct_p50 all_ok;
+  close_out oc;
+  Printf.printf "\nshape check: shed is %.0fx cheaper than the failing scan, \
+                 every query answered: %b\n" shed_speedup all_ok;
+  if not all_ok then exit 1;
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("table2", table2);
@@ -1312,6 +1504,7 @@ let experiments =
     ("governor", governor);
     ("recovery", recovery);
     ("serving", serving);
+    ("resilience", resilience);
     ("micro", micro)
   ]
 

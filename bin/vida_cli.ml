@@ -525,7 +525,9 @@ let register_all db csvs jsons xmls binarrays =
 
 let serve csvs jsons xmls binarrays listen socket max_concurrent max_queue
     per_tenant queue_timeout_ms retry_after_ms executors pool_domains
-    timeout_ms memory_budget domains on_change =
+    idle_timeout_ms frame_timeout_ms write_timeout_ms drain_ms
+    breaker_threshold breaker_cooldown_ms timeout_ms memory_budget domains
+    on_change =
   let on_change =
     match on_change with
     | None -> Vida_governor.Governor.unlimited.Vida_governor.Governor.on_change
@@ -562,9 +564,26 @@ let serve csvs jsons xmls binarrays listen socket max_concurrent max_queue
       Vida_governor.Governor.Admission.max_concurrent; max_queue; per_tenant;
       queue_timeout_ms; retry_after_ms }
   in
+  Vida_governor.Governor.Breaker.set_config
+    { Vida_governor.Governor.Breaker.failure_threshold = breaker_threshold;
+      cooldown_ms = breaker_cooldown_ms };
+  (* a 0 budget means "disabled"; an absent flag keeps the default *)
+  let opt_ms ~default = function
+    | Some ms when ms > 0. -> Some ms
+    | Some _ -> None
+    | None -> default
+  in
   let config =
     { Server.default_config with
-      Server.address; admission; executors; pool_domains }
+      Server.address; admission; executors; pool_domains;
+      idle_timeout_ms = opt_ms ~default:None idle_timeout_ms;
+      frame_timeout_ms =
+        opt_ms ~default:Server.default_config.Server.frame_timeout_ms
+          frame_timeout_ms;
+      write_timeout_ms =
+        opt_ms ~default:Server.default_config.Server.write_timeout_ms
+          write_timeout_ms;
+      drain_ms }
   in
   let srv = try Server.create ~config db with
     | Unix.Unix_error (err, _, _) ->
@@ -586,7 +605,8 @@ let serve csvs jsons xmls binarrays listen socket max_concurrent max_queue
   Server.stop srv;
   0
 
-let client connect socket use_sql tenant query =
+let client connect socket use_sql tenant retries backoff_ms deadline_ms seed
+    op query =
   let address =
     match (socket, connect) with
     | Some path, _ -> Server.Unix_socket path
@@ -600,15 +620,58 @@ let client connect socket use_sql tenant query =
       prerr_endline "vida client needs --connect HOST:PORT or --socket PATH";
       exit 2
   in
-  let c =
-    try Server.Client.connect address
-    with Unix.Unix_error (err, _, _) ->
-      Printf.eprintf "cannot connect: %s\n" (Unix.error_message err);
+  match op with
+  | Some ("ping" | "health") -> (
+    let c =
+      try Server.Client.connect address
+      with Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "cannot connect: %s\n" (Unix.error_message err);
+        exit 2
+    in
+    Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () ->
+        match op with
+        | Some "ping" ->
+          if Server.Client.ping c then (print_endline "pong"; 0)
+          else (prerr_endline "no pong"; 1)
+        | _ ->
+          print_endline (Vida_data.Value.to_json (Server.Client.health c));
+          0))
+  | Some other ->
+    Printf.eprintf "--op expects ping or health, got %S\n" other;
+    2
+  | None ->
+  let query =
+    match query with
+    | Some q -> q
+    | None ->
+      prerr_endline "vida client needs a QUERY (or --op ping|health)";
       exit 2
   in
+  (* the self-healing path: reconnect-and-resubmit on transport failures,
+     backoff (honoring the server's retry_after_ms hint) on typed sheds,
+     the whole sequence bounded by --deadline-ms *)
+  let retry =
+    { Server.Client.default_retry with
+      Server.Client.max_attempts = max 1 retries;
+      base_backoff_ms = backoff_ms;
+      deadline_ms =
+        (match deadline_ms with Some ms when ms > 0. -> Some ms | _ -> None);
+      seed }
+  in
+  let rc = Server.Client.connect_resilient ~retry address in
   let syntax = if use_sql then `Sql else `Comp in
-  let reply = Server.Client.query ?tenant ~syntax c query in
-  Server.Client.close c;
+  let reply =
+    match Server.Client.rquery ?tenant ~syntax rc query with
+    | reply -> reply
+    | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "cannot connect: %s\n" (Unix.error_message err);
+      exit 2
+    | exception Vida_error.Error e ->
+      Printf.eprintf "data error [%s]: %s\n" (Vida_error.kind_name e)
+        (Vida_error.to_string e);
+      exit (Vida_error.exit_code e)
+  in
+  Server.Client.close_resilient rc;
   let fld name = Vida_data.Value.field_opt reply name in
   match fld "status" with
   | Some (Vida_data.Value.String "ok") ->
@@ -671,9 +734,53 @@ let tenant_arg =
   Arg.(value & opt (some string) None & info [ "tenant" ] ~docv:"NAME"
        ~doc:"Tenant name for per-tenant admission accounting.")
 
+let idle_timeout_arg =
+  Arg.(value & opt (some float) None & info [ "idle-timeout-ms" ] ~docv:"MS"
+       ~doc:"Reap a connection with no request for this long (0 or absent = never; heartbeat pings count as activity).")
+
+let frame_timeout_arg =
+  Arg.(value & opt (some float) None & info [ "frame-timeout-ms" ] ~docv:"MS"
+       ~doc:"A request frame that started must arrive fully within this budget, or the connection is dropped (slowloris protection; 0 = unbounded; default 10000).")
+
+let write_timeout_arg =
+  Arg.(value & opt (some float) None & info [ "write-timeout-ms" ] ~docv:"MS"
+       ~doc:"A reply must drain to the client within this budget, or the connection is dropped (0 = unbounded; default 10000).")
+
+let drain_arg =
+  Arg.(value & opt float 0. & info [ "drain-ms" ] ~docv:"MS"
+       ~doc:"On shutdown, stop accepting and let running queries finish for up to $(docv) before cancelling them (0 = immediate).")
+
+let breaker_threshold_arg =
+  Arg.(value & opt int 5 & info [ "breaker-threshold" ] ~docv:"N"
+       ~doc:"Consecutive IO/parse failures on one source that trip its circuit breaker; further queries over it are shed instantly with exit code 78 until a half-open probe succeeds.")
+
+let breaker_cooldown_arg =
+  Arg.(value & opt float 2000. & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+       ~doc:"How long an open breaker sheds before allowing one half-open probe query through.")
+
+let retries_arg =
+  Arg.(value & opt int 5 & info [ "retries" ] ~docv:"N"
+       ~doc:"Total attempts per query: transport failures reconnect and resubmit under one request id; overloaded/unavailable refusals back off exponentially with jitter, honoring the server's retry-after hint.")
+
+let backoff_arg =
+  Arg.(value & opt float 50. & info [ "backoff-ms" ] ~docv:"MS"
+       ~doc:"First retry backoff; doubles per retry, capped at 2 s.")
+
+let client_deadline_arg =
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
+       ~doc:"Total budget across ALL attempts; the remaining budget rides each request so the server never works past it.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+       ~doc:"Jitter seed (reproducible retry schedules).")
+
+let op_arg =
+  Arg.(value & opt (some string) None & info [ "op" ] ~docv:"ping|health"
+       ~doc:"Send a control frame instead of a query: $(b,ping) prints pong; $(b,health) prints the server's health report (gauges, counters, circuit-breaker states) as JSON.")
+
 let client_query_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
-       ~doc:"Comprehension (or SQL with $(b,--sql)) query to send.")
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY"
+       ~doc:"Comprehension (or SQL with $(b,--sql)) query to send (omit with $(b,--op)).")
 
 let serve_cmd =
   let doc = "serve concurrent framed queries over TCP or a Unix socket" in
@@ -682,6 +789,8 @@ let serve_cmd =
       const serve $ csv_arg $ json_arg $ xml_arg $ binarray_arg $ listen_arg
       $ socket_arg $ max_concurrent_arg $ max_queue_arg $ per_tenant_arg
       $ queue_timeout_arg $ retry_after_arg $ executors_arg $ pool_domains_arg
+      $ idle_timeout_arg $ frame_timeout_arg $ write_timeout_arg $ drain_arg
+      $ breaker_threshold_arg $ breaker_cooldown_arg
       $ timeout_arg $ budget_arg $ domains_arg $ on_change_arg)
 
 let client_cmd =
@@ -689,6 +798,7 @@ let client_cmd =
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
       const client $ connect_arg $ socket_arg $ sql_arg $ tenant_arg
+      $ retries_arg $ backoff_arg $ client_deadline_arg $ seed_arg $ op_arg
       $ client_query_arg)
 
 let cmd =

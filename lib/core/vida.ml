@@ -328,6 +328,16 @@ and run_governed ~engine ~optimize ~reuse ~domains ~note_plan ~session t job :
     | `Expr expr -> Expr.free_vars expr
     | `Plan plan -> Vida_algebra.Plan.free_vars plan
   in
+  (* (registry name, backing path) of every file-backed source the query
+     touches — the keys of their circuit breakers *)
+  let breaker_keys =
+    List.filter_map
+      (fun v ->
+        match Registry.find t.registry v with
+        | Some { Source.name; path = Some path; _ } -> Some (name, path)
+        | _ -> None)
+      refs
+  in
   let retry_budget =
     match t.limits.Governor.on_change with
     | Governor.Retry_fresh n -> max 0 n
@@ -336,6 +346,11 @@ and run_governed ~engine ~optimize ~reuse ~domains ~note_plan ~session t job :
   let rec attempt retries_left =
     let outcome =
       try
+        (* shed before any work when a referenced source's breaker is
+           open: a hashtable probe instead of refresh + pin + scan *)
+        List.iter
+          (fun (_, path) -> Governor.Breaker.check ~source:path)
+          breaker_keys;
         refresh_referenced t refs;
         let epoch = Vida_raw.Epoch.create () in
         let epochs = pin_referenced t epoch refs in
@@ -350,6 +365,29 @@ and run_governed ~engine ~optimize ~reuse ~domains ~note_plan ~session t job :
       Governor.note_fallback ~session ~stage:"epoch-repin"
         ~reason:(source ^ ": " ^ detail) ();
       attempt (retries_left - 1)
+    | Error
+        (Data_error
+           ( Vida_error.Parse_error { source; reason; _ }
+           | Vida_error.Truncated { source; expected = reason; _ } ))
+      when List.exists
+             (fun (name, path) -> source = name || source = path)
+             breaker_keys ->
+      (* parse-level flapping counts against the breaker too (the IO tap
+         lives on the raw-buffer load path); keyed by path, which is what
+         the load-path check consults *)
+      List.iter
+        (fun (name, path) ->
+          if source = name || source = path then
+            Governor.Breaker.failure ~source:path ~reason)
+        breaker_keys;
+      outcome
+    | Ok _ as r ->
+      (* a whole-query success is the breaker's probe success: resets the
+         consecutive-failure counts and closes a half-open breaker *)
+      List.iter
+        (fun (_, path) -> Governor.Breaker.success ~source:path)
+        breaker_keys;
+      r
     | r -> r
   in
   attempt retry_budget
@@ -800,8 +838,23 @@ let close_session s =
       | Some g -> Governor.cancel g ~reason:"session closed"
       | None -> ())
 
-let submit ?engine ?optimize ?reuse ?domains ?(syntax = `Comp) s text =
-  let g = Governor.start ~limits:s.db.limits ~name:s.label () in
+let submit ?engine ?optimize ?reuse ?domains ?deadline_ms ?(syntax = `Comp) s
+    text =
+  (* deadline propagation: a client-supplied remaining budget can only
+     tighten the instance's configured deadline, never widen it *)
+  let limits =
+    match deadline_ms with
+    | None -> s.db.limits
+    | Some d ->
+      let d = Float.max 1. d in
+      { s.db.limits with
+        Governor.deadline_ms =
+          Some
+            (match s.db.limits.Governor.deadline_ms with
+            | Some cur -> Float.min cur d
+            | None -> d) }
+  in
+  let g = Governor.start ~limits ~name:s.label () in
   let admitted =
     Mutex.protect s.s_lock (fun () ->
         if s.closed then false

@@ -299,10 +299,13 @@ val session_db : session -> t
     [`Sql], default comprehension). The query runs under a fresh governor
     session started from the instance limits, registered with [s] so a
     concurrent {!cancel} reaches it. On a closed session, returns
-    [Cancelled] immediately. *)
+    [Cancelled] immediately. [deadline_ms] is the caller's remaining time
+    budget (deadline propagation from a resilient client): it can only
+    tighten the instance's configured deadline, never widen it. *)
 val submit :
   ?engine:engine -> ?optimize:bool -> ?reuse:bool -> ?domains:int ->
-  ?syntax:[ `Comp | `Sql ] -> session -> string -> (result, error) Result.t
+  ?deadline_ms:float -> ?syntax:[ `Comp | `Sql ] -> session -> string ->
+  (result, error) Result.t
 
 (** [cancel s ~reason] trips the in-flight query's cancellation token (a
     no-op when none is running); the query stops at its next cooperative

@@ -14,6 +14,7 @@ type t =
   | Plan_invalid of { stage : string; rule : string option; reason : string }
   | Source_changed of { source : string; detail : string }
   | Overloaded of { source : string; reason : string; retry_after_ms : float }
+  | Source_unavailable of { source : string; reason : string; retry_after_ms : float }
 
 exception Error of t
 
@@ -62,6 +63,11 @@ let overloaded ~source ~retry_after_ms fmt =
     (fun reason -> error (Overloaded { source; reason; retry_after_ms }))
     fmt
 
+let source_unavailable ~source ~retry_after_ms fmt =
+  Format.kasprintf
+    (fun reason -> error (Source_unavailable { source; reason; retry_after_ms }))
+    fmt
+
 let source = function
   | Parse_error { source; _ }
   | Truncated { source; _ }
@@ -73,7 +79,8 @@ let source = function
   | Budget_exceeded { source; _ }
   | Cancelled { source; _ }
   | Source_changed { source; _ }
-  | Overloaded { source; _ } -> source
+  | Overloaded { source; _ }
+  | Source_unavailable { source; _ } -> source
   | Type_invalid { context; _ } -> context
   | Plan_invalid { stage; _ } -> stage
 
@@ -81,7 +88,8 @@ let offset = function
   | Parse_error { offset; _ } | Truncated { offset; _ } -> Some offset
   | Stale_auxiliary _ | Resource_limit _ | Io_failure _ | Invalid_request _
   | Deadline_exceeded _ | Budget_exceeded _ | Cancelled _ | Type_invalid _
-  | Plan_invalid _ | Source_changed _ | Overloaded _ -> None
+  | Plan_invalid _ | Source_changed _ | Overloaded _ | Source_unavailable _ ->
+    None
 
 let kind_name = function
   | Parse_error _ -> "parse"
@@ -97,6 +105,7 @@ let kind_name = function
   | Plan_invalid _ -> "plan"
   | Source_changed _ -> "changed"
   | Overloaded _ -> "overloaded"
+  | Source_unavailable _ -> "unavailable"
 
 let exit_code = function
   | Parse_error _ -> 65
@@ -112,6 +121,7 @@ let exit_code = function
   | Plan_invalid _ -> 75
   | Source_changed _ -> 76
   | Overloaded _ -> 77
+  | Source_unavailable _ -> 78
 
 let pp ppf = function
   | Parse_error { source; offset; reason } ->
@@ -141,6 +151,9 @@ let pp ppf = function
   | Overloaded { source; reason; retry_after_ms } ->
     Format.fprintf ppf "%s: overloaded: %s (retry after %.0f ms)" source reason
       retry_after_ms
+  | Source_unavailable { source; reason; retry_after_ms } ->
+    Format.fprintf ppf "%s: source unavailable: %s (retry after %.0f ms)"
+      source reason retry_after_ms
 
 let to_string e = Format.asprintf "%a" pp e
 

@@ -48,6 +48,13 @@ type t =
           full, queue wait past its deadline, tenant concurrency cap, or
           aggregate memory watermark); [retry_after_ms] is the backoff the
           client should apply before resubmitting *)
+  | Source_unavailable of { source : string; reason : string; retry_after_ms : float }
+      (** the per-source circuit breaker is open: the source failed
+          consecutively often enough that further queries over it are shed
+          immediately instead of paying a full failing scan each;
+          [retry_after_ms] is the remaining cooldown before the breaker
+          half-opens and lets a probe through (see
+          {!Vida_governor.Governor.Breaker}) *)
 
 exception Error of t
 
@@ -81,6 +88,10 @@ val overloaded :
   source:string -> retry_after_ms:float ->
   ('a, Format.formatter, unit, 'b) format4 -> 'a
 
+val source_unavailable :
+  source:string -> retry_after_ms:float ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+
 (** {1 Inspection} *)
 
 val source : t -> string
@@ -89,13 +100,13 @@ val offset : t -> int option  (** byte offset, when the error names one *)
 val kind_name : t -> string
 (** short stable tag: ["parse"], ["truncated"], ["stale"], ["limit"],
     ["io"], ["invalid"], ["deadline"], ["budget"], ["cancelled"],
-    ["type"], ["plan"], ["changed"], ["overloaded"] *)
+    ["type"], ["plan"], ["changed"], ["overloaded"], ["unavailable"] *)
 
 val exit_code : t -> int
 (** distinct process exit code per kind, for CLI surfacing:
     parse 65, truncated 66, stale 67, limit 68, io 69, invalid 70,
     deadline 71, budget 72, cancelled 73, type 74, plan 75, changed 76,
-    overloaded 77. *)
+    overloaded 77, unavailable 78. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -401,6 +401,173 @@ module Admission = struct
   let config t = t.config
 end
 
+(* --- per-source circuit breakers ------------------------------------ *)
+
+(* Where [with_retries] bounds ONE query's exposure to a transient fault,
+   a breaker bounds the POPULATION's exposure to a source that keeps
+   failing: after [failure_threshold] consecutive IO/parse failures the
+   breaker opens and every query touching the source is shed immediately
+   with a typed [Source_unavailable] (exit 78) carrying the remaining
+   cooldown as its retry hint — shedding costs a hashtable probe, not a
+   full failing scan plus retry backoffs. After [cooldown_ms] the breaker
+   half-opens: exactly one caller is let through as the probe; its success
+   closes the breaker, its failure re-opens it for another cooldown.
+
+   State is process-global under one mutex, keyed by the source's backing
+   path (what the raw-buffer load path sees) — the same shape as
+   [Limits]/[Io_fault]: breakers protect sources, not sessions. *)
+module Breaker = struct
+  type config = {
+    failure_threshold : int;  (* consecutive failures that trip the breaker *)
+    cooldown_ms : float;  (* open -> half-open probe delay *)
+  }
+
+  let default_config = { failure_threshold = 5; cooldown_ms = 2000. }
+
+  type state =
+    | Closed of int  (* consecutive failures so far *)
+    | Open of float  (* tripped at (ms timestamp) *)
+    | Half_open of { claimed_at : float; claimant : int option }
+        (* probe in flight: when it was claimed and by which governor
+           session — the claimant's own later checks (the facade
+           pre-check, then the raw-buffer load) must all pass *)
+
+  type entry = {
+    mutable state : state;
+    mutable trips : int;  (* times the breaker opened *)
+    mutable shed_fast : int;  (* queries shed while open *)
+    mutable last_reason : string;
+  }
+
+  type snapshot = {
+    b_source : string;
+    b_state : string;  (* "closed" | "open" | "half-open" *)
+    b_failures : int;  (* consecutive failures while closed *)
+    b_trips : int;
+    b_shed : int;
+    b_reason : string;  (* reason of the last recorded failure *)
+  }
+
+  let cfg = ref default_config
+  let set_config c = cfg := c
+  let config () = !cfg
+
+  let mutex = Mutex.create ()
+  let table : (string, entry) Hashtbl.t = Hashtbl.create 8
+
+  let locked f = Mutex.protect mutex f
+
+  let entry source =
+    match Hashtbl.find_opt table source with
+    | Some e -> e
+    | None ->
+      let e =
+        { state = Closed 0; trips = 0; shed_fast = 0; last_reason = "" }
+      in
+      Hashtbl.add table source e;
+      e
+
+  (* [check ~source] is the gate on the load path. Closed: free pass.
+     Open within cooldown: shed (raises). Open past cooldown: this caller
+     becomes the half-open probe and passes. Half-open with a live probe:
+     shed — one probe at a time, so a flapping source is only ever paying
+     one speculative scan. A probe claim older than a full cooldown is
+     assumed lost (its query died before reporting) and is re-claimed. *)
+  let check ~source =
+    let me = Option.map (fun s -> s.id) (Domain.DLS.get ambient) in
+    let verdict =
+      locked (fun () ->
+          match Hashtbl.find_opt table source with
+          | None | Some { state = Closed _; _ } -> `Pass
+          | Some e -> (
+            let now = now_ms () in
+            let claim () =
+              e.state <- Half_open { claimed_at = now; claimant = me }
+            in
+            match e.state with
+            | Closed _ -> `Pass
+            | Open since ->
+              let remaining = !cfg.cooldown_ms -. (now -. since) in
+              if remaining > 0. then (
+                e.shed_fast <- e.shed_fast + 1;
+                `Shed (remaining, e.last_reason))
+              else (
+                claim ();
+                `Pass)
+            | Half_open { claimed_at; claimant } ->
+              if claimant <> None && claimant = me then `Pass
+              else if now -. claimed_at > !cfg.cooldown_ms then (
+                claim ();
+                `Pass)
+              else (
+                e.shed_fast <- e.shed_fast + 1;
+                `Shed (!cfg.cooldown_ms -. (now -. claimed_at), e.last_reason))))
+    in
+    match verdict with
+    | `Pass -> ()
+    | `Shed (retry_after_ms, reason) ->
+      note_fallback ~stage:"breaker-open" ~reason:source ();
+      Vida_error.source_unavailable ~source
+        ~retry_after_ms:(Float.max 1. retry_after_ms)
+        "circuit breaker open after repeated failures%s"
+        (if reason = "" then "" else ": " ^ reason)
+
+  let success ~source =
+    locked (fun () ->
+        match Hashtbl.find_opt table source with
+        | None | Some { state = Closed 0; _ } -> ()
+        | Some e -> e.state <- Closed 0)
+
+  let failure ~source ~reason =
+    locked (fun () ->
+        let e = entry source in
+        e.last_reason <- reason;
+        match e.state with
+        | Closed n ->
+          if n + 1 >= !cfg.failure_threshold then (
+            e.state <- Open (now_ms ());
+            e.trips <- e.trips + 1)
+          else e.state <- Closed (n + 1)
+        | Half_open _ ->
+          (* the probe failed: straight back to open for another cooldown *)
+          e.state <- Open (now_ms ());
+          e.trips <- e.trips + 1
+        | Open _ -> ())
+
+  (* force-trip, for chaos tests and operational shedding *)
+  let trip ~source ~reason =
+    locked (fun () ->
+        let e = entry source in
+        e.last_reason <- reason;
+        e.state <- Open (now_ms ());
+        e.trips <- e.trips + 1)
+
+  let state ~source =
+    locked (fun () ->
+        match Hashtbl.find_opt table source with
+        | None | Some { state = Closed _; _ } -> `Closed
+        | Some { state = Open _; _ } -> `Open
+        | Some { state = Half_open _; _ } -> `Half_open)
+
+  let snapshot () =
+    locked (fun () ->
+        Hashtbl.fold
+          (fun b_source e acc ->
+            let b_state, b_failures =
+              match e.state with
+              | Closed n -> ("closed", n)
+              | Open _ -> ("open", !cfg.failure_threshold)
+              | Half_open _ -> ("half-open", !cfg.failure_threshold)
+            in
+            { b_source; b_state; b_failures; b_trips = e.trips;
+              b_shed = e.shed_fast; b_reason = e.last_reason }
+            :: acc)
+          table []
+        |> List.sort (fun a b -> compare a.b_source b.b_source))
+
+  let reset () = locked (fun () -> Hashtbl.reset table)
+end
+
 (* --- chaos hooks ---------------------------------------------------- *)
 
 (* Deterministic engine-level fault injection: arm [n] JIT failures and

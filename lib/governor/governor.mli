@@ -194,6 +194,69 @@ module Admission : sig
   val config : t -> config
 end
 
+(** {1 Per-source circuit breakers}
+
+    Where {!with_retries} bounds one query's exposure to a transient
+    fault, a breaker bounds the {e population}'s exposure to a source
+    that keeps failing: after [failure_threshold] consecutive IO/parse
+    failures against a source, further queries over it are shed
+    immediately with a typed [Vida_error.Source_unavailable] (exit code
+    78) carrying the remaining cooldown as a retry hint — a hashtable
+    probe instead of a full failing scan plus retry backoffs. After
+    [cooldown_ms] the breaker half-opens and lets exactly one caller
+    through as a probe; success closes it, failure re-opens it.
+
+    Keyed by the source's backing path; the taps live on the raw-buffer
+    load path ({!Vida_raw.Raw_buffer}) and the query facade. State is
+    process-global (breakers protect sources, not sessions). A breaker
+    opening or shedding is recorded on the ambient session's degradation
+    ladder as a ["breaker-open"] fallback. *)
+module Breaker : sig
+  type config = {
+    failure_threshold : int;  (** consecutive failures that trip it *)
+    cooldown_ms : float;  (** open → half-open probe delay *)
+  }
+
+  val default_config : config
+  (** 5 consecutive failures, 2 s cooldown. *)
+
+  val set_config : config -> unit
+  val config : unit -> config
+
+  val check : source:string -> unit
+  (** the gate on the load path: no-op while closed; raises
+      [Source_unavailable] while open (and counts the fast shed); lets
+      one caller through as the probe once the cooldown elapses. *)
+
+  val success : source:string -> unit
+  (** a successful access: resets the consecutive-failure count and
+      closes a half-open breaker (the probe succeeded). *)
+
+  val failure : source:string -> reason:string -> unit
+  (** a failed access: advances the consecutive count, trips the breaker
+      at the threshold, and re-opens a half-open breaker (probe failed). *)
+
+  val trip : source:string -> reason:string -> unit
+  (** force the breaker open (chaos tests, operational shedding). *)
+
+  val state : source:string -> [ `Closed | `Open | `Half_open ]
+
+  type snapshot = {
+    b_source : string;
+    b_state : string;  (** ["closed"] | ["open"] | ["half-open"] *)
+    b_failures : int;  (** consecutive failures while closed *)
+    b_trips : int;  (** times the breaker opened *)
+    b_shed : int;  (** queries shed while open *)
+    b_reason : string;  (** last recorded failure reason *)
+  }
+
+  val snapshot : unit -> snapshot list
+  (** all known breakers, sorted by source — the serving layer's health
+      report embeds this. *)
+
+  val reset : unit -> unit
+end
+
 (** {1 Engine-level fault injection}
 
     Deterministic chaos hooks for exercising the degradation ladder in

@@ -39,12 +39,23 @@ let force t =
       match t.backing with
       | Memory s -> s
       | File ->
+        (* the per-source circuit breaker sheds immediately while open —
+           a hashtable probe instead of a failing load plus backoffs *)
+        Vida_governor.Governor.Breaker.check ~source:t.path;
         (* transient IO errors are retried with bounded exponential
            backoff under the ambient governor session; persistent ones
-           keep their structured [Io_failure] *)
+           keep their structured [Io_failure] and count against the
+           breaker (one failure per exhausted retry loop, not per
+           attempt) *)
         let s =
-          Vida_governor.Governor.with_retries ~source:t.path (fun () -> load_once t)
+          try
+            Vida_governor.Governor.with_retries ~source:t.path (fun () ->
+                load_once t)
+          with Vida_error.Error (Vida_error.Io_failure { reason; _ }) as e ->
+            Vida_governor.Governor.Breaker.failure ~source:t.path ~reason;
+            raise e
         in
+        Vida_governor.Governor.Breaker.success ~source:t.path;
         (* a load (or reload) mid-query must not hand the query a newer
            generation than the one it pinned at start *)
         !validate_load ~source:t.path s;

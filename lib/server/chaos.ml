@@ -1,0 +1,230 @@
+(* A network fault injector: a TCP/Unix-socket proxy that sits between a
+   client and a server and misbehaves on a seeded schedule. Each pumped
+   chunk draws from a splitmix64 stream owned by the proxy and may be
+   corrupted (bit flips — torn/garbled frames downstream), stalled
+   (held for [stall_ms] — exercises idle/frame deadlines), torn (a prefix
+   forwarded, then both sides reset — a mid-frame kill), reset (both
+   sides dropped immediately) or delayed (fixed per-chunk latency).
+
+   The proxy exists so resilience tests and the bench can subject the
+   REAL serving stack to network pathologies without mocking sockets:
+   the server behind it must keep answering healthy connections, and the
+   self-healing client in front of it must reconnect and resubmit.
+
+   Probabilities are per-chunk and independent; the [seed] makes a run's
+   fault schedule reproducible modulo thread interleaving (tests assert
+   behavior classes — typed errors, drained gauges — not exact fault
+   positions). *)
+
+type config = {
+  corrupt_p : float;  (* flip a few bits in the chunk *)
+  stall_p : float;  (* hold the chunk for stall_ms before forwarding *)
+  stall_ms : float;
+  reset_p : float;  (* drop both sides of the connection *)
+  tear_p : float;  (* forward a prefix of the chunk, then reset *)
+  delay_ms : float;  (* fixed added latency per chunk *)
+}
+
+let calm =
+  { corrupt_p = 0.; stall_p = 0.; stall_ms = 0.; reset_p = 0.; tear_p = 0.;
+    delay_ms = 0. }
+
+type stats = {
+  connections : int;
+  chunks : int;
+  corruptions : int;
+  stalls : int;
+  resets : int;
+  tears : int;
+}
+
+type t = {
+  upstream : Server.address;
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  port : int;
+  lock : Mutex.t;
+  mutable rng : int64;
+  mutable acceptor : Thread.t option;
+  mutable pumps : Thread.t list;
+  mutable s_connections : int;
+  mutable s_chunks : int;
+  mutable s_corruptions : int;
+  mutable s_stalls : int;
+  mutable s_resets : int;
+  mutable s_tears : int;
+}
+
+(* splitmix64 — same generator the fault injector uses; every draw is
+   serialized under the proxy lock *)
+let next_u64 t =
+  Mutex.protect t.lock (fun () ->
+      let open Int64 in
+      t.rng <- add t.rng 0x9E3779B97F4A7C15L;
+      let z = t.rng in
+      let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+      let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+      logxor z (shift_right_logical z 31))
+
+let next_float t =
+  Int64.to_float (Int64.shift_right_logical (next_u64 t) 11)
+  /. 9007199254740992.
+
+let next_int t bound =
+  if bound <= 1 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next_u64 t) 1)
+                       (Int64.of_int bound))
+
+let bump t f = Mutex.protect t.lock f
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let shutdown_quiet fd =
+  try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+(* What to do with one chunk, drawn from the seeded stream. Decisions are
+   checked in severity order; at most one fault per chunk. *)
+let decide t =
+  let p = next_float t in
+  if p < t.cfg.reset_p then `Reset
+  else if p < t.cfg.reset_p +. t.cfg.tear_p then `Tear
+  else if p < t.cfg.reset_p +. t.cfg.tear_p +. t.cfg.corrupt_p then `Corrupt
+  else if
+    p < t.cfg.reset_p +. t.cfg.tear_p +. t.cfg.corrupt_p +. t.cfg.stall_p
+  then `Stall
+  else `Forward
+
+let flip_bits t buf len =
+  let flips = 1 + next_int t 3 in
+  for _ = 1 to flips do
+    let i = next_int t len in
+    let bit = next_int t 8 in
+    Bytes.set buf i
+      (Char.chr (Char.code (Bytes.get buf i) lxor (1 lsl bit)))
+  done
+
+let write_all fd buf len =
+  let rec go pos =
+    if pos < len then
+      match Unix.write fd buf pos (len - pos) with
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+  in
+  go 0
+
+(* Pump one direction until EOF, error, or an injected reset. Killing one
+   direction shuts BOTH fds down so the peer threads unblock too. *)
+let pump t src dst () =
+  let buf = Bytes.create 4096 in
+  let kill () = shutdown_quiet src; shutdown_quiet dst in
+  let rec loop () =
+    match Unix.read src buf 0 (Bytes.length buf) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error _ -> kill ()
+    | 0 -> kill ()
+    | n -> (
+      bump t (fun () -> t.s_chunks <- t.s_chunks + 1);
+      if t.cfg.delay_ms > 0. then Thread.delay (t.cfg.delay_ms /. 1000.);
+      match decide t with
+      | `Reset ->
+        bump t (fun () -> t.s_resets <- t.s_resets + 1);
+        kill ()
+      | `Tear -> (
+        bump t (fun () -> t.s_tears <- t.s_tears + 1);
+        let keep = next_int t n in
+        (try if keep > 0 then write_all dst buf keep
+         with Unix.Unix_error _ -> ());
+        kill ())
+      | `Corrupt | `Stall | `Forward as d -> (
+        (match d with
+        | `Corrupt ->
+          bump t (fun () -> t.s_corruptions <- t.s_corruptions + 1);
+          flip_bits t buf n
+        | `Stall ->
+          bump t (fun () -> t.s_stalls <- t.s_stalls + 1);
+          Thread.delay (t.cfg.stall_ms /. 1000.)
+        | `Forward -> ());
+        match write_all dst buf n with
+        | () -> loop ()
+        | exception Unix.Unix_error _ -> kill ()))
+  in
+  loop ()
+
+let connect_upstream address =
+  match address with
+  | Server.Tcp { host; port } ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+     with e -> close_quiet fd; raise e);
+    fd
+  | Server.Unix_socket path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e -> close_quiet fd; raise e);
+    fd
+
+let accept_loop t () =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error _ -> ()
+    | client_fd, _ ->
+      (match connect_upstream t.upstream with
+      | exception _ -> close_quiet client_fd
+      | up_fd ->
+        bump t (fun () -> t.s_connections <- t.s_connections + 1);
+        (* pumps only [shutdown] on faults; the fds are closed exactly
+           once, after BOTH directions exited, so no pump can race a
+           close against a still-reading sibling *)
+        let p2 = Thread.create (pump t up_fd client_fd) () in
+        let p1 =
+          Thread.create
+            (fun () ->
+              pump t client_fd up_fd ();
+              Thread.join p2;
+              close_quiet client_fd;
+              close_quiet up_fd)
+            ()
+        in
+        bump t (fun () -> t.pumps <- p1 :: t.pumps));
+      loop ()
+  in
+  loop ()
+
+let start ?(seed = 0) ?(config = calm) upstream =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", 0));
+  Unix.listen listen_fd 64;
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let t =
+    { upstream; cfg = config; listen_fd; port; lock = Mutex.create ();
+      rng = Int64.of_int ((seed lxor 0xC4A05) lor 1);
+      acceptor = None; pumps = []; s_connections = 0; s_chunks = 0;
+      s_corruptions = 0; s_stalls = 0; s_resets = 0; s_tears = 0 }
+  in
+  t.acceptor <- Some (Thread.create (accept_loop t) ());
+  t
+
+let address t = Server.Tcp { host = "127.0.0.1"; port = t.port }
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      { connections = t.s_connections; chunks = t.s_chunks;
+        corruptions = t.s_corruptions; stalls = t.s_stalls;
+        resets = t.s_resets; tears = t.s_tears })
+
+let stop t =
+  shutdown_quiet t.listen_fd;
+  close_quiet t.listen_fd;
+  (match t.acceptor with Some th -> Thread.join th | None -> ());
+  (* unblock every pump still bridging a live connection *)
+  let pumps = Mutex.protect t.lock (fun () -> t.pumps) in
+  List.iter (fun th -> try Thread.join th with _ -> ()) pumps;
+  Mutex.protect t.lock (fun () -> t.pumps <- [])

@@ -1,0 +1,45 @@
+(** Network fault injection: a misbehaving proxy for resilience testing.
+
+    [start upstream] listens on a fresh loopback TCP port and bridges
+    every accepted connection to [upstream] (the real {!Server}), pumping
+    bytes in both directions. Each pumped chunk draws from a seeded
+    splitmix64 stream and may be corrupted (bit flips), stalled, torn
+    (a prefix forwarded, then reset), reset outright, or merely delayed —
+    so the {e real} serving stack faces torn frames, half-dead peers and
+    mid-write resets without any socket mocking.
+
+    The [seed] makes the fault schedule reproducible modulo thread
+    interleaving: tests assert behavior classes (typed errors, drained
+    gauges, zero server crashes), not exact fault positions. *)
+
+type config = {
+  corrupt_p : float;  (** per-chunk probability of flipped bits *)
+  stall_p : float;  (** per-chunk probability of a [stall_ms] hold *)
+  stall_ms : float;
+  reset_p : float;  (** per-chunk probability of dropping both sides *)
+  tear_p : float;  (** per-chunk probability of forward-prefix-then-reset *)
+  delay_ms : float;  (** fixed added latency per chunk *)
+}
+
+val calm : config
+(** all probabilities zero: a faithful (if chunked) relay. *)
+
+type stats = {
+  connections : int;
+  chunks : int;
+  corruptions : int;
+  stalls : int;
+  resets : int;
+  tears : int;
+}
+
+type t
+
+val start : ?seed:int -> ?config:config -> Server.address -> t
+(** spawns the acceptor; each connection gets two pump threads. *)
+
+val address : t -> Server.address
+(** the proxy's own loopback address — point clients here. *)
+
+val stats : t -> stats
+val stop : t -> unit

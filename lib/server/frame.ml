@@ -1,40 +1,112 @@
 (* Length-prefixed framing over a stream socket: a 4-byte big-endian
    payload length, then that many bytes of UTF-8 JSON. The length guard
    turns a corrupt or hostile header into a typed error instead of an
-   attempted multi-gigabyte allocation. *)
+   attempted multi-gigabyte allocation.
+
+   All blocking IO here is deadline-capable and EINTR-hardened: reads and
+   writes wait for fd readiness with [Unix.select] (retried on EINTR)
+   under an optional budget, so a stalled peer surfaces as a typed
+   {!Timeout} instead of pinning the calling thread forever. Two read
+   budgets exist because they mean different things: [idle_timeout_ms]
+   bounds the wait for the FIRST byte of a frame (a quiet-but-healthy
+   connection — reaping it is a policy decision), while [frame_timeout_ms]
+   bounds the rest of the frame once its first byte arrived (a peer that
+   started a frame and stalled is slowloris, and is always dropped). *)
 
 let default_max_bytes = 64 * 1024 * 1024
 
-let rec really_write fd buf pos len =
-  if len > 0 then (
-    let n =
-      try Unix.write fd buf pos len
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    really_write fd buf (pos + n) (len - n))
+(* Why the peer's slowness tripped a deadline: waiting for a new frame
+   ([`Idle]), mid-frame ([`Stalled_frame], slowloris), or draining our
+   write ([`Write], a slow reader). *)
+exception Timeout of [ `Idle | `Stalled_frame | `Write ]
 
-(* [really_read] returns how many bytes it could read before EOF. *)
-let really_read fd buf pos len =
-  let rec go pos remaining =
-    if remaining = 0 then len
-    else
-      match Unix.read fd buf pos remaining with
-      | 0 -> len - remaining
-      | n -> go (pos + n) (remaining - n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos remaining
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+(* Wait until [fd] is ready (read or write) or [deadline] (absolute ms,
+   [None] = forever) passes. EINTR during the wait restarts it with the
+   remaining budget. *)
+let wait_ready ~for_write fd deadline timeout_kind =
+  let rec wait () =
+    let budget_s =
+      match deadline with
+      | None -> -1. (* block indefinitely *)
+      | Some d ->
+        let remaining = (d -. now_ms ()) /. 1000. in
+        if remaining <= 0. then raise (Timeout timeout_kind) else remaining
+    in
+    let r, w =
+      if for_write then ([], [ fd ]) else ([ fd ], [])
+    in
+    match Unix.select r w [] budget_s with
+    | [], [], _ -> raise (Timeout timeout_kind)
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  wait ()
+
+let deadline_of = function
+  | None -> None
+  | Some ms -> Some (now_ms () +. ms)
+
+(* A broken pipe or a peer reset mid-write is a disconnect, not a crash:
+   surface it as the typed [Io_failure] connection handlers already treat
+   as "peer gone". (The process must have SIGPIPE ignored — the server
+   and client set that up — or the signal kills us before EPIPE is even
+   returned.) *)
+let rec really_write ?timeout_ms fd buf pos len =
+  let deadline = deadline_of timeout_ms in
+  let rec go pos len =
+    if len > 0 then (
+      (match deadline with
+      | None -> ()
+      | Some _ -> wait_ready ~for_write:true fd deadline `Write);
+      let n =
+        match Unix.write fd buf pos len with
+        | n -> n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          Vida_error.io_failure ~source:"frame" "peer closed the connection"
+      in
+      go (pos + n) (len - n))
   in
   go pos len
 
-let write fd payload =
+and write ?timeout_ms fd payload =
   let len = String.length payload in
   let buf = Bytes.create (4 + len) in
   Bytes.set_int32_be buf 0 (Int32.of_int len);
   Bytes.blit_string payload 0 buf 4 len;
-  really_write fd buf 0 (4 + len)
+  really_write ?timeout_ms fd buf 0 (4 + len)
 
-let read ?(max_bytes = default_max_bytes) fd =
+(* [really_read] returns how many bytes it could read before EOF. When
+   [deadline] passes mid-read, raises [Timeout kind]. *)
+let really_read ?deadline ~kind fd buf pos len =
+  let rec go pos remaining =
+    if remaining = 0 then len
+    else (
+      (match deadline with
+      | None -> ()
+      | Some _ -> wait_ready ~for_write:false fd deadline kind);
+      match Unix.read fd buf pos remaining with
+      | 0 -> len - remaining
+      | n -> go (pos + n) (remaining - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos remaining
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> len - remaining)
+  in
+  go pos len
+
+let read ?(max_bytes = default_max_bytes) ?idle_timeout_ms ?frame_timeout_ms fd
+    =
   let header = Bytes.create 4 in
-  match really_read fd header 0 4 with
+  (* the first byte may take as long as the idle policy allows... *)
+  (match idle_timeout_ms with
+  | None -> ()
+  | Some _ ->
+    wait_ready ~for_write:false fd (deadline_of idle_timeout_ms) `Idle);
+  (* ...but once a frame has started, the whole frame must arrive within
+     the frame budget: a trickling header is the cheapest slowloris *)
+  let deadline = deadline_of frame_timeout_ms in
+  match really_read ?deadline ~kind:`Stalled_frame fd header 0 4 with
   | 0 -> None (* clean EOF between frames: the peer hung up *)
   | n when n < 4 ->
     Vida_error.truncated ~source:"frame" ~offset:n "4-byte frame header"
@@ -44,7 +116,7 @@ let read ?(max_bytes = default_max_bytes) fd =
       Vida_error.resource_limit ~source:"frame" ~what:"frame bytes" ~actual:len
         ~limit:max_bytes;
     let payload = Bytes.create len in
-    let got = really_read fd payload 0 len in
+    let got = really_read ?deadline ~kind:`Stalled_frame fd payload 0 len in
     if got < len then
       Vida_error.truncated ~source:"frame" ~offset:(4 + got)
         "frame payload (%d of %d bytes)" got len

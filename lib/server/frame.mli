@@ -2,18 +2,35 @@
 
     Every message on a connection is one frame: a 4-byte big-endian
     payload length followed by that many bytes of JSON. Both sides read
-    and write frames symmetrically; JSON semantics live in {!Server}. *)
+    and write frames symmetrically; JSON semantics live in {!Server}.
+
+    All blocking IO is EINTR-hardened and optionally deadline-bounded, so
+    a stalled or half-dead peer surfaces as a typed {!Timeout} instead of
+    pinning the calling thread forever. *)
 
 val default_max_bytes : int
 (** 64 MiB — the largest payload {!read} accepts by default. *)
 
-val write : Unix.file_descr -> string -> unit
-(** [write fd payload] sends one complete frame (handles short writes and
-    [EINTR]). *)
+exception Timeout of [ `Idle | `Stalled_frame | `Write ]
+(** a deadline fired: [`Idle] waiting for a frame to start (quiet
+    connection, reap policy), [`Stalled_frame] mid-frame (slowloris —
+    always dropped), [`Write] draining a write to a slow reader. *)
 
-val read : ?max_bytes:int -> Unix.file_descr -> string option
+val write : ?timeout_ms:float -> Unix.file_descr -> string -> unit
+(** [write fd payload] sends one complete frame (handles short writes and
+    [EINTR]). With [timeout_ms], the whole frame must drain within the
+    budget or {!Timeout}[ `Write] is raised. A peer that closed mid-write
+    ([EPIPE]/[ECONNRESET]) raises [Vida_error.Io_failure] — the process
+    must ignore SIGPIPE (the server and client both arrange this). *)
+
+val read :
+  ?max_bytes:int -> ?idle_timeout_ms:float -> ?frame_timeout_ms:float ->
+  Unix.file_descr -> string option
 (** [read fd] blocks for one complete frame. [None] on clean EOF at a
     frame boundary (the peer closed). Raises [Vida_error.Truncated] on a
     mid-frame EOF and [Vida_error.Resource_limit] on a length prefix
     beyond [max_bytes] — a corrupt header never provokes a huge
-    allocation. *)
+    allocation. [idle_timeout_ms] bounds the wait for the frame's first
+    byte ({!Timeout}[ `Idle]); [frame_timeout_ms] bounds the rest of the
+    frame once started ({!Timeout}[ `Stalled_frame] — slowloris
+    protection). *)
