@@ -873,6 +873,168 @@ let governor () =
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* vectorized: batch kernels vs closure engine vs interpreter          *)
+(* ------------------------------------------------------------------ *)
+
+let vectorized_bench () =
+  section "vectorized: fused batch kernels vs closure vs interpreter (1 domain)";
+  let n = max 10_000 (int_of_float (4_000_000. *. sf)) in
+  (* same wide CSV the parallel experiment scans *)
+  if not (Sys.file_exists data_dir) then Sys.mkdir data_dir 0o755;
+  let path = Filename.concat data_dir (Printf.sprintf "parallel_%d.csv" n) in
+  if not (Sys.file_exists path) then (
+    let oc = open_out_bin path in
+    output_string oc "id,age,x,y,z\n";
+    for i = 1 to n do
+      output_string oc
+        (Printf.sprintf "%d,%d,%.3f,%.3f,%.3f\n" i (18 + (i mod 80))
+           (sin (float_of_int i))
+           (cos (float_of_int i))
+           (float_of_int (i mod 97) /. 9.7))
+    done;
+    close_out oc);
+  let db = Vida.create () in
+  Vida.set_domains db 1;
+  Vida.csv db ~name:"Wide" ~path ();
+  let run ?engine q =
+    match Vida.query ?engine ~reuse:false db q with
+    | Ok r -> (r.Vida.value, r.Vida.governor)
+    | Error e -> failwith (Vida.error_to_string e)
+  in
+  let value_of ?engine q = fst (run ?engine q) in
+  let close a b =
+    match (a, b) with
+    | Value.Float a, Value.Float b ->
+      Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.abs a)
+    | a, b -> Value.equal a b
+  in
+  (* each engine is timed warm (caches settled by an untimed run) so the
+     comparison isolates execution, not decode/structure builds *)
+  (* best of three timed blocks: the first block after an engine switch
+     carries the previous engine's GC debt and the allocator/frequency
+     warm-up, which showed up as 2-3x inflation in single-block runs *)
+  let measure ?engine ~repeat q =
+    ignore (value_of ?engine q);
+    let block () =
+      Gc.major ();
+      let (), wall =
+        time (fun () -> for _ = 1 to repeat do ignore (value_of ?engine q) done)
+      in
+      wall /. float_of_int repeat
+    in
+    let b1 = block () in
+    let b2 = block () in
+    let b3 = block () in
+    Float.min b1 (Float.min b2 b3)
+  in
+  let scan_q = "for { p <- Wide, p.age > 30 } yield sum p.x" in
+  let agg_q = "for { p <- Wide } yield avg p.x * p.y + p.z" in
+  let workloads = [ ("scan_heavy", scan_q); ("aggregate_heavy", agg_q) ] in
+  let sweep_sizes = [ 1024; 4096; 16384 ] in
+  let repeat = 10 in
+  Printf.printf "(%d rows, 1 domain, %d reps warm; batch sweep %s rows)\n\n" n
+    repeat
+    (String.concat "/" (List.map string_of_int sweep_sizes));
+  let all_ok = ref true in
+  let rows =
+    List.map
+      (fun (name, q) ->
+        (* the generic interpreter is the semantic reference *)
+        let reference = value_of ~engine:Vida.Generic q in
+        let interp_wall = measure ~engine:Vida.Generic ~repeat:2 q in
+        Vida.set_vectorized false;
+        let closure_wall, closure_v =
+          Fun.protect
+            ~finally:(fun () -> Vida.set_vectorized true)
+            (fun () -> (measure ~repeat q, value_of q))
+        in
+        Vida.set_batch_rows 4096;
+        let vector_wall = measure ~repeat q in
+        let vector_v, grep = run q in
+        (* a speedup claim over a silently-degraded run would be bogus:
+           demand the vectorized rung actually executed batches *)
+        if grep.Vida_governor.Governor.batches = 0 then (
+          Printf.printf "%-18s DID NOT VECTORIZE (fallbacks: %s)\n" name
+            (String.concat "; "
+               (List.map
+                  (fun f -> f.Vida_governor.Governor.reason)
+                  grep.Vida_governor.Governor.fallbacks));
+          all_ok := false);
+        let ok = close reference closure_v && close reference vector_v in
+        if not ok then all_ok := false;
+        let sweep =
+          List.map
+            (fun b ->
+              Vida.set_batch_rows b;
+              let w = measure ~repeat q in
+              let sok = close reference (value_of q) in
+              if not sok then all_ok := false;
+              (b, w, sok))
+            sweep_sizes
+        in
+        Vida.set_batch_rows 4096;
+        Printf.printf
+          "%-18s interp %8.2f ms   closure %8.2f ms   vectorized %8.2f ms   \
+           (%.1fx vs closure, %.1fx vs interp)%s\n"
+          name (interp_wall *. 1000.) (closure_wall *. 1000.)
+          (vector_wall *. 1000.)
+          (closure_wall /. vector_wall)
+          (interp_wall /. vector_wall)
+          (if ok then "" else "  DIVERGED");
+        List.iter
+          (fun (b, w, sok) ->
+            Printf.printf "%-18s   batch %6d %8.2f ms%s\n" "" b (w *. 1000.)
+              (if sok then "" else "  DIVERGED"))
+          sweep;
+        ( name, q, interp_wall, closure_wall, vector_wall, ok,
+          grep.Vida_governor.Governor.batches,
+          grep.Vida_governor.Governor.batch_rows_p50, sweep ))
+      workloads
+  in
+  let out = "BENCH_vectorized.json" in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"vectorized\",\n%s  \"scale\": %.3f,\n  \"rows\": %d,\n\
+    \  \"batch_rows_default\": 4096,\n  \"workloads\": [\n"
+    domains_meta_fields sf n;
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun k (name, q, iw, cw, vw, ok, batches, p50, sweep) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"query\": %S,\n\
+        \     \"interp_wall_s\": %.6f, \"closure_wall_s\": %.6f, \
+         \"vectorized_wall_s\": %.6f,\n\
+        \     \"speedup_vs_closure\": %.3f, \"speedup_vs_interp\": %.3f,\n\
+        \     \"batches\": %d, \"rows_per_batch_p50\": %d,\n\
+        \     \"batch_sweep\": ["
+        name q iw cw vw (cw /. vw) (iw /. vw) batches p50;
+      let slast = List.length sweep - 1 in
+      List.iteri
+        (fun j (b, w, sok) ->
+          Printf.fprintf oc
+            "{\"batch_rows\": %d, \"wall_s\": %.6f, \"differential_ok\": %b}%s"
+            b w sok
+            (if j = slast then "" else ",\n                      "))
+        sweep;
+      Printf.fprintf oc "],\n     \"differential_ok\": %b}%s\n" ok
+        (if k = last then "" else ",")
+    )
+    rows;
+  Printf.fprintf oc
+    "  ],\n  \"differential_ok\": %b,\n\
+    \  \"note\": \"wall times measured on whatever this container offers \
+     (see resolved_domains/recommended_domains); the engine comparison is \
+     single-domain by construction, so the speedups are per-core kernel \
+     effects, not parallelism\"\n}\n"
+    !all_ok;
+  close_out oc;
+  Printf.printf "\nall engines agree on every run: %b\n" !all_ok;
+  (* differential divergence is a correctness bug, not a slow run: CI keys
+     off the exit code *)
+  if not !all_ok then exit 1;
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* parallel: morsel-driven execution across domain budgets             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1501,6 +1663,7 @@ let experiments =
     ("ablation-zonemaps", ablation_zonemaps);
     ("ablation-parallel", ablation_parallel);
     ("parallel", parallel_bench);
+    ("vectorized", vectorized_bench);
     ("governor", governor);
     ("recovery", recovery);
     ("serving", serving);

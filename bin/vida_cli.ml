@@ -109,6 +109,8 @@ let repl db ~engine ~output_json =
       \                       retry[=N] (re-pin a fresh epoch, default N=2) | fail\n\
       \  .epochs              pinned source generations of the last query\n\
       \  .domains N           worker-domain budget for parallel scans (1 = sequential)\n\
+      \  .batch N             vectorized batch stride in rows (default 4096)\n\
+      \  .vector on|off       enable/disable the vectorized engine rung\n\
       \  .analyze QUERY       verify + lint the plan without executing it\n\
       \  .verify MODE         plan-verifier mode (off|warn|strict)\n\
       \  .checkpoint          persist positional maps next to their files\n\
@@ -212,6 +214,23 @@ let repl db ~engine ~output_json =
       Printf.printf "domain budget set to %d\n" (Vida.domains db)
     | _ -> print_endline "expected a positive domain count"
   in
+  let set_batch rest =
+    match int_of_string_opt (String.trim rest) with
+    | Some n when n >= 1 ->
+      Vida.set_batch_rows n;
+      Printf.printf "vectorized batch stride set to %d rows\n" (Vida.batch_rows ())
+    | _ -> print_endline "expected a positive row count"
+  in
+  let set_vector rest =
+    match String.lowercase_ascii (String.trim rest) with
+    | "on" | "1" | "true" ->
+      Vida.set_vectorized true;
+      print_endline "vectorized engine enabled"
+    | "off" | "0" | "false" ->
+      Vida.set_vectorized false;
+      print_endline "vectorized engine disabled (closure engine serves all queries)"
+    | _ -> print_endline "expected on or off"
+  in
   let set_clean rest =
     match String.index_opt rest '=' with
     | Some i when i > 0 -> (
@@ -260,6 +279,10 @@ let repl db ~engine ~output_json =
          set_limit (String.sub line 7 (String.length line - 7))
        else if String.length line > 9 && String.sub line 0 9 = ".domains " then
          set_domains (String.sub line 9 (String.length line - 9))
+       else if String.length line > 7 && String.sub line 0 7 = ".batch " then
+         set_batch (String.sub line 7 (String.length line - 7))
+       else if String.length line > 8 && String.sub line 0 8 = ".vector " then
+         set_vector (String.sub line 8 (String.length line - 8))
        else if String.length line > 5 && String.sub line 0 5 = ".csv " then
          register_line `Csv (String.trim (String.sub line 5 (String.length line - 5)))
        else if String.length line > 6 && String.sub line 0 6 = ".json " then

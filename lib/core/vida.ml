@@ -70,6 +70,12 @@ let set_domains t d =
   bump_rev t
 let domains t = t.ctx.Plugins.domains
 
+let set_batch_rows n = Vida_engine.Vector.set_batch_rows n
+let batch_rows () = Vida_engine.Vector.batch_rows ()
+let set_vectorized b = Vida_engine.Vector.set_enabled b
+let vectorized () = Vida_engine.Vector.enabled ()
+let vector_stats () = Vida_engine.Vector.stats ()
+
 let csv t ~name ~path ?delim ?header ?schema () =
   ignore (Registry.register_csv t.registry ~name ~path ?delim ?header ?schema ());
   bump_rev t

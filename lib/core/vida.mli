@@ -56,6 +56,25 @@ val set_domains : t -> int -> unit
 (** [domains t] — the current domain budget. *)
 val domains : t -> int
 
+(** {1 Vectorized execution}
+
+    Process-global knobs of the vectorized batch engine (the
+    vectorized→closure→generic degradation ladder's top rung); see
+    {!Vida_engine.Vector}. [set_batch_rows] sets the morsel-local batch
+    stride (floored at 1; the [VIDA_BATCH_ROWS] environment variable sets
+    the initial value); [set_vectorized false] disables the rung entirely
+    ([VIDA_VECTOR=0] does the same at startup). *)
+
+val set_batch_rows : int -> unit
+val batch_rows : unit -> int
+val set_vectorized : bool -> unit
+val vectorized : unit -> bool
+
+(** [vector_stats ()] — process-wide vectorization counters (kernels
+    compiled, batches executed, rows, fallbacks with recent reasons), the
+    serving layer's health report embeds these. *)
+val vector_stats : unit -> Vida_engine.Vector.stats
+
 (** {1 Registering raw sources}
 
     Registration snapshots the file and (for CSV/JSON without an explicit

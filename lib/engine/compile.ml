@@ -452,8 +452,33 @@ and compile_ops ctx slots needs flushes env (p : Plan.t) (consume : unit -> unit
           consume ())
         (List.rev !order)
 
+(* Degradation ladder, vectorized rung (ISSUE 8): plans matching the
+   vectorized fragment run as fused batch kernels; a static decline or a
+   runtime [Not_vectorizable] (columns turn out untypeable, no columnar
+   view under the active cleaning policy) is recorded as the
+   ["vectorized->closure"] fallback and the closure engine takes over.
+   Plans outside the fragment ([`Silent]) go straight to the closure
+   engine — that is their designed path, not a degradation. *)
 let query ctx plan =
-  let run = compile_query ctx ~outer_slots:[] plan in
-  fun () -> run (fun _ -> ())
+  let closure () =
+    let run = compile_query ctx ~outer_slots:[] plan in
+    fun () -> run (fun _ -> ())
+  in
+  match Vector.compile ctx plan with
+  | `Silent -> closure ()
+  | `Decline reason ->
+    let run = closure () in
+    fun () ->
+      Governor.note_fallback ~stage:"vectorized->closure" ~reason ();
+      run ()
+  | `Run vrun ->
+    let fallback = lazy (closure ()) in
+    fun () -> (
+      match vrun () with
+      | v -> v
+      | exception Vector.Not_vectorizable reason ->
+        Vector.note_fallback_stats reason;
+        Governor.note_fallback ~stage:"vectorized->closure" ~reason ();
+        (Lazy.force fallback) ())
 
 let scalar ctx ~slots e = compile_scalar ctx slots e

@@ -200,7 +200,41 @@ let merge_partials monoid partials =
 
 (* --- Reduce over a single chain ------------------------------------- *)
 
-let fold_chain ctx ~domains ~monoid ~head (c : chain) =
+(* Vectorized rung inside morsels: the kernel is compiled once on the
+   calling domain (typing the promoted columns); each worker instantiates
+   its own scratch and folds its ranges batch-at-a-time. Partials are the
+   same pre-finalize accumulator carriers the tuple path produces, so
+   {!merge_partials} is unchanged. A kernel that cannot be built (untyped
+   columns, unsupported expression) records the vectorized->closure rung
+   and the tuple-at-a-time loop below takes over. *)
+let fold_chain_vectorized ctx ~domains ~monoid ~head (c : chain) =
+  let steps =
+    List.map
+      (function
+        | Filter pred -> Vector.VFilter pred
+        | Bind (v, e) -> Vector.VBind (v, e))
+      c.steps
+  in
+  match
+    Vector.compile_chain ctx ~name:c.name ~var:c.var ~columns:c.columns
+      ~nrows:c.n ~steps ~monoid ~head
+  with
+  | Error reason ->
+    Vector.note_fallback_stats reason;
+    Governor.note_fallback ~stage:"vectorized->closure" ~reason ();
+    None
+  | Ok kernel ->
+    let ranges = morsel_ranges c.n domains in
+    let partials =
+      Morsel.run ~domains ~tasks:(Array.length ranges) (fun t ->
+          let inst = Vector.instantiate kernel in
+          let lo, hi = ranges.(t) in
+          Vector.run_range inst ~lo ~hi)
+    in
+    Vector.flush_feedback ctx kernel;
+    Some (Monoid.finalize monoid (merge_partials monoid partials))
+
+let fold_chain_rows ctx ~domains ~monoid ~head (c : chain) =
   let vars = chain_vars c.var c.steps in
   let slots = List.mapi (fun i v -> (v, i)) vars in
   let nslots = List.length vars in
@@ -223,6 +257,11 @@ let fold_chain ctx ~domains ~monoid ~head (c : chain) =
   (* indexed merge: partials combine in morsel (= source) order, which is
      what makes non-commutative monoids (list/array concat) correct *)
   Monoid.finalize monoid (merge_partials monoid partials)
+
+let fold_chain ctx ~domains ~monoid ~head (c : chain) =
+  match fold_chain_vectorized ctx ~domains ~monoid ~head c with
+  | Some v -> v
+  | None -> fold_chain_rows ctx ~domains ~monoid ~head c
 
 (* --- bare chain: parallel filtered/projected materialization --------- *)
 

@@ -1,0 +1,1272 @@
+open Vida_data
+open Vida_calculus
+open Vida_algebra
+open Vida_catalog
+module Governor = Vida_governor.Governor
+module Epoch = Vida_raw.Epoch
+module Binarray = Vida_raw.Binarray
+module BA1 = Bigarray.Array1
+
+(* Vectorized batch execution (paper §4: "operate over raw data as fast as
+   the hardware allows").
+
+   The closure engine executes tuple-at-a-time: per row it pays a governor
+   poll, a record allocation, a closure call per operator and a monoid
+   merge allocation. This module replaces that hot loop for the commonest
+   plan shape — Reduce over a Select*/Map* chain on one columnar source —
+   with batch-at-a-time kernels:
+
+   - source columns live in unboxed buffers ([Bigarray] float64/int) plus
+     a byte validity mask (1 = non-NULL), promoted once per physical
+     column (memoized) or batch-decoded straight out of a binary-array
+     file ({!Binarray.fill_floats});
+   - a selection vector (row indices surviving the filters so far) is
+     threaded through the operators instead of materializing intermediate
+     rows; filters compact it in place, binds evaluate into dense buffers
+     aligned with it;
+   - select→map→reduce is fused: each batch runs a handful of tight array
+     loops and folds directly into a scalar accumulator;
+   - governor cancellation polls, epoch ticks and memory charges are
+     hoisted to batch boundaries ({!Governor.poll_batch} advances the poll
+     counter by the whole batch, so deadline/cancellation/budget semantics
+     stay record-equivalent).
+
+   Scalar semantics are bit-compatible with {!Eval.eval_binop} /
+   {!Monoid}: Int-vs-Float result types are preserved by typing every
+   kernel statically (a column mixing Int and Float declines), comparisons
+   use [Float.compare] (NaN totally ordered, as [Value.compare] does),
+   integer division/modulo by zero raise the same {!Eval.Error}s, NULLs
+   propagate through validity masks, and the sequential entry accumulates
+   in row order so float folds associate exactly as the closure engine's.
+
+   Anything outside the fragment — other monoids, non-scalar expressions,
+   mixed-type or non-scalar columns, sources without a columnar view
+   (cleaning policies skipping rows, external producers) — declines with a
+   reason; {!Compile.query} records it as the ["vectorized->closure"] rung
+   of the degradation ladder and runs the closure engine instead. *)
+
+exception Not_vectorizable of string
+
+let decline fmt = Format.kasprintf (fun s -> raise (Not_vectorizable s)) fmt
+
+(* --- configuration ---------------------------------------------------- *)
+
+let default_batch_rows = 4096
+
+let env_batch_rows =
+  match Sys.getenv_opt "VIDA_BATCH_ROWS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | _ -> None)
+
+let batch_rows_ref = ref (Option.value env_batch_rows ~default:default_batch_rows)
+let set_batch_rows n = batch_rows_ref := max 1 n
+let batch_rows () = !batch_rows_ref
+
+let enabled_ref =
+  ref
+    (match Sys.getenv_opt "VIDA_VECTOR" with
+    | Some ("0" | "off" | "false") -> false
+    | _ -> true)
+
+let set_enabled b = enabled_ref := b
+let enabled () = !enabled_ref
+
+(* --- process-global statistics (server health) ------------------------ *)
+
+type stats = {
+  kernels : int;  (* queries (or morsel fleets) that compiled a kernel *)
+  batches : int;
+  rows : int;
+  fallbacks : int;
+  batch_rows_p50 : int;  (* over recent batches *)
+  last_fallbacks : string list;  (* most recent reasons, newest first *)
+}
+
+let s_kernels = Atomic.make 0
+let s_batches = Atomic.make 0
+let s_rows = Atomic.make 0
+let s_fallbacks = Atomic.make 0
+let ring_cap = 256
+let s_ring = Array.make ring_cap 0
+let s_cursor = Atomic.make 0
+let reasons_mutex = Mutex.create ()
+let s_reasons : string list ref = ref []
+
+let note_batch rows =
+  ignore (Atomic.fetch_and_add s_batches 1);
+  ignore (Atomic.fetch_and_add s_rows rows);
+  let slot = Atomic.fetch_and_add s_cursor 1 in
+  s_ring.(slot mod ring_cap) <- rows
+
+let note_global_fallback reason =
+  ignore (Atomic.fetch_and_add s_fallbacks 1);
+  Mutex.protect reasons_mutex (fun () ->
+      s_reasons :=
+        reason :: (if List.length !s_reasons >= 8 then List.filteri (fun i _ -> i < 7) !s_reasons else !s_reasons))
+
+let stats () =
+  let filled = min (Atomic.get s_cursor) ring_cap in
+  let p50 =
+    if filled = 0 then 0
+    else begin
+      let xs = Array.sub s_ring 0 filled in
+      Array.sort compare xs;
+      xs.(filled / 2)
+    end
+  in
+  { kernels = Atomic.get s_kernels; batches = Atomic.get s_batches;
+    rows = Atomic.get s_rows; fallbacks = Atomic.get s_fallbacks;
+    batch_rows_p50 = p50;
+    last_fallbacks = Mutex.protect reasons_mutex (fun () -> !s_reasons) }
+
+let reset_stats () =
+  Atomic.set s_kernels 0;
+  Atomic.set s_batches 0;
+  Atomic.set s_rows 0;
+  Atomic.set s_fallbacks 0;
+  Atomic.set s_cursor 0;
+  Mutex.protect reasons_mutex (fun () -> s_reasons := [])
+
+(* --- unboxed columns -------------------------------------------------- *)
+
+type fcol = (float, Bigarray.float64_elt, Bigarray.c_layout) BA1.t
+type icol = (int, Bigarray.int_elt, Bigarray.c_layout) BA1.t
+
+(* A source column. Validity [None] means every row is non-NULL (the
+   gather loops skip the mask copy). [ColRaw*] columns are batch-decoded
+   straight from the binary-array file into per-instance staging buffers —
+   no whole-column materialization at all. *)
+type col =
+  | ColF of fcol * Bytes.t option
+  | ColI of icol * Bytes.t option
+  | ColB of Bytes.t * Bytes.t option
+  | ColRawF of Binarray.t * int
+  | ColRawI of Binarray.t * int
+
+type vty = TF | TI | TB
+
+let col_ty = function
+  | ColF _ | ColRawF _ -> TF
+  | ColI _ | ColRawI _ -> TI
+  | ColB _ -> TB
+
+(* Promote a boxed (policy-cleaned, cache-resident) column to its unboxed
+   form. The type is exact, never widened: a column mixing Int and Float
+   declines, because Int-vs-Float result typing in {!Eval} is per-row and
+   a widened column would change result types. *)
+let promote ~field (arr : Value.t array) : col =
+  let n = Array.length arr in
+  let kind = ref `Unknown and nulls = ref false in
+  (try
+     for i = 0 to n - 1 do
+       match Array.unsafe_get arr i with
+       | Value.Null -> nulls := true
+       | Value.Float _ -> (
+         match !kind with `Unknown -> kind := `F | `F -> () | _ -> raise Exit)
+       | Value.Int _ -> (
+         match !kind with `Unknown -> kind := `I | `I -> () | _ -> raise Exit)
+       | Value.Bool _ -> (
+         match !kind with `Unknown -> kind := `B | `B -> () | _ -> raise Exit)
+       | _ -> raise Exit
+     done
+   with Exit -> decline "column %s is not a uniform numeric/bool column" field);
+  let validity () =
+    if not !nulls then None
+    else begin
+      let v = Bytes.make n '\001' in
+      for i = 0 to n - 1 do
+        if arr.(i) = Value.Null then Bytes.unsafe_set v i '\000'
+      done;
+      Some v
+    end
+  in
+  match !kind with
+  | `Unknown -> decline "column %s has no typed values" field
+  | `F ->
+    let a = BA1.create Bigarray.float64 Bigarray.c_layout n in
+    for i = 0 to n - 1 do
+      match Array.unsafe_get arr i with
+      | Value.Float f -> BA1.unsafe_set a i f
+      | _ -> BA1.unsafe_set a i 0.
+    done;
+    ColF (a, validity ())
+  | `I ->
+    let a = BA1.create Bigarray.int Bigarray.c_layout n in
+    for i = 0 to n - 1 do
+      match Array.unsafe_get arr i with
+      | Value.Int x -> BA1.unsafe_set a i x
+      | _ -> BA1.unsafe_set a i 0
+    done;
+    ColI (a, validity ())
+  | `B ->
+    let a = Bytes.make n '\000' in
+    for i = 0 to n - 1 do
+      match Array.unsafe_get arr i with
+      | Value.Bool true -> Bytes.unsafe_set a i '\001'
+      | _ -> ()
+    done;
+    ColB (a, validity ())
+
+(* Promotion memo, keyed by physical identity of the boxed column: the
+   plugins cache hands out the same immutable array until invalidation,
+   and live-data extension replaces arrays wholesale, so [==] is exact.
+   Bounded FIFO; a stale entry simply ages out. *)
+let memo : (Value.t array * col) list ref = ref []
+let memo_mutex = Mutex.create ()
+let memo_cap = 64
+
+let promote_memo ~field arr =
+  match
+    Mutex.protect memo_mutex (fun () ->
+        List.find_opt (fun (a, _) -> a == arr) !memo)
+  with
+  | Some (_, c) -> c
+  | None ->
+    let c = promote ~field arr in
+    Mutex.protect memo_mutex (fun () ->
+        let kept =
+          if List.length !memo >= memo_cap then
+            List.filteri (fun i _ -> i < memo_cap - 1) !memo
+          else !memo
+        in
+        memo := (arr, c) :: kept);
+    c
+
+(* --- typed kernel IR -------------------------------------------------- *)
+
+(* Every node carries its static result type; Int->Float coercions are
+   explicit ([XItoF]), inserted where {!Eval.eval_binop}'s mixed-operand
+   rules would convert. [XDivF]'s flag marks a statically-Int divisor:
+   eval raises on [_ / Int 0] even when the dividend is Float, and the
+   Int->Float conversion is exact at 0, so the check survives coercion. *)
+type vx =
+  | XConstF of float
+  | XConstI of int
+  | XConstB of bool
+  | XColF of int
+  | XColI of int
+  | XColB of int
+  | XBind of int * vty
+  | XItoF of vx
+  | XArithF of Expr.binop * vx * vx
+  | XArithI of Expr.binop * vx * vx
+  | XDivF of vx * vx * bool  (* divisor statically Int: zero still raises *)
+  | XDivI of vx * vx
+  | XModI of vx * vx
+  | XCmpF of Expr.binop * vx * vx
+  | XCmpI of Expr.binop * vx * vx
+  | XAnd of vx * vx
+  | XOr of vx * vx
+  | XNot of vx
+  | XNegF of vx
+  | XNegI of vx
+
+let vx_ty = function
+  | XConstF _ | XColF _ | XItoF _ | XArithF _ | XDivF _ | XNegF _ -> TF
+  | XConstI _ | XColI _ | XArithI _ | XDivI _ | XModI _ | XNegI _ -> TI
+  | XConstB _ | XColB _ | XCmpF _ | XCmpI _ | XAnd _ | XOr _ | XNot _ -> TB
+  | XBind (_, ty) -> ty
+
+(* Compile one scalar expression to the typed IR. [cols] maps source
+   fields (projections off the chain variable) to column slots, [binds]
+   maps Map-introduced variables to bind slots, parameters fold to
+   constants. Everything else declines with the offending construct. *)
+type cenv = {
+  src_var : string;
+  cols : (string * int) list;
+  col_tys : vty array;
+  binds : (string * int) list;
+  bind_tys : vty array;
+  params : (string * Value.t) list;
+}
+
+let rec cx env (e : Expr.t) : vx =
+  match e with
+  | Expr.Const (Value.Int i) -> XConstI i
+  | Expr.Const (Value.Float f) -> XConstF f
+  | Expr.Const (Value.Bool b) -> XConstB b
+  | Expr.Const v -> decline "non-scalar constant %s" (Value.to_string v)
+  | Expr.Proj (Expr.Var v, f) when String.equal v env.src_var -> (
+    match List.assoc_opt f env.cols with
+    | None -> decline "field %s has no promoted column" f
+    | Some slot -> (
+      match env.col_tys.(slot) with
+      | TF -> XColF slot
+      | TI -> XColI slot
+      | TB -> XColB slot))
+  | Expr.Var x -> (
+    match List.assoc_opt x env.binds with
+    | Some slot -> XBind (slot, env.bind_tys.(slot))
+    | None -> (
+      if String.equal x env.src_var then decline "whole-row reference %s" x
+      else
+        match List.assoc_opt x env.params with
+        | Some (Value.Int i) -> XConstI i
+        | Some (Value.Float f) -> XConstF f
+        | Some (Value.Bool b) -> XConstB b
+        | Some v -> decline "non-scalar parameter %s = %s" x (Value.to_string v)
+        | None -> decline "free variable %s" x))
+  | Expr.UnOp (Expr.Not, a) -> (
+    let xa = cx env a in
+    match vx_ty xa with
+    | TB -> XNot xa
+    | _ -> decline "'not' on non-boolean kernel operand")
+  | Expr.UnOp (Expr.Neg, a) -> (
+    let xa = cx env a in
+    match vx_ty xa with
+    | TF -> XNegF xa
+    | TI -> XNegI xa
+    | TB -> decline "negation of boolean kernel operand")
+  | Expr.BinOp (op, a, b) -> (
+    let xa = cx env a and xb = cx env b in
+    let ta = vx_ty xa and tb = vx_ty xb in
+    let as_f x = if vx_ty x = TI then XItoF x else x in
+    match op with
+    | Expr.Add | Expr.Sub | Expr.Mul -> (
+      match ta, tb with
+      | TI, TI -> XArithI (op, xa, xb)
+      | (TI | TF), (TI | TF) -> XArithF (op, as_f xa, as_f xb)
+      | _ -> decline "arithmetic on boolean kernel operand")
+    | Expr.Div -> (
+      match ta, tb with
+      | TI, TI -> XDivI (xa, xb)
+      | (TI | TF), (TI | TF) -> XDivF (as_f xa, as_f xb, tb = TI)
+      | _ -> decline "division on boolean kernel operand")
+    | Expr.Mod -> (
+      match ta, tb with
+      | TI, TI -> XModI (xa, xb)
+      | _ -> decline "modulo on non-integer kernel operands")
+    | Expr.Eq | Expr.Neq | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge -> (
+      match ta, tb with
+      | TI, TI -> XCmpI (op, xa, xb)
+      | (TI | TF), (TI | TF) -> XCmpF (op, as_f xa, as_f xb)
+      | _ -> decline "comparison on boolean kernel operands")
+    | Expr.And -> (
+      match ta, tb with
+      | TB, TB -> XAnd (xa, xb)
+      | _ -> decline "'and' on non-boolean kernel operands")
+    | Expr.Or -> (
+      match ta, tb with
+      | TB, TB -> XOr (xa, xb)
+      | _ -> decline "'or' on non-boolean kernel operands")
+    | Expr.Concat -> decline "string concatenation")
+  | Expr.Proj _ -> decline "projection off a non-source value"
+  | Expr.If _ -> decline "conditional"
+  | Expr.Record _ -> decline "record construction"
+  | Expr.Lambda _ | Expr.Apply _ -> decline "function value"
+  | Expr.Zero _ | Expr.Singleton _ | Expr.Merge _ | Expr.Comp _ ->
+    decline "nested monoid expression"
+  | Expr.Index _ -> decline "array indexing"
+
+(* Structural (type-independent) support check, used by {!classify} so
+   statically hopeless plans are declined before any column is fetched. *)
+let rec structurally_supported ~src_var (e : Expr.t) : (unit, string) result =
+  let sub a b =
+    match structurally_supported ~src_var a with
+    | Error _ as err -> err
+    | Ok () -> structurally_supported ~src_var b
+  in
+  match e with
+  | Expr.Const (Value.Int _ | Value.Float _ | Value.Bool _) -> Ok ()
+  | Expr.Const v -> Error ("non-scalar constant " ^ Value.to_string v)
+  | Expr.Proj (Expr.Var v, _) when String.equal v src_var -> Ok ()
+  | Expr.Var x when String.equal x src_var -> Error ("whole-row reference " ^ x)
+  | Expr.Var _ -> Ok () (* bind var or parameter; typing decides at run *)
+  | Expr.UnOp (_, a) -> structurally_supported ~src_var a
+  | Expr.BinOp (Expr.Concat, _, _) -> Error "string concatenation"
+  | Expr.BinOp (_, a, b) -> sub a b
+  | Expr.Proj _ -> Error "projection off a non-source value"
+  | Expr.If _ -> Error "conditional"
+  | Expr.Record _ -> Error "record construction"
+  | Expr.Lambda _ | Expr.Apply _ -> Error "function value"
+  | Expr.Zero _ | Expr.Singleton _ | Expr.Merge _ | Expr.Comp _ ->
+    Error "nested monoid expression"
+  | Expr.Index _ -> Error "array indexing"
+
+(* Fields of the source the kernels touch: projections off the chain var. *)
+let rec proj_fields ~src_var acc (e : Expr.t) =
+  match e with
+  | Expr.Proj (Expr.Var v, f) when String.equal v src_var ->
+    if List.mem f acc then acc else f :: acc
+  | Expr.Const _ | Expr.Var _ -> acc
+  | Expr.UnOp (_, a) -> proj_fields ~src_var acc a
+  | Expr.BinOp (_, a, b) -> proj_fields ~src_var (proj_fields ~src_var acc a) b
+  | Expr.Proj (a, _) -> proj_fields ~src_var acc a
+  | Expr.If (a, b, c) ->
+    proj_fields ~src_var (proj_fields ~src_var (proj_fields ~src_var acc a) b) c
+  | Expr.Record fs ->
+    List.fold_left (fun acc (_, e) -> proj_fields ~src_var acc e) acc fs
+  | Expr.Lambda (_, a) -> proj_fields ~src_var acc a
+  | Expr.Apply (a, b) | Expr.Merge (_, a, b) ->
+    proj_fields ~src_var (proj_fields ~src_var acc a) b
+  | Expr.Zero _ -> acc
+  | Expr.Singleton (_, a) -> proj_fields ~src_var acc a
+  | Expr.Comp _ -> acc
+  | Expr.Index (a, idxs) ->
+    List.fold_left (proj_fields ~src_var) (proj_fields ~src_var acc a) idxs
+
+(* --- plan classification ---------------------------------------------- *)
+
+type vstep = VFilter of Expr.t | VBind of string * Expr.t
+
+type candidate = {
+  source : Source.t;
+  name : string;
+  var : string;
+  steps : vstep list;  (* execution order *)
+  monoid : Monoid.t;
+  head : Expr.t;
+  fields : string list;
+}
+
+let monoid_supported = function
+  | Monoid.Prim
+      ( Monoid.Sum | Monoid.Prod | Monoid.Count | Monoid.Avg | Monoid.Max
+      | Monoid.Min | Monoid.All | Monoid.Some_ ) ->
+    Ok ()
+  | m -> Error ("monoid " ^ Monoid.name m ^ " has no fused kernel")
+
+let rec decompose (p : Plan.t) steps =
+  match p with
+  | Plan.Select { pred; child } -> decompose child (VFilter pred :: steps)
+  | Plan.Map { var; expr; child } -> decompose child (VBind (var, expr) :: steps)
+  | Plan.Source { var; expr = Expr.Var name } -> Some (var, name, steps)
+  | _ -> None
+
+(* [`Silent] = the plan shape was never a vectorization candidate (joins,
+   bare chains, subplans…): the closure engine is the designed path, no
+   fallback is recorded. [`Decline] = the shape matched but a detail rules
+   the kernels out: recorded as the vectorized->closure rung. *)
+let classify ctx (p : Plan.t) :
+    [ `Candidate of candidate | `Decline of string | `Silent ] =
+  if not (enabled ()) then `Silent
+  else
+    match p with
+    | Plan.Reduce { monoid; head; child } -> (
+      match decompose child [] with
+      | None -> `Silent
+      | Some (var, name, steps) -> (
+        match Registry.find ctx.Plugins.registry name with
+        | None -> `Silent
+        | Some source -> (
+          match source.Source.format with
+          | Source.External _ -> `Silent
+          | _ -> (
+            (* [count v] over the generator variable counts one per row —
+               generator bindings are records, never NULL, so the head
+               folds to an always-valid constant (the closure engine's
+               unit is Int 1 for records, equivalently). *)
+            let head =
+              match monoid, head with
+              | Monoid.Prim Monoid.Count, Expr.Var v when String.equal v var ->
+                Expr.Const (Value.Int 0)
+              | _ -> head
+            in
+            match monoid_supported monoid with
+            | Error reason -> `Decline reason
+            | Ok () -> (
+              let check e = structurally_supported ~src_var:var e in
+              let step_err =
+                List.find_map
+                  (fun s ->
+                    match s with
+                    | VFilter p -> (
+                      match check p with Ok () -> None | Error r -> Some r)
+                    | VBind (_, e) -> (
+                      match check e with Ok () -> None | Error r -> Some r))
+                  steps
+              in
+              match step_err with
+              | Some reason -> `Decline reason
+              | None -> (
+                match check head with
+                | Error reason -> `Decline reason
+                | Ok () ->
+                  let fields =
+                    List.fold_left
+                      (fun acc s ->
+                        match s with
+                        | VFilter p -> proj_fields ~src_var:var acc p
+                        | VBind (_, e) -> proj_fields ~src_var:var acc e)
+                      (proj_fields ~src_var:var [] head)
+                      steps
+                    |> List.rev
+                  in
+                  `Candidate { source; name; var; steps; monoid; head; fields }))))))
+    | _ -> `Silent
+
+(* --- compiled kernels -------------------------------------------------- *)
+
+type feedback_tap = {
+  tap_pred : Expr.t;
+  seen : int Atomic.t;
+  passed : int Atomic.t;
+}
+
+type kstep = KFilter of vx * feedback_tap | KBind of int * vx
+
+type kernel = {
+  k_name : string;  (* registry name, for epoch ticks & poll source *)
+  k_cols : col array;
+  k_nrows : int;
+  k_steps : kstep list;
+  k_nbinds : int;
+  k_head : vx;
+  k_monoid : Monoid.t;
+  k_taps : feedback_tap list;
+  k_prune : (Binarray.t * Binarray.range list) option;
+      (* zone-map batch pruning for direct binary-array scans *)
+}
+
+(* Build a kernel for an already-resolved chain: typed columns, typed
+   steps, typed head, reduce kind validated against the head type. *)
+let build_kernel ?prune ~name ~var ~(cols : (string * col) array) ~nrows ~steps
+    ~monoid ~head () : kernel =
+  let col_tys = Array.map (fun (_, c) -> col_ty c) cols in
+  let col_slots = Array.to_list (Array.mapi (fun i (f, _) -> (f, i)) cols) in
+  let bind_names =
+    List.filter_map (function VBind (v, _) -> Some v | VFilter _ -> None) steps
+  in
+  let nbinds = List.length bind_names in
+  let bind_slots = List.mapi (fun i v -> (v, i)) bind_names in
+  let bind_tys = Array.make (max nbinds 1) TF in
+  (* binds are typed in step order; a bind may reference earlier binds *)
+  let env =
+    { src_var = var; cols = col_slots; col_tys; binds = []; bind_tys;
+      params = [] }
+  in
+  let taps = ref [] in
+  let _, ksteps =
+    List.fold_left
+      (fun (env, acc) s ->
+        match s with
+        | VFilter p ->
+          let x = cx env p in
+          if vx_ty x <> TB then decline "filter is not boolean-typed";
+          let tap =
+            { tap_pred = p; seen = Atomic.make 0; passed = Atomic.make 0 }
+          in
+          taps := tap :: !taps;
+          (env, KFilter (x, tap) :: acc)
+        | VBind (v, e) ->
+          let x = cx env e in
+          let slot = List.assoc v bind_slots in
+          bind_tys.(slot) <- vx_ty x;
+          ({ env with binds = (v, slot) :: env.binds }, KBind (slot, x) :: acc))
+      (env, []) steps
+  in
+  let env =
+    { env with binds = bind_slots }
+  in
+  let head_x = cx env head in
+  (match monoid, vx_ty head_x with
+  | Monoid.Prim (Monoid.Sum | Monoid.Prod | Monoid.Avg | Monoid.Max | Monoid.Min), TB
+    ->
+    decline "numeric monoid over a boolean head"
+  | Monoid.Prim (Monoid.All | Monoid.Some_), (TF | TI) ->
+    decline "boolean monoid over a numeric head"
+  | _ -> ());
+  ignore (Atomic.fetch_and_add s_kernels 1);
+  { k_name = name; k_cols = Array.map snd cols; k_nrows = nrows;
+    k_steps = List.rev ksteps; k_nbinds = nbinds; k_head = head_x;
+    k_monoid = monoid; k_taps = !taps; k_prune = prune }
+
+(* --- instances: per-domain scratch + the batch loop -------------------- *)
+
+type vval = VF of float array * Bytes.t | VI of int array * Bytes.t | VB of Bytes.t * Bytes.t
+
+let dummy_vval = VB (Bytes.create 0, Bytes.create 0)
+
+type state = {
+  bcap : int;
+  sel : int array;
+  mutable n : int;  (* live rows in [sel] *)
+  mutable batch_lo : int;
+  ones : Bytes.t;
+  cols : col array;
+  stage_f : fcol array;  (* per raw column, else 0-length *)
+  stage_i : icol array;
+  binds : vval array;
+  mutable assigned : int;  (* bind slots filled so far this batch *)
+}
+
+let as_f = function VF (a, v) -> (a, v) | _ -> assert false
+let as_i = function VI (a, v) -> (a, v) | _ -> assert false
+let as_b = function VB (a, v) -> (a, v) | _ -> assert false
+
+let valid c = c = '\001'
+
+(* Build the evaluator closure tree for one instance. Every operator node
+   owns its output buffers and writes nothing else; leaves return borrowed
+   buffers (columns gather into their own scratch, binds and constants are
+   returned as-is). Values under an invalid mask are garbage by design —
+   only division/modulo guard on validity, everything else computes
+   through and lets the mask win. *)
+let rec build st (x : vx) : unit -> vval =
+  let fbuf () = Array.make st.bcap 0.
+  and ibuf () = Array.make st.bcap 0
+  and bbuf () = Bytes.make st.bcap '\000' in
+  match x with
+  | XConstF c ->
+    let a = fbuf () in
+    Array.fill a 0 st.bcap c;
+    let r = VF (a, st.ones) in
+    fun () -> r
+  | XConstI c ->
+    let a = ibuf () in
+    Array.fill a 0 st.bcap c;
+    let r = VI (a, st.ones) in
+    fun () -> r
+  | XConstB c ->
+    let a = bbuf () in
+    Bytes.fill a 0 st.bcap (if c then '\001' else '\000');
+    let r = VB (a, st.ones) in
+    fun () -> r
+  | XBind (slot, _) -> fun () -> st.binds.(slot)
+  | XColF ci -> (
+    let out = fbuf () in
+    match st.cols.(ci) with
+    | ColF (src, None) ->
+      fun () ->
+        for k = 0 to st.n - 1 do
+          Array.unsafe_set out k (BA1.unsafe_get src (Array.unsafe_get st.sel k))
+        done;
+        VF (out, st.ones)
+    | ColF (src, Some sv) ->
+      let vd = bbuf () in
+      fun () ->
+        for k = 0 to st.n - 1 do
+          let r = Array.unsafe_get st.sel k in
+          Array.unsafe_set out k (BA1.unsafe_get src r);
+          Bytes.unsafe_set vd k (Bytes.unsafe_get sv r)
+        done;
+        VF (out, vd)
+    | ColRawF _ ->
+      let stage = st.stage_f.(ci) in
+      fun () ->
+        let lo = st.batch_lo in
+        for k = 0 to st.n - 1 do
+          Array.unsafe_set out k (BA1.unsafe_get stage (Array.unsafe_get st.sel k - lo))
+        done;
+        VF (out, st.ones)
+    | _ -> assert false)
+  | XColI ci -> (
+    let out = ibuf () in
+    match st.cols.(ci) with
+    | ColI (src, None) ->
+      fun () ->
+        for k = 0 to st.n - 1 do
+          Array.unsafe_set out k (BA1.unsafe_get src (Array.unsafe_get st.sel k))
+        done;
+        VI (out, st.ones)
+    | ColI (src, Some sv) ->
+      let vd = bbuf () in
+      fun () ->
+        for k = 0 to st.n - 1 do
+          let r = Array.unsafe_get st.sel k in
+          Array.unsafe_set out k (BA1.unsafe_get src r);
+          Bytes.unsafe_set vd k (Bytes.unsafe_get sv r)
+        done;
+        VI (out, vd)
+    | ColRawI _ ->
+      let stage = st.stage_i.(ci) in
+      fun () ->
+        let lo = st.batch_lo in
+        for k = 0 to st.n - 1 do
+          Array.unsafe_set out k (BA1.unsafe_get stage (Array.unsafe_get st.sel k - lo))
+        done;
+        VI (out, st.ones)
+    | _ -> assert false)
+  | XColB ci -> (
+    let out = bbuf () in
+    match st.cols.(ci) with
+    | ColB (src, None) ->
+      fun () ->
+        for k = 0 to st.n - 1 do
+          Bytes.unsafe_set out k (Bytes.unsafe_get src (Array.unsafe_get st.sel k))
+        done;
+        VB (out, st.ones)
+    | ColB (src, Some sv) ->
+      let vd = bbuf () in
+      fun () ->
+        for k = 0 to st.n - 1 do
+          let r = Array.unsafe_get st.sel k in
+          Bytes.unsafe_set out k (Bytes.unsafe_get src r);
+          Bytes.unsafe_set vd k (Bytes.unsafe_get sv r)
+        done;
+        VB (out, vd)
+    | _ -> assert false)
+  | XItoF a ->
+    let ea = build st a in
+    let out = fbuf () in
+    fun () ->
+      let xa, va = as_i (ea ()) in
+      for k = 0 to st.n - 1 do
+        Array.unsafe_set out k (float_of_int (Array.unsafe_get xa k))
+      done;
+      VF (out, va)
+  | XArithF (op, a, b) ->
+    let ea = build st a and eb = build st b in
+    let out = fbuf () and vd = bbuf () in
+    let f =
+      match op with
+      | Expr.Add -> ( +. )
+      | Expr.Sub -> ( -. )
+      | Expr.Mul -> ( *. )
+      | _ -> assert false
+    in
+    fun () ->
+      let xa, va = as_f (ea ()) in
+      let xb, vb = as_f (eb ()) in
+      for k = 0 to st.n - 1 do
+        Array.unsafe_set out k (f (Array.unsafe_get xa k) (Array.unsafe_get xb k));
+        Bytes.unsafe_set vd k
+          (if valid (Bytes.unsafe_get va k) && valid (Bytes.unsafe_get vb k)
+           then '\001' else '\000')
+      done;
+      VF (out, vd)
+  | XArithI (op, a, b) ->
+    let ea = build st a and eb = build st b in
+    let out = ibuf () and vd = bbuf () in
+    let f =
+      match op with
+      | Expr.Add -> ( + )
+      | Expr.Sub -> ( - )
+      | Expr.Mul -> ( * )
+      | _ -> assert false
+    in
+    fun () ->
+      let xa, va = as_i (ea ()) in
+      let xb, vb = as_i (eb ()) in
+      for k = 0 to st.n - 1 do
+        Array.unsafe_set out k (f (Array.unsafe_get xa k) (Array.unsafe_get xb k));
+        Bytes.unsafe_set vd k
+          (if valid (Bytes.unsafe_get va k) && valid (Bytes.unsafe_get vb k)
+           then '\001' else '\000')
+      done;
+      VI (out, vd)
+  | XDivI (a, b) ->
+    let ea = build st a and eb = build st b in
+    let out = ibuf () and vd = bbuf () in
+    fun () ->
+      let xa, va = as_i (ea ()) in
+      let xb, vb = as_i (eb ()) in
+      for k = 0 to st.n - 1 do
+        if valid (Bytes.unsafe_get va k) && valid (Bytes.unsafe_get vb k) then begin
+          let y = Array.unsafe_get xb k in
+          if y = 0 then raise (Eval.Error "integer division by zero");
+          Array.unsafe_set out k (Array.unsafe_get xa k / y);
+          Bytes.unsafe_set vd k '\001'
+        end
+        else Bytes.unsafe_set vd k '\000'
+      done;
+      VI (out, vd)
+  | XDivF (a, b, check_int_zero) ->
+    let ea = build st a and eb = build st b in
+    let out = fbuf () and vd = bbuf () in
+    fun () ->
+      let xa, va = as_f (ea ()) in
+      let xb, vb = as_f (eb ()) in
+      for k = 0 to st.n - 1 do
+        if valid (Bytes.unsafe_get va k) && valid (Bytes.unsafe_get vb k) then begin
+          let y = Array.unsafe_get xb k in
+          if check_int_zero && y = 0. then
+            raise (Eval.Error "integer division by zero");
+          Array.unsafe_set out k (Array.unsafe_get xa k /. y);
+          Bytes.unsafe_set vd k '\001'
+        end
+        else Bytes.unsafe_set vd k '\000'
+      done;
+      VF (out, vd)
+  | XModI (a, b) ->
+    let ea = build st a and eb = build st b in
+    let out = ibuf () and vd = bbuf () in
+    fun () ->
+      let xa, va = as_i (ea ()) in
+      let xb, vb = as_i (eb ()) in
+      for k = 0 to st.n - 1 do
+        if valid (Bytes.unsafe_get va k) && valid (Bytes.unsafe_get vb k) then begin
+          let y = Array.unsafe_get xb k in
+          if y = 0 then raise (Eval.Error "modulo by zero");
+          Array.unsafe_set out k (Array.unsafe_get xa k mod y);
+          Bytes.unsafe_set vd k '\001'
+        end
+        else Bytes.unsafe_set vd k '\000'
+      done;
+      VI (out, vd)
+  | XCmpF (op, a, b) ->
+    let ea = build st a and eb = build st b in
+    let out = bbuf () and vd = bbuf () in
+    let test =
+      match op with
+      | Expr.Eq -> fun c -> c = 0
+      | Expr.Neq -> fun c -> c <> 0
+      | Expr.Lt -> fun c -> c < 0
+      | Expr.Le -> fun c -> c <= 0
+      | Expr.Gt -> fun c -> c > 0
+      | Expr.Ge -> fun c -> c >= 0
+      | _ -> assert false
+    in
+    fun () ->
+      let xa, va = as_f (ea ()) in
+      let xb, vb = as_f (eb ()) in
+      for k = 0 to st.n - 1 do
+        (* Float.compare, not IEEE: NaN totally ordered, as Value.compare *)
+        Bytes.unsafe_set out k
+          (if test (Float.compare (Array.unsafe_get xa k) (Array.unsafe_get xb k))
+           then '\001' else '\000');
+        Bytes.unsafe_set vd k
+          (if valid (Bytes.unsafe_get va k) && valid (Bytes.unsafe_get vb k)
+           then '\001' else '\000')
+      done;
+      VB (out, vd)
+  | XCmpI (op, a, b) ->
+    let ea = build st a and eb = build st b in
+    let out = bbuf () and vd = bbuf () in
+    let test =
+      match op with
+      | Expr.Eq -> fun c -> c = 0
+      | Expr.Neq -> fun c -> c <> 0
+      | Expr.Lt -> fun c -> c < 0
+      | Expr.Le -> fun c -> c <= 0
+      | Expr.Gt -> fun c -> c > 0
+      | Expr.Ge -> fun c -> c >= 0
+      | _ -> assert false
+    in
+    fun () ->
+      let xa, va = as_i (ea ()) in
+      let xb, vb = as_i (eb ()) in
+      for k = 0 to st.n - 1 do
+        Bytes.unsafe_set out k
+          (if test (Int.compare (Array.unsafe_get xa k) (Array.unsafe_get xb k))
+           then '\001' else '\000');
+        Bytes.unsafe_set vd k
+          (if valid (Bytes.unsafe_get va k) && valid (Bytes.unsafe_get vb k)
+           then '\001' else '\000')
+      done;
+      VB (out, vd)
+  | XAnd (a, b) ->
+    let ea = build st a and eb = build st b in
+    let out = bbuf () and vd = bbuf () in
+    fun () ->
+      let xa, va = as_b (ea ()) in
+      let xb, vb = as_b (eb ()) in
+      for k = 0 to st.n - 1 do
+        let av = valid (Bytes.unsafe_get va k)
+        and bv = valid (Bytes.unsafe_get vb k) in
+        let at = valid (Bytes.unsafe_get xa k)
+        and bt = valid (Bytes.unsafe_get xb k) in
+        (* three-valued: false ∧ x = false, true ∧ null = null *)
+        if (av && not at) || (bv && not bt) then begin
+          Bytes.unsafe_set out k '\000';
+          Bytes.unsafe_set vd k '\001'
+        end
+        else if av && bv then begin
+          Bytes.unsafe_set out k '\001';
+          Bytes.unsafe_set vd k '\001'
+        end
+        else Bytes.unsafe_set vd k '\000'
+      done;
+      VB (out, vd)
+  | XOr (a, b) ->
+    let ea = build st a and eb = build st b in
+    let out = bbuf () and vd = bbuf () in
+    fun () ->
+      let xa, va = as_b (ea ()) in
+      let xb, vb = as_b (eb ()) in
+      for k = 0 to st.n - 1 do
+        let av = valid (Bytes.unsafe_get va k)
+        and bv = valid (Bytes.unsafe_get vb k) in
+        let at = valid (Bytes.unsafe_get xa k)
+        and bt = valid (Bytes.unsafe_get xb k) in
+        if (av && at) || (bv && bt) then begin
+          Bytes.unsafe_set out k '\001';
+          Bytes.unsafe_set vd k '\001'
+        end
+        else if av && bv then begin
+          Bytes.unsafe_set out k '\000';
+          Bytes.unsafe_set vd k '\001'
+        end
+        else Bytes.unsafe_set vd k '\000'
+      done;
+      VB (out, vd)
+  | XNot a ->
+    let ea = build st a in
+    let out = bbuf () in
+    fun () ->
+      let xa, va = as_b (ea ()) in
+      for k = 0 to st.n - 1 do
+        Bytes.unsafe_set out k
+          (if valid (Bytes.unsafe_get xa k) then '\000' else '\001')
+      done;
+      VB (out, va)
+  | XNegF a ->
+    let ea = build st a in
+    let out = fbuf () in
+    fun () ->
+      let xa, va = as_f (ea ()) in
+      for k = 0 to st.n - 1 do
+        Array.unsafe_set out k (-.Array.unsafe_get xa k)
+      done;
+      VF (out, va)
+  | XNegI a ->
+    let ea = build st a in
+    let out = ibuf () in
+    fun () ->
+      let xa, va = as_i (ea ()) in
+      for k = 0 to st.n - 1 do
+        Array.unsafe_set out k (-Array.unsafe_get xa k)
+      done;
+      VI (out, va)
+
+(* compact one dense bind buffer in place with the same permutation the
+   selection vector just underwent (dst <= src, so in-place is safe) *)
+let compact_vval v ~src ~dst =
+  match v with
+  | VF (a, vd) ->
+    Array.unsafe_set a dst (Array.unsafe_get a src);
+    Bytes.unsafe_set vd dst (Bytes.unsafe_get vd src)
+  | VI (a, vd) ->
+    Array.unsafe_set a dst (Array.unsafe_get a src);
+    Bytes.unsafe_set vd dst (Bytes.unsafe_get vd src)
+  | VB (a, vd) ->
+    Bytes.unsafe_set a dst (Bytes.unsafe_get a src);
+    Bytes.unsafe_set vd dst (Bytes.unsafe_get vd src)
+
+(* Fused reduce accumulators: scalar mutable state folding exactly as
+   [Monoid.merge (unit …)] does row by row — same start values, same
+   NULL skipping, same Value.compare tie-breaks, same float association
+   (row order within a range). The returned value is the pre-finalize
+   accumulator, so morsel partials merge with [Monoid.merge] unchanged. *)
+type accum = { push : vval -> int -> unit; result : unit -> Value.t }
+
+let make_accum (monoid : Monoid.t) (head_ty : vty) : accum =
+  let af = ref 0. and ai = ref 0 and count = ref 0 and any = ref false in
+  let ab = ref true in
+  let over_valid f =
+    fun v n ->
+      match v, head_ty with
+      | VF (a, vd), _ ->
+        for k = 0 to n - 1 do
+          if valid (Bytes.unsafe_get vd k) then f (Array.unsafe_get a k) 0 false
+        done
+      | VI (a, vd), _ ->
+        for k = 0 to n - 1 do
+          if valid (Bytes.unsafe_get vd k) then f 0. (Array.unsafe_get a k) false
+        done
+      | VB (a, vd), _ ->
+        for k = 0 to n - 1 do
+          if valid (Bytes.unsafe_get vd k) then
+            f 0. 0 (valid (Bytes.unsafe_get a k))
+        done
+  in
+  match monoid, head_ty with
+  | Monoid.Prim Monoid.Count, _ ->
+    { push = over_valid (fun _ _ _ -> incr count);
+      result = (fun () -> Value.Int !count) }
+  | Monoid.Prim Monoid.Sum, TI ->
+    { push = over_valid (fun _ x _ -> ai := !ai + x);
+      result = (fun () -> Value.Int !ai) }
+  | Monoid.Prim Monoid.Sum, TF ->
+    { push = over_valid (fun x _ _ -> af := !af +. x; any := true);
+      result = (fun () -> if !any then Value.Float !af else Value.Int 0) }
+  | Monoid.Prim Monoid.Prod, TI ->
+    ai := 1;
+    { push = over_valid (fun _ x _ -> ai := !ai * x);
+      result = (fun () -> Value.Int !ai) }
+  | Monoid.Prim Monoid.Prod, TF ->
+    af := 1.;
+    { push = over_valid (fun x _ _ -> af := !af *. x; any := true);
+      result = (fun () -> if !any then Value.Float !af else Value.Int 1) }
+  | Monoid.Prim Monoid.Avg, (TI | TF) ->
+    let push =
+      match head_ty with
+      | TI -> over_valid (fun _ x _ -> af := !af +. float_of_int x; incr count)
+      | _ -> over_valid (fun x _ _ -> af := !af +. x; incr count)
+    in
+    { push;
+      result =
+        (fun () ->
+          Value.Record [ ("sum", Value.Float !af); ("count", Value.Int !count) ])
+    }
+  | Monoid.Prim Monoid.Max, TI ->
+    { push =
+        over_valid (fun _ x _ ->
+            if not !any then (ai := x; any := true)
+            else if Int.compare !ai x < 0 then ai := x);
+      result = (fun () -> if !any then Value.Int !ai else Value.Null) }
+  | Monoid.Prim Monoid.Max, TF ->
+    { push =
+        over_valid (fun x _ _ ->
+            if not !any then (af := x; any := true)
+            else if Float.compare !af x < 0 then af := x);
+      result = (fun () -> if !any then Value.Float !af else Value.Null) }
+  | Monoid.Prim Monoid.Min, TI ->
+    { push =
+        over_valid (fun _ x _ ->
+            if not !any then (ai := x; any := true)
+            else if Int.compare !ai x > 0 then ai := x);
+      result = (fun () -> if !any then Value.Int !ai else Value.Null) }
+  | Monoid.Prim Monoid.Min, TF ->
+    { push =
+        over_valid (fun x _ _ ->
+            if not !any then (af := x; any := true)
+            else if Float.compare !af x > 0 then af := x);
+      result = (fun () -> if !any then Value.Float !af else Value.Null) }
+  | Monoid.Prim Monoid.All, TB ->
+    { push = over_valid (fun _ _ b -> ab := !ab && b);
+      result = (fun () -> Value.Bool !ab) }
+  | Monoid.Prim Monoid.Some_, TB ->
+    ab := false;
+    { push = over_valid (fun _ _ b -> ab := !ab || b);
+      result = (fun () -> Value.Bool !ab) }
+  | _ -> decline "monoid %s has no fused kernel for this head" (Monoid.name monoid)
+
+type instance = {
+  i_k : kernel;
+  i_st : state;
+  i_steps : (unit -> unit) list;  (* per-batch step runners *)
+  i_head : unit -> vval;
+  i_accum : accum;
+}
+
+let instantiate (k : kernel) : instance =
+  let bcap = batch_rows () in
+  let ncols = Array.length k.k_cols in
+  let empty_f = BA1.create Bigarray.float64 Bigarray.c_layout 0 in
+  let empty_i = BA1.create Bigarray.int Bigarray.c_layout 0 in
+  let st =
+    { bcap; sel = Array.make bcap 0; n = 0; batch_lo = 0;
+      ones = Bytes.make bcap '\001'; cols = k.k_cols;
+      stage_f =
+        Array.init ncols (fun i ->
+            match k.k_cols.(i) with
+            | ColRawF _ -> BA1.create Bigarray.float64 Bigarray.c_layout bcap
+            | _ -> empty_f);
+      stage_i =
+        Array.init ncols (fun i ->
+            match k.k_cols.(i) with
+            | ColRawI _ -> BA1.create Bigarray.int Bigarray.c_layout bcap
+            | _ -> empty_i);
+      binds = Array.make (max k.k_nbinds 1) dummy_vval; assigned = 0 }
+  in
+  let steps =
+    List.map
+      (function
+        | KBind (slot, x) ->
+          let e = build st x in
+          fun () ->
+            st.binds.(slot) <- e ();
+            st.assigned <- st.assigned + 1
+        | KFilter (x, tap) ->
+          let e = build st x in
+          fun () ->
+            let bb, vd = as_b (e ()) in
+            let n = st.n in
+            ignore (Atomic.fetch_and_add tap.seen n);
+            let m = ref 0 in
+            for src = 0 to n - 1 do
+              if valid (Bytes.unsafe_get vd src) && valid (Bytes.unsafe_get bb src)
+              then begin
+                let dst = !m in
+                Array.unsafe_set st.sel dst (Array.unsafe_get st.sel src);
+                for b = 0 to st.assigned - 1 do
+                  compact_vval st.binds.(b) ~src ~dst
+                done;
+                incr m
+              end
+            done;
+            st.n <- !m;
+            ignore (Atomic.fetch_and_add tap.passed !m))
+      k.k_steps
+  in
+  let head = build st k.k_head in
+  let accum = make_accum k.k_monoid (vx_ty k.k_head) in
+  (* no budget charge: the scratch is O(batch_rows), a per-query constant
+     independent of the data — budgets track data-dependent materialized
+     working sets, and the closure engine's scans charge nothing either *)
+  { i_k = k; i_st = st; i_steps = steps; i_head = head; i_accum = accum }
+
+(* Run the fused kernel over rows [lo, hi): the per-morsel (or whole-scan)
+   batch loop. One governor poll, one epoch tick and one stats note per
+   batch; returns the pre-finalize accumulator value. *)
+let run_range (inst : instance) ~lo ~hi : Value.t =
+  let st = inst.i_st in
+  let source = inst.i_k.k_name in
+  let process rlo rhi =
+  let pos = ref rlo in
+  while !pos < rhi do
+    let blo = !pos in
+    let bhi = min rhi (blo + st.bcap) in
+    let rows = bhi - blo in
+    Governor.poll_batch ~source:"vector" ~rows ();
+    Epoch.check ~source ();
+    note_batch rows;
+    st.batch_lo <- blo;
+    Array.iteri
+      (fun ci c ->
+        match c with
+        | ColRawF (ba, field) ->
+          Binarray.fill_floats ba ~field ~lo:blo ~hi:bhi st.stage_f.(ci)
+        | ColRawI (ba, field) ->
+          Binarray.fill_ints ba ~field ~lo:blo ~hi:bhi st.stage_i.(ci)
+        | _ -> ())
+      st.cols;
+    for k = 0 to rows - 1 do
+      Array.unsafe_set st.sel k (blo + k)
+    done;
+    st.n <- rows;
+    st.assigned <- 0;
+    List.iter (fun step -> step ()) inst.i_steps;
+    if st.n > 0 then inst.i_accum.push (inst.i_head ()) st.n;
+    pos := bhi
+  done
+  in
+  (match inst.i_k.k_prune with
+  | Some (ba, ranges) -> Binarray.matching_runs ba ~ranges ~lo ~hi process
+  | None -> process lo hi);
+  inst.i_accum.result ()
+
+let flush_feedback ctx (k : kernel) =
+  List.iter
+    (fun tap ->
+      let seen = Atomic.exchange tap.seen 0 in
+      let passed = Atomic.exchange tap.passed 0 in
+      (* same 16-observation gate as the closure engine's instrumentation *)
+      if seen >= 16 then
+        Feedback.record ctx.Plugins.feedback
+          ~key:(Feedback.selectivity_key tap.tap_pred)
+          ~observed:(float_of_int passed /. float_of_int seen))
+    k.k_taps
+
+(* --- chain entry (parallel morsels) ----------------------------------- *)
+
+(* Compile a kernel for a chain the parallel engine already resolved
+   (columns fetched, effects vetted). The kernel is immutable and shared;
+   each worker domain instantiates its own scratch. *)
+let compile_chain ctx ~name ~var ~(columns : (string * Value.t array) array)
+    ~nrows ~steps ~monoid ~head : (kernel, string) result =
+  ignore ctx;
+  if not (enabled ()) then Error "vectorized engine disabled"
+  else
+    match monoid_supported monoid with
+    | Error reason -> Error reason
+    | Ok () -> (
+      let head =
+        match monoid, head with
+        | Monoid.Prim Monoid.Count, Expr.Var v when String.equal v var ->
+          Expr.Const (Value.Int 0)
+        | _ -> head
+      in
+      let fields =
+        List.fold_left
+          (fun acc s ->
+            match s with
+            | VFilter p -> proj_fields ~src_var:var acc p
+            | VBind (_, e) -> proj_fields ~src_var:var acc e)
+          (proj_fields ~src_var:var [] head)
+          steps
+      in
+      try
+        let cols =
+          Array.of_list
+            (List.map
+               (fun f ->
+                 match
+                   Array.find_opt (fun (g, _) -> String.equal g f) columns
+                 with
+                 | Some (_, arr) -> (f, promote_memo ~field:f arr)
+                 | None -> decline "field %s has no column" f)
+               fields)
+        in
+        Ok (build_kernel ~name ~var ~cols ~nrows ~steps ~monoid ~head ())
+      with Not_vectorizable reason -> Error reason)
+
+(* --- sequential entry (Compile.query) --------------------------------- *)
+
+(* Resolve columns, type and run — performed per invocation so the thunk
+   never holds stale columns across a source invalidation: every run
+   re-reads through the plugins cache exactly as the closure engine does,
+   and the promotion memo absorbs the repeat cost. *)
+let run_candidate ctx (c : candidate) () : Value.t =
+  let cols =
+    match c.source.Source.format with
+    | Source.Binary_array
+      when Plugins.bad_row_count ctx c.name = 0 && c.fields <> [] ->
+      (* direct batch decode: no whole-column materialization at all, and
+         the filters' numeric bounds prune whole batches via zone maps
+         (the batch-granular analogue of the closure engine's pushdown) *)
+      let ba = Structures.binarray ctx.Plugins.structures c.source in
+      let hdr = Binarray.header ba in
+      let ranges =
+        List.filter_map
+          (fun (f, lo, hi) ->
+            Option.map
+              (fun field -> { Binarray.field; lo; hi })
+              (Binarray.field_index ba f))
+          (List.filter_map
+             (Analysis.range_of ~var:c.var)
+             (List.concat_map Analysis.conjuncts
+                (List.filter_map
+                   (function VFilter p -> Some p | VBind _ -> None)
+                   c.steps)))
+      in
+      Some
+        ( Binarray.cell_count ba,
+          Array.of_list
+            (List.map
+               (fun f ->
+                 match Binarray.field_index ba f with
+                 | None -> decline "binary array has no field %s" f
+                 | Some idx ->
+                   let fld = List.nth hdr.Binarray.fields idx in
+                   if fld.Binarray.is_float then (f, ColRawF (ba, idx))
+                   else (f, ColRawI (ba, idx)))
+               c.fields),
+          if ranges = [] then None else Some (ba, ranges) )
+    | _ ->
+      Option.map
+        (fun (nrows, cols) ->
+          ( nrows,
+            Array.of_list
+              (List.map (fun (f, arr) -> (f, promote_memo ~field:f arr)) cols),
+            None ))
+        (Plugins.column_arrays ctx c.source ~fields:c.fields)
+  in
+  match cols with
+  | None ->
+    decline "source %s has no columnar view (cleaning policy or format)" c.name
+  | Some (nrows, cols, prune) ->
+    let k =
+      build_kernel ?prune ~name:c.name ~var:c.var ~cols ~nrows ~steps:c.steps
+        ~monoid:c.monoid ~head:c.head ()
+    in
+    let inst = instantiate k in
+    let acc = run_range inst ~lo:0 ~hi:nrows in
+    flush_feedback ctx k;
+    if nrows > 0 then
+      Feedback.record ctx.Plugins.feedback
+        ~key:(Feedback.cardinality_key c.name)
+        ~observed:(float_of_int nrows);
+    Monoid.finalize c.monoid acc
+
+(* The wiring point for {!Compile.query}: [`Run] executes the whole plan
+   vectorized (raising {!Not_vectorizable} at run time when columns turn
+   out untypeable — the caller records the rung and falls back), [`Decline]
+   is a static refusal with its reason, [`Silent] plans were never
+   candidates. *)
+let compile ctx (p : Plan.t) :
+    [ `Run of unit -> Value.t | `Decline of string | `Silent ] =
+  match classify ctx p with
+  | `Silent -> `Silent
+  | `Decline reason ->
+    note_global_fallback reason;
+    `Decline reason
+  | `Candidate c -> `Run (run_candidate ctx c)
+
+(* record a fallback in the process-global stats as well as the ambient
+   session (callers own the session-side note) *)
+let note_fallback_stats reason = note_global_fallback reason

@@ -49,7 +49,15 @@ type session = {
   charged : int Atomic.t;
   retries : int Atomic.t;
   fallbacks : fallback list Atomic.t;  (* newest first *)
+  batches : int Atomic.t;  (* vectorized batches executed *)
+  batch_sizes : int array;  (* ring of recent batch row counts, for p50 *)
+  batch_cursor : int Atomic.t;
 }
+
+(* Recent-batch-size ring capacity. Statistics only: concurrent writers
+   may interleave slots, which skews the p50 by at most a slot — fine for
+   an observability counter. *)
+let batch_ring = 128
 
 type report = {
   wall_ms : float;
@@ -57,6 +65,8 @@ type report = {
   charged_bytes : int;
   retries : int;
   fallbacks : fallback list;  (* oldest first *)
+  batches : int;  (* vectorized batches executed *)
+  batch_rows_p50 : int;  (* median rows per batch over recent batches *)
 }
 
 let now_ms () = Unix.gettimeofday () *. 1000.
@@ -74,7 +84,9 @@ let start ?limits ?(name = "query") () =
     started_at = Unix.gettimeofday ();
     cancel_reason = Atomic.make None; cancel_at_poll = Atomic.make None;
     polls = Atomic.make 0; charged = Atomic.make 0;
-    retries = Atomic.make 0; fallbacks = Atomic.make [] }
+    retries = Atomic.make 0; fallbacks = Atomic.make [];
+    batches = Atomic.make 0; batch_sizes = Array.make batch_ring 0;
+    batch_cursor = Atomic.make 0 }
 
 (* The ambient session is domain-local: each worker domain of a parallel
    region re-installs the owning query's session via [with_session], so
@@ -140,6 +152,33 @@ let poll ?(source = "query") () =
     | Some reason -> raise_for_cancel ~source reason
     | None -> ());
     if polls mod s.limits.poll_stride = 0 then check_deadline ~source s
+
+(* The per-batch poll of the vectorized path: one call covers [rows]
+   records. The poll counter advances by the whole batch so budgets,
+   deadline strides and [cancel_after_polls] triggers keep record-level
+   semantics — a token armed for poll N trips at the first batch boundary
+   at or past N, which is exactly where a per-record loop would next have
+   observed it had it been checked at batch granularity. The clock is
+   always consulted: a batch is far coarser than [poll_stride]. *)
+let poll_batch ?(source = "query") ~rows () =
+  match Domain.DLS.get ambient with
+  | None -> ()
+  | Some s ->
+    let rows = max rows 0 in
+    let polls = Atomic.fetch_and_add s.polls rows + rows in
+    ignore (Atomic.fetch_and_add s.batches 1);
+    let slot = Atomic.fetch_and_add s.batch_cursor 1 in
+    s.batch_sizes.(slot mod batch_ring) <- rows;
+    (match Atomic.get s.cancel_at_poll with
+    | Some n when polls >= n ->
+      ignore
+        (Atomic.compare_and_set s.cancel_reason None
+           (Some "cancellation token tripped"))
+    | _ -> ());
+    (match Atomic.get s.cancel_reason with
+    | Some reason -> raise_for_cancel ~source reason
+    | None -> ());
+    check_deadline ~source s
 
 (* Operator-pipeline boundary check: always consults the clock. *)
 let checkpoint ?(source = "query") () =
@@ -211,17 +250,30 @@ let with_retries ~source f =
   in
   attempt 0
 
+let batch_rows_p50 s =
+  let filled = min (Atomic.get s.batch_cursor) batch_ring in
+  if filled = 0 then 0
+  else begin
+    let xs = Array.sub s.batch_sizes 0 filled in
+    Array.sort compare xs;
+    xs.(filled / 2)
+  end
+
 let report s =
   { wall_ms = elapsed_ms s; polls = Atomic.get s.polls;
     charged_bytes = Atomic.get s.charged; retries = Atomic.get s.retries;
-    fallbacks = List.rev (Atomic.get s.fallbacks) }
+    fallbacks = List.rev (Atomic.get s.fallbacks);
+    batches = Atomic.get s.batches; batch_rows_p50 = batch_rows_p50 s }
 
 let zero_report =
-  { wall_ms = 0.; polls = 0; charged_bytes = 0; retries = 0; fallbacks = [] }
+  { wall_ms = 0.; polls = 0; charged_bytes = 0; retries = 0; fallbacks = [];
+    batches = 0; batch_rows_p50 = 0 }
 
 let pp_report ppf r =
-  Format.fprintf ppf "wall=%.2fms polls=%d charged=%dB retries=%d fallbacks=[%s]"
-    r.wall_ms r.polls r.charged_bytes r.retries
+  Format.fprintf ppf
+    "wall=%.2fms polls=%d charged=%dB retries=%d batches=%d \
+     batch_rows_p50=%d fallbacks=[%s]"
+    r.wall_ms r.polls r.charged_bytes r.retries r.batches r.batch_rows_p50
     (String.concat "; "
        (List.map (fun f -> f.stage ^ ": " ^ f.reason) r.fallbacks))
 

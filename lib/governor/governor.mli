@@ -50,6 +50,8 @@ type report = {
   charged_bytes : int;
   retries : int;
   fallbacks : fallback list;  (** oldest first *)
+  batches : int;  (** vectorized batches executed *)
+  batch_rows_p50 : int;  (** median rows per batch over recent batches *)
 }
 
 (** {1 Session lifecycle} *)
@@ -82,6 +84,14 @@ val poll : ?source:string -> unit -> unit
 (** the per-record check in scan loops: cancellation on every call, the
     wall clock every [poll_stride] calls. No-op without an ambient
     session. Raises [Cancelled] / [Deadline_exceeded]. *)
+
+val poll_batch : ?source:string -> rows:int -> unit -> unit
+(** the batch-boundary check of the vectorized path: one call covers
+    [rows] records. Advances the poll counter by the whole batch (so
+    deadline/cancellation semantics stay record-equivalent — a token
+    armed for poll N trips at the first batch boundary at or past N),
+    records the batch for the report's batch counters, and always
+    consults the clock. *)
 
 val checkpoint : ?source:string -> unit -> unit
 (** operator-pipeline-boundary check: like {!poll} but always consults

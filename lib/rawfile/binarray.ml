@@ -168,6 +168,44 @@ let to_value t =
   Value.Array
     { dims = t.header.dims; data = Array.init t.ncells (fun cell -> get_cell t ~cell) }
 
+(* --- batch decode --- *)
+
+(* One bounds check, one slice and one stats tap cover the whole [lo, hi)
+   cell range — the per-batch entry points of the vectorized engine, where
+   [get] would pay a range check, a slice and a [Value] box per cell. *)
+let batch_slice t ~what ~field ~lo ~hi ~dim =
+  let source = Raw_buffer.path t.buf in
+  if lo < 0 || hi > t.ncells || lo > hi then
+    Vida_error.invalid_request ~source "Binarray.%s: cell range [%d,%d) out of range"
+      what lo hi;
+  if field < 0 || field >= List.length t.header.fields then
+    Vida_error.invalid_request ~source "Binarray.%s: field %d out of range" what field;
+  if dim < hi - lo then
+    Vida_error.invalid_request ~source "Binarray.%s: buffer holds %d of %d cells"
+      what dim (hi - lo);
+  Io_stats.add_values_converted (hi - lo);
+  Raw_buffer.slice t.buf ~pos:(t.data_offset + (lo * t.cell_width))
+    ~len:((hi - lo) * t.cell_width)
+
+let fill_floats t ~field ~lo ~hi out =
+  let s =
+    batch_slice t ~what:"fill_floats" ~field ~lo ~hi ~dim:(Bigarray.Array1.dim out)
+  in
+  let off = field * 8 and w = t.cell_width in
+  for i = 0 to hi - lo - 1 do
+    Bigarray.Array1.unsafe_set out i
+      (Int64.float_of_bits (String.get_int64_le s ((i * w) + off)))
+  done
+
+let fill_ints t ~field ~lo ~hi out =
+  let s =
+    batch_slice t ~what:"fill_ints" ~field ~lo ~hi ~dim:(Bigarray.Array1.dim out)
+  in
+  let off = field * 8 and w = t.cell_width in
+  for i = 0 to hi - lo - 1 do
+    Bigarray.Array1.unsafe_set out i (Int64.to_int (String.get_int64_le s ((i * w) + off)))
+  done
+
 (* --- zone maps --- *)
 
 let zone_block = 256
@@ -219,5 +257,34 @@ let scan_filtered t ~ranges f =
       done
     else t.skipped <- t.skipped + 1
   done
+
+(* Zone pruning for the vectorized batch path: instead of visiting cells
+   one by one, hand the caller maximal runs of consecutive blocks whose
+   zones may satisfy [ranges] (a conservative superset — exact predicates
+   still run above), counting pruned blocks exactly as [scan_filtered]
+   does. [ranges = []] yields the whole range as one run. *)
+let matching_runs t ~ranges ~lo ~hi f =
+  if hi > lo then
+    if ranges = [] then f lo hi
+    else begin
+      let b0 = lo / zone_block and b1 = (hi - 1) / zone_block in
+      let run_start = ref (-1) in
+      let flush bend =
+        if !run_start >= 0 then begin
+          f (max lo !run_start) (min hi bend);
+          run_start := -1
+        end
+      in
+      for b = b0 to b1 do
+        if block_may_match t b ranges then begin
+          if !run_start < 0 then run_start := b * zone_block
+        end
+        else begin
+          flush (b * zone_block);
+          t.skipped <- t.skipped + 1
+        end
+      done;
+      flush ((b1 + 1) * zone_block)
+    end
 
 let blocks_skipped t = t.skipped

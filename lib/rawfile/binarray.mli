@@ -58,6 +58,28 @@ val cell_of_indices : t -> int list -> int
     records — the "load everything" path baselines use. *)
 val to_value : t -> Vida_data.Value.t
 
+(** {1 Batch decode}
+
+    Entry points of the vectorized engine: decode a contiguous cell range
+    of one field straight into an unboxed buffer with a single bounds
+    check, slice and stats tap per call, instead of one {!get} (range
+    check + slice + [Value] box) per cell. The caller matches the buffer
+    to the field's declared type ({!header}). *)
+
+val fill_floats :
+  t -> field:int -> lo:int -> hi:int ->
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> unit
+(** [fill_floats t ~field ~lo ~hi out] decodes cells [lo, hi) of a
+    float64 field into [out.{0 .. hi-lo-1}].
+    @raise Vida_error.Error ([Invalid_request]) on a bad range, field or
+    undersized buffer. *)
+
+val fill_ints :
+  t -> field:int -> lo:int -> hi:int ->
+  (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t -> unit
+(** [fill_ints] is {!fill_floats} for int64 fields (values are truncated
+    to the native 63-bit [int], as {!get} does). *)
+
 (** {1 Zone maps}
 
     Per-block min/max statistics over a field (the paper's "indexes over
@@ -82,5 +104,15 @@ type range = { field : int; lo : float option; hi : float option }
     skipped blocks as saved reads. *)
 val scan_filtered : t -> ranges:range list -> (int -> unit) -> unit
 
-(** Blocks skipped by [scan_filtered] since the handle was opened. *)
+(** [matching_runs t ~ranges ~lo ~hi f] calls [f rlo rhi] for each maximal
+    run of cells in [lo, hi) lying in consecutive blocks whose zones
+    possibly intersect all [ranges] — the batch-granular counterpart of
+    {!scan_filtered}, used by the vectorized engine to prune whole batch
+    decodes. Pruned blocks count as skipped. [ranges = []] yields the
+    whole range as one run. *)
+val matching_runs :
+  t -> ranges:range list -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+
+(** Blocks skipped by [scan_filtered] / [matching_runs] since the handle
+    was opened. *)
 val blocks_skipped : t -> int

@@ -255,6 +255,20 @@ let health_payload srv req_id =
                ("shed", Value.Int b.G.Breaker.b_shed) ])
          (G.Breaker.snapshot ()))
   in
+  let vectorized =
+    let vs = Vida.vector_stats () in
+    Value.Record
+      [ ("kernels", Value.Int vs.Vida_engine.Vector.kernels);
+        ("batches_executed", Value.Int vs.Vida_engine.Vector.batches);
+        ("rows", Value.Int vs.Vida_engine.Vector.rows);
+        ("rows_per_batch_p50", Value.Int vs.Vida_engine.Vector.batch_rows_p50);
+        ("vector_fallbacks", Value.Int vs.Vida_engine.Vector.fallbacks);
+        ("fallback_reasons",
+         Value.List
+           (List.map
+              (fun r -> Value.String r)
+              vs.Vida_engine.Vector.last_fallbacks)) ]
+  in
   respond
     (field "id" req_id
     @@ field "status" (Value.String "ok")
@@ -273,7 +287,8 @@ let health_payload srv req_id =
               ("slow_frame_drops", Value.Int slow_frames);
               ("write_timeouts", Value.Int wto);
               ("pings", Value.Int pings);
-              ("breakers", breakers) ])
+              ("breakers", breakers);
+              ("vectorized", vectorized) ])
          [])
 
 (* --- the query path (runs on an executor domain, post-admission) --- *)
