@@ -113,6 +113,7 @@ let repl db ~engine ~output_json =
       \  .vector on|off       enable/disable the vectorized engine rung\n\
       \  .analyze QUERY       verify + lint the plan without executing it\n\
       \  .verify MODE         plan-verifier mode (off|warn|strict)\n\
+      \  .sync [MODE]         concurrency-sanitizer report; MODE sets off|warn|strict\n\
       \  .checkpoint          persist positional maps next to their files\n\
       \  .help                this message\n\
       \  .quit                leave\n"
@@ -311,6 +312,20 @@ let repl db ~engine ~output_json =
          | "strict" ->
            Vida.set_verify db Vida.Strict;
            print_endline "plan verification: strict (violations abort queries)"
+         | _ -> print_endline "expected off|warn|strict")
+       else if line = ".sync" then print_string (Vida_sync.report ())
+       else if String.length line > 6 && String.sub line 0 6 = ".sync " then (
+         match
+           String.lowercase_ascii
+             (String.trim (String.sub line 6 (String.length line - 6)))
+         with
+         | "off" -> Vida_sync.set_mode Vida_sync.Off; print_endline "sync sanitizer off"
+         | "warn" ->
+           Vida_sync.set_mode Vida_sync.Warn;
+           print_endline "sync sanitizer: warn (findings recorded)"
+         | "strict" ->
+           Vida_sync.set_mode Vida_sync.Strict;
+           print_endline "sync sanitizer: strict (violations raise, exit code 79)"
          | _ -> print_endline "expected off|warn|strict")
        else if String.length line > 5 && String.sub line 0 5 = ".sql " then
          ignore

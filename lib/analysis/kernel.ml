@@ -1,0 +1,43 @@
+(* Pure kernel-safety checks behind lint obligations P08-P10. The engine
+   discharges them on every vectorized dispatch in sanitize mode; keeping
+   the predicates here, next to the catalog, keeps the obligation text
+   and the check that enforces it in one library. *)
+
+let check_selection sel ~n ~lo ~hi =
+  if n < 0 || n > Array.length sel then
+    Some (Printf.sprintf "live count %d outside selection capacity %d" n (Array.length sel))
+  else begin
+    let err = ref None in
+    (try
+       for k = 0 to n - 1 do
+         let v = sel.(k) in
+         if v < lo || v >= hi then begin
+           err :=
+             Some
+               (Printf.sprintf "sel[%d]=%d outside batch bounds [%d,%d)" k v lo hi);
+           raise Exit
+         end;
+         if k > 0 && sel.(k - 1) >= v then begin
+           err :=
+             Some
+               (Printf.sprintf "sel[%d]=%d not strictly above sel[%d]=%d"
+                  k v (k - 1) sel.(k - 1));
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !err
+  end
+
+let check_scratch_domain ~created_on ~running_on =
+  if created_on = running_on then None
+  else
+    Some
+      (Printf.sprintf
+         "instance scratch created on domain %d used from domain %d"
+         created_on running_on)
+
+let check_merge_order monoid ~strategy =
+  match Effects.check_merge monoid ~strategy with
+  | Ok () -> None
+  | Error reason -> Some reason

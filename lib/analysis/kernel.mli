@@ -1,0 +1,20 @@
+(** Pure kernel-safety checks behind the lint catalog's vectorized-rung
+    obligations ([P08]-[P10], see {!Lint}). Each returns [Some reason]
+    on violation, [None] when the obligation holds; the engine reports
+    violations through the concurrency sanitizer as
+    ["kernel-obligation"] findings. *)
+
+(** [P08] — [check_selection sel ~n ~lo ~hi]: the first [n] entries of
+    the selection vector must be strictly increasing (sorted, unique)
+    and each within the batch bounds [\[lo, hi)]. *)
+val check_selection : int array -> n:int -> lo:int -> hi:int -> string option
+
+(** [P09] — a kernel instance's scratch buffers are single-morsel: the
+    instance must run on the domain that instantiated it. *)
+val check_scratch_domain : created_on:int -> running_on:int -> string option
+
+(** [P10] — merging vectorized partials must discharge the monoid's
+    {!Effects.merge_requirement} ([`Ordered] satisfies every monoid,
+    [`Unordered] only commutative ones). *)
+val check_merge_order :
+  Vida_calculus.Monoid.t -> strategy:[ `Ordered | `Unordered ] -> string option

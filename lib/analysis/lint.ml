@@ -23,7 +23,13 @@ let catalog =
     ("P04", Error, "unknown source or parameter referenced");
     ("P05", Warning, "source file changed on disk: sidecar/fingerprint staleness hazard");
     ("P06", Info, "trivially-true filter");
-    ("P07", Info, "non-commutative fold: result depends on source order") ]
+    ("P07", Info, "non-commutative fold: result depends on source order");
+    (* kernel-safety obligations over the vectorized rung, discharged
+       dynamically on every fold_chain_vectorized dispatch in sanitize
+       mode (see Kernel and Vida_sync) *)
+    ("P08", Error, "selection vector must be sorted, unique and in-bounds per batch");
+    ("P09", Error, "kernel scratch state must not escape its morsel");
+    ("P10", Error, "vectorized fold merge order must satisfy merge_requirement") ]
 
 let wide_threshold = 12
 

@@ -22,7 +22,23 @@
     - [P06] {e trivial-filter} (info) — a constant-true predicate.
     - [P07] {e order-sensitive-fold} (info) — the fold monoid is
       non-commutative, so the result depends on source order; the
-      parallel engine must (and does) merge partials in morsel order. *)
+      parallel engine must (and does) merge partials in morsel order.
+
+    Kernel-safety obligations over the vectorized rung ([P08]-[P10]) are
+    catalogued here but discharged {e dynamically}: {!Kernel} provides
+    the pure checks, and the engine runs them on every
+    [fold_chain_vectorized] dispatch when the concurrency sanitizer
+    ([Vida_sync], [VIDA_SANITIZE]) is active. Failures surface as
+    ["kernel-obligation"] sync findings.
+    - [P08] {e selection-vector-integrity} (error) — each batch's
+      selection vector must be strictly increasing (sorted, unique) and
+      in-bounds for the batch.
+    - [P09] {e scratch-escape} (error) — a kernel instance's scratch
+      buffers are single-morsel: the instance must run on the domain
+      that instantiated it.
+    - [P10] {e merge-order} (error) — merging vectorized partials must
+      satisfy the monoid's [merge_requirement] (ordered merge for
+      non-commutative monoids). *)
 
 type severity = Info | Warning | Error
 

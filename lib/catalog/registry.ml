@@ -7,11 +7,14 @@ type entry = { source : Source.t; explicit_schema : bool }
 type t = {
   table : (string, entry) Hashtbl.t;
   mutable order : string list;
-  lock : Mutex.t;
+  lock : Vida_sync.Lock.t;
 }
 
-let create () = { table = Hashtbl.create 16; order = []; lock = Mutex.create () }
-let locked t f = Mutex.protect t.lock f
+let create () =
+  { table = Hashtbl.create 16; order = [];
+    lock = Vida_sync.Lock.create ~rank:40 ~name:"catalog.registry" () }
+
+let locked t f = Vida_sync.Lock.protect t.lock f
 
 let add t name entry =
   locked t (fun () ->

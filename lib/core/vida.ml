@@ -35,7 +35,7 @@ type t = {
       (* bumped on any change that can affect planning: registration,
          unregistration, parameter binds, invalidation, cleaning policies,
          source refreshes. Plan-cache entries from older revisions miss. *)
-  lock : Mutex.t;
+  lock : Vida_sync.Lock.t;
       (* one instance serves many concurrent sessions: guards the result
          and plan caches, counters, verify log and ctx/params swaps *)
 }
@@ -47,9 +47,10 @@ let create ?cache_capacity ?domains ?(limits = Governor.unlimited) () =
     queries_run = 0; queries_from_cache = 0;
     session_io = Vida_raw.Io_stats.zero; result_cache = Hashtbl.create 64;
     result_hits = 0; result_stale_drops = 0; plan_cache = Hashtbl.create 64;
-    plan_hits = 0; plan_misses = 0; catalog_rev = 0; lock = Mutex.create () }
+    plan_hits = 0; plan_misses = 0; catalog_rev = 0;
+    lock = Vida_sync.Lock.create ~rank:10 ~name:"vida.instance" () }
 
-let locked t f = Mutex.protect t.lock f
+let locked t f = Vida_sync.Lock.protect t.lock f
 
 (* any catalog-affecting change retires every cached plan *)
 let bump_rev t = locked t (fun () -> t.catalog_rev <- t.catalog_rev + 1)
@@ -772,6 +773,27 @@ let analysis_report (a : analysis) =
     pf "parallel:  %d expression(s) pin the query to the sequential engines\n"
       (List.length ds);
     List.iter (fun (where, reason) -> pf "  %s: %s\n" where reason) ds);
+  (* concurrency-sanitizer state rides along: process-wide, not per-plan,
+     but .analyze is where operators look when a health snapshot shows a
+     non-zero sync counter *)
+  let sc = Vida_sync.counters () in
+  if Vida_sync.enabled () then begin
+    pf
+      "sync:      mode=%s locks=%d cells=%d race-allowed=%d kernel-checks=%d \
+       findings=%d\n"
+      (match Vida_sync.mode () with
+      | Vida_sync.Off -> "off"
+      | Vida_sync.Warn -> "warn"
+      | Vida_sync.Strict -> "strict")
+      sc.Vida_sync.locks sc.Vida_sync.cells sc.Vida_sync.race_allowed
+      sc.Vida_sync.kernel_checks sc.Vida_sync.total;
+    List.iter
+      (fun f ->
+        pf "  [%s] %s: %s\n" f.Vida_sync.f_kind f.Vida_sync.f_subject
+          f.Vida_sync.f_detail)
+      (Vida_sync.findings ())
+  end
+  else pf "sync:      sanitizer off (VIDA_SANITIZE=1 to enable)\n";
   Buffer.contents buf
 
 let stats (t : t) =
@@ -816,7 +838,7 @@ type session = {
   mutable running : Governor.session option;
       (* the governor session of the in-flight query, while one runs *)
   mutable closed : bool;
-  s_lock : Mutex.t;
+  s_lock : Vida_sync.Lock.t;
 }
 
 let session_counter = Atomic.make 0
@@ -824,7 +846,8 @@ let session_counter = Atomic.make 0
 let open_session ?(tenant = "default") ?(name = "session") t =
   { db = t; tenant; label = name;
     session_id = Atomic.fetch_and_add session_counter 1; running = None;
-    closed = false; s_lock = Mutex.create () }
+    closed = false;
+    s_lock = Vida_sync.Lock.create ~rank:15 ~name:"vida.session" () }
 
 let session_tenant s = s.tenant
 let session_name s = s.label
@@ -832,13 +855,13 @@ let session_id s = s.session_id
 let session_db s = s.db
 
 let cancel s ~reason =
-  Mutex.protect s.s_lock (fun () ->
+  Vida_sync.Lock.protect s.s_lock (fun () ->
       match s.running with
       | Some g -> Governor.cancel g ~reason
       | None -> ())
 
 let close_session s =
-  Mutex.protect s.s_lock (fun () ->
+  Vida_sync.Lock.protect s.s_lock (fun () ->
       s.closed <- true;
       match s.running with
       | Some g -> Governor.cancel g ~reason:"session closed"
@@ -862,7 +885,7 @@ let submit ?engine ?optimize ?reuse ?domains ?deadline_ms ?(syntax = `Comp) s
   in
   let g = Governor.start ~limits ~name:s.label () in
   let admitted =
-    Mutex.protect s.s_lock (fun () ->
+    Vida_sync.Lock.protect s.s_lock (fun () ->
         if s.closed then false
         else (
           s.running <- Some g;
@@ -875,7 +898,7 @@ let submit ?engine ?optimize ?reuse ?domains ?deadline_ms ?(syntax = `Comp) s
   else
     Fun.protect
       ~finally:(fun () ->
-        Mutex.protect s.s_lock (fun () -> s.running <- None))
+        Vida_sync.Lock.protect s.s_lock (fun () -> s.running <- None))
       (fun () ->
         Governor.with_session g (fun () ->
             run_text ?engine ?optimize ?reuse ?domains ~syntax s.db text))

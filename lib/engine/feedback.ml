@@ -1,8 +1,11 @@
 (* concurrent sessions record observations from many domains at once *)
-type t = { table : (string, float) Hashtbl.t; lock : Mutex.t }
+type t = { table : (string, float) Hashtbl.t; lock : Vida_sync.Lock.t }
 
-let create () = { table = Hashtbl.create 64; lock = Mutex.create () }
-let locked t f = Mutex.protect t.lock f
+let create () =
+  { table = Hashtbl.create 64;
+    lock = Vida_sync.Lock.create ~rank:60 ~name:"engine.feedback" () }
+
+let locked t f = Vida_sync.Lock.protect t.lock f
 
 let record t ~key ~observed =
   locked t (fun () ->

@@ -38,9 +38,27 @@ module Effects = Vida_analysis.Effects
 
 type decline = { where : string; reason : string }
 
+(* Observability only: declines are recorded from whichever domain hits
+   one and read by `.analyze`; a lost entry under contention costs a
+   diagnostic line, never an answer. Registered race-allowed with the
+   sanitizer on that basis. *)
+let declines_cell = "parallel.declines"
+
+let () =
+  Vida_sync.Cell.allow_race ~name:declines_cell
+    ~justification:
+      "decline log is diagnostic-only; a lost entry under contention drops \
+       an .analyze line, never an answer"
+
 let declines : decline list ref = ref []
-let note_decline ~where reason = declines := { where; reason } :: !declines
-let last_declines () = List.rev !declines
+
+let note_decline ~where reason =
+  Vida_sync.Cell.write ~name:declines_cell ~site:"parallel.note-decline";
+  declines := { where; reason } :: !declines
+
+let last_declines () =
+  Vida_sync.Cell.read ~name:declines_cell ~site:"parallel.last-declines";
+  List.rev !declines
 
 (* Observation hook for the plan-shape rewrites this module performs
    (count-head neutralization, one-sided filter pushdown): same contract
@@ -224,6 +242,17 @@ let fold_chain_vectorized ctx ~domains ~monoid ~head (c : chain) =
     Governor.note_fallback ~stage:"vectorized->closure" ~reason ();
     None
   | Ok kernel ->
+    (* P10: discharge the merge-order obligation explicitly on every
+       vectorized dispatch when the sanitizer is active. The indexed fold
+       in [merge_partials] is an [`Ordered] merge; a future scheduler
+       that reordered partials would fail here before returning rows. *)
+    if Vida_sync.enabled () then begin
+      Vida_sync.note_kernel_check ();
+      match Vida_analysis.Kernel.check_merge_order monoid ~strategy:`Ordered with
+      | Some reason ->
+        Vida_sync.kernel_failed ~id:"P10" ~subject:c.name "%s" reason
+      | None -> ()
+    end;
     let ranges = morsel_ranges c.n domains in
     let partials =
       Morsel.run ~domains ~tasks:(Array.length ranges) (fun t ->

@@ -17,18 +17,31 @@ type ctx = {
   domains : int;
       (* domain budget for parallel regions (morsel folds, chunked
          auxiliary-structure builds); 1 = strictly sequential *)
-  lock : Mutex.t;
+  lock : Vida_sync.Lock.t;
       (* guards [cleaning]/[bad_rows]/[structural_quarantined] under
-         concurrent sessions. Per-row membership probes of an already
-         -fetched bad set stay unlocked: OCaml hashtables are memory-safe
-         under races, and the worst case is a row a concurrently-cleaning
-         query just marked being transiently included — the same answer a
-         serial schedule running that query a moment later would give *)
+         concurrent sessions; the unlocked per-row bad-set probes are the
+         registered race-allowed cell [bad_rows_cell] below *)
 }
 
 exception Engine_error of string
 
 let engine_error fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
+
+(* The per-source bad-row sets are written under [ctx.lock] but probed
+   per row without it inside generated producers. The race is tolerated
+   by design — OCaml hashtables are memory-safe under races, and the
+   worst case is a row a concurrently-cleaning query just marked being
+   transiently included, the same answer a serial schedule running that
+   query a moment later would give — so the cell is registered
+   race-allowed with the sanitizer rather than asserted lock-protected. *)
+let bad_rows_cell = "plugins.bad-rows"
+
+let () =
+  Vida_sync.Cell.allow_race ~name:bad_rows_cell
+    ~justification:
+      "per-row membership probes of a fetched bad set; hashtables are \
+       memory-safe under races and a transiently-included row matches some \
+       serial schedule"
 
 let create_ctx ?cache_capacity ?(params = []) ?domains registry =
   let cache =
@@ -41,7 +54,7 @@ let create_ctx ?cache_capacity ?(params = []) ?domains registry =
     structural_quarantined = Hashtbl.create 4;
     feedback = Feedback.create ();
     domains = Vida_raw.Morsel.resolve ?requested:domains ();
-    lock = Mutex.create () }
+    lock = Vida_sync.Lock.create ~rank:45 ~name:"engine.plugins" () }
 
 let whole_object_item = "__object__"
 
@@ -72,7 +85,7 @@ let cache_find ctx (source : Source.t) key =
 let cache_put ctx (source : Source.t) key payload =
   ignore (Cache.put ?fingerprint:(source_fingerprint source) ctx.cache key payload)
 
-let locked ctx f = Mutex.protect ctx.lock f
+let locked ctx f = Vida_sync.Lock.protect ctx.lock f
 
 let cleaning_policy ctx source =
   match locked ctx (fun () -> Hashtbl.find_opt ctx.cleaning source) with
@@ -89,6 +102,7 @@ let bad_set ctx source =
         s)
 
 let mark_bad ctx bad row =
+  Vida_sync.Cell.write ~name:bad_rows_cell ~site:"plugins.mark-bad";
   locked ctx (fun () -> Hashtbl.replace bad row ())
 
 let bad_row_count ctx source =
@@ -198,6 +212,9 @@ let csv_producer ctx (source : Source.t) schema need consumer =
   let columns, nrows = csv_columns ctx source schema fs in
   let name = source.Source.name in
   let bad = bad_set ctx name in
+  (* one sanitizer access per producer run stands in for the per-row
+     probes below — same lockset evidence without per-row overhead *)
+  Vida_sync.Cell.read ~name:bad_rows_cell ~site:"plugins.csv-producer";
   for row = 0 to nrows - 1 do
     (* cache-served rows bypass the raw scan loops, so the epoch tick
        lives here too — a fully-cached query still notices a writer *)
@@ -257,6 +274,7 @@ let json_producer ctx (source : Source.t) need consumer =
         Vida_raw.Semi_index.object_count (Structures.semi_index ~domains:ctx.domains ctx.structures source)
     in
     let bad = bad_set ctx source.Source.name in
+    Vida_sync.Cell.read ~name:bad_rows_cell ~site:"plugins.json-producer";
     for obj = 0 to n - 1 do
       Vida_raw.Epoch.check ~source:source.Source.name ();
       if not (Hashtbl.mem bad obj) then
@@ -302,6 +320,7 @@ let json_producer ctx (source : Source.t) need consumer =
       let n = Vida_raw.Semi_index.object_count si in
       let policy = cleaning_policy ctx name in
       let bad = bad_set ctx name in
+      Vida_sync.Cell.read ~name:bad_rows_cell ~site:"plugins.json-whole-producer";
       (* an empty encoding marks an object dropped by the cleaning policy,
          so replays from cache skip the same objects *)
       let encoded = Array.make n "" in

@@ -36,10 +36,13 @@ type ctx = {
   domains : int;
       (** domain budget for parallel regions (morsel-driven folds, chunked
           auxiliary-structure builds); 1 = strictly sequential *)
-  lock : Mutex.t;
+  lock : Vida_sync.Lock.t;
       (** guards the mutable policy/bad-row tables under concurrent
           sessions (the registry, cache, structures and feedback carry
-          their own locks) *)
+          their own locks). Per-row probes of a fetched bad set stay
+          unlocked by design; that tolerance is registered with the
+          sanitizer as the race-allowed cell ["plugins.bad-rows"]
+          (see DESIGN.md §14) instead of prose *)
 }
 
 (** [create_ctx ?domains] resolves the domain budget as

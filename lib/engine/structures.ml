@@ -12,15 +12,16 @@ type t = {
      run under the lock — second-comers wait and reuse, and structure
      builds parallelize internally via morsels, so serializing distinct
      builds costs little next to returning a torn index *)
-  lock : Mutex.t;
+  lock : Vida_sync.Lock.t;
 }
 
 let create () =
   { buffers = Hashtbl.create 8; posmaps = Hashtbl.create 8;
     semi_indexes = Hashtbl.create 8; xml_indexes = Hashtbl.create 8;
-    binarrays = Hashtbl.create 8; lock = Mutex.create () }
+    binarrays = Hashtbl.create 8;
+    lock = Vida_sync.Lock.create ~rank:50 ~name:"engine.structures" () }
 
-let locked t f = Mutex.protect t.lock f
+let locked t f = Vida_sync.Lock.protect t.lock f
 
 let source_path (source : Source.t) =
   match source.Source.path with
@@ -38,8 +39,10 @@ let memo t table key f =
         Hashtbl.replace table key v;
         v)
 
-(* unlocked variant for callers already holding [t.lock] *)
-let memo_unlocked table key f =
+(* variant for callers already holding [t.lock] — a checked contract:
+   the sanitizer flags any call from a thread not holding the lock *)
+let memo_unlocked t table key f =
+  Vida_sync.Lock.assert_held t.lock;
   match Hashtbl.find_opt table key with
   | Some v -> v
   | None ->
@@ -48,7 +51,7 @@ let memo_unlocked table key f =
     v
 
 let buffer_unlocked t source =
-  memo_unlocked t.buffers source.Source.name (fun () ->
+  memo_unlocked t t.buffers source.Source.name (fun () ->
       Raw_buffer.of_path (source_path source))
 
 let buffer t source =

@@ -88,22 +88,29 @@ type stats = {
 let s_kernels = Atomic.make 0
 let s_batches = Atomic.make 0
 let s_rows = Atomic.make 0
-let s_fallbacks = Atomic.make 0
 let ring_cap = 256
-let s_ring = Array.make ring_cap 0
+
+(* ring entries are atomics: slots are claimed with a fetch-and-add on the
+   cursor and written from every worker domain, so a plain array could
+   serve the p50 torn or stale values under the memory model *)
+let s_ring = Array.init ring_cap (fun _ -> Atomic.make 0)
 let s_cursor = Atomic.make 0
-let reasons_mutex = Mutex.create ()
+
+(* the fallback counter and its reason ring move together under the lock:
+   a health snapshot must never show reasons without matching counts *)
+let reasons_lock = Vida_sync.Lock.create ~rank:70 ~name:"vector.reasons" ()
+let s_fallbacks = ref 0
 let s_reasons : string list ref = ref []
 
 let note_batch rows =
   ignore (Atomic.fetch_and_add s_batches 1);
   ignore (Atomic.fetch_and_add s_rows rows);
   let slot = Atomic.fetch_and_add s_cursor 1 in
-  s_ring.(slot mod ring_cap) <- rows
+  Atomic.set s_ring.(slot mod ring_cap) rows
 
 let note_global_fallback reason =
-  ignore (Atomic.fetch_and_add s_fallbacks 1);
-  Mutex.protect reasons_mutex (fun () ->
+  Vida_sync.Lock.protect reasons_lock (fun () ->
+      incr s_fallbacks;
       s_reasons :=
         reason :: (if List.length !s_reasons >= 8 then List.filteri (fun i _ -> i < 7) !s_reasons else !s_reasons))
 
@@ -112,23 +119,27 @@ let stats () =
   let p50 =
     if filled = 0 then 0
     else begin
-      let xs = Array.sub s_ring 0 filled in
+      let xs = Array.init filled (fun i -> Atomic.get s_ring.(i)) in
       Array.sort compare xs;
       xs.(filled / 2)
     end
   in
+  let fallbacks, last_fallbacks =
+    Vida_sync.Lock.protect reasons_lock (fun () -> (!s_fallbacks, !s_reasons))
+  in
   { kernels = Atomic.get s_kernels; batches = Atomic.get s_batches;
-    rows = Atomic.get s_rows; fallbacks = Atomic.get s_fallbacks;
+    rows = Atomic.get s_rows; fallbacks;
     batch_rows_p50 = p50;
-    last_fallbacks = Mutex.protect reasons_mutex (fun () -> !s_reasons) }
+    last_fallbacks }
 
 let reset_stats () =
   Atomic.set s_kernels 0;
   Atomic.set s_batches 0;
   Atomic.set s_rows 0;
-  Atomic.set s_fallbacks 0;
   Atomic.set s_cursor 0;
-  Mutex.protect reasons_mutex (fun () -> s_reasons := [])
+  Vida_sync.Lock.protect reasons_lock (fun () ->
+      s_fallbacks := 0;
+      s_reasons := [])
 
 (* --- unboxed columns -------------------------------------------------- *)
 
@@ -215,18 +226,18 @@ let promote ~field (arr : Value.t array) : col =
    and live-data extension replaces arrays wholesale, so [==] is exact.
    Bounded FIFO; a stale entry simply ages out. *)
 let memo : (Value.t array * col) list ref = ref []
-let memo_mutex = Mutex.create ()
+let memo_lock = Vida_sync.Lock.create ~rank:65 ~name:"vector.memo" ()
 let memo_cap = 64
 
 let promote_memo ~field arr =
   match
-    Mutex.protect memo_mutex (fun () ->
+    Vida_sync.Lock.protect memo_lock (fun () ->
         List.find_opt (fun (a, _) -> a == arr) !memo)
   with
   | Some (_, c) -> c
   | None ->
     let c = promote ~field arr in
-    Mutex.protect memo_mutex (fun () ->
+    Vida_sync.Lock.protect memo_lock (fun () ->
         let kept =
           if List.length !memo >= memo_cap then
             List.filteri (fun i _ -> i < memo_cap - 1) !memo
@@ -1031,6 +1042,7 @@ type instance = {
   i_steps : (unit -> unit) list;  (* per-batch step runners *)
   i_head : unit -> vval;
   i_accum : accum;
+  i_domain : int;  (* instantiating domain, for the P09 scratch check *)
 }
 
 let instantiate (k : kernel) : instance =
@@ -1088,7 +1100,8 @@ let instantiate (k : kernel) : instance =
   (* no budget charge: the scratch is O(batch_rows), a per-query constant
      independent of the data — budgets track data-dependent materialized
      working sets, and the closure engine's scans charge nothing either *)
-  { i_k = k; i_st = st; i_steps = steps; i_head = head; i_accum = accum }
+  { i_k = k; i_st = st; i_steps = steps; i_head = head; i_accum = accum;
+    i_domain = (Domain.self () :> int) }
 
 (* Run the fused kernel over rows [lo, hi): the per-morsel (or whole-scan)
    batch loop. One governor poll, one epoch tick and one stats note per
@@ -1096,6 +1109,19 @@ let instantiate (k : kernel) : instance =
 let run_range (inst : instance) ~lo ~hi : Value.t =
   let st = inst.i_st in
   let source = inst.i_k.k_name in
+  let sanitize = Vida_sync.enabled () in
+  (* P09: the instance's scratch (selection vector, staging buffers, bind
+     slots) is single-morsel state — running it from a domain other than
+     the one that instantiated it means the scratch escaped its morsel *)
+  if sanitize then begin
+    Vida_sync.note_kernel_check ();
+    match
+      Vida_analysis.Kernel.check_scratch_domain ~created_on:inst.i_domain
+        ~running_on:(Domain.self () :> int)
+    with
+    | Some reason -> Vida_sync.kernel_failed ~id:"P09" ~subject:source "%s" reason
+    | None -> ()
+  end;
   let process rlo rhi =
   let pos = ref rlo in
   while !pos < rhi do
@@ -1121,6 +1147,16 @@ let run_range (inst : instance) ~lo ~hi : Value.t =
     st.n <- rows;
     st.assigned <- 0;
     List.iter (fun step -> step ()) inst.i_steps;
+    (* P08: filters only ever compact the selection vector in place, so
+       after the steps it must still be strictly increasing and inside
+       this batch's bounds — anything else means a kernel wrote rows it
+       was never selected to touch *)
+    if sanitize then begin
+      Vida_sync.note_kernel_check ();
+      match Vida_analysis.Kernel.check_selection st.sel ~n:st.n ~lo:blo ~hi:bhi with
+      | Some reason -> Vida_sync.kernel_failed ~id:"P08" ~subject:source "%s" reason
+      | None -> ()
+    end;
     if st.n > 0 then inst.i_accum.push (inst.i_head ()) st.n;
     pos := bhi
   done

@@ -15,6 +15,7 @@ type t =
   | Source_changed of { source : string; detail : string }
   | Overloaded of { source : string; reason : string; retry_after_ms : float }
   | Source_unavailable of { source : string; reason : string; retry_after_ms : float }
+  | Sync_violation of { subject : string; kind : string; reason : string }
 
 exception Error of t
 
@@ -68,6 +69,9 @@ let source_unavailable ~source ~retry_after_ms fmt =
     (fun reason -> error (Source_unavailable { source; reason; retry_after_ms }))
     fmt
 
+let sync_violation ~subject ~kind fmt =
+  Format.kasprintf (fun reason -> error (Sync_violation { subject; kind; reason })) fmt
+
 let source = function
   | Parse_error { source; _ }
   | Truncated { source; _ }
@@ -83,12 +87,14 @@ let source = function
   | Source_unavailable { source; _ } -> source
   | Type_invalid { context; _ } -> context
   | Plan_invalid { stage; _ } -> stage
+  | Sync_violation { subject; _ } -> subject
 
 let offset = function
   | Parse_error { offset; _ } | Truncated { offset; _ } -> Some offset
   | Stale_auxiliary _ | Resource_limit _ | Io_failure _ | Invalid_request _
   | Deadline_exceeded _ | Budget_exceeded _ | Cancelled _ | Type_invalid _
-  | Plan_invalid _ | Source_changed _ | Overloaded _ | Source_unavailable _ ->
+  | Plan_invalid _ | Source_changed _ | Overloaded _ | Source_unavailable _
+  | Sync_violation _ ->
     None
 
 let kind_name = function
@@ -106,6 +112,7 @@ let kind_name = function
   | Source_changed _ -> "changed"
   | Overloaded _ -> "overloaded"
   | Source_unavailable _ -> "unavailable"
+  | Sync_violation _ -> "sync"
 
 let exit_code = function
   | Parse_error _ -> 65
@@ -122,6 +129,7 @@ let exit_code = function
   | Source_changed _ -> 76
   | Overloaded _ -> 77
   | Source_unavailable _ -> 78
+  | Sync_violation _ -> 79
 
 let pp ppf = function
   | Parse_error { source; offset; reason } ->
@@ -154,6 +162,8 @@ let pp ppf = function
   | Source_unavailable { source; reason; retry_after_ms } ->
     Format.fprintf ppf "%s: source unavailable: %s (retry after %.0f ms)"
       source reason retry_after_ms
+  | Sync_violation { subject; kind; reason } ->
+    Format.fprintf ppf "%s: sync violation (%s): %s" subject kind reason
 
 let to_string e = Format.asprintf "%a" pp e
 

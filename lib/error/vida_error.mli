@@ -55,6 +55,13 @@ type t =
           [retry_after_ms] is the remaining cooldown before the breaker
           half-opens and lets a probe through (see
           {!Vida_governor.Governor.Breaker}) *)
+  | Sync_violation of { subject : string; kind : string; reason : string }
+      (** the concurrency sanitizer ([Vida_sync], active under
+          [VIDA_SANITIZE]) detected a lock-discipline or shared-state
+          violation; [subject] names the offending lock or cell and [kind]
+          classifies the finding ("rank-inversion", "reentry",
+          "lock-cycle", "unlocked-access", "unheld-lock",
+          "kernel-obligation") *)
 
 exception Error of t
 
@@ -92,6 +99,9 @@ val source_unavailable :
   source:string -> retry_after_ms:float ->
   ('a, Format.formatter, unit, 'b) format4 -> 'a
 
+val sync_violation :
+  subject:string -> kind:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
 (** {1 Inspection} *)
 
 val source : t -> string
@@ -100,13 +110,14 @@ val offset : t -> int option  (** byte offset, when the error names one *)
 val kind_name : t -> string
 (** short stable tag: ["parse"], ["truncated"], ["stale"], ["limit"],
     ["io"], ["invalid"], ["deadline"], ["budget"], ["cancelled"],
-    ["type"], ["plan"], ["changed"], ["overloaded"], ["unavailable"] *)
+    ["type"], ["plan"], ["changed"], ["overloaded"], ["unavailable"],
+    ["sync"] *)
 
 val exit_code : t -> int
 (** distinct process exit code per kind, for CLI surfacing:
     parse 65, truncated 66, stale 67, limit 68, io 69, invalid 70,
     deadline 71, budget 72, cancelled 73, type 74, plan 75, changed 76,
-    overloaded 77, unavailable 78. *)
+    overloaded 77, unavailable 78, sync 79. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

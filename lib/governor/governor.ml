@@ -50,13 +50,14 @@ type session = {
   retries : int Atomic.t;
   fallbacks : fallback list Atomic.t;  (* newest first *)
   batches : int Atomic.t;  (* vectorized batches executed *)
-  batch_sizes : int array;  (* ring of recent batch row counts, for p50 *)
+  batch_sizes : int Atomic.t array;  (* ring of recent batch row counts, for p50 *)
   batch_cursor : int Atomic.t;
 }
 
-(* Recent-batch-size ring capacity. Statistics only: concurrent writers
-   may interleave slots, which skews the p50 by at most a slot — fine for
-   an observability counter. *)
+(* Recent-batch-size ring capacity. Ring entries are atomics: slots are
+   claimed with a fetch-and-add on the cursor and written from multiple
+   domains, so a plain array could serve [batch_rows_p50] torn or stale
+   values under the memory model. *)
 let batch_ring = 128
 
 type report = {
@@ -85,7 +86,8 @@ let start ?limits ?(name = "query") () =
     cancel_reason = Atomic.make None; cancel_at_poll = Atomic.make None;
     polls = Atomic.make 0; charged = Atomic.make 0;
     retries = Atomic.make 0; fallbacks = Atomic.make [];
-    batches = Atomic.make 0; batch_sizes = Array.make batch_ring 0;
+    batches = Atomic.make 0;
+    batch_sizes = Array.init batch_ring (fun _ -> Atomic.make 0);
     batch_cursor = Atomic.make 0 }
 
 (* The ambient session is domain-local: each worker domain of a parallel
@@ -168,7 +170,7 @@ let poll_batch ?(source = "query") ~rows () =
     let polls = Atomic.fetch_and_add s.polls rows + rows in
     ignore (Atomic.fetch_and_add s.batches 1);
     let slot = Atomic.fetch_and_add s.batch_cursor 1 in
-    s.batch_sizes.(slot mod batch_ring) <- rows;
+    Atomic.set s.batch_sizes.(slot mod batch_ring) rows;
     (match Atomic.get s.cancel_at_poll with
     | Some n when polls >= n ->
       ignore
@@ -254,7 +256,7 @@ let batch_rows_p50 s =
   let filled = min (Atomic.get s.batch_cursor) batch_ring in
   if filled = 0 then 0
   else begin
-    let xs = Array.sub s.batch_sizes 0 filled in
+    let xs = Array.init filled (fun i -> Atomic.get s.batch_sizes.(i)) in
     Array.sort compare xs;
     xs.(filled / 2)
   end
@@ -318,7 +320,7 @@ module Admission = struct
 
   type t = {
     config : config;
-    mutex : Mutex.t;
+    mutex : Vida_sync.Lock.t;
     mutable running : int;
     mutable queued : int;
     mutable reserved : int;
@@ -330,12 +332,14 @@ module Admission = struct
   type ticket = { t_tenant : string; t_reserve : int }
 
   let create ?(config = default_config) () =
-    { config; mutex = Mutex.create (); running = 0; queued = 0; reserved = 0;
+    { config;
+      mutex = Vida_sync.Lock.create ~rank:75 ~name:"governor.admission" ();
+      running = 0; queued = 0; reserved = 0;
       tenant_running = Hashtbl.create 8; admitted_total = 0; shed_total = 0 }
 
   let poll_ms = 5.
 
-  let locked t f = Mutex.protect t.mutex f
+  let locked t f = Vida_sync.Lock.protect t.mutex f
 
   let tenant_count t tenant =
     Option.value ~default:0 (Hashtbl.find_opt t.tenant_running tenant)
@@ -504,10 +508,10 @@ module Breaker = struct
   let set_config c = cfg := c
   let config () = !cfg
 
-  let mutex = Mutex.create ()
+  let mutex = Vida_sync.Lock.create ~rank:80 ~name:"governor.breaker" ()
   let table : (string, entry) Hashtbl.t = Hashtbl.create 8
 
-  let locked f = Mutex.protect mutex f
+  let locked f = Vida_sync.Lock.protect mutex f
 
   let entry source =
     match Hashtbl.find_opt table source with

@@ -50,18 +50,14 @@ module Crash = struct
 
   let mode = ref Off
   let count = ref 0
-  let mutex = Mutex.create ()
+  let mutex = Vida_sync.Lock.create ~rank:90 ~name:"raw.sidecar-crash" ()
 
   let arm_random ~seed =
-    Mutex.lock mutex;
-    mode := Seeded { state = Int64.of_int seed };
-    count := 0;
-    Mutex.unlock mutex
+    Vida_sync.Lock.protect mutex (fun () ->
+        mode := Seeded { state = Int64.of_int seed };
+        count := 0)
 
-  let disarm () =
-    Mutex.lock mutex;
-    mode := Off;
-    Mutex.unlock mutex
+  let disarm () = Vida_sync.Lock.protect mutex (fun () -> mode := Off)
 
   let crashes () = !count
 
@@ -76,21 +72,17 @@ module Crash = struct
   (* [Some offset] when this write should be torn at [offset]. Roughly
      half of armed writes crash, at a uniform offset in [0, len). *)
   let plan_crash ~len =
-    Mutex.lock mutex;
-    let r =
-      match !mode with
-      | Off -> None
-      | Seeded s ->
-        let st, r = next_int64 s.state in
-        s.state <- st;
-        let bits = Int64.to_int (Int64.logand r 0x3FFFFFFFFFFFFFFFL) in
-        if bits land 1 = 0 || len = 0 then None
-        else (
-          incr count;
-          Some (bits lsr 1 mod len))
-    in
-    Mutex.unlock mutex;
-    r
+    Vida_sync.Lock.protect mutex (fun () ->
+        match !mode with
+        | Off -> None
+        | Seeded s ->
+          let st, r = next_int64 s.state in
+          s.state <- st;
+          let bits = Int64.to_int (Int64.logand r 0x3FFFFFFFFFFFFFFFL) in
+          if bits land 1 = 0 || len = 0 then None
+          else (
+            incr count;
+            Some (bits lsr 1 mod len)))
 end
 
 (* --- encoding helpers --- *)

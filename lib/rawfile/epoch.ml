@@ -15,18 +15,17 @@
    each entry records the filesystem path to re-probe regardless of which
    key found it. *)
 type t = {
-  mutex : Mutex.t;
+  mutex : Vida_sync.Lock.t;
   mutable pins : (string * (string * Fingerprint.t)) list;  (* key -> (path, fp) *)
   checks : int Atomic.t;  (* stride counter for on-disk probes *)
   probes : int Atomic.t;  (* probes actually performed *)
 }
 
 let create () =
-  { mutex = Mutex.create (); pins = []; checks = Atomic.make 0; probes = Atomic.make 0 }
+  { mutex = Vida_sync.Lock.create ~rank:85 ~name:"raw.epoch" ();
+    pins = []; checks = Atomic.make 0; probes = Atomic.make 0 }
 
-let locked e f =
-  Mutex.lock e.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock e.mutex) f
+let locked e f = Vida_sync.Lock.protect e.mutex f
 
 let pin e ~source ?path fp =
   let path = Option.value path ~default:source in

@@ -124,7 +124,7 @@ module Pool = struct
   }
 
   type t = {
-    mutex : Mutex.t;
+    mutex : Vida_sync.Lock.t;
     work : Condition.t;  (* workers: a region may be runnable *)
     progress : Condition.t;  (* callers: a morsel completed *)
     mutable regions : region list;  (* submission order *)
@@ -171,7 +171,7 @@ module Pool = struct
 
   let worker t () =
     let rec loop () =
-      Mutex.lock t.mutex;
+      Vida_sync.Lock.lock t.mutex;
       let rec next_claim () =
         if t.shutdown then None
         else
@@ -183,11 +183,11 @@ module Pool = struct
             note_quantum t r;
             Some (r, i)
           | _ ->
-            Condition.wait t.work t.mutex;
+            Vida_sync.Lock.wait t.work t.mutex;
             next_claim ()
       in
       let claim = next_claim () in
-      Mutex.unlock t.mutex;
+      Vida_sync.Lock.unlock t.mutex;
       match claim with
       | None -> ()
       | Some (r, i) ->
@@ -195,14 +195,14 @@ module Pool = struct
           install_ambient ~session:r.gov ~epoch:r.epoch (fun () -> r.run_task i)
         in
         Atomic.incr t.executed;
-        Mutex.lock t.mutex;
+        Vida_sync.Lock.lock t.mutex;
         r.helpers <- r.helpers - 1;
         r.completed <- r.completed + 1;
         if not ok then r.failed <- true;
         Condition.broadcast t.progress;
         (* freeing a helper slot can make a throttled region runnable *)
         Condition.broadcast t.work;
-        Mutex.unlock t.mutex;
+        Vida_sync.Lock.unlock t.mutex;
         loop ()
     in
     loop ()
@@ -210,7 +210,8 @@ module Pool = struct
   let create ?domains () =
     let size = max 0 (resolve ?requested:domains () - 1) in
     let t =
-      { mutex = Mutex.create (); work = Condition.create ();
+      { mutex = Vida_sync.Lock.create ~rank:95 ~name:"raw.morsel-pool" ();
+        work = Condition.create ();
         progress = Condition.create (); regions = [];
         consumed = Hashtbl.create 16; served = Hashtbl.create 16;
         shutdown = false; executed = Atomic.make 0; workers = []; size }
@@ -219,28 +220,28 @@ module Pool = struct
     t
 
   let shutdown t =
-    Mutex.lock t.mutex;
+    Vida_sync.Lock.lock t.mutex;
     t.shutdown <- true;
     Condition.broadcast t.work;
-    Mutex.unlock t.mutex;
+    Vida_sync.Lock.unlock t.mutex;
     List.iter Domain.join t.workers;
     t.workers <- []
 
   let stats t =
-    Mutex.lock t.mutex;
+    Vida_sync.Lock.lock t.mutex;
     let s =
       { workers = t.size; active_regions = List.length t.regions;
         inflight = List.fold_left (fun n r -> n + r.helpers) 0 t.regions;
         executed = Atomic.get t.executed;
         sessions_served = Hashtbl.length t.served }
     in
-    Mutex.unlock t.mutex;
+    Vida_sync.Lock.unlock t.mutex;
     s
 
   let idle t =
-    Mutex.lock t.mutex;
+    Vida_sync.Lock.lock t.mutex;
     let v = t.regions = [] in
-    Mutex.unlock t.mutex;
+    Vida_sync.Lock.unlock t.mutex;
     v
 
   let size t = t.size
@@ -273,18 +274,18 @@ module Pool = struct
               results.(i) <- Some (Error e);
               false) }
     in
-    Mutex.lock t.mutex;
+    Vida_sync.Lock.lock t.mutex;
     t.regions <- t.regions @ [ r ];
     Condition.broadcast t.work;
-    Mutex.unlock t.mutex;
+    Vida_sync.Lock.unlock t.mutex;
     Fun.protect
       ~finally:(fun () ->
-        Mutex.lock t.mutex;
+        Vida_sync.Lock.lock t.mutex;
         region_done t r;
-        Mutex.unlock t.mutex)
+        Vida_sync.Lock.unlock t.mutex)
       (fun () ->
         let rec drive () =
-          Mutex.lock t.mutex;
+          Vida_sync.Lock.lock t.mutex;
           let claim =
             if claimable r then (
               let i = r.next in
@@ -293,21 +294,21 @@ module Pool = struct
               Some i)
             else None
           in
-          Mutex.unlock t.mutex;
+          Vida_sync.Lock.unlock t.mutex;
           match claim with
           | Some i ->
             (* ambient session/epoch are already installed in the caller *)
             let _ok : bool = r.run_task i in
-            Mutex.lock t.mutex;
+            Vida_sync.Lock.lock t.mutex;
             r.completed <- r.completed + 1;
-            Mutex.unlock t.mutex;
+            Vida_sync.Lock.unlock t.mutex;
             drive ()
           | None ->
-            Mutex.lock t.mutex;
+            Vida_sync.Lock.lock t.mutex;
             while r.completed < r.next do
-              Condition.wait t.progress t.mutex
+              Vida_sync.Lock.wait t.progress t.mutex
             done;
-            Mutex.unlock t.mutex
+            Vida_sync.Lock.unlock t.mutex
         in
         drive ();
         Array.iter

@@ -43,7 +43,7 @@ type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   port : int;
-  lock : Mutex.t;
+  lock : Vida_sync.Lock.t;
   mutable rng : int64;
   mutable acceptor : Thread.t option;
   mutable pumps : Thread.t list;
@@ -58,7 +58,7 @@ type t = {
 (* splitmix64 — same generator the fault injector uses; every draw is
    serialized under the proxy lock *)
 let next_u64 t =
-  Mutex.protect t.lock (fun () ->
+  Vida_sync.Lock.protect t.lock (fun () ->
       let open Int64 in
       t.rng <- add t.rng 0x9E3779B97F4A7C15L;
       let z = t.rng in
@@ -75,7 +75,7 @@ let next_int t bound =
   else Int64.to_int (Int64.rem (Int64.shift_right_logical (next_u64 t) 1)
                        (Int64.of_int bound))
 
-let bump t f = Mutex.protect t.lock f
+let bump t f = Vida_sync.Lock.protect t.lock f
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -204,7 +204,7 @@ let start ?(seed = 0) ?(config = calm) upstream =
     | _ -> assert false
   in
   let t =
-    { upstream; cfg = config; listen_fd; port; lock = Mutex.create ();
+    { upstream; cfg = config; listen_fd; port; lock = Vida_sync.Lock.create ~rank:35 ~name:"server.chaos" ();
       rng = Int64.of_int ((seed lxor 0xC4A05) lor 1);
       acceptor = None; pumps = []; s_connections = 0; s_chunks = 0;
       s_corruptions = 0; s_stalls = 0; s_resets = 0; s_tears = 0 }
@@ -215,7 +215,7 @@ let start ?(seed = 0) ?(config = calm) upstream =
 let address t = Server.Tcp { host = "127.0.0.1"; port = t.port }
 
 let stats t =
-  Mutex.protect t.lock (fun () ->
+  Vida_sync.Lock.protect t.lock (fun () ->
       { connections = t.s_connections; chunks = t.s_chunks;
         corruptions = t.s_corruptions; stalls = t.s_stalls;
         resets = t.s_resets; tears = t.s_tears })
@@ -225,6 +225,6 @@ let stop t =
   close_quiet t.listen_fd;
   (match t.acceptor with Some th -> Thread.join th | None -> ());
   (* unblock every pump still bridging a live connection *)
-  let pumps = Mutex.protect t.lock (fun () -> t.pumps) in
+  let pumps = Vida_sync.Lock.protect t.lock (fun () -> t.pumps) in
   List.iter (fun th -> try Thread.join th with _ -> ()) pumps;
-  Mutex.protect t.lock (fun () -> t.pumps <- [])
+  Vida_sync.Lock.protect t.lock (fun () -> t.pumps <- [])

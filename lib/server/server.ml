@@ -42,7 +42,7 @@ type request = {
 type job = {
   run : unit -> string;
   mutable reply : string option;
-  j_lock : Mutex.t;
+  j_lock : Vida_sync.Lock.t;
   j_done : Condition.t;
 }
 
@@ -56,7 +56,7 @@ type t = {
   listen_fd : Unix.file_descr;
   bound : Unix.sockaddr;
   queue : job Queue.t;
-  lock : Mutex.t;
+  lock : Vida_sync.Lock.t;
   work : Condition.t;
   mutable stopping : bool;
   mutable execs : unit Domain.t list;
@@ -239,7 +239,7 @@ let health_payload srv req_id =
   let adm = G.Admission.gauges srv.adm in
   let served, shed, disconnect_cancels, idle_reaped, slow_frames, wto, pings,
       active =
-    Mutex.protect srv.lock (fun () ->
+    Vida_sync.Lock.protect srv.lock (fun () ->
         ( srv.served, srv.shed, srv.disconnect_cancels, srv.idle_reaped,
           srv.slow_frame_drops, srv.write_timeouts, srv.pings,
           List.length srv.conns ))
@@ -269,6 +269,27 @@ let health_payload srv req_id =
               (fun r -> Value.String r)
               vs.Vida_engine.Vector.last_fallbacks)) ]
   in
+  let sync =
+    let sc = Vida_sync.counters () in
+    Value.Record
+      [ ("mode",
+         Value.String
+           (match Vida_sync.mode () with
+           | Vida_sync.Off -> "off"
+           | Vida_sync.Warn -> "warn"
+           | Vida_sync.Strict -> "strict"));
+        ("locks", Value.Int sc.Vida_sync.locks);
+        ("cells", Value.Int sc.Vida_sync.cells);
+        ("race_allowed", Value.Int sc.Vida_sync.race_allowed);
+        ("kernel_checks", Value.Int sc.Vida_sync.kernel_checks);
+        ("rank_inversions", Value.Int sc.Vida_sync.rank_inversions);
+        ("reentries", Value.Int sc.Vida_sync.reentries);
+        ("lock_cycles", Value.Int sc.Vida_sync.lock_cycles);
+        ("unlocked_accesses", Value.Int sc.Vida_sync.unlocked_accesses);
+        ("unheld_locks", Value.Int sc.Vida_sync.unheld_locks);
+        ("kernel_failures", Value.Int sc.Vida_sync.kernel_failures);
+        ("findings_total", Value.Int sc.Vida_sync.total) ]
+  in
   respond
     (field "id" req_id
     @@ field "status" (Value.String "ok")
@@ -288,7 +309,8 @@ let health_payload srv req_id =
               ("write_timeouts", Value.Int wto);
               ("pings", Value.Int pings);
               ("breakers", breakers);
-              ("vectorized", vectorized) ])
+              ("vectorized", vectorized);
+              ("sync", sync) ])
          [])
 
 (* --- the query path (runs on an executor domain, post-admission) --- *)
@@ -306,7 +328,7 @@ let execute srv session req =
     Vida.submit ?domains ?deadline_ms:req.deadline_ms ~syntax:req.syntax
       session req.query
   in
-  Mutex.protect srv.lock (fun () -> srv.served <- srv.served + 1);
+  Vida_sync.Lock.protect srv.lock (fun () -> srv.served <- srv.served + 1);
   match outcome with
   | Ok r -> ok_payload req.req_id r
   | Error e -> error_payload req.req_id e
@@ -315,20 +337,20 @@ let execute srv session req =
 
 let exec_loop srv () =
   let rec next () =
-    Mutex.lock srv.lock;
+    Vida_sync.Lock.lock srv.lock;
     (* drain-before-exit: a job enqueued before [stopping] flipped must
        still get a reply, or its connection thread would await forever *)
     let rec claim () =
       match Queue.take_opt srv.queue with
       | Some job ->
-        Mutex.unlock srv.lock;
+        Vida_sync.Lock.unlock srv.lock;
         Some job
       | None ->
         if srv.stopping then (
-          Mutex.unlock srv.lock;
+          Vida_sync.Lock.unlock srv.lock;
           None)
         else (
-          Condition.wait srv.work srv.lock;
+          Vida_sync.Lock.wait srv.work srv.lock;
           claim ())
     in
     match claim () with
@@ -342,7 +364,7 @@ let exec_loop srv () =
              every other session is untouched *)
           bad_request_payload ("internal error: " ^ Printexc.to_string e)
       in
-      Mutex.protect job.j_lock (fun () ->
+      Vida_sync.Lock.protect job.j_lock (fun () ->
           job.reply <- Some reply;
           Condition.broadcast job.j_done);
       next ()
@@ -351,9 +373,11 @@ let exec_loop srv () =
 
 let submit_job srv run =
   let job =
-    { run; reply = None; j_lock = Mutex.create (); j_done = Condition.create () }
+    { run; reply = None;
+      j_lock = Vida_sync.Lock.create ~rank:30 ~name:"server.job" ();
+      j_done = Condition.create () }
   in
-  Mutex.protect srv.lock (fun () ->
+  Vida_sync.Lock.protect srv.lock (fun () ->
       if srv.stopping then
         (* refused, answered inline: after [stopping] no executor is
            guaranteed to ever claim the queue again *)
@@ -387,7 +411,7 @@ let handle_conn srv fd =
       ~name:(Printf.sprintf "conn-%d" (Thread.id (Thread.self ())))
   in
   let cfg = srv.config in
-  let bump f = Mutex.protect srv.lock f in
+  let bump f = Vida_sync.Lock.protect srv.lock f in
   let rec serve () =
     match
       Frame.read ~max_bytes:cfg.max_frame_bytes
@@ -433,7 +457,7 @@ let handle_conn srv fd =
               ~reserve:(Option.value limits.G.memory_budget ~default:0)
           with
           | exception Vida_error.Error (Vida_error.Overloaded _ as e) ->
-            Mutex.protect srv.lock (fun () -> srv.shed <- srv.shed + 1);
+            Vida_sync.Lock.protect srv.lock (fun () -> srv.shed <- srv.shed + 1);
             Some (data_error_payload req.req_id e)
           | ticket ->
           let job =
@@ -449,13 +473,13 @@ let handle_conn srv fd =
              occupying an admission slot until completion *)
           let cancelled = ref false in
           let rec await () =
-            match Mutex.protect job.j_lock (fun () -> job.reply) with
+            match Vida_sync.Lock.protect job.j_lock (fun () -> job.reply) with
             | Some r -> if !cancelled then None else Some r
             | None ->
               if (not !cancelled) && peer_gone fd then (
                 cancelled := true;
                 Vida.cancel session ~reason:"client disconnected";
-                Mutex.protect srv.lock (fun () ->
+                Vida_sync.Lock.protect srv.lock (fun () ->
                     srv.disconnect_cancels <- srv.disconnect_cancels + 1));
               Thread.delay 0.002;
               await ()
@@ -488,7 +512,7 @@ let handle_conn srv fd =
 let conn_main srv fd () =
   let me = { c_fd = fd; c_thread = Thread.self () } in
   let registered =
-    Mutex.protect srv.lock (fun () ->
+    Vida_sync.Lock.protect srv.lock (fun () ->
         if srv.stopping then false
         else (
           srv.conns <- me :: srv.conns;
@@ -497,7 +521,7 @@ let conn_main srv fd () =
   if not registered then (try Unix.close fd with Unix.Unix_error _ -> ())
   else (
     handle_conn srv fd;
-    Mutex.protect srv.lock (fun () ->
+    Vida_sync.Lock.protect srv.lock (fun () ->
         srv.conns <- List.filter (fun c -> c != me) srv.conns))
 
 let accept_loop srv () =
@@ -562,7 +586,8 @@ let create ?(config = default_config) db =
   Unix.listen listen_fd 64;
   let srv =
     { db; config; adm; pool; listen_fd; bound = Unix.getsockname listen_fd;
-      queue = Queue.create (); lock = Mutex.create ();
+      queue = Queue.create ();
+      lock = Vida_sync.Lock.create ~rank:20 ~name:"server.instance" ();
       work = Condition.create (); stopping = false; execs = []; acceptor = None;
       conns = []; served = 0; shed = 0; disconnect_cancels = 0;
       idle_reaped = 0; slow_frame_drops = 0; write_timeouts = 0; pings = 0 }
@@ -585,7 +610,7 @@ let address srv =
 let stats srv =
   let ( active_connections, served, shed, disconnect_cancels, idle_reaped,
         slow_frame_drops, write_timeouts, pings ) =
-    Mutex.protect srv.lock (fun () ->
+    Vida_sync.Lock.protect srv.lock (fun () ->
         ( List.length srv.conns, srv.served, srv.shed, srv.disconnect_cancels,
           srv.idle_reaped, srv.slow_frame_drops, srv.write_timeouts, srv.pings ))
   in
@@ -595,7 +620,7 @@ let stats srv =
     breakers = G.Breaker.snapshot () }
 
 let stop ?drain_ms srv =
-  Mutex.protect srv.lock (fun () ->
+  Vida_sync.Lock.protect srv.lock (fun () ->
       srv.stopping <- true;
       Condition.broadcast srv.work);
   (* wake the acceptor first: no NEW connections during the drain. Then
@@ -618,7 +643,7 @@ let stop ?drain_ms srv =
     let busy () =
       let g = G.Admission.gauges srv.adm in
       g.G.Admission.running > 0 || g.G.Admission.queued > 0
-      || Mutex.protect srv.lock (fun () -> not (Queue.is_empty srv.queue))
+      || Vida_sync.Lock.protect srv.lock (fun () -> not (Queue.is_empty srv.queue))
     in
     while busy () && G.now_ms () -. t0 < drain do
       Thread.delay 0.005
@@ -629,13 +654,13 @@ let stop ?drain_ms srv =
   (* force every live connection to EOF so its thread unblocks from
      Frame.read and exits; a query still running past the drain deadline
      is cancelled cooperatively via the disconnect path *)
-  let conns = Mutex.protect srv.lock (fun () -> srv.conns) in
+  let conns = Vida_sync.Lock.protect srv.lock (fun () -> srv.conns) in
   List.iter
     (fun c ->
       try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     conns;
   List.iter (fun c -> Thread.join c.c_thread) conns;
-  Mutex.protect srv.lock (fun () ->
+  Vida_sync.Lock.protect srv.lock (fun () ->
       srv.conns <- [];
       Condition.broadcast srv.work);
   List.iter Domain.join srv.execs;

@@ -39,7 +39,7 @@ type entry = {
    missing payload (a duplicated derivation is harmless; a lock held
    across a raw-file scan is not). *)
 type t = {
-  lock : Mutex.t;
+  lock : Vida_sync.Lock.t;
   table : (key, entry) Hashtbl.t;
   capacity : int;
   owner_resident : (int, int) Hashtbl.t;  (* session id -> admitted bytes *)
@@ -55,13 +55,14 @@ type t = {
 }
 
 let create ?(capacity_bytes = 256 * 1024 * 1024) () =
-  { lock = Mutex.create (); table = Hashtbl.create 64;
+  { lock = Vida_sync.Lock.create ~rank:55 ~name:"storage.cache" ();
+    table = Hashtbl.create 64;
     capacity = capacity_bytes;
     owner_resident = Hashtbl.create 8; clock = 0; resident = 0;
     hits = 0; misses = 0; evictions = 0; invalidations = 0; stale_drops = 0;
     budget_evictions = 0; budget_refusals = 0 }
 
-let locked t f = Mutex.protect t.lock f
+let locked t f = Vida_sync.Lock.protect t.lock f
 
 let rec value_bytes (v : Value.t) =
   match v with
@@ -111,6 +112,7 @@ let remove t key =
    auxiliary-structure invalidation applied to cached data). An entry with
    no stored fingerprint predates fingerprinting and is served as-is. *)
 let find_unlocked ?fingerprint t key =
+  Vida_sync.Lock.assert_held t.lock;
   match Hashtbl.find_opt t.table key with
   | Some entry -> (
     match entry.fingerprint, fingerprint with
@@ -191,6 +193,7 @@ let admit t bytes =
         Some (Some id)))
 
 let put_unlocked ?fingerprint t key payload =
+  Vida_sync.Lock.assert_held t.lock;
   let bytes = payload_bytes payload in
   if bytes > t.capacity then false
   else (

@@ -1,0 +1,469 @@
+(* Concurrency sanitizer for the multi-domain serving stack.
+
+   Every mutex in lib/ is created through [Lock.create] with a declared
+   rank and resource name. With sanitizing off (the default) a lock is a
+   plain [Mutex.t] behind one mode-check branch. Under [VIDA_SANITIZE]
+   the layer maintains a held-lock stack per (domain, thread), rejects
+   rank inversions and same-lock re-entry at acquire time, accumulates a
+   process-global acquired-before graph whose cycles are deadlock
+   potential, and runs an Eraser-style lockset pass over registered
+   shared cells. Server connection threads are systhreads that all share
+   domain 0, so stacks are keyed by (domain id, thread id), never by
+   domain alone. *)
+
+type mode = Off | Warn | Strict
+
+(* 0 = Off, 1 = Warn, 2 = Strict; an int atomic keeps the off-mode fast
+   path to a single load + compare before the plain mutex op. *)
+let mode_cell = Atomic.make 0
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "0" | "off" -> Off
+  | "2" | "strict" -> Strict
+  | _ -> Warn
+
+let mode () =
+  match Atomic.get mode_cell with 0 -> Off | 1 -> Warn | _ -> Strict
+
+let set_mode m =
+  Atomic.set mode_cell (match m with Off -> 0 | Warn -> 1 | Strict -> 2)
+
+let enabled () = Atomic.get mode_cell <> 0
+let strict () = Atomic.get mode_cell = 2
+
+(* All sanitizer bookkeeping is serialized under one private mutex. It is
+   never held across a user lock acquisition or a condition wait, so it
+   cannot itself deadlock against the locks it watches. *)
+let meta = Mutex.create ()
+let metaed f = Mutex.protect meta f
+
+type finding = { f_kind : string; f_subject : string; f_detail : string }
+
+let max_findings = 100
+let findings_rev : finding list ref = ref []
+let findings_total = ref 0
+let rank_inversions = ref 0
+let reentries = ref 0
+let cycles = ref 0
+let unlocked_accesses = ref 0
+let unheld = ref 0
+let kernel_failures = ref 0
+let kernel_checks = Atomic.make 0
+let locks_created = Atomic.make 0
+
+let record_unlocked ~kind ~subject ~detail =
+  incr findings_total;
+  (match kind with
+   | "rank-inversion" -> incr rank_inversions
+   | "reentry" -> incr reentries
+   | "lock-cycle" -> incr cycles
+   | "unlocked-access" -> incr unlocked_accesses
+   | "unheld-lock" -> incr unheld
+   | "kernel-obligation" -> incr kernel_failures
+   | _ -> ());
+  if !findings_total <= max_findings then
+    findings_rev := { f_kind = kind; f_subject = subject; f_detail = detail }
+                    :: !findings_rev
+
+(* [record] files the finding; in strict mode (or when [fatal]) it then
+   raises [Vida_error.Sync_violation]. Re-entry and waiting on an unheld
+   mutex are fatal even in warn mode: proceeding would deadlock or crash
+   the stdlib mutex, which reports nothing. *)
+let record ?(fatal = false) ~kind ~subject ~detail () =
+  metaed (fun () -> record_unlocked ~kind ~subject ~detail);
+  if fatal || strict () then
+    Vida_error.sync_violation ~subject ~kind "%s" detail
+
+type lock = { l_rank : int; l_name : string; l_m : Mutex.t }
+
+(* Held-lock stacks, keyed by (domain id, thread id), top of stack first.
+   Entries are pushed after a successful acquire and removed (first
+   physical occurrence) on release. *)
+let held : (int * int, lock list) Hashtbl.t = Hashtbl.create 64
+
+let self_key () =
+  ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+let held_stack_unlocked key =
+  match Hashtbl.find_opt held key with Some s -> s | None -> []
+
+let stack_names stack = String.concat " > " (List.map (fun l -> l.l_name) stack)
+
+(* Acquired-before graph over lock names: an edge a -> b means some
+   thread acquired b while holding a. Each edge remembers the held stack
+   that first established it, so a cycle report can name both orders. *)
+let edges : (string, string list ref) Hashtbl.t = Hashtbl.create 64
+let edge_stacks : (string * string, string) Hashtbl.t = Hashtbl.create 64
+
+let successors_unlocked name =
+  match Hashtbl.find_opt edges name with Some l -> !l | None -> []
+
+(* Depth-first path from [src] to [dst] in the acquired-before graph. *)
+let find_path_unlocked src dst =
+  let seen = Hashtbl.create 16 in
+  let rec go node path =
+    if node = dst then Some (List.rev (node :: path))
+    else if Hashtbl.mem seen node then None
+    else begin
+      Hashtbl.add seen node ();
+      let rec first = function
+        | [] -> None
+        | next :: rest ->
+          (match go next (node :: path) with
+           | Some _ as p -> p
+           | None -> first rest)
+      in
+      first (successors_unlocked node)
+    end
+  in
+  go src []
+
+let add_edge_unlocked ~src ~dst ~stack =
+  let succs =
+    match Hashtbl.find_opt edges src with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add edges src l;
+      l
+  in
+  if not (List.mem dst !succs) then begin
+    (* Before committing src -> dst, look for an established dst ->* src
+       order: finding one means the two orders can deadlock. *)
+    let cycle =
+      match find_path_unlocked dst src with
+      | Some path ->
+        let prior =
+          match Hashtbl.find_opt edge_stacks (dst, List.nth_opt path 1 |> Option.value ~default:src) with
+          | Some s -> s
+          | None -> dst
+        in
+        Some
+          (Printf.sprintf
+             "acquiring %s while holding [%s] contradicts established order %s (first seen holding [%s])"
+             dst stack
+             (String.concat " -> " path)
+             prior)
+      | None -> None
+    in
+    succs := dst :: !succs;
+    Hashtbl.replace edge_stacks (src, dst) stack;
+    cycle
+  end
+  else None
+
+module Lock = struct
+  type t = lock
+
+  let create ~rank ~name () =
+    Atomic.incr locks_created;
+    { l_rank = rank; l_name = name; l_m = Mutex.create () }
+
+  let name t = t.l_name
+  let rank t = t.l_rank
+
+  (* Pre-acquire checks run under [meta]; the actual [Mutex.lock] happens
+     outside it so a blocked acquire never wedges the sanitizer. Returns
+     the deferred violation to raise (strict / fatal) after leaving
+     [meta]. *)
+  let check_acquire t =
+    let key = self_key () in
+    metaed (fun () ->
+        let stack = held_stack_unlocked key in
+        if List.memq t stack then begin
+          let detail =
+            Printf.sprintf "same-lock re-entry on %s (held: [%s])" t.l_name
+              (stack_names stack)
+          in
+          record_unlocked ~kind:"reentry" ~subject:t.l_name ~detail;
+          Some ("reentry", detail, true)
+        end
+        else begin
+          let offender =
+            List.fold_left
+              (fun acc l ->
+                 if l.l_rank >= t.l_rank then
+                   match acc with
+                   | Some o when o.l_rank >= l.l_rank -> acc
+                   | _ -> Some l
+                 else acc)
+              None stack
+          in
+          let inversion =
+            match offender with
+            | Some o ->
+              let detail =
+                Printf.sprintf
+                  "rank inversion: acquiring %s (rank %d) while holding %s (rank %d); held: [%s]"
+                  t.l_name t.l_rank o.l_name o.l_rank (stack_names stack)
+              in
+              record_unlocked ~kind:"rank-inversion" ~subject:t.l_name ~detail;
+              Some ("rank-inversion", detail, false)
+            | None -> None
+          in
+          let snapshot = stack_names (t :: stack) in
+          List.iter
+            (fun h ->
+               match add_edge_unlocked ~src:h.l_name ~dst:t.l_name ~stack:snapshot with
+               | Some detail ->
+                 record_unlocked ~kind:"lock-cycle" ~subject:t.l_name ~detail
+               | None -> ())
+            stack;
+          inversion
+        end)
+
+  let lock t =
+    if Atomic.get mode_cell = 0 then Mutex.lock t.l_m
+    else begin
+      (match check_acquire t with
+       | Some (kind, detail, fatal) when fatal || strict () ->
+         Vida_error.sync_violation ~subject:t.l_name ~kind "%s" detail
+       | _ -> ());
+      Mutex.lock t.l_m;
+      let key = self_key () in
+      metaed (fun () ->
+          Hashtbl.replace held key (t :: held_stack_unlocked key))
+    end
+
+  let remove_first t stack =
+    let rec go acc = function
+      | [] -> None
+      | l :: rest when l == t -> Some (List.rev_append acc rest)
+      | l :: rest -> go (l :: acc) rest
+    in
+    go [] stack
+
+  let unlock t =
+    if Atomic.get mode_cell = 0 then Mutex.unlock t.l_m
+    else begin
+      let key = self_key () in
+      let was_held =
+        metaed (fun () ->
+            match remove_first t (held_stack_unlocked key) with
+            | Some rest ->
+              if rest = [] then Hashtbl.remove held key
+              else Hashtbl.replace held key rest;
+              true
+            | None -> false)
+      in
+      if not was_held then
+        record ~kind:"unheld-lock" ~subject:t.l_name
+          ~detail:(Printf.sprintf "unlock of %s, which this thread does not hold" t.l_name)
+          ();
+      Mutex.unlock t.l_m
+    end
+
+  let protect t f =
+    lock t;
+    Fun.protect ~finally:(fun () -> unlock t) f
+
+  let holds t =
+    let key = self_key () in
+    metaed (fun () -> List.memq t (held_stack_unlocked key))
+
+  let assert_held t =
+    if Atomic.get mode_cell <> 0 && not (holds t) then
+      record ~kind:"unheld-lock" ~subject:t.l_name
+        ~detail:
+          (Printf.sprintf "%s must be held by the caller at this point" t.l_name)
+        ()
+
+  (* The lock stays on the held stack across the wait: [Condition.wait]
+     releases and reacquires it at the same stack position, so the
+     thread's declared discipline is unchanged on wake-up. *)
+  let wait cond t =
+    if Atomic.get mode_cell <> 0 && not (holds t) then
+      record ~fatal:true ~kind:"unheld-lock" ~subject:t.l_name
+        ~detail:
+          (Printf.sprintf "condition wait on %s, which this thread does not hold"
+             t.l_name)
+        ();
+    Condition.wait cond t.l_m
+end
+
+(* Eraser-style lockset pass. Each registered cell keeps the candidate
+   lockset: the intersection of lock names held at every access so far.
+   An access that empties the set is flagged once, with both the first
+   and the current site. [allow_race] is the explicit escape hatch for
+   cells whose races are tolerated by design. *)
+type cell = {
+  c_name : string;
+  mutable c_lockset : string list option; (* None until first access *)
+  mutable c_allowed : bool;
+  mutable c_justification : string;
+  mutable c_first_site : string;
+  mutable c_flagged : bool;
+  mutable c_accesses : int;
+}
+
+let cells : (string, cell) Hashtbl.t = Hashtbl.create 32
+
+let cell_unlocked name =
+  match Hashtbl.find_opt cells name with
+  | Some c -> c
+  | None ->
+    let c =
+      { c_name = name; c_lockset = None; c_allowed = false;
+        c_justification = ""; c_first_site = ""; c_flagged = false;
+        c_accesses = 0 }
+    in
+    Hashtbl.add cells name c;
+    c
+
+module Cell = struct
+  let register ~name = metaed (fun () -> ignore (cell_unlocked name))
+
+  let allow_race ~name ~justification =
+    metaed (fun () ->
+        let c = cell_unlocked name in
+        c.c_allowed <- true;
+        c.c_justification <- justification)
+
+  let access what ~name ~site =
+    if Atomic.get mode_cell <> 0 then begin
+      let key = self_key () in
+      let flagged =
+        metaed (fun () ->
+            let c = cell_unlocked name in
+            c.c_accesses <- c.c_accesses + 1;
+            if c.c_first_site = "" then c.c_first_site <- site;
+            if c.c_allowed then None
+            else begin
+              let held_names =
+                List.map (fun l -> l.l_name) (held_stack_unlocked key)
+              in
+              let lockset =
+                match c.c_lockset with
+                | None -> held_names
+                | Some ls -> List.filter (fun n -> List.mem n held_names) ls
+              in
+              c.c_lockset <- Some lockset;
+              if lockset = [] && not c.c_flagged then begin
+                c.c_flagged <- true;
+                let detail =
+                  Printf.sprintf
+                    "%s of %s with empty candidate lockset at %s (first access at %s)"
+                    what name site c.c_first_site
+                in
+                record_unlocked ~kind:"unlocked-access" ~subject:name ~detail;
+                Some detail
+              end
+              else None
+            end)
+      in
+      match flagged with
+      | Some detail when strict () ->
+        Vida_error.sync_violation ~subject:name ~kind:"unlocked-access" "%s" detail
+      | _ -> ()
+    end
+
+  let read ~name ~site = access "read" ~name ~site
+  let write ~name ~site = access "write" ~name ~site
+end
+
+(* Kernel-safety obligations (lint catalog P08-P10), discharged by the
+   vectorized rung on every dispatch in sanitize mode. *)
+let note_kernel_check () = Atomic.incr kernel_checks
+
+let kernel_failed ~id ~subject fmt =
+  Format.kasprintf
+    (fun reason ->
+       let detail = Printf.sprintf "%s: %s" id reason in
+       record ~kind:"kernel-obligation" ~subject ~detail ())
+    fmt
+
+type counters = {
+  locks : int;          (** locks created through {!Lock.create} *)
+  cells : int;          (** shared cells registered *)
+  race_allowed : int;   (** cells registered race-allowed *)
+  kernel_checks : int;  (** P08-P10 obligations discharged *)
+  rank_inversions : int;
+  reentries : int;
+  lock_cycles : int;
+  unlocked_accesses : int;
+  unheld_locks : int;
+  kernel_failures : int;
+  total : int;          (** all findings, including those past the cap *)
+}
+
+let counters () =
+  metaed (fun () ->
+      let race_allowed =
+        Hashtbl.fold (fun _ c n -> if c.c_allowed then n + 1 else n) cells 0
+      in
+      { locks = Atomic.get locks_created;
+        cells = Hashtbl.length cells;
+        race_allowed;
+        kernel_checks = Atomic.get kernel_checks;
+        rank_inversions = !rank_inversions;
+        reentries = !reentries;
+        lock_cycles = !cycles;
+        unlocked_accesses = !unlocked_accesses;
+        unheld_locks = !unheld;
+        kernel_failures = !kernel_failures;
+        total = !findings_total })
+
+let findings () = metaed (fun () -> List.rev !findings_rev)
+
+let reset () =
+  metaed (fun () ->
+      findings_rev := [];
+      findings_total := 0;
+      rank_inversions := 0;
+      reentries := 0;
+      cycles := 0;
+      unlocked_accesses := 0;
+      unheld := 0;
+      kernel_failures := 0;
+      Atomic.set kernel_checks 0;
+      Hashtbl.reset edges;
+      Hashtbl.reset edge_stacks;
+      (* Keep cell registrations (race-allowed status is declared once at
+         module/context setup) but restart their lockset inference. *)
+      Hashtbl.iter
+        (fun _ c ->
+           c.c_lockset <- None;
+           c.c_flagged <- false;
+           c.c_first_site <- "";
+           c.c_accesses <- 0)
+        cells)
+
+let mode_name = function Off -> "off" | Warn -> "warn" | Strict -> "strict"
+
+let report () =
+  let c = counters () in
+  let b = Buffer.create 256 in
+  Printf.bprintf b "sync sanitizer: mode=%s locks=%d cells=%d race-allowed=%d kernel-checks=%d\n"
+    (mode_name (mode ())) c.locks c.cells c.race_allowed c.kernel_checks;
+  Printf.bprintf b
+    "sync findings: total=%d rank-inversions=%d reentries=%d cycles=%d unlocked=%d unheld=%d kernel=%d\n"
+    c.total c.rank_inversions c.reentries c.lock_cycles c.unlocked_accesses
+    c.unheld_locks c.kernel_failures;
+  List.iter
+    (fun f -> Printf.bprintf b "  [%s] %s: %s\n" f.f_kind f.f_subject f.f_detail)
+    (findings ());
+  let allowed =
+    metaed (fun () ->
+        Hashtbl.fold (fun _ c acc -> if c.c_allowed then c :: acc else acc) cells [])
+  in
+  List.iter
+    (fun c ->
+       Printf.bprintf b "  race-allowed %s (%d accesses): %s\n" c.c_name
+         c.c_accesses c.c_justification)
+    (List.sort (fun a bc -> compare a.c_name bc.c_name) allowed);
+  Buffer.contents b
+
+(* Initialize from the environment once at load; tests and the CLI can
+   override with [set_mode]. When sanitizing is on, leave a stderr trace
+   at exit if any finding was recorded, so soak jobs fail on grep. *)
+let () =
+  (match Sys.getenv_opt "VIDA_SANITIZE" with
+   | Some s -> set_mode (mode_of_string s)
+   | None -> ());
+  if enabled () then
+    at_exit (fun () ->
+        let c = counters () in
+        if c.total > 0 then (
+          prerr_string ("vida-sync: unresolved sync findings\n" ^ report ());
+          flush stderr))

@@ -1,0 +1,128 @@
+(** Concurrency sanitizer for the multi-domain serving stack.
+
+    Every mutex in [lib/] is created through {!Lock.create} with a
+    declared {e rank} and resource name. With sanitizing off (the
+    default) a lock is a plain [Mutex.t] behind a single mode-check
+    branch. Under [VIDA_SANITIZE] the layer additionally:
+
+    - maintains a held-lock stack per (domain, thread) — server
+      connection threads are systhreads sharing domain 0, so stacks are
+      keyed by thread, never by domain alone;
+    - rejects same-lock re-entry (fatal even in warn mode: the stdlib
+      mutex would deadlock silently) and rank inversions (a lock may
+      only be acquired when its rank is strictly greater than every
+      rank already held) at acquire time;
+    - accumulates a process-global acquired-before graph over lock
+      names and reports any cycle — deadlock potential — naming both
+      contradicting acquisition stacks;
+    - runs an Eraser-style lockset pass over shared cells registered
+      with {!Cell.register}: an access whose candidate lockset (the
+      intersection of locks held at every access so far) becomes empty
+      is flagged with the first and current sites, unless the cell was
+      declared race-tolerant with {!Cell.allow_race};
+    - records kernel-safety obligation failures (lint catalog P08-P10)
+      reported by the vectorized rung via {!kernel_failed}.
+
+    Verdicts follow the Off/Warn/Strict ladder: [Warn] records findings
+    (surfaced in {!report}, [Vida.analysis_report] and the server
+    health snapshot), [Strict] additionally raises
+    [Vida_error.Sync_violation] (exit code 79).
+
+    [VIDA_SANITIZE] values: unset/["0"]/["off"] — off; ["1"]/["warn"] —
+    warn; ["2"]/["strict"] — strict. *)
+
+type mode = Off | Warn | Strict
+
+val mode : unit -> mode
+val set_mode : mode -> unit
+
+val enabled : unit -> bool
+(** [true] when the mode is [Warn] or [Strict]. Callers may use this to
+    skip building diagnostic detail on the fast path. *)
+
+(** Ranked, named mutexes. The rank table lives in DESIGN.md §14; the
+    invariant is that nested acquisition must follow strictly increasing
+    ranks. *)
+module Lock : sig
+  type t
+
+  val create : rank:int -> name:string -> unit -> t
+  val name : t -> string
+  val rank : t -> int
+
+  val lock : t -> unit
+  val unlock : t -> unit
+
+  (** [protect t f] runs [f ()] with [t] held, releasing on any exit. *)
+  val protect : t -> (unit -> 'a) -> 'a
+
+  (** [wait cond t] waits on [cond] with [t] held. The lock stays on the
+      held stack across the wait: [Condition.wait] releases and
+      reacquires it at the same stack position. Waiting without holding
+      [t] is fatal in every sanitize mode. *)
+  val wait : Condition.t -> t -> unit
+
+  (** [assert_held t] converts a "caller must hold [t]" prose contract
+      into a checked one: in sanitize mode, records an ["unheld-lock"]
+      finding (strict: raises) when this thread does not hold [t]. A
+      no-op when sanitizing is off. *)
+  val assert_held : t -> unit
+end
+
+(** Registered shared cells for the lockset pass. Cell names are global
+    (e.g. ["plugins.bad-rows"]); sites are static strings naming the
+    accessing code path. *)
+module Cell : sig
+  val register : name:string -> unit
+
+  (** [allow_race ~name ~justification] declares the cell's unlocked
+      accesses tolerated by design; accesses are still counted but never
+      flagged. The justification appears in DESIGN.md §14. *)
+  val allow_race : name:string -> justification:string -> unit
+
+  val read : name:string -> site:string -> unit
+  val write : name:string -> site:string -> unit
+end
+
+(** {1 Kernel-safety obligations (P08-P10)} *)
+
+val note_kernel_check : unit -> unit
+(** Count one discharged obligation check (for the health snapshot). *)
+
+val kernel_failed :
+  id:string -> subject:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [kernel_failed ~id ~subject fmt] records a ["kernel-obligation"]
+    finding for lint rule [id] (["P08"] | ["P09"] | ["P10"]); raises in
+    strict mode. *)
+
+(** {1 Findings} *)
+
+type finding = { f_kind : string; f_subject : string; f_detail : string }
+(** [f_kind] is one of ["rank-inversion"], ["reentry"], ["lock-cycle"],
+    ["unlocked-access"], ["unheld-lock"], ["kernel-obligation"]. *)
+
+type counters = {
+  locks : int;          (** locks created through {!Lock.create} *)
+  cells : int;          (** shared cells registered *)
+  race_allowed : int;   (** cells registered race-allowed *)
+  kernel_checks : int;  (** P08-P10 obligations discharged *)
+  rank_inversions : int;
+  reentries : int;
+  lock_cycles : int;
+  unlocked_accesses : int;
+  unheld_locks : int;
+  kernel_failures : int;
+  total : int;          (** all findings, including those past the cap *)
+}
+
+val findings : unit -> finding list
+(** Recorded findings, oldest first, capped at 100 (the {!counters}
+    totals keep exact counts past the cap). *)
+
+val counters : unit -> counters
+val report : unit -> string
+
+val reset : unit -> unit
+(** Clear findings, counters, the acquired-before graph, and every
+    cell's inferred lockset. Cell registrations and race-allowed status
+    survive (they are declared once at module/context setup). *)

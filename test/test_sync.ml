@@ -1,0 +1,309 @@
+(* Concurrency sanitizer (DESIGN.md §14): seeded lock-order inversion and
+   unlocked shared-write fixtures the sanitizer must detect and name
+   (mirroring the verifier's seeded mutant-rule test), plus re-entry,
+   cross-thread cycle detection, race-allowed suppression, the checked
+   assert_held contract, strict-mode raising, and the P08-P10 kernel
+   obligation checks. Each case sets the mode explicitly and resets the
+   sanitizer state so the suite is order-independent and leaves nothing
+   behind for the full-suite VIDA_SANITIZE run. *)
+
+module Sync = Vida_sync
+module Kernel = Vida_analysis.Kernel
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* run [f] under [mode], restoring the ambient mode and clearing any
+   state the case seeded *)
+let with_mode mode f =
+  let saved = Sync.mode () in
+  Sync.set_mode mode;
+  Fun.protect
+    ~finally:(fun () ->
+      Sync.set_mode saved;
+      Sync.reset ())
+    f
+
+let find_kind kind =
+  List.filter (fun f -> String.equal f.Sync.f_kind kind) (Sync.findings ())
+
+let detail_mentions needle f =
+  Astring.String.is_infix ~affix:needle f.Sync.f_detail
+
+(* --- seeded rank inversion ------------------------------------------- *)
+
+(* acquiring a rank-40 lock while holding rank-50 must produce a
+   rank-inversion finding naming both locks *)
+let test_seeded_rank_inversion () =
+  with_mode Sync.Warn (fun () ->
+      let outer = Sync.Lock.create ~rank:50 ~name:"fixture.outer-50" () in
+      let inner = Sync.Lock.create ~rank:40 ~name:"fixture.inner-40" () in
+      Sync.Lock.protect outer (fun () ->
+          Sync.Lock.protect inner (fun () -> ()));
+      match find_kind "rank-inversion" with
+      | [ f ] ->
+        check_bool "names the acquired lock" true
+          (String.equal f.Sync.f_subject "fixture.inner-40");
+        check_bool "names the held lock" true
+          (detail_mentions "fixture.outer-50" f);
+        check_bool "gives both ranks" true
+          (detail_mentions "rank 40" f && detail_mentions "rank 50" f)
+      | fs -> Alcotest.failf "expected exactly one inversion, got %d" (List.length fs))
+
+(* the same pair acquired in declared order is clean *)
+let test_rank_order_clean () =
+  with_mode Sync.Warn (fun () ->
+      let lo = Sync.Lock.create ~rank:40 ~name:"fixture.lo" () in
+      let hi = Sync.Lock.create ~rank:50 ~name:"fixture.hi" () in
+      Sync.Lock.protect lo (fun () -> Sync.Lock.protect hi (fun () -> ()));
+      check_int "no findings" 0 (Sync.counters ()).Sync.total)
+
+(* strict mode escalates the inversion to Sync_violation (exit code 79) *)
+let test_strict_inversion_raises () =
+  with_mode Sync.Strict (fun () ->
+      let outer = Sync.Lock.create ~rank:50 ~name:"fixture.strict-outer" () in
+      let inner = Sync.Lock.create ~rank:40 ~name:"fixture.strict-inner" () in
+      match
+        Sync.Lock.protect outer (fun () ->
+            Sync.Lock.protect inner (fun () -> ()))
+      with
+      | () -> Alcotest.fail "expected Sync_violation"
+      | exception Vida_error.Error (Vida_error.Sync_violation v as e) ->
+        check_bool "kind" true (String.equal v.kind "rank-inversion");
+        check_int "exit code 79" 79 (Vida_error.exit_code e))
+
+(* --- seeded unlocked shared write ------------------------------------ *)
+
+(* a registered cell written with no lock held must be flagged with the
+   cell name and the accessing site *)
+let test_seeded_unlocked_write () =
+  with_mode Sync.Warn (fun () ->
+      Sync.Cell.register ~name:"fixture.counter";
+      Sync.Cell.write ~name:"fixture.counter" ~site:"fixture.bare-write";
+      match find_kind "unlocked-access" with
+      | [ f ] ->
+        check_bool "names the cell" true
+          (String.equal f.Sync.f_subject "fixture.counter");
+        check_bool "names the site" true (detail_mentions "fixture.bare-write" f)
+      | fs ->
+        Alcotest.failf "expected exactly one unlocked-access, got %d"
+          (List.length fs))
+
+(* lockset inference: consistent lock coverage is clean; the access that
+   breaks coverage is the one flagged, with both sites named *)
+let test_lockset_inference () =
+  with_mode Sync.Warn (fun () ->
+      let l = Sync.Lock.create ~rank:50 ~name:"fixture.guard" () in
+      Sync.Cell.register ~name:"fixture.table";
+      Sync.Lock.protect l (fun () ->
+          Sync.Cell.write ~name:"fixture.table" ~site:"fixture.locked-write");
+      Sync.Lock.protect l (fun () ->
+          Sync.Cell.read ~name:"fixture.table" ~site:"fixture.locked-read");
+      check_int "consistent coverage is clean" 0 (Sync.counters ()).Sync.total;
+      Sync.Cell.read ~name:"fixture.table" ~site:"fixture.bare-read";
+      match find_kind "unlocked-access" with
+      | [ f ] ->
+        check_bool "flags the bare access" true
+          (detail_mentions "fixture.bare-read" f);
+        check_bool "names the first access too" true
+          (detail_mentions "fixture.locked-write" f)
+      | fs ->
+        Alcotest.failf "expected exactly one unlocked-access, got %d"
+          (List.length fs))
+
+(* a cell declared race-allowed is counted but never flagged *)
+let test_race_allowed_suppression () =
+  with_mode Sync.Warn (fun () ->
+      Sync.Cell.allow_race ~name:"fixture.tolerated"
+        ~justification:"diagnostic-only fixture";
+      Sync.Cell.write ~name:"fixture.tolerated" ~site:"fixture.bare";
+      Sync.Cell.read ~name:"fixture.tolerated" ~site:"fixture.bare";
+      check_int "no findings" 0 (Sync.counters ()).Sync.total)
+
+(* --- re-entry and condition discipline ------------------------------- *)
+
+(* same-lock re-entry raises even in warn mode: proceeding would
+   deadlock the stdlib mutex silently *)
+let test_reentry_fatal_in_warn () =
+  with_mode Sync.Warn (fun () ->
+      let l = Sync.Lock.create ~rank:50 ~name:"fixture.reentrant" () in
+      (match Sync.Lock.protect l (fun () -> Sync.Lock.lock l) with
+      | () -> Alcotest.fail "expected Sync_violation"
+      | exception Vida_error.Error (Vida_error.Sync_violation v) ->
+        check_bool "kind" true (String.equal v.kind "reentry"));
+      check_int "recorded" 1 (Sync.counters ()).Sync.reentries)
+
+(* assert_held converts the "caller must hold the lock" prose contract
+   into a checked one *)
+let test_assert_held () =
+  with_mode Sync.Warn (fun () ->
+      let l = Sync.Lock.create ~rank:50 ~name:"fixture.contract" () in
+      Sync.Lock.protect l (fun () -> Sync.Lock.assert_held l);
+      check_int "held: clean" 0 (Sync.counters ()).Sync.total;
+      Sync.Lock.assert_held l;
+      check_int "unheld: flagged" 1 (Sync.counters ()).Sync.unheld_locks)
+
+(* --- cross-thread acquired-before cycle ------------------------------ *)
+
+(* thread A acquires a then b; thread B acquires b then a — same-rank
+   locks so neither order is an inversion, but the combined graph has a
+   cycle the sanitizer must report with both lock names *)
+let test_lock_order_cycle () =
+  with_mode Sync.Warn (fun () ->
+      let a = Sync.Lock.create ~rank:50 ~name:"fixture.cycle-a" () in
+      let b = Sync.Lock.create ~rank:50 ~name:"fixture.cycle-b" () in
+      (* sequential phases, so the two orders never contend (no actual
+         deadlock) while still feeding the acquired-before graph *)
+      let t1 =
+        Thread.create
+          (fun () ->
+            Sync.Lock.lock a;
+            Sync.Lock.lock b;
+            Sync.Lock.unlock b;
+            Sync.Lock.unlock a)
+          ()
+      in
+      Thread.join t1;
+      let t2 =
+        Thread.create
+          (fun () ->
+            Sync.Lock.lock b;
+            Sync.Lock.lock a;
+            Sync.Lock.unlock a;
+            Sync.Lock.unlock b)
+          ()
+      in
+      Thread.join t2;
+      (* both nestings are same-rank acquisitions, so two inversion
+         findings ride along; the cycle finding is the one under test *)
+      match find_kind "lock-cycle" with
+      | [ f ] ->
+        check_bool "names both locks" true
+          (detail_mentions "fixture.cycle-a" f
+          && detail_mentions "fixture.cycle-b" f)
+      | fs -> Alcotest.failf "expected exactly one cycle, got %d" (List.length fs))
+
+(* --- off-mode behavior ----------------------------------------------- *)
+
+(* with the sanitizer off, locks are plain mutexes: nothing is recorded
+   even for a seeded inversion *)
+let test_off_mode_records_nothing () =
+  with_mode Sync.Off (fun () ->
+      let outer = Sync.Lock.create ~rank:50 ~name:"fixture.off-outer" () in
+      let inner = Sync.Lock.create ~rank:40 ~name:"fixture.off-inner" () in
+      Sync.Lock.protect outer (fun () ->
+          Sync.Lock.protect inner (fun () -> ()));
+      Sync.Cell.register ~name:"fixture.off-cell";
+      Sync.Cell.write ~name:"fixture.off-cell" ~site:"fixture.off";
+      check_int "no findings" 0 (Sync.counters ()).Sync.total)
+
+(* --- kernel obligations (P08-P10) ------------------------------------ *)
+
+let test_kernel_p08 () =
+  check_bool "valid selection" true
+    (Kernel.check_selection [| 4; 5; 9 |] ~n:3 ~lo:4 ~hi:12 = None);
+  check_bool "duplicate rejected" true
+    (Kernel.check_selection [| 4; 4; 9 |] ~n:3 ~lo:4 ~hi:12 <> None);
+  check_bool "unsorted rejected" true
+    (Kernel.check_selection [| 5; 4 |] ~n:2 ~lo:4 ~hi:12 <> None);
+  check_bool "out of bounds rejected" true
+    (Kernel.check_selection [| 4; 12 |] ~n:2 ~lo:4 ~hi:12 <> None);
+  check_bool "overlong rejected" true
+    (Kernel.check_selection [| 4 |] ~n:2 ~lo:4 ~hi:12 <> None)
+
+let test_kernel_p09_p10 () =
+  check_bool "same domain ok" true
+    (Kernel.check_scratch_domain ~created_on:3 ~running_on:3 = None);
+  check_bool "cross domain rejected" true
+    (Kernel.check_scratch_domain ~created_on:3 ~running_on:4 <> None);
+  let sum = Vida_calculus.Monoid.Prim Vida_calculus.Monoid.Sum in
+  let list_concat = Vida_calculus.Monoid.Coll Vida_data.Ty.List in
+  check_bool "ordered merge satisfies every monoid" true
+    (Kernel.check_merge_order list_concat ~strategy:`Ordered = None);
+  check_bool "unordered merge ok for commutative" true
+    (Kernel.check_merge_order sum ~strategy:`Unordered = None);
+  check_bool "unordered merge rejected for non-commutative" true
+    (Kernel.check_merge_order list_concat ~strategy:`Unordered <> None)
+
+(* a seeded P08 violation surfaces as a kernel-obligation finding (and a
+   Sync_violation in strict mode) through the same reporting path the
+   engine uses *)
+let test_kernel_finding_path () =
+  with_mode Sync.Warn (fun () ->
+      (match Kernel.check_selection [| 7; 3 |] ~n:2 ~lo:0 ~hi:8 with
+      | Some reason ->
+        Sync.kernel_failed ~id:"P08" ~subject:"fixture.kernel" "%s" reason
+      | None -> Alcotest.fail "seeded violation not detected");
+      match find_kind "kernel-obligation" with
+      | [ f ] ->
+        check_bool "carries the rule id" true (detail_mentions "P08" f)
+      | fs ->
+        Alcotest.failf "expected exactly one kernel finding, got %d"
+          (List.length fs))
+
+(* --- sanitized end-to-end query -------------------------------------- *)
+
+(* a real query through the full stack (catalog, cache, structures,
+   governor, morsel pool, vectorized rung) under warn must finish with
+   zero findings: the shipped rank table is consistent and every shared
+   cell is either locked or registered *)
+let test_full_stack_clean_under_warn () =
+  with_mode Sync.Warn (fun () ->
+      let dir = Filename.temp_file "vida_sync" "" in
+      Sys.remove dir;
+      Sys.mkdir dir 0o700;
+      let path = Filename.concat dir "t.csv" in
+      let oc = open_out path in
+      output_string oc "a,b\n1,2\n3,4\n5,6\n";
+      close_out oc;
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove path;
+          Sys.rmdir dir)
+        (fun () ->
+          let db = Vida.create ~domains:2 () in
+          Vida.csv db ~name:"t" ~path ();
+          (match Vida.query db "for { x <- t } yield sum x.a" with
+          | Ok r ->
+            Alcotest.(check string)
+              "answer" "9"
+              (Vida_data.Value.to_string r.Vida.value)
+          | Error e -> Alcotest.failf "query failed: %s" (Vida.error_to_string e));
+          let c = Sync.counters () in
+          if c.Sync.total > 0 then
+            Alcotest.failf "sanitizer findings on the clean path:\n%s"
+              (Sync.report ());
+          check_bool "locks were tracked" true (c.Sync.locks > 0)))
+
+let () =
+  Alcotest.run "sync"
+    [ ( "lock-discipline",
+        [ Alcotest.test_case "seeded rank inversion is named" `Quick
+            test_seeded_rank_inversion;
+          Alcotest.test_case "declared order is clean" `Quick
+            test_rank_order_clean;
+          Alcotest.test_case "strict mode raises exit-79" `Quick
+            test_strict_inversion_raises;
+          Alcotest.test_case "re-entry fatal even in warn" `Quick
+            test_reentry_fatal_in_warn;
+          Alcotest.test_case "assert_held checks the contract" `Quick
+            test_assert_held;
+          Alcotest.test_case "cross-thread cycle reported" `Quick
+            test_lock_order_cycle;
+          Alcotest.test_case "off mode records nothing" `Quick
+            test_off_mode_records_nothing ] );
+      ( "lockset",
+        [ Alcotest.test_case "seeded unlocked write is named" `Quick
+            test_seeded_unlocked_write;
+          Alcotest.test_case "lockset inference" `Quick test_lockset_inference;
+          Alcotest.test_case "race-allowed suppression" `Quick
+            test_race_allowed_suppression ] );
+      ( "kernel-obligations",
+        [ Alcotest.test_case "P08 selection vector" `Quick test_kernel_p08;
+          Alcotest.test_case "P09 scratch / P10 merge order" `Quick
+            test_kernel_p09_p10;
+          Alcotest.test_case "seeded violation reporting path" `Quick
+            test_kernel_finding_path ] );
+      ( "integration",
+        [ Alcotest.test_case "full stack clean under warn" `Quick
+            test_full_stack_clean_under_warn ] ) ]
