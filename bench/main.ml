@@ -1650,6 +1650,111 @@ let resilience () =
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* durability: cold vs warm boot over a state directory                *)
+(* ------------------------------------------------------------------ *)
+
+let durability () =
+  section "durability: cold vs warm boot (state-directory reuse)";
+  if not (Sys.file_exists data_dir) then Sys.mkdir data_dir 0o755;
+  let q = "for { r <- S } yield sum r.v" in
+  let row_line i = Printf.sprintf "%d,%d\n" i (i mod 1000) in
+  let value_of db query =
+    match Vida.query db query with
+    | Ok r -> r.Vida.value
+    | Error e -> failwith (Vida.error_to_string e)
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  (* time-to-first-result includes instance boot: that is what a restart
+     actually costs an operator *)
+  let boot ~dir ~path =
+    let db = Vida.create ~domains:1 ~state_dir:dir () in
+    Vida.csv db ~name:"S" ~path ();
+    let v = value_of db q in
+    (db, v)
+  in
+  let sizes =
+    List.map
+      (fun base -> max 5_000 (int_of_float (float_of_int base *. sf)))
+      [ 200_000; 1_000_000 ]
+  in
+  Printf.printf "%-10s %16s %16s %9s %10s %10s\n" "rows" "cold first ms"
+    "warm first ms" "speedup" "plan warm" "pm restore";
+  let rows =
+    List.map
+      (fun n ->
+        let path =
+          Filename.concat data_dir (Printf.sprintf "durability_%d.csv" n)
+        in
+        let oc = open_out_bin path in
+        output_string oc "id,v\n";
+        for i = 0 to n - 1 do
+          output_string oc (row_line i)
+        done;
+        close_out oc;
+        let dir =
+          Filename.concat data_dir (Printf.sprintf "durability_state_%d" n)
+        in
+        rm_rf dir;
+        (* cold: an empty state directory — the first result pays the
+           positional-map build and the plan compile *)
+        let (db1, v1), cold_s = time (fun () -> boot ~dir ~path) in
+        let sr1 = Option.get (Vida.state_report db1) in
+        let cold_rebuilds = sr1.Vida.sr_structure_rebuilds in
+        ignore (Vida.persist_state db1);
+        Vida.close_state db1;
+        (* warm: a restarted process boots from the persisted artifacts *)
+        let (db2, v2), warm_s = time (fun () -> boot ~dir ~path) in
+        let sr2 = Option.get (Vida.state_report db2) in
+        let ok =
+          Value.equal v1 v2
+          && sr2.Vida.sr_plan_warm_hits >= 1
+          && sr2.Vida.sr_structure_restores >= 1
+          && sr2.Vida.sr_structure_rebuilds = 0
+        in
+        Vida.close_state db2;
+        Printf.printf "%-10d %16.2f %16.2f %8.1fx %10d %10d%s\n" n
+          (cold_s *. 1000.) (warm_s *. 1000.)
+          (cold_s /. warm_s) sr2.Vida.sr_plan_warm_hits
+          sr2.Vida.sr_structure_restores
+          (if ok then "" else "  DIVERGED");
+        Sys.remove path;
+        rm_rf dir;
+        ( n, cold_s, warm_s, cold_rebuilds, sr2.Vida.sr_plan_warm_hits,
+          sr2.Vida.sr_structure_restores, sr2.Vida.sr_structure_rebuilds, ok ))
+      sizes
+  in
+  let all_ok = List.for_all (fun (_, _, _, _, _, _, _, ok) -> ok) rows in
+  let out = "BENCH_durability.json" in
+  let oc = open_out out in
+  Printf.fprintf oc "{\n  \"experiment\": \"durability\",\n%s  \"scale\": %.3f,\n\
+                    \  \"sizes\": [\n" domains_meta_fields sf;
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun k (n, cold_s, warm_s, cold_rebuilds, warm_hits, restores, rebuilds, ok) ->
+      Printf.fprintf oc
+        "    {\"rows\": %d, \"cold_first_result_s\": %.6f, \
+         \"warm_first_result_s\": %.6f, \"warm_speedup\": %.3f, \
+         \"cold_rebuilds\": %d, \"plan_warm_hits\": %d, \
+         \"structure_restores\": %d, \"warm_rebuilds\": %d, \
+         \"differential_ok\": %b}%s\n"
+        n cold_s warm_s (cold_s /. warm_s) cold_rebuilds warm_hits restores
+        rebuilds ok
+        (if k = last then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"ok\": %b\n}\n" all_ok;
+  close_out oc;
+  Printf.printf "\nwarm boot skipped every rebuild and answers agree: %b\n" all_ok;
+  if not all_ok then exit 1;
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("table2", table2);
@@ -1668,6 +1773,7 @@ let experiments =
     ("recovery", recovery);
     ("serving", serving);
     ("resilience", resilience);
+    ("durability", durability);
     ("micro", micro)
   ]
 

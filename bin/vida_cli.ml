@@ -103,6 +103,8 @@ let repl db ~engine ~output_json =
       \  .stats               session statistics\n\
       \  .clean NAME=MODE     set cleaning policy (strict|null|skip|nearest|quarantine)\n\
       \  .quarantine NAME     show raw spans quarantined for a source\n\
+      \  .quarantine clean    remove *.corrupt files from the state directory\n\
+      \  .state               durable state-directory report (--state-dir)\n\
       \  .timeout MS          per-query wall-clock deadline in ms (0 = off)\n\
       \  .limit BYTES         per-query memory budget in bytes (0 = off)\n\
       \  .on-change MODE      reaction to a source file changing mid-query:\n\
@@ -145,6 +147,27 @@ let repl db ~engine ~output_json =
             q.Vida_cleaning.Policy.q_length q.Vida_cleaning.Policy.q_reason)
         entries;
       Printf.printf "  %d record(s) quarantined\n" (List.length entries)
+  in
+  let show_state () =
+    match Vida.state_report db with
+    | None -> print_endline "no state directory (start with --state-dir DIR)"
+    | Some sr ->
+      Printf.printf
+        "  dir: %s\n\
+        \  degraded: %b%s\n\
+        \  persists: %d (%d failure(s))\n\
+        \  warm: %d artifact load(s), %d plan hit(s), %d structure \
+         restore(s), %d rebuild(s)\n\
+        \  corrupt quarantined: %d (%d gc'd)\n\
+        \  lock reclaimed from stale holder: %b\n"
+        sr.Vida.sr_dir sr.Vida.sr_degraded
+        (match sr.Vida.sr_last_failure with
+        | Some f -> " — " ^ f
+        | None -> "")
+        sr.Vida.sr_persists sr.Vida.sr_persist_failures sr.Vida.sr_warm_loads
+        sr.Vida.sr_plan_warm_hits sr.Vida.sr_structure_restores
+        sr.Vida.sr_structure_rebuilds sr.Vida.sr_corrupt_quarantined
+        sr.Vida.sr_quarantine_removed sr.Vida.sr_lock_reclaimed
   in
   let register_line kind rest =
     match String.index_opt rest '=' with
@@ -272,8 +295,16 @@ let repl db ~engine ~output_json =
          set_on_change (String.sub line 11 (String.length line - 11))
        else if String.length line > 7 && String.sub line 0 7 = ".clean " then
          set_clean (String.trim (String.sub line 7 (String.length line - 7)))
-       else if String.length line > 12 && String.sub line 0 12 = ".quarantine " then
-         show_quarantine (String.trim (String.sub line 12 (String.length line - 12)))
+       else if String.length line > 12 && String.sub line 0 12 = ".quarantine " then (
+         match String.trim (String.sub line 12 (String.length line - 12)) with
+         | "clean" ->
+           if Vida.state_dir db = None then
+             print_endline "no state directory (start with --state-dir DIR)"
+           else
+             Printf.printf "removed %d quarantined file(s)\n"
+               (Vida.clean_quarantine db)
+         | name -> show_quarantine name)
+       else if line = ".state" then show_state ()
        else if String.length line > 9 && String.sub line 0 9 = ".timeout " then
          set_timeout (String.sub line 9 (String.length line - 9))
        else if String.length line > 7 && String.sub line 0 7 = ".limit " then
@@ -422,9 +453,24 @@ let lint_workload_run db which =
     Printf.eprintf "--lint-workload expects hbp|bank, got %S\n" other;
     2
 
+(* opening a state directory can fail for operational reasons (a live
+   holder's lock, an unwritable disk): surface the typed error and its
+   exit code (80 for state failures) instead of a backtrace *)
+let create_db ?domains ~limits ?state_dir () =
+  try Vida.create ?domains ~limits ?state_dir ()
+  with Vida_error.Error e ->
+    Printf.eprintf "vida: %s\n" (Vida_error.to_string e);
+    exit (Vida_error.exit_code e)
+
+(* flush warm state on the way out; persistence failures only flip the
+   degraded flag, they never turn a successful run into a failure *)
+let shutdown_state db =
+  if Vida.state_dir db <> None then ignore (Vida.persist_state db);
+  Vida.close_state db
+
 let run csvs jsons xmls binarrays use_sql explain lint lint_workload engine
     show_stats output_json timeout_ms memory_budget domains on_change
-    interactive query =
+    state_dir interactive query =
   let on_change =
     match on_change with
     | None -> Vida_governor.Governor.unlimited.Vida_governor.Governor.on_change
@@ -443,7 +489,7 @@ let run csvs jsons xmls binarrays use_sql explain lint lint_workload engine
         (match memory_budget with Some b when b > 0 -> Some b | _ -> None);
       on_change }
   in
-  let db = Vida.create ?domains ~limits () in
+  let db = create_db ?domains ~limits ?state_dir () in
   register db "csv" csvs;
   register db "json" jsons;
   List.iter
@@ -454,32 +500,36 @@ let run csvs jsons xmls binarrays use_sql explain lint lint_workload engine
     xmls;
   register db "binarray" binarrays;
   let engine = if engine = "generic" then Vida.Generic else Vida.Jit in
-  match lint_workload with
-  | Some which -> lint_workload_run db which
-  | None -> (
-    match query, interactive with
-    | Some query, false when lint ->
-      let analyze = if use_sql then Vida.analyze_sql else Vida.analyze in
-      (match analyze db query with
-      | Error e -> print_error e; error_exit_code e
-      | Ok a ->
-        print_string (Vida.analysis_report a);
-        if
-          a.Vida.verify_error <> None
-          || Vida_analysis.Lint.max_severity a.Vida.findings
-             = Some Vida_analysis.Lint.Error
-        then 3
-        else 0)
-    | None, false when lint ->
-      prerr_endline "--lint needs a query (or --lint-workload hbp|bank)";
-      2
-    | None, _ | _, true -> repl db ~engine ~output_json
-    | Some query, false ->
-      if explain then (
-        match Vida.explain db query with
-        | Ok text -> print_string text; 0
-        | Error e -> print_error e; error_exit_code e)
-      else execute db ~use_sql ~engine ~show_stats ~output_json query)
+  let code =
+    match lint_workload with
+    | Some which -> lint_workload_run db which
+    | None -> (
+      match query, interactive with
+      | Some query, false when lint ->
+        let analyze = if use_sql then Vida.analyze_sql else Vida.analyze in
+        (match analyze db query with
+        | Error e -> print_error e; error_exit_code e
+        | Ok a ->
+          print_string (Vida.analysis_report a);
+          if
+            a.Vida.verify_error <> None
+            || Vida_analysis.Lint.max_severity a.Vida.findings
+               = Some Vida_analysis.Lint.Error
+          then 3
+          else 0)
+      | None, false when lint ->
+        prerr_endline "--lint needs a query (or --lint-workload hbp|bank)";
+        2
+      | None, _ | _, true -> repl db ~engine ~output_json
+      | Some query, false ->
+        if explain then (
+          match Vida.explain db query with
+          | Ok text -> print_string text; 0
+          | Error e -> print_error e; error_exit_code e)
+        else execute db ~use_sql ~engine ~show_stats ~output_json query)
+  in
+  shutdown_state db;
+  code
 
 let csv_arg =
   Arg.(value & opt_all string [] & info [ "csv" ] ~docv:"NAME=PATH" ~doc:"Register a CSV file as source $(docv).")
@@ -516,6 +566,10 @@ let budget_arg =
 let domains_arg =
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
        ~doc:"Worker-domain budget for parallel query regions, clamped to the hardware core count; the VIDA_DOMAINS environment variable overrides it. Default: the hardware count (1 = sequential).")
+
+let state_dir_arg =
+  Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR"
+       ~doc:"Durable state directory: positional-map sidecars, spilled query plans, circuit-breaker state and quarantine ledgers are persisted crash-safely under $(docv) and revalidated on restart, so a restarted process boots warm. Exit code 80 if a live process already holds the directory. A full disk suspends persistence (degraded mode, visible in the health report) without affecting query answers.")
 
 let on_change_arg =
   Arg.(value & opt (some string) None & info [ "on-change" ] ~docv:"retry|fail"
@@ -565,7 +619,7 @@ let serve csvs jsons xmls binarrays listen socket max_concurrent max_queue
     per_tenant queue_timeout_ms retry_after_ms executors pool_domains
     idle_timeout_ms frame_timeout_ms write_timeout_ms drain_ms
     breaker_threshold breaker_cooldown_ms timeout_ms memory_budget domains
-    on_change =
+    on_change state_dir =
   let on_change =
     match on_change with
     | None -> Vida_governor.Governor.unlimited.Vida_governor.Governor.on_change
@@ -584,7 +638,7 @@ let serve csvs jsons xmls binarrays listen socket max_concurrent max_queue
         (match memory_budget with Some b when b > 0 -> Some b | _ -> None);
       on_change }
   in
-  let db = Vida.create ?domains ~limits () in
+  let db = create_db ?domains ~limits ?state_dir () in
   register_all db csvs jsons xmls binarrays;
   let address =
     match (socket, listen) with
@@ -641,6 +695,7 @@ let serve csvs jsons xmls binarrays listen socket max_concurrent max_queue
   done;
   prerr_endline "vida: shutting down";
   Server.stop srv;
+  shutdown_state db;
   0
 
 let client connect socket use_sql tenant retries backoff_ms deadline_ms seed
@@ -829,7 +884,7 @@ let serve_cmd =
       $ queue_timeout_arg $ retry_after_arg $ executors_arg $ pool_domains_arg
       $ idle_timeout_arg $ frame_timeout_arg $ write_timeout_arg $ drain_arg
       $ breaker_threshold_arg $ breaker_cooldown_arg
-      $ timeout_arg $ budget_arg $ domains_arg $ on_change_arg)
+      $ timeout_arg $ budget_arg $ domains_arg $ on_change_arg $ state_dir_arg)
 
 let client_cmd =
   let doc = "send one query to a running vida server" in
@@ -846,7 +901,7 @@ let cmd =
       const run $ csv_arg $ json_arg $ xml_arg $ binarray_arg $ sql_arg
       $ explain_arg $ lint_arg $ lint_workload_arg $ engine_arg $ stats_arg
       $ json_out_arg $ timeout_arg $ budget_arg $ domains_arg $ on_change_arg
-      $ interactive_arg $ query_arg)
+      $ state_dir_arg $ interactive_arg $ query_arg)
   in
   Cmd.group ~default (Cmd.info "vida" ~doc) [ serve_cmd; client_cmd ]
 

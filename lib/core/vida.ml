@@ -35,19 +35,88 @@ type t = {
       (* bumped on any change that can affect planning: registration,
          unregistration, parameter binds, invalidation, cleaning policies,
          source refreshes. Plan-cache entries from older revisions miss. *)
+  (* --- durable warm state (ISSUE: crash-safe state directory) ---
+     plan-cache entries spilled by an earlier process. Catalog revisions
+     do not survive a restart, so spilled entries cannot carry one: a
+     spill hit is validated by its source fingerprints alone and promoted
+     into the live cache under the CURRENT revision — stale spills cost a
+     replan, never a wrong plan. *)
+  state : Vida_raw.State_dir.t option;
+  plan_spill : (string, Vida_algebra.Plan.t * (string * string) list) Hashtbl.t;
+  mutable plan_warm_hits : int;  (* plans served from the state directory *)
+  mutable ledger_pending :
+    (string * string * int list * bool
+    * Vida_cleaning.Policy.quarantine_entry list)
+    list;
+      (* quarantine ledgers loaded at warm boot, waiting for their source
+         to be registered: (source, fingerprint stamp, bad rows,
+         structural flag, quarantine entries). Applied on the first query
+         after the source appears, only under a matching fingerprint. *)
+  mutable last_persist_ms : float;  (* debounce for {!maybe_persist} *)
   lock : Vida_sync.Lock.t;
       (* one instance serves many concurrent sessions: guards the result
          and plan caches, counters, verify log and ctx/params swaps *)
 }
 
-let create ?cache_capacity ?domains ?(limits = Governor.unlimited) () =
+(* artifact version tags: Marshal framing is only self-describing within
+   one compiler version, so the tag pins both the layout revision and the
+   compiler — a mismatch makes the whole artifact read as cold, which is
+   always safe *)
+let artifact_version kind = Printf.sprintf "%s:1:%s" kind Sys.ocaml_version
+
+let decode_frames : 'a. string -> string list option -> 'a list =
+ fun kind frames ->
+  match frames with
+  | Some (v :: rest) when String.equal v (artifact_version kind) ->
+    List.filter_map
+      (fun f ->
+        (* frames are CRC-validated, so bytes are exactly what a previous
+           process wrote; the guard covers layout drift across versions *)
+        match (Marshal.from_string f 0 : 'a) with
+        | v -> Some v
+        | exception _ -> None)
+      rest
+  | _ -> []
+
+let load_warm_state ctx plan_spill sd =
+  Vida_engine.Structures.set_sidecar_dir ctx.Plugins.structures
+    (Vida_raw.State_dir.structure_dir sd);
+  let breakers : Governor.Breaker.persisted list =
+    decode_frames "breakers"
+      (Vida_raw.State_dir.load_artifact sd ~name:"breakers")
+  in
+  Governor.Breaker.import breakers;
+  let plans : (string * (string * string) list * Vida_algebra.Plan.t) list =
+    decode_frames "plans" (Vida_raw.State_dir.load_artifact sd ~name:"plans")
+  in
+  List.iter
+    (fun (key, stamps, plan) -> Hashtbl.replace plan_spill key (plan, stamps))
+    plans;
+  (decode_frames "ledger" (Vida_raw.State_dir.load_artifact sd ~name:"ledger")
+    : (string * string * int list * bool
+      * Vida_cleaning.Policy.quarantine_entry list)
+      list)
+
+let create ?cache_capacity ?domains ?(limits = Governor.unlimited) ?state_dir
+    () =
   let registry = Registry.create () in
   let ctx = Plugins.create_ctx ?cache_capacity ?domains registry in
+  let state =
+    Option.map (fun dir -> Vida_raw.State_dir.open_dir dir) state_dir
+  in
+  let plan_spill = Hashtbl.create 16 in
+  let ledger_pending =
+    match state with
+    | None -> []
+    | Some sd -> load_warm_state ctx plan_spill sd
+  in
   { registry; ctx; params = []; limits; verify = Warn; verify_log = [];
     queries_run = 0; queries_from_cache = 0;
     session_io = Vida_raw.Io_stats.zero; result_cache = Hashtbl.create 64;
     result_hits = 0; result_stale_drops = 0; plan_cache = Hashtbl.create 64;
     plan_hits = 0; plan_misses = 0; catalog_rev = 0;
+    state; plan_spill; plan_warm_hits = 0; ledger_pending;
+    last_persist_ms = 0.;
     lock = Vida_sync.Lock.create ~rank:10 ~name:"vida.instance" () }
 
 let locked t f = Vida_sync.Lock.protect t.lock f
@@ -575,11 +644,34 @@ let plan_cache_key ~syntax ~engine ~optimize text =
     [ syntax; (match engine with Jit -> "jit" | Generic -> "gen");
       (if optimize then "opt" else "raw"); text ]
 
+(* A live-cache miss consults the warm spill loaded from the state
+   directory: an entry whose source fingerprints all still match is
+   promoted into the live cache under the current revision (counted as a
+   warm hit — the reuse proof the crash harness asserts on); a stale or
+   consumed entry is dropped. Revalidation happens here, per key, not at
+   boot: boot stays O(read) regardless of catalog size. *)
+let plan_spill_find t key =
+  match locked t (fun () -> Hashtbl.find_opt t.plan_spill key) with
+  | None -> None
+  | Some (plan, stamps) ->
+    if fingerprints_fresh t stamps then (
+      locked t (fun () ->
+          Hashtbl.remove t.plan_spill key;
+          t.plan_warm_hits <- t.plan_warm_hits + 1;
+          Hashtbl.replace t.plan_cache key (plan, stamps, t.catalog_rev));
+      Some plan)
+    else (
+      locked t (fun () -> Hashtbl.remove t.plan_spill key);
+      None)
+
 let plan_cache_find t key =
   match locked t (fun () -> (Hashtbl.find_opt t.plan_cache key, t.catalog_rev)) with
-  | None, _ ->
-    locked t (fun () -> t.plan_misses <- t.plan_misses + 1);
-    None
+  | None, _ -> (
+    match plan_spill_find t key with
+    | Some _ as hit -> hit
+    | None ->
+      locked t (fun () -> t.plan_misses <- t.plan_misses + 1);
+      None)
   | Some (plan, stamps, rev), current_rev ->
     if rev = current_rev && fingerprints_fresh t stamps then (
       locked t (fun () -> t.plan_hits <- t.plan_hits + 1);
@@ -597,8 +689,37 @@ let plan_cache_store t key ~rev plan =
   let stamps = source_fingerprints t (Vida_algebra.Plan.free_vars plan) in
   locked t (fun () -> Hashtbl.replace t.plan_cache key (plan, stamps, rev))
 
+(* Quarantine ledgers loaded at warm boot wait here until their source is
+   registered (registration order is the caller's business, not ours); a
+   ledger is only restored under a matching file fingerprint — a source
+   whose bytes changed since the ledger was recorded gets a clean slate,
+   the same answer a cold start would give. A registered source with a
+   stale or missing fingerprint drops its pending ledger. *)
+let apply_pending_ledgers t =
+  let pending = locked t (fun () -> t.ledger_pending) in
+  if pending <> [] then (
+    let remaining =
+      List.filter
+        (fun (name, stamp, bad, structural, quarantined) ->
+          match Registry.find t.registry name with
+          | None -> true (* not yet registered: keep waiting *)
+          | Some { Source.path = Some path; _ } ->
+            (match current_fingerprint name path with
+            | Some fp when String.equal (Vida_raw.Fingerprint.encode fp) stamp
+              ->
+              Plugins.ledger_restore t.ctx ~source:name ~bad ~structural
+                ~quarantined
+            | _ -> ());
+            false
+          | Some _ -> false)
+        pending
+    in
+    (* restores are idempotent, so a concurrent pass at worst replays one *)
+    locked t (fun () -> t.ledger_pending <- remaining))
+
 let run_text ?(engine = Jit) ?(optimize = true) ?(reuse = true) ?domains ~syntax
     t text =
+  apply_pending_ledgers t;
   let parse =
     match syntax with `Comp -> Parser.parse | `Sql -> Vida_sql.Sql.translate
   in
@@ -816,6 +937,140 @@ let checkpoint t =
       if Structures.checkpoint_posmap t.ctx.Plugins.structures source then n + 1 else n)
     0
     (Registry.sources t.registry)
+
+(* --- durable warm state: persist / report / retention ----------------
+
+   [persist_state] writes every spillable piece of warm state through the
+   state directory's degraded-aware publish: the plan cache (with its
+   fingerprint stamps), the process-global breaker table (remaining
+   cooldowns, not timestamps), the per-source quarantine ledgers (stamped
+   with the fingerprint they were learned under), and the positional-map
+   sidecars. Lock discipline: each subsystem is read under its OWN lock
+   (instance 10, plugins 45, breaker 80) and released before the
+   state-dir lock (85) is taken inside save — no nesting against rank
+   order. Any OS failure flips the no-persist degraded mode and returns
+   false; it never raises out of here and never touches query serving. *)
+
+let persist_state t =
+  match t.state with
+  | None -> false
+  | Some sd ->
+    let plans =
+      locked t (fun () ->
+          Hashtbl.fold
+            (fun key (plan, stamps, _) acc -> (key, stamps, plan) :: acc)
+            t.plan_cache [])
+    in
+    let plan_frames =
+      artifact_version "plans"
+      :: List.map (fun e -> Marshal.to_string e []) plans
+    in
+    let ok_plans = Vida_raw.State_dir.persist sd ~name:"plans" plan_frames in
+    let breaker_frames =
+      artifact_version "breakers"
+      :: List.map
+           (fun (p : Governor.Breaker.persisted) -> Marshal.to_string p [])
+           (Governor.Breaker.export ())
+    in
+    let ok_breakers =
+      Vida_raw.State_dir.persist sd ~name:"breakers" breaker_frames
+    in
+    let ledgers =
+      List.filter_map
+        (fun (source : Source.t) ->
+          let name = source.Source.name in
+          match Plugins.ledger_export t.ctx name with
+          | [], false, [] -> None
+          | bad, structural, quarantined -> (
+            match source_fingerprints t [ name ] with
+            | [ (_, stamp) ] -> Some (name, stamp, bad, structural, quarantined)
+            | _ -> None (* unfingerprintable: a ledger we cannot revalidate *)))
+        (Registry.sources t.registry)
+    in
+    let ledger_frames =
+      artifact_version "ledger"
+      :: List.map (fun e -> Marshal.to_string e []) ledgers
+    in
+    let ok_ledger = Vida_raw.State_dir.persist sd ~name:"ledger" ledger_frames in
+    let ok_structures =
+      List.for_all
+        (fun (source : Source.t) ->
+          match Structures.checkpoint_posmap t.ctx.Plugins.structures source with
+          | false -> true
+          | true ->
+            (match source.Source.path with
+            | Some path ->
+              Vida_raw.State_dir.record_structure sd
+                ~digest:(Structures.sidecar_digest source) ~source:path
+            | None -> ());
+            true
+          | exception Vida_error.Error (Vida_error.State_failure _ as e) ->
+            Vida_raw.State_dir.note_persist_failure sd e;
+            false)
+        (Registry.sources t.registry)
+    in
+    ok_plans && ok_breakers && ok_ledger && ok_structures
+
+(* post-query persistence for the serving layer: a cheap debounce so a
+   query storm does not rewrite every artifact per request *)
+let maybe_persist ?(min_interval_ms = 1000.) t =
+  match t.state with
+  | None -> false
+  | Some _ ->
+    let due =
+      locked t (fun () ->
+          let now = now_ms () in
+          if now -. t.last_persist_ms >= min_interval_ms then (
+            t.last_persist_ms <- now;
+            true)
+          else false)
+    in
+    if due then persist_state t else false
+
+type state_report = {
+  sr_dir : string;
+  sr_degraded : bool;  (** persistence suspended after an OS failure *)
+  sr_persists : int;
+  sr_persist_failures : int;
+  sr_warm_loads : int;
+  sr_corrupt_quarantined : int;
+  sr_quarantine_removed : int;
+  sr_lock_reclaimed : bool;
+  sr_plan_warm_hits : int;
+  sr_structure_restores : int;
+  sr_structure_rebuilds : int;
+  sr_last_failure : string option;
+}
+
+let state_report t =
+  Option.map
+    (fun sd ->
+      let r = Vida_raw.State_dir.report sd in
+      { sr_dir = r.Vida_raw.State_dir.r_dir; sr_degraded = r.r_degraded;
+        sr_persists = r.r_persists;
+        sr_persist_failures = r.r_persist_failures;
+        sr_warm_loads = r.r_warm_loads;
+        sr_corrupt_quarantined = r.r_corrupt_quarantined;
+        sr_quarantine_removed = r.r_quarantine_removed;
+        sr_lock_reclaimed = r.r_lock_reclaimed;
+        sr_plan_warm_hits = locked t (fun () -> t.plan_warm_hits);
+        sr_structure_restores =
+          Structures.warm_restores t.ctx.Plugins.structures;
+        sr_structure_rebuilds = Structures.rebuilds t.ctx.Plugins.structures;
+        sr_last_failure = r.r_last_failure })
+    t.state
+
+let state_dir t = Option.map Vida_raw.State_dir.dir t.state
+
+let reset_state_degraded t =
+  Option.iter Vida_raw.State_dir.reset_degraded t.state
+
+let clean_quarantine ?max_age_s ?max_count t =
+  match t.state with
+  | None -> 0
+  | Some sd -> Vida_raw.State_dir.clean_quarantine ?max_age_s ?max_count sd
+
+let close_state t = Option.iter Vida_raw.State_dir.close t.state
 
 let ctx t = t.ctx
 

@@ -35,10 +35,18 @@ type engine = Jit | Generic
     resolved as {!Vida_raw.Morsel.resolve}: the [VIDA_DOMAINS] environment
     override wins, else the request clamped to the hardware count, else
     the hardware count. With a budget of 1 every query runs on the
-    sequential engines. *)
+    sequential engines.
+
+    [state_dir] opens a durable state directory ({!Vida_raw.State_dir})
+    and boots warm from it: positional-map sidecars are routed there,
+    spilled plan-cache entries, circuit-breaker state and quarantine
+    ledgers are loaded — every artifact fingerprint-revalidated before
+    use (stale → silently rebuilt, corrupt → quarantined, never trusted).
+    Raises [Vida_error.State_failure] (exit 80) when a live process
+    already holds the directory. *)
 val create :
   ?cache_capacity:int -> ?domains:int ->
-  ?limits:Vida_governor.Governor.limits -> unit -> t
+  ?limits:Vida_governor.Governor.limits -> ?state_dir:string -> unit -> t
 
 (** [set_limits t limits] changes the per-query resource limits for
     subsequent queries (the CLI's [.timeout] / [.limit] commands). *)
@@ -283,6 +291,56 @@ val checkpoint : t -> int
 (** [invalidate t name] drops [name]'s caches and auxiliary structures and
     re-snapshots the file. *)
 val invalidate : t -> string -> unit
+
+(** {1 Durable warm state}
+
+    Only meaningful on an instance created with [?state_dir]; without one
+    every operation below is a no-op returning its zero. *)
+
+(** [persist_state t] spills the warm state — plan cache with fingerprint
+    stamps, circuit-breaker table (remaining cooldowns), per-source
+    quarantine ledgers, positional-map sidecars — through the state
+    directory's crash-safe publish. Returns [false] (and flips the
+    no-persist degraded mode) on an OS failure; never raises, never
+    affects query serving. *)
+val persist_state : t -> bool
+
+(** Debounced {!persist_state} for post-query hooks: persists at most
+    once per [min_interval_ms] (default 1000). *)
+val maybe_persist : ?min_interval_ms:float -> t -> bool
+
+type state_report = {
+  sr_dir : string;
+  sr_degraded : bool;  (** persistence suspended after an OS failure *)
+  sr_persists : int;  (** artifact publishes completed *)
+  sr_persist_failures : int;
+  sr_warm_loads : int;  (** artifacts served CRC-valid from disk *)
+  sr_corrupt_quarantined : int;  (** corrupt files moved to [*.corrupt] *)
+  sr_quarantine_removed : int;  (** [*.corrupt] files GC'd *)
+  sr_lock_reclaimed : bool;  (** a stale holder's lockfile was reclaimed *)
+  sr_plan_warm_hits : int;  (** plans served from the state directory *)
+  sr_structure_restores : int;  (** posmaps restored from sidecars *)
+  sr_structure_rebuilds : int;  (** posmaps rebuilt from raw files *)
+  sr_last_failure : string option;
+}
+
+(** [None] without a state directory. *)
+val state_report : t -> state_report option
+
+val state_dir : t -> string option
+
+(** Re-enable persistence after the operator has made room (the
+    degraded flag and failure counters are part of {!state_report} and
+    the serving layer's health payload). *)
+val reset_state_degraded : t -> unit
+
+(** Remove quarantined [*.corrupt] files from the state directory
+    (defaults purge all); returns how many were removed. Backs the CLI's
+    [.quarantine clean]. *)
+val clean_quarantine : ?max_age_s:float -> ?max_count:int -> t -> int
+
+(** Release the state directory's single-instance lock. *)
+val close_state : t -> unit
 
 (** Direct access for benchmarks and tests. *)
 val ctx : t -> Vida_engine.Plugins.ctx

@@ -13,6 +13,12 @@ type ctx = {
   structural_quarantined : (string, unit) Hashtbl.t;
       (* sources whose structural bad spans (e.g. malformed XML elements)
          were already copied into the policy's quarantine report *)
+  restored_quarantine :
+    (string, Vida_cleaning.Policy.quarantine_entry list) Hashtbl.t;
+      (* quarantine entries restored from a state directory — recorded by
+         an earlier process, merged into {!quarantine_report} so the
+         ledger survives restarts; dropped with the rest of the ledger on
+         policy change or invalidation *)
   feedback : Feedback.t;
   domains : int;
       (* domain budget for parallel regions (morsel folds, chunked
@@ -52,6 +58,7 @@ let create_ctx ?cache_capacity ?(params = []) ?domains registry =
   { registry; cache; structures = Structures.create (); params;
     cleaning = Hashtbl.create 4; bad_rows = Hashtbl.create 4;
     structural_quarantined = Hashtbl.create 4;
+    restored_quarantine = Hashtbl.create 4;
     feedback = Feedback.create ();
     domains = Vida_raw.Morsel.resolve ?requested:domains ();
     lock = Vida_sync.Lock.create ~rank:45 ~name:"engine.plugins" () }
@@ -656,7 +663,8 @@ let invalidate ctx name =
   Structures.invalidate ctx.structures name;
   locked ctx (fun () ->
       Hashtbl.remove ctx.bad_rows name;
-      Hashtbl.remove ctx.structural_quarantined name);
+      Hashtbl.remove ctx.structural_quarantined name;
+      Hashtbl.remove ctx.restored_quarantine name);
   ignore (Registry.refresh ctx.registry name)
 
 (* --- live-data refresh: append-aware incremental repair ---
@@ -870,9 +878,62 @@ let set_cleaning ctx ~source policy =
   Cache.invalidate_source ctx.cache source;
   locked ctx (fun () ->
       Hashtbl.remove ctx.bad_rows source;
-      Hashtbl.remove ctx.structural_quarantined source)
+      Hashtbl.remove ctx.structural_quarantined source;
+      Hashtbl.remove ctx.restored_quarantine source)
 
 (* Quarantined raw spans recorded for [source] so far (empty unless its
-   policy is [Quarantine]). *)
+   policy is [Quarantine]), prefixed with any entries restored from a
+   state directory. *)
 let quarantine_report ctx source =
-  Vida_cleaning.Policy.quarantined (cleaning_policy ctx source)
+  let restored =
+    locked ctx (fun () ->
+        Option.value ~default:[] (Hashtbl.find_opt ctx.restored_quarantine source))
+  in
+  let live = Vida_cleaning.Policy.quarantined (cleaning_policy ctx source) in
+  (* a warm scan may rediscover a restored span (the column materializer
+     re-cleans every row); report each known-bad span once *)
+  let rediscovered e =
+    List.exists
+      (fun l ->
+        l.Vida_cleaning.Policy.q_offset = e.Vida_cleaning.Policy.q_offset
+        && l.Vida_cleaning.Policy.q_length = e.Vida_cleaning.Policy.q_length)
+      live
+  in
+  List.filter (fun e -> not (rediscovered e)) restored @ live
+
+(* --- durable quarantine ledger ---
+
+   What the cleaning machinery has learned about a damaged source — which
+   rows are bad, whether its structure was quarantined wholesale, which
+   raw spans were rejected and why — is paid for with full scans. These
+   two let the state directory carry that ledger across a restart; the
+   caller (the [Vida] facade) owns staleness: a ledger is only restored
+   when the source file's fingerprint still matches the one stamped at
+   export. *)
+
+let ledger_export ctx source =
+  let quarantined = quarantine_report ctx source in
+  locked ctx (fun () ->
+      let bad =
+        match Hashtbl.find_opt ctx.bad_rows source with
+        | Some s -> List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) s [])
+        | None -> []
+      in
+      (bad, Hashtbl.mem ctx.structural_quarantined source, quarantined))
+
+let ledger_restore ctx ~source ~bad ~structural ~quarantined =
+  Vida_sync.Cell.write ~name:bad_rows_cell ~site:"plugins.ledger-restore";
+  locked ctx (fun () ->
+      (if bad <> [] then (
+         let s =
+           match Hashtbl.find_opt ctx.bad_rows source with
+           | Some s -> s
+           | None ->
+             let s = Hashtbl.create 8 in
+             Hashtbl.replace ctx.bad_rows source s;
+             s
+         in
+         List.iter (fun r -> Hashtbl.replace s r ()) bad));
+      if structural then Hashtbl.replace ctx.structural_quarantined source ();
+      if quarantined <> [] then
+        Hashtbl.replace ctx.restored_quarantine source quarantined)

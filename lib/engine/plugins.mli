@@ -30,6 +30,10 @@ type ctx = {
   structural_quarantined : (string, unit) Hashtbl.t;
       (** sources whose structurally-bad spans were already copied into the
           policy quarantine report (one-shot, per source) *)
+  restored_quarantine :
+    (string, Vida_cleaning.Policy.quarantine_entry list) Hashtbl.t;
+      (** quarantine entries restored from a state directory, merged into
+          {!quarantine_report} so the ledger survives restarts *)
   feedback : Feedback.t;
       (** observed selectivities/cardinalities from past executions,
           consulted by the optimizer (paper §5 runtime feedback) *)
@@ -134,3 +138,20 @@ val bad_row_count : ctx -> string -> int
     was rejected. *)
 val quarantine_report :
   ctx -> string -> Vida_cleaning.Policy.quarantine_entry list
+
+(** {1 Durable quarantine ledger}
+
+    Export/restore of what cleaning has learned about a source — bad
+    rows, wholesale structural quarantine, rejected raw spans — so a
+    state directory can carry the ledger across restarts. Staleness is
+    the caller's contract: restore only under a matching source-file
+    fingerprint. A restored ledger is dropped like a live one on
+    {!set_cleaning} or {!invalidate}. *)
+
+(** [(bad rows, structurally quarantined, quarantine entries)]. *)
+val ledger_export :
+  ctx -> string -> int list * bool * Vida_cleaning.Policy.quarantine_entry list
+
+val ledger_restore :
+  ctx -> source:string -> bad:int list -> structural:bool ->
+  quarantined:Vida_cleaning.Policy.quarantine_entry list -> unit

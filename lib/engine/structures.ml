@@ -13,13 +13,20 @@ type t = {
      builds parallelize internally via morsels, so serializing distinct
      builds costs little next to returning a torn index *)
   lock : Vida_sync.Lock.t;
+  (* sidecars normally live next to the data ([<path>.vidx]); a state
+     directory centralizes them under [DIR/structures/<md5(path)>.vidx]
+     so read-only data directories still get warm restarts *)
+  mutable sidecar_dir : string option;
+  mutable warm_restores : int;  (* posmaps restored from a sidecar *)
+  mutable rebuilds : int;  (* posmaps built from the raw file *)
 }
 
 let create () =
   { buffers = Hashtbl.create 8; posmaps = Hashtbl.create 8;
     semi_indexes = Hashtbl.create 8; xml_indexes = Hashtbl.create 8;
     binarrays = Hashtbl.create 8;
-    lock = Vida_sync.Lock.create ~rank:50 ~name:"engine.structures" () }
+    lock = Vida_sync.Lock.create ~rank:50 ~name:"engine.structures" ();
+    sidecar_dir = None; warm_restores = 0; rebuilds = 0 }
 
 let locked t f = Vida_sync.Lock.protect t.lock f
 
@@ -58,7 +65,16 @@ let buffer t source =
   memo t t.buffers source.Source.name (fun () ->
       Raw_buffer.of_path (source_path source))
 
-let sidecar_path source = source_path source ^ ".vidx"
+let sidecar_digest source = Digest.to_hex (Digest.string (source_path source))
+
+let sidecar_path t source =
+  match t.sidecar_dir with
+  | None -> source_path source ^ ".vidx"
+  | Some dir -> Filename.concat dir (sidecar_digest source ^ ".vidx")
+
+let set_sidecar_dir t dir = locked t (fun () -> t.sidecar_dir <- Some dir)
+let warm_restores t = locked t (fun () -> t.warm_restores)
+let rebuilds t = locked t (fun () -> t.rebuilds)
 
 let posmap ?domains t source =
   match source.Source.format with
@@ -70,9 +86,11 @@ let posmap ?domains t source =
            wrong answers *)
         match
           Positional_map.load ~delim (buffer_unlocked t source)
-            ~path:(sidecar_path source)
+            ~path:(sidecar_path t source)
         with
-        | Ok pm -> pm
+        | Ok pm ->
+          t.warm_restores <- t.warm_restores + 1;
+          pm
         | Error err ->
           (* note the degradation for the governor report, except for the
              ordinary cold start where no sidecar exists yet *)
@@ -82,6 +100,7 @@ let posmap ?domains t source =
             Vida_governor.Governor.note_fallback ~stage:"sidecar->raw"
               ~reason ()
           | _ -> ());
+          t.rebuilds <- t.rebuilds + 1;
           Positional_map.build ~delim ~header ?domains (buffer_unlocked t source))
   | _ ->
     Vida_error.invalid_request ~source:source.Source.name
@@ -121,7 +140,7 @@ let checkpoint_posmap t source =
   match locked t (fun () -> Hashtbl.find_opt t.posmaps source.Source.name) with
   | None -> false
   | Some pm ->
-    Positional_map.save pm ~path:(sidecar_path source);
+    Positional_map.save pm ~path:(sidecar_path t source);
     true
 
 let peek_semi_index t name =

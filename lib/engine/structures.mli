@@ -27,10 +27,30 @@ val xml_index : t -> Vida_catalog.Source.t -> Vida_raw.Xml_index.t
 val binarray : t -> Vida_catalog.Source.t -> Vida_raw.Binarray.t
 
 (** [checkpoint_posmap t source] persists a built positional map to the
-    source's sidecar file ([<data path>.vidx]); the next session restores
-    it without re-scanning, as long as the data file is unchanged. Returns
-    false when no map has been built. *)
+    source's sidecar file ([<data path>.vidx], or the state directory's
+    [structures/] when one is set); the next session restores it without
+    re-scanning, as long as the data file is unchanged. Returns false
+    when no map has been built.
+    @raise Vida_error.Error ([State_failure]) on an OS write failure. *)
 val checkpoint_posmap : t -> Vida_catalog.Source.t -> bool
+
+(** {1 State-directory integration} *)
+
+(** [set_sidecar_dir t dir] routes all sidecar IO (restore and
+    checkpoint) to [dir/<md5(data path)>.vidx] instead of beside the
+    data — read-only data directories still get warm restarts. Set
+    before the first structure build. *)
+val set_sidecar_dir : t -> string -> unit
+
+(** [sidecar_digest source] is the filename stem a state directory keys
+    this source's sidecar under. *)
+val sidecar_digest : Vida_catalog.Source.t -> string
+
+(** positional maps restored from a sidecar / built from raw since
+    {!create} — the warm-boot reuse proof reads these. *)
+val warm_restores : t -> int
+
+val rebuilds : t -> int
 
 (** [peek_buffer]/[peek_posmap]/[peek_semi_index] return an already-built
     structure without building one — cost estimation and change detection

@@ -16,6 +16,7 @@ type t =
   | Overloaded of { source : string; reason : string; retry_after_ms : float }
   | Source_unavailable of { source : string; reason : string; retry_after_ms : float }
   | Sync_violation of { subject : string; kind : string; reason : string }
+  | State_failure of { source : string; op : string; reason : string }
 
 exception Error of t
 
@@ -72,6 +73,9 @@ let source_unavailable ~source ~retry_after_ms fmt =
 let sync_violation ~subject ~kind fmt =
   Format.kasprintf (fun reason -> error (Sync_violation { subject; kind; reason })) fmt
 
+let state_failure ~source ~op fmt =
+  Format.kasprintf (fun reason -> error (State_failure { source; op; reason })) fmt
+
 let source = function
   | Parse_error { source; _ }
   | Truncated { source; _ }
@@ -88,13 +92,14 @@ let source = function
   | Type_invalid { context; _ } -> context
   | Plan_invalid { stage; _ } -> stage
   | Sync_violation { subject; _ } -> subject
+  | State_failure { source; _ } -> source
 
 let offset = function
   | Parse_error { offset; _ } | Truncated { offset; _ } -> Some offset
   | Stale_auxiliary _ | Resource_limit _ | Io_failure _ | Invalid_request _
   | Deadline_exceeded _ | Budget_exceeded _ | Cancelled _ | Type_invalid _
   | Plan_invalid _ | Source_changed _ | Overloaded _ | Source_unavailable _
-  | Sync_violation _ ->
+  | Sync_violation _ | State_failure _ ->
     None
 
 let kind_name = function
@@ -113,6 +118,7 @@ let kind_name = function
   | Overloaded _ -> "overloaded"
   | Source_unavailable _ -> "unavailable"
   | Sync_violation _ -> "sync"
+  | State_failure _ -> "state"
 
 let exit_code = function
   | Parse_error _ -> 65
@@ -130,6 +136,7 @@ let exit_code = function
   | Overloaded _ -> 77
   | Source_unavailable _ -> 78
   | Sync_violation _ -> 79
+  | State_failure _ -> 80
 
 let pp ppf = function
   | Parse_error { source; offset; reason } ->
@@ -164,6 +171,8 @@ let pp ppf = function
       source reason retry_after_ms
   | Sync_violation { subject; kind; reason } ->
     Format.fprintf ppf "%s: sync violation (%s): %s" subject kind reason
+  | State_failure { source; op; reason } ->
+    Format.fprintf ppf "%s: durable-state %s failed: %s" source op reason
 
 let to_string e = Format.asprintf "%a" pp e
 

@@ -62,6 +62,14 @@ type t =
           classifies the finding ("rank-inversion", "reentry",
           "lock-cycle", "unlocked-access", "unheld-lock",
           "kernel-obligation") *)
+  | State_failure of { source : string; op : string; reason : string }
+      (** a durable-state persistence operation failed at the OS level —
+          disk full ([ENOSPC]), fd exhaustion ([EMFILE]), an IO error
+          ([EIO]) — while writing the state directory, a sidecar or an
+          export file; [source] names the path, [op] the operation
+          ("open", "write", "rename", "lock", ...). Persistence failures
+          degrade to a no-persist mode (queries keep answering, warm
+          state stops being saved), they never abort the process *)
 
 exception Error of t
 
@@ -102,6 +110,9 @@ val source_unavailable :
 val sync_violation :
   subject:string -> kind:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 
+val state_failure :
+  source:string -> op:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
 (** {1 Inspection} *)
 
 val source : t -> string
@@ -111,13 +122,13 @@ val kind_name : t -> string
 (** short stable tag: ["parse"], ["truncated"], ["stale"], ["limit"],
     ["io"], ["invalid"], ["deadline"], ["budget"], ["cancelled"],
     ["type"], ["plan"], ["changed"], ["overloaded"], ["unavailable"],
-    ["sync"] *)
+    ["sync"], ["state"] *)
 
 val exit_code : t -> int
 (** distinct process exit code per kind, for CLI surfacing:
     parse 65, truncated 66, stale 67, limit 68, io 69, invalid 70,
     deadline 71, budget 72, cancelled 73, type 74, plan 75, changed 76,
-    overloaded 77, unavailable 78, sync 79. *)
+    overloaded 77, unavailable 78, sync 79, state 80. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -622,6 +622,63 @@ module Breaker = struct
         |> List.sort (fun a b -> compare a.b_source b.b_source))
 
   let reset () = locked (fun () -> Hashtbl.reset table)
+
+  (* --- durable export/import ---
+
+     An open breaker is operational knowledge paid for with failed scans;
+     a restart used to forget it and re-probe a known-bad source at full
+     threshold. Export captures each entry with its REMAINING cooldown
+     (wall-clock timestamps don't survive a restart; a remaining duration
+     does), import reconstructs the open state by back-dating the trip so
+     exactly that much cooldown is left. Half-open exports as open with
+     zero remaining — the probe died with the process, so the next check
+     after import becomes the new probe. *)
+
+  type persisted = {
+    p_source : string;
+    p_failures : int;  (* consecutive failures while closed *)
+    p_open_remaining_ms : float option;  (* [Some r] = open, r cooldown left *)
+    p_trips : int;
+    p_shed : int;
+    p_reason : string;
+  }
+
+  let export () =
+    locked (fun () ->
+        let now = now_ms () in
+        Hashtbl.fold
+          (fun p_source e acc ->
+            let p_failures, p_open_remaining_ms =
+              match e.state with
+              | Closed n -> (n, None)
+              | Open since ->
+                (0, Some (Float.max 0. (!cfg.cooldown_ms -. (now -. since))))
+              | Half_open _ -> (0, Some 0.)
+            in
+            { p_source; p_failures; p_open_remaining_ms; p_trips = e.trips;
+              p_shed = e.shed_fast; p_reason = e.last_reason }
+            :: acc)
+          table []
+        |> List.sort (fun a b -> compare a.p_source b.p_source))
+
+  let import persisted =
+    locked (fun () ->
+        let now = now_ms () in
+        List.iter
+          (fun p ->
+            let e = entry p.p_source in
+            e.trips <- p.p_trips;
+            e.shed_fast <- p.p_shed;
+            e.last_reason <- p.p_reason;
+            e.state <-
+              (match p.p_open_remaining_ms with
+              | None -> Closed p.p_failures
+              | Some remaining ->
+                let remaining =
+                  Float.max 0. (Float.min remaining !cfg.cooldown_ms)
+                in
+                Open (now -. (!cfg.cooldown_ms -. remaining))))
+          persisted)
 end
 
 (* --- chaos hooks ---------------------------------------------------- *)

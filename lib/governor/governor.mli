@@ -265,6 +265,33 @@ module Breaker : sig
       report embeds this. *)
 
   val reset : unit -> unit
+
+  (** {2 Durable export/import}
+
+      An open breaker is operational knowledge paid for with failed
+      scans; these let the state directory carry it across a restart. *)
+
+  type persisted = {
+    p_source : string;
+    p_failures : int;  (** consecutive failures while closed *)
+    p_open_remaining_ms : float option;
+        (** [Some r]: breaker is open with [r] ms of cooldown left — a
+            duration, not a timestamp, so it survives a restart.
+            Half-open exports as [Some 0.]: the probe died with the
+            process. *)
+    p_trips : int;
+    p_shed : int;
+    p_reason : string;
+  }
+
+  val export : unit -> persisted list
+  (** all known breakers, sorted by source. *)
+
+  val import : persisted list -> unit
+  (** Reconstruct breaker entries: closed entries restore their
+      consecutive-failure count, open ones are back-dated so exactly the
+      persisted cooldown remains (clamped to the current config's
+      cooldown). Existing entries for the same source are overwritten. *)
 end
 
 (** {1 Engine-level fault injection}

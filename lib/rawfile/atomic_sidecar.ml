@@ -190,6 +190,21 @@ let read ~path ~magic =
 let generation ~path ~magic =
   match read ~path ~magic with Sidecar { generation; _ } -> Some generation | _ -> None
 
+(* The write path is audited for OS failure: every open/write/rename may
+   fail for real (disk full, fd exhaustion) or by an installed
+   {!Sys_fault} plan, and every such failure surfaces as a typed
+   [State_failure] (kind "state", exit 80) with the temp file cleaned up —
+   callers on the persistence path degrade to no-persist mode, they never
+   see an untyped [Sys_error] or abort. *)
+let state_fail ~path ~op e =
+  let reason =
+    match e with
+    | Unix.Unix_error (err, _, _) -> Unix.error_message err
+    | Sys_error msg -> msg
+    | e -> Printexc.to_string e
+  in
+  Vida_error.state_failure ~source:path ~op "%s" reason
+
 let write ~path ~magic ?generation:gen frames =
   let generation =
     match gen with
@@ -204,15 +219,28 @@ let write ~path ~magic ?generation:gen frames =
     | Some offset -> String.sub payload 0 offset
   in
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
+  let oc =
+    try
+      Sys_fault.on_open ~path;
+      open_out_bin tmp
+    with (Sys_error _ | Unix.Unix_error _) as e -> state_fail ~path ~op:"open" e
+  in
   (try
+     Sys_fault.on_write ~path;
      output_string oc published;
      close_out oc
    with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path;
+     (match e with
+     | Sys_error _ | Unix.Unix_error _ -> state_fail ~path ~op:"write" e
+     | e -> raise e));
+  (try
+     Sys_fault.on_rename ~path;
+     Sys.rename tmp path
+   with (Sys_error _ | Unix.Unix_error _) as e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     state_fail ~path ~op:"rename" e);
   generation
 
 let quarantine path =

@@ -13,7 +13,11 @@
 (** [write ~path ~magic ?generation frames] atomically publishes [frames]
     under [path]. The generation defaults to one more than the current
     sidecar's (or 1); the generation written is returned. When the crash
-    hook is armed, the published file may be deterministically torn. *)
+    hook is armed, the published file may be deterministically torn.
+    An OS failure anywhere on the write path — disk full, fd exhaustion,
+    an injected {!Sys_fault} — removes the temp file and raises a typed
+    [Vida_error.State_failure] (kind ["state"], exit 80), never an
+    untyped [Sys_error]. *)
 val write : path:string -> magic:string -> ?generation:int -> string list -> int
 
 type read_result =

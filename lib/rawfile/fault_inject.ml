@@ -99,6 +99,29 @@ let arm_sidecar_crash ~seed = Atomic_sidecar.Crash.arm_random ~seed
 let disarm_sidecar_crash = Atomic_sidecar.Crash.disarm
 let sidecar_crashes = Atomic_sidecar.Crash.crashes
 
+(* --- injected OS write faults ----------------------------------------
+
+   Facade over {!Sys_fault}: deterministic ENOSPC / EMFILE / EIO on the
+   durable-state write paths (sidecar publishes, state-dir artifacts), so
+   the disk-full degradation contract — typed [State_failure], no-persist
+   degraded mode, never an abort — is exactly testable. *)
+
+type sys_errno = Sys_fault.errno
+
+type sys_plan = Sys_fault.plan = {
+  fail_opens : int;
+  fail_writes : int;
+  fail_renames : int;
+  errno : sys_errno;
+  only : string option;
+}
+
+let sys_plan = Sys_fault.plan
+let install_sys_plan = Sys_fault.install
+let clear_sys_plan = Sys_fault.clear
+let with_sys_plan = Sys_fault.with_plan
+let sys_failures_injected = Sys_fault.failures_injected
+
 let corrupt_file ?seed faults ~path =
   let ic = open_in_bin path in
   let contents =

@@ -71,3 +71,39 @@ val disarm_sidecar_crash : unit -> unit
 
 (** sidecar writes torn since last armed. *)
 val sidecar_crashes : unit -> int
+
+(** {1 Injected OS write faults}
+
+    Facade over {!Sys_fault}: the corruption model above is about bytes,
+    the IO plan about reads — this one is about the {e OS failing the
+    write path}: disk full (ENOSPC), fd exhaustion (EMFILE), IO errors
+    (EIO). The first [n] matching opens / writes / renames on the
+    durable-state writers fail with the chosen errno, which must surface
+    as a typed [State_failure] and the no-persist degraded mode — never
+    an abort. *)
+
+type sys_errno = Sys_fault.errno
+
+type sys_plan = Sys_fault.plan = {
+  fail_opens : int;  (** first [n] matching file opens fail *)
+  fail_writes : int;  (** first [n] matching writes fail *)
+  fail_renames : int;  (** first [n] matching renames fail *)
+  errno : sys_errno;
+  only : string option;
+      (** restrict to the file with this path or basename (exact after
+          normalization, never substring) *)
+}
+
+val sys_plan :
+  ?fail_opens:int -> ?fail_writes:int -> ?fail_renames:int ->
+  ?errno:sys_errno -> ?only:string -> unit -> sys_plan
+
+val install_sys_plan : sys_plan -> unit
+val clear_sys_plan : unit -> unit
+
+(** [with_sys_plan p f] runs [f] under [p], restoring the previous plan
+    afterwards (exception-safe). *)
+val with_sys_plan : sys_plan -> (unit -> 'a) -> 'a
+
+(** OS faults injected since the current plan was installed. *)
+val sys_failures_injected : unit -> int

@@ -1,0 +1,97 @@
+(* Injected OS-level write-path faults (configured through
+   {!Fault_inject}, consulted by every durable-state writer).
+
+   Where {!Io_fault} models how READING raw data behaves, this module
+   models the OS failing a WRITE path: the disk filling up ([ENOSPC]),
+   the process running out of file descriptors ([EMFILE]), or the device
+   erroring out ([EIO]). The writers that publish durable state —
+   {!Atomic_sidecar}, {!State_dir}, export files — consult the installed
+   plan before each open/write/rename, so the disk-full degradation
+   ladder (typed [State_failure], then the no-persist degraded mode) is
+   exactly testable without actually filling a disk.
+
+   Lives below [Atomic_sidecar] so the sidecar writer can consult the
+   plan without a dependency cycle; [Fault_inject] re-exports the
+   configuration calls. *)
+
+type errno = [ `Enospc | `Emfile | `Eio ]
+
+type plan = {
+  fail_opens : int;  (* first N matching opens fail *)
+  fail_writes : int;  (* first N matching writes fail *)
+  fail_renames : int;  (* first N matching renames fail *)
+  errno : errno;
+  only : string option;  (* restrict to this path or basename *)
+}
+
+let plan ?(fail_opens = 0) ?(fail_writes = 0) ?(fail_renames = 0)
+    ?(errno = `Enospc) ?only () =
+  { fail_opens; fail_writes; fail_renames; errno; only }
+
+let active : plan option ref = ref None
+let opens = ref 0
+let writes = ref 0
+let renames = ref 0
+let injected_failures = ref 0
+
+let install p =
+  active := Some p;
+  opens := 0;
+  writes := 0;
+  renames := 0;
+  injected_failures := 0
+
+let clear () =
+  active := None;
+  injected_failures := 0
+
+let with_plan p f =
+  let saved = !active in
+  install p;
+  Fun.protect ~finally:(fun () -> active := saved) f
+
+let failures_injected () = !injected_failures
+
+let unix_error = function
+  | `Enospc -> Unix.ENOSPC
+  | `Emfile -> Unix.EMFILE
+  | `Eio -> Unix.EIO
+
+(* same exact path-or-basename matching as {!Io_fault}: a substring scan
+   would let ["a.bin"] fault "data.bin" *)
+let normalize path =
+  let path =
+    let n = String.length path in
+    if n > 1 && path.[n - 1] = '/' then String.sub path 0 (n - 1) else path
+  in
+  if Filename.is_relative path then Filename.concat Filename.current_dir_name path
+  else path
+
+let matches p path =
+  match p.only with
+  | None -> true
+  | Some sel ->
+    String.equal sel path
+    || String.equal (normalize sel) (normalize path)
+    || String.equal (Filename.basename sel) (Filename.basename path)
+
+let hook op ~path =
+  match !active with
+  | None -> ()
+  | Some p ->
+    if matches p path then (
+      let counter, budget, name =
+        match op with
+        | `Open -> (opens, p.fail_opens, "open")
+        | `Write -> (writes, p.fail_writes, "write")
+        | `Rename -> (renames, p.fail_renames, "rename")
+      in
+      let k = !counter in
+      incr counter;
+      if k < budget then (
+        incr injected_failures;
+        raise (Unix.Unix_error (unix_error p.errno, name, path))))
+
+let on_open ~path = hook `Open ~path
+let on_write ~path = hook `Write ~path
+let on_rename ~path = hook `Rename ~path

@@ -1,0 +1,43 @@
+(** Injected OS-level write-path faults.
+
+    Configure through {!Fault_inject.install_sys_plan} (this module is
+    the shared state consulted by the durable-state writers —
+    {!Atomic_sidecar}, {!State_dir}, export files; it sits below them to
+    avoid dependency cycles). The plan deterministically fails the first
+    [n] matching opens/writes/renames with a chosen errno, so the
+    disk-full / fd-exhaustion degradation paths are exactly testable. *)
+
+type errno = [ `Enospc | `Emfile | `Eio ]
+
+type plan = {
+  fail_opens : int;  (** first [n] matching file opens fail *)
+  fail_writes : int;  (** first [n] matching writes fail *)
+  fail_renames : int;  (** first [n] matching renames fail *)
+  errno : errno;  (** which OS error the failure raises *)
+  only : string option;
+      (** restrict to the file with this path or basename (exact after
+          normalization, never substring) *)
+}
+
+val plan :
+  ?fail_opens:int -> ?fail_writes:int -> ?fail_renames:int -> ?errno:errno ->
+  ?only:string -> unit -> plan
+
+val install : plan -> unit
+val clear : unit -> unit
+
+(** [with_plan p f] runs [f] under [p], restoring the previous plan
+    afterwards (exception-safe). *)
+val with_plan : plan -> (unit -> 'a) -> 'a
+
+(** OS faults injected since the current plan was installed. *)
+val failures_injected : unit -> int
+
+(** {1 Writer hooks}
+
+    Called by the durable-state writers before the corresponding syscall;
+    raise [Unix.Unix_error] when a fault is due. No-ops with no plan. *)
+
+val on_open : path:string -> unit
+val on_write : path:string -> unit
+val on_rename : path:string -> unit

@@ -290,6 +290,25 @@ let health_payload srv req_id =
         ("kernel_failures", Value.Int sc.Vida_sync.kernel_failures);
         ("findings_total", Value.Int sc.Vida_sync.total) ]
   in
+  (* durable-state health: operators watch [degraded] (persistence
+     suspended on a full disk — queries unaffected) and the counters that
+     prove warm boots are actually reusing state *)
+  let state =
+    match Vida.state_report srv.db with
+    | None -> Value.Record [ ("enabled", Value.Bool false) ]
+    | Some sr ->
+      Value.Record
+        [ ("enabled", Value.Bool true);
+          ("dir", Value.String sr.Vida.sr_dir);
+          ("degraded", Value.Bool sr.Vida.sr_degraded);
+          ("persists", Value.Int sr.Vida.sr_persists);
+          ("persist_failures", Value.Int sr.Vida.sr_persist_failures);
+          ("warm_loads", Value.Int sr.Vida.sr_warm_loads);
+          ("corrupt_quarantined", Value.Int sr.Vida.sr_corrupt_quarantined);
+          ("plan_warm_hits", Value.Int sr.Vida.sr_plan_warm_hits);
+          ("structure_restores", Value.Int sr.Vida.sr_structure_restores);
+          ("structure_rebuilds", Value.Int sr.Vida.sr_structure_rebuilds) ]
+  in
   respond
     (field "id" req_id
     @@ field "status" (Value.String "ok")
@@ -310,6 +329,7 @@ let health_payload srv req_id =
               ("pings", Value.Int pings);
               ("breakers", breakers);
               ("vectorized", vectorized);
+              ("state", state);
               ("sync", sync) ])
          [])
 
@@ -329,6 +349,12 @@ let execute srv session req =
       session req.query
   in
   Vida_sync.Lock.protect srv.lock (fun () -> srv.served <- srv.served + 1);
+  (* durable warm state rides the query path, debounced: newly derived
+     plans / breaker verdicts / ledgers reach the state directory within
+     a second of being learned, so a kill -9 at any later instant boots
+     warm. No-op without a state directory; a persist failure degrades to
+     no-persist mode inside and never surfaces to this client *)
+  ignore (Vida.maybe_persist srv.db);
   match outcome with
   | Ok r -> ok_payload req.req_id r
   | Error e -> error_payload req.req_id e
@@ -534,6 +560,20 @@ let accept_loop srv () =
       (* a signal (SIGCHLD, a profiler tick) interrupted accept: not a
          shutdown *)
       loop ()
+    | exception
+        Unix.Unix_error
+          ((Unix.EMFILE | Unix.ENFILE | Unix.ECONNABORTED | Unix.ENOMEM), _, _)
+      ->
+      (* transient resource exhaustion (fd table full, client hung up
+         mid-handshake). Exiting here would silently kill the acceptor —
+         the server would look alive while refusing everyone forever.
+         Back off briefly; connections draining frees fds *)
+      if
+        Vida_sync.Lock.protect srv.lock (fun () -> srv.stopping)
+      then ()
+      else (
+        Thread.delay 0.05;
+        loop ())
     | exception Unix.Unix_error _ -> () (* listener closed: shutting down *)
   in
   loop ()

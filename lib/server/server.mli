@@ -16,7 +16,10 @@
     - control: [{"id", "op": "ping"}] → [{"id", "status": "pong"}]
       (heartbeat; counts as activity against the idle reaper), and
       [{"id", "op": "health"}] → a ["health"] record of admission gauges,
-      lifetime counters and per-source circuit-breaker states;
+      lifetime counters, per-source circuit-breaker states and a
+      ["state"] sub-record for the durable state directory (enabled flag,
+      [degraded] = persistence suspended after an OS failure while
+      queries keep answering, persist/warm-reuse counters);
     - success: [{"id", "status": "ok", "cache": "hit"|"miss",
       "result_cache": "hit"|"miss", "compile_ms", "exec_ms", "v_crc",
       "value"}] — [cache] marks whether the optimized plan was served by

@@ -572,6 +572,123 @@ let test_resilient_client_backoff () =
       Server.Client.close blocker;
       Server.Client.close_resilient rc)
 
+(* --- kill -9 + warm restart ------------------------------------------- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> rm path
+  | exception Unix.Unix_error _ -> ()
+
+(* A real server process is SIGKILLed with a client's query in flight; a
+   replacement boots WARM on the same socket and state directory (stale
+   socket file and stale state lock both reclaimed). The self-healing
+   client must reconnect and complete the same logical query under its
+   original stable request id. *)
+let test_kill9_warm_restart () =
+  let csv = tmp_file "n\n1\n2\n3\n4\n" in
+  let state_dir =
+    let p = Filename.temp_file "vida_res_state" "" in
+    Sys.remove p;
+    p
+  in
+  let sock = sock_path () in
+  (* fork a server holding the socket and the state directory; the pipe
+     byte signals it is accepting *)
+  let spawn_server () =
+    let r, w = Unix.pipe () in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      Unix.close r;
+      (try
+         let db = Vida.create ~state_dir ~domains:1 () in
+         Vida.csv db ~name:"Nums" ~path:csv ();
+         Vida.external_source db ~name:"Slow"
+           ~element:(Ty.Record [ ("x", Ty.Int) ])
+           ~count:(fun () -> 1)
+           ~produce:(fun consumer ->
+             Thread.delay 0.4;
+             consumer (Value.Record [ ("x", Value.Int 7) ]));
+         let config =
+           { Server.default_config with Server.address = Server.Unix_socket sock }
+         in
+         let _srv = Server.create ~config db in
+         ignore (Unix.write w (Bytes.of_string "R") 0 1);
+         Unix.close w;
+         while true do
+           Unix.sleep 3600
+         done
+       with _ -> ());
+      Unix._exit 0
+    | pid ->
+      Unix.close w;
+      let b = Bytes.create 1 in
+      ignore (Unix.read r b 0 1);
+      Unix.close r;
+      pid
+  in
+  let pid1 = spawn_server () in
+  let rc =
+    Server.Client.connect_resilient
+      ~retry:
+        { Server.Client.default_retry with
+          Server.Client.max_attempts = 60; base_backoff_ms = 25.;
+          max_backoff_ms = 200.; seed = 11 }
+      (Server.Unix_socket sock)
+  in
+  (* request id 1 warms the connection (and the server's state dir) *)
+  let r1 = Server.Client.rquery rc "for { n <- Nums } yield sum n.n" in
+  check_string "pre-crash query answered" "ok" (fld_str r1 "status");
+  (* request id 2 is in flight when the server dies *)
+  let reply = ref None in
+  let querier =
+    Thread.create
+      (fun () -> reply := Some (Server.Client.rquery rc "for { s <- Slow } yield sum s.x"))
+      ()
+  in
+  Thread.delay 0.1;
+  Unix.kill pid1 Sys.sigkill;
+  ignore (Unix.waitpid [] pid1);
+  let pid2 = spawn_server () in
+  Thread.join querier;
+  (match !reply with
+  | None -> Alcotest.fail "no reply after the restart"
+  | Some reply ->
+    check_string "completed across the kill" "ok" (fld_str reply "status");
+    check_string "value correct after restart" "7"
+      (Value.to_json (fld reply "value"));
+    (* the resubmissions rode the SAME stable request id assigned before
+       the kill: the second logical query of this client *)
+    check_bool "stable request id" true
+      (fld reply "id"
+      = Value.String (Printf.sprintf "rq-%d-2" (Unix.getpid ()))));
+  check_bool "the client actually reconnected" true
+    (Server.Client.reconnects rc >= 1);
+  (* the replacement booted warm: the state directory's artifacts were
+     served from disk, visible in the health report *)
+  let c = Server.Client.connect (Server.Unix_socket sock) in
+  let h = Server.Client.health c in
+  let state = fld (fld h "health") "state" in
+  check_bool "state dir enabled" true
+    (Value.field_opt state "enabled" = Some (Value.Bool true));
+  check_bool "warm boot served artifacts from disk" true
+    (match Value.field_opt state "warm_loads" with
+    | Some (Value.Int n) -> n >= 1
+    | _ -> false);
+  check_bool "never degraded" true
+    (Value.field_opt state "degraded" = Some (Value.Bool false));
+  Server.Client.close c;
+  Server.Client.close_resilient rc;
+  Unix.kill pid2 Sys.sigkill;
+  ignore (Unix.waitpid [] pid2);
+  rm csv;
+  rm sock;
+  rm_rf state_dir
+
 (* --- seeded network-chaos soak (`Slow; CI runs with -e) ---------------- *)
 
 let test_network_chaos_soak () =
@@ -692,7 +809,12 @@ let test_network_chaos_soak () =
   rm path
 
 let tests =
-  [ ("breaker",
+  (* "restart" must run first: it forks server processes, and Unix.fork
+     is only legal while this process has spawned no domains — every
+     in-process Server.create below leaves pool domains running *)
+  [ ("restart",
+     [ Alcotest.test_case "kill -9 + warm restart" `Quick test_kill9_warm_restart ]);
+    ("breaker",
      [ Alcotest.test_case "state machine" `Quick test_breaker_states;
        Alcotest.test_case "end to end" `Quick test_breaker_end_to_end ]);
     ("deadlines",
